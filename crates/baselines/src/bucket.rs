@@ -1,0 +1,130 @@
+//! Bucket Select (Alabi et al. \[12\]) — partition-based selection by value
+//! range. Repeatedly histogram the live set into equal-width buckets,
+//! descend into the bucket containing the k-th smallest, and collect every
+//! bucket strictly below it.
+
+use kselect::types::{sort_neighbors, Neighbor};
+
+/// Number of buckets per pass.
+const BUCKETS: usize = 64;
+
+/// k smallest via iterative bucket partitioning; ascending.
+///
+/// Degrades gracefully on duplicate-heavy input: when a pass cannot
+/// shrink the live set (all values in one bucket of zero width), it
+/// falls back to sorting the remainder.
+pub fn bucket_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
+    assert!(k > 0);
+    if k >= dists.len() {
+        return crate::sort_select::sort_select(dists, k);
+    }
+    let mut live: Vec<Neighbor> = dists
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| Neighbor::new(d, i as u32))
+        .collect();
+    let mut result: Vec<Neighbor> = Vec::with_capacity(k);
+    let mut need = k;
+    loop {
+        if need == 0 {
+            break;
+        }
+        if live.len() <= need || live.len() <= BUCKETS {
+            let mut rest = crate::sort_select::sort_select(
+                &live.iter().map(|n| n.dist).collect::<Vec<_>>(),
+                need,
+            );
+            for n in &mut rest {
+                n.id = live[n.id as usize].id;
+            }
+            result.extend(rest);
+            break;
+        }
+        let lo = live.iter().map(|n| n.dist).fold(f32::INFINITY, f32::min);
+        let hi = live.iter().map(|n| n.dist).fold(f32::NEG_INFINITY, f32::max);
+        if lo == hi {
+            // All equal: any `need` of them complete the answer.
+            result.extend(live.iter().take(need).copied());
+            break;
+        }
+        let width = (hi - lo) / BUCKETS as f32;
+        let bucket_of = |d: f32| (((d - lo) / width) as usize).min(BUCKETS - 1);
+        let mut counts = [0usize; BUCKETS];
+        for n in &live {
+            counts[bucket_of(n.dist)] += 1;
+        }
+        // Find the bucket containing the `need`-th smallest.
+        let mut acc = 0;
+        let mut pivot_bucket = BUCKETS - 1;
+        for (b, &c) in counts.iter().enumerate() {
+            if acc + c >= need {
+                pivot_bucket = b;
+                break;
+            }
+            acc += c;
+        }
+        // Everything strictly below the pivot bucket is in the answer.
+        let mut next_live = Vec::with_capacity(counts[pivot_bucket]);
+        for n in &live {
+            let b = bucket_of(n.dist);
+            if b < pivot_bucket {
+                result.push(*n);
+            } else if b == pivot_bucket {
+                next_live.push(*n);
+            }
+        }
+        need -= acc;
+        live = next_live;
+    }
+    sort_neighbors(&mut result);
+    result.truncate(k);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn matches_oracle_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(201);
+        for &n in &[10usize, 100, 5000] {
+            for &k in &[1usize, 5, 64] {
+                let d: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+                let got: Vec<f32> = bucket_select(&d, k).iter().map(|x| x.dist).collect();
+                assert_eq!(got, oracle(&d, k.min(n)), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_duplicates() {
+        let mut d = vec![0.5f32; 1000];
+        d[123] = 0.1;
+        d[456] = 0.2;
+        let got: Vec<f32> = bucket_select(&d, 4).iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![0.1, 0.2, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn all_equal() {
+        let d = vec![1.0f32; 100];
+        assert_eq!(bucket_select(&d, 7).len(), 7);
+    }
+
+    #[test]
+    fn adversarial_skew() {
+        // Exponentially skewed values stress the equal-width buckets.
+        let d: Vec<f32> = (0..2000).map(|i| (1.001f32).powi(i) - 1.0).collect();
+        let got: Vec<f32> = bucket_select(&d, 10).iter().map(|x| x.dist).collect();
+        assert_eq!(got, oracle(&d, 10));
+    }
+}

@@ -1,0 +1,159 @@
+//! Clustered-Sort (Pan & Manocha — GIS 2011), the paper's §II-C
+//! "Selection by Sorting" representative: combine the distance lists of
+//! *many* queries into one keyed array and sort them together, so the
+//! fixed overhead of a big sort is amortised across queries.
+//!
+//! Keys pack `(query id << 32) | distance bits` — for non-negative
+//! finite floats the IEEE bit pattern orders like the value, so one
+//! 64-bit sort clusters each query's elements contiguously in ascending
+//! distance order. The sort is a from-scratch LSD radix sort (8-bit
+//! digits), the standard GPU-friendly choice.
+
+use kselect::types::Neighbor;
+
+/// Sort `(key, payload)` pairs by key with an LSD radix sort
+/// (eight 8-bit passes). Stable; O(8·(n + 256)).
+pub fn radix_sort_u64(keys: &mut Vec<u64>, payload: &mut Vec<u32>) {
+    debug_assert_eq!(keys.len(), payload.len());
+    let n = keys.len();
+    let mut keys_tmp = vec![0u64; n];
+    let mut pay_tmp = vec![0u32; n];
+    for pass in 0..8 {
+        let shift = pass * 8;
+        // Skip passes whose digit is constant (common for the high query
+        // bits when few queries are batched).
+        let first_digit = keys.first().map(|k| (k >> shift) & 0xFF);
+        if let Some(fd) = first_digit {
+            if keys.iter().all(|k| (k >> shift) & 0xFF == fd) {
+                continue;
+            }
+        }
+        let mut counts = [0usize; 256];
+        for &k in keys.iter() {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0;
+        for d in 0..256 {
+            offsets[d] = acc;
+            acc += counts[d];
+        }
+        for (&k, &p) in keys.iter().zip(payload.iter()) {
+            let d = ((k >> shift) & 0xFF) as usize;
+            keys_tmp[offsets[d]] = k;
+            pay_tmp[offsets[d]] = p;
+            offsets[d] += 1;
+        }
+        std::mem::swap(keys, &mut keys_tmp);
+        std::mem::swap(payload, &mut pay_tmp);
+    }
+}
+
+/// k-NN selection for a batch of queries by one combined sort.
+///
+/// # Panics
+/// When any distance is negative or NaN, or when a row has more than
+/// `u32::MAX` elements.
+pub fn clustered_sort_select(rows: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> {
+    assert!(k > 0);
+    assert!(rows.len() < (1 << 31), "too many queries to pack");
+    let total: usize = rows.iter().map(Vec::len).sum();
+    let mut keys = Vec::with_capacity(total);
+    let mut payload = Vec::with_capacity(total);
+    for (qi, row) in rows.iter().enumerate() {
+        for (e, &d) in row.iter().enumerate() {
+            assert!(d >= 0.0 && !d.is_nan(), "clustered sort needs non-negative distances");
+            keys.push(((qi as u64) << 32) | u64::from(d.to_bits()));
+            payload.push(e as u32);
+        }
+    }
+    radix_sort_u64(&mut keys, &mut payload);
+    // Walk the sorted array; each query's elements are contiguous and
+    // ascending, so the first k per query are its k-NN.
+    let mut out: Vec<Vec<Neighbor>> = vec![Vec::with_capacity(k); rows.len()];
+    for (&key, &id) in keys.iter().zip(payload.iter()) {
+        let qi = (key >> 32) as usize;
+        if out[qi].len() < k {
+            out[qi].push(Neighbor::new(f32::from_bits(key as u32), id));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn radix_sort_matches_std() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(251);
+        let mut keys: Vec<u64> = (0..5000).map(|_| rng.gen()).collect();
+        let mut payload: Vec<u32> = (0..5000).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        radix_sort_u64(&mut keys, &mut payload);
+        assert_eq!(keys, expect);
+    }
+
+    #[test]
+    fn radix_sort_is_stable() {
+        // Equal keys keep their original payload order.
+        let mut keys = vec![5u64, 3, 5, 3, 5];
+        let mut payload = vec![0u32, 1, 2, 3, 4];
+        radix_sort_u64(&mut keys, &mut payload);
+        assert_eq!(keys, vec![3, 3, 5, 5, 5]);
+        assert_eq!(payload, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn radix_sort_empty_and_single() {
+        let mut k: Vec<u64> = vec![];
+        let mut p: Vec<u32> = vec![];
+        radix_sort_u64(&mut k, &mut p);
+        assert!(k.is_empty());
+        let mut k = vec![42u64];
+        let mut p = vec![7u32];
+        radix_sort_u64(&mut k, &mut p);
+        assert_eq!((k[0], p[0]), (42, 7));
+    }
+
+    #[test]
+    fn batch_selection_matches_per_query_oracle() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(252);
+        let rows: Vec<Vec<f32>> = (0..37)
+            .map(|_| (0..500).map(|_| rng.gen()).collect())
+            .collect();
+        let got = clustered_sort_select(&rows, 12);
+        assert_eq!(got.len(), 37);
+        for (qi, row) in rows.iter().enumerate() {
+            let gd: Vec<f32> = got[qi].iter().map(|n| n.dist).collect();
+            assert_eq!(gd, oracle(row, 12), "query {qi}");
+            for nb in &got[qi] {
+                assert_eq!(row[nb.id as usize], nb.dist);
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_rows_supported() {
+        let rows = vec![vec![3.0, 1.0], vec![0.5], vec![9.0, 2.0, 4.0, 0.25]];
+        let got = clustered_sort_select(&rows, 2);
+        assert_eq!(got[0].iter().map(|n| n.dist).collect::<Vec<_>>(), vec![1.0, 3.0]);
+        assert_eq!(got[1].iter().map(|n| n.dist).collect::<Vec<_>>(), vec![0.5]);
+        assert_eq!(got[2].iter().map(|n| n.dist).collect::<Vec<_>>(), vec![0.25, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        clustered_sort_select(&[vec![f32::NAN]], 1);
+    }
+}

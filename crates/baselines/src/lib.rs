@@ -1,0 +1,33 @@
+//! # baselines — comparison k-selection algorithms
+//!
+//! The algorithms the paper measures against (Table I) plus the wider
+//! §II-C taxonomy:
+//!
+//! * [`tbs`] — Truncated Bitonic Sort (Sismanis et al.), divide-and-merge
+//!   by sorting networks; native + simulated warp kernel.
+//! * [`qms`] — Quick Multi-Select (Komarov et al.), partition-based;
+//!   native + simulated warp kernel.
+//! * [`bucket`] / [`radix`] — Bucket Select and Radix Select
+//!   (Alabi et al.), partition-based selection by value range / bit digit.
+//! * [`sample`] — Sample Select (Monroe et al.), randomized pivot bracket.
+//! * [`clustered`] — Clustered-Sort (Pan & Manocha), batched selection by
+//!   one combined radix sort.
+//! * [`sort_select()`] — selection by full sorting, the context baseline.
+
+pub mod bucket;
+pub mod clustered;
+pub mod qms;
+pub mod sample;
+pub mod radix;
+pub mod sort_select;
+pub mod tbs;
+pub mod warpselect;
+
+pub use bucket::bucket_select;
+pub use clustered::clustered_sort_select;
+pub use sample::sample_select;
+pub use qms::{gpu_qms_select, qms_select};
+pub use radix::radix_select;
+pub use sort_select::sort_select;
+pub use tbs::{gpu_tbs_block_select, gpu_tbs_select, tbs_select};
+pub use warpselect::gpu_warp_select;

@@ -1,0 +1,398 @@
+//! **Quick Multi-Select** (Komarov, Dashti, D'Souza — PLoS ONE 2014),
+//! the paper's second state-of-the-art comparator ("QMS" in Table I).
+//!
+//! Partition-based selection: repeatedly pick a pivot, three-way
+//! partition the live segment, and recurse into the side containing the
+//! k-th smallest. Expected O(N) work per query — attractive for large N —
+//! but on SIMT hardware the lanes' segments shrink at different rates, so
+//! the warp serializes on its slowest lane, and the scatter writes of the
+//! partition pass are uncoalesced. Like the published QMS, the result is
+//! the *unsorted* set of the k nearest (the paper notes sorting it costs
+//! extra; our extraction sorts host-side for verification only).
+//!
+//! Native implementation (`qms_select`, via `select_nth_unstable`) plus a
+//! simulated warp kernel (`gpu_qms_select`) with ping-pong lane-local
+//! partition buffers.
+
+use kselect::gpu::DistanceMatrix;
+use kselect::types::{sort_neighbors, Neighbor, INF, NO_ID};
+use simt::mem::LaneLocal;
+use simt::{lanes_from_fn, launch, splat, GpuSpec, Mask, Metrics, WarpCtx, WARP_SIZE};
+
+/// Native quickselect-based k smallest (sorted ascending for easy
+/// comparison; the selection itself is unordered, as in QMS).
+pub fn qms_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
+    assert!(k > 0);
+    let mut v: Vec<Neighbor> = dists
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| Neighbor::new(d, i as u32))
+        .collect();
+    if k < v.len() {
+        v.select_nth_unstable_by(k - 1, |a, b| {
+            a.dist
+                .partial_cmp(&b.dist)
+                .unwrap_or(core::cmp::Ordering::Equal)
+        });
+        v.truncate(k);
+    }
+    sort_neighbors(&mut v);
+    v
+}
+
+/// Simulated Quick Multi-Select over a [`DistanceMatrix`]: one lane per
+/// query, iterative three-way partitioning in ping-pong lane-local
+/// buffers. Returns per-query neighbors (sorted host-side) and metrics.
+pub fn gpu_qms_select(
+    spec: &GpuSpec,
+    dm: &DistanceMatrix,
+    k: usize,
+) -> (Vec<Vec<Neighbor>>, Metrics) {
+    assert!(k > 0 && k <= dm.n());
+    let n_warps = dm.q().div_ceil(WARP_SIZE);
+    let (per_warp, metrics) = launch(spec, n_warps, |warp_id, ctx| {
+        qms_warp(ctx, warp_id, dm, k)
+    });
+    (per_warp.into_iter().flatten().collect(), metrics)
+}
+
+fn qms_warp(ctx: &mut WarpCtx, warp_id: usize, dm: &DistanceMatrix, k: usize) -> Vec<Vec<Neighbor>> {
+    let n = dm.n();
+    let q_base = warp_id * WARP_SIZE;
+    let live_lanes = dm.q().saturating_sub(q_base).min(WARP_SIZE);
+    let warp = Mask::first(live_lanes);
+
+    // Ping-pong partition buffers and the result accumulator.
+    let mut da = LaneLocal::new(n, INF);
+    let mut ia = LaneLocal::new(n, NO_ID);
+    let mut db = LaneLocal::new(n, INF);
+    let mut ib = LaneLocal::new(n, NO_ID);
+    let mut rd = LaneLocal::new(k, INF);
+    let mut ri = LaneLocal::new(k, NO_ID);
+
+    // Load each lane's column into buffer A (coalesced).
+    for e in 0..n {
+        let idx = lanes_from_fn(|l| e * dm.q() + (q_base + l).min(dm.q() - 1));
+        let v = dm.buf().read(ctx, warp, &idx);
+        da.write_uniform(ctx, warp, e, &v);
+        ia.write_uniform(ctx, warp, e, &splat(e as u32));
+    }
+
+    let mut seg_len: [usize; WARP_SIZE] = [n; WARP_SIZE];
+    let mut need: [usize; WARP_SIZE] = [k; WARP_SIZE];
+    let mut res_fill: [usize; WARP_SIZE] = [0; WARP_SIZE];
+    let mut live = warp;
+    let mut in_a = true;
+
+    while live.any_lane() {
+        ctx.loop_head(live);
+        let (src_d, src_i, dst_d, dst_i) = if in_a {
+            (&mut da, &mut ia, &mut db, &mut ib)
+        } else {
+            (&mut db, &mut ib, &mut da, &mut ia)
+        };
+        // Lanes whose whole segment is needed copy it out and finish.
+        ctx.op(live, 1);
+        let take_all = lanes_from_fn(|l| need[l] >= seg_len[l]);
+        let (done, part) = ctx.diverge(live, take_all);
+        if done.any_lane() {
+            let max_len = done.lanes().map(|l| seg_len[l]).max().unwrap_or(0);
+            for j in 0..max_len {
+                let m = done.filter(|l| j < seg_len[l]);
+                if !m.any_lane() {
+                    continue;
+                }
+                let v = src_d.read_uniform(ctx, m, j);
+                let id = src_i.read_uniform(ctx, m, j);
+                // res_fill + j < k for active lanes: j < seg_len ≤ need
+                // and res_fill + need == k. Inactive lanes' indices are
+                // never dereferenced.
+                let widx = lanes_from_fn(|l| (res_fill[l] + j).min(k - 1));
+                rd.write(ctx, m, &widx, &v);
+                ri.write(ctx, m, &widx, &id);
+            }
+            for l in done.lanes() {
+                res_fill[l] += seg_len[l];
+            }
+        }
+        live = part;
+        if !live.any_lane() {
+            break;
+        }
+        // Median-of-three pivot from first/middle/last of the segment.
+        let first = src_d.read_uniform(ctx, live, 0);
+        let mid_idx = lanes_from_fn(|l| seg_len[l] / 2);
+        let mid = src_d.read(ctx, live, &mid_idx);
+        let last_idx = lanes_from_fn(|l| seg_len[l] - 1);
+        let last = src_d.read(ctx, live, &last_idx);
+        ctx.op(live, 3);
+        let pivot = lanes_from_fn(|l| median3(first[l], mid[l], last[l]));
+
+        // Three-way partition pass: lows to the front of dst, highs to the
+        // back; equals counted, materialised only if they complete k.
+        let mut lo: [usize; WARP_SIZE] = [0; WARP_SIZE];
+        let mut eq: [usize; WARP_SIZE] = [0; WARP_SIZE];
+        let mut hi: [usize; WARP_SIZE] = [0; WARP_SIZE];
+        let max_len = live.lanes().map(|l| seg_len[l]).max().unwrap_or(0);
+        for j in 0..max_len {
+            let m = live.filter(|l| j < seg_len[l]);
+            if !m.any_lane() {
+                continue;
+            }
+            let v = src_d.read_uniform(ctx, m, j);
+            let id = src_i.read_uniform(ctx, m, j);
+            ctx.op(m, 2); // classify
+            let lows = m.filter(|l| v[l] < pivot[l]);
+            let highs = m.filter(|l| v[l] > pivot[l]);
+            let equals = (m - lows) - highs;
+            if lows.any_lane() {
+                let widx = lanes_from_fn(|l| lo[l]);
+                dst_d.write(ctx, lows, &widx, &v);
+                dst_i.write(ctx, lows, &widx, &id);
+                for l in lows.lanes() {
+                    lo[l] += 1;
+                }
+            }
+            if highs.any_lane() {
+                let widx = lanes_from_fn(|l| seg_len[l] - 1 - hi[l]);
+                dst_d.write(ctx, highs, &widx, &v);
+                dst_i.write(ctx, highs, &widx, &id);
+                for l in highs.lanes() {
+                    hi[l] += 1;
+                }
+            }
+            for l in equals.lanes() {
+                eq[l] += 1;
+            }
+        }
+        // Decide the next segment per lane.
+        ctx.op(live, 2);
+        let recurse_low = lanes_from_fn(|l| need[l] < lo[l]);
+        let finish_eq = lanes_from_fn(|l| !recurse_low[l] && need[l] <= lo[l] + eq[l]);
+        let low_m = live.and_lanes(&recurse_low);
+        let eq_m = live.and_lanes(&finish_eq);
+        let hi_m = (live - low_m) - eq_m;
+
+        // finish_eq lanes: all lows + enough pivot copies complete k.
+        if eq_m.any_lane() {
+            let max_lo = eq_m.lanes().map(|l| lo[l]).max().unwrap_or(0);
+            for j in 0..max_lo {
+                let m = eq_m.filter(|l| j < lo[l]);
+                if !m.any_lane() {
+                    continue;
+                }
+                let v = dst_d.read_uniform(ctx, m, j);
+                let id = dst_i.read_uniform(ctx, m, j);
+                let widx = lanes_from_fn(|l| res_fill[l] + j);
+                rd.write(ctx, m, &widx, &v);
+                ri.write(ctx, m, &widx, &id);
+            }
+            // Pivot copies: ids are unknown here in dst (equals were not
+            // materialised); recover them from src in one more pass.
+            let mut picked: [usize; WARP_SIZE] = [0; WARP_SIZE];
+            let need_eq = lanes_from_fn(|l| need[l].saturating_sub(lo[l]));
+            let max_len_eq = eq_m.lanes().map(|l| seg_len[l]).max().unwrap_or(0);
+            for j in 0..max_len_eq {
+                let m = eq_m.filter(|l| j < seg_len[l] && picked[l] < need_eq[l]);
+                if !m.any_lane() {
+                    break;
+                }
+                let v = src_d.read_uniform(ctx, m, j);
+                let id = src_i.read_uniform(ctx, m, j);
+                ctx.op(m, 1);
+                let hit = m.filter(|l| v[l] == pivot[l]);
+                if hit.any_lane() {
+                    let widx = lanes_from_fn(|l| res_fill[l] + lo[l] + picked[l]);
+                    rd.write(ctx, hit, &widx, &v);
+                    ri.write(ctx, hit, &widx, &id);
+                    for l in hit.lanes() {
+                        picked[l] += 1;
+                    }
+                }
+            }
+            for l in eq_m.lanes() {
+                res_fill[l] += need[l];
+                need[l] = 0;
+            }
+        }
+        // recurse-high lanes: lows (and equals) all belong to the answer.
+        if hi_m.any_lane() {
+            let max_lo = hi_m.lanes().map(|l| lo[l]).max().unwrap_or(0);
+            for j in 0..max_lo {
+                let m = hi_m.filter(|l| j < lo[l]);
+                if !m.any_lane() {
+                    continue;
+                }
+                let v = dst_d.read_uniform(ctx, m, j);
+                let id = dst_i.read_uniform(ctx, m, j);
+                let widx = lanes_from_fn(|l| res_fill[l] + j);
+                rd.write(ctx, m, &widx, &v);
+                ri.write(ctx, m, &widx, &id);
+            }
+            // Materialise the pivot copies from src (they all join the
+            // answer when recursing high).
+            let mut picked: [usize; WARP_SIZE] = [0; WARP_SIZE];
+            let max_len_eq = hi_m.lanes().map(|l| seg_len[l]).max().unwrap_or(0);
+            for j in 0..max_len_eq {
+                let m = hi_m.filter(|l| j < seg_len[l] && picked[l] < eq[l]);
+                if !m.any_lane() {
+                    break;
+                }
+                let v = src_d.read_uniform(ctx, m, j);
+                let id = src_i.read_uniform(ctx, m, j);
+                ctx.op(m, 1);
+                let hit = m.filter(|l| v[l] == pivot[l]);
+                if hit.any_lane() {
+                    let widx = lanes_from_fn(|l| res_fill[l] + lo[l] + picked[l]);
+                    rd.write(ctx, hit, &widx, &v);
+                    ri.write(ctx, hit, &widx, &id);
+                    for l in hit.lanes() {
+                        picked[l] += 1;
+                    }
+                }
+            }
+            for l in hi_m.lanes() {
+                res_fill[l] += lo[l] + eq[l];
+                need[l] -= lo[l] + eq[l];
+                // Move the high region to the front of the *destination*
+                // segment view: it already sits at [seg_len - hi, seg_len)
+                // of dst; treat it by logical offset via a compaction pass.
+            }
+            // Compact each hi lane's high region to the front of dst
+            // (uniform loop over the max high count).
+            let max_hi = hi_m.lanes().map(|l| hi[l]).max().unwrap_or(0);
+            for j in 0..max_hi {
+                let m = hi_m.filter(|l| j < hi[l]);
+                if !m.any_lane() {
+                    continue;
+                }
+                let ridx = lanes_from_fn(|l| seg_len[l] - hi[l] + j);
+                let v = dst_d.read(ctx, m, &ridx);
+                let id = dst_i.read(ctx, m, &ridx);
+                let widx = splat(j);
+                dst_d.write(ctx, m, &widx, &v);
+                dst_i.write(ctx, m, &widx, &id);
+            }
+            for l in hi_m.lanes() {
+                seg_len[l] = hi[l];
+            }
+        }
+        for l in low_m.lanes() {
+            seg_len[l] = lo[l];
+        }
+        // Lanes that finished via eq drop out; the rest swap buffers.
+        live = low_m | hi_m;
+        in_a = !in_a;
+    }
+
+    (0..live_lanes)
+        .map(|l| {
+            let mut v: Vec<Neighbor> = (0..k)
+                .map(|i| Neighbor::new(rd.peek(l, i), ri.peek(l, i)))
+                .filter(|n| !n.is_sentinel())
+                .collect();
+            sort_neighbors(&mut v);
+            v
+        })
+        .collect()
+}
+
+/// Median of three values.
+fn median3(a: f32, b: f32, c: f32) -> f32 {
+    a.max(b).min(a.min(b).max(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn median3_cases() {
+        assert_eq!(median3(1.0, 2.0, 3.0), 2.0);
+        assert_eq!(median3(3.0, 1.0, 2.0), 2.0);
+        assert_eq!(median3(2.0, 3.0, 1.0), 2.0);
+        assert_eq!(median3(5.0, 5.0, 1.0), 5.0);
+        assert_eq!(median3(1.0, 1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn native_matches_oracle() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(231);
+        for &n in &[3usize, 100, 5000] {
+            for &k in &[1usize, 8, 64] {
+                let d: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+                let got: Vec<f32> = qms_select(&d, k).iter().map(|x| x.dist).collect();
+                assert_eq!(got, oracle(&d, k.min(n)), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn simulated_matches_native_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(232);
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|_| (0..400).map(|_| rng.gen()).collect())
+            .collect();
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, metrics) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 16);
+        assert_eq!(res.len(), 40);
+        for (q, row) in rows.iter().enumerate() {
+            let got: Vec<f32> = res[q].iter().map(|n| n.dist).collect();
+            assert_eq!(got, oracle(row, 16), "query {q}");
+            for nb in &res[q] {
+                assert_eq!(row[nb.id as usize], nb.dist, "query {q}");
+            }
+        }
+        // Partitioning is divergence-heavy: lanes' segments shrink at
+        // different rates, so plenty of issue slots run partially masked.
+        assert!(
+            metrics.simt_efficiency() < 0.95,
+            "efficiency {:.3}",
+            metrics.simt_efficiency()
+        );
+    }
+
+    #[test]
+    fn simulated_handles_duplicates() {
+        // All-equal rows force the three-way partition's equal path.
+        let rows: Vec<Vec<f32>> = vec![vec![0.5; 200]; 32];
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, _) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 8);
+        for r in &res {
+            assert_eq!(r.len(), 8);
+            assert!(r.iter().all(|n| n.dist == 0.5));
+        }
+    }
+
+    #[test]
+    fn simulated_mixed_duplicates() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(233);
+        // Coarsely quantised values: many exact duplicates.
+        let rows: Vec<Vec<f32>> = (0..32)
+            .map(|_| (0..300).map(|_| (rng.gen::<f32>() * 8.0).floor()).collect())
+            .collect();
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, _) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 11);
+        for (q, row) in rows.iter().enumerate() {
+            let got: Vec<f32> = res[q].iter().map(|n| n.dist).collect();
+            assert_eq!(got, oracle(row, 11), "query {q}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let rows: Vec<Vec<f32>> = vec![(0..32).map(|i| i as f32).rev().collect(); 32];
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, _) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 32);
+        let got: Vec<f32> = res[0].iter().map(|n| n.dist).collect();
+        assert_eq!(got, (0..32).map(|i| i as f32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,126 @@
+//! Radix Select (Alabi et al. \[12\]) — most-significant-digit radix
+//! partitioning on the IEEE-754 bit pattern.
+//!
+//! Distances in k-NN are non-negative, and for non-negative finite floats
+//! the raw bit pattern orders identically to the value, so an 8-bit MSD
+//! histogram pass per level selects exactly like it would on integers.
+
+use kselect::types::{sort_neighbors, Neighbor};
+
+/// k smallest via MSD radix partitioning; ascending.
+///
+/// # Panics
+/// When any distance is negative or NaN (k-NN distances never are).
+pub fn radix_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
+    assert!(k > 0);
+    assert!(
+        dists.iter().all(|d| *d >= 0.0 && !d.is_nan()),
+        "radix_select requires non-negative, non-NaN distances"
+    );
+    if k >= dists.len() {
+        return crate::sort_select::sort_select(dists, k);
+    }
+    let mut live: Vec<(u32, u32)> = dists
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (d.to_bits(), i as u32))
+        .collect();
+    let mut result: Vec<Neighbor> = Vec::with_capacity(k);
+    let mut need = k;
+    // Four 8-bit digit passes, most significant first.
+    for shift in [24u32, 16, 8, 0] {
+        if need == 0 {
+            break;
+        }
+        let mut counts = [0usize; 256];
+        for &(bits, _) in &live {
+            counts[((bits >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut acc = 0;
+        let mut pivot_digit = 255usize;
+        for (d, &c) in counts.iter().enumerate() {
+            if acc + c >= need {
+                pivot_digit = d;
+                break;
+            }
+            acc += c;
+        }
+        let mut next_live = Vec::with_capacity(counts[pivot_digit]);
+        for &(bits, id) in &live {
+            let d = ((bits >> shift) & 0xFF) as usize;
+            if d < pivot_digit {
+                result.push(Neighbor::new(f32::from_bits(bits), id));
+            } else if d == pivot_digit {
+                next_live.push((bits, id));
+            }
+        }
+        need -= acc;
+        live = next_live;
+    }
+    // After all four digits, remaining live values are bit-identical:
+    // any `need` of them complete the answer.
+    result.extend(
+        live.iter()
+            .take(need)
+            .map(|&(bits, id)| Neighbor::new(f32::from_bits(bits), id)),
+    );
+    sort_neighbors(&mut result);
+    result.truncate(k);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn bit_pattern_order_assumption() {
+        // Non-negative floats order by their bit patterns.
+        let mut vals = vec![0.0f32, 1e-20, 0.1, 0.5, 1.0, 2.0, 1e10, f32::INFINITY];
+        let mut by_bits = vals.clone();
+        by_bits.sort_by_key(|v| v.to_bits());
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(vals, by_bits);
+    }
+
+    #[test]
+    fn matches_oracle_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(211);
+        for &n in &[16usize, 1000, 8192] {
+            for &k in &[1usize, 7, 128] {
+                let d: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+                let got: Vec<f32> = radix_select(&d, k).iter().map(|x| x.dist).collect();
+                assert_eq!(got, oracle(&d, k.min(n)), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_duplicates_across_boundary() {
+        let mut d = vec![0.25f32; 50];
+        d[10] = 0.1;
+        let got: Vec<f32> = radix_select(&d, 3).iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![0.1, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn zeros_and_denormals() {
+        let d = vec![0.0, f32::MIN_POSITIVE / 2.0, 1.0, 0.0];
+        let got: Vec<f32> = radix_select(&d, 3).iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![0.0, 0.0, f32::MIN_POSITIVE / 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_rejected() {
+        radix_select(&[-1.0, 2.0], 1);
+    }
+}

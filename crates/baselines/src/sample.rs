@@ -1,0 +1,139 @@
+//! Sample Select (Monroe, Wendelberger, Michalak — HPG 2011,
+//! "Randomized Selection on the GPU"), cited by the paper's §II-C as the
+//! partition-based method that "chooses the best pivot by taking
+//! samples".
+//!
+//! One pass: draw a random sample, sort it, and pick two order
+//! statistics that bracket the k-th smallest with high probability.
+//! Elements below the lower pivot are kept, elements inside the bracket
+//! are retained as candidates, everything above is discarded; if the
+//! bracket misses (rare), fall back to an exact pass over the survivors
+//! or a re-run with a wider bracket.
+
+use kselect::types::{sort_neighbors, Neighbor};
+use rand::{Rng, SeedableRng};
+
+/// Deterministic seed used when the caller does not provide one.
+const DEFAULT_SEED: u64 = 0x5A3F_1E55;
+
+/// k smallest via randomized sampling; ascending. Deterministic for a
+/// given input (internal fixed seed — selection quality does not depend
+/// on secrecy).
+pub fn sample_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
+    sample_select_seeded(dists, k, DEFAULT_SEED)
+}
+
+/// [`sample_select`] with an explicit RNG seed (exposed for tests).
+pub fn sample_select_seeded(dists: &[f32], k: usize, seed: u64) -> Vec<Neighbor> {
+    assert!(k > 0);
+    let n = dists.len();
+    if k >= n || n < 1024 {
+        return crate::sort_select::sort_select(dists, k);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Sample size ~ 8·√N bounded to the list; large enough that the
+    // bracket almost always contains the k-th order statistic.
+    let s = ((8.0 * (n as f64).sqrt()) as usize).clamp(64, n);
+    let mut sample: Vec<f32> = (0..s).map(|_| dists[rng.gen_range(0..n)]).collect();
+    sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // Expected rank of the k-th smallest within the sample, with a
+    // safety margin of a few standard deviations.
+    let expected = k as f64 / n as f64 * s as f64;
+    let margin = 4.0 * (expected.max(1.0)).sqrt() + 8.0;
+    let lo_idx = ((expected - margin).floor().max(0.0)) as usize;
+    let hi_idx = (((expected + margin).ceil()) as usize).min(s - 1);
+    let lo_pivot = sample[lo_idx];
+    let hi_pivot = sample[hi_idx];
+
+    // One partition pass.
+    let mut below: Vec<Neighbor> = Vec::new();
+    let mut bracket: Vec<Neighbor> = Vec::new();
+    for (i, &d) in dists.iter().enumerate() {
+        if d < lo_pivot {
+            below.push(Neighbor::new(d, i as u32));
+        } else if d <= hi_pivot {
+            bracket.push(Neighbor::new(d, i as u32));
+        }
+    }
+    if below.len() >= k || below.len() + bracket.len() < k {
+        // Bracket missed (probability vanishes with the margin): exact
+        // fallback over the full list keeps the algorithm total.
+        return crate::sort_select::sort_select(dists, k);
+    }
+    // Final: all of `below` + the (k - |below|) smallest of the bracket.
+    let need = k - below.len();
+    let bracket_vals: Vec<f32> = bracket.iter().map(|nb| nb.dist).collect();
+    let mut best = crate::sort_select::sort_select(&bracket_vals, need);
+    for nb in &mut best {
+        nb.id = bracket[nb.id as usize].id;
+    }
+    below.extend(best);
+    sort_neighbors(&mut below);
+    below.truncate(k);
+    below
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn matches_oracle_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(241);
+        for &n in &[100usize, 2000, 20_000] {
+            for &k in &[1usize, 16, 256] {
+                let d: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+                let got: Vec<f32> = sample_select(&d, k).iter().map(|x| x.dist).collect();
+                assert_eq!(got, oracle(&d, k.min(n)), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn robust_across_seeds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(242);
+        let d: Vec<f32> = (0..10_000).map(|_| rng.gen()).collect();
+        let expect = oracle(&d, 64);
+        for seed in 0..20 {
+            let got: Vec<f32> = sample_select_seeded(&d, 64, seed)
+                .iter()
+                .map(|x| x.dist)
+                .collect();
+            assert_eq!(got, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let mut d = vec![0.5f32; 5000];
+        for i in 0..10 {
+            d[i * 97] = 0.1 * i as f32 / 10.0;
+        }
+        let got: Vec<f32> = sample_select(&d, 20).iter().map(|x| x.dist).collect();
+        assert_eq!(got, oracle(&d, 20));
+    }
+
+    #[test]
+    fn ids_track_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(243);
+        let d: Vec<f32> = (0..5000).map(|_| rng.gen()).collect();
+        for nb in sample_select(&d, 32) {
+            assert_eq!(d[nb.id as usize], nb.dist);
+        }
+    }
+
+    #[test]
+    fn small_inputs_use_exact_path() {
+        let d = vec![3.0, 1.0, 2.0];
+        let got: Vec<f32> = sample_select(&d, 2).iter().map(|x| x.dist).collect();
+        assert_eq!(got, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Selection by full sorting ("SS" in the paper's §II-C taxonomy).
+//!
+//! Sort the whole list, take the first k. O(N log N) — only sensible when
+//! the sorted list is reused across queries, which k-NN does not do; it is
+//! the context baseline every selection method must beat.
+
+use kselect::types::{Neighbor, sort_neighbors};
+
+/// k smallest by fully sorting a copy of the list; ascending.
+pub fn sort_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
+    let mut v: Vec<Neighbor> = dists
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| Neighbor::new(d, i as u32))
+        .collect();
+    sort_neighbors(&mut v);
+    v.truncate(k);
+    v
+}
+
+/// Comparator count of a full bitonic sort of length `n` rounded up to a
+/// power of two — the analytic cost of doing SS on the GPU.
+pub fn bitonic_sort_comparators(n: usize) -> u64 {
+    let n = n.next_power_of_two() as u64;
+    let stages = n.trailing_zeros() as u64;
+    // sum over k-stages of k comparator stages of n/2 each
+    (n / 2) * stages * (stages + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_k_smallest() {
+        let got = sort_select(&[5.0, 1.0, 3.0, 2.0, 4.0], 3);
+        let d: Vec<f32> = got.iter().map(|n| n.dist).collect();
+        assert_eq!(d, vec![1.0, 2.0, 3.0]);
+        assert_eq!(got[0].id, 1);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        assert_eq!(sort_select(&[2.0, 1.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn comparator_count_formula() {
+        // n = 8: stages k=2,4,8 contribute 1+2+3 passes of 4 comparators.
+        assert_eq!(bitonic_sort_comparators(8), 4 * 6);
+        assert_eq!(bitonic_sort_comparators(7), 4 * 6); // padded
+    }
+}

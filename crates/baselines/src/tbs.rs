@@ -1,0 +1,396 @@
+//! **Truncated Bitonic Sort** (Sismanis, Pitsianis, Sun — HPEC 2012),
+//! the paper's first state-of-the-art comparator ("TBS" in Table I).
+//!
+//! Divide-and-merge: split the list into chunks of `2k'` (k rounded up to
+//! a power of two), bitonic-sort each chunk ascending, keep each chunk's k'
+//! smallest, then pairwise-merge the k'-runs with bitonic merges
+//! (truncating back to k' after each merge) in a tournament until one run
+//! remains. All work is sorting networks — perfectly SIMT-regular, but
+//! ~`N·log²(2k)/2` comparators of it, which is why the paper's queues
+//! (that *skip* most elements) beat it.
+//!
+//! Both a native implementation (oracle + CPU baseline) and a simulated
+//! warp kernel (lane-per-query over `LaneLocal` scratch) are provided.
+//! The published TBS code supports k ≤ 512; this implementation has no
+//! such limit, but the harness marks k = 1024 the way the paper does.
+
+use kselect::bitonic::{bitonic_sort_schedule, reverse_bitonic_merge_schedule, Comparator};
+use kselect::gpu::DistanceMatrix;
+use kselect::types::{Neighbor, INF, NO_ID};
+use simt::mem::LaneLocal;
+use simt::{lanes_from_fn, launch, splat, GpuSpec, Mask, Metrics, WarpCtx, WARP_SIZE};
+
+/// Run an *ascending* comparator schedule (pairs interpreted as
+/// "ensure v[a] ≤ v[b]") over an offset window of dist/id slices.
+fn run_ascending(schedule: &[Comparator], off: usize, dist: &mut [f32], id: &mut [u32]) {
+    for &(a, b) in schedule {
+        let (a, b) = (off + a, off + b);
+        if dist[a] > dist[b] {
+            dist.swap(a, b);
+            id.swap(a, b);
+        }
+    }
+}
+
+/// Native Truncated Bitonic Sort selection; returns the k smallest,
+/// ascending.
+pub fn tbs_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
+    assert!(k > 0);
+    let kk = k.next_power_of_two();
+    let chunk = 2 * kk;
+    let padded = dists.len().max(chunk).div_ceil(chunk) * chunk;
+    let mut d = vec![INF; padded];
+    let mut id = vec![NO_ID; padded];
+    for (i, &v) in dists.iter().enumerate() {
+        d[i] = v;
+        id[i] = i as u32;
+    }
+    let sort_sched = bitonic_sort_schedule(chunk);
+    let merge_sched = reverse_bitonic_merge_schedule(chunk);
+    // Phase 1: sort every chunk ascending; its k' smallest sit in front.
+    let n_chunks = padded / chunk;
+    for c in 0..n_chunks {
+        run_ascending(&sort_sched, c * chunk, &mut d, &mut id);
+    }
+    // Phase 2: tournament of truncated merges.
+    let mut stride = chunk;
+    let mut runs = n_chunks;
+    while runs > 1 {
+        for pair in 0..runs / 2 {
+            let a = 2 * pair * stride;
+            let b = a + stride;
+            // Bring run B's k' elements adjacent to run A's k'.
+            for i in 0..kk {
+                d[a + kk + i] = d[b + i];
+                id[a + kk + i] = id[b + i];
+            }
+            run_ascending(&merge_sched, a, &mut d, &mut id);
+        }
+        if runs % 2 == 1 {
+            // Odd run out: move it up to pair in the next round.
+            let src = (runs - 1) * stride;
+            let dst = (runs / 2) * 2 * stride;
+            if src != dst {
+                for i in 0..kk {
+                    d[dst + i] = d[src + i];
+                    id[dst + i] = id[src + i];
+                }
+            }
+        }
+        runs = runs.div_ceil(2);
+        stride *= 2;
+    }
+    (0..k.min(dists.len()))
+        .map(|i| Neighbor::new(d[i], id[i]))
+        .collect()
+}
+
+/// Simulated TBS over a [`DistanceMatrix`]: one lane per query. All
+/// comparator traffic is at uniform indices (coalesced, divergence-free) —
+/// the algorithm's strength; its weakness is the sheer comparator count.
+pub fn gpu_tbs_select(
+    spec: &GpuSpec,
+    dm: &DistanceMatrix,
+    k: usize,
+) -> (Vec<Vec<Neighbor>>, Metrics) {
+    assert!(k > 0 && k <= dm.n());
+    let kk = k.next_power_of_two();
+    let chunk = 2 * kk;
+    let padded = dm.n().max(chunk).div_ceil(chunk) * chunk;
+    let sort_sched = bitonic_sort_schedule(chunk);
+    let merge_sched = reverse_bitonic_merge_schedule(chunk);
+    let n_warps = dm.q().div_ceil(WARP_SIZE);
+
+    let (per_warp, metrics) = launch(spec, n_warps, |warp_id, ctx| {
+        let q_base = warp_id * WARP_SIZE;
+        let live = dm.q().saturating_sub(q_base).min(WARP_SIZE);
+        let warp = Mask::first(live);
+        let mut d = LaneLocal::new(padded, INF);
+        let mut id = LaneLocal::new(padded, NO_ID);
+        // Load the lane's column (coalesced) into scratch.
+        for e in 0..dm.n() {
+            let idx = lanes_from_fn(|l| e * dm.q() + (q_base + l).min(dm.q() - 1));
+            let v = dm.buf().read(ctx, warp, &idx);
+            d.write_uniform(ctx, warp, e, &v);
+            id.write_uniform(ctx, warp, e, &splat(e as u32));
+        }
+        let n_chunks = padded / chunk;
+        for c in 0..n_chunks {
+            run_network(ctx, warp, &sort_sched, c * chunk, &mut d, &mut id);
+        }
+        let mut stride = chunk;
+        let mut runs = n_chunks;
+        while runs > 1 {
+            for pair in 0..runs / 2 {
+                let a = 2 * pair * stride;
+                let b = a + stride;
+                for i in 0..kk {
+                    let v = d.read_uniform(ctx, warp, b + i);
+                    let j = id.read_uniform(ctx, warp, b + i);
+                    d.write_uniform(ctx, warp, a + kk + i, &v);
+                    id.write_uniform(ctx, warp, a + kk + i, &j);
+                }
+                run_network(ctx, warp, &merge_sched, a, &mut d, &mut id);
+            }
+            if runs % 2 == 1 {
+                let src = (runs - 1) * stride;
+                let dst = (runs / 2) * 2 * stride;
+                if src != dst {
+                    for i in 0..kk {
+                        let v = d.read_uniform(ctx, warp, src + i);
+                        let j = id.read_uniform(ctx, warp, src + i);
+                        d.write_uniform(ctx, warp, dst + i, &v);
+                        id.write_uniform(ctx, warp, dst + i, &j);
+                    }
+                }
+            }
+            runs = runs.div_ceil(2);
+            stride *= 2;
+        }
+        // Host-side extraction of each lane's k results.
+        (0..live)
+            .map(|l| {
+                (0..k.min(dm.n()))
+                    .map(|i| Neighbor::new(d.peek(l, i), id.peek(l, i)))
+                    .filter(|n| !n.is_sentinel())
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+    });
+    (per_warp.into_iter().flatten().collect(), metrics)
+}
+
+/// Execute a comparator network at `off` in lane-local scratch: uniform
+/// indices, branch-free compare-exchange.
+fn run_network(
+    ctx: &mut WarpCtx,
+    warp: Mask,
+    schedule: &[Comparator],
+    off: usize,
+    d: &mut LaneLocal<f32>,
+    id: &mut LaneLocal<u32>,
+) {
+    for &(a, b) in schedule {
+        let (a, b) = (off + a, off + b);
+        let va = d.read_uniform(ctx, warp, a);
+        let vb = d.read_uniform(ctx, warp, b);
+        let ia = id.read_uniform(ctx, warp, a);
+        let ib = id.read_uniform(ctx, warp, b);
+        ctx.op(warp, 2);
+        // ascending: ensure d[a] <= d[b]
+        let swap = lanes_from_fn(|l| va[l] > vb[l]);
+        let na = lanes_from_fn(|l| if swap[l] { vb[l] } else { va[l] });
+        let nb = lanes_from_fn(|l| if swap[l] { va[l] } else { vb[l] });
+        let nia = lanes_from_fn(|l| if swap[l] { ib[l] } else { ia[l] });
+        let nib = lanes_from_fn(|l| if swap[l] { ia[l] } else { ib[l] });
+        d.write_uniform(ctx, warp, a, &na);
+        d.write_uniform(ctx, warp, b, &nb);
+        id.write_uniform(ctx, warp, a, &nia);
+        id.write_uniform(ctx, warp, b, &nib);
+    }
+}
+
+/// Simulated **block-cooperative** TBS — the mapping of the published
+/// implementation: one warp works on *one* query, the chunk lives in
+/// shared memory, and each network stage's comparators execute 32 at a
+/// time across the lanes. This is the variant Table I compares against;
+/// [`gpu_tbs_select`] (lane-per-query) is kept as a mapping ablation.
+///
+/// The distance matrix is assumed stored query-major per row for this
+/// mapping (each query's row contiguous), so chunk loads coalesce.
+pub fn gpu_tbs_block_select(
+    spec: &GpuSpec,
+    dm: &DistanceMatrix,
+    k: usize,
+) -> (Vec<Vec<Neighbor>>, Metrics) {
+    use kselect::bitonic::{bitonic_sort_stages, reverse_bitonic_merge_stages};
+
+    assert!(k > 0 && k <= dm.n());
+    let kk = k.next_power_of_two();
+    let chunk = 2 * kk;
+    let n = dm.n();
+    let padded = n.max(chunk).div_ceil(chunk) * chunk;
+    let sort_stages = bitonic_sort_stages(chunk);
+    let merge_stages = reverse_bitonic_merge_stages(chunk);
+    // One warp per query.
+    let (per_warp, metrics) = launch(spec, dm.q(), |query, ctx| {
+        // Working copy (host data; costs charged explicitly).
+        let mut d = vec![INF; padded];
+        let mut id = vec![NO_ID; padded];
+        for e in 0..n {
+            d[e] = dm.value(query, e);
+            id[e] = e as u32;
+        }
+        // Cooperative 32-wide loop over `count` items charging `ops` ALU
+        // ops per item group plus the given shared accesses.
+        let mut coop = |ctx: &mut WarpCtx, count: usize, ops: u64, shared: u64| {
+            let mut left = count;
+            while left > 0 {
+                let lanes = left.min(WARP_SIZE);
+                let m = Mask::first(lanes);
+                ctx.op(m, ops);
+                for _ in 0..shared {
+                    ctx.record_shared(m, 1);
+                }
+                left -= lanes;
+            }
+        };
+        // Load + stage each chunk into shared memory (coalesced global
+        // reads: 32 contiguous floats per transaction).
+        for base in (0..padded).step_by(WARP_SIZE) {
+            let lanes = WARP_SIZE.min(padded - base);
+            let m = Mask::first(lanes);
+            ctx.record_global(m, 1, lanes as u64 * 4);
+            ctx.record_shared(m, 1); // store to shared
+        }
+        // Run the cooperative comparator network per chunk, then
+        // tournament-merge the truncated runs — executing the *data*
+        // movement on the host arrays and charging the warp for it.
+        let run_stages =
+            |ctx: &mut WarpCtx, coop: &mut dyn FnMut(&mut WarpCtx, usize, u64, u64),
+             stages: &[Vec<(usize, usize)>], off: usize, d: &mut [f32], id: &mut [u32]| {
+                for stage in stages {
+                    // per comparator: 4 shared reads + compare + 4 writes
+                    coop(ctx, stage.len(), 2, 8);
+                    for &(a, b) in stage {
+                        let (a, b) = (off + a, off + b);
+                        // ascending
+                        if d[a] > d[b] {
+                            d.swap(a, b);
+                            id.swap(a, b);
+                        }
+                    }
+                    ctx.sync();
+                }
+            };
+        for c in 0..padded / chunk {
+            run_stages(ctx, &mut coop, &sort_stages, c * chunk, &mut d, &mut id);
+        }
+        let mut stride = chunk;
+        let mut runs = padded / chunk;
+        while runs > 1 {
+            for pair in 0..runs / 2 {
+                let a = 2 * pair * stride;
+                let b = a + stride;
+                coop(ctx, kk, 0, 2); // cooperative copy of run B
+                for i in 0..kk {
+                    d[a + kk + i] = d[b + i];
+                    id[a + kk + i] = id[b + i];
+                }
+                run_stages(ctx, &mut coop, &merge_stages, a, &mut d, &mut id);
+            }
+            if runs % 2 == 1 {
+                let src = (runs - 1) * stride;
+                let dst = (runs / 2) * 2 * stride;
+                if src != dst {
+                    coop(ctx, kk, 0, 2);
+                    for i in 0..kk {
+                        d[dst + i] = d[src + i];
+                        id[dst + i] = id[src + i];
+                    }
+                }
+            }
+            runs = runs.div_ceil(2);
+            stride *= 2;
+        }
+        // Write the k results back to global memory.
+        coop(ctx, k, 0, 1);
+        ctx.record_global(Mask::first(k.min(WARP_SIZE)), k.div_ceil(WARP_SIZE) as u64, k as u64 * 4);
+        (0..k.min(n))
+            .map(|i| Neighbor::new(d[i], id[i]))
+            .filter(|nb| !nb.is_sentinel())
+            .collect::<Vec<_>>()
+    });
+    (per_warp, metrics)
+}
+
+// NOTE on the ascending comparator direction in `run_stages`: the staged
+// schedules are generated for descending order under the "ensure
+// v[a] ≥ v[b]" convention; executing them with "ensure v[a] ≤ v[b]"
+// flips the network to ascending (0-1 principle), which is what the
+// truncation (smallest k at the front) needs.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn native_matches_oracle() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(221);
+        for &n in &[5usize, 64, 1000, 4096] {
+            for &k in &[1usize, 4, 32, 100] {
+                let d: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+                let got: Vec<f32> = tbs_select(&d, k).iter().map(|x| x.dist).collect();
+                assert_eq!(got, oracle(&d, k.min(n)), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn native_ids_track_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(222);
+        let d: Vec<f32> = (0..500).map(|_| rng.gen()).collect();
+        for nb in tbs_select(&d, 16) {
+            assert_eq!(d[nb.id as usize], nb.dist);
+        }
+    }
+
+    #[test]
+    fn simulated_matches_native() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(223);
+        let rows: Vec<Vec<f32>> = (0..64)
+            .map(|_| (0..300).map(|_| rng.gen()).collect())
+            .collect();
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, metrics) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &dm, 16);
+        assert_eq!(res.len(), 64);
+        for (q, row) in rows.iter().enumerate() {
+            let got: Vec<f32> = res[q].iter().map(|n| n.dist).collect();
+            assert_eq!(got, oracle(row, 16), "query {q}");
+        }
+        // Sorting networks are divergence-free by construction.
+        assert_eq!(metrics.divergent_branches, 0);
+        assert!(metrics.simt_efficiency() > 0.9);
+    }
+
+    #[test]
+    fn block_cooperative_matches_native() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(224);
+        let rows: Vec<Vec<f32>> = (0..20)
+            .map(|_| (0..333).map(|_| rng.gen()).collect())
+            .collect();
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, metrics) = gpu_tbs_block_select(&GpuSpec::tesla_c2075(), &dm, 16);
+        assert_eq!(res.len(), 20);
+        for (q, row) in rows.iter().enumerate() {
+            let got: Vec<f32> = res[q].iter().map(|n| n.dist).collect();
+            assert_eq!(got, oracle(row, 16), "query {q}");
+            for nb in &res[q] {
+                assert_eq!(row[nb.id as usize], nb.dist);
+            }
+        }
+        // Cooperative mapping keeps the data in shared memory: far fewer
+        // DRAM transactions than the lane-per-query mapping.
+        let (_, lane_metrics) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &dm, 16);
+        assert!(metrics.global_transactions * 4 < lane_metrics.global_transactions);
+        assert!(metrics.shared_accesses > lane_metrics.shared_accesses);
+    }
+
+    #[test]
+    fn simulated_work_is_data_independent() {
+        let rows1: Vec<Vec<f32>> = vec![(0..256).map(|i| i as f32).collect(); 32];
+        let rows2: Vec<Vec<f32>> = vec![(0..256).rev().map(|i| i as f32).collect(); 32];
+        let (_, m1) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &DistanceMatrix::from_rows(&rows1), 8);
+        let (_, m2) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &DistanceMatrix::from_rows(&rows2), 8);
+        assert_eq!(m1.issued, m2.issued);
+        assert_eq!(m1.global_transactions, m2.global_transactions);
+    }
+}

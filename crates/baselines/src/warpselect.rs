@@ -1,0 +1,231 @@
+//! **WarpSelect** — a retrospective, FAISS-style comparator
+//! (Johnson, Douze, Jégou, "Billion-scale similarity search with GPUs",
+//! 2017 — two years after the reproduced paper).
+//!
+//! Mapping: one **warp per query** (not one lane per query). The running
+//! k-best ("warp queue") lives in *registers*, k/32 elements per lane,
+//! globally sorted across the warp; each lane additionally buffers
+//! candidates in a small register "thread queue". The scan reads 32
+//! consecutive elements per step (one coalesced transaction); candidates
+//! that beat the warp-queue maximum enter the lane's thread queue, and
+//! when any lane's thread queue fills, the warp performs a register-level
+//! bitonic sort + merge entirely through shuffles — **no memory traffic
+//! at all** for queue maintenance.
+//!
+//! Relative to the paper's lane-per-query queues this removes the two
+//! dominant costs (local-memory traffic and per-lane divergence), which
+//! is why this style superseded the 2015 approaches. The harness includes
+//! it as an extra Table-I row so the reproduction shows where the field
+//! went next.
+//!
+//! Simplification vs. FAISS: our thread queues buffer *every* candidate
+//! below the warp max rather than keeping only each lane's t best (the
+//! same conservative policy as the paper's Buffered Search), which keeps
+//! the kernel trivially exact at a small extra merge rate.
+
+use kselect::bitonic::{bitonic_sort_stages, reverse_bitonic_merge_stages};
+use kselect::gpu::DistanceMatrix;
+use kselect::types::{sort_neighbors, Neighbor, INF};
+use simt::{launch, GpuSpec, Mask, Metrics, WarpCtx, WARP_SIZE};
+
+/// Candidate buffer slots per lane (FAISS uses 2–8 depending on k).
+const THREAD_QUEUE: usize = 4;
+
+/// Simulated WarpSelect over a [`DistanceMatrix`]: one warp per query.
+/// Returns per-query neighbors (ascending) and aggregated metrics.
+pub fn gpu_warp_select(
+    spec: &GpuSpec,
+    dm: &DistanceMatrix,
+    k: usize,
+) -> (Vec<Vec<Neighbor>>, Metrics) {
+    assert!(k > 0 && k <= dm.n());
+    let n = dm.n();
+    // Register warp queue is k padded to a warp multiple; the merge
+    // network needs power-of-two operands.
+    let kq = k.next_power_of_two().max(WARP_SIZE);
+    let cand_cap = THREAD_QUEUE * WARP_SIZE;
+    let sort_stages = bitonic_sort_stages(cand_cap);
+    let merge_stages = reverse_bitonic_merge_stages((kq + cand_cap).next_power_of_two());
+    let merge_pad = (kq + cand_cap).next_power_of_two();
+
+    let (per_warp, metrics) = launch(spec, dm.q(), |query, ctx| {
+        // Warp queue: kq entries "in registers" (kq/32 per lane) —
+        // maintained host-side; costs charged as register ops/shuffles.
+        let mut wq: Vec<Neighbor> = vec![Neighbor::sentinel(); kq];
+        let mut wq_max = INF;
+        // Thread queues: candidate staging, THREAD_QUEUE per lane.
+        let mut tq: Vec<Vec<Neighbor>> =
+            (0..WARP_SIZE).map(|_| Vec::with_capacity(THREAD_QUEUE)).collect();
+
+        let merge = |ctx: &mut WarpCtx, wq: &mut Vec<Neighbor>, tq: &mut Vec<Vec<Neighbor>>| {
+            // Gather candidates (already in registers), pad to cand_cap.
+            let mut cands: Vec<Neighbor> = tq.iter().flatten().copied().collect();
+            if cands.is_empty() {
+                return;
+            }
+            cands.resize(cand_cap, Neighbor::sentinel());
+            for q in tq.iter_mut() {
+                q.clear();
+            }
+            // Register bitonic sort of the candidates: each stage's
+            // comparators run one-per-lane via shuffles.
+            for stage in &sort_stages {
+                // cand_cap/2 comparators over 32 lanes
+                ctx.op(Mask::first((stage.len()).min(WARP_SIZE)), 3);
+                for &(a, b) in stage {
+                    if cands[a].dist > cands[b].dist {
+                        cands.swap(a, b);
+                    }
+                }
+                ctx.sync();
+            }
+            // Merge the sorted candidate run with the warp queue run
+            // (both ascending) through the reverse-merge network. The
+            // network merges two equal halves, so pad each run to
+            // merge_pad/2 first.
+            let mut arranged: Vec<Neighbor> = Vec::with_capacity(merge_pad);
+            arranged.extend(wq.iter().copied());
+            arranged.resize(merge_pad / 2, Neighbor::sentinel());
+            arranged.extend(cands.iter().copied());
+            arranged.resize(merge_pad, Neighbor::sentinel());
+            for stage in &merge_stages {
+                ctx.op(Mask::first((stage.len() / 2).clamp(1, WARP_SIZE)), 3);
+                for &(a, b) in stage {
+                    // ascending merge: smaller at the lower index
+                    if arranged[a].dist > arranged[b].dist {
+                        arranged.swap(a, b);
+                    }
+                }
+                ctx.sync();
+            }
+            wq.copy_from_slice(&arranged[..kq]);
+        };
+
+        // Scan: 32 consecutive elements per step, one transaction.
+        for base in (0..n).step_by(WARP_SIZE) {
+            let lanes = WARP_SIZE.min(n - base);
+            let m = Mask::first(lanes);
+            ctx.record_global(m, 1, lanes as u64 * 4);
+            ctx.op(m, 1); // compare against the broadcast warp max
+            let mut any_full = false;
+            for (l, lane_q) in tq.iter_mut().enumerate().take(lanes) {
+                let e = base + l;
+                let d = dm.value(query, e);
+                if d < wq_max {
+                    lane_q.push(Neighbor::new(d, e as u32));
+                    if lane_q.len() == THREAD_QUEUE {
+                        any_full = true;
+                    }
+                }
+            }
+            // Predicated thread-queue insert: constant register cost.
+            ctx.op(m, 2);
+            // Intra-warp vote on "anyone full?" (one ballot).
+            let preds = core::array::from_fn(|l| l < lanes && tq[l].len() == THREAD_QUEUE);
+            let _ = ctx.ballot(m, &preds);
+            if any_full {
+                merge(ctx, &mut wq, &mut tq);
+                wq_max = wq[kq - 1].dist.min(INF);
+                if k < kq {
+                    // Only the true k matter for thresholding.
+                    wq_max = wq[k - 1].dist;
+                }
+            }
+        }
+        merge(ctx, &mut wq, &mut tq);
+        // Write k results to global memory.
+        ctx.record_global(Mask::first(k.min(WARP_SIZE)), k.div_ceil(WARP_SIZE) as u64, k as u64 * 4);
+        let mut out: Vec<Neighbor> = wq
+            .into_iter()
+            .take(k)
+            .filter(|nb| !nb.is_sentinel())
+            .collect();
+        sort_neighbors(&mut out);
+        out
+    });
+    (per_warp, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn matches_oracle_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(261);
+        let rows: Vec<Vec<f32>> = (0..25)
+            .map(|_| (0..700).map(|_| rng.gen()).collect())
+            .collect();
+        let dm = DistanceMatrix::from_rows(&rows);
+        for k in [1usize, 16, 100, 256] {
+            let (res, _) = gpu_warp_select(&GpuSpec::tesla_c2075(), &dm, k);
+            for (q, row) in rows.iter().enumerate() {
+                let got: Vec<f32> = res[q].iter().map(|nb| nb.dist).collect();
+                assert_eq!(got, oracle(row, k), "k={k} query {q}");
+                for nb in &res[q] {
+                    assert_eq!(row[nb.id as usize], nb.dist);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_adversarial_order() {
+        // Strictly descending input maximises accepted candidates.
+        let rows: Vec<Vec<f32>> = vec![(0..512).rev().map(|i| i as f32).collect(); 3];
+        let dm = DistanceMatrix::from_rows(&rows);
+        let (res, _) = gpu_warp_select(&GpuSpec::tesla_c2075(), &dm, 32);
+        let got: Vec<f32> = res[0].iter().map(|nb| nb.dist).collect();
+        assert_eq!(got, (0..32).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_maintenance_uses_no_dram() {
+        // The whole point: memory traffic is the coalesced scan plus the
+        // result write-back — nothing else.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(262);
+        let n = 2048;
+        let rows: Vec<Vec<f32>> = vec![(0..n).map(|_| rng.gen()).collect(); 4];
+        let dm = DistanceMatrix::from_rows(&rows);
+        let k = 64;
+        let (_, m) = gpu_warp_select(&GpuSpec::tesla_c2075(), &dm, k);
+        let scan_tx = 4 * (n as u64).div_ceil(32);
+        let writeback_tx = 4 * (k as u64).div_ceil(32);
+        assert_eq!(m.global_transactions, scan_tx + writeback_tx);
+        assert_eq!(m.shared_accesses, 0);
+    }
+
+    #[test]
+    fn beats_the_papers_best_variant() {
+        // The retrospective point: warp-select removes queue memory
+        // traffic entirely and should dominate the 2015 techniques.
+        use kselect::{QueueKind, SelectConfig};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(263);
+        let n = 1 << 13;
+        let rows: Vec<Vec<f32>> = (0..32).map(|_| (0..n).map(|_| rng.gen()).collect()).collect();
+        let dm = DistanceMatrix::from_rows(&rows);
+        let tm = simt::TimingModel::tesla_c2075();
+        let (_, ws) = gpu_warp_select(&tm.spec, &dm, 256);
+        let paper = kselect::gpu::gpu_select_k(
+            &tm.spec,
+            &dm,
+            &SelectConfig::optimized(QueueKind::Merge, 256),
+        );
+        // Same per-query workload: warp-select used 32 warps (one per
+        // query) vs one warp for 32 queries — compare total device time.
+        assert!(
+            tm.kernel_time(&ws) < tm.kernel_time(&paper.metrics),
+            "warp-select {:.5}s vs paper best {:.5}s",
+            tm.kernel_time(&ws),
+            tm.kernel_time(&paper.metrics)
+        );
+    }
+}

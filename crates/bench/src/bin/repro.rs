@@ -1,0 +1,152 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--experiment fig5|fig6|fig7|fig8|fig9|ablations|occupancy|table1|all]
+//!       [--quick]            # fewer sweep points (smoke run)
+//!       [--warps W]          # simulated warps per config (default 1)
+//!       [--out DIR]          # write markdown + JSON (default results/)
+//! ```
+//!
+//! Output goes to stdout and, per artefact, to `DIR/<id>.md` and
+//! `DIR/<id>.json`. EXPERIMENTS.md embeds the default run.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use knn_select_bench::{experiments, Harness};
+
+struct Args {
+    experiment: String,
+    quick: bool,
+    warps: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        experiment: "all".to_string(),
+        quick: false,
+        warps: 1,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--experiment" | "-e" => {
+                args.experiment = it.next().expect("--experiment needs a value")
+            }
+            "--quick" => args.quick = true,
+            "--warps" | "-w" => {
+                args.warps = it
+                    .next()
+                    .expect("--warps needs a value")
+                    .parse()
+                    .expect("--warps must be an integer")
+            }
+            "--out" | "-o" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--experiment fig5|fig6|fig7|fig8|fig9|ablations|occupancy|table1|all] \
+                     [--quick] [--warps W] [--out DIR]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn emit(out_dir: &PathBuf, id: &str, markdown: &str, json: String) {
+    println!("{markdown}");
+    if let Err(e) = fs::create_dir_all(out_dir) {
+        eprintln!("warning: cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let md_path = out_dir.join(format!("{id}.md"));
+    let json_path = out_dir.join(format!("{id}.json"));
+    if let Err(e) = fs::write(&md_path, markdown) {
+        eprintln!("warning: cannot write {}: {e}", md_path.display());
+    }
+    if let Err(e) = fs::write(&json_path, json) {
+        eprintln!("warning: cannot write {}: {e}", json_path.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let h = Harness {
+        q_sim: args.warps * 32,
+        ..Harness::new()
+    };
+    println!(
+        "# Reproduction run — {} warps/config ({} queries), scaled to Q=2^13, \
+         {} sweep\n",
+        args.warps,
+        h.q_sim,
+        if args.quick { "quick" } else { "full" }
+    );
+    let want = |e: &str| args.experiment == "all" || args.experiment == e;
+    let t0 = Instant::now();
+
+    if want("fig5") {
+        for f in experiments::fig5(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] fig5 done", t0.elapsed().as_secs_f64());
+    }
+    if want("fig6") {
+        for f in experiments::fig6(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] fig6 done", t0.elapsed().as_secs_f64());
+    }
+    if want("fig7") {
+        for f in experiments::fig7(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] fig7 done", t0.elapsed().as_secs_f64());
+    }
+    if want("fig8") {
+        for f in experiments::fig8(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] fig8 done", t0.elapsed().as_secs_f64());
+    }
+    if want("fig9") {
+        for f in experiments::fig9(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] fig9 done", t0.elapsed().as_secs_f64());
+    }
+    if want("occupancy") {
+        for f in experiments::occupancy(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] occupancy done", t0.elapsed().as_secs_f64());
+    }
+    if want("ablations") {
+        for f in experiments::ablations(&h, args.quick) {
+            let json = serde_json::to_string_pretty(&f).unwrap();
+            emit(&args.out, &f.id, &f.to_markdown(), json);
+        }
+        eprintln!("[{:8.1}s] ablations done", t0.elapsed().as_secs_f64());
+    }
+    if want("table1") {
+        let t = experiments::table1(&h, args.quick);
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        emit(&args.out, &t.id, &t.to_markdown(), json);
+        eprintln!("[{:8.1}s] table1 done", t0.elapsed().as_secs_f64());
+    }
+    eprintln!("total: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,106 @@
+//! Experiment machinery for regenerating the paper's tables and figures.
+//!
+//! The paper evaluates on Q = 2^13 queries. Queries are i.i.d. (uniform
+//! synthetic data, and k-selection is oblivious to the data source — §IV),
+//! so the harness simulates a sample of `q_sim` queries (whole warps) and
+//! scales the steady-state kernel time by `Q / q_sim`
+//! ([`simt::TimingModel::kernel_time_scaled`]). CPU baselines are measured
+//! for real on a query sample and scaled the same way. EXPERIMENTS.md
+//! documents the sampling.
+
+pub mod experiments;
+pub mod table;
+pub mod workload;
+
+use kselect::gpu::{gpu_select_k, DistanceMatrix};
+use kselect::SelectConfig;
+use serde::{Deserialize, Serialize};
+use simt::TimingModel;
+
+/// The paper's full query count (Q = 2^13).
+pub const PAPER_Q: usize = 1 << 13;
+
+/// Common context for all experiments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Harness {
+    /// Timing model (device constants).
+    pub tm: TimingModel,
+    /// Queries simulated per configuration (multiple of 32).
+    pub q_sim: usize,
+    /// Full workload query count that times are scaled to.
+    pub q_full: usize,
+    /// RNG seed for workload generation.
+    pub seed: u64,
+}
+
+impl Harness {
+    /// Default harness: C2075 model, 64 simulated queries (2 warps),
+    /// scaled to the paper's Q = 2^13.
+    pub fn new() -> Self {
+        Harness {
+            tm: TimingModel::tesla_c2075(),
+            q_sim: 64,
+            q_full: PAPER_Q,
+            seed: 0xB10C5EED,
+        }
+    }
+
+    /// Reduced-cost harness for smoke tests (one warp).
+    pub fn quick() -> Self {
+        Harness {
+            q_sim: 32,
+            ..Self::new()
+        }
+    }
+
+    /// Scaling factor applied to simulated kernel bodies.
+    pub fn replication(&self) -> f64 {
+        self.q_full as f64 / self.q_sim as f64
+    }
+
+    /// Simulated seconds for one k-selection variant, scaled to the full
+    /// workload.
+    pub fn gpu_select_time(&self, dm: &DistanceMatrix, cfg: &SelectConfig) -> f64 {
+        let res = gpu_select_k(&self.tm.spec, dm, cfg);
+        self.tm.kernel_time_scaled(&res.metrics, self.replication())
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kselect::QueueKind;
+
+    #[test]
+    fn replication_scaling() {
+        let h = Harness::new();
+        assert_eq!(h.replication(), 128.0);
+    }
+
+    #[test]
+    fn gpu_select_time_positive_and_scales() {
+        let h = Harness {
+            q_sim: 32,
+            q_full: 64,
+            ..Harness::new()
+        };
+        let rows = workload::distance_rows(32, 512, 1);
+        let dm = DistanceMatrix::from_rows(&rows);
+        let cfg = SelectConfig::plain(QueueKind::Heap, 16);
+        let t = h.gpu_select_time(&dm, &cfg);
+        assert!(t > 0.0);
+        let h1 = Harness {
+            q_sim: 32,
+            q_full: 128,
+            ..Harness::new()
+        };
+        let t2 = h1.gpu_select_time(&dm, &cfg);
+        assert!(t2 > t * 1.5, "scaling should roughly double: {t} vs {t2}");
+    }
+}

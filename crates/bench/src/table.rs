@@ -1,0 +1,161 @@
+//! Result containers with markdown rendering, so the `repro` binary can
+//! print tables/series in the same shape as the paper's and EXPERIMENTS.md
+//! can embed them verbatim.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled series over a swept parameter (one curve of a figure).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label (e.g. "G=4" or "full+sorted").
+    pub label: String,
+    /// (x, y) points; x is the swept parameter (k or N), y the value
+    /// (usually an improvement factor).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: several series over a common x-axis.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure id, e.g. "fig6a".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label (e.g. "log2 k").
+    pub x_label: String,
+    /// Y-axis label (e.g. "improvement ×").
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as a markdown table: one row per x value, one column per
+    /// series.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.0).collect())
+            .unwrap_or_default();
+        out.push_str(&format!("| {} |", self.x_label));
+        for s in &self.series {
+            out.push_str(&format!(" {} |", s.label));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.series {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (i, x) in xs.iter().enumerate() {
+            out.push_str(&format!("| {x} |"));
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => out.push_str(&format!(" {y:.2} |")),
+                    None => out.push_str(" - |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A Table-I-style grid: labelled rows over labelled columns of seconds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimeTable {
+    /// Table id, e.g. "table1".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers (e.g. "k=2^5"…, "N=2^13"…).
+    pub columns: Vec<String>,
+    /// (row label, seconds per column; `None` renders as "-").
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+}
+
+impl TimeTable {
+    /// Render as a markdown table of seconds.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str("| Algorithm |");
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, vals) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in vals {
+                match v {
+                    Some(t) => out.push_str(&format!(" {t:.3} |")),
+                    None => out.push_str(" - |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fetch a cell by row label and column index (for shape assertions
+    /// in tests).
+    pub fn cell(&self, row: &str, col: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == row)
+            .and_then(|(_, vals)| vals.get(col).copied().flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_markdown_shape() {
+        let f = Figure {
+            id: "figX".into(),
+            title: "demo".into(),
+            x_label: "log2 k".into(),
+            y_label: "×".into(),
+            series: vec![
+                Series {
+                    label: "a".into(),
+                    points: vec![(5.0, 1.5), (6.0, 2.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(5.0, 1.0), (6.0, 0.5)],
+                },
+            ],
+        };
+        let md = f.to_markdown();
+        assert!(md.contains("| log2 k | a | b |"));
+        assert!(md.contains("| 5 | 1.50 | 1.00 |"));
+    }
+
+    #[test]
+    fn table_markdown_and_cell() {
+        let t = TimeTable {
+            id: "t".into(),
+            title: "demo".into(),
+            columns: vec!["k=32".into()],
+            rows: vec![
+                ("Heap".into(), vec![Some(0.125)]),
+                ("TBS".into(), vec![None]),
+            ],
+        };
+        let md = t.to_markdown();
+        assert!(md.contains("| Heap | 0.125 |"));
+        assert!(md.contains("| TBS | - |"));
+        assert_eq!(t.cell("Heap", 0), Some(0.125));
+        assert_eq!(t.cell("TBS", 0), None);
+        assert_eq!(t.cell("QMS", 0), None);
+    }
+}

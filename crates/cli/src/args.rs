@@ -1,0 +1,210 @@
+//! Hand-rolled argument parsing (no CLI-framework dependency).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use knn::Metric;
+use kselect::QueueKind;
+
+/// Parsed `knn-cli` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `generate --count N --dim D [--seed S] --out FILE`
+    Generate {
+        count: usize,
+        dim: usize,
+        seed: u64,
+        out: PathBuf,
+    },
+    /// `search --refs FILE --queries FILE --dim D --k K [--metric M]
+    /// [--queue Q] [--json]`
+    Search {
+        refs: PathBuf,
+        queries: PathBuf,
+        dim: usize,
+        k: usize,
+        metric: Metric,
+        queue: QueueKind,
+        json: bool,
+    },
+    /// `bench --n N --k K [--queue Q]` — native selection benchmark.
+    Bench {
+        n: usize,
+        k: usize,
+        queue: QueueKind,
+    },
+    /// `simulate --n N --k K [--queue Q]` — simulated-GPU run with a
+    /// profiler report.
+    Simulate {
+        n: usize,
+        k: usize,
+        queue: QueueKind,
+    },
+    /// `--help`
+    Help,
+}
+
+/// Parse an argument vector (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut flags: HashMap<String, String> = HashMap::new();
+    let mut bools: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match name {
+                "json" | "help" => bools.push(name.to_string()),
+                _ => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    flags.insert(name.to_string(), v.clone());
+                }
+            }
+        } else {
+            return Err(format!("unexpected argument: {a}"));
+        }
+    }
+    let get = |k: &str| -> Result<&String, String> {
+        flags.get(k).ok_or_else(|| format!("missing --{k}"))
+    };
+    let get_usize = |k: &str| -> Result<usize, String> {
+        get(k)?.parse().map_err(|_| format!("--{k} must be an integer"))
+    };
+    let queue = |flags: &HashMap<String, String>| -> Result<QueueKind, String> {
+        match flags.get("queue").map(String::as_str).unwrap_or("merge") {
+            "merge" => Ok(QueueKind::Merge),
+            "heap" => Ok(QueueKind::Heap),
+            "insertion" => Ok(QueueKind::Insertion),
+            other => Err(format!("unknown queue kind: {other}")),
+        }
+    };
+    match cmd.as_str() {
+        "generate" => Ok(Command::Generate {
+            count: get_usize("count")?,
+            dim: get_usize("dim")?,
+            seed: flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|_| "--seed must be an integer".to_string()))
+                .transpose()?
+                .unwrap_or(0),
+            out: PathBuf::from(get("out")?),
+        }),
+        "search" => Ok(Command::Search {
+            refs: PathBuf::from(get("refs")?),
+            queries: PathBuf::from(get("queries")?),
+            dim: get_usize("dim")?,
+            k: get_usize("k")?,
+            metric: match flags.get("metric").map(String::as_str).unwrap_or("euclidean") {
+                "euclidean" => Metric::SquaredEuclidean,
+                "manhattan" => Metric::Manhattan,
+                "cosine" => Metric::Cosine,
+                "dot" => Metric::NegativeDot,
+                other => return Err(format!("unknown metric: {other}")),
+            },
+            queue: queue(&flags)?,
+            json: bools.contains(&"json".to_string()),
+        }),
+        "bench" => Ok(Command::Bench {
+            n: get_usize("n")?,
+            k: get_usize("k")?,
+            queue: queue(&flags)?,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            n: get_usize("n")?,
+            k: get_usize("k")?,
+            queue: queue(&flags)?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+knn-cli — k-NN search and k-selection benchmarking
+
+USAGE:
+  knn-cli generate --count N --dim D [--seed S] --out FILE
+  knn-cli search   --refs FILE --queries FILE --dim D --k K
+                   [--metric euclidean|manhattan|cosine|dot]
+                   [--queue merge|heap|insertion] [--json]
+  knn-cli bench    --n N --k K [--queue merge|heap|insertion]
+  knn-cli simulate --n N --k K [--queue merge|heap|insertion]
+  knn-cli help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_parses() {
+        let c = parse(&v(&["generate", "--count", "10", "--dim", "4", "--out", "x.f32"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Generate {
+                count: 10,
+                dim: 4,
+                seed: 0,
+                out: PathBuf::from("x.f32")
+            }
+        );
+    }
+
+    #[test]
+    fn search_defaults() {
+        let c = parse(&v(&[
+            "search", "--refs", "r", "--queries", "q", "--dim", "8", "--k", "5",
+        ]))
+        .unwrap();
+        match c {
+            Command::Search { metric, queue, json, k, .. } => {
+                assert_eq!(metric, Metric::SquaredEuclidean);
+                assert_eq!(queue, QueueKind::Merge);
+                assert!(!json);
+                assert_eq!(k, 5);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn search_with_options() {
+        let c = parse(&v(&[
+            "search", "--refs", "r", "--queries", "q", "--dim", "8", "--k", "5", "--metric",
+            "cosine", "--queue", "heap", "--json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Search { metric, queue, json, .. } => {
+                assert_eq!(metric, Metric::Cosine);
+                assert_eq!(queue, QueueKind::Heap);
+                assert!(json);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&v(&["search", "--refs"])).is_err()); // missing value
+        assert!(parse(&v(&["search", "--refs", "r"])).is_err()); // missing flags
+        assert!(parse(&v(&["frobnicate"])).is_err());
+        assert!(parse(&v(&["bench", "--n", "ten", "--k", "4"])).is_err());
+        assert!(parse(&v(&["bench", "--n", "10", "--k", "4", "--queue", "zap"])).is_err());
+        assert!(parse(&v(&["bench", "stray", "--n", "10"])).is_err());
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,203 @@
+//! Command implementations for `knn-cli`.
+
+use std::time::Instant;
+
+use knn::{knn_search_with, PointSet};
+use kselect::gpu::{gpu_select_k, DistanceMatrix};
+use kselect::{select_k, QueueKind, SelectConfig};
+use rand::{Rng, SeedableRng};
+use simt::TimingModel;
+
+use crate::args::Command;
+use crate::io;
+
+/// Round k up to a valid Merge Queue capacity (m·2^j with m = 8) so the
+/// CLI accepts any k for any queue; extra entries are trimmed after
+/// selection.
+fn padded_k(queue: QueueKind, k: usize) -> usize {
+    match queue {
+        QueueKind::Merge => {
+            let m = 8usize.min(k.next_power_of_two());
+            let mut kk = m;
+            while kk < k {
+                kk *= 2;
+            }
+            kk
+        }
+        _ => k,
+    }
+}
+
+/// Execute a parsed command, writing human-readable output to stdout.
+/// Returns a process exit code.
+pub fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{}", crate::args::USAGE);
+            0
+        }
+        Command::Generate { count, dim, seed, out } => {
+            let pts = PointSet::uniform(count, dim, seed);
+            match io::save_points(&out, &pts) {
+                Ok(()) => {
+                    println!(
+                        "wrote {count} × {dim}-d points ({} bytes) to {}",
+                        count * dim * 4,
+                        out.display()
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            }
+        }
+        Command::Search { refs, queries, dim, k, metric, queue, json } => {
+            let refs = match io::load_points(&refs, dim) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error loading refs: {e}");
+                    return 1;
+                }
+            };
+            let queries = match io::load_points(&queries, dim) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error loading queries: {e}");
+                    return 1;
+                }
+            };
+            if k > refs.len() {
+                eprintln!("error: k = {k} exceeds {} references", refs.len());
+                return 1;
+            }
+            let cfg = SelectConfig::optimized(queue, padded_k(queue, k));
+            let t0 = Instant::now();
+            let mut results = knn_search_with(&queries, &refs, &cfg, metric);
+            for r in &mut results {
+                r.truncate(k);
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            if json {
+                let rows: Vec<Vec<(u32, f32)>> = results
+                    .iter()
+                    .map(|r| r.iter().map(|n| (n.id, n.dist)).collect())
+                    .collect();
+                println!("{}", serde_json::to_string(&rows).unwrap());
+            } else {
+                println!(
+                    "{} queries × {} refs (dim {dim}, {metric:?}, {queue:?}) in {:.1} ms",
+                    queries.len(),
+                    refs.len(),
+                    dt * 1e3
+                );
+                for (qi, r) in results.iter().enumerate() {
+                    let ids: Vec<u32> = r.iter().map(|n| n.id).collect();
+                    println!("query {qi}: {ids:?}");
+                }
+            }
+            0
+        }
+        Command::Bench { n, k, queue } => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let dists: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+            let kk = padded_k(queue, k);
+            for (label, cfg) in [
+                ("plain", SelectConfig::plain(queue, kk)),
+                ("optimized (buf+hp)", SelectConfig::optimized(queue, kk)),
+            ] {
+                let t0 = Instant::now();
+                let iters = 10;
+                for _ in 0..iters {
+                    std::hint::black_box(select_k(std::hint::black_box(&dists), &cfg));
+                }
+                let per = t0.elapsed().as_secs_f64() / iters as f64;
+                println!(
+                    "{:<20} n={n} k={k}: {:>9.3} ms/query ({:.1} Melem/s)",
+                    label,
+                    per * 1e3,
+                    n as f64 / per / 1e6
+                );
+            }
+            0
+        }
+        Command::Simulate { n, k, queue } => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let rows: Vec<Vec<f32>> = (0..32).map(|_| (0..n).map(|_| rng.gen()).collect()).collect();
+            let dm = DistanceMatrix::from_rows(&rows);
+            let tm = TimingModel::tesla_c2075();
+            let kk = padded_k(queue, k);
+            println!("simulated Tesla C2075, one warp (32 queries), n={n} k={k}\n");
+            let reports: Vec<simt::KernelReport> = [
+                ("plain", SelectConfig::plain(queue, kk)),
+                ("optimized (aligned+buf+hp)", SelectConfig::optimized(queue, kk)),
+            ]
+            .into_iter()
+            .map(|(label, cfg)| {
+                let res = gpu_select_k(&tm.spec, &dm, &cfg);
+                simt::KernelReport::new(label, &res.metrics, &tm)
+            })
+            .collect();
+            print!("{}", simt::comparison_table(&reports));
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use knn::Metric;
+
+    #[test]
+    fn padded_k_merge() {
+        assert_eq!(padded_k(QueueKind::Merge, 5), 8);
+        assert_eq!(padded_k(QueueKind::Merge, 8), 8);
+        assert_eq!(padded_k(QueueKind::Merge, 9), 16);
+        assert_eq!(padded_k(QueueKind::Merge, 100), 128);
+        assert_eq!(padded_k(QueueKind::Merge, 3), 4);
+        assert_eq!(padded_k(QueueKind::Heap, 5), 5);
+    }
+
+    #[test]
+    fn end_to_end_generate_and_search() {
+        let dir = std::env::temp_dir().join("knn_cli_e2e");
+        std::fs::create_dir_all(&dir).unwrap();
+        let refs = dir.join("refs.f32");
+        let queries = dir.join("queries.f32");
+        assert_eq!(
+            run(Command::Generate { count: 200, dim: 8, seed: 1, out: refs.clone() }),
+            0
+        );
+        assert_eq!(
+            run(Command::Generate { count: 3, dim: 8, seed: 2, out: queries.clone() }),
+            0
+        );
+        assert_eq!(
+            run(Command::Search {
+                refs: refs.clone(),
+                queries: queries.clone(),
+                dim: 8,
+                k: 5,
+                metric: Metric::SquaredEuclidean,
+                queue: QueueKind::Merge,
+                json: true,
+            }),
+            0
+        );
+        // k too large is a clean error, not a panic
+        assert_eq!(
+            run(Command::Search {
+                refs,
+                queries,
+                dim: 8,
+                k: 500,
+                metric: Metric::SquaredEuclidean,
+                queue: QueueKind::Merge,
+                json: false,
+            }),
+            1
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Flat binary dataset format: little-endian `f32` coordinates, row
+//! major; the dimensionality is supplied on the command line (the format
+//! carries no header, mirroring the raw `.fvecs`-style dumps common in
+//! k-NN benchmarking).
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use knn::PointSet;
+
+/// Write a point set as raw little-endian f32.
+pub fn save_points(path: &Path, points: &PointSet) -> io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    let mut buf = Vec::with_capacity(points.as_flat().len() * 4);
+    for v in points.as_flat() {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    f.write_all(&buf)
+}
+
+/// Load a raw little-endian f32 file as a point set of dimension `dim`.
+///
+/// # Errors
+/// When the file length is not a multiple of `4 * dim` bytes.
+pub fn load_points(path: &Path, dim: usize) -> io::Result<PointSet> {
+    let mut f = fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    if bytes.len() % 4 != 0 || (bytes.len() / 4) % dim != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} bytes is not a whole number of {dim}-dimensional f32 points",
+                bytes.len()
+            ),
+        ));
+    }
+    let data: Vec<f32> = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    Ok(PointSet::from_flat(data, dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("knn_cli_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.f32");
+        let pts = PointSet::uniform(17, 5, 9);
+        save_points(&path, &pts).unwrap();
+        let back = load_points(&path, 5).unwrap();
+        assert_eq!(back.len(), 17);
+        assert_eq!(back.as_flat(), pts.as_flat());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_dim_rejected() {
+        let dir = std::env::temp_dir().join("knn_cli_io_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pts.f32");
+        save_points(&path, &PointSet::uniform(3, 4, 1)).unwrap();
+        assert!(load_points(&path, 5).is_err());
+        assert!(load_points(&path, 4).is_ok());
+        fs::remove_file(&path).unwrap();
+    }
+}

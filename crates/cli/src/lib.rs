@@ -1,0 +1,9 @@
+//! Support library for `knn-cli`: dataset file I/O, argument parsing and
+//! the command implementations (kept in the library so they are unit
+//! testable; `main.rs` is a thin shell).
+
+pub mod args;
+pub mod commands;
+pub mod io;
+
+pub use args::{parse, Command};

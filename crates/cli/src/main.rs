@@ -1,0 +1,13 @@
+//! `knn-cli` entry point — see `knn_cli::args::USAGE`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match knn_cli::parse(&argv) {
+        Ok(cmd) => knn_cli::commands::run(cmd),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", knn_cli::args::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,317 @@
+//! Bitonic sorting networks, including the paper's **Reverse Bitonic
+//! Merge** (Fig. 2b).
+//!
+//! The Merge Queue repairs its invariant by merging two runs that are both
+//! sorted in the *same* (decreasing) order — something the classic bitonic
+//! merge does not support (it needs opposite orders). The paper's fix is to
+//! cross-compare the first stage (element `i` against element `n-1-i`) and
+//! then run the ordinary halving stages. This module provides:
+//!
+//! * in-place network executors over `(dist, id)` pairs, used by the native
+//!   queues; and
+//! * **comparator schedules** — the explicit `(i, j)` pair sequence of each
+//!   network — shared with the simulated GPU kernels so that the native and
+//!   simulated code provably execute the same network.
+//!
+//! All comparators here use the convention *"ensure `v[a] ≥ v[b]`"* (the
+//! networks produce descending order, matching the Merge Queue's levels).
+
+/// A compare-exchange pair `(a, b)`: after execution `v[a] >= v[b]`.
+pub type Comparator = (usize, usize);
+
+/// Comparator schedule for the classic bitonic merge of a bitonic sequence
+/// of length `n` (power of two) into **descending** order.
+///
+/// `log2(n)` stages of `n/2` comparators each.
+pub fn bitonic_merge_schedule(n: usize) -> Vec<Comparator> {
+    assert!(n.is_power_of_two(), "bitonic merge needs a power-of-two length");
+    let mut out = Vec::with_capacity(n / 2 * n.trailing_zeros() as usize);
+    let mut stride = n / 2;
+    while stride > 0 {
+        for block in (0..n).step_by(stride * 2) {
+            for i in block..block + stride {
+                out.push((i, i + stride));
+            }
+        }
+        stride /= 2;
+    }
+    out
+}
+
+/// Comparator schedule for the paper's **Reverse Bitonic Merge**: merges
+/// two adjacent runs `v[0..n/2]` and `v[n/2..n]`, both sorted descending,
+/// into one descending run of length `n`.
+///
+/// Stage 1 cross-compares `v[i]` with `v[n-1-i]` (the dashed box in the
+/// paper's Fig. 2b); the remaining stages are two independent classic
+/// bitonic merges on the halves.
+pub fn reverse_bitonic_merge_schedule(n: usize) -> Vec<Comparator> {
+    assert!(n.is_power_of_two() && n >= 2, "reverse merge needs power-of-two length ≥ 2");
+    let half = n / 2;
+    let mut out = Vec::with_capacity(half * n.trailing_zeros() as usize);
+    for i in 0..half {
+        out.push((i, n - 1 - i));
+    }
+    if half >= 2 {
+        out.extend(bitonic_merge_schedule(half));
+        out.extend(
+            bitonic_merge_schedule(half)
+                .into_iter()
+                .map(|(a, b)| (a + half, b + half)),
+        );
+    }
+    out
+}
+
+/// Comparator schedule for a full bitonic **descending** sort of length `n`
+/// (power of two): `O(n log² n)` comparators.
+pub fn bitonic_sort_schedule(n: usize) -> Vec<Comparator> {
+    bitonic_sort_stages(n).into_iter().flatten().collect()
+}
+
+/// The same descending sort network grouped into its parallel **stages**:
+/// all comparators within one stage touch disjoint elements and can
+/// execute concurrently (how a cooperating thread block runs them).
+pub fn bitonic_sort_stages(n: usize) -> Vec<Vec<Comparator>> {
+    assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two length");
+    let mut stages = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            let mut stage = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    // For a descending sort, blocks with (i & k) == 0 keep
+                    // the larger element at the lower index.
+                    if i & k == 0 {
+                        stage.push((i, l));
+                    } else {
+                        stage.push((l, i));
+                    }
+                }
+            }
+            stages.push(stage);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    stages
+}
+
+/// The classic bitonic merge grouped into parallel stages (descending).
+pub fn bitonic_merge_stages(n: usize) -> Vec<Vec<Comparator>> {
+    assert!(n.is_power_of_two(), "bitonic merge needs a power-of-two length");
+    let mut stages = Vec::new();
+    let mut stride = n / 2;
+    while stride > 0 {
+        let mut stage = Vec::with_capacity(n / 2);
+        for block in (0..n).step_by(stride * 2) {
+            for i in block..block + stride {
+                stage.push((i, i + stride));
+            }
+        }
+        stages.push(stage);
+        stride /= 2;
+    }
+    stages
+}
+
+/// The Reverse Bitonic Merge grouped into parallel stages: the cross
+/// stage, then the two half-merges interleaved stage-by-stage (their
+/// comparators are disjoint, so corresponding stages fuse).
+pub fn reverse_bitonic_merge_stages(n: usize) -> Vec<Vec<Comparator>> {
+    assert!(n.is_power_of_two() && n >= 2);
+    let half = n / 2;
+    let mut stages = vec![(0..half).map(|i| (i, n - 1 - i)).collect::<Vec<_>>()];
+    if half >= 2 {
+        let lo = bitonic_merge_stages(half);
+        for stage in lo {
+            let mut fused = stage.clone();
+            fused.extend(stage.iter().map(|&(a, b)| (a + half, b + half)));
+            stages.push(fused);
+        }
+    }
+    stages
+}
+
+/// Execute a comparator schedule in place over parallel `dist`/`id` slices.
+/// Each comparator `(a, b)` swaps both arrays when `dist[a] < dist[b]`.
+pub fn run_schedule(schedule: &[Comparator], dist: &mut [f32], id: &mut [u32]) {
+    debug_assert_eq!(dist.len(), id.len());
+    for &(a, b) in schedule {
+        if dist[a] < dist[b] {
+            dist.swap(a, b);
+            id.swap(a, b);
+        }
+    }
+}
+
+/// In-place Reverse Bitonic Merge (descending) of two same-length
+/// descending runs stored contiguously in `dist`/`id`.
+pub fn reverse_bitonic_merge(dist: &mut [f32], id: &mut [u32]) {
+    let schedule = reverse_bitonic_merge_schedule(dist.len());
+    run_schedule(&schedule, dist, id);
+}
+
+/// In-place full bitonic sort, descending.
+pub fn bitonic_sort_desc(dist: &mut [f32], id: &mut [u32]) {
+    let schedule = bitonic_sort_schedule(dist.len());
+    run_schedule(&schedule, dist, id);
+}
+
+/// Number of comparators in a reverse bitonic merge of length `n` —
+/// `(n/2)·log2(n)`, the paper's `(l/2)·log l` cost.
+pub fn reverse_merge_cost(n: usize) -> usize {
+    (n / 2) * n.trailing_zeros() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_desc(v: &[f32]) -> bool {
+        v.windows(2).all(|w| w[0] >= w[1])
+    }
+
+    fn ids_track(dist: &[f32], id: &[u32], orig: &[(f32, u32)]) -> bool {
+        dist.iter()
+            .zip(id)
+            .all(|(&d, &i)| orig.iter().any(|&(od, oi)| od == d && oi == i))
+    }
+
+    #[test]
+    fn merge_schedule_sizes() {
+        assert_eq!(bitonic_merge_schedule(8).len(), 4 * 3);
+        assert_eq!(reverse_bitonic_merge_schedule(8).len(), 4 + 2 * 2 + 2 * 2);
+        assert_eq!(reverse_bitonic_merge_schedule(2).len(), 1);
+        assert_eq!(reverse_merge_cost(16), 8 * 4);
+    }
+
+    #[test]
+    fn reverse_merge_merges_same_order_runs() {
+        // Paper Fig. 2b style input: both halves sorted descending.
+        let mut d = vec![7.0, 5.0, 4.0, 0.0, 6.0, 3.0, 2.0, 1.0];
+        let mut i: Vec<u32> = (0..8).collect();
+        let orig: Vec<(f32, u32)> = d.iter().copied().zip(i.iter().copied()).collect();
+        reverse_bitonic_merge(&mut d, &mut i);
+        assert!(is_desc(&d), "{d:?}");
+        assert_eq!(d, vec![7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0]);
+        assert!(ids_track(&d, &i, &orig));
+    }
+
+    #[test]
+    fn reverse_merge_length_two() {
+        let mut d = vec![1.0, 3.0];
+        let mut i = vec![0u32, 1];
+        reverse_bitonic_merge(&mut d, &mut i);
+        assert_eq!(d, vec![3.0, 1.0]);
+        assert_eq!(i, vec![1, 0]);
+    }
+
+    #[test]
+    fn reverse_merge_with_duplicates_and_inf() {
+        let mut d = vec![f32::INFINITY, 2.0, 2.0, 1.0, 2.0, 2.0, 0.5, 0.5];
+        let mut i: Vec<u32> = (0..8).collect();
+        reverse_bitonic_merge(&mut d, &mut i);
+        assert!(is_desc(&d));
+        assert_eq!(&d[1..], &[2.0, 2.0, 2.0, 2.0, 1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn reverse_merge_exhaustive_small() {
+        // All 0/1 patterns of length 8 with both halves descending —
+        // by the 0-1 principle this certifies the network for length 8.
+        for bits in 0..256u32 {
+            let mut d: Vec<f32> = (0..8).map(|b| ((bits >> b) & 1) as f32).collect();
+            d[0..4].sort_by(|a, b| b.partial_cmp(a).unwrap());
+            d[4..8].sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let mut i = vec![0u32; 8];
+            let mut expect = d.clone();
+            expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            reverse_bitonic_merge(&mut d, &mut i);
+            assert_eq!(d, expect, "failed for pattern {bits:08b}");
+        }
+    }
+
+    #[test]
+    fn full_sort_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for &n in &[2usize, 4, 16, 64, 256] {
+            let mut d: Vec<f32> = (0..n).map(|_| rng.gen::<f32>()).collect();
+            let mut i: Vec<u32> = (0..n as u32).collect();
+            let mut expect = d.clone();
+            expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            bitonic_sort_desc(&mut d, &mut i);
+            assert_eq!(d, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn classic_merge_requires_bitonic_input() {
+        // ascending-then-descending (bitonic) input sorts correctly
+        let mut d = vec![1.0, 3.0, 5.0, 7.0, 6.0, 4.0, 2.0, 0.0];
+        let mut i = vec![0u32; 8];
+        run_schedule(&bitonic_merge_schedule(8), &mut d, &mut i);
+        assert!(is_desc(&d));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        bitonic_sort_schedule(12);
+    }
+
+    #[test]
+    fn stages_are_parallel_safe_and_complete() {
+        use std::collections::HashSet;
+        for n in [2usize, 8, 64, 256] {
+            for stages in [reverse_bitonic_merge_stages(n), bitonic_sort_stages(n)] {
+                for stage in &stages {
+                    // comparators within a stage touch disjoint elements
+                    let mut seen = HashSet::new();
+                    for &(a, b) in stage {
+                        assert!(seen.insert(a), "n={n}: element {a} reused in stage");
+                        assert!(seen.insert(b), "n={n}: element {b} reused in stage");
+                    }
+                }
+            }
+            // flattening the staged sort equals the flat schedule
+            let flat: Vec<Comparator> = bitonic_sort_stages(n).into_iter().flatten().collect();
+            assert_eq!(flat, bitonic_sort_schedule(n));
+        }
+    }
+
+    #[test]
+    fn staged_reverse_merge_sorts() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for n in [2usize, 8, 64] {
+            let mut d: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+            let half = n / 2;
+            d[..half].sort_by(|a, b| b.partial_cmp(a).unwrap());
+            d[half..].sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let mut expect = d.clone();
+            expect.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let mut ids = vec![0u32; n];
+            for stage in reverse_bitonic_merge_stages(n) {
+                run_schedule(&stage, &mut d, &mut ids);
+            }
+            assert_eq!(d, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn schedules_have_no_out_of_range_indices() {
+        for n in [2usize, 4, 8, 32, 128] {
+            for (a, b) in reverse_bitonic_merge_schedule(n) {
+                assert!(a < n && b < n && a != b);
+            }
+            for (a, b) in bitonic_sort_schedule(n) {
+                assert!(a < n && b < n && a != b);
+            }
+        }
+    }
+}

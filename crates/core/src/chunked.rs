@@ -1,0 +1,114 @@
+//! Divide-and-merge k-selection for very large N.
+//!
+//! The paper evaluates N ∈ [2^13, 2^16] and notes (§IV) that "a
+//! divide-and-merge method [Arefin et al., GPU-FS-kNN] can be applied to
+//! support N larger than the range without hurting the performance". This
+//! module is that extension: split the list into chunks, run any
+//! configured k-selection variant per chunk, and merge the per-chunk
+//! top-k sets with one final selection over ≤ k·⌈N/chunk⌉ candidates.
+//!
+//! Chunking is exact for any chunk size: an element in the global top-k
+//! is necessarily in its own chunk's top-k.
+
+use crate::select::{select_k, SelectConfig};
+use crate::types::{sort_neighbors, Neighbor};
+
+/// k smallest of `dists` computed chunk-by-chunk. `chunk_size` bounds the
+/// working set of each inner selection (e.g. what fits device memory).
+///
+/// # Panics
+/// When `chunk_size` is zero.
+pub fn select_k_chunked(dists: &[f32], cfg: &SelectConfig, chunk_size: usize) -> Vec<Neighbor> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    if dists.len() <= chunk_size {
+        return select_k(dists, cfg);
+    }
+    let mut candidates: Vec<Neighbor> = Vec::with_capacity(cfg.k * dists.len().div_ceil(chunk_size));
+    for (ci, chunk) in dists.chunks(chunk_size).enumerate() {
+        let base = (ci * chunk_size) as u32;
+        for mut nb in select_k(chunk, cfg) {
+            nb.id += base;
+            candidates.push(nb);
+        }
+    }
+    // Final merge: the candidate set is tiny (≤ k per chunk); a sort is
+    // exact and cheap. (On the GPU this is the "global merge" kernel of
+    // the divide-and-merge literature.)
+    sort_neighbors(&mut candidates);
+    candidates.truncate(cfg.k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::QueueKind;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn matches_oracle_across_chunk_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(301);
+        let dists: Vec<f32> = (0..10_000).map(|_| rng.gen()).collect();
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 32);
+        let expect = oracle(&dists, 32);
+        for chunk in [17usize, 100, 1024, 9_999, 100_000] {
+            let got: Vec<f32> = select_k_chunked(&dists, &cfg, chunk)
+                .iter()
+                .map(|n| n.dist)
+                .collect();
+            assert_eq!(got, expect, "chunk = {chunk}");
+        }
+    }
+
+    #[test]
+    fn chunk_smaller_than_k_still_exact() {
+        // Each chunk yields fewer than k survivors; the merge must still
+        // recover the global top-k.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(302);
+        let dists: Vec<f32> = (0..500).map(|_| rng.gen()).collect();
+        let cfg = SelectConfig::plain(QueueKind::Insertion, 64);
+        let got: Vec<f32> = select_k_chunked(&dists, &cfg, 16)
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        assert_eq!(got, oracle(&dists, 64));
+    }
+
+    #[test]
+    fn ids_are_globally_offset() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(303);
+        let dists: Vec<f32> = (0..3_000).map(|_| rng.gen()).collect();
+        let cfg = SelectConfig::plain(QueueKind::Heap, 16);
+        for nb in select_k_chunked(&dists, &cfg, 250) {
+            assert_eq!(dists[nb.id as usize], nb.dist);
+        }
+    }
+
+    #[test]
+    fn very_large_synthetic_n() {
+        // Beyond the paper's 2^16 range — the reason this module exists.
+        let n = 1 << 20;
+        let dists: Vec<f32> = (0..n)
+            .map(|i| ((i as u64 * 2654435761) % 1_000_003) as f32)
+            .collect();
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+        let got: Vec<f32> = select_k_chunked(&dists, &cfg, 1 << 16)
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        assert_eq!(got, oracle(&dists, 16));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_rejected() {
+        select_k_chunked(&[1.0], &SelectConfig::plain(QueueKind::Heap, 1), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Warp-level **Buffered Search** (paper §III-D, Algorithm 3).
+//!
+//! Each lane stages its k-NN candidates in a per-lane region of shared
+//! memory. Three escalating variants, matching Fig. 6's series:
+//!
+//! * `buffer` — a lane flushes when *its own* buffer fills. The flush is a
+//!   divergent event: other lanes idle while one lane drains 16 inserts.
+//! * `full` (intra-warp communication) — a shared flag is raised when any
+//!   lane's buffer fills; the whole warp flushes together, so the
+//!   expensive insertion loops run at full SIMT efficiency.
+//! * `full+sorted` (local sort) — before flushing, each lane's buffer is
+//!   sorted ascending by a bitonic network in shared memory. The smallest
+//!   candidate is inserted first, which tightens the queue maximum so
+//!   that later buffered candidates often fail the cheap re-check instead
+//!   of paying a full insertion.
+//!
+//! Buffer layout: slot `s` of lane `l` is shared-memory word
+//! `s · 32 + l` — lanes hit distinct banks in lockstep, so buffered
+//! traffic is conflict-free.
+
+use simt::mem::SharedBuf;
+use simt::{lanes_from_fn, splat, Lanes, Mask, WarpCtx, WARP_SIZE};
+
+use crate::bitonic::{bitonic_sort_schedule, Comparator};
+use crate::buffered::BufferConfig;
+use crate::types::{INF, NO_ID};
+
+use super::queues::WarpQueues;
+
+/// Per-warp candidate buffer for Buffered Search.
+pub struct WarpBuffer {
+    db: SharedBuf<f32>,
+    ib: SharedBuf<u32>,
+    /// Per-lane fill level (register).
+    cur: Lanes<usize>,
+    flag: SharedBuf<u32>,
+    cfg: BufferConfig,
+    /// Ascending sort network over the (power-of-two padded) buffer.
+    sort_schedule: Vec<Comparator>,
+    padded: usize,
+    /// Flush events executed (diagnostics).
+    pub flushes: u64,
+}
+
+impl WarpBuffer {
+    /// Allocate a buffer of `cfg.size` slots per lane.
+    pub fn new(cfg: BufferConfig) -> Self {
+        assert!(cfg.size > 0, "buffer size must be positive");
+        let padded = cfg.size.next_power_of_two();
+        // An ascending network is the descending network with every
+        // comparator's *direction* flipped once: the flush executor below
+        // applies "ensure buffer[a] <= buffer[b]" to these pairs, turning
+        // the descending schedule into an ascending sorter.
+        let sort_schedule = bitonic_sort_schedule(padded);
+        WarpBuffer {
+            db: SharedBuf::new(padded * WARP_SIZE),
+            ib: SharedBuf::new(padded * WARP_SIZE),
+            cur: splat(0),
+            flag: SharedBuf::new(1),
+            cfg,
+            sort_schedule,
+            padded,
+            flushes: 0,
+        }
+    }
+
+    /// The configuration this buffer was built with.
+    pub fn config(&self) -> &BufferConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn slot_idx(&self, slot: Lanes<usize>) -> Lanes<usize> {
+        lanes_from_fn(|l| slot[l] * WARP_SIZE + l)
+    }
+
+    /// Stage candidates (lanes in `cand` hold a value below their queue
+    /// max) and flush when the policy says so.
+    pub fn push_and_maybe_flush(
+        &mut self,
+        ctx: &mut WarpCtx,
+        warp: Mask,
+        cand: Mask,
+        dist: &Lanes<f32>,
+        id: &Lanes<u32>,
+        queues: &mut WarpQueues,
+    ) {
+        if cand.any_lane() {
+            let idx = self.slot_idx(self.cur);
+            self.db.write(ctx, cand, &idx, dist);
+            self.ib.write(ctx, cand, &idx, id);
+            ctx.op(cand, 1); // cur++
+            for l in cand.lanes() {
+                self.cur[l] += 1;
+            }
+        }
+        let full_pred = lanes_from_fn(|l| self.cur[l] == self.cfg.size);
+        if self.cfg.intra_warp {
+            // Shared flag: any full lane raises it; everyone flushes.
+            let raisers = ctx.ballot(warp, &full_pred);
+            if raisers.any_lane() {
+                self.flag.write_broadcast(ctx, raisers, 0, 1);
+            }
+            let flag = self.flag.read_broadcast(ctx, warp, 0);
+            if flag == 1 {
+                self.flush(ctx, warp, warp, queues);
+                self.flag.write_broadcast(ctx, warp, 0, 0);
+            }
+        } else {
+            // Each lane flushes alone when its own buffer fills — a
+            // divergent flush.
+            let (full_m, _) = ctx.diverge(warp, full_pred);
+            if full_m.any_lane() {
+                self.flush(ctx, warp, full_m, queues);
+            }
+        }
+    }
+
+    /// Drain all lanes' buffers (used at the end of the scan and between
+    /// Hierarchical Partition levels).
+    pub fn flush_all(&mut self, ctx: &mut WarpCtx, warp: Mask, queues: &mut WarpQueues) {
+        let nonempty = lanes_from_fn(|l| self.cur[l] > 0);
+        let m = warp.and_lanes(&nonempty);
+        if m.any_lane() {
+            self.flush(ctx, warp, m, queues);
+        }
+    }
+
+    /// Flush the buffers of `participants`: optional local sort, then
+    /// re-check + insert each staged candidate.
+    fn flush(&mut self, ctx: &mut WarpCtx, warp: Mask, participants: Mask, queues: &mut WarpQueues) {
+        self.flushes += 1;
+        let max_cur = participants.lanes().map(|l| self.cur[l]).max().unwrap_or(0);
+        if max_cur == 0 {
+            return;
+        }
+        if self.cfg.sorted {
+            // Pad unfilled slots with INF so the network is well-defined;
+            // ascending order keeps real elements in slots [0, cur).
+            for s in 0..self.padded {
+                let pad = participants.filter(|l| s >= self.cur[l]);
+                if pad.any_lane() {
+                    let idx = self.slot_idx(splat(s));
+                    self.db.write(ctx, pad, &idx, &splat(INF));
+                    self.ib.write(ctx, pad, &idx, &splat(NO_ID));
+                }
+            }
+            for i in 0..self.sort_schedule.len() {
+                let (a, b) = self.sort_schedule[i];
+                let ia = self.slot_idx(splat(a));
+                let ib_ = self.slot_idx(splat(b));
+                let va = self.db.read(ctx, participants, &ia);
+                let vb = self.db.read(ctx, participants, &ib_);
+                let ja = self.ib.read(ctx, participants, &ia);
+                let jb = self.ib.read(ctx, participants, &ib_);
+                ctx.op(participants, 2);
+                // ascending: ensure buffer[a] <= buffer[b]
+                let swap = lanes_from_fn(|l| va[l] > vb[l]);
+                let na = lanes_from_fn(|l| if swap[l] { vb[l] } else { va[l] });
+                let nb = lanes_from_fn(|l| if swap[l] { va[l] } else { vb[l] });
+                let nja = lanes_from_fn(|l| if swap[l] { jb[l] } else { ja[l] });
+                let njb = lanes_from_fn(|l| if swap[l] { ja[l] } else { jb[l] });
+                self.db.write(ctx, participants, &ia, &na);
+                self.db.write(ctx, participants, &ib_, &nb);
+                self.ib.write(ctx, participants, &ia, &nja);
+                self.ib.write(ctx, participants, &ib_, &njb);
+            }
+        }
+        // Drain: slot by slot (uniform index → conflict-free), re-check
+        // against the current queue max, insert survivors.
+        for s in 0..max_cur {
+            let has = participants.filter(|l| s < self.cur[l]);
+            if !has.any_lane() {
+                continue;
+            }
+            let idx = self.slot_idx(splat(s));
+            let d = self.db.read(ctx, has, &idx);
+            let i = self.ib.read(ctx, has, &idx);
+            let pred = lanes_from_fn(|l| d[l] < queues.qmax[l]);
+            let (ins, _) = ctx.diverge(has, pred);
+            queues.insert(ctx, warp, ins, &d, &i);
+        }
+        for l in participants.lanes() {
+            self.cur[l] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::QueueKind;
+    use rand::{Rng, SeedableRng};
+
+    fn scan(
+        kind: QueueKind,
+        k: usize,
+        cfg: BufferConfig,
+        n: usize,
+        seed: u64,
+    ) -> (WarpQueues, Vec<Vec<f32>>, simt::Metrics) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let mut ctx = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let mut q = WarpQueues::new(kind, k, 8, true);
+        let mut buf = WarpBuffer::new(cfg);
+        for e in 0..n {
+            let d = lanes_from_fn(|l| streams[l][e]);
+            let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+            let (cand, _) = ctx.diverge(warp, pred);
+            buf.push_and_maybe_flush(&mut ctx, warp, cand, &d, &splat(e as u32), &mut q);
+        }
+        buf.flush_all(&mut ctx, warp, &mut q);
+        (q, streams, ctx.into_metrics())
+    }
+
+    fn check_exact(q: &WarpQueues, streams: &[Vec<f32>], k: usize, tag: &str) {
+        for l in 0..WARP_SIZE {
+            let got: Vec<f32> = q.lane_results(l).iter().map(|n| n.dist).collect();
+            let mut expect = streams[l].clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            expect.truncate(k);
+            assert_eq!(got, expect, "{tag} lane {l}");
+        }
+    }
+
+    #[test]
+    fn all_variants_exact_for_all_queues() {
+        for kind in QueueKind::ALL {
+            for (sorted, intra) in [(false, false), (false, true), (true, true)] {
+                let cfg = BufferConfig {
+                    size: 8,
+                    sorted,
+                    intra_warp: intra,
+                };
+                let (q, streams, _) = scan(kind, 16, cfg, 600, 71);
+                check_exact(&q, &streams, 16, &format!("{kind} sorted={sorted} intra={intra}"));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_buffer_size_padded() {
+        let cfg = BufferConfig {
+            size: 5,
+            sorted: true,
+            intra_warp: true,
+        };
+        let (q, streams, _) = scan(QueueKind::Insertion, 8, cfg, 400, 72);
+        check_exact(&q, &streams, 8, "padded");
+    }
+
+    #[test]
+    fn intra_warp_flush_raises_simt_efficiency() {
+        // Fig. 6's "full" vs "buffer": synchronising flushes across the
+        // warp improves SIMT efficiency of the insertion-heavy phase.
+        let base = BufferConfig {
+            size: 16,
+            sorted: false,
+            intra_warp: false,
+        };
+        let full = BufferConfig {
+            intra_warp: true,
+            ..base
+        };
+        let (_, _, m_solo) = scan(QueueKind::Insertion, 64, base, 4000, 73);
+        let (_, _, m_full) = scan(QueueKind::Insertion, 64, full, 4000, 73);
+        assert!(
+            m_full.simt_efficiency() > m_solo.simt_efficiency(),
+            "full {:.3} vs solo {:.3}",
+            m_full.simt_efficiency(),
+            m_solo.simt_efficiency()
+        );
+    }
+
+    #[test]
+    fn buffering_beats_unbuffered_scan_for_insertion_queue() {
+        // Fig. 6a: buffered search improves the insertion queue's issue
+        // count substantially at moderate k.
+        let n = 4000;
+        let k = 64;
+        // unbuffered baseline
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let mut ctx = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let mut q = WarpQueues::new(QueueKind::Insertion, k, 8, false);
+        for e in 0..n {
+            let d = lanes_from_fn(|l| streams[l][e]);
+            let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+            let (ins, _) = ctx.diverge(warp, pred);
+            q.insert(&mut ctx, warp, ins, &d, &splat(e as u32));
+        }
+        let unbuffered = ctx.into_metrics();
+        let (_, _, buffered) = scan(
+            QueueKind::Insertion,
+            k,
+            BufferConfig {
+                size: 16,
+                sorted: true,
+                intra_warp: true,
+            },
+            n,
+            74,
+        );
+        assert!(
+            buffered.issued < unbuffered.issued,
+            "buffered {} vs unbuffered {}",
+            buffered.issued,
+            unbuffered.issued
+        );
+    }
+
+    #[test]
+    fn flush_resets_fill_levels() {
+        let cfg = BufferConfig {
+            size: 4,
+            sorted: true,
+            intra_warp: true,
+        };
+        let mut ctx = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let mut q = WarpQueues::new(QueueKind::Heap, 8, 8, false);
+        let mut buf = WarpBuffer::new(cfg);
+        for e in 0..4 {
+            buf.push_and_maybe_flush(
+                &mut ctx,
+                warp,
+                warp,
+                &splat(0.1 * (e + 1) as f32),
+                &splat(e as u32),
+                &mut q,
+            );
+        }
+        // all lanes filled simultaneously → exactly one flush, buffers empty
+        assert_eq!(buf.flushes, 1);
+        assert!(buf.cur.iter().all(|&c| c == 0));
+        // flush_all on empty buffers is a no-op
+        buf.flush_all(&mut ctx, warp, &mut q);
+        assert_eq!(buf.flushes, 1);
+    }
+}

@@ -1,0 +1,485 @@
+//! Warp-level **Hierarchical Partition** (paper §III-E).
+//!
+//! Each lane builds and searches its own hierarchy over its own distance
+//! column. Construction is the SIMT sweet spot the paper advertises: a
+//! linear scan with branch-free min-accumulation, perfectly coalesced
+//! reads from the distance matrix and coalesced writes of the group
+//! minima. Top-down search then touches only ~G·k elements per level; the
+//! child expansions read at per-lane indices (scattered — the honest cost
+//! of the descent, which the paper's speedup figures already absorb).
+
+use simt::mem::{GlobalBuf, LaneLocal};
+use simt::{lanes_from_fn, splat, Lanes, Mask, WarpCtx};
+
+use crate::types::{INF, NO_ID};
+
+use super::buffered::WarpBuffer;
+use super::queues::WarpQueues;
+
+/// Sizes of the reduced levels for an input of `n` elements, group size
+/// `g`, stopping at ≤ `k` (mirrors the native `Hierarchy::build`).
+pub fn level_sizes(n: usize, g: usize, k: usize) -> Vec<usize> {
+    assert!(g >= 2 && k > 0);
+    let mut sizes = Vec::new();
+    let mut cur = n;
+    while cur > k {
+        cur = cur.div_ceil(g);
+        sizes.push(cur);
+        if cur <= k {
+            break;
+        }
+    }
+    sizes
+}
+
+/// Per-warp staging area for one level's expanded children during
+/// Top-Down search: holds up to `G·k` `(value, index)` pairs per lane so
+/// the scattered child reads happen exactly once per level.
+pub struct ChildStash {
+    /// Stashed child values (poisoned with `INF` where not offerable).
+    pub d: LaneLocal<f32>,
+    /// Stashed child indices.
+    pub i: LaneLocal<u32>,
+}
+
+impl ChildStash {
+    /// Allocate room for `g * k` children per lane.
+    pub fn new(g: usize, k: usize) -> Self {
+        let cap = (g * k).max(1);
+        ChildStash {
+            d: LaneLocal::new(cap, INF),
+            i: LaneLocal::new(cap, NO_ID),
+        }
+    }
+
+    /// Children the stash can hold per lane.
+    pub fn capacity(&self) -> usize {
+        self.d.len_per_lane()
+    }
+}
+
+/// One warp's hierarchies: 32 per-lane pyramids stored in lane-local
+/// memory, all sharing the same shape.
+pub struct WarpHierarchy {
+    /// Concatenated reduced levels, per lane.
+    vals: LaneLocal<f32>,
+    /// Start offset of each reduced level inside `vals`.
+    offsets: Vec<usize>,
+    sizes: Vec<usize>,
+    g: usize,
+    n: usize,
+}
+
+impl WarpHierarchy {
+    /// Bottom-Up Construction (Algorithm 4) for the warp's 32 queries.
+    ///
+    /// `dlist` is the distance matrix in query-major element order:
+    /// element `e` of query `q` lives at `e * q_stride + q`; the warp
+    /// covers queries `q_base + lane`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        ctx: &mut WarpCtx,
+        warp: Mask,
+        dlist: &GlobalBuf<f32>,
+        q_base: usize,
+        q_stride: usize,
+        n: usize,
+        g: usize,
+        k: usize,
+    ) -> Self {
+        let sizes = level_sizes(n, g, k);
+        let total: usize = sizes.iter().sum();
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        let mut h = WarpHierarchy {
+            vals: LaneLocal::new(total.max(1), INF),
+            offsets,
+            sizes,
+            g,
+            n,
+        };
+        // Level 0 → first reduced level: scan the distance matrix.
+        if !h.sizes.is_empty() {
+            let mut min: Lanes<f32> = splat(INF);
+            let mut out = h.offsets[0];
+            for e in 0..n {
+                let idx = lanes_from_fn(|l| e * q_stride + q_base + l);
+                let d = dlist.read(ctx, warp, &idx);
+                // Branch-free min accumulation.
+                ctx.op(warp, 1);
+                for l in warp.lanes() {
+                    if d[l] < min[l] {
+                        min[l] = d[l];
+                    }
+                }
+                if (e + 1) % g == 0 || e + 1 == n {
+                    h.vals.write_uniform(ctx, warp, out, &min);
+                    out += 1;
+                    min = splat(INF);
+                }
+            }
+            debug_assert_eq!(out, h.offsets[0] + h.sizes[0]);
+            // Higher reduced levels: scan the level below (uniform,
+            // coalesced lane-local reads).
+            for li in 1..h.sizes.len() {
+                let below_off = h.offsets[li - 1];
+                let below_n = h.sizes[li - 1];
+                let mut min: Lanes<f32> = splat(INF);
+                let mut out = h.offsets[li];
+                for e in 0..below_n {
+                    let d = h.vals.read_uniform(ctx, warp, below_off + e);
+                    ctx.op(warp, 1);
+                    for l in warp.lanes() {
+                        if d[l] < min[l] {
+                            min[l] = d[l];
+                        }
+                    }
+                    if (e + 1) % g == 0 || e + 1 == below_n {
+                        h.vals.write_uniform(ctx, warp, out, &min);
+                        out += 1;
+                        min = splat(INF);
+                    }
+                }
+                debug_assert_eq!(out, h.offsets[li] + h.sizes[li]);
+            }
+        }
+        h
+    }
+
+    /// Number of reduced levels.
+    pub fn depth(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Group size.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Host-side peek of one lane's level (tests only).
+    pub fn peek_level(&self, lane: usize, level: usize) -> Vec<f32> {
+        (0..self.sizes[level])
+            .map(|i| self.vals.peek(lane, self.offsets[level] + i))
+            .collect()
+    }
+
+    /// Top-Down search: fills `queues` with each lane's k smallest
+    /// original elements (ids = element indices in the input list).
+    ///
+    /// The descent is *incremental*, as the paper intends: the queue is
+    /// never reset between levels. At each level, every surviving entry
+    /// `(v, i)` — where `v` is by construction the minimum of its child
+    /// group `[iG, (i+1)G)` — has its index *translated in place* to the
+    /// position of that minimum child (the value does not move, so the
+    /// queue invariants are untouched), and only the *other* children are
+    /// offered through the normal threshold/insert path. This keeps the
+    /// queue warm (critical for the Merge Queue's lazy state), avoids the
+    /// duplicate-minimum problem of a naive re-insertion descent, and
+    /// performs exactly the ≤ G·k child reads per level the paper counts.
+    ///
+    /// *Exactness*: before a level, the queue holds the k smallest values
+    /// of the candidate set C (each the min of its child group, hence a
+    /// member of the expanded child multiset E). Translating the copies
+    /// and offering E's remaining elements yields the k smallest of E —
+    /// the invariant the module-level proof needs at the next level.
+    ///
+    /// `stash` must hold at least `G·k` f32/u32 per lane (it buffers one
+    /// level's expanded children so the scattered reads happen once);
+    /// `buffer` optionally routes inserts through Buffered Search.
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_down(
+        &self,
+        ctx: &mut WarpCtx,
+        warp: Mask,
+        dlist: &GlobalBuf<f32>,
+        q_base: usize,
+        q_stride: usize,
+        queues: &mut WarpQueues,
+        mut buffer: Option<&mut WarpBuffer>,
+        stash: &mut ChildStash,
+    ) {
+        let k = queues.k();
+        assert!(stash.capacity() >= self.g * k, "stash too small");
+        if self.depth() == 0 {
+            // Input already ≤ k elements: plain scan.
+            for e in 0..self.n {
+                let idx = lanes_from_fn(|l| e * q_stride + q_base + l);
+                let d = dlist.read(ctx, warp, &idx);
+                self.offer(ctx, warp, warp, &d, &splat(e as u32), queues, &mut buffer);
+            }
+            if let Some(buf) = buffer.as_deref_mut() {
+                buf.flush_all(ctx, warp, queues);
+            }
+            return;
+        }
+        // Top level: every element is a candidate.
+        let top = self.depth() - 1;
+        for e in 0..self.sizes[top] {
+            let d = self.vals.read_uniform(ctx, warp, self.offsets[top] + e);
+            self.offer(ctx, warp, warp, &d, &splat(e as u32), queues, &mut buffer);
+        }
+        if let Some(buf) = buffer.as_deref_mut() {
+            buf.flush_all(ctx, warp, queues);
+        }
+        // Descend through reduced levels, then the original list.
+        for li in (0..self.depth()).rev() {
+            let (below_off, below_n, from_input) = if li == 0 {
+                (0, self.n, true)
+            } else {
+                (self.offsets[li - 1], self.sizes[li - 1], false)
+            };
+            // Pass 1 — expand & translate: read each queue slot, gather
+            // its child group (the one scattered access per child), stash
+            // the non-minimum children, and rewrite the slot's id to the
+            // minimum child's index in the level below.
+            for s in 0..k {
+                let v = queues.dq.read_uniform(ctx, warp, s);
+                let i = queues.iq.read_uniform(ctx, warp, s);
+                ctx.op(warp, 1);
+                let valid = lanes_from_fn(|l| i[l] != NO_ID);
+                let vmask = warp.and_lanes(&valid);
+                // Invalid slots: poison their stash region host-side
+                // cost-free is unrealistic — charge the uniform writes.
+                let mut matched: Lanes<bool> = splat(false);
+                let mut trans: Lanes<u32> = i;
+                for j in 0..self.g {
+                    ctx.op(vmask, 1);
+                    let child = lanes_from_fn(|l| i[l] as usize * self.g + j);
+                    let in_range = lanes_from_fn(|l| child[l] < below_n);
+                    let active = vmask.and_lanes(&in_range);
+                    let d = if !active.any_lane() {
+                        splat(INF)
+                    } else if from_input {
+                        let idx = lanes_from_fn(|l| {
+                            (child[l] * q_stride + q_base + l).min(dlist.len() - 1)
+                        });
+                        dlist.read(ctx, active, &idx)
+                    } else {
+                        let idx = lanes_from_fn(|l| (below_off + child[l]).min(
+                            self.vals.len_per_lane() - 1,
+                        ));
+                        self.vals.read(ctx, active, &idx)
+                    };
+                    // First child equal to the parent value is the
+                    // propagated minimum: translate instead of offering.
+                    ctx.op(active, 1);
+                    let is_min = lanes_from_fn(|l| {
+                        active.get(l) && !matched[l] && d[l] == v[l]
+                    });
+                    for l in warp.lanes() {
+                        if is_min[l] {
+                            matched[l] = true;
+                            trans[l] = child[l] as u32;
+                        }
+                    }
+                    // Stash the offer-candidates (poisoned with INF where
+                    // translated or out of range / invalid).
+                    let stash_d = lanes_from_fn(|l| {
+                        if active.get(l) && !is_min[l] {
+                            d[l]
+                        } else {
+                            INF
+                        }
+                    });
+                    let stash_i = lanes_from_fn(|l| {
+                        if active.get(l) && !is_min[l] {
+                            child[l] as u32
+                        } else {
+                            NO_ID
+                        }
+                    });
+                    stash.d.write_uniform(ctx, warp, s * self.g + j, &stash_d);
+                    stash.i.write_uniform(ctx, warp, s * self.g + j, &stash_i);
+                }
+                if vmask.any_lane() {
+                    queues.iq.write_uniform(ctx, vmask, s, &trans);
+                }
+            }
+            // Pass 2 — offer the stashed children (uniform, coalesced
+            // reads; inserts may now freely reshuffle the queue).
+            for t in 0..k * self.g {
+                let d = stash.d.read_uniform(ctx, warp, t);
+                let ids = stash.i.read_uniform(ctx, warp, t);
+                self.offer(ctx, warp, warp, &d, &ids, queues, &mut buffer);
+            }
+            if let Some(buf) = buffer.as_deref_mut() {
+                buf.flush_all(ctx, warp, queues);
+            }
+        }
+    }
+
+    /// Threshold-check + insert (optionally through the buffer).
+    #[allow(clippy::too_many_arguments)]
+    fn offer(
+        &self,
+        ctx: &mut WarpCtx,
+        warp: Mask,
+        active: Mask,
+        d: &Lanes<f32>,
+        ids: &Lanes<u32>,
+        queues: &mut WarpQueues,
+        buffer: &mut Option<&mut WarpBuffer>,
+    ) {
+        let pred = lanes_from_fn(|l| d[l] < queues.qmax[l]);
+        let (cand, _) = ctx.diverge(active, pred);
+        match buffer {
+            Some(buf) => buf.push_and_maybe_flush(ctx, warp, cand, d, ids, queues),
+            None => queues.insert(ctx, warp, cand, d, ids),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffered::BufferConfig;
+    use crate::types::QueueKind;
+    use rand::{Rng, SeedableRng};
+    use simt::WARP_SIZE;
+
+    fn column_major(streams: &[Vec<f32>], q_stride: usize) -> GlobalBuf<f32> {
+        let n = streams[0].len();
+        let mut data = vec![0.0f32; n * q_stride];
+        for (q, s) in streams.iter().enumerate() {
+            for (e, &v) in s.iter().enumerate() {
+                data[e * q_stride + q] = v;
+            }
+        }
+        GlobalBuf::from_vec(data)
+    }
+
+    fn random_streams(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn level_size_shapes() {
+        assert_eq!(level_sizes(16, 2, 2), vec![8, 4, 2]);
+        assert_eq!(level_sizes(1 << 16, 4, 256), vec![16384, 4096, 1024, 256]);
+        assert_eq!(level_sizes(10, 16, 16), Vec::<usize>::new());
+        assert_eq!(level_sizes(100, 3, 8), vec![34, 12, 4]);
+    }
+
+    #[test]
+    fn build_matches_native_hierarchy() {
+        let n = 777;
+        let streams = random_streams(n, 81);
+        let dlist = column_major(&streams, WARP_SIZE);
+        let mut ctx = WarpCtx::new(128, 32);
+        let h = WarpHierarchy::build(&mut ctx, Mask::full(), &dlist, 0, WARP_SIZE, n, 4, 16);
+        for lane in [0usize, 7, 31] {
+            let native = crate::hierarchical::Hierarchy::build(&streams[lane], 4, 16);
+            assert_eq!(h.depth(), native.depth());
+            for li in 0..h.depth() {
+                assert_eq!(h.peek_level(lane, li), native.level(li), "lane {lane} level {li}");
+            }
+        }
+    }
+
+    #[test]
+    fn construction_is_fully_coalesced() {
+        let n = 1024;
+        let streams = random_streams(n, 82);
+        let dlist = column_major(&streams, WARP_SIZE);
+        let mut ctx = WarpCtx::new(128, 32);
+        WarpHierarchy::build(&mut ctx, Mask::full(), &dlist, 0, WARP_SIZE, n, 4, 16);
+        let m = ctx.into_metrics();
+        assert!(m.coalescing_efficiency(128) > 0.99, "{}", m.coalescing_efficiency(128));
+        assert_eq!(m.divergent_branches, 0);
+        assert!((m.simt_efficiency() - 1.0).abs() < 1e-9);
+    }
+
+    fn top_down_case(kind: QueueKind, k: usize, g: usize, n: usize, buffered: bool, seed: u64) {
+        let streams = random_streams(n, seed);
+        let dlist = column_major(&streams, WARP_SIZE);
+        let mut ctx = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let h = WarpHierarchy::build(&mut ctx, warp, &dlist, 0, WARP_SIZE, n, g, k);
+        let mut q = WarpQueues::new(kind, k, 8, true);
+        let mut stash = ChildStash::new(g, k);
+        let mut buf = buffered.then(|| WarpBuffer::new(BufferConfig::default()));
+        h.top_down(
+            &mut ctx,
+            warp,
+            &dlist,
+            0,
+            WARP_SIZE,
+            &mut q,
+            buf.as_mut(),
+            &mut stash,
+        );
+        for l in 0..WARP_SIZE {
+            let got: Vec<f32> = q.lane_results(l).iter().map(|n| n.dist).collect();
+            let mut expect = streams[l].clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            expect.truncate(k);
+            assert_eq!(got, expect, "{kind} k={k} g={g} n={n} buffered={buffered} lane={l}");
+            // ids must reference the original list
+            for nb in q.lane_results(l) {
+                assert_eq!(streams[l][nb.id as usize], nb.dist);
+            }
+        }
+    }
+
+    #[test]
+    fn top_down_exact_plain() {
+        top_down_case(QueueKind::Insertion, 16, 4, 2000, false, 83);
+        top_down_case(QueueKind::Heap, 16, 2, 1500, false, 84);
+        top_down_case(QueueKind::Merge, 16, 8, 2000, false, 85);
+    }
+
+    #[test]
+    fn top_down_exact_buffered() {
+        top_down_case(QueueKind::Merge, 32, 4, 3000, true, 86);
+        top_down_case(QueueKind::Insertion, 16, 6, 1000, true, 87);
+    }
+
+    #[test]
+    fn top_down_small_n() {
+        // n ≤ k: degenerate, no levels.
+        top_down_case(QueueKind::Insertion, 16, 4, 10, false, 88);
+        top_down_case(QueueKind::Merge, 16, 4, 16, true, 89);
+    }
+
+    #[test]
+    fn hp_reduces_issue_count_versus_plain_scan() {
+        // The whole point of Hierarchical Partition: far fewer elements
+        // reach the queue, so the kernel issues far fewer instructions.
+        let n = 8192;
+        let k = 32;
+        let streams = random_streams(n, 90);
+        let dlist = column_major(&streams, WARP_SIZE);
+        let warp = Mask::full();
+        // plain scan
+        let mut ctx_scan = WarpCtx::new(128, 32);
+        let mut q1 = WarpQueues::new(QueueKind::Insertion, k, 8, false);
+        for e in 0..n {
+            let idx = lanes_from_fn(|l| e * WARP_SIZE + l);
+            let d = dlist.read(&mut ctx_scan, warp, &idx);
+            let pred = lanes_from_fn(|l| d[l] < q1.qmax[l]);
+            let (ins, _) = ctx_scan.diverge(warp, pred);
+            q1.insert(&mut ctx_scan, warp, ins, &d, &splat(e as u32));
+        }
+        let scan_m = ctx_scan.into_metrics();
+        // hierarchical partition (construction included, as in the paper)
+        let mut ctx_hp = WarpCtx::new(128, 32);
+        let h = WarpHierarchy::build(&mut ctx_hp, warp, &dlist, 0, WARP_SIZE, n, 4, k);
+        let mut q2 = WarpQueues::new(QueueKind::Insertion, k, 8, false);
+        let mut stash = ChildStash::new(4, k);
+        h.top_down(&mut ctx_hp, warp, &dlist, 0, WARP_SIZE, &mut q2, None, &mut stash);
+        let hp_m = ctx_hp.into_metrics();
+        assert!(
+            hp_m.issued < scan_m.issued,
+            "hp {} vs scan {}",
+            hp_m.issued,
+            scan_m.issued
+        );
+    }
+}

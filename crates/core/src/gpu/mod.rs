@@ -1,0 +1,22 @@
+//! Simulated GPU kernels for the paper's k-selection techniques.
+//!
+//! Everything in this module is warp-synchronous code over the [`simt`]
+//! simulator: one lane per k-NN query, 32 queries per warp, queues in
+//! interleaved lane-local memory, candidate buffers and intra-warp flags
+//! in shared memory. The entry point is [`gpu_select_k`], which takes the
+//! same [`crate::SelectConfig`] as the native API and returns both the
+//! per-query neighbors and the execution [`simt::Metrics`] from which
+//! simulated kernel times are derived.
+//!
+//! See `DESIGN.md` §2 for why a simulator substitutes for the paper's
+//! CUDA testbed and what behaviour the substitution preserves.
+
+pub mod buffered;
+pub mod hierarchical;
+pub mod queues;
+pub mod select;
+
+pub use buffered::WarpBuffer;
+pub use hierarchical::{level_sizes, WarpHierarchy};
+pub use queues::{RepairKind, WarpQueues};
+pub use select::{gpu_select_k, DistanceMatrix, GpuSelectResult};

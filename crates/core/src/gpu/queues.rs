@@ -1,0 +1,609 @@
+//! Warp-synchronous queue kernels for the three queue structures.
+//!
+//! One warp serves 32 k-NN queries: lane `l` owns the queue of query
+//! `warp_base + l`. Queues live in [`LaneLocal`] storage (CUDA "local
+//! memory": interleaved, so lockstep same-index access coalesces). The
+//! current queue maximum is cached in a register ([`WarpQueues::qmax`]),
+//! refreshed after every insert — exactly what the CUDA code does to avoid
+//! re-loading `dqueue[0]` for every scanned element.
+//!
+//! The cost characteristics the paper measures emerge from the access
+//! patterns, not from hand-tuned constants:
+//!
+//! * **insertion queue** — the shift loop advances a *uniform* index, so
+//!   accesses coalesce, but the warp iterates until its *deepest* inserting
+//!   lane finishes: O(k) serialized trips;
+//! * **heap queue** — the sift-down walks per-lane tree paths: few trips
+//!   (O(log k)) but scattered accesses;
+//! * **merge queue** — inserts touch only the m-element level 0; repairs
+//!   are bitonic-merge networks over uniform indices (fully coalesced).
+//!   Unaligned, a repair runs whenever *some* lane needs one (most lanes
+//!   idle); **aligned** (intra-warp flag), every lane merges together,
+//!   which amortises repairs across the warp and postpones everyone's next
+//!   repair — the 10.5× effect in Table I.
+
+use simt::mem::{LaneLocal, SharedBuf};
+use simt::{lanes_from_fn, splat, Lanes, Mask, WarpCtx, WARP_SIZE};
+
+use crate::bitonic::{reverse_bitonic_merge_schedule, Comparator};
+use crate::queues::merge::valid_capacity;
+use crate::types::{sort_neighbors, Neighbor, QueueKind, INF, NO_ID};
+
+/// How the Merge Queue repairs its invariant (paper §V names work-
+/// optimal merges — Merge Path, Adaptive Bitonic — as future work; this
+/// knob lets the repro quantify the trade-off).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RepairKind {
+    /// The paper's Reverse Bitonic Merge network: O(s log s) comparators,
+    /// every access at a uniform index (fully coalesced).
+    BitonicNetwork,
+    /// A work-optimal two-pointer merge (the sequential core of Merge
+    /// Path): O(s) steps, but the per-lane pointers diverge, so every
+    /// read scatters — the trade-off that justifies the paper's choice.
+    LinearMerge,
+}
+
+/// Per-warp queue state: 32 independent queues, one per lane.
+pub struct WarpQueues {
+    /// Queue distances, `k` per lane.
+    pub dq: LaneLocal<f32>,
+    /// Queue ids, `k` per lane.
+    pub iq: LaneLocal<u32>,
+    /// Register cache of each lane's `dq[0]` (the value to beat).
+    pub qmax: Lanes<f32>,
+    k: usize,
+    kind: QueueKind,
+    m: usize,
+    aligned: bool,
+    /// Shared-memory word used as the intra-warp merge flag.
+    flag: SharedBuf<u32>,
+    /// Reverse-merge schedules for prefix sizes 2m … k (merge queue only).
+    schedules: Vec<Vec<Comparator>>,
+    /// Number of merge-repair passes executed (for tests/diagnostics).
+    pub merge_passes: u64,
+    /// Merge-repair algorithm (Merge Queue only).
+    pub repair: RepairKind,
+    /// Ablation switch: when true, the Merge Queue repairs *eagerly*
+    /// (full cascade after every accepted insert) instead of lazily
+    /// (only when a level head goes out of order). Quantifies the
+    /// paper's Lazy Update contribution. Default false.
+    pub eager: bool,
+}
+
+impl WarpQueues {
+    /// Fresh queues of capacity `k` for every lane.
+    ///
+    /// # Panics
+    /// For [`QueueKind::Merge`] when `k` is not `m·2^j`.
+    pub fn new(kind: QueueKind, k: usize, m: usize, aligned: bool) -> Self {
+        assert!(k > 0);
+        let schedules = if kind == QueueKind::Merge {
+            assert!(
+                valid_capacity(k, m),
+                "Merge Queue requires k = m·2^j (got k={k}, m={m})"
+            );
+            let mut v = Vec::new();
+            let mut s = 2 * m;
+            while s <= k {
+                v.push(reverse_bitonic_merge_schedule(s));
+                s *= 2;
+            }
+            v
+        } else {
+            Vec::new()
+        };
+        WarpQueues {
+            dq: LaneLocal::new(k, INF),
+            iq: LaneLocal::new(k, NO_ID),
+            qmax: splat(INF),
+            k,
+            kind,
+            m,
+            aligned,
+            flag: SharedBuf::new(1),
+            schedules,
+            merge_passes: 0,
+            repair: RepairKind::BitonicNetwork,
+            eager: false,
+        }
+    }
+
+    /// Queue capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Queue structure in use.
+    pub fn kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// Reset all lanes' queues to sentinels (used by Hierarchical
+    /// Partition between levels). Costs `k` coalesced writes per array.
+    pub fn reset(&mut self, ctx: &mut WarpCtx, warp: Mask) {
+        for i in 0..self.k {
+            self.dq.write_uniform(ctx, warp, i, &splat(INF));
+            self.iq.write_uniform(ctx, warp, i, &splat(NO_ID));
+        }
+        self.qmax = splat(INF);
+    }
+
+    /// Insert candidates into the lanes' queues.
+    ///
+    /// * `warp` — lanes executing the surrounding code (for aligned
+    ///   merge participation);
+    /// * `ins` — lanes whose candidate passed the `dist < qmax` check
+    ///   (must be a subset of `warp`).
+    pub fn insert(
+        &mut self,
+        ctx: &mut WarpCtx,
+        warp: Mask,
+        ins: Mask,
+        dist: &Lanes<f32>,
+        id: &Lanes<u32>,
+    ) {
+        if !ins.any_lane() {
+            return;
+        }
+        match self.kind {
+            QueueKind::Insertion => self.insertion_insert(ctx, ins, dist, id, self.k),
+            QueueKind::Heap => self.heap_insert(ctx, ins, dist, id),
+            QueueKind::Merge => {
+                // Flat insert into level 0, then lazy repair.
+                self.insertion_insert(ctx, ins, dist, id, self.m.min(self.k));
+                self.merge_repair(ctx, warp, ins);
+            }
+        }
+        // Refresh the register cache of the queue head. The head can move
+        // for any lane that inserted — and, under aligned merges, for any
+        // lane that was dragged into a repair — so refresh the whole warp.
+        let head = self.dq.read_uniform(ctx, warp, 0);
+        for l in warp.lanes() {
+            self.qmax[l] = head[l];
+        }
+    }
+
+    /// Insertion-sort a candidate into the first `bound` positions
+    /// (the whole queue for the insertion queue; level 0 for the merge
+    /// queue's flat insert). The scan index is uniform across lanes, so
+    /// every access coalesces; the warp iterates until its deepest lane
+    /// finishes.
+    fn insertion_insert(
+        &mut self,
+        ctx: &mut WarpCtx,
+        ins: Mask,
+        dist: &Lanes<f32>,
+        id: &Lanes<u32>,
+        bound: usize,
+    ) {
+        let mut live = ins;
+        let mut i = 1usize;
+        while live.any_lane() {
+            if i >= bound {
+                // Remaining lanes shifted everything: candidate lands at
+                // the tail position.
+                self.dq.write_uniform(ctx, live, bound - 1, dist);
+                self.iq.write_uniform(ctx, live, bound - 1, id);
+                break;
+            }
+            ctx.loop_head(live);
+            let cur = self.dq.read_uniform(ctx, live, i);
+            let cond = lanes_from_fn(|l| cur[l] > dist[l]);
+            let (cont, done) = ctx.diverge(live, cond);
+            if done.any_lane() {
+                self.dq.write_uniform(ctx, done, i - 1, dist);
+                self.iq.write_uniform(ctx, done, i - 1, id);
+            }
+            if cont.any_lane() {
+                // Shift the larger element one step towards the head.
+                self.dq.write_uniform(ctx, cont, i - 1, &cur);
+                let cur_id = self.iq.read_uniform(ctx, cont, i);
+                self.iq.write_uniform(ctx, cont, i - 1, &cur_id);
+            }
+            live = cont;
+            i += 1;
+        }
+    }
+
+    /// Replace-root sift-down. Tree paths differ per lane, so reads and
+    /// writes scatter — the heap's SIMT weakness.
+    fn heap_insert(&mut self, ctx: &mut WarpCtx, ins: Mask, dist: &Lanes<f32>, id: &Lanes<u32>) {
+        let k = self.k;
+        let mut pos: Lanes<usize> = splat(0);
+        let mut live = ins;
+        while live.any_lane() {
+            ctx.loop_head(live);
+            // Leaf check is pure index arithmetic.
+            ctx.op(live, 1);
+            let leaf_pred = lanes_from_fn(|l| 2 * pos[l] + 1 >= k);
+            let (leaf, inner) = ctx.diverge(live, leaf_pred);
+            if leaf.any_lane() {
+                self.dq.write(ctx, leaf, &pos, dist);
+                self.iq.write(ctx, leaf, &pos, id);
+            }
+            if !inner.any_lane() {
+                break;
+            }
+            let left_idx = lanes_from_fn(|l| 2 * pos[l] + 1);
+            let left = self.dq.read(ctx, inner, &left_idx);
+            // Lanes whose right child exists read it; others reuse left.
+            let has_right = lanes_from_fn(|l| 2 * pos[l] + 2 < k);
+            let right_mask = inner.and_lanes(&has_right);
+            let right_idx = lanes_from_fn(|l| (2 * pos[l] + 2).min(k - 1));
+            let right = if right_mask.any_lane() {
+                self.dq.read(ctx, right_mask, &right_idx)
+            } else {
+                splat(f32::NEG_INFINITY)
+            };
+            // Pick the larger child (branch-free select).
+            ctx.op(inner, 2);
+            let child_idx = lanes_from_fn(|l| {
+                if right_mask.get(l) && right[l] > left[l] {
+                    right_idx[l]
+                } else {
+                    left_idx[l]
+                }
+            });
+            let child_val = lanes_from_fn(|l| {
+                if right_mask.get(l) && right[l] > left[l] {
+                    right[l]
+                } else {
+                    left[l]
+                }
+            });
+            let sink_pred = lanes_from_fn(|l| child_val[l] > dist[l]);
+            let (sink, settle) = ctx.diverge(inner, sink_pred);
+            if settle.any_lane() {
+                self.dq.write(ctx, settle, &pos, dist);
+                self.iq.write(ctx, settle, &pos, id);
+            }
+            if sink.any_lane() {
+                // Pull the larger child up and descend.
+                self.dq.write(ctx, sink, &pos, &child_val);
+                let child_id = self.iq.read(ctx, sink, &child_idx);
+                self.iq.write(ctx, sink, &pos, &child_id);
+                for l in sink.lanes() {
+                    pos[l] = child_idx[l];
+                }
+            }
+            live = sink;
+        }
+    }
+
+    /// The Merge Queue's lazy repair cascade (Algorithm 2). Unaligned:
+    /// only lanes whose invariant broke participate. Aligned: an
+    /// intra-warp shared flag drags the whole warp into the repair.
+    fn merge_repair(&mut self, ctx: &mut WarpCtx, warp: Mask, ins: Mask) {
+        let k = self.k;
+        let mut prev = 0usize;
+        let mut next = self.m;
+        let mut live = if self.aligned { warp } else { ins };
+        while next < k && live.any_lane() {
+            let head_prev = self.dq.read_uniform(ctx, live, prev);
+            let head_next = self.dq.read_uniform(ctx, live, next);
+            let need = if self.eager {
+                lanes_from_fn(|l| live.get(l))
+            } else {
+                lanes_from_fn(|l| head_prev[l] < head_next[l])
+            };
+            if self.aligned {
+                // Intra-warp communication: any lane raises the shared
+                // flag; everyone reads it and merges together.
+                let raisers = ctx.ballot(live, &need);
+                self.flag
+                    .write_broadcast(ctx, raisers, 0, u32::from(raisers.any_lane()));
+                let flag = self.flag.read_broadcast(ctx, live, 0);
+                if flag == 0 {
+                    break;
+                }
+                self.run_merge(ctx, live, 2 * next);
+                // Reset the flag for the next level check.
+                self.flag.write_broadcast(ctx, live, 0, 0);
+            } else {
+                let (merge_m, _) = ctx.diverge(live, need);
+                if !merge_m.any_lane() {
+                    break;
+                }
+                self.run_merge(ctx, merge_m, 2 * next);
+                live = merge_m;
+            }
+            prev = next;
+            next *= 2;
+        }
+    }
+
+    /// Repair the prefix `[0, size)` for the given lanes, dispatching on
+    /// [`RepairKind`].
+    fn run_merge(&mut self, ctx: &mut WarpCtx, lanes: Mask, size: usize) {
+        match self.repair {
+            RepairKind::BitonicNetwork => self.run_bitonic_merge(ctx, lanes, size),
+            RepairKind::LinearMerge => self.run_linear_merge(ctx, lanes, size),
+        }
+        self.merge_passes += 1;
+    }
+
+    /// Execute the reverse-bitonic-merge network over prefix
+    /// `[0, size)` for the given lanes. Every comparator is a branch-free
+    /// compare-exchange at uniform indices: 4 coalesced accesses + ALU.
+    fn run_bitonic_merge(&mut self, ctx: &mut WarpCtx, lanes: Mask, size: usize) {
+        let sched_idx = (size / (2 * self.m)).trailing_zeros() as usize;
+        let schedule = core::mem::take(&mut self.schedules[sched_idx]);
+        for &(a, b) in &schedule {
+            let va = self.dq.read_uniform(ctx, lanes, a);
+            let vb = self.dq.read_uniform(ctx, lanes, b);
+            let ia = self.iq.read_uniform(ctx, lanes, a);
+            let ib = self.iq.read_uniform(ctx, lanes, b);
+            // Branch-free min/max + select: no divergence.
+            ctx.op(lanes, 2);
+            let swap = lanes_from_fn(|l| va[l] < vb[l]);
+            let na = lanes_from_fn(|l| if swap[l] { vb[l] } else { va[l] });
+            let nb = lanes_from_fn(|l| if swap[l] { va[l] } else { vb[l] });
+            let nia = lanes_from_fn(|l| if swap[l] { ib[l] } else { ia[l] });
+            let nib = lanes_from_fn(|l| if swap[l] { ia[l] } else { ib[l] });
+            self.dq.write_uniform(ctx, lanes, a, &na);
+            self.dq.write_uniform(ctx, lanes, b, &nb);
+            self.iq.write_uniform(ctx, lanes, a, &nia);
+            self.iq.write_uniform(ctx, lanes, b, &nib);
+        }
+        self.schedules[sched_idx] = schedule;
+    }
+
+    /// Work-optimal two-pointer merge of the two descending halves of
+    /// `[0, size)` into a scratch area, then copy back. O(size) steps,
+    /// but the per-lane read pointers differ, so reads scatter.
+    fn run_linear_merge(&mut self, ctx: &mut WarpCtx, lanes: Mask, size: usize) {
+        let half = size / 2;
+        let mut sd = LaneLocal::new(size, INF);
+        let mut si = LaneLocal::new(size, NO_ID);
+        let mut pa: Lanes<usize> = splat(0);
+        let mut pb: Lanes<usize> = splat(half);
+        for out in 0..size {
+            // Guarded scattered reads; an exhausted side yields -inf so
+            // the other side wins the descending merge.
+            ctx.op(lanes, 2);
+            let a_live = lanes.filter(|l| pa[l] < half);
+            let b_live = lanes.filter(|l| pb[l] < size);
+            let ia = lanes_from_fn(|l| pa[l].min(half.saturating_sub(1)));
+            let ib = lanes_from_fn(|l| pb[l].min(size - 1));
+            let va_raw = self.dq.read(ctx, a_live, &ia);
+            let vb_raw = self.dq.read(ctx, b_live, &ib);
+            let ja = self.iq.read(ctx, a_live, &ia);
+            let jb = self.iq.read(ctx, b_live, &ib);
+            let va = lanes_from_fn(|l| if a_live.get(l) { va_raw[l] } else { f32::NEG_INFINITY });
+            let vb = lanes_from_fn(|l| if b_live.get(l) { vb_raw[l] } else { f32::NEG_INFINITY });
+            ctx.op(lanes, 2);
+            let take_a = lanes_from_fn(|l| va[l] >= vb[l]);
+            let od = lanes_from_fn(|l| if take_a[l] { va[l] } else { vb[l] });
+            let oi = lanes_from_fn(|l| if take_a[l] { ja[l] } else { jb[l] });
+            sd.write_uniform(ctx, lanes, out, &od);
+            si.write_uniform(ctx, lanes, out, &oi);
+            for l in lanes.lanes() {
+                if take_a[l] {
+                    pa[l] += 1;
+                } else {
+                    pb[l] += 1;
+                }
+            }
+        }
+        // Copy back (uniform, coalesced).
+        for i in 0..size {
+            let d = sd.read_uniform(ctx, lanes, i);
+            let j = si.read_uniform(ctx, lanes, i);
+            self.dq.write_uniform(ctx, lanes, i, &d);
+            self.iq.write_uniform(ctx, lanes, i, &j);
+        }
+    }
+
+    /// Host-side result extraction for one lane: non-sentinel entries,
+    /// sorted ascending. No simulated cost (results stay on-device in the
+    /// real pipeline).
+    pub fn lane_results(&self, lane: usize) -> Vec<Neighbor> {
+        assert!(lane < WARP_SIZE);
+        let mut v: Vec<Neighbor> = (0..self.k)
+            .map(|i| Neighbor::new(self.dq.peek(lane, i), self.iq.peek(lane, i)))
+            .filter(|n| !n.is_sentinel())
+            .collect();
+        sort_neighbors(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> WarpCtx {
+        WarpCtx::new(128, 32)
+    }
+
+    /// Drive candidates through the warp queues, each lane receiving an
+    /// independent stream, and compare to a per-lane sort oracle.
+    fn drive(kind: QueueKind, k: usize, aligned: bool, n: usize, seed: u64) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let mut c = ctx();
+        let mut q = WarpQueues::new(kind, k, 8, aligned);
+        let warp = Mask::full();
+        for e in 0..n {
+            let d = lanes_from_fn(|l| streams[l][e]);
+            let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+            let (ins, _) = c.diverge(warp, pred);
+            q.insert(&mut c, warp, ins, &d, &splat(e as u32));
+        }
+        for l in 0..WARP_SIZE {
+            let got: Vec<f32> = q.lane_results(l).iter().map(|n| n.dist).collect();
+            let mut expect = streams[l].clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            expect.truncate(k);
+            assert_eq!(got, expect, "{kind} k={k} aligned={aligned} lane={l}");
+        }
+    }
+
+    #[test]
+    fn insertion_kernel_selects_k_smallest() {
+        drive(QueueKind::Insertion, 16, false, 800, 61);
+    }
+
+    #[test]
+    fn heap_kernel_selects_k_smallest() {
+        drive(QueueKind::Heap, 16, false, 800, 62);
+        drive(QueueKind::Heap, 13, false, 500, 63); // non-power-of-two k
+    }
+
+    #[test]
+    fn merge_kernel_selects_k_smallest_unaligned() {
+        drive(QueueKind::Merge, 32, false, 800, 64);
+    }
+
+    #[test]
+    fn merge_kernel_selects_k_smallest_aligned() {
+        drive(QueueKind::Merge, 32, true, 800, 65);
+        drive(QueueKind::Merge, 64, true, 1500, 66);
+    }
+
+    #[test]
+    fn aligned_merge_does_fewer_repair_passes() {
+        // The headline effect: synchronising repairs across the warp
+        // slashes the number of merge passes the warp serializes through.
+        let run = |aligned: bool| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(67);
+            let n = 4000;
+            let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+                .map(|_| (0..n).map(|_| rng.gen()).collect())
+                .collect();
+            let mut c = ctx();
+            let mut q = WarpQueues::new(QueueKind::Merge, 64, 8, aligned);
+            let warp = Mask::full();
+            for e in 0..n {
+                let d = lanes_from_fn(|l| streams[l][e]);
+                let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+                let (ins, _) = c.diverge(warp, pred);
+                q.insert(&mut c, warp, ins, &d, &splat(e as u32));
+            }
+            (q.merge_passes, c.into_metrics())
+        };
+        let (passes_unaligned, m_unaligned) = run(false);
+        let (passes_aligned, m_aligned) = run(true);
+        assert!(
+            passes_aligned * 2 < passes_unaligned,
+            "aligned {passes_aligned} vs unaligned {passes_unaligned}"
+        );
+        // and the aligned variant issues fewer instructions overall
+        assert!(m_aligned.issued < m_unaligned.issued);
+        // while achieving better SIMT efficiency
+        assert!(m_aligned.simt_efficiency() > m_unaligned.simt_efficiency());
+    }
+
+    #[test]
+    fn insertion_coalesces_heap_scatters() {
+        let run = |kind: QueueKind| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(68);
+            let n = 2000;
+            let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+                .map(|_| (0..n).map(|_| rng.gen()).collect())
+                .collect();
+            let mut c = ctx();
+            let mut q = WarpQueues::new(kind, 64, 8, false);
+            let warp = Mask::full();
+            for e in 0..n {
+                let d = lanes_from_fn(|l| streams[l][e]);
+                let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+                let (ins, _) = c.diverge(warp, pred);
+                q.insert(&mut c, warp, ins, &d, &splat(e as u32));
+            }
+            let m = c.into_metrics();
+            m.coalescing_efficiency(128)
+        };
+        let ins_eff = run(QueueKind::Insertion);
+        let heap_eff = run(QueueKind::Heap);
+        assert!(
+            ins_eff > heap_eff,
+            "insertion {ins_eff:.3} vs heap {heap_eff:.3}"
+        );
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        // Only 5 lanes live (trailing warp): results must still be exact
+        // and inactive lanes untouched.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(69);
+        let n = 300;
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let mut c = ctx();
+        let warp = Mask::first(5);
+        let mut q = WarpQueues::new(QueueKind::Merge, 16, 8, true);
+        for e in 0..n {
+            let d = lanes_from_fn(|l| streams[l][e]);
+            let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+            let (ins, _) = c.diverge(warp, pred);
+            q.insert(&mut c, warp, ins, &d, &splat(e as u32));
+        }
+        for l in 0..5 {
+            let got: Vec<f32> = q.lane_results(l).iter().map(|n| n.dist).collect();
+            let mut expect = streams[l].clone();
+            expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            expect.truncate(16);
+            assert_eq!(got, expect, "lane {l}");
+        }
+        for l in 5..WARP_SIZE {
+            assert!(q.lane_results(l).is_empty(), "inactive lane {l} touched");
+        }
+    }
+
+    #[test]
+    fn linear_merge_repair_is_exact() {
+        // The Merge-Path-style repair must compute the same queue
+        // contents as the bitonic network.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(70);
+        let n = 2000;
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let run = |repair: super::RepairKind| {
+            let mut c = ctx();
+            let mut q = WarpQueues::new(QueueKind::Merge, 64, 8, true);
+            q.repair = repair;
+            let warp = Mask::full();
+            for e in 0..n {
+                let d = lanes_from_fn(|l| streams[l][e]);
+                let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+                let (ins, _) = c.diverge(warp, pred);
+                q.insert(&mut c, warp, ins, &d, &splat(e as u32));
+            }
+            let results: Vec<Vec<f32>> = (0..WARP_SIZE)
+                .map(|l| q.lane_results(l).iter().map(|nb| nb.dist).collect())
+                .collect();
+            (results, c.into_metrics())
+        };
+        let (bitonic_res, bitonic_m) = run(super::RepairKind::BitonicNetwork);
+        let (linear_res, linear_m) = run(super::RepairKind::LinearMerge);
+        assert_eq!(bitonic_res, linear_res);
+        // The linear merge does fewer issue slots (work-optimal) but far
+        // worse coalescing — the paper's rationale for bitonic networks.
+        assert!(
+            linear_m.coalescing_efficiency(128) < bitonic_m.coalescing_efficiency(128),
+            "linear {:.3} vs bitonic {:.3}",
+            linear_m.coalescing_efficiency(128),
+            bitonic_m.coalescing_efficiency(128)
+        );
+    }
+
+    #[test]
+    fn reset_restores_sentinels() {
+        let mut c = ctx();
+        let mut q = WarpQueues::new(QueueKind::Insertion, 8, 8, false);
+        let warp = Mask::full();
+        q.insert(&mut c, warp, warp, &splat(0.5), &splat(7));
+        assert_eq!(q.qmax[0], INF); // k=8, one insert: head still sentinel
+        q.reset(&mut c, warp);
+        for l in 0..WARP_SIZE {
+            assert!(q.lane_results(l).is_empty());
+        }
+        assert_eq!(q.qmax[3], INF);
+    }
+}

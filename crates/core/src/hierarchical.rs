@@ -1,0 +1,301 @@
+//! **Hierarchical Partition** (paper §III-E, Fig. 4, Algorithm 4) —
+//! native reference implementation.
+//!
+//! # Bottom-Up Construction
+//!
+//! The distance list is split into groups of `G`; each group's minimum
+//! forms the next level. Repeat until a level has at most `k` elements.
+//! Construction is a linear scan per level, `O(N · G/(G-1))` total work
+//! and `O(N/(G-1))` extra space.
+//!
+//! # Top-Down Search
+//!
+//! Insert the (≤ k) top-level elements into a queue; then, level by level,
+//! expand only the child groups of the current k best candidates and
+//! re-select the k best among the expanded elements. At most `G·k`
+//! elements are touched per level, over `log_G(N/k)` levels.
+//!
+//! # Exactness
+//!
+//! *Claim*: at every level `ℓ`, the candidate set (the k smallest values
+//! of level `ℓ` restricted to expanded groups) contains the parents of all
+//! of level `ℓ-1`'s true k smallest.
+//!
+//! *Proof sketch*: let `x` be among the k smallest of level `ℓ-1`. Its
+//! parent `p = min(x's group) ≤ x`. Suppose `p` were not among the k
+//! smallest of level `ℓ`: then k values at level `ℓ` are `< p`, each the
+//! minimum of a distinct group, so each witnesses a distinct element of
+//! level `ℓ-1` that is `< p ≤ x` — contradicting `x` being in the k
+//! smallest at level `ℓ-1`. Induction from the top level (all elements
+//! are candidates) down to the original list gives exactness. ∎
+//!
+//! Unlike the paper's in-place description (which can insert a group
+//! minimum twice — once as the parent, once as the child), we rebuild the
+//! candidate queue at each level, which avoids duplicate entries
+//! displacing genuine candidates. The property tests in this module
+//! verify exactness against a full sort.
+
+use serde::{Deserialize, Serialize};
+
+use crate::queues::{InsertionQueue, KQueue};
+use crate::types::Neighbor;
+
+/// Configuration for Hierarchical Partition.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct HpConfig {
+    /// Group size `G` (the paper sweeps 2, 4, 6, 8 and defaults to 4).
+    pub g: usize,
+}
+
+impl Default for HpConfig {
+    fn default() -> Self {
+        HpConfig { g: 4 }
+    }
+}
+
+/// The bottom-up structure: `levels[0]` is the first *reduced* level
+/// (group minima of the input); the input itself is not duplicated.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<Vec<f32>>,
+    g: usize,
+}
+
+impl Hierarchy {
+    /// Build the hierarchy over `dists` with group size `g`, stopping once
+    /// a level has at most `k` elements (Algorithm 4).
+    ///
+    /// # Panics
+    /// When `g < 2` (a group size of 1 never reduces) or `k == 0`.
+    pub fn build(dists: &[f32], g: usize, k: usize) -> Self {
+        assert!(g >= 2, "group size must be at least 2");
+        assert!(k > 0, "k must be positive");
+        let mut levels: Vec<Vec<f32>> = Vec::new();
+        let mut cur: &[f32] = dists;
+        while cur.len() > k {
+            let next: Vec<f32> = cur
+                .chunks(g)
+                .map(|c| c.iter().copied().fold(f32::INFINITY, f32::min))
+                .collect();
+            levels.push(next);
+            cur = levels.last().unwrap();
+            // A level of length ≤ k terminates; chunks() guarantees strict
+            // shrinkage for g ≥ 2 whenever len > 1.
+            if cur.len() <= k {
+                break;
+            }
+        }
+        Hierarchy { levels, g }
+    }
+
+    /// Group size used to build this hierarchy.
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Number of reduced levels (0 when the input already had ≤ k
+    /// elements).
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Extra storage consumed, in elements. The paper bounds this by
+    /// `N/(G-1)`.
+    pub fn extra_space(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Borrow level `i` (0 = first reduced level; the deepest index is the
+    /// top of the pyramid).
+    pub fn level(&self, i: usize) -> &[f32] {
+        &self.levels[i]
+    }
+}
+
+/// Pick the k smallest of `(value, index-in-level)` pairs using an
+/// insertion queue (candidate counts here are ≤ G·k, so the simple queue
+/// is fine natively; the GPU kernels plug in any queue kind).
+fn k_best(pairs: impl Iterator<Item = (f32, u32)>, k: usize) -> Vec<(f32, u32)> {
+    let mut q = InsertionQueue::new(k);
+    for (d, i) in pairs {
+        if d < q.max() {
+            q.offer(d, i);
+        }
+    }
+    q.into_sorted().into_iter().map(|n| (n.dist, n.id)).collect()
+}
+
+/// Exact k-selection of `dists` using a prebuilt [`Hierarchy`]
+/// (Top-Down search). Returns neighbors sorted ascending.
+pub fn select_top_down(dists: &[f32], h: &Hierarchy, k: usize) -> Vec<Neighbor> {
+    assert!(k > 0);
+    if h.depth() == 0 {
+        // Input already ≤ k elements (or build was skipped): direct scan.
+        return k_best(
+            dists.iter().copied().zip(0u32..),
+            k,
+        )
+        .into_iter()
+        .map(|(d, i)| Neighbor::new(d, i))
+        .collect();
+    }
+    let g = h.g;
+    // Top level: every element is a candidate.
+    let top = h.depth() - 1;
+    let mut cands: Vec<(f32, u32)> = k_best(h.level(top).iter().copied().zip(0u32..), k);
+    // Descend through reduced levels, expanding child groups.
+    for li in (0..top).rev() {
+        let below = h.level(li);
+        cands = k_best(expand(&cands, g, below.len()).map(|i| (below[i as usize], i)), k);
+    }
+    // Final level: the original list.
+    let res = k_best(
+        expand(&cands, g, dists.len()).map(|i| (dists[i as usize], i)),
+        k,
+    );
+    res.into_iter().map(|(d, i)| Neighbor::new(d, i)).collect()
+}
+
+/// Child indices of the candidate set: for candidate index `i`, the group
+/// `[i·g, min((i+1)·g, len))` in the level below.
+fn expand<'a>(
+    cands: &'a [(f32, u32)],
+    g: usize,
+    below_len: usize,
+) -> impl Iterator<Item = u32> + 'a {
+    cands.iter().flat_map(move |&(_, i)| {
+        let start = i as usize * g;
+        let end = (start + g).min(below_len);
+        (start as u32)..(end as u32)
+    })
+}
+
+/// Convenience wrapper: build the hierarchy and search in one call.
+pub fn hierarchical_select(dists: &[f32], k: usize, cfg: HpConfig) -> Vec<Neighbor> {
+    let h = Hierarchy::build(dists, cfg.g, k);
+    select_top_down(dists, &h, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
+        let mut v = dists.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.truncate(k);
+        v
+    }
+
+    #[test]
+    fn paper_figure_4_example() {
+        // Fig. 4: N = 16, k = 2, G = 2.
+        let dists = vec![
+            9.0, 0.0, 12.0, 1.0, 8.0, 2.0, 0.0, 15.0, 13.0, 2.0, 0.0, 2.0, 4.0, 10.0, 14.0, 5.0,
+        ];
+        let h = Hierarchy::build(&dists, 2, 2);
+        // Levels: 8, 4, 2 elements.
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.level(0), &[0.0, 1.0, 2.0, 0.0, 2.0, 0.0, 4.0, 5.0]);
+        assert_eq!(h.level(1), &[0.0, 0.0, 0.0, 4.0]);
+        assert_eq!(h.level(2), &[0.0, 0.0]);
+        let res = select_top_down(&dists, &h, 2);
+        assert_eq!(
+            res.iter().map(|n| n.dist).collect::<Vec<_>>(),
+            vec![0.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn matches_oracle_across_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for &n in &[1usize, 7, 64, 100, 1000, 4096] {
+            for &k in &[1usize, 2, 8, 32] {
+                for &g in &[2usize, 3, 4, 6, 8] {
+                    let dists: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
+                    let got: Vec<f32> = hierarchical_select(&dists, k, HpConfig { g })
+                        .iter()
+                        .map(|n| n.dist)
+                        .collect();
+                    let want = oracle(&dists, k.min(n));
+                    assert_eq!(got, want, "n={n} k={k} g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ids_point_at_matching_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let dists: Vec<f32> = (0..500).map(|_| rng.gen()).collect();
+        for nb in hierarchical_select(&dists, 16, HpConfig::default()) {
+            assert_eq!(dists[nb.id as usize], nb.dist);
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_displace_candidates() {
+        // The regression the rebuild-per-level design prevents: a group
+        // minimum appearing both as parent and child. All-equal input with
+        // a single strictly-smaller element.
+        let mut dists = vec![1.0f32; 64];
+        dists[37] = 0.5;
+        dists[11] = 0.75;
+        let got: Vec<f32> = hierarchical_select(&dists, 3, HpConfig { g: 2 })
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        assert_eq!(got, vec![0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn extra_space_bounded() {
+        let dists = vec![0.0f32; 1 << 14];
+        for g in [2usize, 4, 8] {
+            let h = Hierarchy::build(&dists, g, 16);
+            let bound = dists.len() / (g - 1) + h.depth() * 2;
+            assert!(
+                h.extra_space() <= bound,
+                "g={g}: {} > {}",
+                h.extra_space(),
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let dists = vec![0.0f32; 1 << 16];
+        let h = Hierarchy::build(&dists, 4, 256);
+        // 65536 → 16384 → 4096 → 1024 → 256: four reduced levels.
+        assert_eq!(h.depth(), 4);
+    }
+
+    #[test]
+    fn n_smaller_than_k() {
+        let dists = vec![3.0, 1.0, 2.0];
+        let res = hierarchical_select(&dists, 10, HpConfig::default());
+        assert_eq!(
+            res.iter().map(|n| n.dist).collect::<Vec<_>>(),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn non_divisible_group_tail() {
+        // N not a multiple of G: the last (short) group must still be
+        // represented by its minimum.
+        let mut dists: Vec<f32> = (0..21).map(|i| 21.0 - i as f32).collect();
+        dists[20] = 0.25; // minimum lives in the 1-element tail group
+        let got = hierarchical_select(&dists, 2, HpConfig { g: 4 });
+        assert_eq!(got[0].dist, 0.25);
+        assert_eq!(got[0].id, 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn group_size_one_rejected() {
+        Hierarchy::build(&[1.0, 2.0], 1, 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! The classic heap queue (paper Fig. 1a, bottom).
+//!
+//! A binary max-heap stored in an array: the root (position 0) is the
+//! maximum. A candidate smaller than the root replaces it and sifts down —
+//! O(log k) per insert, but the tree walk makes memory accesses irregular,
+//! which the paper identifies as its weakness on SIMT hardware.
+
+use super::{KQueue, NoStats, UpdateSink};
+use crate::types::{Neighbor, INF, NO_ID};
+
+/// Binary max-heap queue retaining the k smallest values.
+#[derive(Clone, Debug)]
+pub struct HeapQueue<S: UpdateSink = NoStats> {
+    dist: Vec<f32>,
+    id: Vec<u32>,
+    sink: S,
+}
+
+impl HeapQueue<NoStats> {
+    /// A queue of capacity `k`, pre-filled with sentinels.
+    pub fn new(k: usize) -> Self {
+        Self::with_stats(k, NoStats)
+    }
+}
+
+impl<S: UpdateSink> HeapQueue<S> {
+    /// A queue of capacity `k` reporting every position write to `sink`.
+    pub fn with_stats(k: usize, sink: S) -> Self {
+        assert!(k > 0, "k must be positive");
+        HeapQueue {
+            dist: vec![INF; k],
+            id: vec![NO_ID; k],
+            sink,
+        }
+    }
+
+    /// Decompose into `(contents in heap order, sink)`.
+    pub fn into_parts(self) -> (Vec<Neighbor>, S) {
+        let contents = self
+            .dist
+            .iter()
+            .zip(&self.id)
+            .map(|(&d, &i)| Neighbor::new(d, i))
+            .collect();
+        (contents, self.sink)
+    }
+
+    /// Check the max-heap invariant (every parent ≥ its children).
+    /// Exposed for tests and property checks.
+    pub fn is_valid_heap(&self) -> bool {
+        (1..self.dist.len()).all(|i| {
+            let parent = self.dist[(i - 1) / 2];
+            parent >= self.dist[i] || parent.is_nan()
+        })
+    }
+}
+
+impl<S: UpdateSink> KQueue for HeapQueue<S> {
+    fn k(&self) -> usize {
+        self.dist.len()
+    }
+
+    #[inline]
+    fn max(&self) -> f32 {
+        self.dist[0]
+    }
+
+    fn offer(&mut self, dist: f32, id: u32) -> bool {
+        if dist >= self.dist[0] {
+            return false;
+        }
+        let k = self.dist.len();
+        // Replace the root and sift the hole down, pulling the larger
+        // child up until the new value fits.
+        let mut pos = 0;
+        loop {
+            let left = 2 * pos + 1;
+            let right = left + 1;
+            if left >= k {
+                break;
+            }
+            let child = if right < k && self.dist[right] > self.dist[left] {
+                right
+            } else {
+                left
+            };
+            if self.dist[child] <= dist {
+                break;
+            }
+            self.dist[pos] = self.dist[child];
+            self.id[pos] = self.id[child];
+            self.sink.record(pos);
+            pos = child;
+        }
+        self.dist[pos] = dist;
+        self.id[pos] = id;
+        self.sink.record(pos);
+        true
+    }
+
+    fn contents(&self) -> Vec<Neighbor> {
+        self.dist
+            .iter()
+            .zip(&self.id)
+            .map(|(&d, &i)| Neighbor::new(d, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::UpdateCounter;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn heap_invariant_held_throughout() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut q = HeapQueue::new(15);
+        for _ in 0..1000 {
+            let d: f32 = rng.gen();
+            q.offer(d, 0);
+            assert!(q.is_valid_heap());
+        }
+    }
+
+    #[test]
+    fn retains_k_smallest() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let dists: Vec<f32> = (0..300).map(|_| rng.gen()).collect();
+        let mut q = HeapQueue::new(10);
+        for (i, &d) in dists.iter().enumerate() {
+            q.offer(d, i as u32);
+        }
+        let got: Vec<f32> = q.into_sorted().iter().map(|n| n.dist).collect();
+        let mut expect = dists.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(got, &expect[..10]);
+    }
+
+    #[test]
+    fn rejects_at_or_above_max() {
+        let mut q = HeapQueue::new(2);
+        q.offer(1.0, 0);
+        q.offer(3.0, 1);
+        assert!(!q.offer(3.0, 2));
+        assert!(!q.offer(4.0, 3));
+        assert!(q.offer(2.0, 4));
+        assert_eq!(q.max(), 2.0);
+    }
+
+    #[test]
+    fn non_full_heap_keeps_sentinels_at_leaves() {
+        let mut q = HeapQueue::new(7);
+        q.offer(0.5, 1);
+        q.offer(0.25, 2);
+        assert!(q.is_valid_heap());
+        let real: Vec<Neighbor> = q
+            .contents()
+            .into_iter()
+            .filter(|n| !n.is_sentinel())
+            .collect();
+        assert_eq!(real.len(), 2);
+    }
+
+    #[test]
+    fn update_counts_concentrate_near_root() {
+        // Fig. 5a: heap updates depend on tree level — the root region is
+        // written far more often than the leaves.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let k = 64;
+        let mut q = HeapQueue::with_stats(k, UpdateCounter::new(k));
+        for _ in 0..32768 {
+            let d: f32 = rng.gen();
+            if d < q.max() {
+                q.offer(d, 0);
+            }
+        }
+        let (_, counter) = q.into_parts();
+        let c = counter.per_position();
+        let root_level = c[0];
+        let leaf_avg: u64 = c[k / 2..].iter().sum::<u64>() / (k / 2) as u64;
+        assert!(root_level > 4 * leaf_avg.max(1), "root {root_level} leaf {leaf_avg}");
+    }
+
+    #[test]
+    fn k_one_degenerates_to_min_tracker() {
+        let mut q = HeapQueue::new(1);
+        for d in [9.0, 4.0, 6.0, 2.0, 3.0] {
+            q.offer(d, 0);
+        }
+        assert_eq!(q.max(), 2.0);
+    }
+}

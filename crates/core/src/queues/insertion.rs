@@ -1,0 +1,180 @@
+//! The classic insertion queue (paper Fig. 1a, top).
+//!
+//! A fully-sorted array in decreasing order: position 0 holds the maximum
+//! (the eviction candidate), position `k-1` the minimum. Inserting shifts
+//! every larger element one step towards the head — O(k) per insert on
+//! average, but perfectly regular, which is why it is the GPU folklore
+//! choice for small `k` (Garcia et al.).
+
+use super::{KQueue, NoStats, UpdateSink};
+use crate::types::{Neighbor, INF, NO_ID};
+
+/// Sorted-array queue retaining the k smallest values.
+#[derive(Clone, Debug)]
+pub struct InsertionQueue<S: UpdateSink = NoStats> {
+    dist: Vec<f32>,
+    id: Vec<u32>,
+    sink: S,
+}
+
+impl InsertionQueue<NoStats> {
+    /// A queue of capacity `k`, pre-filled with sentinels.
+    pub fn new(k: usize) -> Self {
+        Self::with_stats(k, NoStats)
+    }
+}
+
+impl<S: UpdateSink> InsertionQueue<S> {
+    /// A queue of capacity `k` reporting every position write to `sink`.
+    pub fn with_stats(k: usize, sink: S) -> Self {
+        assert!(k > 0, "k must be positive");
+        InsertionQueue {
+            dist: vec![INF; k],
+            id: vec![NO_ID; k],
+            sink,
+        }
+    }
+
+    /// Decompose into `(sorted contents, sink)` — used to recover an
+    /// [`super::UpdateCounter`] after an instrumented run.
+    pub fn into_parts(self) -> (Vec<Neighbor>, S) {
+        let contents = self
+            .dist
+            .iter()
+            .zip(&self.id)
+            .map(|(&d, &i)| Neighbor::new(d, i))
+            .collect();
+        (contents, self.sink)
+    }
+
+    /// The queue's distances, head (maximum) first. Always sorted
+    /// decreasing — this is the structure's invariant.
+    pub fn dists(&self) -> &[f32] {
+        &self.dist
+    }
+}
+
+impl<S: UpdateSink> KQueue for InsertionQueue<S> {
+    fn k(&self) -> usize {
+        self.dist.len()
+    }
+
+    #[inline]
+    fn max(&self) -> f32 {
+        self.dist[0]
+    }
+
+    fn offer(&mut self, dist: f32, id: u32) -> bool {
+        if dist >= self.dist[0] {
+            return false;
+        }
+        let k = self.dist.len();
+        // Shift larger elements one step towards the head (position 0);
+        // the old maximum falls off the front.
+        let mut i = 1;
+        while i < k && self.dist[i] > dist {
+            self.dist[i - 1] = self.dist[i];
+            self.id[i - 1] = self.id[i];
+            self.sink.record(i - 1);
+            i += 1;
+        }
+        self.dist[i - 1] = dist;
+        self.id[i - 1] = id;
+        self.sink.record(i - 1);
+        true
+    }
+
+    fn contents(&self) -> Vec<Neighbor> {
+        self.dist
+            .iter()
+            .zip(&self.id)
+            .map(|(&d, &i)| Neighbor::new(d, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queues::UpdateCounter;
+
+    #[test]
+    fn stays_sorted_decreasing() {
+        let mut q = InsertionQueue::new(4);
+        for d in [5.0, 2.0, 9.0, 1.0, 3.0, 0.5] {
+            q.offer(d, 0);
+            assert!(q.dists().windows(2).all(|w| w[0] >= w[1]), "{:?}", q.dists());
+        }
+        assert_eq!(q.dists(), &[3.0, 2.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn paper_figure_1a_example() {
+        // Fig. 1a: queue (7,6,5,4,2,1,0) with k = 7; inserting 3 shifts
+        // 6,5,4 forward and lands 3 before 2.
+        let mut q = InsertionQueue::new(7);
+        for (i, d) in [7.0, 6.0, 5.0, 4.0, 2.0, 1.0, 0.0].iter().enumerate() {
+            q.offer(*d, i as u32);
+        }
+        assert_eq!(q.dists(), &[7.0, 6.0, 5.0, 4.0, 2.0, 1.0, 0.0]);
+        q.offer(3.0, 99);
+        assert_eq!(q.dists(), &[6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn rejects_larger_and_equal() {
+        let mut q = InsertionQueue::new(2);
+        assert!(q.offer(1.0, 0));
+        assert!(q.offer(2.0, 1));
+        assert_eq!(q.max(), 2.0);
+        assert!(!q.offer(2.0, 2)); // equal to max: rejected
+        assert!(!q.offer(5.0, 3));
+        assert!(q.offer(1.5, 4));
+        assert_eq!(q.dists(), &[1.5, 1.0]);
+    }
+
+    #[test]
+    fn duplicate_values_allowed_below_max() {
+        let mut q = InsertionQueue::new(3);
+        q.offer(1.0, 0);
+        q.offer(1.0, 1);
+        q.offer(1.0, 2);
+        let (contents, _) = q.into_parts();
+        assert!(contents.iter().all(|n| n.dist == 1.0));
+    }
+
+    #[test]
+    fn update_counts_decrease_towards_tail() {
+        // The paper's Fig. 5a: insertion queue updates fall off linearly
+        // towards the tail because every shift touches positions nearer
+        // the head.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let k = 32;
+        let mut q = InsertionQueue::with_stats(k, UpdateCounter::new(k));
+        for _ in 0..4096 {
+            let d: f32 = rng.gen();
+            if d < q.max() {
+                q.offer(d, 0);
+            }
+        }
+        let (_, counter) = q.into_parts();
+        let c = counter.per_position();
+        // head quarter strictly busier than tail quarter
+        let head: u64 = c[..k / 4].iter().sum();
+        let tail: u64 = c[k - k / 4..].iter().sum();
+        assert!(head > 2 * tail, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let mut q = InsertionQueue::new(1);
+        q.offer(5.0, 7);
+        q.offer(3.0, 8);
+        q.offer(9.0, 9);
+        assert_eq!(q.max(), 3.0);
+        let s = q.into_sorted();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].id, 8);
+    }
+}

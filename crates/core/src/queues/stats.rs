@@ -1,0 +1,103 @@
+//! Update-count instrumentation (Fig. 5 of the paper).
+//!
+//! The paper characterises the three queues by *where* and *how often*
+//! queue positions are written during k-selection: the insertion queue
+//! updates positions near the head constantly, the heap spreads updates by
+//! tree level, and the Merge Queue behaves like the heap with slightly more
+//! updates. Queues in this crate report every position write through an
+//! [`UpdateSink`]; the zero-sized [`NoStats`] compiles the hook away.
+
+/// Receives one event per queue-position write.
+pub trait UpdateSink {
+    /// Position `pos` (0 = queue head) was written.
+    fn record(&mut self, pos: usize);
+}
+
+/// No-op sink: instrumentation compiles to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoStats;
+
+impl UpdateSink for NoStats {
+    #[inline(always)]
+    fn record(&mut self, _pos: usize) {}
+}
+
+/// Per-position write histogram.
+#[derive(Clone, Debug)]
+pub struct UpdateCounter {
+    counts: Vec<u64>,
+}
+
+impl UpdateCounter {
+    /// Histogram over `k` positions.
+    pub fn new(k: usize) -> Self {
+        UpdateCounter {
+            counts: vec![0; k],
+        }
+    }
+
+    /// Writes observed at each position (index 0 = queue head).
+    pub fn per_position(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total writes across all positions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another histogram (e.g. across queries).
+    pub fn merge(&mut self, other: &UpdateCounter) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl UpdateSink for UpdateCounter {
+    #[inline]
+    fn record(&mut self, pos: usize) {
+        self.counts[pos] += 1;
+    }
+}
+
+impl UpdateSink for &mut UpdateCounter {
+    #[inline]
+    fn record(&mut self, pos: usize) {
+        self.counts[pos] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_records_and_totals() {
+        let mut c = UpdateCounter::new(4);
+        c.record(0);
+        c.record(0);
+        c.record(3);
+        assert_eq!(c.per_position(), &[2, 0, 0, 1]);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = UpdateCounter::new(2);
+        a.record(0);
+        let mut b = UpdateCounter::new(2);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.per_position(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_length_mismatch_panics() {
+        let mut a = UpdateCounter::new(2);
+        a.merge(&UpdateCounter::new(3));
+    }
+}

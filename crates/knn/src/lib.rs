@@ -1,0 +1,37 @@
+//! # knn — the k-NN pipeline around k-selection
+//!
+//! The substrate the paper's evaluation runs on: synthetic datasets
+//! ([`dataset`]), Euclidean distance matrices ([`distance`]) with both a
+//! real rayon implementation and an analytic simulated-GPU cost model,
+//! CPU k-selection baselines ([`cpu`], the paper's "CPU 1"/"CPU 16"
+//! rows), the PCIe transfer model ([`pcie`], the "Data Copy" row), and
+//! end-to-end pipelines ([`pipeline`]).
+//!
+//! ```
+//! use knn::{PointSet, knn_search};
+//! use kselect::{SelectConfig, QueueKind};
+//!
+//! let refs = PointSet::uniform(1000, 32, 1);
+//! let queries = PointSet::uniform(4, 32, 2);
+//! let knn = knn_search(&queries, &refs, &SelectConfig::optimized(QueueKind::Merge, 8));
+//! assert_eq!(knn.len(), 4);
+//! assert_eq!(knn[0].len(), 8);
+//! ```
+
+pub mod cpu;
+pub mod dataset;
+pub mod distance;
+pub mod eval;
+pub mod graph;
+pub mod metric;
+pub mod pcie;
+pub mod pipeline;
+
+pub use cpu::{cpu_select_parallel, cpu_select_serial, heap_select};
+pub use dataset::PointSet;
+pub use distance::{distance_matrix, gpu_distance_metrics, squared_distance};
+pub use pcie::data_copy_time;
+pub use eval::{ground_truth, mean_recall, recall_at_k};
+pub use graph::KnnGraph;
+pub use metric::{distance_matrix_with, Metric};
+pub use pipeline::{gpu_knn, knn_search, knn_search_with, GpuKnnResult};

@@ -1,0 +1,46 @@
+//! Host↔device transfer model — the paper's "Data Copy" row.
+//!
+//! Table I shows that offloading k-selection to the CPU requires copying
+//! the distance matrix (and index array) from GPU memory to host memory,
+//! and that this copy alone dwarfs the benefit of the faster CPU
+//! selection. We model the copy as bytes over effective PCIe bandwidth.
+
+use simt::GpuSpec;
+
+/// Bytes that must cross PCIe to run k-selection on the host: the
+/// distance values and the index array for `q` queries × `n` references
+/// (both f32/u32-sized, matching the paper's setup).
+pub fn kselection_offload_bytes(q: usize, n: usize) -> u64 {
+    (q as u64) * (n as u64) * 4 * 2
+}
+
+/// Seconds to move `bytes` device→host.
+pub fn transfer_time(spec: &GpuSpec, bytes: u64) -> f64 {
+    bytes as f64 / (spec.pcie_gbps * 1e9)
+}
+
+/// The paper's "Data Copy" row for a given workload.
+pub fn data_copy_time(spec: &GpuSpec, q: usize, n: usize) -> f64 {
+    transfer_time(spec, kselection_offload_bytes(q, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_data_copy_row() {
+        let spec = GpuSpec::tesla_c2075();
+        // Paper: 0.46 s at N = 2^15, Q = 2^13; doubles with N.
+        let t15 = data_copy_time(&spec, 1 << 13, 1 << 15);
+        assert!((0.35..0.6).contains(&t15), "t15 = {t15}");
+        let t16 = data_copy_time(&spec, 1 << 13, 1 << 16);
+        assert!((1.9..2.1).contains(&(t16 / t15)));
+        // and is independent of k by construction
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        assert_eq!(kselection_offload_bytes(2, 3), 48);
+    }
+}

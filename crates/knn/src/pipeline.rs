@@ -1,0 +1,139 @@
+//! End-to-end k-NN search: distance phase + k-selection phase.
+//!
+//! * [`knn_search`] — the native library entry point: real computation on
+//!   the host, parallel over queries. This is what a downstream user of
+//!   the crate calls.
+//! * [`gpu_knn`] — the simulated pipeline the experiments use: distances
+//!   are computed natively (they are *data*), the distance kernel's cost
+//!   is charged analytically, and k-selection runs for real on the SIMT
+//!   simulator. Returns the per-phase simulated times the paper's Table I
+//!   reports.
+
+use kselect::gpu::{gpu_select_k, DistanceMatrix};
+use kselect::types::Neighbor;
+use kselect::SelectConfig;
+use rayon::prelude::*;
+use simt::{Metrics, TimingModel};
+
+use crate::dataset::PointSet;
+use crate::distance::{distance_matrix, gpu_distance_metrics};
+
+/// Native k-NN search: for each query, the k nearest references by
+/// squared Euclidean distance, sorted ascending.
+pub fn knn_search(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+) -> Vec<Vec<Neighbor>> {
+    knn_search_with(queries, refs, cfg, crate::metric::Metric::SquaredEuclidean)
+}
+
+/// [`knn_search`] under an arbitrary [`crate::metric::Metric`].
+pub fn knn_search_with(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    metric: crate::metric::Metric,
+) -> Vec<Vec<Neighbor>> {
+    assert!(cfg.k <= refs.len(), "k exceeds the number of references");
+    (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            let qp = queries.point(qi);
+            let dists: Vec<f32> = (0..refs.len())
+                .map(|ri| metric.distance(qp, refs.point(ri)))
+                .collect();
+            kselect::select_k(&dists, cfg)
+        })
+        .collect()
+}
+
+/// Result of the simulated GPU k-NN pipeline.
+pub struct GpuKnnResult {
+    /// Per-query neighbors from the simulated selection kernel.
+    pub neighbors: Vec<Vec<Neighbor>>,
+    /// Metrics of the k-selection kernel (measured on the simulator).
+    pub select_metrics: Metrics,
+    /// Metrics of the distance kernel (analytic model).
+    pub distance_metrics: Metrics,
+    /// Simulated seconds for the selection kernel.
+    pub select_time: f64,
+    /// Simulated seconds for the distance kernel.
+    pub distance_time: f64,
+}
+
+/// Run the full simulated pipeline for `queries` × `refs`.
+///
+/// The distance matrix is computed natively and uploaded into simulated
+/// global memory; the distance kernel's execution cost comes from
+/// [`gpu_distance_metrics`] (see that function for the calibration
+/// rationale), while k-selection executes instruction-by-instruction on
+/// the simulator.
+pub fn gpu_knn(
+    tm: &TimingModel,
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+) -> GpuKnnResult {
+    let rows = distance_matrix(queries, refs);
+    let dm = DistanceMatrix::from_rows(&rows);
+    let sel = gpu_select_k(&tm.spec, &dm, cfg);
+    let dist_m = gpu_distance_metrics(queries.len(), refs.len(), queries.dim());
+    GpuKnnResult {
+        neighbors: sel.neighbors,
+        select_time: tm.kernel_time(&sel.metrics),
+        distance_time: tm.kernel_time(&dist_m),
+        select_metrics: sel.metrics,
+        distance_metrics: dist_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kselect::QueueKind;
+
+    #[test]
+    fn native_and_simulated_pipelines_agree() {
+        let queries = PointSet::uniform(40, 16, 101);
+        let refs = PointSet::uniform(300, 16, 102);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 8);
+        let native = knn_search(&queries, &refs, &cfg);
+        let tm = TimingModel::tesla_c2075();
+        let sim = gpu_knn(&tm, &queries, &refs, &cfg);
+        assert_eq!(native.len(), sim.neighbors.len());
+        for (a, b) in native.iter().zip(&sim.neighbors) {
+            let ad: Vec<f32> = a.iter().map(|n| n.dist).collect();
+            let bd: Vec<f32> = b.iter().map(|n| n.dist).collect();
+            assert_eq!(ad, bd);
+        }
+    }
+
+    #[test]
+    fn knn_of_identical_point_is_itself() {
+        let refs = PointSet::uniform(50, 8, 103);
+        // Query = reference 17 exactly.
+        let q = PointSet::from_flat(refs.point(17).to_vec(), 8);
+        let cfg = SelectConfig::plain(QueueKind::Insertion, 3);
+        let res = knn_search(&q, &refs, &cfg);
+        assert_eq!(res[0][0].id, 17);
+        assert_eq!(res[0][0].dist, 0.0);
+    }
+
+    #[test]
+    fn simulated_times_are_positive_and_split() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(32, 8, 104);
+        let refs = PointSet::uniform(256, 8, 105);
+        let r = gpu_knn(
+            &tm,
+            &queries,
+            &refs,
+            &SelectConfig::plain(QueueKind::Heap, 8),
+        );
+        assert!(r.select_time > 0.0);
+        assert!(r.distance_time > 0.0);
+        assert!(r.select_metrics.issued > 0);
+        assert!(r.distance_metrics.issued > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Active-lane masks.
+//!
+//! A [`Mask`] is a 32-bit set: bit `l` set means lane `l` participates in
+//! the current instruction. SIMT control flow is expressed by narrowing
+//! masks (branches) and re-widening them (reconvergence).
+
+use crate::{Lanes, WARP_SIZE};
+
+/// A set of active lanes within one warp.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mask(u32);
+
+impl Mask {
+    /// All 32 lanes active.
+    #[inline]
+    pub const fn full() -> Self {
+        Mask(u32::MAX)
+    }
+
+    /// No lane active.
+    #[inline]
+    pub const fn empty() -> Self {
+        Mask(0)
+    }
+
+    /// The first `n` lanes active (`n` is clamped to the warp size).
+    /// Used for partially-filled trailing warps.
+    #[inline]
+    pub fn first(n: usize) -> Self {
+        if n >= WARP_SIZE {
+            Self::full()
+        } else {
+            Mask((1u32 << n) - 1)
+        }
+    }
+
+    /// A mask with exactly one lane active.
+    #[inline]
+    pub fn single(lane: usize) -> Self {
+        debug_assert!(lane < WARP_SIZE);
+        Mask(1 << lane)
+    }
+
+    /// Construct from the raw bitset.
+    #[inline]
+    pub const fn from_bits(bits: u32) -> Self {
+        Mask(bits)
+    }
+
+    /// The raw bitset.
+    #[inline]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Keep only lanes for which `pred` holds. This is the fundamental
+    /// branch operation: `mask.filter(...)` is the "then" mask and
+    /// `mask & !taken` the "else" mask.
+    #[inline]
+    pub fn filter<F: FnMut(usize) -> bool>(self, mut pred: F) -> Self {
+        let mut out = 0u32;
+        let mut bits = self.0;
+        while bits != 0 {
+            let l = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if pred(l) {
+                out |= 1 << l;
+            }
+        }
+        Mask(out)
+    }
+
+    /// Narrow by a per-lane boolean register.
+    #[inline]
+    pub fn and_lanes(self, preds: &Lanes<bool>) -> Self {
+        self.filter(|l| preds[l])
+    }
+
+    /// Is lane `l` active?
+    #[inline]
+    pub fn get(self, lane: usize) -> bool {
+        (self.0 >> lane) & 1 == 1
+    }
+
+    /// Activate lane `l`.
+    #[inline]
+    #[must_use]
+    pub fn with(self, lane: usize) -> Self {
+        Mask(self.0 | (1 << lane))
+    }
+
+    /// Deactivate lane `l`.
+    #[inline]
+    #[must_use]
+    pub fn without(self, lane: usize) -> Self {
+        Mask(self.0 & !(1 << lane))
+    }
+
+    /// Number of active lanes.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Any lane active? (Pure query — the *instruction* `__any()` is
+    /// [`crate::WarpCtx::any`], which also charges an issue slot.)
+    #[inline]
+    pub fn any_lane(self) -> bool {
+        self.0 != 0
+    }
+
+    /// All 32 lanes active?
+    #[inline]
+    pub fn all_lanes(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Lowest active lane, if any.
+    #[inline]
+    pub fn first_lane(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate over active lane indices in ascending order.
+    #[inline]
+    pub fn lanes(self) -> LaneIter {
+        LaneIter(self.0)
+    }
+}
+
+impl core::ops::BitAnd for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitand(self, rhs: Mask) -> Mask {
+        Mask(self.0 & rhs.0)
+    }
+}
+
+impl core::ops::BitOr for Mask {
+    type Output = Mask;
+    #[inline]
+    fn bitor(self, rhs: Mask) -> Mask {
+        Mask(self.0 | rhs.0)
+    }
+}
+
+impl core::ops::Not for Mask {
+    type Output = Mask;
+    #[inline]
+    fn not(self) -> Mask {
+        Mask(!self.0)
+    }
+}
+
+impl core::ops::Sub for Mask {
+    type Output = Mask;
+    /// Set difference: lanes in `self` but not in `rhs`.
+    #[inline]
+    fn sub(self, rhs: Mask) -> Mask {
+        Mask(self.0 & !rhs.0)
+    }
+}
+
+impl core::fmt::Debug for Mask {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Mask({:032b})", self.0)
+    }
+}
+
+/// Iterator over active lanes of a [`Mask`].
+pub struct LaneIter(u32);
+
+impl Iterator for LaneIter {
+    type Item = usize;
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let l = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(l)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for LaneIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(Mask::full().count(), 32);
+        assert!(Mask::full().all_lanes());
+        assert_eq!(Mask::empty().count(), 0);
+        assert!(!Mask::empty().any_lane());
+        assert_eq!(Mask::empty().first_lane(), None);
+    }
+
+    #[test]
+    fn first_n() {
+        assert_eq!(Mask::first(0), Mask::empty());
+        assert_eq!(Mask::first(32), Mask::full());
+        assert_eq!(Mask::first(40), Mask::full());
+        let m = Mask::first(5);
+        assert_eq!(m.count(), 5);
+        assert!(m.get(4));
+        assert!(!m.get(5));
+    }
+
+    #[test]
+    fn filter_splits_mask() {
+        let m = Mask::full();
+        let even = m.filter(|l| l % 2 == 0);
+        let odd = m - even;
+        assert_eq!(even.count(), 16);
+        assert_eq!(odd.count(), 16);
+        assert_eq!(even | odd, Mask::full());
+        assert_eq!(even & odd, Mask::empty());
+    }
+
+    #[test]
+    fn lane_iteration_ascending() {
+        let m = Mask::single(3) | Mask::single(17) | Mask::single(31);
+        let lanes: Vec<usize> = m.lanes().collect();
+        assert_eq!(lanes, vec![3, 17, 31]);
+        assert_eq!(m.first_lane(), Some(3));
+    }
+
+    #[test]
+    fn with_without() {
+        let m = Mask::empty().with(7);
+        assert!(m.get(7));
+        assert!(!m.without(7).get(7));
+    }
+
+    #[test]
+    fn and_lanes_narrows() {
+        let mut preds = [false; WARP_SIZE];
+        preds[2] = true;
+        preds[9] = true;
+        let m = Mask::full().and_lanes(&preds);
+        assert_eq!(m.count(), 2);
+        assert!(m.get(2) && m.get(9));
+        // narrowing an already-narrow mask
+        let m2 = Mask::single(9).and_lanes(&preds);
+        assert_eq!(m2, Mask::single(9));
+    }
+}

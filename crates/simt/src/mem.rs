@@ -1,0 +1,458 @@
+//! Simulated memory spaces with cost accounting.
+//!
+//! Three spaces, matching the CUDA memory hierarchy that the paper's
+//! techniques are designed around:
+//!
+//! * [`GlobalBuf`] — device global memory shared by all warps. A warp-wide
+//!   access costs one DRAM transaction per distinct 128-byte segment
+//!   touched by active lanes (the Fermi coalescing rule).
+//! * [`LaneLocal`] — per-thread arrays ("local memory"). CUDA interleaves
+//!   local memory so that lane `l`'s element `i` lives at physical word
+//!   `i * 32 + l`; consequently a *lockstep* access (all lanes at the same
+//!   index) is one coalesced transaction, while a divergent access (lanes
+//!   at different indices) scatters across segments. The per-thread k-NN
+//!   queues live here, which is exactly why the paper's Aligned Merge and
+//!   Buffered Search pay off.
+//! * [`SharedBuf`] — per-warp shared memory with 32 banks; conflicting
+//!   lanes replay. The intra-warp communication flag and candidate
+//!   buffers live here.
+
+use crate::{splat, Lanes, Mask, WarpCtx, WARP_SIZE};
+
+/// Count the DRAM transactions needed to service one warp access given the
+/// byte address touched by each active lane.
+fn count_transactions(ctx: &WarpCtx, mask: Mask, byte_addrs: &Lanes<u64>) -> u64 {
+    let tb = ctx.transaction_bytes().max(1);
+    // At most 32 distinct segments; a tiny insertion-sorted array beats a
+    // hash set at this size.
+    let mut segs = [0u64; WARP_SIZE];
+    let mut n = 0usize;
+    for l in mask.lanes() {
+        let seg = byte_addrs[l] / tb;
+        if !segs[..n].contains(&seg) {
+            segs[n] = seg;
+            n += 1;
+        }
+    }
+    n as u64
+}
+
+/// Shared-memory replay count for one warp access: lanes hitting the same
+/// bank but different words serialize; lanes reading the same word
+/// broadcast for free. Allocation-free: at most 32 lanes means at most
+/// 32 distinct (bank, word) pairs to dedup with a linear scan.
+fn count_bank_replays(ctx: &WarpCtx, mask: Mask, word_idxs: &Lanes<usize>) -> u64 {
+    if !mask.any_lane() {
+        return 0;
+    }
+    let banks = ctx.shared_banks().max(1) as usize;
+    // Distinct words seen, and how many distinct words per bank.
+    let mut words = [0usize; WARP_SIZE];
+    let mut n_words = 0usize;
+    let mut per_bank = [0u32; WARP_SIZE];
+    let mut max_replays = 0u32;
+    for l in mask.lanes() {
+        let w = word_idxs[l];
+        if !words[..n_words].contains(&w) {
+            words[n_words] = w;
+            n_words += 1;
+            let bank = w % banks;
+            // `banks` can exceed 32 in exotic configs; clamp the counter
+            // index — distinct banks beyond the lane count cannot
+            // conflict anyway.
+            let slot = bank % WARP_SIZE;
+            per_bank[slot] += 1;
+            max_replays = max_replays.max(per_bank[slot]);
+        }
+    }
+    u64::from(max_replays.max(1))
+}
+
+/// Device global memory: a flat, typed buffer visible to every warp.
+#[derive(Clone, Debug)]
+pub struct GlobalBuf<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> GlobalBuf<T> {
+    /// Allocate `len` zero/default-initialised elements.
+    pub fn new(len: usize) -> Self {
+        GlobalBuf {
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Wrap host data (models a host→device upload; the transfer itself is
+    /// costed separately by the PCIe model, not here).
+    pub fn from_vec(data: Vec<T>) -> Self {
+        GlobalBuf { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Host-side view of the contents (no simulated cost).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Host-side mutable view (no simulated cost). Use for test setup and
+    /// for uploading results between kernel phases.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Warp-wide gather: each active lane `l` reads element `idxs[l]`.
+    /// Inactive lanes receive `T::default()`.
+    ///
+    /// # Panics
+    /// If an active lane's index is out of bounds (the simulated kernel has
+    /// a bug — fail loudly, as `cuda-memcheck` would).
+    pub fn read(&self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>) -> Lanes<T> {
+        let esz = core::mem::size_of::<T>() as u64;
+        let addrs: Lanes<u64> = core::array::from_fn(|l| idxs[l] as u64 * esz);
+        let tx = count_transactions(ctx, mask, &addrs);
+        ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        let mut out = splat(T::default());
+        for l in mask.lanes() {
+            out[l] = self.data[idxs[l]];
+        }
+        out
+    }
+
+    /// Warp-wide scatter: each active lane `l` writes `vals[l]` to element
+    /// `idxs[l]`. Writing the same element from two active lanes is a race
+    /// on real hardware; here the highest lane wins (documented, tested).
+    pub fn write(&mut self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>, vals: &Lanes<T>) {
+        let esz = core::mem::size_of::<T>() as u64;
+        let addrs: Lanes<u64> = core::array::from_fn(|l| idxs[l] as u64 * esz);
+        let tx = count_transactions(ctx, mask, &addrs);
+        ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        for l in mask.lanes() {
+            self.data[idxs[l]] = vals[l];
+        }
+    }
+
+    /// Broadcast load: every active lane reads the *same* element. One
+    /// transaction (plus the issue slot).
+    pub fn read_broadcast(&self, ctx: &mut WarpCtx, mask: Mask, idx: usize) -> T {
+        let esz = core::mem::size_of::<T>() as u64;
+        ctx.record_global(mask, 1, esz);
+        self.data[idx]
+    }
+}
+
+/// Per-thread "local memory" arrays for one warp, physically interleaved
+/// with stride [`WARP_SIZE`] exactly as CUDA local memory is.
+///
+/// Logical layout: each lane owns `len_per_lane` elements. Lane `l`'s
+/// element `i` is physical word `i * 32 + l`, so a lockstep access at a
+/// uniform index is fully coalesced and a divergent access scatters.
+#[derive(Clone, Debug)]
+pub struct LaneLocal<T> {
+    data: Vec<T>,
+    len_per_lane: usize,
+}
+
+impl<T: Copy + Default> LaneLocal<T> {
+    /// Allocate `len_per_lane` elements per lane, filled with `init`.
+    pub fn new(len_per_lane: usize, init: T) -> Self {
+        LaneLocal {
+            data: vec![init; len_per_lane * WARP_SIZE],
+            len_per_lane,
+        }
+    }
+
+    /// Elements owned by each lane.
+    pub fn len_per_lane(&self) -> usize {
+        self.len_per_lane
+    }
+
+    #[inline]
+    fn phys(&self, lane: usize, idx: usize) -> usize {
+        debug_assert!(
+            idx < self.len_per_lane,
+            "lane-local index {idx} out of bounds ({})",
+            self.len_per_lane
+        );
+        idx * WARP_SIZE + lane
+    }
+
+    /// Warp-wide read: active lane `l` reads its own element `idxs[l]`.
+    pub fn read(&self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>) -> Lanes<T> {
+        let esz = core::mem::size_of::<T>() as u64;
+        let addrs: Lanes<u64> =
+            core::array::from_fn(|l| self.phys(l, idxs[l].min(self.len_per_lane - 1)) as u64 * esz);
+        let tx = count_transactions(ctx, mask, &addrs);
+        ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        let mut out = splat(T::default());
+        for l in mask.lanes() {
+            out[l] = self.data[self.phys(l, idxs[l])];
+        }
+        out
+    }
+
+    /// Uniform-index read: every active lane reads its element `idx`.
+    /// Coalesced by construction.
+    pub fn read_uniform(&self, ctx: &mut WarpCtx, mask: Mask, idx: usize) -> Lanes<T> {
+        self.read(ctx, mask, &splat(idx))
+    }
+
+    /// Warp-wide write: active lane `l` writes `vals[l]` to its element
+    /// `idxs[l]`.
+    pub fn write(&mut self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>, vals: &Lanes<T>) {
+        let esz = core::mem::size_of::<T>() as u64;
+        let addrs: Lanes<u64> =
+            core::array::from_fn(|l| self.phys(l, idxs[l].min(self.len_per_lane - 1)) as u64 * esz);
+        let tx = count_transactions(ctx, mask, &addrs);
+        ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        for l in mask.lanes() {
+            let p = self.phys(l, idxs[l]);
+            self.data[p] = vals[l];
+        }
+    }
+
+    /// Uniform-index write.
+    pub fn write_uniform(&mut self, ctx: &mut WarpCtx, mask: Mask, idx: usize, vals: &Lanes<T>) {
+        self.write(ctx, mask, &splat(idx), vals)
+    }
+
+    /// Host-side read of one lane's element (no simulated cost) — for
+    /// extracting results and for assertions in tests.
+    pub fn peek(&self, lane: usize, idx: usize) -> T {
+        self.data[self.phys(lane, idx)]
+    }
+
+    /// Host-side write of one lane's element (no simulated cost).
+    pub fn poke(&mut self, lane: usize, idx: usize, val: T) {
+        let p = self.phys(lane, idx);
+        self.data[p] = val;
+    }
+
+    /// Host-side copy of one lane's entire array (no simulated cost).
+    pub fn lane_vec(&self, lane: usize) -> Vec<T> {
+        (0..self.len_per_lane).map(|i| self.peek(lane, i)).collect()
+    }
+}
+
+/// Per-warp shared memory with a bank-conflict model.
+#[derive(Clone, Debug)]
+pub struct SharedBuf<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> SharedBuf<T> {
+    /// Allocate `len` default-initialised words.
+    pub fn new(len: usize) -> Self {
+        SharedBuf {
+            data: vec![T::default(); len],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Warp-wide read with bank-conflict accounting.
+    pub fn read(&self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>) -> Lanes<T> {
+        let replays = count_bank_replays(ctx, mask, idxs);
+        ctx.record_shared(mask, replays);
+        let mut out = splat(T::default());
+        for l in mask.lanes() {
+            out[l] = self.data[idxs[l]];
+        }
+        out
+    }
+
+    /// Warp-wide write with bank-conflict accounting. If several active
+    /// lanes write the same word, the highest lane wins (matches CUDA's
+    /// "one writer succeeds, which one is undefined" — we make it
+    /// deterministic).
+    pub fn write(&mut self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>, vals: &Lanes<T>) {
+        let replays = count_bank_replays(ctx, mask, idxs);
+        ctx.record_shared(mask, replays);
+        for l in mask.lanes() {
+            self.data[idxs[l]] = vals[l];
+        }
+    }
+
+    /// Broadcast read: all active lanes read word `idx` (one cycle).
+    pub fn read_broadcast(&self, ctx: &mut WarpCtx, mask: Mask, idx: usize) -> T {
+        ctx.record_shared(mask, 1);
+        self.data[idx]
+    }
+
+    /// One lane (or several, racing deterministically) sets word `idx`.
+    pub fn write_broadcast(&mut self, ctx: &mut WarpCtx, mask: Mask, idx: usize, val: T) {
+        ctx.record_shared(mask, 1);
+        if mask.any_lane() {
+            self.data[idx] = val;
+        }
+    }
+
+    /// Host-side view (no simulated cost).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes_from_fn;
+
+    fn ctx() -> WarpCtx {
+        WarpCtx::new(128, 32)
+    }
+
+    #[test]
+    fn coalesced_f32_row_is_one_transaction() {
+        let buf = GlobalBuf::<f32>::from_vec((0..64).map(|i| i as f32).collect());
+        let mut c = ctx();
+        let idx = lanes_from_fn(|l| l); // 32 × 4B contiguous = 128B
+        let v = buf.read(&mut c, Mask::full(), &idx);
+        assert_eq!(v[5], 5.0);
+        assert_eq!(c.metrics().global_transactions, 1);
+        assert_eq!(c.metrics().global_bytes, 128);
+    }
+
+    #[test]
+    fn strided_access_scatters() {
+        let buf = GlobalBuf::<f32>::from_vec(vec![0.0; 32 * 64]);
+        let mut c = ctx();
+        let idx = lanes_from_fn(|l| l * 64); // 256B apart → 32 segments
+        buf.read(&mut c, Mask::full(), &idx);
+        assert_eq!(c.metrics().global_transactions, 32);
+    }
+
+    #[test]
+    fn partial_mask_reads_fewer_bytes() {
+        let buf = GlobalBuf::<f32>::from_vec(vec![1.0; 64]);
+        let mut c = ctx();
+        let idx = lanes_from_fn(|l| l);
+        let v = buf.read(&mut c, Mask::first(4), &idx);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[10], 0.0); // inactive lane got default
+        assert_eq!(c.metrics().global_transactions, 1);
+        assert_eq!(c.metrics().global_bytes, 16);
+    }
+
+    #[test]
+    fn empty_mask_access_is_free() {
+        let buf = GlobalBuf::<f32>::from_vec(vec![1.0; 4]);
+        let mut c = ctx();
+        buf.read(&mut c, Mask::empty(), &splat(0));
+        assert_eq!(c.metrics().global_transactions, 0);
+        assert_eq!(c.metrics().issued, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let buf = GlobalBuf::<f32>::from_vec(vec![1.0; 4]);
+        let mut c = ctx();
+        buf.read(&mut c, Mask::single(0), &splat(99));
+    }
+
+    #[test]
+    fn global_write_last_lane_wins() {
+        let mut buf = GlobalBuf::<u32>::from_vec(vec![0; 4]);
+        let mut c = ctx();
+        let vals = lanes_from_fn(|l| l as u32);
+        buf.write(&mut c, Mask::full(), &splat(2), &vals);
+        assert_eq!(buf.as_slice()[2], 31);
+    }
+
+    #[test]
+    fn lane_local_uniform_access_is_coalesced() {
+        let buf = LaneLocal::<f32>::new(16, 0.0);
+        let mut c = ctx();
+        buf.read_uniform(&mut c, Mask::full(), 3);
+        // 32 lanes × 4B at stride-1 physical layout = exactly 1 segment.
+        assert_eq!(c.metrics().global_transactions, 1);
+    }
+
+    #[test]
+    fn lane_local_divergent_access_scatters() {
+        let buf = LaneLocal::<f32>::new(64, 0.0);
+        let mut c = ctx();
+        // Each lane reads a different logical index → physical stride 33.
+        let idx = lanes_from_fn(|l| l);
+        buf.read(&mut c, Mask::full(), &idx);
+        assert!(c.metrics().global_transactions > 16);
+    }
+
+    #[test]
+    fn lane_local_peek_poke_roundtrip() {
+        let mut buf = LaneLocal::<u32>::new(8, 0);
+        buf.poke(5, 3, 42);
+        assert_eq!(buf.peek(5, 3), 42);
+        assert_eq!(buf.peek(4, 3), 0); // neighbouring lane untouched
+        assert_eq!(buf.lane_vec(5), vec![0, 0, 0, 42, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn lane_local_write_isolates_lanes() {
+        let mut buf = LaneLocal::<u32>::new(4, 0);
+        let mut c = ctx();
+        let vals = lanes_from_fn(|l| l as u32 + 100);
+        buf.write_uniform(&mut c, Mask::full(), 2, &vals);
+        for l in 0..WARP_SIZE {
+            assert_eq!(buf.peek(l, 2), l as u32 + 100);
+            assert_eq!(buf.peek(l, 1), 0);
+        }
+    }
+
+    #[test]
+    fn shared_conflict_free_is_one_replay() {
+        let buf = SharedBuf::<u32>::new(32);
+        let mut c = ctx();
+        let idx = lanes_from_fn(|l| l); // distinct banks
+        buf.read(&mut c, Mask::full(), &idx);
+        assert_eq!(c.metrics().shared_accesses, 1);
+    }
+
+    #[test]
+    fn shared_same_word_broadcasts() {
+        let buf = SharedBuf::<u32>::new(32);
+        let mut c = ctx();
+        buf.read(&mut c, Mask::full(), &splat(7));
+        assert_eq!(c.metrics().shared_accesses, 1);
+    }
+
+    #[test]
+    fn shared_bank_conflicts_replay() {
+        let buf = SharedBuf::<u32>::new(64);
+        let mut c = ctx();
+        // Lanes 0..32 read words 0, 32, 0, 32, ... → two distinct words in
+        // bank 0 for half the lanes → 2 replays.
+        let idx = lanes_from_fn(|l| if l % 2 == 0 { 0 } else { 32 });
+        buf.read(&mut c, Mask::full(), &idx);
+        assert_eq!(c.metrics().shared_accesses, 2);
+    }
+
+    #[test]
+    fn shared_flag_pattern() {
+        // The paper's intra-warp communication flag: one lane raises it,
+        // all lanes read it.
+        let mut flag = SharedBuf::<u32>::new(1);
+        let mut c = ctx();
+        flag.write_broadcast(&mut c, Mask::single(13), 0, 1);
+        let v = flag.read_broadcast(&mut c, Mask::full(), 0);
+        assert_eq!(v, 1);
+        assert_eq!(c.metrics().shared_accesses, 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution metrics accumulated by simulated kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing what a (set of) warp(s) executed.
+///
+/// All counters are additive: metrics from different warps, or different
+/// phases of one warp, combine with [`Metrics::add`] / the `+` operator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Warp instruction issue slots. Every operation costs at least one
+    /// slot regardless of how many lanes are active — this is the SIMT
+    /// serialization cost.
+    pub issued: u64,
+    /// Sum over issued instructions of the number of *active* lanes.
+    /// `lane_work == issued * 32` means perfect SIMT efficiency.
+    pub lane_work: u64,
+    /// Conditional branches evaluated.
+    pub branches: u64,
+    /// Branches where both paths had live lanes (the warp serialized).
+    pub divergent_branches: u64,
+    /// DRAM transactions (one per distinct 128-byte segment per access).
+    pub global_transactions: u64,
+    /// Useful bytes moved to/from global memory (excludes over-fetch).
+    pub global_bytes: u64,
+    /// Shared-memory access cycles, including bank-conflict replays.
+    pub shared_accesses: u64,
+    /// Iterations of divergent loops (whole-warp loop trips).
+    pub loop_trips: u64,
+}
+
+impl Metrics {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &Metrics) {
+        self.issued += other.issued;
+        self.lane_work += other.lane_work;
+        self.branches += other.branches;
+        self.divergent_branches += other.divergent_branches;
+        self.global_transactions += other.global_transactions;
+        self.global_bytes += other.global_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.loop_trips += other.loop_trips;
+    }
+
+    /// Component-wise difference (`self - other`); used to attribute a
+    /// phase of a kernel by snapshotting before and after.
+    pub fn delta_since(&self, earlier: &Metrics) -> Metrics {
+        Metrics {
+            issued: self.issued - earlier.issued,
+            lane_work: self.lane_work - earlier.lane_work,
+            branches: self.branches - earlier.branches,
+            divergent_branches: self.divergent_branches - earlier.divergent_branches,
+            global_transactions: self.global_transactions - earlier.global_transactions,
+            global_bytes: self.global_bytes - earlier.global_bytes,
+            shared_accesses: self.shared_accesses - earlier.shared_accesses,
+            loop_trips: self.loop_trips - earlier.loop_trips,
+        }
+    }
+
+    /// Fraction of issued lane slots that did useful work, in `[0, 1]`.
+    /// Returns 1.0 for an empty execution (nothing was wasted).
+    pub fn simt_efficiency(&self) -> f64 {
+        if self.issued == 0 {
+            1.0
+        } else {
+            self.lane_work as f64 / (self.issued as f64 * crate::WARP_SIZE as f64)
+        }
+    }
+
+    /// Fraction of fetched DRAM bytes that were useful, in `[0, 1]`.
+    /// Returns 1.0 when no global memory was touched.
+    pub fn coalescing_efficiency(&self, transaction_bytes: u64) -> f64 {
+        let fetched = self.global_transactions * transaction_bytes;
+        if fetched == 0 {
+            1.0
+        } else {
+            (self.global_bytes as f64 / fetched as f64).min(1.0)
+        }
+    }
+}
+
+impl core::ops::Add for Metrics {
+    type Output = Metrics;
+    fn add(mut self, rhs: Metrics) -> Metrics {
+        Metrics::add(&mut self, &rhs);
+        self
+    }
+}
+
+impl core::iter::Sum for Metrics {
+    fn sum<I: Iterator<Item = Metrics>>(iter: I) -> Metrics {
+        iter.fold(Metrics::default(), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(issued: u64, lane_work: u64) -> Metrics {
+        Metrics {
+            issued,
+            lane_work,
+            branches: 1,
+            divergent_branches: 1,
+            global_transactions: 2,
+            global_bytes: 256,
+            shared_accesses: 3,
+            loop_trips: 4,
+        }
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = sample(10, 320);
+        let b = sample(5, 32);
+        let c = a + b;
+        assert_eq!(c.issued, 15);
+        assert_eq!(c.lane_work, 352);
+        assert_eq!(c.global_transactions, 4);
+        assert_eq!(c.shared_accesses, 6);
+    }
+
+    #[test]
+    fn delta_attributes_phases() {
+        let before = sample(10, 320);
+        let mut after = before;
+        after.add(&sample(7, 100));
+        let phase = after.delta_since(&before);
+        assert_eq!(phase.issued, 7);
+        assert_eq!(phase.lane_work, 100);
+    }
+
+    #[test]
+    fn simt_efficiency_bounds() {
+        assert_eq!(Metrics::default().simt_efficiency(), 1.0);
+        let perfect = Metrics {
+            issued: 4,
+            lane_work: 128,
+            ..Default::default()
+        };
+        assert!((perfect.simt_efficiency() - 1.0).abs() < 1e-12);
+        let half = Metrics {
+            issued: 4,
+            lane_work: 64,
+            ..Default::default()
+        };
+        assert!((half.simt_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalescing_efficiency() {
+        let m = Metrics {
+            global_transactions: 1,
+            global_bytes: 128,
+            ..Default::default()
+        };
+        assert!((m.coalescing_efficiency(128) - 1.0).abs() < 1e-12);
+        let scattered = Metrics {
+            global_transactions: 32,
+            global_bytes: 128,
+            ..Default::default()
+        };
+        assert!((scattered.coalescing_efficiency(128) - 128.0 / 4096.0).abs() < 1e-12);
+        assert_eq!(Metrics::default().coalescing_efficiency(128), 1.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Metrics = (0..3).map(|_| sample(1, 32)).sum();
+        assert_eq!(total.issued, 3);
+        assert_eq!(total.loop_trips, 12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Hardware specifications for the simulated device.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated GPU.
+///
+/// The defaults mirror the NVIDIA Tesla C2075 (Fermi) used in the paper:
+/// 14 SMs × 32 cores at 1.15 GHz, 6 GB GDDR5 at 144 GB/s, 48 KB shared
+/// memory per SM, 32 shared-memory banks, 128-byte DRAM transactions.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// SM clock in GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Size of one DRAM transaction in bytes (coalescing granularity).
+    pub transaction_bytes: u64,
+    /// Number of shared-memory banks (a warp access with all lanes in
+    /// distinct banks completes in one replay).
+    pub shared_banks: u32,
+    /// Shared memory per SM in bytes (capacity checks for `SharedBuf`).
+    pub shared_mem_bytes: u64,
+    /// Effective host↔device PCIe bandwidth in GB/s (for the "Data Copy"
+    /// row of Table I).
+    pub pcie_gbps: f64,
+}
+
+impl GpuSpec {
+    /// The paper's testbed: NVIDIA Tesla C2075 (Fermi).
+    pub fn tesla_c2075() -> Self {
+        GpuSpec {
+            sm_count: 14,
+            clock_ghz: 1.15,
+            mem_bandwidth_gbps: 144.0,
+            transaction_bytes: 128,
+            shared_banks: 32,
+            shared_mem_bytes: 48 * 1024,
+            // PCIe 2.0 x16 ≈ 8 GB/s theoretical; ~4.3 GB/s effective for
+            // large device→host copies on Fermi-era systems — this value
+            // reproduces the paper's "Data Copy" row (0.46 s at N = 2^15,
+            // Q = 2^13 for distance + index arrays).
+            pcie_gbps: 4.3,
+        }
+    }
+
+    /// A hypothetical smaller device, useful for tests that want memory
+    /// bandwidth to bind earlier.
+    pub fn small_test_device() -> Self {
+        GpuSpec {
+            sm_count: 2,
+            clock_ghz: 1.0,
+            mem_bandwidth_gbps: 16.0,
+            transaction_bytes: 128,
+            shared_banks: 32,
+            shared_mem_bytes: 16 * 1024,
+            pcie_gbps: 4.0,
+        }
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::tesla_c2075()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2075_matches_paper() {
+        let s = GpuSpec::tesla_c2075();
+        assert_eq!(s.sm_count, 14);
+        assert!((s.clock_ghz - 1.15).abs() < 1e-12);
+        assert!((s.mem_bandwidth_gbps - 144.0).abs() < 1e-12);
+        assert_eq!(s.transaction_bytes, 128);
+    }
+
+    #[test]
+    fn default_is_c2075() {
+        assert_eq!(GpuSpec::default().sm_count, GpuSpec::tesla_c2075().sm_count);
+    }
+}

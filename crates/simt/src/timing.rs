@@ -1,0 +1,255 @@
+//! Analytic timing model: metrics → simulated seconds.
+//!
+//! The model is intentionally simple and fully parameterised, because the
+//! reproduction target is the *shape* of the paper's results (who wins, by
+//! what factor, where crossovers fall) rather than absolute seconds:
+//!
+//! ```text
+//! compute_cycles = issued·issue_cpi + shared·shared_cpi + global_tx·mem_stall
+//! t_compute      = compute_cycles / (sm_count · clock)
+//! t_memory       = global_tx · transaction_bytes / bandwidth
+//! kernel_time    = max(t_compute, t_memory) + launch_overhead
+//! ```
+//!
+//! Dividing total warp cycles by the SM count models warps spreading evenly
+//! across SMs; `mem_stall` is the *effective* (post-latency-hiding) stall a
+//! warp pays per DRAM transaction it issues. The defaults were calibrated
+//! once against the relative ordering in Table I of the paper and then
+//! frozen; every experiment uses the same constants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GpuSpec, Metrics};
+
+/// Converts [`Metrics`] into simulated wall-clock seconds.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Device parameters (clock, SM count, bandwidth…).
+    pub spec: GpuSpec,
+    /// Cycles per issued warp instruction (1.0 = one instruction per
+    /// cycle per SM).
+    pub issue_cpi: f64,
+    /// Cycles per shared-memory replay.
+    pub shared_cpi: f64,
+    /// Effective stall cycles a warp pays per DRAM transaction after
+    /// latency hiding by other resident warps.
+    pub mem_stall_cycles: f64,
+    /// Fixed kernel-launch overhead in seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl TimingModel {
+    /// Model calibrated for the paper's Tesla C2075 testbed.
+    pub fn tesla_c2075() -> Self {
+        TimingModel {
+            spec: GpuSpec::tesla_c2075(),
+            issue_cpi: 1.0,
+            shared_cpi: 1.0,
+            mem_stall_cycles: 8.0,
+            launch_overhead_s: 10e-6,
+        }
+    }
+
+    /// Build a model for an arbitrary device with default cost weights.
+    pub fn for_spec(spec: GpuSpec) -> Self {
+        TimingModel {
+            spec,
+            issue_cpi: 1.0,
+            shared_cpi: 1.0,
+            mem_stall_cycles: 8.0,
+            launch_overhead_s: 10e-6,
+        }
+    }
+
+    /// Total compute cycles implied by `m` (summed over all warps).
+    pub fn compute_cycles(&self, m: &Metrics) -> f64 {
+        m.issued as f64 * self.issue_cpi
+            + m.shared_accesses as f64 * self.shared_cpi
+            + m.global_transactions as f64 * self.mem_stall_cycles
+    }
+
+    /// Compute-side time: cycles spread across all SMs.
+    pub fn compute_time(&self, m: &Metrics) -> f64 {
+        self.compute_cycles(m) / (self.spec.sm_count as f64 * self.spec.clock_ghz * 1e9)
+    }
+
+    /// Memory-side time: DRAM traffic at peak bandwidth.
+    pub fn memory_time(&self, m: &Metrics) -> f64 {
+        let bytes = m.global_transactions as f64 * self.spec.transaction_bytes as f64;
+        bytes / (self.spec.mem_bandwidth_gbps * 1e9)
+    }
+
+    /// Simulated duration of one kernel whose aggregated metrics are `m`.
+    pub fn kernel_time(&self, m: &Metrics) -> f64 {
+        self.compute_time(m).max(self.memory_time(m)) + self.launch_overhead_s
+    }
+
+    /// Simulated duration when the measured metrics cover only a sample of
+    /// the real workload (e.g. 32 of 8192 queries): the steady-state part
+    /// scales by `replication`, the launch overhead does not.
+    ///
+    /// `replication` must be ≥ 1 — it is the factor by which the full
+    /// workload exceeds the simulated sample.
+    pub fn kernel_time_scaled(&self, m: &Metrics, replication: f64) -> f64 {
+        assert!(replication >= 1.0, "replication factor must be ≥ 1");
+        (self.kernel_time(m) - self.launch_overhead_s) * replication + self.launch_overhead_s
+    }
+
+    /// Host↔device transfer time for `bytes` over PCIe (Table I's
+    /// "Data Copy" row).
+    pub fn pcie_transfer_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.spec.pcie_gbps * 1e9)
+    }
+
+    /// Occupancy given each warp's shared-memory footprint: the fraction
+    /// of the SM's maximum resident warps that can actually be resident.
+    /// Fermi runs up to 48 warps per SM; shared memory is the binding
+    /// resource for buffered kernels.
+    pub fn occupancy(&self, shared_bytes_per_warp: u64) -> f64 {
+        const MAX_RESIDENT_WARPS: u64 = 48;
+        if shared_bytes_per_warp == 0 {
+            return 1.0;
+        }
+        let by_shared = self.spec.shared_mem_bytes / shared_bytes_per_warp;
+        (by_shared.min(MAX_RESIDENT_WARPS) as f64 / MAX_RESIDENT_WARPS as f64).min(1.0)
+    }
+
+    /// [`Self::kernel_time`] with an occupancy correction. Latency hiding
+    /// needs only a fraction of full occupancy (~12 resident warps on
+    /// Fermi keep the memory pipeline covered); below that threshold the
+    /// per-transaction stall grows inversely with occupancy. Deliberately
+    /// first-order — see the crate-level fidelity notes.
+    pub fn kernel_time_occupancy(&self, m: &Metrics, shared_bytes_per_warp: u64) -> f64 {
+        /// Occupancy at which latency is still fully hidden (12/48 warps).
+        const FULL_HIDING_OCCUPANCY: f64 = 0.25;
+        let occ = self.occupancy(shared_bytes_per_warp).max(1.0 / 48.0);
+        let stall = self.mem_stall_cycles * (FULL_HIDING_OCCUPANCY / occ).max(1.0);
+        let compute_cycles = m.issued as f64 * self.issue_cpi
+            + m.shared_accesses as f64 * self.shared_cpi
+            + m.global_transactions as f64 * stall;
+        let t_compute =
+            compute_cycles / (self.spec.sm_count as f64 * self.spec.clock_ghz * 1e9);
+        t_compute.max(self.memory_time(m)) + self.launch_overhead_s
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        Self::tesla_c2075()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_heavy() -> Metrics {
+        Metrics {
+            issued: 14_000_000, // 1M cycles across 14 SMs at CPI 1
+            lane_work: 14_000_000 * 32,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernel() {
+        let tm = TimingModel::tesla_c2075();
+        let m = compute_heavy();
+        let t = tm.kernel_time(&m);
+        // 14e6 cycles / (14 SM × 1.15 GHz) ≈ 0.87 ms, plus 10 µs overhead.
+        let expect = 1e6 / 1.15e9 + 10e-6;
+        assert!((t - expect).abs() / expect < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn memory_bound_kernel() {
+        let tm = TimingModel::tesla_c2075();
+        let m = Metrics {
+            issued: 1,
+            global_transactions: 144_000_000 / 128, // exactly 144 MB of traffic
+            ..Default::default()
+        };
+        let t = tm.kernel_time(&m) - tm.launch_overhead_s;
+        // 144 MB at 144 GB/s = 1 ms; the stall-cycle compute term is smaller.
+        assert!((t - 1e-3).abs() < 1e-4, "t = {t}");
+        assert!(tm.memory_time(&m) > tm.compute_time(&m));
+    }
+
+    #[test]
+    fn scaling_preserves_overhead_once() {
+        let tm = TimingModel::tesla_c2075();
+        let m = compute_heavy();
+        let t1 = tm.kernel_time(&m);
+        let t4 = tm.kernel_time_scaled(&m, 4.0);
+        let body = t1 - tm.launch_overhead_s;
+        assert!((t4 - (4.0 * body + tm.launch_overhead_s)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn replication_below_one_rejected() {
+        let tm = TimingModel::tesla_c2075();
+        tm.kernel_time_scaled(&Metrics::default(), 0.5);
+    }
+
+    #[test]
+    fn pcie_time() {
+        let tm = TimingModel::tesla_c2075();
+        // Paper Table I: copying N=2^15 × Q=2^13 f32 distances ≈ 1.07 GB
+        // takes ~0.19 s at 5.7 GB/s — same order as the paper's 0.46 s
+        // (which includes both distance and index arrays → 2×).
+        let bytes = (1u64 << 15) * (1u64 << 13) * 4 * 2;
+        let t = tm.pcie_transfer_time(bytes);
+        assert!(t > 0.3 && t < 0.6, "t = {t}");
+    }
+
+    #[test]
+    fn occupancy_model() {
+        let tm = TimingModel::tesla_c2075();
+        assert_eq!(tm.occupancy(0), 1.0);
+        assert_eq!(tm.occupancy(1024), 1.0); // 48 warps × 1 KB = 48 KB fits
+        assert!((tm.occupancy(2048) - 0.5).abs() < 1e-12); // 24 of 48 warps
+        assert!((tm.occupancy(48 * 1024) - 1.0 / 48.0).abs() < 1e-12);
+        // Moderate shared usage keeps full latency hiding…
+        let m = Metrics {
+            issued: 1_000_000,
+            global_transactions: 200_000,
+            ..Metrics::default()
+        };
+        let full = tm.kernel_time_occupancy(&m, 0);
+        assert!((tm.kernel_time_occupancy(&m, 2048) - full).abs() < 1e-12);
+        // …but dropping below ~12 resident warps starts costing.
+        let starved = tm.kernel_time_occupancy(&m, 8192); // 6 warps
+        assert!(starved > full);
+        // and with no shared usage it matches the plain model
+        assert!((full - tm.kernel_time(&m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_all_counters() {
+        let tm = TimingModel::tesla_c2075();
+        let base = Metrics {
+            issued: 1000,
+            shared_accesses: 50,
+            global_transactions: 20,
+            ..Default::default()
+        };
+        for bump in [
+            Metrics {
+                issued: 1,
+                ..Default::default()
+            },
+            Metrics {
+                shared_accesses: 1,
+                ..Default::default()
+            },
+            Metrics {
+                global_transactions: 1,
+                ..Default::default()
+            },
+        ] {
+            let more = base + bump;
+            assert!(tm.kernel_time(&more) >= tm.kernel_time(&base));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The per-warp execution context.
+
+use crate::{Lanes, Mask, Metrics};
+
+/// Execution context for one warp.
+///
+/// A kernel receives a `&mut WarpCtx` and must route every simulated
+/// instruction through it so that issue slots, divergence and memory
+/// traffic are accounted. The context does not hold data — per-lane
+/// registers are plain `[T; 32]` arrays owned by the kernel, and memory
+/// lives in [`crate::mem`] buffers.
+///
+/// # Control-flow idiom
+///
+/// ```
+/// use simt::{Mask, WarpCtx, Lanes, WARP_SIZE, splat};
+/// let mut ctx = WarpCtx::new(128, 32);
+/// let mask = Mask::full();
+/// let x: Lanes<i32> = core::array::from_fn(|l| l as i32);
+///
+/// // if (x < 10) { a } else { b }  — both live paths execute, serialized:
+/// let cond: Lanes<bool> = core::array::from_fn(|l| x[l] < 10);
+/// let (then_m, else_m) = ctx.diverge(mask, cond);
+/// ctx.op(then_m, 1); // body of `a` under then-mask
+/// ctx.op(else_m, 2); // body of `b` under else-mask
+/// assert_eq!(ctx.metrics().divergent_branches, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WarpCtx {
+    metrics: Metrics,
+    transaction_bytes: u64,
+    shared_banks: u32,
+}
+
+impl WarpCtx {
+    /// Create a context with the given coalescing granularity and number
+    /// of shared-memory banks (see [`crate::GpuSpec`]).
+    pub fn new(transaction_bytes: u64, shared_banks: u32) -> Self {
+        WarpCtx {
+            metrics: Metrics::new(),
+            transaction_bytes,
+            shared_banks,
+        }
+    }
+
+    /// Context configured from a device spec.
+    pub fn for_spec(spec: &crate::GpuSpec) -> Self {
+        Self::new(spec.transaction_bytes, spec.shared_banks)
+    }
+
+    /// DRAM transaction size in bytes.
+    #[inline]
+    pub fn transaction_bytes(&self) -> u64 {
+        self.transaction_bytes
+    }
+
+    /// Number of shared-memory banks.
+    #[inline]
+    pub fn shared_banks(&self) -> u32 {
+        self.shared_banks
+    }
+
+    /// Charge `n` ALU instructions executed under `mask`. If the mask is
+    /// empty nothing is charged (the instructions are predicated away at
+    /// warp level — no lane wanted them).
+    #[inline]
+    pub fn op(&mut self, mask: Mask, n: u64) {
+        if mask.any_lane() {
+            self.metrics.issued += n;
+            self.metrics.lane_work += n * mask.count() as u64;
+        }
+    }
+
+    /// Evaluate a branch condition under `mask` and split the mask.
+    /// Returns `(taken, not_taken)`. Charges the compare/branch issue slot
+    /// and records divergence when both sides are live.
+    #[inline]
+    pub fn diverge(&mut self, mask: Mask, cond: Lanes<bool>) -> (Mask, Mask) {
+        self.op(mask, 1);
+        self.metrics.branches += 1;
+        let taken = mask.and_lanes(&cond);
+        let not_taken = mask - taken;
+        if taken.any_lane() && not_taken.any_lane() {
+            self.metrics.divergent_branches += 1;
+        }
+        (taken, not_taken)
+    }
+
+    /// Split a mask that was already computed (no fresh condition
+    /// evaluation — e.g. reusing a ballot result). Still records the
+    /// branch and divergence.
+    #[inline]
+    pub fn diverge_mask(&mut self, mask: Mask, taken: Mask) -> (Mask, Mask) {
+        self.metrics.branches += 1;
+        let taken = mask & taken;
+        let not_taken = mask - taken;
+        if taken.any_lane() && not_taken.any_lane() {
+            self.metrics.divergent_branches += 1;
+        }
+        (taken, not_taken)
+    }
+
+    /// Charge one trip of a divergent loop executing under `loop_mask`
+    /// while the warp as a whole (entered under `entry_mask`) must keep
+    /// iterating. Call once per iteration with the lanes still live.
+    #[inline]
+    pub fn loop_head(&mut self, live: Mask) {
+        self.op(live, 1); // loop-condition evaluation
+        self.metrics.loop_trips += 1;
+    }
+
+    /// Warp vote `__any(pred)`: true if any active lane's predicate holds.
+    /// One issue slot; the result is uniform across the warp.
+    #[inline]
+    pub fn any(&mut self, mask: Mask, preds: &Lanes<bool>) -> bool {
+        self.op(mask, 1);
+        mask.lanes().any(|l| preds[l])
+    }
+
+    /// Warp vote `__all(pred)`: true if every active lane's predicate holds.
+    #[inline]
+    pub fn all(&mut self, mask: Mask, preds: &Lanes<bool>) -> bool {
+        self.op(mask, 1);
+        mask.lanes().all(|l| preds[l])
+    }
+
+    /// Warp vote `__ballot(pred)`: the mask of active lanes whose
+    /// predicate holds.
+    #[inline]
+    pub fn ballot(&mut self, mask: Mask, preds: &Lanes<bool>) -> Mask {
+        self.op(mask, 1);
+        mask.and_lanes(preds)
+    }
+
+    /// `__shfl`: broadcast lane `src_lane`'s value to all active lanes.
+    #[inline]
+    pub fn shfl<T: Copy>(&mut self, mask: Mask, vals: &Lanes<T>, src_lane: usize) -> T {
+        self.op(mask, 1);
+        vals[src_lane]
+    }
+
+    /// Record a global-memory access that needed `transactions` DRAM
+    /// transactions to move `useful_bytes` of requested data. Normally
+    /// called by [`crate::mem`] buffers, but exposed for custom memory
+    /// structures.
+    #[inline]
+    pub fn record_global(&mut self, mask: Mask, transactions: u64, useful_bytes: u64) {
+        self.op(mask, 1); // the load/store instruction itself
+        self.metrics.global_transactions += transactions;
+        self.metrics.global_bytes += useful_bytes;
+    }
+
+    /// Record a shared-memory access that took `replays` bank cycles.
+    #[inline]
+    pub fn record_shared(&mut self, mask: Mask, replays: u64) {
+        self.op(mask, 1);
+        self.metrics.shared_accesses += replays;
+    }
+
+    /// Charge a warp-level synchronization (barrier / memory fence).
+    #[inline]
+    pub fn sync(&mut self) {
+        self.metrics.issued += 1;
+        self.metrics.lane_work += crate::WARP_SIZE as u64;
+    }
+
+    /// Current metrics (read-only view).
+    #[inline]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Snapshot the current metrics, e.g. to attribute kernel phases via
+    /// [`Metrics::delta_since`].
+    #[inline]
+    pub fn checkpoint(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Consume the context, returning the accumulated metrics.
+    #[inline]
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lanes_from_fn, WARP_SIZE};
+
+    fn ctx() -> WarpCtx {
+        WarpCtx::new(128, 32)
+    }
+
+    #[test]
+    fn op_charges_issue_and_lane_work() {
+        let mut c = ctx();
+        c.op(Mask::full(), 3);
+        assert_eq!(c.metrics().issued, 3);
+        assert_eq!(c.metrics().lane_work, 3 * WARP_SIZE as u64);
+        c.op(Mask::first(4), 1);
+        assert_eq!(c.metrics().issued, 4);
+        assert_eq!(c.metrics().lane_work, 3 * 32 + 4);
+    }
+
+    #[test]
+    fn op_with_empty_mask_is_free() {
+        let mut c = ctx();
+        c.op(Mask::empty(), 100);
+        assert_eq!(c.metrics().issued, 0);
+    }
+
+    #[test]
+    fn diverge_detects_divergence() {
+        let mut c = ctx();
+        let cond = lanes_from_fn(|l| l < 16);
+        let (t, e) = c.diverge(Mask::full(), cond);
+        assert_eq!(t.count(), 16);
+        assert_eq!(e.count(), 16);
+        assert_eq!(c.metrics().divergent_branches, 1);
+        assert_eq!(c.metrics().branches, 1);
+    }
+
+    #[test]
+    fn uniform_branch_is_not_divergent() {
+        let mut c = ctx();
+        let cond = [true; WARP_SIZE];
+        let (t, e) = c.diverge(Mask::full(), cond);
+        assert!(t.all_lanes());
+        assert!(!e.any_lane());
+        assert_eq!(c.metrics().divergent_branches, 0);
+        assert_eq!(c.metrics().branches, 1);
+    }
+
+    #[test]
+    fn branch_under_narrow_mask() {
+        let mut c = ctx();
+        // Only lanes 0..4 are live; condition splits them 2/2.
+        let cond = lanes_from_fn(|l| l % 2 == 0);
+        let (t, e) = c.diverge(Mask::first(4), cond);
+        assert_eq!(t.count(), 2);
+        assert_eq!(e.count(), 2);
+        assert_eq!(c.metrics().divergent_branches, 1);
+    }
+
+    #[test]
+    fn votes() {
+        let mut c = ctx();
+        let preds = lanes_from_fn(|l| l == 31);
+        assert!(c.any(Mask::full(), &preds));
+        assert!(!c.all(Mask::full(), &preds));
+        assert_eq!(c.ballot(Mask::full(), &preds), Mask::single(31));
+        // vote under a mask that excludes the only true lane
+        assert!(!c.any(Mask::first(31), &preds));
+        assert_eq!(c.metrics().issued, 4);
+    }
+
+    #[test]
+    fn shfl_broadcasts() {
+        let mut c = ctx();
+        let vals = lanes_from_fn(|l| l as u32 * 10);
+        assert_eq!(c.shfl(Mask::full(), &vals, 7), 70);
+        assert_eq!(c.metrics().issued, 1);
+    }
+
+    #[test]
+    fn checkpoint_delta() {
+        let mut c = ctx();
+        c.op(Mask::full(), 5);
+        let snap = c.checkpoint();
+        c.op(Mask::full(), 2);
+        let phase = c.metrics().delta_since(&snap);
+        assert_eq!(phase.issued, 2);
+    }
+
+    #[test]
+    fn record_global_counts() {
+        let mut c = ctx();
+        c.record_global(Mask::full(), 4, 128);
+        assert_eq!(c.metrics().global_transactions, 4);
+        assert_eq!(c.metrics().global_bytes, 128);
+        assert_eq!(c.metrics().issued, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests for the SIMT simulator's accounting invariants.
+
+use proptest::prelude::*;
+use simt::mem::{GlobalBuf, LaneLocal, SharedBuf};
+use simt::{lanes_from_fn, launch_seq, GpuSpec, Lanes, Mask, Metrics, TimingModel, WarpCtx, WARP_SIZE};
+
+fn mask_strategy() -> impl Strategy<Value = Mask> {
+    any::<u32>().prop_map(Mask::from_bits)
+}
+
+proptest! {
+    #[test]
+    fn mask_algebra(a in mask_strategy(), b in mask_strategy()) {
+        // complement partitions
+        prop_assert_eq!(a | !a, Mask::full());
+        prop_assert_eq!(a & !a, Mask::empty());
+        // difference = intersection with complement
+        prop_assert_eq!(a - b, a & !b);
+        // counts add over a partition
+        prop_assert_eq!((a & b).count() + (a - b).count(), a.count());
+        // lane iteration matches get()
+        let from_iter: Vec<usize> = a.lanes().collect();
+        let from_get: Vec<usize> = (0..WARP_SIZE).filter(|&l| a.get(l)).collect();
+        prop_assert_eq!(from_iter, from_get);
+    }
+
+    #[test]
+    fn filter_is_intersection(a in mask_strategy(), bits in any::<u32>()) {
+        let b = Mask::from_bits(bits);
+        prop_assert_eq!(a.filter(|l| b.get(l)), a & b);
+    }
+
+    #[test]
+    fn diverge_partitions_and_counts(mask in mask_strategy(), cond_bits in any::<u32>()) {
+        let mut ctx = WarpCtx::new(128, 32);
+        let cond: Lanes<bool> = lanes_from_fn(|l| (cond_bits >> l) & 1 == 1);
+        let (t, e) = ctx.diverge(mask, cond);
+        prop_assert_eq!(t | e, mask);
+        prop_assert_eq!(t & e, Mask::empty());
+        let m = ctx.metrics();
+        prop_assert_eq!(m.branches, 1);
+        prop_assert_eq!(
+            m.divergent_branches == 1,
+            t.any_lane() && e.any_lane(),
+            "divergence recorded iff both sides live"
+        );
+    }
+
+    #[test]
+    fn transactions_bounded_by_active_lanes(mask in mask_strategy(),
+                                             idxs in proptest::collection::vec(0usize..4096, WARP_SIZE)) {
+        let buf = GlobalBuf::<f32>::new(4096);
+        let mut ctx = WarpCtx::new(128, 32);
+        let idx: Lanes<usize> = core::array::from_fn(|l| idxs[l]);
+        buf.read(&mut ctx, mask, &idx);
+        let tx = ctx.metrics().global_transactions;
+        prop_assert!(tx <= mask.count() as u64);
+        if mask.any_lane() {
+            prop_assert!(tx >= 1);
+        } else {
+            prop_assert_eq!(tx, 0);
+        }
+        // useful bytes = 4 per active lane
+        prop_assert_eq!(ctx.metrics().global_bytes, mask.count() as u64 * 4);
+    }
+
+    #[test]
+    fn uniform_lane_local_access_is_always_one_transaction(
+        mask in mask_strategy(), idx in 0usize..256
+    ) {
+        let buf = LaneLocal::<f32>::new(256, 0.0);
+        let mut ctx = WarpCtx::new(128, 32);
+        buf.read_uniform(&mut ctx, mask, idx);
+        let expect = u64::from(mask.any_lane());
+        prop_assert_eq!(ctx.metrics().global_transactions, expect);
+    }
+
+    #[test]
+    fn shared_replays_bounded(mask in mask_strategy(),
+                               idxs in proptest::collection::vec(0usize..512, WARP_SIZE)) {
+        let buf = SharedBuf::<u32>::new(512);
+        let mut ctx = WarpCtx::new(128, 32);
+        let idx: Lanes<usize> = core::array::from_fn(|l| idxs[l]);
+        buf.read(&mut ctx, mask, &idx);
+        let replays = ctx.metrics().shared_accesses;
+        prop_assert!(replays <= mask.count().max(1) as u64);
+        if mask.any_lane() {
+            prop_assert!(replays >= 1);
+        }
+    }
+
+    #[test]
+    fn lane_local_isolation(writes in proptest::collection::vec((0usize..32, 0usize..16, any::<u32>()), 0..40)) {
+        // Model: poke(lane, idx, val) behaves like a per-lane array.
+        let mut buf = LaneLocal::<u32>::new(16, 0);
+        let mut model = [[0u32; 16]; 32];
+        for (lane, idx, val) in writes {
+            buf.poke(lane, idx, val);
+            model[lane][idx] = val;
+        }
+        for lane in 0..32 {
+            for idx in 0..16 {
+                prop_assert_eq!(buf.peek(lane, idx), model[lane][idx]);
+            }
+        }
+    }
+
+    #[test]
+    fn timing_is_nonnegative_and_additive_in_metrics(
+        issued in 0u64..1_000_000, tx in 0u64..100_000, shared in 0u64..100_000
+    ) {
+        let tm = TimingModel::tesla_c2075();
+        let m = Metrics { issued, lane_work: issued * 32, global_transactions: tx,
+                          global_bytes: tx * 128, shared_accesses: shared, ..Metrics::default() };
+        let t = tm.kernel_time(&m);
+        prop_assert!(t >= tm.launch_overhead_s);
+        // doubling every counter can never make the kernel faster
+        let m2 = m + m;
+        prop_assert!(tm.kernel_time(&m2) >= t);
+    }
+
+    #[test]
+    fn launch_metrics_sum_lanes(n_warps in 0usize..20, ops in 1u64..50) {
+        let spec = GpuSpec::tesla_c2075();
+        let (_, m) = launch_seq(&spec, n_warps, |_, ctx| ctx.op(Mask::full(), ops));
+        prop_assert_eq!(m.issued, n_warps as u64 * ops);
+        prop_assert_eq!(m.lane_work, n_warps as u64 * ops * 32);
+        prop_assert!((m.simt_efficiency() - 1.0).abs() < 1e-12);
+    }
+}

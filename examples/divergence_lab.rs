@@ -1,0 +1,89 @@
+//! Divergence lab — poke the SIMT simulator directly and watch *why* the
+//! paper's techniques win: SIMT efficiency, coalescing efficiency and
+//! issue counts for each queue and optimization, on the same workload.
+//!
+//! This is the observability story a CUDA profiler would give you,
+//! reproduced by the `simt` substrate.
+//!
+//! ```text
+//! cargo run --release --example divergence_lab
+//! ```
+
+use gpu_kselect::kselect::buffered::BufferConfig;
+use gpu_kselect::kselect::gpu::{gpu_select_k, DistanceMatrix};
+use gpu_kselect::kselect::hierarchical::HpConfig;
+use gpu_kselect::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let spec = GpuSpec::tesla_c2075();
+    let tm = TimingModel::tesla_c2075();
+    let n = 1 << 14;
+    let k = 128;
+    let q = 32; // one warp is enough to see the per-warp picture
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let rows: Vec<Vec<f32>> = (0..q)
+        .map(|_| (0..n).map(|_| rng.gen::<f32>()).collect())
+        .collect();
+    let dm = DistanceMatrix::from_rows(&rows);
+
+    println!("workload: N = {n}, k = {k}, one warp of {q} queries (Tesla C2075 model)\n");
+    println!(
+        "{:<34} {:>12} {:>8} {:>8} {:>10} {:>10}",
+        "variant", "issued", "SIMT%", "coal%", "div.br.", "sim time"
+    );
+
+    let variants: Vec<(String, SelectConfig)> = vec![
+        ("Insertion Queue".into(), SelectConfig::plain(QueueKind::Insertion, k)),
+        ("Heap Queue".into(), SelectConfig::plain(QueueKind::Heap, k)),
+        ("Merge Queue (unaligned)".into(), SelectConfig::plain(QueueKind::Merge, k)),
+        (
+            "Merge Queue aligned".into(),
+            SelectConfig::plain(QueueKind::Merge, k).with_aligned(true),
+        ),
+        (
+            "Merge + Buffered Search".into(),
+            SelectConfig::plain(QueueKind::Merge, k)
+                .with_aligned(true)
+                .with_buffer(BufferConfig::default()),
+        ),
+        (
+            "Merge + Hierarchical Partition".into(),
+            SelectConfig::plain(QueueKind::Merge, k)
+                .with_aligned(true)
+                .with_hp(HpConfig::default()),
+        ),
+        (
+            "Merge aligned+buf+hp (paper best)".into(),
+            SelectConfig::optimized(QueueKind::Merge, k),
+        ),
+    ];
+
+    let mut first_result: Option<Vec<f32>> = None;
+    for (label, cfg) in &variants {
+        let res = gpu_select_k(&spec, &dm, cfg);
+        let m = &res.metrics;
+        println!(
+            "{:<34} {:>12} {:>7.1}% {:>7.1}% {:>10} {:>9.3}ms",
+            label,
+            m.issued,
+            m.simt_efficiency() * 100.0,
+            m.coalescing_efficiency(spec.transaction_bytes) * 100.0,
+            m.divergent_branches,
+            tm.kernel_time(m) * 1e3,
+        );
+        // Every variant must compute the same answer.
+        let got: Vec<f32> = res.neighbors[0].iter().map(|nb| nb.dist).collect();
+        match &first_result {
+            None => first_result = Some(got),
+            Some(expect) => assert_eq!(expect, &got, "{label} diverged from baseline"),
+        }
+    }
+
+    println!(
+        "\nreading the table: the insertion queue burns issue slots on \
+         serialized shift loops;\nthe heap's tree walk wrecks coalescing; \
+         aligned merges recover SIMT efficiency;\nbuffering batches the \
+         divergent inserts; hierarchical partition removes most of them."
+    );
+}

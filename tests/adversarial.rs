@@ -1,0 +1,132 @@
+//! Adversarial input patterns through every simulated variant: sorted
+//! ascending (every element is a candidate at first sight), sorted
+//! descending (maximal early insert pressure), constant (maximal ties),
+//! sawtooth (repeated displacement), and near-duplicate floats
+//! (adjacent bit patterns).
+
+use gpu_kselect::kselect::buffered::BufferConfig;
+use gpu_kselect::kselect::gpu::{gpu_select_k, DistanceMatrix};
+use gpu_kselect::kselect::hierarchical::HpConfig;
+use gpu_kselect::prelude::*;
+
+const N: usize = 512;
+const K: usize = 32;
+
+fn patterns() -> Vec<(&'static str, Vec<f32>)> {
+    vec![
+        ("ascending", (0..N).map(|i| i as f32).collect()),
+        ("descending", (0..N).rev().map(|i| i as f32).collect()),
+        ("constant", vec![7.5; N]),
+        (
+            "sawtooth",
+            (0..N).map(|i| (i % 37) as f32 + (i / 37) as f32 * 0.01).collect(),
+        ),
+        (
+            "adjacent-bits",
+            (0..N)
+                .map(|i| f32::from_bits(1.0f32.to_bits() + (i % 7) as u32))
+                .collect(),
+        ),
+        (
+            "two-phase",
+            // large values first, then the true answers at the very end —
+            // stresses threshold tightening and final flushes.
+            (0..N)
+                .map(|i| if i < N - K { 1000.0 + i as f32 } else { (i - (N - K)) as f32 })
+                .collect(),
+        ),
+    ]
+}
+
+fn oracle(row: &[f32], k: usize) -> Vec<f32> {
+    let mut v = row.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.truncate(k);
+    v
+}
+
+#[test]
+fn all_variants_survive_adversarial_patterns() {
+    let spec = GpuSpec::tesla_c2075();
+    for (name, row) in patterns() {
+        // Same pattern on every lane of the warp — worst-case lockstep.
+        let rows: Vec<Vec<f32>> = vec![row.clone(); 32];
+        let dm = DistanceMatrix::from_rows(&rows);
+        let expect = oracle(&row, K);
+        for queue in QueueKind::ALL {
+            for aligned in [false, true] {
+                for buffer in [None, Some(BufferConfig::default())] {
+                    for hp in [None, Some(HpConfig { g: 4 })] {
+                        let mut cfg = SelectConfig::plain(queue, K).with_aligned(aligned);
+                        cfg.buffer = buffer;
+                        cfg.hp = hp;
+                        let res = gpu_select_k(&spec, &dm, &cfg);
+                        for (qi, nbs) in res.neighbors.iter().enumerate() {
+                            let got: Vec<f32> = nbs.iter().map(|nb| nb.dist).collect();
+                            assert_eq!(got, expect, "{name} {} query {qi}", cfg.label());
+                        }
+                    }
+                }
+            }
+        }
+        // Baselines under the same patterns.
+        let (tbs, _) = baselines::gpu_tbs_block_select(&spec, &dm, K);
+        let (ws, _) = baselines::gpu_warp_select(&spec, &dm, K);
+        let (qms, _) = baselines::gpu_qms_select(&spec, &dm, K);
+        for qi in 0..32 {
+            assert_eq!(
+                tbs[qi].iter().map(|nb| nb.dist).collect::<Vec<_>>(),
+                expect,
+                "{name} tbs-block query {qi}"
+            );
+            assert_eq!(
+                ws[qi].iter().map(|nb| nb.dist).collect::<Vec<_>>(),
+                expect,
+                "{name} warp-select query {qi}"
+            );
+            assert_eq!(
+                qms[qi].iter().map(|nb| nb.dist).collect::<Vec<_>>(),
+                expect,
+                "{name} qms query {qi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn staggered_lanes_maximise_divergence() {
+    // Each lane gets a rotated copy of the same sawtooth: lanes insert at
+    // maximally different times, stressing the divergence paths.
+    let spec = GpuSpec::tesla_c2075();
+    let base: Vec<f32> = (0..N).map(|i| ((i * 193) % N) as f32).collect();
+    let rows: Vec<Vec<f32>> = (0..32)
+        .map(|l| {
+            let mut r = base.clone();
+            r.rotate_left(l * 16);
+            r
+        })
+        .collect();
+    let dm = DistanceMatrix::from_rows(&rows);
+    for queue in QueueKind::ALL {
+        let cfg = SelectConfig::optimized(queue, K);
+        let res = gpu_select_k(&spec, &dm, &cfg);
+        for (qi, nbs) in res.neighbors.iter().enumerate() {
+            let got: Vec<f32> = nbs.iter().map(|nb| nb.dist).collect();
+            assert_eq!(got, oracle(&rows[qi], K), "{} query {qi}", cfg.label());
+        }
+    }
+}
+
+#[test]
+fn chunked_selection_on_adversarial_patterns() {
+    for (name, row) in patterns() {
+        let cfg = SelectConfig::optimized(QueueKind::Merge, K);
+        for chunk in [K / 2, K, 100, N] {
+            let got: Vec<f32> = gpu_kselect::kselect::select_k_chunked(&row, &cfg, chunk)
+                .iter()
+                .map(|nb| nb.dist)
+                .collect();
+            assert_eq!(got, oracle(&row, K), "{name} chunk={chunk}");
+        }
+    }
+}
