@@ -41,7 +41,10 @@ pub fn bucket_select(dists: &[f32], k: usize) -> Vec<Neighbor> {
             break;
         }
         let lo = live.iter().map(|n| n.dist).fold(f32::INFINITY, f32::min);
-        let hi = live.iter().map(|n| n.dist).fold(f32::NEG_INFINITY, f32::max);
+        let hi = live
+            .iter()
+            .map(|n| n.dist)
+            .fold(f32::NEG_INFINITY, f32::max);
         if lo == hi {
             // All equal: any `need` of them complete the answer.
             result.extend(live.iter().take(need).copied());

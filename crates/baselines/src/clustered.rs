@@ -62,7 +62,10 @@ pub fn clustered_sort_select(rows: &[Vec<f32>], k: usize) -> Vec<Vec<Neighbor>> 
     let mut payload = Vec::with_capacity(total);
     for (qi, row) in rows.iter().enumerate() {
         for (e, &d) in row.iter().enumerate() {
-            assert!(d >= 0.0 && !d.is_nan(), "clustered sort needs non-negative distances");
+            assert!(
+                d >= 0.0 && !d.is_nan(),
+                "clustered sort needs non-negative distances"
+            );
             keys.push(((qi as u64) << 32) | u64::from(d.to_bits()));
             payload.push(e as u32);
         }
@@ -146,9 +149,15 @@ mod tests {
     fn ragged_rows_supported() {
         let rows = vec![vec![3.0, 1.0], vec![0.5], vec![9.0, 2.0, 4.0, 0.25]];
         let got = clustered_sort_select(&rows, 2);
-        assert_eq!(got[0].iter().map(|n| n.dist).collect::<Vec<_>>(), vec![1.0, 3.0]);
+        assert_eq!(
+            got[0].iter().map(|n| n.dist).collect::<Vec<_>>(),
+            vec![1.0, 3.0]
+        );
         assert_eq!(got[1].iter().map(|n| n.dist).collect::<Vec<_>>(), vec![0.5]);
-        assert_eq!(got[2].iter().map(|n| n.dist).collect::<Vec<_>>(), vec![0.25, 2.0]);
+        assert_eq!(
+            got[2].iter().map(|n| n.dist).collect::<Vec<_>>(),
+            vec![0.25, 2.0]
+        );
     }
 
     #[test]

@@ -17,17 +17,17 @@
 pub mod bucket;
 pub mod clustered;
 pub mod qms;
-pub mod sample;
 pub mod radix;
+pub mod sample;
 pub mod sort_select;
 pub mod tbs;
 pub mod warpselect;
 
 pub use bucket::bucket_select;
 pub use clustered::clustered_sort_select;
-pub use sample::sample_select;
 pub use qms::{gpu_qms_select, qms_select};
 pub use radix::radix_select;
+pub use sample::sample_select;
 pub use sort_select::sort_select;
 pub use tbs::{gpu_tbs_block_select, gpu_tbs_select, tbs_select};
 pub use warpselect::gpu_warp_select;

@@ -50,13 +50,16 @@ pub fn gpu_qms_select(
 ) -> (Vec<Vec<Neighbor>>, Metrics) {
     assert!(k > 0 && k <= dm.n());
     let n_warps = dm.q().div_ceil(WARP_SIZE);
-    let (per_warp, metrics) = launch(spec, n_warps, |warp_id, ctx| {
-        qms_warp(ctx, warp_id, dm, k)
-    });
+    let (per_warp, metrics) = launch(spec, n_warps, |warp_id, ctx| qms_warp(ctx, warp_id, dm, k));
     (per_warp.into_iter().flatten().collect(), metrics)
 }
 
-fn qms_warp(ctx: &mut WarpCtx, warp_id: usize, dm: &DistanceMatrix, k: usize) -> Vec<Vec<Neighbor>> {
+fn qms_warp(
+    ctx: &mut WarpCtx,
+    warp_id: usize,
+    dm: &DistanceMatrix,
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
     let n = dm.n();
     let q_base = warp_id * WARP_SIZE;
     let live_lanes = dm.q().saturating_sub(q_base).min(WARP_SIZE);

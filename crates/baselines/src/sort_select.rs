@@ -4,7 +4,7 @@
 //! the sorted list is reused across queries, which k-NN does not do; it is
 //! the context baseline every selection method must beat.
 
-use kselect::types::{Neighbor, sort_neighbors};
+use kselect::types::{sort_neighbors, Neighbor};
 
 /// k smallest by fully sorting a copy of the list; ascending.
 pub fn sort_select(dists: &[f32], k: usize) -> Vec<Neighbor> {

@@ -246,23 +246,26 @@ pub fn gpu_tbs_block_select(
         // Run the cooperative comparator network per chunk, then
         // tournament-merge the truncated runs — executing the *data*
         // movement on the host arrays and charging the warp for it.
-        let run_stages =
-            |ctx: &mut WarpCtx, coop: &mut dyn FnMut(&mut WarpCtx, usize, u64, u64),
-             stages: &[Vec<(usize, usize)>], off: usize, d: &mut [f32], id: &mut [u32]| {
-                for stage in stages {
-                    // per comparator: 4 shared reads + compare + 4 writes
-                    coop(ctx, stage.len(), 2, 8);
-                    for &(a, b) in stage {
-                        let (a, b) = (off + a, off + b);
-                        // ascending
-                        if d[a] > d[b] {
-                            d.swap(a, b);
-                            id.swap(a, b);
-                        }
+        let run_stages = |ctx: &mut WarpCtx,
+                          coop: &mut dyn FnMut(&mut WarpCtx, usize, u64, u64),
+                          stages: &[Vec<(usize, usize)>],
+                          off: usize,
+                          d: &mut [f32],
+                          id: &mut [u32]| {
+            for stage in stages {
+                // per comparator: 4 shared reads + compare + 4 writes
+                coop(ctx, stage.len(), 2, 8);
+                for &(a, b) in stage {
+                    let (a, b) = (off + a, off + b);
+                    // ascending
+                    if d[a] > d[b] {
+                        d.swap(a, b);
+                        id.swap(a, b);
                     }
-                    ctx.sync();
                 }
-            };
+                ctx.sync();
+            }
+        };
         for c in 0..padded / chunk {
             run_stages(ctx, &mut coop, &sort_stages, c * chunk, &mut d, &mut id);
         }
@@ -295,7 +298,11 @@ pub fn gpu_tbs_block_select(
         }
         // Write the k results back to global memory.
         coop(ctx, k, 0, 1);
-        ctx.record_global(Mask::first(k.min(WARP_SIZE)), k.div_ceil(WARP_SIZE) as u64, k as u64 * 4);
+        ctx.record_global(
+            Mask::first(k.min(WARP_SIZE)),
+            k.div_ceil(WARP_SIZE) as u64,
+            k as u64 * 4,
+        );
         (0..k.min(n))
             .map(|i| Neighbor::new(d[i], id[i]))
             .filter(|nb| !nb.is_sentinel())
@@ -388,8 +395,16 @@ mod tests {
     fn simulated_work_is_data_independent() {
         let rows1: Vec<Vec<f32>> = vec![(0..256).map(|i| i as f32).collect(); 32];
         let rows2: Vec<Vec<f32>> = vec![(0..256).rev().map(|i| i as f32).collect(); 32];
-        let (_, m1) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &DistanceMatrix::from_rows(&rows1), 8);
-        let (_, m2) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &DistanceMatrix::from_rows(&rows2), 8);
+        let (_, m1) = gpu_tbs_select(
+            &GpuSpec::tesla_c2075(),
+            &DistanceMatrix::from_rows(&rows1),
+            8,
+        );
+        let (_, m2) = gpu_tbs_select(
+            &GpuSpec::tesla_c2075(),
+            &DistanceMatrix::from_rows(&rows2),
+            8,
+        );
         assert_eq!(m1.issued, m2.issued);
         assert_eq!(m1.global_transactions, m2.global_transactions);
     }

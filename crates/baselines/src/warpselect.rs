@@ -54,8 +54,9 @@ pub fn gpu_warp_select(
         let mut wq: Vec<Neighbor> = vec![Neighbor::sentinel(); kq];
         let mut wq_max = INF;
         // Thread queues: candidate staging, THREAD_QUEUE per lane.
-        let mut tq: Vec<Vec<Neighbor>> =
-            (0..WARP_SIZE).map(|_| Vec::with_capacity(THREAD_QUEUE)).collect();
+        let mut tq: Vec<Vec<Neighbor>> = (0..WARP_SIZE)
+            .map(|_| Vec::with_capacity(THREAD_QUEUE))
+            .collect();
 
         let merge = |ctx: &mut WarpCtx, wq: &mut Vec<Neighbor>, tq: &mut Vec<Vec<Neighbor>>| {
             // Gather candidates (already in registers), pad to cand_cap.
@@ -134,7 +135,11 @@ pub fn gpu_warp_select(
         }
         merge(ctx, &mut wq, &mut tq);
         // Write k results to global memory.
-        ctx.record_global(Mask::first(k.min(WARP_SIZE)), k.div_ceil(WARP_SIZE) as u64, k as u64 * 4);
+        ctx.record_global(
+            Mask::first(k.min(WARP_SIZE)),
+            k.div_ceil(WARP_SIZE) as u64,
+            k as u64 * 4,
+        );
         let mut out: Vec<Neighbor> = wq
             .into_iter()
             .take(k)
@@ -210,7 +215,9 @@ mod tests {
         use kselect::{QueueKind, SelectConfig};
         let mut rng = rand::rngs::StdRng::seed_from_u64(263);
         let n = 1 << 13;
-        let rows: Vec<Vec<f32>> = (0..32).map(|_| (0..n).map(|_| rng.gen()).collect()).collect();
+        let rows: Vec<Vec<f32>> = (0..32)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
         let dm = DistanceMatrix::from_rows(&rows);
         let tm = simt::TimingModel::tesla_c2075();
         let (_, ws) = gpu_warp_select(&tm.spec, &dm, 256);

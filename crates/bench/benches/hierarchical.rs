@@ -35,7 +35,13 @@ fn bench_hierarchy(c: &mut Criterion) {
     g.sample_size(20);
     for &gsz in &[2usize, 4, 6, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(gsz), &gsz, |b, &gsz| {
-            b.iter(|| black_box(hierarchical_select(black_box(&data), k, HpConfig { g: gsz })))
+            b.iter(|| {
+                black_box(hierarchical_select(
+                    black_box(&data),
+                    k,
+                    HpConfig { g: gsz },
+                ))
+            })
         });
     }
     g.finish();
@@ -51,7 +57,7 @@ fn bench_hierarchy(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))

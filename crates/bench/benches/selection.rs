@@ -1,7 +1,10 @@
 //! Native k-selection algorithm comparison: the paper's techniques
 //! against the §II-C taxonomy baselines, wall-clock on the host.
 
-use baselines::{bucket_select, clustered_sort_select, qms_select, radix_select, sample_select, sort_select, tbs_select};
+use baselines::{
+    bucket_select, clustered_sort_select, qms_select, radix_select, sample_select, sort_select,
+    tbs_select,
+};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kselect::buffered::BufferConfig;
 use kselect::hierarchical::HpConfig;
@@ -37,14 +40,20 @@ fn bench_variants(c: &mut Criterion) {
         ),
     ];
     for (name, cfg) in &variants {
-        g.bench_function(*name, |b| b.iter(|| black_box(select_k(black_box(&data), cfg))));
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(select_k(black_box(&data), cfg)))
+        });
     }
     g.finish();
 
     let mut g = c.benchmark_group("baselines_n32768_k256");
     g.sample_size(20);
-    g.bench_function("tbs", |b| b.iter(|| black_box(tbs_select(black_box(&data), k))));
-    g.bench_function("qms", |b| b.iter(|| black_box(qms_select(black_box(&data), k))));
+    g.bench_function("tbs", |b| {
+        b.iter(|| black_box(tbs_select(black_box(&data), k)))
+    });
+    g.bench_function("qms", |b| {
+        b.iter(|| black_box(qms_select(black_box(&data), k)))
+    });
     g.bench_function("bucket", |b| {
         b.iter(|| black_box(bucket_select(black_box(&data), k)))
     });
@@ -93,7 +102,11 @@ fn bench_variants(c: &mut Criterion) {
             |b, &ce| {
                 let cfg = SelectConfig::optimized(QueueKind::Merge, 128);
                 b.iter(|| {
-                    black_box(kselect::select_k_chunked(black_box(&big), &cfg, 1usize << ce))
+                    black_box(kselect::select_k_chunked(
+                        black_box(&big),
+                        &cfg,
+                        1usize << ce,
+                    ))
                 })
             },
         );
@@ -112,7 +125,7 @@ fn bench_variants(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .warm_up_time(std::time::Duration::from_secs(1))

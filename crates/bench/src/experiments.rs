@@ -439,7 +439,11 @@ pub fn table1(h: &Harness, quick: bool) -> TimeTable {
 
     // GPU-based, original
     push_row("Insertion Queue", &mut |n, k| {
-        Some(sim_time(h, &SelectConfig::plain(QueueKind::Insertion, k), n))
+        Some(sim_time(
+            h,
+            &SelectConfig::plain(QueueKind::Insertion, k),
+            n,
+        ))
     });
     push_row("Heap Queue", &mut |n, k| {
         Some(sim_time(h, &SelectConfig::plain(QueueKind::Heap, k), n))
@@ -466,7 +470,11 @@ pub fn table1(h: &Harness, quick: bool) -> TimeTable {
         Some(sim_time(h, &buf_hp(QueueKind::Merge, k), n))
     });
     push_row("Merge Queue aligned+buf+hp", &mut |n, k| {
-        Some(sim_time(h, &buf_hp(QueueKind::Merge, k).with_aligned(true), n))
+        Some(sim_time(
+            h,
+            &buf_hp(QueueKind::Merge, k).with_aligned(true),
+            n,
+        ))
     });
 
     // State of the art
@@ -597,8 +605,15 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
 
     // (1) Merge Queue m sweep — the paper fixes m = 8 "experimentally";
     // this is the sweep that justifies it. Simulated time vs m, k = 2^8.
-    let ms: &[usize] = if quick { &[2, 8, 32] } else { &[1, 2, 4, 8, 16, 32] };
-    let mut s = Series { label: "aligned merge queue".into(), points: Vec::new() };
+    let ms: &[usize] = if quick {
+        &[2, 8, 32]
+    } else {
+        &[1, 2, 4, 8, 16, 32]
+    };
+    let mut s = Series {
+        label: "aligned merge queue".into(),
+        points: Vec::new(),
+    };
     for &m in ms {
         let mut cfg = SelectConfig::plain(QueueKind::Merge, SWEEP_K).with_aligned(true);
         cfg.m = m;
@@ -613,8 +628,15 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     });
 
     // (2) Buffer-size sweep for Buffered Search (full+sorted), merge queue.
-    let sizes: &[usize] = if quick { &[8, 32] } else { &[2, 4, 8, 16, 32, 64] };
-    let mut s = Series { label: "full+sorted".into(), points: Vec::new() };
+    let sizes: &[usize] = if quick {
+        &[8, 32]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
+    let mut s = Series {
+        label: "full+sorted".into(),
+        points: Vec::new(),
+    };
     let base = sim_time(h, &SelectConfig::plain(QueueKind::Merge, SWEEP_K), n);
     for &size in sizes {
         let cfg = SelectConfig::plain(QueueKind::Merge, SWEEP_K).with_buffer(BufferConfig {
@@ -626,7 +648,8 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     }
     figs.push(Figure {
         id: "abl_buffer_size".into(),
-        title: "Buffered Search buffer-size sweep (merge queue, N=2^15, k=2^8) — improvement".into(),
+        title: "Buffered Search buffer-size sweep (merge queue, N=2^15, k=2^8) — improvement"
+            .into(),
         x_label: "buffer size".into(),
         y_label: "improvement ×".into(),
         series: vec![s],
@@ -634,10 +657,17 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
 
     // (3) Aligned Merge isolation: unaligned / aligned ratio across k
     // (Table I hints at up to 10.51×).
-    let mut s = Series { label: "unaligned / aligned".into(), points: Vec::new() };
+    let mut s = Series {
+        label: "unaligned / aligned".into(),
+        points: Vec::new(),
+    };
     for &k in &k_points(quick) {
         let un = sim_time(h, &SelectConfig::plain(QueueKind::Merge, k), n);
-        let al = sim_time(h, &SelectConfig::plain(QueueKind::Merge, k).with_aligned(true), n);
+        let al = sim_time(
+            h,
+            &SelectConfig::plain(QueueKind::Merge, k).with_aligned(true),
+            n,
+        );
         s.points.push(((k as f64).log2(), un / al));
     }
     figs.push(Figure {
@@ -649,7 +679,10 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     });
 
     // (4) Lazy Update isolation: eager full-cascade repair vs lazy.
-    let mut s = Series { label: "eager / lazy".into(), points: Vec::new() };
+    let mut s = Series {
+        label: "eager / lazy".into(),
+        points: Vec::new(),
+    };
     use kselect::gpu::queues::RepairKind;
     for &k in &k_points(quick) {
         let lazy = scan_with_queues(h, n, k, 8, true, false, RepairKind::BitonicNetwork);
@@ -658,7 +691,8 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     }
     figs.push(Figure {
         id: "abl_lazy".into(),
-        title: "Lazy Update benefit: eager-repair cost relative to lazy (aligned merge, N=2^15)".into(),
+        title: "Lazy Update benefit: eager-repair cost relative to lazy (aligned merge, N=2^15)"
+            .into(),
         x_label: "log2 k".into(),
         y_label: "slowdown ×".into(),
         series: vec![s],
@@ -667,7 +701,10 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     // (4b) Merge-repair algorithm (paper §V future work): the paper's
     // Reverse Bitonic network vs a work-optimal two-pointer merge
     // (Merge-Path core). Ratio > 1 means the bitonic network wins.
-    let mut s = Series { label: "linear-merge / bitonic".into(), points: Vec::new() };
+    let mut s = Series {
+        label: "linear-merge / bitonic".into(),
+        points: Vec::new(),
+    };
     for &k in &k_points(quick) {
         let bitonic = scan_with_queues(h, n, k, 8, true, false, RepairKind::BitonicNetwork);
         let linear = scan_with_queues(h, n, k, 8, true, false, RepairKind::LinearMerge);
@@ -682,7 +719,10 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     });
 
     // (5) HP construction share of total HP time across N.
-    let mut s = Series { label: "construction share".into(), points: Vec::new() };
+    let mut s = Series {
+        label: "construction share".into(),
+        points: Vec::new(),
+    };
     for &nn in &n_points(quick) {
         let rows = distance_rows(h.q_sim, nn, h.seed ^ 0x4B);
         let dm = DistanceMatrix::from_rows(&rows);
@@ -703,9 +743,16 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
 
     // (6) Small-k regime (k < 2^5): the paper calls it "less challenging
     // than distance calculation" — verify selection < distance there.
-    let dist_t = h.tm.kernel_time(&knn::gpu_distance_metrics(h.q_full, n, 128));
-    let mut sel = Series { label: "merge aligned+buf+hp".into(), points: Vec::new() };
-    let mut dist = Series { label: "distance calculation".into(), points: Vec::new() };
+    let dist_t =
+        h.tm.kernel_time(&knn::gpu_distance_metrics(h.q_full, n, 128));
+    let mut sel = Series {
+        label: "merge aligned+buf+hp".into(),
+        points: Vec::new(),
+    };
+    let mut dist = Series {
+        label: "distance calculation".into(),
+        points: Vec::new(),
+    };
     let small_ks: &[usize] = if quick { &[8, 32] } else { &[4, 8, 16, 32] };
     for &k in small_ks {
         let mut cfg = SelectConfig::optimized(QueueKind::Merge, k);
@@ -715,7 +762,8 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
     }
     figs.push(Figure {
         id: "abl_small_k".into(),
-        title: "Small-k regime (N=2^15): optimized selection vs distance calculation — seconds".into(),
+        title: "Small-k regime (N=2^15): optimized selection vs distance calculation — seconds"
+            .into(),
         x_label: "log2 k".into(),
         y_label: "seconds".into(),
         series: vec![sel, dist],
@@ -730,7 +778,10 @@ mod ablation_tests {
 
     #[test]
     fn ablations_quick_shapes() {
-        let h = Harness { q_sim: 32, ..Harness::new() };
+        let h = Harness {
+            q_sim: 32,
+            ..Harness::new()
+        };
         let figs = ablations(&h, true);
         assert_eq!(figs.len(), 7);
         let by_id = |id: &str| figs.iter().find(|f| f.id == id).unwrap();
@@ -767,14 +818,24 @@ mod ablation_tests {
 pub fn occupancy(h: &Harness, quick: bool) -> Vec<Figure> {
     use simt::WARP_SIZE;
     let n = SWEEP_N;
-    let sizes: &[usize] = if quick { &[8, 64] } else { &[2, 4, 8, 16, 32, 64, 128] };
+    let sizes: &[usize] = if quick {
+        &[8, 64]
+    } else {
+        &[2, 4, 8, 16, 32, 64, 128]
+    };
     let base_cfg = SelectConfig::plain(QueueKind::Merge, SWEEP_K).with_aligned(true);
     let rows = distance_rows(h.q_sim, n, h.seed ^ 0x0CC);
     let dm = DistanceMatrix::from_rows(&rows);
     let base_res = kselect::gpu::gpu_select_k(&h.tm.spec, &dm, &base_cfg);
     let base_raw = h.tm.kernel_time_scaled(&base_res.metrics, h.replication());
-    let mut raw = Series { label: "raw model".into(), points: Vec::new() };
-    let mut adj = Series { label: "occupancy-adjusted".into(), points: Vec::new() };
+    let mut raw = Series {
+        label: "raw model".into(),
+        points: Vec::new(),
+    };
+    let mut adj = Series {
+        label: "occupancy-adjusted".into(),
+        points: Vec::new(),
+    };
     for &size in sizes {
         let cfg = base_cfg.with_buffer(BufferConfig {
             size,
@@ -786,15 +847,14 @@ pub fn occupancy(h: &Harness, quick: bool) -> Vec<Figure> {
         let t_raw = h.tm.kernel_time_scaled(&res.metrics, h.replication());
         // Scale the occupancy-adjusted body the same way as the raw one.
         let t_adj_once = h.tm.kernel_time_occupancy(&res.metrics, shared_bytes);
-        let t_adj = (t_adj_once - h.tm.launch_overhead_s) * h.replication()
-            + h.tm.launch_overhead_s;
+        let t_adj =
+            (t_adj_once - h.tm.launch_overhead_s) * h.replication() + h.tm.launch_overhead_s;
         raw.points.push((size as f64, base_raw / t_raw));
         adj.points.push((size as f64, base_raw / t_adj));
     }
     vec![Figure {
         id: "occupancy_buffer".into(),
-        title: "Buffer size under the occupancy model (aligned merge queue, N=2^15, k=2^8)"
-            .into(),
+        title: "Buffer size under the occupancy model (aligned merge queue, N=2^15, k=2^8)".into(),
         x_label: "buffer size".into(),
         y_label: "improvement ×".into(),
         series: vec![raw, adj],
@@ -807,7 +867,10 @@ mod occupancy_tests {
 
     #[test]
     fn occupancy_turns_the_curve_over() {
-        let h = Harness { q_sim: 32, ..Harness::new() };
+        let h = Harness {
+            q_sim: 32,
+            ..Harness::new()
+        };
         let figs = occupancy(&h, false);
         let adj = &figs[0].series[1].points;
         let raw = &figs[0].series[0].points;

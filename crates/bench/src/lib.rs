@@ -64,6 +64,27 @@ impl Harness {
         let res = gpu_select_k(&self.tm.spec, dm, cfg);
         self.tm.kernel_time_scaled(&res.metrics, self.replication())
     }
+
+    /// [`gpu_select_time`](Self::gpu_select_time), additionally recording
+    /// the cell onto `tracer`: a kernel span named `label` covering the
+    /// scaled simulated time, with the cell's kernel event counters folded
+    /// in at its close. Successive cells abut on the tracer's clock, so a
+    /// whole experiment grid lays out as one Perfetto-loadable timeline.
+    pub fn gpu_select_profiled(
+        &self,
+        dm: &DistanceMatrix,
+        cfg: &SelectConfig,
+        tracer: &mut trace::Tracer,
+        label: &str,
+    ) -> f64 {
+        let res = gpu_select_k(&self.tm.spec, dm, cfg);
+        let t = self.tm.kernel_time_scaled(&res.metrics, self.replication());
+        let span = tracer.open_span(trace::Category::Kernel, label);
+        tracer.advance(t);
+        tracer.merge_counters(&res.counters.to_counter_set());
+        tracer.close_span(span);
+        t
+    }
 }
 
 impl Default for Harness {
@@ -102,5 +123,41 @@ mod tests {
         };
         let t2 = h1.gpu_select_time(&dm, &cfg);
         assert!(t2 > t * 1.5, "scaling should roughly double: {t} vs {t2}");
+    }
+
+    #[test]
+    fn profiled_cells_abut_on_one_timeline() {
+        let h = Harness::quick();
+        let rows = workload::distance_rows(32, 512, 2);
+        let dm = DistanceMatrix::from_rows(&rows);
+        let mut tracer = trace::Tracer::new();
+        let t_plain = h.gpu_select_profiled(
+            &dm,
+            &SelectConfig::plain(QueueKind::Merge, 16),
+            &mut tracer,
+            "merge.plain",
+        );
+        let t_opt = h.gpu_select_profiled(
+            &dm,
+            &SelectConfig::optimized(QueueKind::Merge, 16),
+            &mut tracer,
+            "merge.optimized",
+        );
+        assert_eq!(
+            t_plain,
+            h.gpu_select_time(&dm, &SelectConfig::plain(QueueKind::Merge, 16))
+        );
+        assert!(tracer.is_balanced());
+        assert!((tracer.clock_s() - (t_plain + t_opt)).abs() < 1e-12);
+        let names: Vec<&str> = tracer.events().iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "merge.plain",
+                "merge.plain",
+                "merge.optimized",
+                "merge.optimized"
+            ]
+        );
     }
 }

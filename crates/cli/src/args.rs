@@ -40,6 +40,17 @@ pub enum Command {
         k: usize,
         queue: QueueKind,
     },
+    /// `profile --n N --k K [--queries Q] [--queue Q] [--trace-out FILE]
+    /// [--jsonl-out FILE]` — run the traced pipeline and print a
+    /// simulated-time profile; optionally export a Chrome trace / JSONL.
+    Profile {
+        n: usize,
+        k: usize,
+        queries: usize,
+        queue: QueueKind,
+        trace_out: Option<PathBuf>,
+        jsonl_out: Option<PathBuf>,
+    },
     /// `--help`
     Help,
 }
@@ -57,9 +68,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             match name {
                 "json" | "help" => bools.push(name.to_string()),
                 _ => {
-                    let v = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let v = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     flags.insert(name.to_string(), v.clone());
                 }
             }
@@ -71,7 +80,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         flags.get(k).ok_or_else(|| format!("missing --{k}"))
     };
     let get_usize = |k: &str| -> Result<usize, String> {
-        get(k)?.parse().map_err(|_| format!("--{k} must be an integer"))
+        get(k)?
+            .parse()
+            .map_err(|_| format!("--{k} must be an integer"))
     };
     let queue = |flags: &HashMap<String, String>| -> Result<QueueKind, String> {
         match flags.get("queue").map(String::as_str).unwrap_or("merge") {
@@ -87,7 +98,10 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             dim: get_usize("dim")?,
             seed: flags
                 .get("seed")
-                .map(|s| s.parse().map_err(|_| "--seed must be an integer".to_string()))
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| "--seed must be an integer".to_string())
+                })
                 .transpose()?
                 .unwrap_or(0),
             out: PathBuf::from(get("out")?),
@@ -97,7 +111,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             queries: PathBuf::from(get("queries")?),
             dim: get_usize("dim")?,
             k: get_usize("k")?,
-            metric: match flags.get("metric").map(String::as_str).unwrap_or("euclidean") {
+            metric: match flags
+                .get("metric")
+                .map(String::as_str)
+                .unwrap_or("euclidean")
+            {
                 "euclidean" => Metric::SquaredEuclidean,
                 "manhattan" => Metric::Manhattan,
                 "cosine" => Metric::Cosine,
@@ -117,6 +135,21 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             k: get_usize("k")?,
             queue: queue(&flags)?,
         }),
+        "profile" => Ok(Command::Profile {
+            n: get_usize("n")?,
+            k: get_usize("k")?,
+            queries: flags
+                .get("queries")
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| "--queries must be an integer".to_string())
+                })
+                .transpose()?
+                .unwrap_or(64),
+            queue: queue(&flags)?,
+            trace_out: flags.get("trace-out").map(PathBuf::from),
+            jsonl_out: flags.get("jsonl-out").map(PathBuf::from),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command: {other}")),
     }
@@ -133,7 +166,13 @@ USAGE:
                    [--queue merge|heap|insertion] [--json]
   knn-cli bench    --n N --k K [--queue merge|heap|insertion]
   knn-cli simulate --n N --k K [--queue merge|heap|insertion]
+  knn-cli profile  --n N --k K [--queries Q] [--queue merge|heap|insertion]
+                   [--trace-out trace.json] [--jsonl-out trace.jsonl]
   knn-cli help
+
+`profile` runs the simulated pipeline with tracing on and prints a
+profile over *simulated* time; --trace-out writes a Chrome-trace JSON
+loadable in ui.perfetto.dev or chrome://tracing.
 ";
 
 #[cfg(test)]
@@ -146,7 +185,10 @@ mod tests {
 
     #[test]
     fn generate_parses() {
-        let c = parse(&v(&["generate", "--count", "10", "--dim", "4", "--out", "x.f32"])).unwrap();
+        let c = parse(&v(&[
+            "generate", "--count", "10", "--dim", "4", "--out", "x.f32",
+        ]))
+        .unwrap();
         assert_eq!(
             c,
             Command::Generate {
@@ -161,11 +203,25 @@ mod tests {
     #[test]
     fn search_defaults() {
         let c = parse(&v(&[
-            "search", "--refs", "r", "--queries", "q", "--dim", "8", "--k", "5",
+            "search",
+            "--refs",
+            "r",
+            "--queries",
+            "q",
+            "--dim",
+            "8",
+            "--k",
+            "5",
         ]))
         .unwrap();
         match c {
-            Command::Search { metric, queue, json, k, .. } => {
+            Command::Search {
+                metric,
+                queue,
+                json,
+                k,
+                ..
+            } => {
                 assert_eq!(metric, Metric::SquaredEuclidean);
                 assert_eq!(queue, QueueKind::Merge);
                 assert!(!json);
@@ -178,12 +234,29 @@ mod tests {
     #[test]
     fn search_with_options() {
         let c = parse(&v(&[
-            "search", "--refs", "r", "--queries", "q", "--dim", "8", "--k", "5", "--metric",
-            "cosine", "--queue", "heap", "--json",
+            "search",
+            "--refs",
+            "r",
+            "--queries",
+            "q",
+            "--dim",
+            "8",
+            "--k",
+            "5",
+            "--metric",
+            "cosine",
+            "--queue",
+            "heap",
+            "--json",
         ]))
         .unwrap();
         match c {
-            Command::Search { metric, queue, json, .. } => {
+            Command::Search {
+                metric,
+                queue,
+                json,
+                ..
+            } => {
                 assert_eq!(metric, Metric::Cosine);
                 assert_eq!(queue, QueueKind::Heap);
                 assert!(json);
@@ -200,6 +273,53 @@ mod tests {
         assert!(parse(&v(&["bench", "--n", "ten", "--k", "4"])).is_err());
         assert!(parse(&v(&["bench", "--n", "10", "--k", "4", "--queue", "zap"])).is_err());
         assert!(parse(&v(&["bench", "stray", "--n", "10"])).is_err());
+    }
+
+    #[test]
+    fn profile_parses_with_defaults_and_outputs() {
+        let c = parse(&v(&["profile", "--n", "4096", "--k", "32"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                n: 4096,
+                k: 32,
+                queries: 64,
+                queue: QueueKind::Merge,
+                trace_out: None,
+                jsonl_out: None,
+            }
+        );
+        let c = parse(&v(&[
+            "profile",
+            "--n",
+            "1000",
+            "--k",
+            "8",
+            "--queries",
+            "32",
+            "--queue",
+            "heap",
+            "--trace-out",
+            "t.json",
+            "--jsonl-out",
+            "t.jsonl",
+        ]))
+        .unwrap();
+        match c {
+            Command::Profile {
+                queries,
+                queue,
+                trace_out,
+                jsonl_out,
+                ..
+            } => {
+                assert_eq!(queries, 32);
+                assert_eq!(queue, QueueKind::Heap);
+                assert_eq!(trace_out, Some(PathBuf::from("t.json")));
+                assert_eq!(jsonl_out, Some(PathBuf::from("t.jsonl")));
+            }
+            _ => panic!("wrong command"),
+        }
     }
 
     #[test]

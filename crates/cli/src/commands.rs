@@ -36,7 +36,12 @@ pub fn run(cmd: Command) -> i32 {
             println!("{}", crate::args::USAGE);
             0
         }
-        Command::Generate { count, dim, seed, out } => {
+        Command::Generate {
+            count,
+            dim,
+            seed,
+            out,
+        } => {
             let pts = PointSet::uniform(count, dim, seed);
             match io::save_points(&out, &pts) {
                 Ok(()) => {
@@ -53,7 +58,15 @@ pub fn run(cmd: Command) -> i32 {
                 }
             }
         }
-        Command::Search { refs, queries, dim, k, metric, queue, json } => {
+        Command::Search {
+            refs,
+            queries,
+            dim,
+            k,
+            metric,
+            queue,
+            json,
+        } => {
             let refs = match io::load_points(&refs, dim) {
                 Ok(p) => p,
                 Err(e) => {
@@ -124,14 +137,19 @@ pub fn run(cmd: Command) -> i32 {
         }
         Command::Simulate { n, k, queue } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-            let rows: Vec<Vec<f32>> = (0..32).map(|_| (0..n).map(|_| rng.gen()).collect()).collect();
+            let rows: Vec<Vec<f32>> = (0..32)
+                .map(|_| (0..n).map(|_| rng.gen()).collect())
+                .collect();
             let dm = DistanceMatrix::from_rows(&rows);
             let tm = TimingModel::tesla_c2075();
             let kk = padded_k(queue, k);
             println!("simulated Tesla C2075, one warp (32 queries), n={n} k={k}\n");
             let reports: Vec<simt::KernelReport> = [
                 ("plain", SelectConfig::plain(queue, kk)),
-                ("optimized (aligned+buf+hp)", SelectConfig::optimized(queue, kk)),
+                (
+                    "optimized (aligned+buf+hp)",
+                    SelectConfig::optimized(queue, kk),
+                ),
             ]
             .into_iter()
             .map(|(label, cfg)| {
@@ -140,6 +158,47 @@ pub fn run(cmd: Command) -> i32 {
             })
             .collect();
             print!("{}", simt::comparison_table(&reports));
+            0
+        }
+        Command::Profile {
+            n,
+            k,
+            queries,
+            queue,
+            trace_out,
+            jsonl_out,
+        } => {
+            const DIM: usize = 16;
+            let refs = PointSet::uniform(n, DIM, 11);
+            let qs = PointSet::uniform(queries, DIM, 12);
+            let tm = TimingModel::tesla_c2075();
+            let cfg = SelectConfig::optimized(queue, padded_k(queue, k));
+            let mut tracer = trace::Tracer::new();
+            let res = knn::gpu_knn_traced(&tm, &qs, &refs, &cfg, &mut tracer);
+            println!(
+                "profiled {queries} queries × {n} refs (dim {DIM}, {queue:?}, k={k}): \
+                 distance {:.3} ms + select {:.3} ms simulated\n",
+                res.distance_time * 1e3,
+                res.select_time * 1e3
+            );
+            print!("{}", trace::summary::render_summary(&tracer));
+            if let Some(path) = trace_out {
+                if let Err(e) = std::fs::write(&path, trace::chrome::to_chrome_json(&tracer)) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return 1;
+                }
+                println!(
+                    "\nwrote Chrome trace to {} (open in ui.perfetto.dev)",
+                    path.display()
+                );
+            }
+            if let Some(path) = jsonl_out {
+                if let Err(e) = std::fs::write(&path, trace::jsonl::to_jsonl(&tracer)) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return 1;
+                }
+                println!("wrote JSONL event log to {}", path.display());
+            }
             0
         }
     }
@@ -167,11 +226,21 @@ mod tests {
         let refs = dir.join("refs.f32");
         let queries = dir.join("queries.f32");
         assert_eq!(
-            run(Command::Generate { count: 200, dim: 8, seed: 1, out: refs.clone() }),
+            run(Command::Generate {
+                count: 200,
+                dim: 8,
+                seed: 1,
+                out: refs.clone()
+            }),
             0
         );
         assert_eq!(
-            run(Command::Generate { count: 3, dim: 8, seed: 2, out: queries.clone() }),
+            run(Command::Generate {
+                count: 3,
+                dim: 8,
+                seed: 2,
+                out: queries.clone()
+            }),
             0
         );
         assert_eq!(

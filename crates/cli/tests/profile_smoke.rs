@@ -1,0 +1,76 @@
+//! End-to-end smoke test for `knn-cli profile`: the command must exit
+//! cleanly and write a valid, non-trivial Chrome trace and JSONL log.
+
+use std::collections::BTreeSet;
+
+use knn_cli::{commands, parse};
+
+fn argv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn profile_writes_a_valid_chrome_trace_and_jsonl() {
+    let dir = std::env::temp_dir().join("knn_cli_profile_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("trace.json");
+    let jsonl_path = dir.join("trace.jsonl");
+
+    let cmd = parse(&argv(&[
+        "profile",
+        "--n",
+        "2048",
+        "--k",
+        "16",
+        "--queries",
+        "48",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+        "--jsonl-out",
+        jsonl_path.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert_eq!(commands::run(cmd), 0);
+
+    // The Chrome trace exists, is non-empty, and parses back as JSON.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    assert!(!text.is_empty(), "trace file must be non-empty");
+    let doc = serde_json::parse_value(&text).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(events.len() > 10, "expected a non-trivial event stream");
+
+    // Span categories and counter names hit the documented breadth.
+    let mut cats = BTreeSet::new();
+    let mut counter_names = BTreeSet::new();
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        if let Some(cat) = e.get("cat").and_then(|v| v.as_str()) {
+            if ph == "B" || ph == "E" || ph == "i" {
+                cats.insert(cat.to_string());
+            }
+        }
+        if ph == "C" {
+            if let Some(name) = e.get("name").and_then(|v| v.as_str()) {
+                counter_names.insert(name.to_string());
+            }
+        }
+    }
+    assert!(cats.len() >= 4, "expected ≥4 span categories, got {cats:?}");
+    assert!(
+        counter_names.len() >= 6,
+        "expected ≥6 counter names, got {counter_names:?}"
+    );
+
+    // Every JSONL line parses; the totals line closes the log.
+    let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert!(lines.len() > 10);
+    for l in &lines {
+        serde_json::parse_value(l).expect("each JSONL line must parse");
+    }
+    let last = serde_json::parse_value(lines.last().unwrap()).unwrap();
+    assert_eq!(last.get("type").and_then(|v| v.as_str()), Some("totals"));
+}

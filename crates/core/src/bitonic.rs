@@ -24,7 +24,10 @@ pub type Comparator = (usize, usize);
 ///
 /// `log2(n)` stages of `n/2` comparators each.
 pub fn bitonic_merge_schedule(n: usize) -> Vec<Comparator> {
-    assert!(n.is_power_of_two(), "bitonic merge needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic merge needs a power-of-two length"
+    );
     let mut out = Vec::with_capacity(n / 2 * n.trailing_zeros() as usize);
     let mut stride = n / 2;
     while stride > 0 {
@@ -46,7 +49,10 @@ pub fn bitonic_merge_schedule(n: usize) -> Vec<Comparator> {
 /// paper's Fig. 2b); the remaining stages are two independent classic
 /// bitonic merges on the halves.
 pub fn reverse_bitonic_merge_schedule(n: usize) -> Vec<Comparator> {
-    assert!(n.is_power_of_two() && n >= 2, "reverse merge needs power-of-two length ≥ 2");
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "reverse merge needs power-of-two length ≥ 2"
+    );
     let half = n / 2;
     let mut out = Vec::with_capacity(half * n.trailing_zeros() as usize);
     for i in 0..half {
@@ -73,7 +79,10 @@ pub fn bitonic_sort_schedule(n: usize) -> Vec<Comparator> {
 /// all comparators within one stage touch disjoint elements and can
 /// execute concurrently (how a cooperating thread block runs them).
 pub fn bitonic_sort_stages(n: usize) -> Vec<Vec<Comparator>> {
-    assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort needs a power-of-two length"
+    );
     let mut stages = Vec::new();
     let mut k = 2;
     while k <= n {
@@ -102,7 +111,10 @@ pub fn bitonic_sort_stages(n: usize) -> Vec<Vec<Comparator>> {
 
 /// The classic bitonic merge grouped into parallel stages (descending).
 pub fn bitonic_merge_stages(n: usize) -> Vec<Vec<Comparator>> {
-    assert!(n.is_power_of_two(), "bitonic merge needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic merge needs a power-of-two length"
+    );
     let mut stages = Vec::new();
     let mut stride = n / 2;
     while stride > 0 {

@@ -133,8 +133,16 @@ mod tests {
                     let mut buffered = InsertionQueue::new(k);
                     buffered_select_into(&mut buffered, &dists, &cfg);
                     assert_eq!(
-                        direct.into_sorted().iter().map(|n| n.dist).collect::<Vec<_>>(),
-                        buffered.into_sorted().iter().map(|n| n.dist).collect::<Vec<_>>(),
+                        direct
+                            .into_sorted()
+                            .iter()
+                            .map(|n| n.dist)
+                            .collect::<Vec<_>>(),
+                        buffered
+                            .into_sorted()
+                            .iter()
+                            .map(|n| n.dist)
+                            .collect::<Vec<_>>(),
                         "insertion k={k} size={size} sorted={sorted}"
                     );
                     // heap
@@ -143,8 +151,16 @@ mod tests {
                     let mut buffered = HeapQueue::new(k);
                     buffered_select_into(&mut buffered, &dists, &cfg);
                     assert_eq!(
-                        direct.into_sorted().iter().map(|n| n.dist).collect::<Vec<_>>(),
-                        buffered.into_sorted().iter().map(|n| n.dist).collect::<Vec<_>>(),
+                        direct
+                            .into_sorted()
+                            .iter()
+                            .map(|n| n.dist)
+                            .collect::<Vec<_>>(),
+                        buffered
+                            .into_sorted()
+                            .iter()
+                            .map(|n| n.dist)
+                            .collect::<Vec<_>>(),
                         "heap k={k} size={size} sorted={sorted}"
                     );
                     // merge
@@ -153,8 +169,16 @@ mod tests {
                     let mut buffered = MergeQueue::new(k, 8);
                     buffered_select_into(&mut buffered, &dists, &cfg);
                     assert_eq!(
-                        direct.into_sorted().iter().map(|n| n.dist).collect::<Vec<_>>(),
-                        buffered.into_sorted().iter().map(|n| n.dist).collect::<Vec<_>>(),
+                        direct
+                            .into_sorted()
+                            .iter()
+                            .map(|n| n.dist)
+                            .collect::<Vec<_>>(),
+                        buffered
+                            .into_sorted()
+                            .iter()
+                            .map(|n| n.dist)
+                            .collect::<Vec<_>>(),
                         "merge k={k} size={size} sorted={sorted}"
                     );
                 }

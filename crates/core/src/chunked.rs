@@ -23,7 +23,8 @@ pub fn select_k_chunked(dists: &[f32], cfg: &SelectConfig, chunk_size: usize) ->
     if dists.len() <= chunk_size {
         return select_k(dists, cfg);
     }
-    let mut candidates: Vec<Neighbor> = Vec::with_capacity(cfg.k * dists.len().div_ceil(chunk_size));
+    let mut candidates: Vec<Neighbor> =
+        Vec::with_capacity(cfg.k * dists.len().div_ceil(chunk_size));
     for (ci, chunk) in dists.chunks(chunk_size).enumerate() {
         let base = (ci * chunk_size) as u32;
         for mut nb in select_k(chunk, cfg) {

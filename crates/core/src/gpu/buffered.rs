@@ -86,6 +86,10 @@ impl WarpBuffer {
         queues: &mut WarpQueues,
     ) {
         if cand.any_lane() {
+            #[cfg(feature = "trace")]
+            {
+                queues.counters.buffer_pushes += cand.lanes().count() as u64;
+            }
             let idx = self.slot_idx(self.cur);
             self.db.write(ctx, cand, &idx, dist);
             self.ib.write(ctx, cand, &idx, id);
@@ -128,13 +132,27 @@ impl WarpBuffer {
 
     /// Flush the buffers of `participants`: optional local sort, then
     /// re-check + insert each staged candidate.
-    fn flush(&mut self, ctx: &mut WarpCtx, warp: Mask, participants: Mask, queues: &mut WarpQueues) {
+    fn flush(
+        &mut self,
+        ctx: &mut WarpCtx,
+        warp: Mask,
+        participants: Mask,
+        queues: &mut WarpQueues,
+    ) {
         self.flushes += 1;
+        #[cfg(feature = "trace")]
+        {
+            queues.counters.buffer_flushes += 1;
+        }
         let max_cur = participants.lanes().map(|l| self.cur[l]).max().unwrap_or(0);
         if max_cur == 0 {
             return;
         }
         if self.cfg.sorted {
+            #[cfg(feature = "trace")]
+            {
+                queues.counters.local_sorts += 1;
+            }
             // Pad unfilled slots with INF so the network is well-defined;
             // ascending order keeps real elements in slots [0, cur).
             for s in 0..self.padded {
@@ -178,6 +196,10 @@ impl WarpBuffer {
             let i = self.ib.read(ctx, has, &idx);
             let pred = lanes_from_fn(|l| d[l] < queues.qmax[l]);
             let (ins, _) = ctx.diverge(has, pred);
+            #[cfg(feature = "trace")]
+            {
+                queues.counters.cheap_rejects += (has.lanes().count() - ins.lanes().count()) as u64;
+            }
             queues.insert(ctx, warp, ins, &d, &i);
         }
         for l in participants.lanes() {
@@ -186,6 +208,9 @@ impl WarpBuffer {
     }
 }
 
+// Test harnesses drive element streams by index (`streams[lane][e]`)
+// to mirror the kernel's per-element loop; the range loop is the idiom.
+#[allow(clippy::needless_range_loop)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,7 +262,12 @@ mod tests {
                     intra_warp: intra,
                 };
                 let (q, streams, _) = scan(kind, 16, cfg, 600, 71);
-                check_exact(&q, &streams, 16, &format!("{kind} sorted={sorted} intra={intra}"));
+                check_exact(
+                    &q,
+                    &streams,
+                    16,
+                    &format!("{kind} sorted={sorted} intra={intra}"),
+                );
             }
         }
     }

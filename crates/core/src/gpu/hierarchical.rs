@@ -251,6 +251,10 @@ impl WarpHierarchy {
                     let child = lanes_from_fn(|l| i[l] as usize * self.g + j);
                     let in_range = lanes_from_fn(|l| child[l] < below_n);
                     let active = vmask.and_lanes(&in_range);
+                    #[cfg(feature = "trace")]
+                    {
+                        queues.counters.hp_expansions += active.lanes().count() as u64;
+                    }
                     let d = if !active.any_lane() {
                         splat(INF)
                     } else if from_input {
@@ -259,17 +263,15 @@ impl WarpHierarchy {
                         });
                         dlist.read(ctx, active, &idx)
                     } else {
-                        let idx = lanes_from_fn(|l| (below_off + child[l]).min(
-                            self.vals.len_per_lane() - 1,
-                        ));
+                        let idx = lanes_from_fn(|l| {
+                            (below_off + child[l]).min(self.vals.len_per_lane() - 1)
+                        });
                         self.vals.read(ctx, active, &idx)
                     };
                     // First child equal to the parent value is the
                     // propagated minimum: translate instead of offering.
                     ctx.op(active, 1);
-                    let is_min = lanes_from_fn(|l| {
-                        active.get(l) && !matched[l] && d[l] == v[l]
-                    });
+                    let is_min = lanes_from_fn(|l| active.get(l) && !matched[l] && d[l] == v[l]);
                     for l in warp.lanes() {
                         if is_min[l] {
                             matched[l] = true;
@@ -326,6 +328,10 @@ impl WarpHierarchy {
     ) {
         let pred = lanes_from_fn(|l| d[l] < queues.qmax[l]);
         let (cand, _) = ctx.diverge(active, pred);
+        #[cfg(feature = "trace")]
+        {
+            queues.counters.cheap_rejects += (active.lanes().count() - cand.lanes().count()) as u64;
+        }
         match buffer {
             Some(buf) => buf.push_and_maybe_flush(ctx, warp, cand, d, ids, queues),
             None => queues.insert(ctx, warp, cand, d, ids),
@@ -333,6 +339,9 @@ impl WarpHierarchy {
     }
 }
 
+// Test harnesses drive element streams by index (`streams[lane][e]`)
+// to mirror the kernel's per-element loop; the range loop is the idiom.
+#[allow(clippy::needless_range_loop)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,7 +387,11 @@ mod tests {
             let native = crate::hierarchical::Hierarchy::build(&streams[lane], 4, 16);
             assert_eq!(h.depth(), native.depth());
             for li in 0..h.depth() {
-                assert_eq!(h.peek_level(lane, li), native.level(li), "lane {lane} level {li}");
+                assert_eq!(
+                    h.peek_level(lane, li),
+                    native.level(li),
+                    "lane {lane} level {li}"
+                );
             }
         }
     }
@@ -391,7 +404,11 @@ mod tests {
         let mut ctx = WarpCtx::new(128, 32);
         WarpHierarchy::build(&mut ctx, Mask::full(), &dlist, 0, WARP_SIZE, n, 4, 16);
         let m = ctx.into_metrics();
-        assert!(m.coalescing_efficiency(128) > 0.99, "{}", m.coalescing_efficiency(128));
+        assert!(
+            m.coalescing_efficiency(128) > 0.99,
+            "{}",
+            m.coalescing_efficiency(128)
+        );
         assert_eq!(m.divergent_branches, 0);
         assert!((m.simt_efficiency() - 1.0).abs() < 1e-9);
     }
@@ -420,7 +437,10 @@ mod tests {
             let mut expect = streams[l].clone();
             expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
             expect.truncate(k);
-            assert_eq!(got, expect, "{kind} k={k} g={g} n={n} buffered={buffered} lane={l}");
+            assert_eq!(
+                got, expect,
+                "{kind} k={k} g={g} n={n} buffered={buffered} lane={l}"
+            );
             // ids must reference the original list
             for nb in q.lane_results(l) {
                 assert_eq!(streams[l][nb.id as usize], nb.dist);
@@ -473,7 +493,16 @@ mod tests {
         let h = WarpHierarchy::build(&mut ctx_hp, warp, &dlist, 0, WARP_SIZE, n, 4, k);
         let mut q2 = WarpQueues::new(QueueKind::Insertion, k, 8, false);
         let mut stash = ChildStash::new(4, k);
-        h.top_down(&mut ctx_hp, warp, &dlist, 0, WARP_SIZE, &mut q2, None, &mut stash);
+        h.top_down(
+            &mut ctx_hp,
+            warp,
+            &dlist,
+            0,
+            WARP_SIZE,
+            &mut q2,
+            None,
+            &mut stash,
+        );
         let hp_m = ctx_hp.into_metrics();
         assert!(
             hp_m.issued < scan_m.issued,

@@ -68,6 +68,11 @@ pub struct WarpQueues {
     /// (only when a level head goes out of order). Quantifies the
     /// paper's Lazy Update contribution. Default false.
     pub eager: bool,
+    /// Technique-level event counters. The queue owns the registry for
+    /// the whole warp (buffer and hierarchy code reach it through their
+    /// `&mut WarpQueues`); increments only happen under the `trace`
+    /// feature.
+    pub counters: super::KernelCounters,
 }
 
 impl WarpQueues {
@@ -105,6 +110,7 @@ impl WarpQueues {
             merge_passes: 0,
             repair: RepairKind::BitonicNetwork,
             eager: false,
+            counters: super::KernelCounters::default(),
         }
     }
 
@@ -142,6 +148,10 @@ impl WarpQueues {
         dist: &Lanes<f32>,
         id: &Lanes<u32>,
     ) {
+        #[cfg(feature = "trace")]
+        {
+            self.counters.queue_inserts += ins.lanes().count() as u64;
+        }
         if !ins.any_lane() {
             return;
         }
@@ -293,6 +303,10 @@ impl WarpQueues {
                 self.flag
                     .write_broadcast(ctx, raisers, 0, u32::from(raisers.any_lane()));
                 let flag = self.flag.read_broadcast(ctx, live, 0);
+                #[cfg(feature = "trace")]
+                {
+                    self.counters.aligned_syncs += 1;
+                }
                 if flag == 0 {
                     break;
                 }
@@ -320,6 +334,15 @@ impl WarpQueues {
             RepairKind::LinearMerge => self.run_linear_merge(ctx, lanes, size),
         }
         self.merge_passes += 1;
+        #[cfg(feature = "trace")]
+        {
+            // Cascade level: size = 2m·2^level.
+            let level = (size / (2 * self.m)).trailing_zeros() as usize;
+            if self.counters.merge_repairs_by_level.len() <= level {
+                self.counters.merge_repairs_by_level.resize(level + 1, 0);
+            }
+            self.counters.merge_repairs_by_level[level] += 1;
+        }
     }
 
     /// Execute the reverse-bitonic-merge network over prefix
@@ -369,8 +392,20 @@ impl WarpQueues {
             let vb_raw = self.dq.read(ctx, b_live, &ib);
             let ja = self.iq.read(ctx, a_live, &ia);
             let jb = self.iq.read(ctx, b_live, &ib);
-            let va = lanes_from_fn(|l| if a_live.get(l) { va_raw[l] } else { f32::NEG_INFINITY });
-            let vb = lanes_from_fn(|l| if b_live.get(l) { vb_raw[l] } else { f32::NEG_INFINITY });
+            let va = lanes_from_fn(|l| {
+                if a_live.get(l) {
+                    va_raw[l]
+                } else {
+                    f32::NEG_INFINITY
+                }
+            });
+            let vb = lanes_from_fn(|l| {
+                if b_live.get(l) {
+                    vb_raw[l]
+                } else {
+                    f32::NEG_INFINITY
+                }
+            });
             ctx.op(lanes, 2);
             let take_a = lanes_from_fn(|l| va[l] >= vb[l]);
             let od = lanes_from_fn(|l| if take_a[l] { va[l] } else { vb[l] });
@@ -408,6 +443,9 @@ impl WarpQueues {
     }
 }
 
+// Test harnesses drive element streams by index (`streams[lane][e]`)
+// to mirror the kernel's per-element loop; the range loop is the idiom.
+#[allow(clippy::needless_range_loop)]
 #[cfg(test)]
 mod tests {
     use super::*;

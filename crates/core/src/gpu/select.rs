@@ -92,6 +92,9 @@ pub struct GpuSelectResult {
     pub build_metrics: Metrics,
     /// Warps launched.
     pub n_warps: usize,
+    /// Technique-level event counters summed over all warps. All-zero
+    /// unless the crate is built with the `trace` feature.
+    pub counters: super::KernelCounters,
 }
 
 /// Run k-selection for every query of `dm` on the simulated GPU.
@@ -122,8 +125,10 @@ pub fn gpu_select_k(spec: &GpuSpec, dm: &DistanceMatrix, cfg: &SelectConfig) -> 
     });
     let mut neighbors = Vec::with_capacity(dm.q());
     let mut build_metrics = Metrics::new();
-    for (lane_results, build) in per_warp {
+    let mut counters = super::KernelCounters::default();
+    for (lane_results, build, warp_counters) in per_warp {
         build_metrics.add(&build);
+        counters.merge(&warp_counters);
         for r in lane_results {
             if neighbors.len() < dm.q() {
                 neighbors.push(r);
@@ -135,17 +140,19 @@ pub fn gpu_select_k(spec: &GpuSpec, dm: &DistanceMatrix, cfg: &SelectConfig) -> 
         metrics,
         build_metrics,
         n_warps,
+        counters,
     }
 }
 
-/// One warp's worth of k-selection. Returns the 32 lanes' results and the
-/// metrics attributable to HP construction.
+/// One warp's worth of k-selection. Returns the 32 lanes' results, the
+/// metrics attributable to HP construction, and the warp's event
+/// counters.
 fn warp_kernel(
     ctx: &mut WarpCtx,
     warp_id: usize,
     dm: &DistanceMatrix,
     cfg: &SelectConfig,
-) -> (Vec<Vec<Neighbor>>, Metrics) {
+) -> (Vec<Vec<Neighbor>>, Metrics, super::KernelCounters) {
     let q_base = warp_id * WARP_SIZE;
     let lanes_live = dm.q().saturating_sub(q_base).min(WARP_SIZE);
     let warp = Mask::first(lanes_live);
@@ -160,6 +167,11 @@ fn warp_kernel(
                 let d = dm.buf.read(ctx, warp, &idx);
                 let pred = lanes_from_fn(|l| d[l] < queues.qmax[l]);
                 let (cand, _) = ctx.diverge(warp, pred);
+                #[cfg(feature = "trace")]
+                {
+                    queues.counters.cheap_rejects +=
+                        (warp.lanes().count() - cand.lanes().count()) as u64;
+                }
                 match buffer.as_mut() {
                     Some(buf) => {
                         buf.push_and_maybe_flush(ctx, warp, cand, &d, &splat(e as u32), &mut queues)
@@ -191,7 +203,8 @@ fn warp_kernel(
     }
 
     let results: Vec<Vec<Neighbor>> = (0..lanes_live).map(|l| queues.lane_results(l)).collect();
-    (results, build_metrics)
+    let counters = core::mem::take(&mut queues.counters);
+    (results, build_metrics, counters)
 }
 
 #[cfg(test)]
@@ -253,8 +266,7 @@ mod tests {
                         assert_eq!(res.neighbors.len(), 70);
                         assert_eq!(res.n_warps, 3);
                         for (q, row) in rows.iter().enumerate() {
-                            let got: Vec<f32> =
-                                res.neighbors[q].iter().map(|n| n.dist).collect();
+                            let got: Vec<f32> = res.neighbors[q].iter().map(|n| n.dist).collect();
                             assert_eq!(got, oracle(row, k), "{} query {q}", cfg.label());
                             for nb in &res.neighbors[q] {
                                 assert_eq!(row[nb.id as usize], nb.dist);

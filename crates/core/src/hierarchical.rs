@@ -122,7 +122,10 @@ fn k_best(pairs: impl Iterator<Item = (f32, u32)>, k: usize) -> Vec<(f32, u32)> 
             q.offer(d, i);
         }
     }
-    q.into_sorted().into_iter().map(|n| (n.dist, n.id)).collect()
+    q.into_sorted()
+        .into_iter()
+        .map(|n| (n.dist, n.id))
+        .collect()
 }
 
 /// Exact k-selection of `dists` using a prebuilt [`Hierarchy`]
@@ -131,13 +134,10 @@ pub fn select_top_down(dists: &[f32], h: &Hierarchy, k: usize) -> Vec<Neighbor> 
     assert!(k > 0);
     if h.depth() == 0 {
         // Input already ≤ k elements (or build was skipped): direct scan.
-        return k_best(
-            dists.iter().copied().zip(0u32..),
-            k,
-        )
-        .into_iter()
-        .map(|(d, i)| Neighbor::new(d, i))
-        .collect();
+        return k_best(dists.iter().copied().zip(0u32..), k)
+            .into_iter()
+            .map(|(d, i)| Neighbor::new(d, i))
+            .collect();
     }
     let g = h.g;
     // Top level: every element is a candidate.
@@ -146,7 +146,10 @@ pub fn select_top_down(dists: &[f32], h: &Hierarchy, k: usize) -> Vec<Neighbor> 
     // Descend through reduced levels, expanding child groups.
     for li in (0..top).rev() {
         let below = h.level(li);
-        cands = k_best(expand(&cands, g, below.len()).map(|i| (below[i as usize], i)), k);
+        cands = k_best(
+            expand(&cands, g, below.len()).map(|i| (below[i as usize], i)),
+            k,
+        );
     }
     // Final level: the original list.
     let res = k_best(

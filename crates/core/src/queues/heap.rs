@@ -180,7 +180,10 @@ mod tests {
         let c = counter.per_position();
         let root_level = c[0];
         let leaf_avg: u64 = c[k / 2..].iter().sum::<u64>() / (k / 2) as u64;
-        assert!(root_level > 4 * leaf_avg.max(1), "root {root_level} leaf {leaf_avg}");
+        assert!(
+            root_level > 4 * leaf_avg.max(1),
+            "root {root_level} leaf {leaf_avg}"
+        );
     }
 
     #[test]

@@ -103,7 +103,11 @@ mod tests {
         let mut q = InsertionQueue::new(4);
         for d in [5.0, 2.0, 9.0, 1.0, 3.0, 0.5] {
             q.offer(d, 0);
-            assert!(q.dists().windows(2).all(|w| w[0] >= w[1]), "{:?}", q.dists());
+            assert!(
+                q.dists().windows(2).all(|w| w[0] >= w[1]),
+                "{:?}",
+                q.dists()
+            );
         }
         assert_eq!(q.dists(), &[3.0, 2.0, 1.0, 0.5]);
     }

@@ -53,7 +53,12 @@ pub struct MergeQueue<S: UpdateSink = NoStats> {
 /// Check that `k` is a valid Merge Queue capacity for level-0 size `m`:
 /// `k == m` or `k == m · 2^j` with `j ≥ 1`. Both must be powers of two.
 pub fn valid_capacity(k: usize, m: usize) -> bool {
-    k > 0 && m > 0 && m.is_power_of_two() && k >= m && k.is_multiple_of(m) && (k / m).is_power_of_two()
+    k > 0
+        && m > 0
+        && m.is_power_of_two()
+        && k >= m
+        && k.is_multiple_of(m)
+        && (k / m).is_power_of_two()
 }
 
 impl MergeQueue<NoStats> {

@@ -6,6 +6,11 @@
 //! tree level, and the Merge Queue behaves like the heap with slightly more
 //! updates. Queues in this crate report every position write through an
 //! [`UpdateSink`]; the zero-sized [`NoStats`] compiles the hook away.
+//!
+//! The histogram storage itself now lives in [`trace::PositionHistogram`]
+//! so the tracing layer and the figure-5 experiments share one
+//! implementation; [`UpdateCounter`] remains as a thin back-compat shim
+//! with its original API.
 
 /// Receives one event per queue-position write.
 pub trait UpdateSink {
@@ -22,50 +27,64 @@ impl UpdateSink for NoStats {
     fn record(&mut self, _pos: usize) {}
 }
 
-/// Per-position write histogram.
+/// Per-position write histogram — a back-compat shim over
+/// [`trace::PositionHistogram`] keeping the original `kselect` API.
 #[derive(Clone, Debug)]
 pub struct UpdateCounter {
-    counts: Vec<u64>,
+    hist: trace::PositionHistogram,
 }
 
 impl UpdateCounter {
     /// Histogram over `k` positions.
     pub fn new(k: usize) -> Self {
         UpdateCounter {
-            counts: vec![0; k],
+            hist: trace::PositionHistogram::new(k),
         }
     }
 
     /// Writes observed at each position (index 0 = queue head).
     pub fn per_position(&self) -> &[u64] {
-        &self.counts
+        self.hist.per_position()
     }
 
     /// Total writes across all positions.
     pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
+        self.hist.total()
     }
 
     /// Merge another histogram (e.g. across queries).
     pub fn merge(&mut self, other: &UpdateCounter) {
-        assert_eq!(self.counts.len(), other.counts.len());
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
+        self.hist.merge(&other.hist);
+    }
+
+    /// Borrow the underlying shared histogram type.
+    pub fn histogram(&self) -> &trace::PositionHistogram {
+        &self.hist
+    }
+
+    /// Consume into the shared histogram type.
+    pub fn into_histogram(self) -> trace::PositionHistogram {
+        self.hist
+    }
+}
+
+impl From<trace::PositionHistogram> for UpdateCounter {
+    fn from(hist: trace::PositionHistogram) -> Self {
+        UpdateCounter { hist }
     }
 }
 
 impl UpdateSink for UpdateCounter {
     #[inline]
     fn record(&mut self, pos: usize) {
-        self.counts[pos] += 1;
+        self.hist.record(pos);
     }
 }
 
 impl UpdateSink for &mut UpdateCounter {
     #[inline]
     fn record(&mut self, pos: usize) {
-        self.counts[pos] += 1;
+        self.hist.record(pos);
     }
 }
 

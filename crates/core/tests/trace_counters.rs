@@ -1,0 +1,160 @@
+//! Ground-truth checks for the `trace`-feature kernel counters: every
+//! count is validated against an invariant of the selection algorithm
+//! itself, not against recorded expectations.
+#![cfg(feature = "trace")]
+
+use kselect::buffered::BufferConfig;
+use kselect::gpu::{gpu_select_k, DistanceMatrix, WarpQueues};
+use kselect::hierarchical::HpConfig;
+use kselect::types::QueueKind;
+use kselect::SelectConfig;
+use rand::{Rng, SeedableRng};
+use simt::{lanes_from_fn, splat, GpuSpec, Mask, WarpCtx, WARP_SIZE};
+
+fn random_rows(q: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..q)
+        .map(|_| (0..n).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// Plain scan: each of the `n` elements of each of the `q` queries is
+/// either accepted into the queue or rejected by the cheap guard —
+/// nothing else can happen to it.
+#[test]
+fn insert_plus_reject_accounts_for_every_element_scanned() {
+    let spec = GpuSpec::tesla_c2075();
+    let (q, n, k) = (70, 600, 16); // 3 warps, one partial
+    let dm = DistanceMatrix::from_rows(&random_rows(q, n, 201));
+    for queue in QueueKind::ALL {
+        for aligned in [false, true] {
+            let cfg = SelectConfig {
+                aligned,
+                ..SelectConfig::plain(queue, k)
+            };
+            let res = gpu_select_k(&spec, &dm, &cfg);
+            let c = &res.counters;
+            assert_eq!(
+                c.queue_inserts + c.cheap_rejects,
+                (n * q) as u64,
+                "{queue} aligned={aligned}: every scanned element inserts or rejects"
+            );
+            assert!(
+                c.queue_inserts >= (k * q) as u64,
+                "at least k inserts per query"
+            );
+            assert_eq!(c.buffer_pushes, 0);
+            assert_eq!(c.buffer_flushes, 0);
+            assert_eq!(c.hp_expansions, 0);
+        }
+    }
+}
+
+/// Buffered Search: scan rejections + pushes cover the scan, and the
+/// drain balance telescopes so inserts + total rejects still equal the
+/// elements scanned. With the sorted variant, every non-empty flush
+/// runs exactly one local sort.
+#[test]
+fn buffered_path_balances_and_counts_flushes() {
+    let spec = GpuSpec::tesla_c2075();
+    let (q, n, k) = (64, 2000, 32);
+    let dm = DistanceMatrix::from_rows(&random_rows(q, n, 202));
+    for (sorted, intra_warp) in [(false, false), (false, true), (true, true)] {
+        let cfg = SelectConfig::plain(QueueKind::Merge, k).with_buffer(BufferConfig {
+            size: 16,
+            sorted,
+            intra_warp,
+        });
+        let res = gpu_select_k(&spec, &dm, &cfg);
+        let c = &res.counters;
+        // scan: pushes + scan-rejects = n·q; drain: pushes = inserts +
+        // drain-rejects ⇒ inserts + rejects(total) = n·q
+        assert_eq!(
+            c.queue_inserts + c.cheap_rejects,
+            (n * q) as u64,
+            "sorted={sorted} intra={intra_warp}"
+        );
+        assert!(c.buffer_pushes >= c.queue_inserts);
+        assert!(c.buffer_flushes > 0);
+        if sorted {
+            assert_eq!(
+                c.local_sorts, c.buffer_flushes,
+                "one sort per non-empty flush"
+            );
+        } else {
+            assert_eq!(c.local_sorts, 0);
+        }
+    }
+}
+
+/// The merge-repair level counters must agree exactly with the queue's
+/// own (always-on) `merge_passes` diagnostic, and the aligned variant
+/// must record its ballot/flag synchronisation rounds.
+#[test]
+// The element stream is indexed per lane (`streams[l][e]`) to mirror the
+// kernel's per-element loop; the range loop is the idiom here.
+#[allow(clippy::needless_range_loop)]
+fn merge_repair_counters_match_merge_passes_ground_truth() {
+    for aligned in [false, true] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(203);
+        let n = 3000;
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let mut ctx = WarpCtx::new(128, 32);
+        let mut q = WarpQueues::new(QueueKind::Merge, 64, 8, aligned);
+        let warp = Mask::full();
+        for e in 0..n {
+            let d = lanes_from_fn(|l| streams[l][e]);
+            let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+            let (ins, _) = ctx.diverge(warp, pred);
+            q.insert(&mut ctx, warp, ins, &d, &splat(e as u32));
+        }
+        assert_eq!(
+            q.counters.merge_repairs(),
+            q.merge_passes,
+            "aligned={aligned}: per-level counters must sum to merge_passes"
+        );
+        // k=64, m=8 ⇒ levels 0..=2 (prefixes 16, 32, 64)
+        assert!(q.counters.merge_repairs_by_level.len() <= 3);
+        assert!(q.counters.merge_repairs_by_level[0] >= q.counters.merge_repairs_by_level[1]);
+        if aligned {
+            assert!(q.counters.aligned_syncs > 0);
+            // every repair pass was preceded by a ballot round
+            assert!(q.counters.aligned_syncs >= q.counters.merge_repairs());
+        } else {
+            assert_eq!(q.counters.aligned_syncs, 0);
+        }
+    }
+}
+
+/// Hierarchical Partition: expansions happen only when HP is on, and
+/// the exported counter set carries the canonical names.
+#[test]
+fn hp_expansions_and_counter_set_export() {
+    let spec = GpuSpec::tesla_c2075();
+    let dm = DistanceMatrix::from_rows(&random_rows(32, 4096, 204));
+    let plain = gpu_select_k(&spec, &dm, &SelectConfig::plain(QueueKind::Merge, 16));
+    assert_eq!(plain.counters.hp_expansions, 0);
+
+    let cfg = SelectConfig::plain(QueueKind::Merge, 16).with_hp(HpConfig::default());
+    let res = gpu_select_k(&spec, &dm, &cfg);
+    assert!(res.counters.hp_expansions > 0);
+
+    let set = res.counters.to_counter_set();
+    assert_eq!(
+        set.get(trace::names::QUEUE_INSERT),
+        res.counters.queue_inserts
+    );
+    assert_eq!(
+        set.get(trace::names::HP_NODE_EXPANSION),
+        res.counters.hp_expansions
+    );
+    assert_eq!(
+        set.sum_prefix(trace::names::MERGE_REPAIR_PREFIX),
+        res.counters.merge_repairs()
+    );
+    // zero-valued counters are omitted from the export
+    assert_eq!(set.get(trace::names::BUFFER_PUSH), 0);
+    assert!(set.iter().all(|(_, v)| v > 0));
+}

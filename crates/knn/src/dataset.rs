@@ -26,7 +26,10 @@ impl PointSet {
     /// # Panics
     /// When `data.len()` is not a multiple of `dim`.
     pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
-        assert!(dim > 0 && data.len().is_multiple_of(dim), "ragged point data");
+        assert!(
+            dim > 0 && data.len().is_multiple_of(dim),
+            "ragged point data"
+        );
         PointSet { data, dim }
     }
 

@@ -91,10 +91,10 @@ mod tests {
         let m = distance_matrix(&q, &r);
         assert_eq!(m.len(), 5);
         assert_eq!(m[0].len(), 9);
-        for qi in 0..5 {
-            for ri in 0..9 {
+        for (qi, row) in m.iter().enumerate() {
+            for (ri, &got) in row.iter().enumerate() {
                 let d = squared_distance(q.point(qi), r.point(ri));
-                assert_eq!(m[qi][ri], d);
+                assert_eq!(got, d);
             }
         }
     }
@@ -103,10 +103,10 @@ mod tests {
     fn self_distance_is_zero_and_symmetricish() {
         let p = PointSet::uniform(4, 32, 3);
         let m = distance_matrix(&p, &p);
-        for i in 0..4 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..4 {
-                assert!((m[i][j] - m[j][i]).abs() < 1e-5);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert!((v - m[j][i]).abs() < 1e-5);
             }
         }
     }

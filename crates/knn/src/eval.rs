@@ -47,9 +47,7 @@ pub fn recall_at_k(result: &[Neighbor], truth: &[Neighbor], k: usize) -> f64 {
     let hits = result
         .iter()
         .take(k)
-        .filter(|r| {
-            truth[..k].iter().any(|t| t.id == r.id) || r.dist <= boundary
-        })
+        .filter(|r| truth[..k].iter().any(|t| t.id == r.id) || r.dist <= boundary)
         .count();
     hits as f64 / k as f64
 }
@@ -78,14 +76,26 @@ mod tests {
         let refs = PointSet::uniform(300, 16, 1);
         let queries = PointSet::uniform(10, 16, 2);
         let truth = ground_truth(&queries, &refs, 8, Metric::SquaredEuclidean);
-        let res = crate::knn_search(&queries, &refs, &SelectConfig::optimized(QueueKind::Merge, 8));
+        let res = crate::knn_search(
+            &queries,
+            &refs,
+            &SelectConfig::optimized(QueueKind::Merge, 8),
+        );
         assert_eq!(mean_recall(&res, &truth, 8), 1.0);
     }
 
     #[test]
     fn partial_recall_detected() {
-        let truth = vec![Neighbor::new(0.1, 0), Neighbor::new(0.2, 1), Neighbor::new(0.3, 2)];
-        let result = vec![Neighbor::new(0.1, 0), Neighbor::new(0.9, 9), Neighbor::new(1.0, 8)];
+        let truth = vec![
+            Neighbor::new(0.1, 0),
+            Neighbor::new(0.2, 1),
+            Neighbor::new(0.3, 2),
+        ];
+        let result = vec![
+            Neighbor::new(0.1, 0),
+            Neighbor::new(0.9, 9),
+            Neighbor::new(1.0, 8),
+        ];
         assert!((recall_at_k(&result, &truth, 3) - 1.0 / 3.0).abs() < 1e-12);
     }
 
@@ -102,7 +112,11 @@ mod tests {
     fn ground_truth_ordering() {
         let refs = PointSet::uniform(50, 4, 3);
         let queries = PointSet::uniform(2, 4, 4);
-        for metric in [Metric::SquaredEuclidean, Metric::Cosine, Metric::NegativeDot] {
+        for metric in [
+            Metric::SquaredEuclidean,
+            Metric::Cosine,
+            Metric::NegativeDot,
+        ] {
             let t = ground_truth(&queries, &refs, 10, metric);
             for row in &t {
                 assert!(row.windows(2).all(|w| w[0].dist <= w[1].dist), "{metric:?}");

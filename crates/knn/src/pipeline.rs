@@ -8,8 +8,11 @@
 //!   is charged analytically, and k-selection runs for real on the SIMT
 //!   simulator. Returns the per-phase simulated times the paper's Table I
 //!   reports.
+//! * [`gpu_knn_traced`] — the same pipeline recording its phases as
+//!   spans on a [`trace::Tracer`]'s simulated clock, plus the kernel
+//!   event counters when the `trace` feature is on.
 
-use kselect::gpu::{gpu_select_k, DistanceMatrix};
+use kselect::gpu::{gpu_select_k, DistanceMatrix, KernelCounters};
 use kselect::types::Neighbor;
 use kselect::SelectConfig;
 use rayon::prelude::*;
@@ -20,11 +23,7 @@ use crate::distance::{distance_matrix, gpu_distance_metrics};
 
 /// Native k-NN search: for each query, the k nearest references by
 /// squared Euclidean distance, sorted ascending.
-pub fn knn_search(
-    queries: &PointSet,
-    refs: &PointSet,
-    cfg: &SelectConfig,
-) -> Vec<Vec<Neighbor>> {
+pub fn knn_search(queries: &PointSet, refs: &PointSet, cfg: &SelectConfig) -> Vec<Vec<Neighbor>> {
     knn_search_with(queries, refs, cfg, crate::metric::Metric::SquaredEuclidean)
 }
 
@@ -60,6 +59,9 @@ pub struct GpuKnnResult {
     pub select_time: f64,
     /// Simulated seconds for the distance kernel.
     pub distance_time: f64,
+    /// Technique-level event counters from the selection kernel
+    /// (all-zero unless built with the `trace` feature).
+    pub counters: KernelCounters,
 }
 
 /// Run the full simulated pipeline for `queries` × `refs`.
@@ -75,16 +77,69 @@ pub fn gpu_knn(
     refs: &PointSet,
     cfg: &SelectConfig,
 ) -> GpuKnnResult {
+    let mut scratch = trace::Tracer::new();
+    gpu_knn_traced(tm, queries, refs, cfg, &mut scratch)
+}
+
+/// [`gpu_knn`], recording the pipeline onto `tracer`'s simulated clock.
+///
+/// The trace lays out as: a `gpu_knn` phase containing the `distance`
+/// phase (analytic distance kernel), a `transfer.upload` phase (PCIe
+/// cost of the distance matrix — informational; not part of the
+/// returned kernel times, matching the paper's timing breakdown), and
+/// the `select` phase whose `gpu_select_k` kernel span nests an
+/// `hp_build` span (when Hierarchical Partition is on) and one
+/// concurrent per-warp span per launched warp. Kernel event counters
+/// are folded into the tracer at the end of the selection phase.
+pub fn gpu_knn_traced(
+    tm: &TimingModel,
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tracer: &mut trace::Tracer,
+) -> GpuKnnResult {
+    use trace::Category;
+
+    let pipeline = tracer.open_span(Category::Phase, "gpu_knn");
+
+    // Distance phase: computed natively, costed analytically.
+    let dist_m = gpu_distance_metrics(queries.len(), refs.len(), queries.dim());
+    let distance_time = tracer.scoped(Category::Phase, "distance", |t| {
+        simt::tracing::kernel_span(t, "distance_kernel", tm, &dist_m)
+    });
     let rows = distance_matrix(queries, refs);
     let dm = DistanceMatrix::from_rows(&rows);
+
+    // The distance matrix never leaves the device in the real pipeline;
+    // this span records what uploading the *inputs* would cost.
+    let input_bytes = ((queries.len() + refs.len()) * queries.dim() * 4) as u64;
+    simt::tracing::transfer_span(tracer, "transfer.upload", tm, input_bytes);
+
+    // Selection phase: executed instruction-by-instruction.
     let sel = gpu_select_k(&tm.spec, &dm, cfg);
-    let dist_m = gpu_distance_metrics(queries.len(), refs.len(), queries.dim());
+    let select_time = tm.kernel_time(&sel.metrics);
+    let select_phase = tracer.open_span(Category::Phase, "select");
+    let kernel = tracer.open_span(Category::Kernel, "gpu_select_k");
+    // HP construction is a prefix of the kernel's metrics, and the
+    // timing model is monotone, so its share fits inside the kernel span.
+    let build_time = tm.kernel_time(&sel.build_metrics);
+    if sel.build_metrics.issued > 0 {
+        tracer.span(Category::Build, "hp_build", build_time);
+    }
+    simt::tracing::warp_spans(tracer, "select", sel.n_warps, select_time - build_time);
+    tracer.close_span(kernel);
+    tracer.merge_counters(&sel.counters.to_counter_set());
+    tracer.close_span(select_phase);
+
+    tracer.close_span(pipeline);
+
     GpuKnnResult {
         neighbors: sel.neighbors,
-        select_time: tm.kernel_time(&sel.metrics),
-        distance_time: tm.kernel_time(&dist_m),
+        select_time,
+        distance_time,
         select_metrics: sel.metrics,
         distance_metrics: dist_m,
+        counters: sel.counters,
     }
 }
 
@@ -118,6 +173,54 @@ mod tests {
         let res = knn_search(&q, &refs, &cfg);
         assert_eq!(res[0][0].id, 17);
         assert_eq!(res[0][0].dist, 0.0);
+    }
+
+    #[test]
+    fn traced_pipeline_emits_balanced_monotonic_spans() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(40, 8, 106);
+        let refs = PointSet::uniform(512, 8, 107);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+        let mut tracer = trace::Tracer::new();
+        let res = gpu_knn_traced(&tm, &queries, &refs, &cfg, &mut tracer);
+        assert_eq!(res.neighbors.len(), 40);
+        assert!(tracer.is_balanced(), "every opened span must close");
+        let ts: Vec<f64> = tracer.events().iter().map(|e| e.ts_us).collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "simulated timestamps must be monotonic"
+        );
+        // the pipeline covers the full modelled duration
+        assert!(tracer.clock_s() >= res.distance_time + res.select_time);
+        let names: Vec<&str> = tracer.events().iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "gpu_knn",
+            "distance",
+            "transfer.upload",
+            "select",
+            "gpu_select_k",
+        ] {
+            assert!(names.contains(&expected), "missing span {expected}");
+        }
+        // optimized config uses HP ⇒ build span + per-warp lanes appear
+        assert!(names.contains(&"hp_build"));
+        assert!(names.iter().any(|n| n.starts_with("select.warp")));
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_pipeline_collects_kernel_counters() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(32, 8, 108);
+        let refs = PointSet::uniform(400, 8, 109);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+        let mut tracer = trace::Tracer::new();
+        let res = gpu_knn_traced(&tm, &queries, &refs, &cfg, &mut tracer);
+        assert!(res.counters.queue_inserts > 0);
+        assert_eq!(
+            tracer.counters().get(trace::names::QUEUE_INSERT),
+            res.counters.queue_inserts
+        );
     }
 
     #[test]

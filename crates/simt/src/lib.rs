@@ -95,12 +95,14 @@ pub mod metrics;
 pub mod report;
 pub mod spec;
 pub mod timing;
+#[cfg(feature = "trace")]
+pub mod tracing;
 pub mod warp;
 
 pub use launch::{launch, launch_seq};
-pub use report::{comparison_table, KernelReport};
 pub use mask::Mask;
 pub use metrics::Metrics;
+pub use report::{comparison_table, KernelReport};
 pub use spec::GpuSpec;
 pub use timing::TimingModel;
 pub use warp::WarpCtx;

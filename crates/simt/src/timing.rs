@@ -127,8 +127,7 @@ impl TimingModel {
         let compute_cycles = m.issued as f64 * self.issue_cpi
             + m.shared_accesses as f64 * self.shared_cpi
             + m.global_transactions as f64 * stall;
-        let t_compute =
-            compute_cycles / (self.spec.sm_count as f64 * self.spec.clock_ghz * 1e9);
+        let t_compute = compute_cycles / (self.spec.sm_count as f64 * self.spec.clock_ghz * 1e9);
         t_compute.max(self.memory_time(m)) + self.launch_overhead_s
     }
 }

@@ -1,0 +1,81 @@
+//! Trace-emission helpers for simulated launches (`trace` feature).
+//!
+//! The simulator has no wall clock worth recording — a launch's "time"
+//! is an analytic function of its [`Metrics`]. These helpers convert
+//! that modelled duration into [`trace`] spans on a [`Tracer`]'s
+//! simulated clock, so a whole pipeline of launches lays out on one
+//! consistent timeline.
+
+use trace::{Category, Tracer};
+
+use crate::{Metrics, TimingModel};
+
+/// Record a kernel launch as a [`Category::Kernel`] span: opens at the
+/// tracer's current clock, advances by the modelled kernel time for
+/// `metrics`, closes. Returns the modelled duration in seconds.
+pub fn kernel_span(tracer: &mut Tracer, name: &str, tm: &TimingModel, metrics: &Metrics) -> f64 {
+    let dur = tm.kernel_time(metrics);
+    tracer.span(Category::Kernel, name, dur);
+    dur
+}
+
+/// Record a host↔device PCIe transfer as a [`Category::Phase`] span of
+/// the modelled transfer time for `bytes`. Returns the duration.
+pub fn transfer_span(tracer: &mut Tracer, name: &str, tm: &TimingModel, bytes: u64) -> f64 {
+    let dur = tm.pcie_transfer_time(bytes);
+    tracer.span(Category::Phase, name, dur);
+    dur
+}
+
+/// Lay out one concurrent [`Category::Warp`] span per warp under the
+/// last kernel: all `n_warps` spans cover the same `[now, now + dur_s)`
+/// window, each on its own thread lane (`tid = warp + 1`; tid 0 is the
+/// main timeline). The clock is **not** advanced — warps run inside
+/// their kernel's span, which the caller accounts for.
+pub fn warp_spans(tracer: &mut Tracer, name: &str, n_warps: usize, dur_s: f64) {
+    let start = tracer.clock_s();
+    let ids: Vec<_> = (0..n_warps)
+        .map(|w| tracer.open_span_on(w as u32 + 1, Category::Warp, format!("{name}.warp{w}")))
+        .collect();
+    tracer.advance(dur_s);
+    for id in ids.into_iter().rev() {
+        tracer.close_span(id);
+    }
+    // rewind-free restore: set_clock only moves forward, so re-assert
+    // the end point and leave the cursor where the kernel span ends
+    tracer.set_clock(start + dur_s.max(0.0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_span_advances_clock_by_modelled_time() {
+        let tm = TimingModel::tesla_c2075();
+        let mut m = Metrics::new();
+        m.issued = 1_000;
+        m.lane_work = 32_000;
+        let mut t = Tracer::new();
+        let dur = kernel_span(&mut t, "gpu_select_k", &tm, &m);
+        assert!(dur > 0.0);
+        assert!((t.clock_s() - dur).abs() < 1e-15);
+        assert!(t.is_balanced());
+        assert_eq!(t.events().len(), 2);
+    }
+
+    #[test]
+    fn warp_spans_share_the_window_on_distinct_tids() {
+        let mut t = Tracer::new();
+        warp_spans(&mut t, "select", 3, 2e-6);
+        assert!(t.is_balanced());
+        let begins: Vec<u32> = t
+            .events()
+            .iter()
+            .filter(|e| e.kind == trace::EventKind::Begin)
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(begins, [1, 2, 3]);
+        assert!((t.clock_us() - 2.0).abs() < 1e-9);
+    }
+}

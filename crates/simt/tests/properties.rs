@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use simt::mem::{GlobalBuf, LaneLocal, SharedBuf};
-use simt::{lanes_from_fn, launch_seq, GpuSpec, Lanes, Mask, Metrics, TimingModel, WarpCtx, WARP_SIZE};
+use simt::{
+    lanes_from_fn, launch_seq, GpuSpec, Lanes, Mask, Metrics, TimingModel, WarpCtx, WARP_SIZE,
+};
 
 fn mask_strategy() -> impl Strategy<Value = Mask> {
     any::<u32>().prop_map(Mask::from_bits)
@@ -98,9 +100,9 @@ proptest! {
             buf.poke(lane, idx, val);
             model[lane][idx] = val;
         }
-        for lane in 0..32 {
-            for idx in 0..16 {
-                prop_assert_eq!(buf.peek(lane, idx), model[lane][idx]);
+        for (lane, row) in model.iter().enumerate() {
+            for (idx, &val) in row.iter().enumerate() {
+                prop_assert_eq!(buf.peek(lane, idx), val);
             }
         }
     }

@@ -1,0 +1,112 @@
+//! Named event counters.
+
+use std::collections::BTreeMap;
+
+/// A registry of named `u64` counters. Names are free-form dotted paths
+/// (`queue.insert`, `merge.repair.level2`); iteration order is the
+/// lexicographic name order, which keeps every export deterministic.
+///
+/// This generalises the old `kselect::queues::stats::UpdateSink`
+/// position counter: any pipeline stage can count any event, and sets
+/// merge associatively so per-warp counts collected inside a simulated
+/// kernel can be folded into the launch-level set after the fact.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    map: BTreeMap<String, u64>,
+}
+
+impl CounterSet {
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Add `n` to `name`, creating it at zero first; returns the new
+    /// cumulative value.
+    pub fn add(&mut self, name: &str, n: u64) -> u64 {
+        if let Some(slot) = self.map.get_mut(name) {
+            *slot += n;
+            *slot
+        } else {
+            self.map.insert(name.to_string(), n);
+            n
+        }
+    }
+
+    /// Current value (zero for names never counted).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Fold another set into this one.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (name, value) in &other.map {
+            *self.map.entry(name.clone()).or_insert(0) += value;
+        }
+    }
+
+    /// `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counter names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sum across all counters whose name starts with `prefix` —
+    /// useful for families like `merge.repair.level*`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.map
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_merge() {
+        let mut a = CounterSet::new();
+        assert_eq!(a.add("x", 2), 2);
+        assert_eq!(a.add("x", 3), 5);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("missing"), 0);
+
+        let mut b = CounterSet::new();
+        b.add("x", 1);
+        b.add("y", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 6);
+        assert_eq!(a.get("y"), 7);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = CounterSet::new();
+        c.add("b", 1);
+        c.add("a", 1);
+        c.add("c", 1);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn prefix_sums() {
+        let mut c = CounterSet::new();
+        c.add("merge.repair.level0", 4);
+        c.add("merge.repair.level1", 2);
+        c.add("merge.aligned_sync", 9);
+        assert_eq!(c.sum_prefix("merge.repair.level"), 6);
+        assert_eq!(c.sum_prefix("merge."), 15);
+    }
+}

@@ -1,0 +1,93 @@
+//! Per-position update histograms.
+
+/// Write counts per queue position (index 0 = queue head).
+///
+/// This is the data structure behind the paper's Fig. 5 analysis: the
+/// insertion queue hammers positions near the head, the heap spreads
+/// writes across tree levels, and the Merge Queue sits in between. It
+/// lives in the trace crate so every queue variant — and any future
+/// structure with positional writes — shares one implementation;
+/// `kselect::queues::stats::UpdateCounter` is now a thin alias over it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PositionHistogram {
+    counts: Vec<u64>,
+}
+
+impl PositionHistogram {
+    /// Histogram over `k` positions.
+    pub fn new(k: usize) -> Self {
+        PositionHistogram { counts: vec![0; k] }
+    }
+
+    /// Number of tracked positions.
+    pub fn positions(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Record one write at `pos`.
+    #[inline]
+    pub fn record(&mut self, pos: usize) {
+        self.counts[pos] += 1;
+    }
+
+    /// Writes observed at each position.
+    pub fn per_position(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total writes across all positions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another histogram of the same width (e.g. across queries).
+    pub fn merge(&mut self, other: &PositionHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "cannot merge histograms of different widths"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Consume into the raw count vector.
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut h = PositionHistogram::new(4);
+        h.record(0);
+        h.record(0);
+        h.record(3);
+        assert_eq!(h.per_position(), &[2, 0, 0, 1]);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.positions(), 4);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = PositionHistogram::new(2);
+        a.record(0);
+        let mut b = PositionHistogram::new(2);
+        b.record(1);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.per_position(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_width_mismatch_panics() {
+        let mut a = PositionHistogram::new(2);
+        a.merge(&PositionHistogram::new(3));
+    }
+}

@@ -1,0 +1,103 @@
+//! JSONL event-log export: one JSON object per line, in emission order.
+//!
+//! Meant for `grep`/`jq` style post-processing where the Chrome-trace
+//! wrapper object is in the way. Span events carry `type: "begin"/"end"`,
+//! instants `type: "instant"`, counter samples `type: "counter"`, and a
+//! final `type: "totals"` line summarises the counter registry.
+
+use crate::tracer::{EventKind, Tracer};
+use serde::Value;
+
+fn line(fields: Vec<(&str, Value)>) -> String {
+    let v = Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, val)| (k.to_string(), val))
+            .collect(),
+    );
+    serde_json::to_string(&v).expect("trace serialization cannot fail")
+}
+
+/// Render a tracer's recording as JSON Lines.
+pub fn to_jsonl(tracer: &Tracer) -> String {
+    let mut out = String::new();
+
+    // merge spans and counter samples into one stream ordered by
+    // timestamp (stable: ties keep emission order, spans first)
+    let mut entries: Vec<(f64, String)> = Vec::new();
+    for e in tracer.events() {
+        let kind = match e.kind {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Instant => "instant",
+        };
+        entries.push((
+            e.ts_us,
+            line(vec![
+                ("type", Value::Str(kind.to_string())),
+                ("name", Value::Str(e.name.clone())),
+                ("cat", Value::Str(e.cat.as_str().to_string())),
+                ("ts_us", Value::F64(e.ts_us)),
+                ("tid", Value::U64(e.tid as u64)),
+            ]),
+        ));
+    }
+    for (ts_us, name, value) in tracer.samples() {
+        entries.push((
+            *ts_us,
+            line(vec![
+                ("type", Value::Str("counter".to_string())),
+                ("name", Value::Str(name.clone())),
+                ("ts_us", Value::F64(*ts_us)),
+                ("value", Value::U64(*value)),
+            ]),
+        ));
+    }
+    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+    for (_, l) in entries {
+        out.push_str(&l);
+        out.push('\n');
+    }
+
+    let totals: Vec<(String, Value)> = tracer
+        .counters()
+        .iter()
+        .map(|(name, value)| (name.to_string(), Value::U64(value)))
+        .collect();
+    out.push_str(&line(vec![
+        ("type", Value::Str("totals".to_string())),
+        ("counters", Value::Object(totals)),
+    ]));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Category;
+
+    #[test]
+    fn every_line_is_json_and_totals_close_the_log() {
+        let mut t = Tracer::new();
+        t.scoped(Category::Phase, "distance", |t| {
+            t.add("queue.insert", 4);
+            t.advance(1e-6);
+        });
+        let text = to_jsonl(&t);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // begin, counter, end, totals
+        for l in &lines {
+            serde_json::parse_value(l).expect("each line must parse");
+        }
+        let last = serde_json::parse_value(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("type").and_then(|v| v.as_str()), Some("totals"));
+        assert_eq!(
+            last.get("counters")
+                .and_then(|c| c.get("queue.insert"))
+                .and_then(|v| v.as_f64()),
+            Some(4.0)
+        );
+    }
+}

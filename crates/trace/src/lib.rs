@@ -1,0 +1,64 @@
+//! Structured tracing and profiling for the k-selection pipeline.
+//!
+//! The simulator models a GPU whose "time" is an analytic function of
+//! hardware counters, so this tracer records **simulated** timestamps:
+//! the [`Tracer`] keeps a clock cursor in simulated seconds which the
+//! instrumented code advances by modelled durations (kernel times, PCIe
+//! transfers). Spans therefore nest and abut exactly like the modelled
+//! execution, not like host wall clock.
+//!
+//! Three layers:
+//!
+//! * [`Tracer`] — scoped spans (open/close, balanced), instant events,
+//!   and a named [`CounterSet`] registry with time-stamped samples;
+//! * [`PositionHistogram`] — per-slot update counts for priority-queue
+//!   analyses (the figure-5 experiments), shared by every queue variant;
+//! * exporters — [`chrome`] (Chrome-trace JSON loadable in Perfetto or
+//!   `chrome://tracing`), [`jsonl`] (one event per line for ad-hoc
+//!   grepping), and [`summary`] (human-readable profile table).
+//!
+//! The crate itself is always compiled; the *instrumentation call sites*
+//! in `simt`/`kselect`/`knn` sit behind each crate's `trace` cargo
+//! feature so default builds carry no bookkeeping in hot loops.
+
+pub mod chrome;
+pub mod counters;
+pub mod hist;
+pub mod jsonl;
+pub mod summary;
+mod tracer;
+
+pub use counters::CounterSet;
+pub use hist::PositionHistogram;
+pub use tracer::{Category, EventKind, SpanGuard, SpanId, TraceEvent, Tracer};
+
+/// Well-known counter names emitted by the pipeline, collected here so
+/// producers and tests agree on spelling. The registry is open — any
+/// name is accepted — but these are the ones the exporters and the
+/// profile summary know how to interpret.
+pub mod names {
+    /// Ordered insert accepted into a priority queue.
+    pub const QUEUE_INSERT: &str = "queue.insert";
+    /// Candidate rejected by the cheap `v >= max` guard before any
+    /// queue work.
+    pub const QUEUE_CHEAP_REJECT: &str = "queue.cheap_reject";
+    /// Candidate staged into a per-lane buffer.
+    pub const BUFFER_PUSH: &str = "buffer.push";
+    /// Buffer drained into the queue (Buffered Search flush).
+    pub const BUFFER_FLUSH: &str = "buffer.flush";
+    /// Local-Sort invocation (sorting a drained buffer before merge).
+    pub const LOCAL_SORT: &str = "local_sort.invocations";
+    /// Reverse-bitonic repair pass of the Merge Queue; the level index
+    /// is appended (`merge.repair.level0` is the widest stage).
+    pub const MERGE_REPAIR_PREFIX: &str = "merge.repair.level";
+    /// Warp-synchronous aligned merge steps.
+    pub const MERGE_ALIGNED_SYNC: &str = "merge.aligned_sync";
+    /// Hierarchical-Partition tree node expansions during top-down
+    /// search.
+    pub const HP_NODE_EXPANSION: &str = "hp.node_expansion";
+
+    /// Counter name for a merge repair at `level`.
+    pub fn merge_repair_level(level: usize) -> String {
+        format!("{MERGE_REPAIR_PREFIX}{level}")
+    }
+}

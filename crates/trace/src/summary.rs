@@ -1,0 +1,100 @@
+//! Human-readable profile summary.
+//!
+//! Aggregates a tracer's spans by name and prints a small fixed-width
+//! table of simulated time plus the counter registry — the `--profile`
+//! face of the trace, complementing `simt::report::KernelReport`'s
+//! per-kernel hardware view.
+
+use crate::tracer::{EventKind, Tracer};
+use std::collections::BTreeMap;
+
+#[derive(Default, Clone)]
+struct SpanAgg {
+    count: u64,
+    total_us: f64,
+    cat: &'static str,
+}
+
+/// Render the profile table. Span rows are ordered by descending total
+/// simulated time; counters by name.
+pub fn render_summary(tracer: &Tracer) -> String {
+    // match Begin/End pairs with one LIFO stack per tid
+    let mut stacks: BTreeMap<u32, Vec<(usize, f64)>> = BTreeMap::new();
+    let mut aggs: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for (idx, e) in tracer.events().iter().enumerate() {
+        match e.kind {
+            EventKind::Begin => stacks.entry(e.tid).or_default().push((idx, e.ts_us)),
+            EventKind::End => {
+                if let Some((_, start_us)) = stacks.entry(e.tid).or_default().pop() {
+                    let agg = aggs.entry(e.name.clone()).or_default();
+                    agg.count += 1;
+                    agg.total_us += e.ts_us - start_us;
+                    agg.cat = e.cat.as_str();
+                }
+            }
+            EventKind::Instant => {}
+        }
+    }
+
+    let mut rows: Vec<(String, SpanAgg)> = aggs.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_us.partial_cmp(&a.1.total_us).unwrap());
+
+    let mut out = String::new();
+    out.push_str("== simulated-time profile ==\n");
+    out.push_str(&format!(
+        "{:<28} {:<8} {:>8} {:>14}\n",
+        "span", "cat", "count", "total (us)"
+    ));
+    for (name, agg) in &rows {
+        out.push_str(&format!(
+            "{:<28} {:<8} {:>8} {:>14.3}\n",
+            name, agg.cat, agg.count, agg.total_us
+        ));
+    }
+    if rows.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    }
+
+    out.push_str("\n== event counters ==\n");
+    if tracer.counters().is_empty() {
+        out.push_str("(no counters recorded)\n");
+    } else {
+        for (name, value) in tracer.counters().iter() {
+            out.push_str(&format!("{name:<32} {value:>12}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Category;
+
+    #[test]
+    fn summary_lists_spans_by_time_and_counters_by_name() {
+        let mut t = Tracer::new();
+        t.span(Category::Kernel, "small", 1e-6);
+        t.span(Category::Kernel, "big", 5e-6);
+        t.add("b.counter", 2);
+        t.add("a.counter", 1);
+        let s = render_summary(&t);
+        let big_at = s.find("big").unwrap();
+        let small_at = s.find("small").unwrap();
+        assert!(
+            big_at < small_at,
+            "spans must sort by descending time:\n{s}"
+        );
+        let a_at = s.find("a.counter").unwrap();
+        let b_at = s.find("b.counter").unwrap();
+        assert!(a_at < b_at, "counters must sort by name:\n{s}");
+        assert!(s.contains("kernel"));
+    }
+
+    #[test]
+    fn empty_tracer_renders_placeholders() {
+        let s = render_summary(&Tracer::new());
+        assert!(s.contains("(no spans recorded)"));
+        assert!(s.contains("(no counters recorded)"));
+    }
+}

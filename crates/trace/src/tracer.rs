@@ -1,0 +1,316 @@
+//! The tracer: a simulated-clock event recorder.
+
+use crate::counters::CounterSet;
+
+/// Span/event category; becomes the `cat` field of Chrome-trace events
+/// so Perfetto can colour and filter by pipeline layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Top-level pipeline phase (distance, select, transfer…).
+    Phase,
+    /// One simulated kernel launch.
+    Kernel,
+    /// Per-warp activity inside a kernel.
+    Warp,
+    /// Buffered-Search flush work.
+    Flush,
+    /// Merge Queue maintenance (repair, aligned merge).
+    Merge,
+    /// Hierarchical-Partition tree construction / traversal.
+    Build,
+}
+
+impl Category {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Phase => "phase",
+            Category::Kernel => "kernel",
+            Category::Warp => "warp",
+            Category::Flush => "flush",
+            Category::Merge => "merge",
+            Category::Build => "build",
+        }
+    }
+}
+
+/// What a [`TraceEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span opened.
+    Begin,
+    /// Span closed.
+    End,
+    /// Zero-duration marker.
+    Instant,
+}
+
+/// One recorded event. Timestamps are simulated microseconds from the
+/// start of the trace (Chrome trace's native unit).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    pub name: String,
+    pub cat: Category,
+    pub kind: EventKind,
+    pub ts_us: f64,
+    /// Chrome-trace thread id; used to separate lanes of simulated
+    /// concurrency (e.g. warps) in the viewer. 0 is the main timeline.
+    pub tid: u32,
+}
+
+/// Handle returned by [`Tracer::open_span`]; spend it in
+/// [`Tracer::close_span`]. Indices into the event log double as span
+/// identity, which makes balance checking trivial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+/// Event recorder with a simulated clock.
+///
+/// The clock starts at zero and only moves via [`advance`] /
+/// [`set_clock`] — instrumented code advances it by modelled durations.
+/// Spans must close in LIFO order per thread id (checked; violations
+/// panic in debug and are surfaced by [`Tracer::is_balanced`]).
+///
+/// [`advance`]: Tracer::advance
+/// [`set_clock`]: Tracer::set_clock
+#[derive(Debug, Default)]
+pub struct Tracer {
+    clock_s: f64,
+    events: Vec<TraceEvent>,
+    /// Stack of open span event indices (per-tid interleaving is
+    /// allowed; order is checked per tid).
+    open: Vec<usize>,
+    counters: CounterSet,
+    /// Time-stamped cumulative counter samples for Chrome `C` events:
+    /// `(ts_us, name, cumulative_value)`.
+    samples: Vec<(f64, String, u64)>,
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Current simulated clock, seconds.
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Current simulated clock, microseconds (trace native unit).
+    pub fn clock_us(&self) -> f64 {
+        self.clock_s * 1e6
+    }
+
+    /// Move the clock forward by a modelled duration.
+    pub fn advance(&mut self, dur_s: f64) {
+        debug_assert!(dur_s >= 0.0, "simulated time cannot run backwards");
+        self.clock_s += dur_s.max(0.0);
+    }
+
+    /// Jump the clock to an absolute simulated time. Only forward jumps
+    /// are honoured: the trace stays monotonic even if two sub-models
+    /// disagree slightly.
+    pub fn set_clock(&mut self, t_s: f64) {
+        if t_s > self.clock_s {
+            self.clock_s = t_s;
+        }
+    }
+
+    /// Open a span on the main timeline at the current clock.
+    pub fn open_span(&mut self, cat: Category, name: impl Into<String>) -> SpanId {
+        self.open_span_on(0, cat, name)
+    }
+
+    /// Open a span on an explicit thread lane (e.g. a warp id).
+    pub fn open_span_on(&mut self, tid: u32, cat: Category, name: impl Into<String>) -> SpanId {
+        let idx = self.events.len();
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Begin,
+            ts_us: self.clock_us(),
+            tid,
+        });
+        self.open.push(idx);
+        SpanId(idx)
+    }
+
+    /// Close a span at the current clock. Spans on the same tid must
+    /// close LIFO; closing out of order records the end event but trips
+    /// the balance flag (and panics in debug builds).
+    pub fn close_span(&mut self, id: SpanId) {
+        let begin = &self.events[id.0];
+        debug_assert_eq!(
+            begin.kind,
+            EventKind::Begin,
+            "SpanId does not point at a Begin"
+        );
+        let (name, cat, tid) = (begin.name.clone(), begin.cat, begin.tid);
+
+        let lifo_ok = self
+            .open
+            .iter()
+            .rev()
+            .find(|&&idx| self.events[idx].tid == tid)
+            == Some(&id.0);
+        debug_assert!(
+            lifo_ok,
+            "span {name:?} closed out of LIFO order on tid {tid}"
+        );
+        self.open.retain(|&idx| idx != id.0);
+
+        let end_ts = self.clock_us().max(self.events[id.0].ts_us);
+        self.events.push(TraceEvent {
+            name,
+            cat,
+            kind: EventKind::End,
+            ts_us: end_ts,
+            tid,
+        });
+    }
+
+    /// Record a complete span of a known modelled duration: opens at the
+    /// current clock, advances by `dur_s`, closes. This is the common
+    /// form for simulated kernels, whose duration is computed rather
+    /// than observed.
+    pub fn span(&mut self, cat: Category, name: impl Into<String>, dur_s: f64) -> SpanId {
+        let id = self.open_span(cat, name);
+        self.advance(dur_s);
+        self.close_span(id);
+        id
+    }
+
+    /// RAII-style scope: runs `f` inside an open span, closing it on the
+    /// way out. The closure gets the tracer back plus a [`SpanGuard`] it
+    /// can use to attach events to the scope.
+    pub fn scoped<R>(
+        &mut self,
+        cat: Category,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Tracer) -> R,
+    ) -> R {
+        let id = self.open_span(cat, name);
+        let out = f(self);
+        self.close_span(id);
+        out
+    }
+
+    /// Zero-duration marker on the main timeline.
+    pub fn instant(&mut self, cat: Category, name: impl Into<String>) {
+        self.events.push(TraceEvent {
+            name: name.into(),
+            cat,
+            kind: EventKind::Instant,
+            ts_us: self.clock_us(),
+            tid: 0,
+        });
+    }
+
+    /// Bump a named counter by `n` and record a time-stamped sample of
+    /// its new cumulative value.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let total = self.counters.add(name, n);
+        self.samples
+            .push((self.clock_us(), name.to_string(), total));
+    }
+
+    /// Fold a whole [`CounterSet`] in at the current clock — the shape
+    /// kernels hand back (per-warp counters merged after a launch).
+    pub fn merge_counters(&mut self, set: &CounterSet) {
+        for (name, value) in set.iter() {
+            self.add(name, value);
+        }
+    }
+
+    /// Cumulative counters so far.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Time-stamped counter samples `(ts_us, name, cumulative)`.
+    pub fn samples(&self) -> &[(f64, String, u64)] {
+        &self.samples
+    }
+
+    /// True when every opened span has been closed.
+    pub fn is_balanced(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// Number of currently open spans.
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Marker tying helper APIs to an open scope; currently just carries the
+/// [`SpanId`] so callers can close early if control flow demands it.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanGuard(pub SpanId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_balance_and_clock_is_monotonic() {
+        let mut t = Tracer::new();
+        let outer = t.open_span(Category::Phase, "select");
+        t.advance(1e-6);
+        t.span(Category::Kernel, "gpu_select_k", 5e-6);
+        t.advance(0.5e-6);
+        t.close_span(outer);
+        assert!(t.is_balanced());
+        let ts: Vec<f64> = t.events().iter().map(|e| e.ts_us).collect();
+        assert!(
+            ts.windows(2).all(|w| w[0] <= w[1]),
+            "timestamps must be monotonic"
+        );
+        assert_eq!(t.events().len(), 4);
+        assert!((t.clock_us() - 6.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_with_samples() {
+        let mut t = Tracer::new();
+        t.add("queue.insert", 3);
+        t.advance(1e-6);
+        t.add("queue.insert", 2);
+        t.add("buffer.flush", 1);
+        assert_eq!(t.counters().get("queue.insert"), 5);
+        assert_eq!(t.counters().get("buffer.flush"), 1);
+        assert_eq!(t.samples().len(), 3);
+        assert_eq!(t.samples()[1].2, 5);
+        // zero increments are elided
+        t.add("queue.insert", 0);
+        assert_eq!(t.samples().len(), 3);
+    }
+
+    #[test]
+    fn scoped_closes_on_exit() {
+        let mut t = Tracer::new();
+        let out = t.scoped(Category::Flush, "flush", |t| {
+            t.advance(2e-6);
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn set_clock_never_rewinds() {
+        let mut t = Tracer::new();
+        t.advance(5e-6);
+        t.set_clock(3e-6);
+        assert!((t.clock_s() - 5e-6).abs() < 1e-18);
+        t.set_clock(7e-6);
+        assert!((t.clock_s() - 7e-6).abs() < 1e-18);
+    }
+}

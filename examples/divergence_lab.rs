@@ -34,9 +34,15 @@ fn main() {
     );
 
     let variants: Vec<(String, SelectConfig)> = vec![
-        ("Insertion Queue".into(), SelectConfig::plain(QueueKind::Insertion, k)),
+        (
+            "Insertion Queue".into(),
+            SelectConfig::plain(QueueKind::Insertion, k),
+        ),
         ("Heap Queue".into(), SelectConfig::plain(QueueKind::Heap, k)),
-        ("Merge Queue (unaligned)".into(), SelectConfig::plain(QueueKind::Merge, k)),
+        (
+            "Merge Queue (unaligned)".into(),
+            SelectConfig::plain(QueueKind::Merge, k),
+        ),
         (
             "Merge Queue aligned".into(),
             SelectConfig::plain(QueueKind::Merge, k).with_aligned(true),

@@ -36,7 +36,7 @@ fn main() {
     let mut labels = Vec::new();
     for (ci, &c) in centers.iter().enumerate() {
         train_flat.extend(gaussian_cluster(&mut rng, c, PER_CLASS));
-        labels.extend(std::iter::repeat(ci).take(PER_CLASS));
+        labels.extend(std::iter::repeat_n(ci, PER_CLASS));
     }
     let train = PointSet::from_flat(train_flat, DIM);
     // Test set: fresh draws with known labels.
@@ -76,12 +76,7 @@ fn main() {
                         .unwrap()
                 })
                 .collect();
-            let acc = preds
-                .iter()
-                .zip(&truth)
-                .filter(|(p, t)| p == t)
-                .count() as f64
-                / TEST as f64;
+            let acc = preds.iter().zip(&truth).filter(|(p, t)| p == t).count() as f64 / TEST as f64;
             println!(
                 "  {:<28} k={k:<3} accuracy {:>5.1}%  ({:.1} ms)",
                 cfg.label(),

@@ -72,11 +72,14 @@ fn main() {
 
     // Same batch through the per-query optimized path, for comparison.
     let t0 = Instant::now();
-    let per: Vec<_> = rows.iter().map(|r| {
-        let mut v = select_k(r, &cfg);
-        v.truncate(k);
-        v
-    }).collect();
+    let per: Vec<_> = rows
+        .iter()
+        .map(|r| {
+            let mut v = select_k(r, &cfg);
+            v.truncate(k);
+            v
+        })
+        .collect();
     let t_per = t0.elapsed().as_secs_f64();
     println!(
         "per-query optimized merge queue: same batch in {:.0} ms \

@@ -9,7 +9,9 @@ use gpu_kselect::prelude::*;
 
 fn main() {
     // --- 1. Pure k-selection: the k smallest of a distance list -------
-    let dists: Vec<f32> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 10_000) as f32).collect();
+    let dists: Vec<f32> = (0..10_000)
+        .map(|i| ((i * 2654435761u64 as usize) % 10_000) as f32)
+        .collect();
     let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
     let knn = select_k(&dists, &cfg);
     println!("k-selection with `{}`:", cfg.label());
@@ -22,7 +24,11 @@ fn main() {
     let refs = PointSet::uniform(20_000, 128, 1); // paper's dim = 128
     let queries = PointSet::uniform(8, 128, 2);
     let t0 = std::time::Instant::now();
-    let results = knn_search(&queries, &refs, &SelectConfig::optimized(QueueKind::Merge, 8));
+    let results = knn_search(
+        &queries,
+        &refs,
+        &SelectConfig::optimized(QueueKind::Merge, 8),
+    );
     println!(
         "\n8-NN of {} queries against {} references ({} dims) in {:.1} ms:",
         queries.len(),

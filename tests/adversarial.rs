@@ -19,7 +19,9 @@ fn patterns() -> Vec<(&'static str, Vec<f32>)> {
         ("constant", vec![7.5; N]),
         (
             "sawtooth",
-            (0..N).map(|i| (i % 37) as f32 + (i / 37) as f32 * 0.01).collect(),
+            (0..N)
+                .map(|i| (i % 37) as f32 + (i / 37) as f32 * 0.01)
+                .collect(),
         ),
         (
             "adjacent-bits",
@@ -32,7 +34,13 @@ fn patterns() -> Vec<(&'static str, Vec<f32>)> {
             // large values first, then the true answers at the very end —
             // stresses threshold tightening and final flushes.
             (0..N)
-                .map(|i| if i < N - K { 1000.0 + i as f32 } else { (i - (N - K)) as f32 })
+                .map(|i| {
+                    if i < N - K {
+                        1000.0 + i as f32
+                    } else {
+                        (i - (N - K)) as f32
+                    }
+                })
                 .collect(),
         ),
     ]

@@ -30,7 +30,10 @@ fn all_backends_agree_on_one_workload() {
     let spec = GpuSpec::tesla_c2075();
 
     // Reference: CPU std-heap baseline.
-    let reference: Vec<Vec<f32>> = data.iter().map(|r| dists_of(&knn::heap_select(r, k))).collect();
+    let reference: Vec<Vec<f32>> = data
+        .iter()
+        .map(|r| dists_of(&knn::heap_select(r, k)))
+        .collect();
 
     // Native queue-based selection, all queue kinds and technique combos.
     for kind in QueueKind::ALL {
@@ -60,7 +63,12 @@ fn all_backends_agree_on_one_workload() {
     ] {
         let res = gpu_select_k(&spec, &dm, &cfg);
         for (qi, nbs) in res.neighbors.iter().enumerate() {
-            assert_eq!(dists_of(nbs), reference[qi], "gpu {} query {qi}", cfg.label());
+            assert_eq!(
+                dists_of(nbs),
+                reference[qi],
+                "gpu {} query {qi}",
+                cfg.label()
+            );
         }
     }
 
@@ -78,7 +86,11 @@ fn all_backends_agree_on_one_workload() {
             reference[qi],
             "radix query {qi}"
         );
-        assert_eq!(dists_of(&sort_select(r, k)), reference[qi], "sort query {qi}");
+        assert_eq!(
+            dists_of(&sort_select(r, k)),
+            reference[qi],
+            "sort query {qi}"
+        );
     }
     let (tbs_gpu, _) = baselines::gpu_tbs_select(&spec, &dm, k);
     let (tbs_block, _) = baselines::gpu_tbs_block_select(&spec, &dm, k);
@@ -86,15 +98,27 @@ fn all_backends_agree_on_one_workload() {
     let (ws_gpu, _) = baselines::gpu_warp_select(&spec, &dm, k);
     for qi in 0..q {
         assert_eq!(dists_of(&tbs_gpu[qi]), reference[qi], "gpu tbs query {qi}");
-        assert_eq!(dists_of(&tbs_block[qi]), reference[qi], "gpu tbs-block query {qi}");
+        assert_eq!(
+            dists_of(&tbs_block[qi]),
+            reference[qi],
+            "gpu tbs-block query {qi}"
+        );
         assert_eq!(dists_of(&qms_gpu[qi]), reference[qi], "gpu qms query {qi}");
-        assert_eq!(dists_of(&ws_gpu[qi]), reference[qi], "warp-select query {qi}");
+        assert_eq!(
+            dists_of(&ws_gpu[qi]),
+            reference[qi],
+            "warp-select query {qi}"
+        );
     }
 
     // Batched / extended selection paths.
     let clustered = baselines::clustered_sort_select(&data, k);
     for qi in 0..q {
-        assert_eq!(dists_of(&clustered[qi]), reference[qi], "clustered query {qi}");
+        assert_eq!(
+            dists_of(&clustered[qi]),
+            reference[qi],
+            "clustered query {qi}"
+        );
     }
     for (qi, r) in data.iter().enumerate() {
         assert_eq!(
@@ -135,7 +159,9 @@ fn pathological_all_equal_workload() {
         }
     }
     let (ws, _) = baselines::gpu_warp_select(&spec, &dm, k);
-    assert!(ws.iter().all(|r| r.len() == k && r.iter().all(|nb| nb.dist == 0.25)));
+    assert!(ws
+        .iter()
+        .all(|r| r.len() == k && r.iter().all(|nb| nb.dist == 0.25)));
     let (tbs, _) = baselines::gpu_tbs_block_select(&spec, &dm, k);
     assert!(tbs.iter().all(|r| r.len() == k));
 }

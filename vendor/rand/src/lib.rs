@@ -1,0 +1,366 @@
+//! Offline drop-in subset of the `rand` crate (API of rand 0.8).
+//!
+//! The container this workspace builds in has no crates-io access, so the
+//! external `rand` dependency is replaced by this vendored stub. It is not
+//! a full reimplementation — it provides exactly the surface the workspace
+//! uses — but the parts that matter for reproducibility are **bit-exact**
+//! with rand 0.8:
+//!
+//! * [`rngs::StdRng`] is ChaCha with 12 rounds (the same algorithm rand 0.8
+//!   uses), with the 64-word output buffering of `rand_chacha`;
+//! * [`SeedableRng::seed_from_u64`] expands the seed with the same PCG32
+//!   sequence as `rand_core` 0.6;
+//! * `gen::<f32>()` / `gen::<f64>()` use the same 24-/53-bit multiply
+//!   conversions as rand 0.8's `Standard` distribution.
+//!
+//! Consequently every seeded workload in the workspace (and the checked-in
+//! `results/*.json` artefacts generated with the real crate) reproduces
+//! byte-identically. `gen_range` uses a widening-multiply sampler that is
+//! deterministic but *not* bit-identical to rand's Lemire sampler; no
+//! golden artefact depends on it.
+
+pub mod rngs {
+    /// The standard RNG: ChaCha12, bit-compatible with rand 0.8's `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// ChaCha state words 4..12 (the key); constants/counter/nonce are
+        /// reconstructed per block.
+        key: [u32; 8],
+        /// 64-bit block counter (words 12/13).
+        counter: u64,
+        /// Buffered output: 4 blocks (64 words), as rand_chacha produces.
+        buf: [u32; 64],
+        /// Next unread word in `buf`; 64 means empty.
+        idx: usize,
+    }
+
+    const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    #[inline(always)]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    impl StdRng {
+        fn block(&self, counter: u64, out: &mut [u32]) {
+            let mut s = [0u32; 16];
+            s[..4].copy_from_slice(&CHACHA_CONSTANTS);
+            s[4..12].copy_from_slice(&self.key);
+            s[12] = counter as u32;
+            s[13] = (counter >> 32) as u32;
+            // words 14/15: stream id, always 0 for seed_from_u64 seeding
+            let initial = s;
+            for _ in 0..6 {
+                // one double round (12 rounds total)
+                quarter_round(&mut s, 0, 4, 8, 12);
+                quarter_round(&mut s, 1, 5, 9, 13);
+                quarter_round(&mut s, 2, 6, 10, 14);
+                quarter_round(&mut s, 3, 7, 11, 15);
+                quarter_round(&mut s, 0, 5, 10, 15);
+                quarter_round(&mut s, 1, 6, 11, 12);
+                quarter_round(&mut s, 2, 7, 8, 13);
+                quarter_round(&mut s, 3, 4, 9, 14);
+            }
+            for (o, (w, i)) in out.iter_mut().zip(s.iter().zip(initial.iter())) {
+                *o = w.wrapping_add(*i);
+            }
+        }
+
+        fn refill(&mut self) {
+            for b in 0..4 {
+                let (lo, hi) = (b * 16, b * 16 + 16);
+                let mut words = [0u32; 16];
+                self.block(self.counter, &mut words);
+                self.buf[lo..hi].copy_from_slice(&words);
+                self.counter = self.counter.wrapping_add(1);
+            }
+            self.idx = 0;
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            if self.idx >= 64 {
+                self.refill();
+            }
+            let w = self.buf[self.idx];
+            self.idx += 1;
+            w
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            // rand_core::block::BlockRng semantics: low word first, buffer
+            // boundaries crossed word-by-word.
+            let lo = self.next_u32() as u64;
+            let hi = self.next_u32() as u64;
+            (hi << 32) | lo
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, k) in key.iter_mut().enumerate() {
+                *k = u32::from_le_bytes(seed[i * 4..i * 4 + 4].try_into().unwrap());
+            }
+            StdRng {
+                key,
+                counter: 0,
+                buf: [0; 64],
+                idx: 64,
+            }
+        }
+    }
+}
+
+/// Minimal core RNG interface (subset of `rand_core::RngCore`).
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed from a `u64`, expanding with PCG32 exactly like rand_core 0.6
+    /// (so `StdRng::seed_from_u64(s)` matches the real crate bit-for-bit).
+    fn seed_from_u64(mut state: u64) -> Self {
+        fn pcg32(state: &mut u64) -> [u8; 4] {
+            const MUL: u64 = 6364136223846793005;
+            const INC: u64 = 11634580027462260723;
+            *state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let s = *state;
+            let xorshifted = (((s >> 18) ^ s) >> 27) as u32;
+            let rot = (s >> 59) as u32;
+            xorshifted.rotate_right(rot).to_le_bytes()
+        }
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let x = pcg32(&mut state);
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable by [`Rng::gen`] (stand-in for `Standard: Distribution<T>`).
+pub trait StandardSample {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // rand 0.8 multiply-based conversion: 24 bits of precision.
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for usize {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u64;
+                // widening multiply: uniform up to negligible bias
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end - start) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + hi as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u64 + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                (start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+signed_range!(i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let unit = <$t as StandardSample>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let unit = <$t as StandardSample>::sample(rng);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+float_range!(f32, f64);
+
+/// User-facing RNG methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = rngs::StdRng::seed_from_u64(42);
+        let mut b = rngs::StdRng::seed_from_u64(42);
+        let va: Vec<u32> = (0..200).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..200).map(|_| b.next_u32()).collect();
+        assert_eq!(va, vb);
+        let mut c = rngs::StdRng::seed_from_u64(43);
+        assert_ne!(va[0], c.next_u32());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f32 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f64 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = r.gen_range(1u32..=4);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = rngs::StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace builds in a container without crates-io access, so this
+//! stub replaces rayon. The `*par_iter*` entry points return the ordinary
+//! sequential iterators of the wrapped collection: every adapter chain
+//! (`map`, `filter`, `collect`, …) type-checks and produces identical
+//! results in identical order — the only difference is that work runs on
+//! one host thread. The simulator's determinism does not depend on host
+//! parallelism (metrics are reduced orderly), so swapping this in is
+//! semantics-preserving.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// `into_par_iter()` — sequential stand-in: any `IntoIterator` qualifies.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `par_iter()` — sequential stand-in for `&collection` iteration.
+pub trait IntoParallelRefIterator {
+    type Iter<'a>
+    where
+        Self: 'a;
+    fn par_iter(&self) -> Self::Iter<'_>;
+}
+
+impl<C> IntoParallelRefIterator for C
+where
+    C: ?Sized,
+    for<'a> &'a C: IntoIterator,
+{
+    type Iter<'a>
+        = <&'a C as IntoIterator>::IntoIter
+    where
+        C: 'a;
+
+    fn par_iter(&self) -> Self::Iter<'_> {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` — sequential stand-in for `&mut collection` iteration.
+pub trait IntoParallelRefMutIterator {
+    type Iter<'a>
+    where
+        Self: 'a;
+    fn par_iter_mut(&mut self) -> Self::Iter<'_>;
+}
+
+impl<C> IntoParallelRefMutIterator for C
+where
+    C: ?Sized,
+    for<'a> &'a mut C: IntoIterator,
+{
+    type Iter<'a>
+        = <&'a mut C as IntoIterator>::IntoIter
+    where
+        C: 'a;
+
+    fn par_iter_mut(&mut self) -> Self::Iter<'_> {
+        self.into_iter()
+    }
+}
+
+/// Sequential `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parity_with_sequential() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let mut m = vec![1, 2, 3];
+        m.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(m, vec![11, 12, 13]);
+    }
+}

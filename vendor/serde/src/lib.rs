@@ -1,0 +1,208 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only serializes plain data structs/enums to JSON, so this
+//! stub replaces serde's visitor machinery with a simple [`Value`] tree:
+//! [`Serialize`] turns a value into a `Value`, and the companion
+//! `serde_json` stub renders that tree with serde_json-compatible
+//! formatting. `#[derive(Serialize, Deserialize)]` is provided by the
+//! `serde_derive` stub (field-order-preserving structs, unit enums as
+//! strings — the same JSON shape real serde produces for these types).
+//!
+//! [`Deserialize`] is a marker only: nothing in the workspace parses JSON
+//! back into typed structs (the trace exporter golden tests parse JSON
+//! generically via `serde_json::parse_value`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped data tree.
+///
+/// `F32` is kept distinct from `F64` so floats serialize with the shortest
+/// representation of their own width, as real serde_json does.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F32(f32),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Field-order-preserving map (serde derives keep declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on `Object` values (`None` for other variants).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an `Array` value (`None` for other variants).
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// String content of a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric content widened to `f64` (`I64`/`U64`/`F32`/`F64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::U64(v) => Some(*v as f64),
+            Value::F32(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Conversion into the [`Value`] tree (stand-in for `serde::Serialize`).
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait (stand-in for `serde::Deserialize`); see crate docs.
+pub trait Deserialize: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3u32.to_value(), Value::U64(3));
+        assert_eq!((-4i64).to_value(), Value::I64(-4));
+        assert_eq!("hi".to_string().to_value(), Value::Str("hi".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        let v = vec![(1u32, 2.5f32)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::U64(1), Value::F32(2.5)])])
+        );
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(obj.get("a"), Some(&Value::U64(1)));
+        assert_eq!(obj.get("b"), None);
+        assert_eq!(Value::U64(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+    }
+}

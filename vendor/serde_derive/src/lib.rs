@@ -1,0 +1,208 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly what the workspace
+//! derives on:
+//!
+//! * structs with named fields → `Value::Object` preserving field order;
+//! * enums with unit variants → `Value::Str(variant_name)`.
+//!
+//! Generics, tuple structs, data-carrying enum variants and `#[serde]`
+//! attributes are rejected with a compile-time panic so accidental use is
+//! loud rather than silently wrong.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the deriving type, with the names the impl needs.
+enum Input {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    let mut body: Option<TokenStream> = None;
+
+    while let Some(tt) = iter.next() {
+        match &tt {
+            // outer attributes (doc comments, derives, cfgs): `#` + [...]
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next(); // the bracket group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                match (s.as_str(), &kind) {
+                    ("struct", None) => kind = Some("struct"),
+                    ("enum", None) => kind = Some("enum"),
+                    ("pub" | "crate", _) => {}
+                    (_, Some(_)) if name.is_none() => {
+                        name = Some(s);
+                        // anything between the name and the brace body
+                        // would be generics or a where clause
+                        match iter.peek() {
+                            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {}
+                            other => panic!(
+                                "serde stub derive: only non-generic brace-bodied types are \
+                                 supported, found {other:?} after the type name"
+                            ),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace && name.is_some() && body.is_none() =>
+            {
+                body = Some(g.stream());
+                // (parenthesized groups like pub(crate) fall through)
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.expect("serde stub derive: type name not found");
+    let body = body.expect("serde stub derive: brace body not found (tuple structs unsupported)");
+
+    match kind {
+        Some("struct") => Input::Struct {
+            name,
+            fields: parse_struct_fields(body),
+        },
+        Some("enum") => Input::Enum {
+            name,
+            variants: parse_enum_variants(body),
+        },
+        _ => panic!("serde stub derive: expected struct or enum"),
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // skip attributes and visibility before the field name
+        let mut field_name: Option<String> = None;
+        while let Some(tt) = iter.next() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                }
+                TokenTree::Ident(id) => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        // possible pub(crate) group follows
+                        if let Some(TokenTree::Group(_)) = iter.peek() {
+                            let _ = iter.next();
+                        }
+                        continue;
+                    }
+                    field_name = Some(s);
+                    break;
+                }
+                other => panic!("serde stub derive: unexpected token in struct body: {other:?}"),
+            }
+        }
+        let Some(fname) = field_name else { break };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field {fname}, got {other:?}"),
+        }
+        // consume the type up to the next top-level comma
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(fname);
+    }
+    fields
+}
+
+/// Variant names of a unit-variant enum body.
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        let _ = iter.next();
+                    }
+                    other => panic!(
+                        "serde stub derive: only unit enum variants are supported; \
+                         variant {name} is followed by {other:?}"
+                    ),
+                }
+                variants.push(name);
+            }
+            other => panic!("serde stub derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("serde stub derive: generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_input(input) {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde stub derive: generated code failed to parse")
+}

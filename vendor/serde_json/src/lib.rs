@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_json` over the stub `serde::Value` tree.
+//!
+//! The writer reproduces serde_json's formatting exactly for the value
+//! shapes this workspace emits: compact mode with no whitespace, pretty
+//! mode with two-space indentation, floats via shortest-roundtrip with
+//! ryu's notation conventions (`integral.0` suffix, scientific notation
+//! only below 1e-5 or at/above 1e16). The checked-in `results/*.json`
+//! artefacts were produced by the real crate; `results/fig5*.json` must
+//! regenerate byte-identically through this writer (covered by a test in
+//! the bench crate).
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Serialization error (the stub never produces one for finite data; it
+/// exists so call sites keep the `Result` shape of real serde_json).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON (`{"a":1}`).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Pretty JSON with serde_json's two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn push_indent(out: &mut String, indent: &str, level: usize) {
+    for _ in 0..level {
+        out.push_str(indent);
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<&str>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F32(x) => out.push_str(&fmt_f32(*x)),
+        Value::F64(x) => out.push_str(&fmt_f64(*x)),
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(ind) = indent {
+                    out.push('\n');
+                    push_indent(out, ind, level + 1);
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            if let Some(ind) = indent {
+                out.push('\n');
+                push_indent(out, ind, level);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(ind) = indent {
+                    out.push('\n');
+                    push_indent(out, ind, level + 1);
+                }
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, level + 1);
+            }
+            if let Some(ind) = indent {
+                out.push('\n');
+                push_indent(out, ind, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shortest-roundtrip f64 with ryu's notation conventions.
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // real serde_json refuses non-finite numbers; the Value tree
+        // renders them as null like serde_json::Value does
+        return "null".to_string();
+    }
+    let a = v.abs();
+    if v == v.trunc() && a < 1e16 {
+        format!("{v:.1}")
+    } else if (1e-5..1e16).contains(&a) {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// Shortest-roundtrip f32 with ryu's notation conventions.
+fn fmt_f32(v: f32) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let a = v.abs();
+    if v == v.trunc() && a < 1e16 {
+        format!("{v:.1}")
+    } else if (1e-5..1e16).contains(&a) {
+        format!("{v}")
+    } else {
+        format!("{v:e}")
+    }
+}
+
+/// JSON parse error with byte offset.
+#[derive(Debug)]
+pub struct ParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a JSON document into a generic [`Value`] (numbers become `F64`).
+pub fn parse_value(s: &str) -> Result<Value, ParseError> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing data"));
+    }
+    Ok(v)
+}
+
+fn err(offset: usize, message: &str) -> ParseError {
+    ParseError {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_at(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_at(b, pos)? {
+                    Value::Str(s) => s,
+                    _ => return Err(err(*pos, "object key must be a string")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(err(*pos, "expected ':'"));
+                }
+                *pos += 1;
+                let val = parse_at(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or '}'")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(err(*pos, "expected ',' or ']'")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err(err(*pos, "unterminated string")),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Value::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex)
+                                        .map_err(|_| err(*pos, "bad \\u escape"))?,
+                                    16,
+                                )
+                                .map_err(|_| err(*pos, "bad \\u escape"))?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| err(*pos, "bad \\u code point"))?,
+                                );
+                                *pos += 4;
+                            }
+                            _ => return Err(err(*pos, "bad escape")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // consume one UTF-8 character
+                        let rest = std::str::from_utf8(&b[*pos..])
+                            .map_err(|_| err(*pos, "invalid UTF-8"))?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => lit(b, pos, "null", Value::Null),
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| err(start, "invalid number"))
+        }
+    }
+}
+
+fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, ParseError> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(v)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_matches_serde_json() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Array(vec![Value::F64(0.5), Value::Null])),
+            ("s".into(), Value::Str("x\"y".into())),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[0.5,null],"s":"x\"y"}"#
+        );
+    }
+
+    #[test]
+    fn pretty_matches_serde_json() {
+        let v = Value::Object(vec![(
+            "points".into(),
+            Value::Array(vec![Value::Array(vec![
+                Value::F64(0.0),
+                Value::F64(462.0625),
+            ])]),
+        )]);
+        let expect = "{\n  \"points\": [\n    [\n      0.0,\n      462.0625\n    ]\n  ]\n}";
+        assert_eq!(to_string_pretty(&v).unwrap(), expect);
+    }
+
+    #[test]
+    fn float_notation_follows_ryu() {
+        assert_eq!(fmt_f64(0.0), "0.0");
+        assert_eq!(fmt_f64(-3.0), "-3.0");
+        assert_eq!(fmt_f64(456.34375), "456.34375");
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(2.3e-5), "0.000023");
+        assert_eq!(fmt_f64(2.3e-6), "2.3e-6");
+        assert_eq!(fmt_f64(1.5e17), "1.5e17");
+        assert_eq!(fmt_f32(462.0625), "462.0625");
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("trace".into())),
+            (
+                "items".into(),
+                Value::Array(vec![Value::U64(3), Value::Bool(true)]),
+            ),
+            ("t".into(), Value::F64(12.25)),
+        ]);
+        let text = to_string_pretty(&v).unwrap();
+        let back = parse_value(&text).unwrap();
+        assert_eq!(back.get("name").unwrap().as_str(), Some("trace"));
+        assert_eq!(back.get("items").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(back.get("t").unwrap().as_f64(), Some(12.25));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("tru").is_err());
+        assert!(parse_value("{} x").is_err());
+    }
+}
