@@ -1,0 +1,358 @@
+//! Queue/structure invariant auditors.
+//!
+//! Every auditor is a pure function over plain slices so it can run
+//! against native queues, simulated lane-local queues (via host-side
+//! peeks), and hand-built fault-injection fixtures alike. On violation
+//! it returns an [`AuditError`] naming the invariant, the offending
+//! level/index, and the values involved — the report a developer needs
+//! to locate the bug, not just a boolean.
+//!
+//! The invariants come straight from the paper (Tang et al., IPDPS
+//! 2015):
+//!
+//! * **Merge Queue** (§III-C, Fig. 1b): levels sized `m, m, 2m, 4m, …`,
+//!   each sorted decreasing, heads decreasing top-to-bottom — together
+//!   they put the global maximum at position 0.
+//! * **Reverse Bitonic Merge** (§III-C, Fig. 2b): precondition — both
+//!   halves sorted decreasing; postcondition — the whole run decreasing.
+//! * **Buffered Search with Local Sorting** (§III-D): a flushed buffer's
+//!   filled prefix is sorted ascending so the smallest candidate is
+//!   inserted first.
+//! * **Hierarchical Partition** (§III-E): every reduced-level entry is
+//!   the minimum of its child group — the tournament-tree
+//!   min-consistency that makes Top-Down search exact.
+
+// Negated float comparisons (`!(a >= b)`) are deliberate throughout:
+// unlike `a < b`, they flag NaN-poisoned entries as violations too.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+/// One failed invariant check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditError {
+    /// Stable kebab-case name of the violated invariant.
+    pub invariant: &'static str,
+    /// What exactly is wrong: level/index/values.
+    pub detail: String,
+}
+
+impl core::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invariant '{}' violated: {}",
+            self.invariant, self.detail
+        )
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+fn fail(invariant: &'static str, detail: String) -> Result<(), AuditError> {
+    Err(AuditError { invariant, detail })
+}
+
+/// `vals` must be sorted decreasing (ties allowed). `what` names the
+/// structure in the report (e.g. `"merge-queue level 2"`).
+pub fn audit_sorted_desc(vals: &[f32], what: &str) -> Result<(), AuditError> {
+    for (i, w) in vals.windows(2).enumerate() {
+        if !(w[0] >= w[1]) {
+            return fail(
+                "sorted-decreasing",
+                format!(
+                    "{what}: position {i} holds {} but position {} holds {}",
+                    w[0],
+                    i + 1,
+                    w[1]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `vals` must be sorted ascending (ties allowed).
+pub fn audit_sorted_asc(vals: &[f32], what: &str) -> Result<(), AuditError> {
+    for (i, w) in vals.windows(2).enumerate() {
+        if !(w[0] <= w[1]) {
+            return fail(
+                "sorted-ascending",
+                format!(
+                    "{what}: position {i} holds {} but position {} holds {}",
+                    w[0],
+                    i + 1,
+                    w[1]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// The `[start, end)` bounds of each Merge Queue level for capacity `k`
+/// and level-0 size `m`: sizes `m, m, 2m, 4m, …`. Errors when `k` is not
+/// `m · 2^j` (the shape the paper's balanced merges require).
+pub fn merge_level_bounds(k: usize, m: usize) -> Result<Vec<(usize, usize)>, AuditError> {
+    let shape_ok = k > 0
+        && m > 0
+        && m.is_power_of_two()
+        && k >= m
+        && k.is_multiple_of(m)
+        && (k / m).is_power_of_two();
+    if !shape_ok {
+        return Err(AuditError {
+            invariant: "merge-queue-shape",
+            detail: format!("capacity k={k} is not m·2^j for level-0 size m={m}"),
+        });
+    }
+    let mut bounds = Vec::new();
+    let mut start = 0;
+    let mut size = m;
+    while start < k {
+        bounds.push((start, (start + size).min(k)));
+        start += size;
+        if bounds.len() >= 2 {
+            size *= 2;
+        }
+    }
+    Ok(bounds)
+}
+
+/// The full Merge Queue invariant over one queue's distances: valid
+/// level shape, every level sorted decreasing, and level heads
+/// decreasing top-to-bottom (paper Fig. 1b).
+pub fn audit_merge_queue(dist: &[f32], m: usize) -> Result<(), AuditError> {
+    let bounds = merge_level_bounds(dist.len(), m)?;
+    for (li, &(start, end)) in bounds.iter().enumerate() {
+        audit_sorted_desc(&dist[start..end], &format!("merge-queue level {li}")).map_err(|e| {
+            AuditError {
+                invariant: "merge-queue-level-sorted",
+                detail: e.detail,
+            }
+        })?;
+    }
+    for (li, w) in bounds.windows(2).enumerate() {
+        let (head_a, head_b) = (dist[w[0].0], dist[w[1].0]);
+        if !(head_a >= head_b) {
+            return fail(
+                "merge-queue-heads-decreasing",
+                format!(
+                    "level {li} head {head_a} is below level {} head {head_b} \
+                     (a repair merge is overdue)",
+                    li + 1
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Precondition of the Reverse Bitonic Merge (paper Fig. 2b): both
+/// halves of `dist` sorted decreasing. Length must be a power of two.
+pub fn audit_bitonic_merge_pre(dist: &[f32]) -> Result<(), AuditError> {
+    let n = dist.len();
+    if !n.is_power_of_two() || n < 2 {
+        return fail(
+            "bitonic-merge-shape",
+            format!("reverse merge needs a power-of-two length ≥ 2, got {n}"),
+        );
+    }
+    for (half, range) in [(0, 0..n / 2), (1, n / 2..n)] {
+        audit_sorted_desc(&dist[range], &format!("reverse-merge input half {half}")).map_err(
+            |e| AuditError {
+                invariant: "bitonic-merge-precondition",
+                detail: e.detail,
+            },
+        )?;
+    }
+    Ok(())
+}
+
+/// Postcondition of any descending merge/sort network: the whole run is
+/// sorted decreasing.
+pub fn audit_bitonic_merge_post(dist: &[f32]) -> Result<(), AuditError> {
+    audit_sorted_desc(dist, "merge-network output").map_err(|e| AuditError {
+        invariant: "bitonic-merge-postcondition",
+        detail: e.detail,
+    })
+}
+
+/// Buffer-flush ordering under Local Sorting (paper §III-D): the filled
+/// prefix `[0, fill)` of one lane's buffer must be ascending so the
+/// smallest candidate is inserted first and tightens the queue max for
+/// the rest of the drain.
+pub fn audit_flush_sorted(buf: &[f32], fill: usize) -> Result<(), AuditError> {
+    if fill > buf.len() {
+        return fail(
+            "flush-fill-level",
+            format!("fill level {fill} exceeds buffer capacity {}", buf.len()),
+        );
+    }
+    audit_sorted_asc(&buf[..fill], "local-sorted flush buffer").map_err(|e| AuditError {
+        invariant: "flush-order-ascending",
+        detail: e.detail,
+    })
+}
+
+/// Binary max-heap invariant: every parent ≥ its children (NaN parents
+/// tolerated, matching the native queue's sentinel semantics).
+pub fn audit_heap(dist: &[f32]) -> Result<(), AuditError> {
+    for i in 1..dist.len() {
+        let p = (i - 1) / 2;
+        let parent = dist[p];
+        if !(parent >= dist[i]) && !parent.is_nan() {
+            return fail(
+                "heap-parent-dominates",
+                format!(
+                    "parent at {p} holds {parent} but child at {i} holds {} \
+                     (max-heap property broken)",
+                    dist[i]
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Hierarchical Partition min-consistency (paper Algorithm 4): reduced
+/// `level[i]` must equal the minimum of its child group
+/// `below[i·g .. (i+1)·g]`, and the level must have exactly
+/// `ceil(|below| / g)` entries.
+pub fn audit_hierarchy_level(below: &[f32], level: &[f32], g: usize) -> Result<(), AuditError> {
+    if g < 2 {
+        return fail(
+            "hierarchy-shape",
+            format!("group size must be ≥ 2, got {g}"),
+        );
+    }
+    let expect_len = below.len().div_ceil(g);
+    if level.len() != expect_len {
+        return fail(
+            "hierarchy-shape",
+            format!(
+                "reduced level has {} entries but {} groups of size {g} were expected",
+                level.len(),
+                expect_len
+            ),
+        );
+    }
+    for (i, &v) in level.iter().enumerate() {
+        let group = &below[i * g..((i + 1) * g).min(below.len())];
+        let min = group.iter().copied().fold(f32::INFINITY, f32::min);
+        if v != min {
+            return fail(
+                "hierarchy-min-consistency",
+                format!(
+                    "group {i} (children {}..{}) has minimum {min} but the \
+                     reduced level records {v}",
+                    i * g,
+                    ((i + 1) * g).min(below.len())
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INF: f32 = f32::INFINITY;
+
+    #[test]
+    fn sorted_desc_accepts_ties_and_sentinels() {
+        assert!(audit_sorted_desc(&[INF, INF, 3.0, 3.0, 1.0], "q").is_ok());
+        assert!(audit_sorted_desc(&[], "q").is_ok());
+        let e = audit_sorted_desc(&[3.0, 1.0, 2.0], "lane 5 queue").unwrap_err();
+        assert!(e.detail.contains("lane 5 queue"), "{e}");
+        assert!(e.detail.contains("position 1"), "{e}");
+    }
+
+    #[test]
+    fn level_bounds_match_paper_shape() {
+        // k = 8m: [0,m) [m,2m) [2m,4m) [4m,8m)
+        assert_eq!(
+            merge_level_bounds(64, 8).unwrap(),
+            vec![(0, 8), (8, 16), (16, 32), (32, 64)]
+        );
+        assert_eq!(merge_level_bounds(8, 8).unwrap(), vec![(0, 8)]);
+        assert_eq!(merge_level_bounds(16, 8).unwrap(), vec![(0, 8), (8, 16)]);
+        assert_eq!(
+            merge_level_bounds(24, 8).unwrap_err().invariant,
+            "merge-queue-shape"
+        );
+        assert_eq!(
+            merge_level_bounds(8, 3).unwrap_err().invariant,
+            "merge-queue-shape"
+        );
+    }
+
+    #[test]
+    fn merge_queue_audit_names_the_broken_level() {
+        // 7,6 / 5,4 — valid (Fig. 1b example).
+        assert!(audit_merge_queue(&[7.0, 6.0, 5.0, 4.0], 2).is_ok());
+        // level 1 unsorted
+        let e = audit_merge_queue(&[7.0, 6.0, 4.0, 5.0], 2).unwrap_err();
+        assert_eq!(e.invariant, "merge-queue-level-sorted");
+        assert!(e.detail.contains("level 1"), "{e}");
+        // heads out of order: level 0 head 5 < level 1 head 6
+        let e = audit_merge_queue(&[5.0, 4.0, 6.0, 3.0], 2).unwrap_err();
+        assert_eq!(e.invariant, "merge-queue-heads-decreasing");
+        assert!(e.detail.contains("level 0 head 5"), "{e}");
+    }
+
+    #[test]
+    fn bitonic_pre_post() {
+        assert!(audit_bitonic_merge_pre(&[7.0, 5.0, 4.0, 0.0, 6.0, 3.0, 2.0, 1.0]).is_ok());
+        let e = audit_bitonic_merge_pre(&[7.0, 5.0, 4.0, 0.0, 3.0, 6.0, 2.0, 1.0]).unwrap_err();
+        assert_eq!(e.invariant, "bitonic-merge-precondition");
+        assert!(e.detail.contains("half 1"), "{e}");
+        assert_eq!(
+            audit_bitonic_merge_pre(&[1.0, 2.0, 3.0])
+                .unwrap_err()
+                .invariant,
+            "bitonic-merge-shape"
+        );
+        assert!(audit_bitonic_merge_post(&[4.0, 3.0, 2.0, 2.0]).is_ok());
+        assert!(audit_bitonic_merge_post(&[4.0, 3.0, 3.5]).is_err());
+    }
+
+    #[test]
+    fn flush_order_checks_only_the_filled_prefix() {
+        assert!(audit_flush_sorted(&[1.0, 2.0, 9.0, 0.0], 2).is_ok());
+        let e = audit_flush_sorted(&[2.0, 1.0, 9.0, 0.0], 2).unwrap_err();
+        assert_eq!(e.invariant, "flush-order-ascending");
+        assert_eq!(
+            audit_flush_sorted(&[1.0], 5).unwrap_err().invariant,
+            "flush-fill-level"
+        );
+    }
+
+    #[test]
+    fn heap_audit_names_parent_and_child() {
+        assert!(audit_heap(&[9.0, 7.0, 8.0, 1.0, 6.0]).is_ok());
+        assert!(audit_heap(&[INF, INF, 1.0]).is_ok()); // sentinels
+        let e = audit_heap(&[9.0, 7.0, 8.0, 7.5, 6.0]).unwrap_err();
+        assert_eq!(e.invariant, "heap-parent-dominates");
+        assert!(e.detail.contains("parent at 1"), "{e}");
+        assert!(e.detail.contains("child at 3"), "{e}");
+    }
+
+    #[test]
+    fn hierarchy_audit_detects_stale_minimum() {
+        let below = [5.0, 3.0, 8.0, 1.0, 2.0];
+        assert!(audit_hierarchy_level(&below, &[3.0, 1.0, 2.0], 2).is_ok());
+        // group 1's recorded value is not its minimum
+        let e = audit_hierarchy_level(&below, &[3.0, 8.0, 2.0], 2).unwrap_err();
+        assert_eq!(e.invariant, "hierarchy-min-consistency");
+        assert!(e.detail.contains("group 1"), "{e}");
+        assert!(e.detail.contains("minimum 1"), "{e}");
+        // wrong level length
+        assert_eq!(
+            audit_hierarchy_level(&below, &[3.0, 1.0], 2)
+                .unwrap_err()
+                .invariant,
+            "hierarchy-shape"
+        );
+    }
+}

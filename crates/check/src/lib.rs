@@ -1,0 +1,27 @@
+//! # check — correctness tooling for the k-selection workspace
+//!
+//! The paper's three techniques (Merge Queue, Buffered Search,
+//! Hierarchical Partition) are correct only under subtle invariants:
+//! level-wise sorted order with decreasing heads, warp-synchronous buffer
+//! flushes, bitonic pre/post-conditions, tournament-tree min-consistency.
+//! This crate makes those invariants *mechanically checkable* instead of
+//! eyeballed from fig5 outputs:
+//!
+//! * [`audit`] — pure functions that verify each queue/structure
+//!   invariant over plain slices and return an actionable
+//!   [`audit::AuditError`] naming the level/index/values involved. The
+//!   native queues and the simulated GPU kernels call these from tests
+//!   and, under the workspace `sanitize` feature, at flush/merge
+//!   boundaries.
+//! * [`lint`] — a token-level static scanner enforcing the
+//!   kernel-authoring rules (divergence must be charged, divergent loops
+//!   need `loop_head`, no host-side buffer access inside kernels, no
+//!   wall-clock time, no `unwrap` in kernel hot paths), with an
+//!   allowlist for deliberate exceptions. Run it via `cargo xtask lint`.
+//!
+//! The third layer of the tooling — the intra-warp race sanitizer —
+//! lives in `simt::sanitize` (it must instrument the memory buffers
+//! directly); this crate documents and tests the invariants it guards.
+
+pub mod audit;
+pub mod lint;

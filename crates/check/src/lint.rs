@@ -1,0 +1,723 @@
+//! Token-level kernel-authoring lint.
+//!
+//! Scans the kernel sources (`crates/core/src/gpu/` and
+//! `crates/simt/src/`) for violations of the warp-synchronous authoring
+//! rules that keep the simulator's cost model honest. The scanner is
+//! deliberately token-level — no parser dependency, no macro expansion —
+//! because every rule is expressible over a comment/string-stripped
+//! token stream, and a tool with zero dependencies can run in any CI
+//! container this workspace builds in.
+//!
+//! A **kernel function** is any `fn` whose signature mentions
+//! `&mut WarpCtx` — the execution context through which all simulated
+//! cost must flow. `#[cfg(test)] mod tests` blocks are stripped before
+//! scanning (test harnesses legitimately peek, unwrap and branch
+//! host-side).
+//!
+//! # Rules
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | `charge-divergence` | a kernel that branches on per-lane data (an `if` over `x[l]`, or mask derivation via `.filter(..)`/`.and_lanes(..)`) must charge the context — `ctx.diverge`, `ctx.diverge_mask`, `ctx.ballot` or `ctx.op` |
+//! | `loop-head` | a divergent loop (`while … any_lane() …`) must call `ctx.loop_head(..)` every trip |
+//! | `no-host-access` | kernel code must not reach around the costed buffer APIs via host-side accessors (`.peek(`, `.poke(`, `.lane_vec(`, `.as_slice(`, `.as_mut_slice(`) |
+//! | `no-wall-clock` | kernel sources must not read host time (`std::time`, `Instant`, `SystemTime`) — simulated time comes from the timing model |
+//! | `no-unwrap` | kernel hot paths must not `.unwrap()` / `.expect(` — fail with a diagnostic (`panic!`/`assert!` with context) or handle the case |
+//!
+//! Deliberate exceptions live in an allowlist file (`lint-allow.txt` at
+//! the workspace root): one entry per line, `rule | file-suffix |
+//! line-substring | reason`.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The stable rule identifiers, in reporting order.
+pub const RULES: [&str; 5] = [
+    "charge-divergence",
+    "loop-head",
+    "no-host-access",
+    "no-wall-clock",
+    "no-unwrap",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// File the violation is in (workspace-relative when produced by
+    /// [`lint_tree`]).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// What to do about it.
+    pub message: String,
+    /// The offending source line, verbatim (used for allowlist matching
+    /// and shown in reports).
+    pub line_text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    > {}",
+            self.file,
+            self.line,
+            self.rule,
+            self.message,
+            self.line_text.trim()
+        )
+    }
+}
+
+/// One allowlist entry: suppresses violations of `rule` in files whose
+/// path ends with `file_suffix`, on lines containing `line_substring`.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Rule to suppress (must be one of [`RULES`]).
+    pub rule: String,
+    /// Path suffix the entry applies to.
+    pub file_suffix: String,
+    /// Substring the offending source line must contain.
+    pub line_substring: String,
+    /// Why the exception is deliberate (documentation only).
+    pub reason: String,
+}
+
+/// Parse an allowlist file: `rule | file-suffix | line-substring |
+/// reason` per line; `#` comments and blank lines ignored. Malformed
+/// lines are returned as errors so CI fails loudly instead of silently
+/// allowing everything.
+pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.splitn(4, '|').map(str::trim).collect();
+        if parts.len() < 4 {
+            return Err(format!(
+                "allowlist line {}: expected 'rule | file-suffix | line-substring | reason', got '{line}'",
+                i + 1
+            ));
+        }
+        if !RULES.contains(&parts[0]) {
+            return Err(format!(
+                "allowlist line {}: unknown rule '{}' (known: {})",
+                i + 1,
+                parts[0],
+                RULES.join(", ")
+            ));
+        }
+        entries.push(AllowEntry {
+            rule: parts[0].to_string(),
+            file_suffix: parts[1].to_string(),
+            line_substring: parts[2].to_string(),
+            reason: parts[3].to_string(),
+        });
+    }
+    Ok(entries)
+}
+
+/// Whether `v` is covered by an allowlist entry.
+pub fn is_allowed(v: &Violation, allow: &[AllowEntry]) -> bool {
+    allow.iter().any(|a| {
+        a.rule == v.rule
+            && v.file.ends_with(&a.file_suffix)
+            && v.line_text.contains(&a.line_substring)
+    })
+}
+
+/// Outcome of a lint run over a source tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Violations not covered by the allowlist.
+    pub violations: Vec<Violation>,
+    /// Violations suppressed by allowlist entries.
+    pub suppressed: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint every `.rs` file under `roots` (recursively), filtering through
+/// `allow`. File labels in the report are the paths as given + the
+/// relative walk below them.
+pub fn lint_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for root in roots {
+        let mut files = Vec::new();
+        collect_rs_files(root, &mut files)?;
+        files.sort();
+        for f in files {
+            let src = fs::read_to_string(&f)?;
+            report.files_scanned += 1;
+            for v in lint_source(&f.display().to_string(), &src) {
+                if is_allowed(&v, allow) {
+                    report.suppressed.push(v);
+                } else {
+                    report.violations.push(v);
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint one source file's text. Pure — the unit the fault-injection
+/// tests drive with seeded-violation snippets.
+pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
+    let masked = strip_test_modules(&mask_comments_and_strings(src));
+    let lines: Vec<&str> = src.lines().collect();
+    let line_of = |offset: usize| -> usize { masked[..offset].matches('\n').count() + 1 };
+    let text_of = |line: usize| -> String {
+        lines
+            .get(line - 1)
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+
+    // no-wall-clock applies file-wide (a helper reading host time skews
+    // the model even outside kernel fns).
+    for token in ["std::time", "Instant", "SystemTime"] {
+        for off in find_all(&masked, token) {
+            let line = line_of(off);
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "no-wall-clock",
+                message: format!(
+                    "'{token}' reads host wall-clock time; simulated kernels must \
+                     derive time from the analytic TimingModel only"
+                ),
+                line_text: text_of(line),
+            });
+        }
+    }
+
+    // The remaining rules apply to kernel fn bodies.
+    for kf in kernel_fns(&masked) {
+        let body = &masked[kf.body_start..kf.body_end];
+        let body_off = kf.body_start;
+
+        // no-host-access
+        for token in [
+            ".peek(",
+            ".poke(",
+            ".lane_vec(",
+            ".as_slice(",
+            ".as_mut_slice(",
+        ] {
+            for off in find_all(body, token) {
+                let line = line_of(body_off + off);
+                out.push(Violation {
+                    file: file.to_string(),
+                    line,
+                    rule: "no-host-access",
+                    message: format!(
+                        "kernel fn '{}' uses host-side accessor '{token}' which bypasses \
+                         the costed GlobalBuf/LaneLocal/SharedBuf APIs; route the access \
+                         through ctx-charging reads/writes or move it to a non-kernel helper",
+                        kf.name
+                    ),
+                    line_text: text_of(line),
+                });
+            }
+        }
+
+        // no-unwrap
+        for token in [".unwrap()", ".expect("] {
+            for off in find_all(body, token) {
+                let line = line_of(body_off + off);
+                out.push(Violation {
+                    file: file.to_string(),
+                    line,
+                    rule: "no-unwrap",
+                    message: format!(
+                        "kernel fn '{}' calls '{token}' in a hot path; handle the case or \
+                         fail with a contextual assert/panic message",
+                        kf.name
+                    ),
+                    line_text: text_of(line),
+                });
+            }
+        }
+
+        // loop-head: divergent `while … any_lane() …` loops must charge
+        // a loop_head every trip.
+        for (cond_off, body_range) in while_loops(body) {
+            let cond_end = body[cond_off..]
+                .find('{')
+                .map(|p| cond_off + p)
+                .unwrap_or(body.len());
+            let cond = &body[cond_off..cond_end];
+            if cond.contains("any_lane") {
+                let loop_body = &body[body_range.0..body_range.1];
+                if !loop_body.contains("loop_head(") {
+                    let line = line_of(body_off + cond_off);
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line,
+                        rule: "loop-head",
+                        message: format!(
+                            "kernel fn '{}' has a divergent loop (condition involves \
+                             any_lane) that never calls ctx.loop_head(live); each trip \
+                             must charge the warp-wide loop overhead",
+                            kf.name
+                        ),
+                        line_text: text_of(line),
+                    });
+                }
+            }
+        }
+
+        // charge-divergence: per-lane branching with no cost charged at
+        // all. Mask derivation (`.filter(`, `.and_lanes(`) and `if`
+        // conditions indexing per-lane state (`[l]`, `.get(l)`) count as
+        // branching; `diverge(`, `diverge_mask(`, `ballot(` or `.op(`
+        // anywhere in the fn counts as charging.
+        let branches = body.contains(".filter(")
+            || body.contains(".and_lanes(")
+            || if_conditions(body)
+                .iter()
+                .any(|c| c.contains("[l]") || c.contains(".get(l)"));
+        let charges = body.contains("diverge(")
+            || body.contains("diverge_mask(")
+            || body.contains("ballot(")
+            || body.contains(".op(");
+        if branches && !charges {
+            let line = line_of(kf.sig_start);
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "charge-divergence",
+                message: format!(
+                    "kernel fn '{}' branches on per-lane data but never charges the \
+                     context (no ctx.diverge/diverge_mask/ballot/op); data-dependent \
+                     control flow must be accounted",
+                    kf.name
+                ),
+                line_text: text_of(line),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+struct KernelFn {
+    name: String,
+    sig_start: usize,
+    body_start: usize,
+    body_end: usize,
+}
+
+/// Locate `fn`s whose signature (from `fn` to the opening brace)
+/// mentions `&mut WarpCtx`.
+fn kernel_fns(masked: &str) -> Vec<KernelFn> {
+    let mut out = Vec::new();
+    for off in find_all(masked, "fn ") {
+        // `fn` must be token-initial (not e.g. `lanes_from_fn `).
+        if off > 0 {
+            let prev = masked.as_bytes()[off - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let Some(brace_rel) = masked[off..].find('{') else {
+            continue;
+        };
+        let sig = &masked[off..off + brace_rel];
+        // A `;` before the brace means this was a prototype/different item.
+        if sig.contains(';') || !sig.contains("&mut WarpCtx") {
+            continue;
+        }
+        let name = sig[3..]
+            .split(['(', '<'])
+            .next()
+            .unwrap_or("?")
+            .trim()
+            .to_string();
+        let body_start = off + brace_rel;
+        let Some(body_end) = match_brace(masked, body_start) else {
+            continue;
+        };
+        out.push(KernelFn {
+            name,
+            sig_start: off,
+            body_start,
+            body_end,
+        });
+    }
+    out
+}
+
+/// `while` loops in `text`: returns `(condition_offset, (body_start,
+/// body_end))` pairs.
+fn while_loops(text: &str) -> Vec<(usize, (usize, usize))> {
+    let mut out = Vec::new();
+    for off in find_all(text, "while ") {
+        if off > 0 {
+            let prev = text.as_bytes()[off - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let Some(brace_rel) = text[off..].find('{') else {
+            continue;
+        };
+        let brace = off + brace_rel;
+        if let Some(end) = match_brace(text, brace) {
+            out.push((off + 6, (brace, end)));
+        }
+    }
+    out
+}
+
+/// The condition texts of `if ` expressions in `text` (from `if` to the
+/// opening brace).
+fn if_conditions(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for off in find_all(text, "if ") {
+        if off > 0 {
+            let prev = text.as_bytes()[off - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        if let Some(brace_rel) = text[off..].find('{') {
+            out.push(text[off + 3..off + brace_rel].to_string());
+        }
+    }
+    out
+}
+
+/// Byte offsets of every occurrence of `needle` in `hay`.
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(needle) {
+        out.push(start + p);
+        start += p + needle.len();
+    }
+    out
+}
+
+/// Offset one past the `}` matching the `{` at `open` (which must point
+/// at a `{`). Returns `None` on unbalanced input.
+fn match_brace(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Replace comments and string/char literals with spaces, preserving
+/// newlines so line numbers survive. Handles `//`, `/* */` (nested),
+/// `"…"` with escapes, raw strings `r"…"`/`r#"…"#`, and char literals
+/// (without confusing lifetimes like `&'static`).
+fn mask_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'#') => {
+                // Raw string r"…" / r#"…"# / r##"…"## …
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    out.extend(std::iter::repeat_n(b' ', j + 1 - i));
+                    i = j + 1;
+                    // find closing "###…
+                    'raw: while i < b.len() {
+                        if b[i] == b'"' {
+                            let mut h = 0;
+                            while i + 1 + h < b.len() && b[i + 1 + h] == b'#' && h < hashes {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                out.extend(std::iter::repeat_n(b' ', 1 + hashes));
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.push(b' ');
+                        out.push(blank(b[i + 1]));
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime: '\x' or 'c' followed by a
+                // closing quote is a literal; otherwise a lifetime.
+                let is_char = (i + 2 < b.len() && b[i + 1] == b'\\')
+                    || (i + 2 < b.len() && b[i + 2] == b'\'');
+                if is_char {
+                    out.push(b' ');
+                    i += 1;
+                    if i < b.len() && b[i] == b'\\' {
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                    if i < b.len() && b[i] == b'\'' {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b[i]);
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// Blank out `#[cfg(test)] mod … { … }` blocks (newlines preserved).
+fn strip_test_modules(masked: &str) -> String {
+    let mut out = masked.to_string();
+    for off in find_all(masked, "#[cfg(test)]") {
+        // Next `mod` after the attribute (possibly with more attributes
+        // or whitespace between).
+        let Some(mod_rel) = masked[off..].find("mod ") else {
+            continue;
+        };
+        let Some(brace_rel) = masked[off + mod_rel..].find('{') else {
+            continue;
+        };
+        let brace = off + mod_rel + brace_rel;
+        if let Some(end) = match_brace(masked, brace) {
+            // SAFETY of slicing: all offsets are on byte boundaries of
+            // ASCII structural chars.
+            let blanked: String = masked[off..end]
+                .chars()
+                .map(|c| if c == '\n' { '\n' } else { ' ' })
+                .collect();
+            out.replace_range(off..end, &blanked);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_preserves_lines_and_hides_strings() {
+        let src = "let a = \"std::time\"; // Instant\nlet b = 1;\n";
+        let m = mask_comments_and_strings(src);
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        assert!(!m.contains("std::time"));
+        assert!(!m.contains("Instant"));
+        assert!(m.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_survive_masking() {
+        let src = "fn f<'a>(x: &'a str, c: char) { let y = 'z'; }";
+        let m = mask_comments_and_strings(src);
+        assert!(m.contains("&'a str"), "{m}");
+        assert!(!m.contains('z'), "{m}");
+    }
+
+    #[test]
+    fn test_modules_are_stripped() {
+        let src = "fn live(ctx: &mut WarpCtx) { }\n#[cfg(test)]\nmod tests {\n    fn t(ctx: &mut WarpCtx) { x.unwrap() }\n}\n";
+        let v = lint_source("f.rs", src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn kernel_fn_detection_requires_warpctx() {
+        let src = "fn host(a: usize) { b.unwrap() }\nfn kern(ctx: &mut WarpCtx) { b.unwrap() }\n";
+        let v = lint_source("f.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("'kern'"));
+    }
+
+    #[test]
+    fn wall_clock_flagged_anywhere() {
+        let src = "use std::time::Instant;\nfn host() { let t = Instant::now(); }\n";
+        let v = lint_source("f.rs", src);
+        assert!(v.iter().any(|v| v.rule == "no-wall-clock" && v.line == 1));
+        assert!(v.iter().any(|v| v.rule == "no-wall-clock" && v.line == 2));
+    }
+
+    #[test]
+    fn divergent_loop_without_loop_head_flagged() {
+        let bad = "fn kern(ctx: &mut WarpCtx) {\n    ctx.op(m, 1);\n    while live.any_lane() {\n        step();\n    }\n}\n";
+        let v = lint_source("f.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "loop-head");
+        assert_eq!(v[0].line, 3);
+        let good = bad.replace("step();", "ctx.loop_head(live); step();");
+        assert!(lint_source("f.rs", &good).is_empty());
+    }
+
+    #[test]
+    fn uniform_while_loop_is_fine() {
+        let src = "fn kern(ctx: &mut WarpCtx) {\n    ctx.op(m, 1);\n    while i < n {\n        i += 1;\n    }\n}\n";
+        assert!(lint_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn uncharged_per_lane_branch_flagged() {
+        let bad = "fn kern(ctx: &mut WarpCtx) {\n    for l in m.lanes() {\n        if d[l] < q[l] { out[l] = d[l]; }\n    }\n}\n";
+        let v = lint_source("f.rs", bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "charge-divergence");
+        // charging via ctx.op is enough (branch-free select idiom)
+        let good = bad.replace("for l", "ctx.op(m, 1);\n    for l");
+        assert!(lint_source("f.rs", &good).is_empty());
+    }
+
+    #[test]
+    fn mask_derivation_counts_as_branching() {
+        let bad =
+            "fn kern(ctx: &mut WarpCtx) {\n    let m2 = warp.and_lanes(&pred);\n    go(m2);\n}\n";
+        let v = lint_source("f.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "charge-divergence");
+        let good = bad.replace("go(m2);", "let (t, e) = ctx.diverge_mask(warp, m2); go(t);");
+        assert!(lint_source("f.rs", &good).is_empty());
+    }
+
+    #[test]
+    fn host_accessors_flagged_in_kernels_only() {
+        let bad = "fn kern(ctx: &mut WarpCtx) {\n    let v = buf.peek(3, 0);\n}\n";
+        let v = lint_source("f.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-host-access");
+        assert!(v[0].message.contains(".peek("));
+        let host = "fn extract(buf: &LaneLocal<f32>) -> f32 { buf.peek(3, 0) }\n";
+        assert!(lint_source("f.rs", host).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let src = "fn kern(ctx: &mut WarpCtx) { let m = it.max().unwrap_or(0); }\n";
+        assert!(lint_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let text = "# comment\n\nloop-head | gpu/queues.rs | while next < k | uniform cascade\n";
+        let allow = parse_allowlist(text).unwrap();
+        assert_eq!(allow.len(), 1);
+        let v = Violation {
+            file: "crates/core/src/gpu/queues.rs".into(),
+            line: 1,
+            rule: "loop-head",
+            message: String::new(),
+            line_text: "        while next < k && live.any_lane() {".into(),
+        };
+        assert!(is_allowed(&v, &allow));
+        let other = Violation {
+            rule: "no-unwrap",
+            ..v.clone()
+        };
+        assert!(!is_allowed(&other, &allow));
+        assert!(parse_allowlist("bogus-rule | a | b | c").is_err());
+        assert!(parse_allowlist("loop-head | missing-fields").is_err());
+    }
+}

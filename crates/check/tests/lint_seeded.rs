@@ -1,0 +1,65 @@
+//! End-to-end lint fault-injection: one fixture kernel seeding every
+//! authoring-rule violation at once must trip all five rules, each with
+//! an actionable message naming the rule and the kernel, and the
+//! checked-in workspace allowlist must stay well-formed.
+
+use check::lint::{is_allowed, lint_source, parse_allowlist, RULES};
+
+const SEEDED: &str = r#"
+use std::time::Instant;
+
+fn kernel(ctx: &mut WarpCtx, buf: &GlobalBuf<f32>) {
+    let t = Instant::now();
+    let v = buf.peek(0, 0);
+    let x = opt.unwrap();
+    let m2 = warp.and_lanes(&pred);
+    while live.any_lane() {
+        step(m2);
+    }
+}
+"#;
+
+#[test]
+fn all_five_rules_fire_on_seeded_kernel() {
+    let violations = lint_source("fixture.rs", SEEDED);
+    let fired: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for rule in RULES {
+        assert!(
+            fired.contains(&rule),
+            "rule {rule} missed; fired: {fired:?}"
+        );
+    }
+    for v in &violations {
+        let msg = v.to_string();
+        assert!(msg.contains(v.rule), "{msg}");
+        assert!(msg.contains("fixture.rs"), "{msg}");
+    }
+    // The kernel-body rules name the offending fn.
+    assert!(violations
+        .iter()
+        .filter(|v| v.rule != "no-wall-clock")
+        .all(|v| v.message.contains("'kernel'")));
+}
+
+#[test]
+fn allowlist_suppresses_only_the_named_line() {
+    let allow =
+        parse_allowlist("loop-head | fixture.rs | while live.any_lane() | cost charged inside\n")
+            .unwrap();
+    let violations = lint_source("fixture.rs", SEEDED);
+    let (suppressed, kept): (Vec<_>, Vec<_>) =
+        violations.into_iter().partition(|v| is_allowed(v, &allow));
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].rule, "loop-head");
+    assert!(kept.iter().all(|v| v.rule != "loop-head"));
+    assert!(!kept.is_empty());
+}
+
+#[test]
+fn repo_allowlist_stays_well_formed() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../lint-allow.txt");
+    let text = std::fs::read_to_string(path).expect("lint-allow.txt at workspace root");
+    let entries = parse_allowlist(&text).expect("allowlist must parse");
+    assert_eq!(entries.len(), 2, "update this test when adding entries");
+    assert!(entries.iter().all(|e| !e.reason.is_empty()));
+}

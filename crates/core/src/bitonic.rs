@@ -151,7 +151,11 @@ pub fn reverse_bitonic_merge_stages(n: usize) -> Vec<Vec<Comparator>> {
 /// Execute a comparator schedule in place over parallel `dist`/`id` slices.
 /// Each comparator `(a, b)` swaps both arrays when `dist[a] < dist[b]`.
 pub fn run_schedule(schedule: &[Comparator], dist: &mut [f32], id: &mut [u32]) {
-    debug_assert_eq!(dist.len(), id.len());
+    assert_eq!(
+        dist.len(),
+        id.len(),
+        "run_schedule needs parallel dist/id slices (ids must track values)"
+    );
     for &(a, b) in schedule {
         if dist[a] < dist[b] {
             dist.swap(a, b);
@@ -163,8 +167,16 @@ pub fn run_schedule(schedule: &[Comparator], dist: &mut [f32], id: &mut [u32]) {
 /// In-place Reverse Bitonic Merge (descending) of two same-length
 /// descending runs stored contiguously in `dist`/`id`.
 pub fn reverse_bitonic_merge(dist: &mut [f32], id: &mut [u32]) {
+    #[cfg(feature = "sanitize")]
+    if let Err(e) = check::audit::audit_bitonic_merge_pre(dist) {
+        panic!("sanitize audit: reverse_bitonic_merge input: {e}");
+    }
     let schedule = reverse_bitonic_merge_schedule(dist.len());
     run_schedule(&schedule, dist, id);
+    #[cfg(feature = "sanitize")]
+    if let Err(e) = check::audit::audit_bitonic_merge_post(dist) {
+        panic!("sanitize audit: reverse_bitonic_merge output: {e}");
+    }
 }
 
 /// In-place full bitonic sort, descending.

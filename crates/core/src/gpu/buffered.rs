@@ -100,15 +100,22 @@ impl WarpBuffer {
         }
         let full_pred = lanes_from_fn(|l| self.cur[l] == self.cfg.size);
         if self.cfg.intra_warp {
-            // Shared flag: any full lane raises it; everyone flushes.
+            // Shared flag: any full lane raises it; everyone flushes. The
+            // warp_fence calls are free lockstep markers telling the race
+            // sanitizer that the raise, the warp-wide read and the reset
+            // are ordered by SIMT lockstep rather than racing.
             let raisers = ctx.ballot(warp, &full_pred);
             if raisers.any_lane() {
+                ctx.warp_fence();
                 self.flag.write_broadcast(ctx, raisers, 0, 1);
+                ctx.warp_fence();
             }
             let flag = self.flag.read_broadcast(ctx, warp, 0);
             if flag == 1 {
                 self.flush(ctx, warp, warp, queues);
+                ctx.warp_fence();
                 self.flag.write_broadcast(ctx, warp, 0, 0);
+                ctx.warp_fence();
             }
         } else {
             // Each lane flushes alone when its own buffer fills — a
@@ -183,6 +190,8 @@ impl WarpBuffer {
                 self.ib.write(ctx, participants, &ia, &nja);
                 self.ib.write(ctx, participants, &ib_, &njb);
             }
+            #[cfg(feature = "sanitize")]
+            self.audit_sorted_flush(participants);
         }
         // Drain: slot by slot (uniform index → conflict-free), re-check
         // against the current queue max, insert survivors.
@@ -204,6 +213,23 @@ impl WarpBuffer {
         }
         for l in participants.lanes() {
             self.cur[l] = 0;
+        }
+    }
+
+    /// Host-side audit, run between the local sort and the drain under
+    /// the `sanitize` feature: every participating lane's staged prefix
+    /// must be ascending (Local Sorting's whole point is that the
+    /// smallest candidate is inserted first). Charges no simulated cost;
+    /// panics with the offending lane and the [`check::audit`] diagnosis.
+    #[cfg(feature = "sanitize")]
+    fn audit_sorted_flush(&self, participants: Mask) {
+        for l in participants.lanes() {
+            let vals: Vec<f32> = (0..self.padded)
+                .map(|s| self.db.as_slice()[s * WARP_SIZE + l])
+                .collect();
+            if let Err(e) = check::audit::audit_flush_sorted(&vals, self.cur[l]) {
+                panic!("sanitize audit: lane {l} buffer flush: {e}");
+            }
         }
     }
 }

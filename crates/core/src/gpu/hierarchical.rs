@@ -87,6 +87,7 @@ impl WarpHierarchy {
         g: usize,
         k: usize,
     ) -> Self {
+        ctx.mark("hierarchical::build");
         let sizes = level_sizes(n, g, k);
         let total: usize = sizes.iter().sum();
         let mut offsets = Vec::with_capacity(sizes.len());
@@ -147,7 +148,34 @@ impl WarpHierarchy {
                 debug_assert_eq!(out, h.offsets[li] + h.sizes[li]);
             }
         }
+        #[cfg(feature = "sanitize")]
+        h.audit_levels(warp, dlist, q_base, q_stride);
         h
+    }
+
+    /// Host-side audit of the freshly built pyramid, run under the
+    /// `sanitize` feature: every reduced level must have the tournament
+    /// shape (`ceil(|below| / G)` entries) and each entry must be the
+    /// exact minimum of its child group. Charges no simulated cost;
+    /// panics with the offending lane/level and the [`check::audit`]
+    /// diagnosis.
+    #[cfg(feature = "sanitize")]
+    fn audit_levels(&self, warp: Mask, dlist: &GlobalBuf<f32>, q_base: usize, q_stride: usize) {
+        for l in warp.lanes() {
+            for li in 0..self.sizes.len() {
+                let below: Vec<f32> = if li == 0 {
+                    (0..self.n)
+                        .map(|e| dlist.as_slice()[e * q_stride + q_base + l])
+                        .collect()
+                } else {
+                    self.peek_level(l, li - 1)
+                };
+                let level = self.peek_level(l, li);
+                if let Err(e) = check::audit::audit_hierarchy_level(&below, &level, self.g) {
+                    panic!("sanitize audit: lane {l} hierarchy level {li}: {e}");
+                }
+            }
+        }
     }
 
     /// Number of reduced levels.
@@ -202,6 +230,7 @@ impl WarpHierarchy {
         mut buffer: Option<&mut WarpBuffer>,
         stash: &mut ChildStash,
     ) {
+        ctx.mark("hierarchical::top_down");
         let k = queues.k();
         assert!(stash.capacity() >= self.g * k, "stash too small");
         if self.depth() == 0 {

@@ -156,11 +156,19 @@ impl WarpQueues {
             return;
         }
         match self.kind {
-            QueueKind::Insertion => self.insertion_insert(ctx, ins, dist, id, self.k),
-            QueueKind::Heap => self.heap_insert(ctx, ins, dist, id),
+            QueueKind::Insertion => {
+                ctx.mark("queues::insertion_insert");
+                self.insertion_insert(ctx, ins, dist, id, self.k);
+            }
+            QueueKind::Heap => {
+                ctx.mark("queues::heap_insert");
+                self.heap_insert(ctx, ins, dist, id);
+            }
             QueueKind::Merge => {
                 // Flat insert into level 0, then lazy repair.
+                ctx.mark("queues::merge_insert");
                 self.insertion_insert(ctx, ins, dist, id, self.m.min(self.k));
+                ctx.mark("queues::merge_repair");
                 self.merge_repair(ctx, warp, ins);
             }
         }
@@ -170,6 +178,28 @@ impl WarpQueues {
         let head = self.dq.read_uniform(ctx, warp, 0);
         for l in warp.lanes() {
             self.qmax[l] = head[l];
+        }
+        #[cfg(feature = "sanitize")]
+        self.audit_lanes(warp);
+    }
+
+    /// Host-side invariant audit of every live lane's queue, run after
+    /// each insert under the `sanitize` feature. Charges no simulated
+    /// cost (it inspects state the way a debugger would) and panics with
+    /// the offending lane and the [`check::audit`] diagnosis.
+    #[cfg(feature = "sanitize")]
+    fn audit_lanes(&self, warp: Mask) {
+        use check::audit;
+        for l in warp.lanes() {
+            let vals: Vec<f32> = (0..self.k).map(|i| self.dq.peek(l, i)).collect();
+            let res = match self.kind {
+                QueueKind::Insertion => audit::audit_sorted_desc(&vals, "insertion queue"),
+                QueueKind::Heap => audit::audit_heap(&vals),
+                QueueKind::Merge => audit::audit_merge_queue(&vals, self.m),
+            };
+            if let Err(e) = res {
+                panic!("sanitize audit: lane {l} {} queue: {e}", self.kind);
+            }
         }
     }
 
@@ -298,10 +328,15 @@ impl WarpQueues {
             };
             if self.aligned {
                 // Intra-warp communication: any lane raises the shared
-                // flag; everyone reads it and merges together.
+                // flag; everyone reads it and merges together. The
+                // warp_fence calls are free lockstep markers that tell
+                // the race sanitizer the flag write and the subsequent
+                // warp-wide read are ordered by SIMT lockstep, not racing.
                 let raisers = ctx.ballot(live, &need);
+                ctx.warp_fence();
                 self.flag
                     .write_broadcast(ctx, raisers, 0, u32::from(raisers.any_lane()));
+                ctx.warp_fence();
                 let flag = self.flag.read_broadcast(ctx, live, 0);
                 #[cfg(feature = "trace")]
                 {
@@ -312,7 +347,9 @@ impl WarpQueues {
                 }
                 self.run_merge(ctx, live, 2 * next);
                 // Reset the flag for the next level check.
+                ctx.warp_fence();
                 self.flag.write_broadcast(ctx, live, 0, 0);
+                ctx.warp_fence();
             } else {
                 let (merge_m, _) = ctx.diverge(live, need);
                 if !merge_m.any_lane() {

@@ -153,6 +153,7 @@ fn warp_kernel(
     dm: &DistanceMatrix,
     cfg: &SelectConfig,
 ) -> (Vec<Vec<Neighbor>>, Metrics, super::KernelCounters) {
+    ctx.mark("select::warp_kernel");
     let q_base = warp_id * WARP_SIZE;
     let lanes_live = dm.q().saturating_sub(q_base).min(WARP_SIZE);
     let warp = Mask::first(lanes_live);
@@ -162,6 +163,7 @@ fn warp_kernel(
 
     match cfg.hp {
         None => {
+            ctx.mark("select::scan");
             for e in 0..dm.n() {
                 let idx = lanes_from_fn(|l| e * dm.q() + (q_base + l).min(dm.q() - 1));
                 let d = dm.buf.read(ctx, warp, &idx);

@@ -45,13 +45,17 @@ impl<S: UpdateSink> HeapQueue<S> {
         (contents, self.sink)
     }
 
+    /// Full invariant audit with an actionable diagnosis naming the
+    /// offending parent/child positions and values on failure.
+    pub fn audit(&self) -> Result<(), check::audit::AuditError> {
+        check::audit::audit_heap(&self.dist)
+    }
+
     /// Check the max-heap invariant (every parent ≥ its children).
-    /// Exposed for tests and property checks.
+    /// Exposed for tests and property checks; see [`Self::audit`] for
+    /// the diagnosing variant.
     pub fn is_valid_heap(&self) -> bool {
-        (1..self.dist.len()).all(|i| {
-            let parent = self.dist[(i - 1) / 2];
-            parent >= self.dist[i] || parent.is_nan()
-        })
+        self.audit().is_ok()
     }
 }
 
@@ -95,6 +99,10 @@ impl<S: UpdateSink> KQueue for HeapQueue<S> {
         self.dist[pos] = dist;
         self.id[pos] = id;
         self.sink.record(pos);
+        #[cfg(feature = "sanitize")]
+        if let Err(e) = self.audit() {
+            panic!("sanitize audit: HeapQueue after offer({dist}, {id}): {e}");
+        }
         true
     }
 

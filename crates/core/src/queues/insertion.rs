@@ -52,6 +52,12 @@ impl<S: UpdateSink> InsertionQueue<S> {
     pub fn dists(&self) -> &[f32] {
         &self.dist
     }
+
+    /// Full invariant audit (sorted decreasing) with an actionable
+    /// diagnosis naming the offending positions and values on failure.
+    pub fn audit(&self) -> Result<(), check::audit::AuditError> {
+        check::audit::audit_sorted_desc(&self.dist, "insertion queue")
+    }
 }
 
 impl<S: UpdateSink> KQueue for InsertionQueue<S> {
@@ -81,6 +87,10 @@ impl<S: UpdateSink> KQueue for InsertionQueue<S> {
         self.dist[i - 1] = dist;
         self.id[i - 1] = id;
         self.sink.record(i - 1);
+        #[cfg(feature = "sanitize")]
+        if let Err(e) = self.audit() {
+            panic!("sanitize audit: InsertionQueue after offer({dist}, {id}): {e}");
+        }
         true
     }
 

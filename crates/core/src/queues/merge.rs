@@ -119,18 +119,18 @@ impl<S: UpdateSink> MergeQueue<S> {
         offs
     }
 
+    /// Full invariant audit — each level sorted decreasing, level heads
+    /// decreasing top-to-bottom — with an actionable diagnosis naming the
+    /// offending level and positions on failure.
+    pub fn audit(&self) -> Result<(), check::audit::AuditError> {
+        check::audit::audit_merge_queue(&self.dist, self.m)
+    }
+
     /// Verify the Merge Queue invariant: each level sorted decreasing and
-    /// level heads decreasing top-to-bottom. Exposed for tests.
+    /// level heads decreasing top-to-bottom. Exposed for tests; see
+    /// [`Self::audit`] for the diagnosing variant.
     pub fn invariant_holds(&self) -> bool {
-        let offs = self.level_offsets();
-        let k = self.dist.len();
-        for (li, &start) in offs.iter().enumerate() {
-            let end = offs.get(li + 1).copied().unwrap_or(k);
-            if !self.dist[start..end].windows(2).all(|w| w[0] >= w[1]) {
-                return false;
-            }
-        }
-        offs.windows(2).all(|w| self.dist[w[0]] >= self.dist[w[1]])
+        self.audit().is_ok()
     }
 
     /// Decompose into `(contents, sink)`.
@@ -202,6 +202,10 @@ impl<S: UpdateSink> KQueue for MergeQueue<S> {
             self.merge_prefix(2 * next);
             prev = next;
             next *= 2;
+        }
+        #[cfg(feature = "sanitize")]
+        if let Err(e) = self.audit() {
+            panic!("sanitize audit: MergeQueue after offer({dist}, {id}): {e}");
         }
         true
     }

@@ -63,6 +63,19 @@
 //!   divergence model. For the reproduced algorithms (structured control
 //!   flow only) the two coincide.
 //!
+//! ## Correctness tooling
+//!
+//! The warp-synchronous style relies on implicit lockstep ordering that
+//! is easy to break silently. Building with the **`sanitize`** feature
+//! turns on the [`sanitize`] intra-warp race detector: every
+//! [`mem`]-buffer access is logged into epochs delimited by
+//! [`WarpCtx::sync`], [`WarpCtx::loop_head`] and the free lockstep
+//! marker [`WarpCtx::warp_fence`], and cross-lane same-word conflicts
+//! within an epoch fail with a report naming the span, lanes and
+//! address. Without the feature every hook compiles to nothing — the
+//! hot paths and metrics are bit-for-bit identical to an
+//! unsanitized build.
+//!
 //! ## Writing a kernel
 //!
 //! ```
@@ -93,6 +106,8 @@ pub mod mask;
 pub mod mem;
 pub mod metrics;
 pub mod report;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod spec;
 pub mod timing;
 #[cfg(feature = "trace")]

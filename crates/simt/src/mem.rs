@@ -68,10 +68,79 @@ fn count_bank_replays(ctx: &WarpCtx, mask: Mask, word_idxs: &Lanes<usize>) -> u6
     u64::from(max_replays.max(1))
 }
 
+/// Panic when a shared access exceeds the configured bank-replay limit,
+/// naming the hot bank and the conflicting lanes (sanitize-only check;
+/// see [`WarpCtx::set_bank_conflict_limit`]).
+#[cfg(feature = "sanitize")]
+fn enforce_bank_limit(ctx: &WarpCtx, mask: Mask, idxs: &Lanes<usize>, replays: u64) {
+    if let Some(limit) = ctx.bank_conflict_limit() {
+        if replays > limit {
+            let detail = describe_bank_conflict(ctx.shared_banks() as usize, mask, idxs)
+                .unwrap_or_else(|| "no single bank dominates".to_string());
+            panic!(
+                "simt sanitizer: shared-memory access cost {replays} bank replays \
+                 (limit {limit}): {detail}"
+            );
+        }
+    }
+}
+
+/// Describe the hottest bank of one shared-memory warp access: the bank
+/// index, the distinct words that map to it, and which active lanes hit
+/// it. Returns `None` when the access is conflict-free (at most one
+/// distinct word per bank). Used by the `sanitize` bank-conflict limit
+/// and available to tests/reports that want to explain a replay count.
+pub fn describe_bank_conflict(
+    banks: usize,
+    mask: Mask,
+    word_idxs: &Lanes<usize>,
+) -> Option<String> {
+    let banks = banks.max(1);
+    // Find the bank with the most distinct words (the replay bottleneck).
+    let mut words = [0usize; WARP_SIZE];
+    let mut n_words = 0usize;
+    let mut per_bank = [0u32; WARP_SIZE];
+    let mut hot_bank = 0usize;
+    let mut hot_count = 0u32;
+    for l in mask.lanes() {
+        let w = word_idxs[l];
+        if !words[..n_words].contains(&w) {
+            words[n_words] = w;
+            n_words += 1;
+            let slot = (w % banks) % WARP_SIZE;
+            per_bank[slot] += 1;
+            if per_bank[slot] > hot_count {
+                hot_count = per_bank[slot];
+                hot_bank = slot;
+            }
+        }
+    }
+    if hot_count <= 1 {
+        return None;
+    }
+    let mut lanes: Vec<String> = Vec::new();
+    let mut hot_words: Vec<usize> = Vec::new();
+    for l in mask.lanes() {
+        let w = word_idxs[l];
+        if (w % banks) % WARP_SIZE == hot_bank {
+            lanes.push(format!("lane {l} (word {w})"));
+            if !hot_words.contains(&w) {
+                hot_words.push(w);
+            }
+        }
+    }
+    Some(format!(
+        "bank {hot_bank} serialises {hot_count} distinct words {hot_words:?} requested by {}",
+        lanes.join(", ")
+    ))
+}
+
 /// Device global memory: a flat, typed buffer visible to every warp.
 #[derive(Clone, Debug)]
 pub struct GlobalBuf<T> {
     data: Vec<T>,
+    #[cfg(feature = "sanitize")]
+    sid: u64,
 }
 
 impl<T: Copy + Default> GlobalBuf<T> {
@@ -79,13 +148,19 @@ impl<T: Copy + Default> GlobalBuf<T> {
     pub fn new(len: usize) -> Self {
         GlobalBuf {
             data: vec![T::default(); len],
+            #[cfg(feature = "sanitize")]
+            sid: crate::sanitize::fresh_buf_id(),
         }
     }
 
     /// Wrap host data (models a host→device upload; the transfer itself is
     /// costed separately by the PCIe model, not here).
     pub fn from_vec(data: Vec<T>) -> Self {
-        GlobalBuf { data }
+        GlobalBuf {
+            data,
+            #[cfg(feature = "sanitize")]
+            sid: crate::sanitize::fresh_buf_id(),
+        }
     }
 
     /// Number of elements.
@@ -120,6 +195,11 @@ impl<T: Copy + Default> GlobalBuf<T> {
         let addrs: Lanes<u64> = core::array::from_fn(|l| idxs[l] as u64 * esz);
         let tx = count_transactions(ctx, mask, &addrs);
         ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        #[cfg(feature = "sanitize")]
+        for l in mask.lanes() {
+            use crate::sanitize::{AccessKind, MemSpace};
+            ctx.san_access(MemSpace::Global, self.sid, idxs[l], l, AccessKind::Read);
+        }
         let mut out = splat(T::default());
         for l in mask.lanes() {
             out[l] = self.data[idxs[l]];
@@ -129,12 +209,18 @@ impl<T: Copy + Default> GlobalBuf<T> {
 
     /// Warp-wide scatter: each active lane `l` writes `vals[l]` to element
     /// `idxs[l]`. Writing the same element from two active lanes is a race
-    /// on real hardware; here the highest lane wins (documented, tested).
+    /// on real hardware; here the highest lane wins (documented, tested) —
+    /// and flagged by the `sanitize` race detector.
     pub fn write(&mut self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>, vals: &Lanes<T>) {
         let esz = core::mem::size_of::<T>() as u64;
         let addrs: Lanes<u64> = core::array::from_fn(|l| idxs[l] as u64 * esz);
         let tx = count_transactions(ctx, mask, &addrs);
         ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        #[cfg(feature = "sanitize")]
+        for l in mask.lanes() {
+            use crate::sanitize::{AccessKind, MemSpace};
+            ctx.san_access(MemSpace::Global, self.sid, idxs[l], l, AccessKind::Write);
+        }
         for l in mask.lanes() {
             self.data[idxs[l]] = vals[l];
         }
@@ -145,6 +231,11 @@ impl<T: Copy + Default> GlobalBuf<T> {
     pub fn read_broadcast(&self, ctx: &mut WarpCtx, mask: Mask, idx: usize) -> T {
         let esz = core::mem::size_of::<T>() as u64;
         ctx.record_global(mask, 1, esz);
+        #[cfg(feature = "sanitize")]
+        for l in mask.lanes() {
+            use crate::sanitize::{AccessKind, MemSpace};
+            ctx.san_access(MemSpace::Global, self.sid, idx, l, AccessKind::Read);
+        }
         self.data[idx]
     }
 }
@@ -159,6 +250,8 @@ impl<T: Copy + Default> GlobalBuf<T> {
 pub struct LaneLocal<T> {
     data: Vec<T>,
     len_per_lane: usize,
+    #[cfg(feature = "sanitize")]
+    sid: u64,
 }
 
 impl<T: Copy + Default> LaneLocal<T> {
@@ -167,6 +260,8 @@ impl<T: Copy + Default> LaneLocal<T> {
         LaneLocal {
             data: vec![init; len_per_lane * WARP_SIZE],
             len_per_lane,
+            #[cfg(feature = "sanitize")]
+            sid: crate::sanitize::fresh_buf_id(),
         }
     }
 
@@ -192,6 +287,17 @@ impl<T: Copy + Default> LaneLocal<T> {
             core::array::from_fn(|l| self.phys(l, idxs[l].min(self.len_per_lane - 1)) as u64 * esz);
         let tx = count_transactions(ctx, mask, &addrs);
         ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        #[cfg(feature = "sanitize")]
+        for l in mask.lanes() {
+            use crate::sanitize::{AccessKind, MemSpace};
+            ctx.san_access(
+                MemSpace::LaneLocal,
+                self.sid,
+                self.phys(l, idxs[l]),
+                l,
+                AccessKind::Read,
+            );
+        }
         let mut out = splat(T::default());
         for l in mask.lanes() {
             out[l] = self.data[self.phys(l, idxs[l])];
@@ -213,6 +319,17 @@ impl<T: Copy + Default> LaneLocal<T> {
             core::array::from_fn(|l| self.phys(l, idxs[l].min(self.len_per_lane - 1)) as u64 * esz);
         let tx = count_transactions(ctx, mask, &addrs);
         ctx.record_global(mask, tx, mask.count() as u64 * esz);
+        #[cfg(feature = "sanitize")]
+        for l in mask.lanes() {
+            use crate::sanitize::{AccessKind, MemSpace};
+            ctx.san_access(
+                MemSpace::LaneLocal,
+                self.sid,
+                self.phys(l, idxs[l]),
+                l,
+                AccessKind::Write,
+            );
+        }
         for l in mask.lanes() {
             let p = self.phys(l, idxs[l]);
             self.data[p] = vals[l];
@@ -246,6 +363,8 @@ impl<T: Copy + Default> LaneLocal<T> {
 #[derive(Clone, Debug)]
 pub struct SharedBuf<T> {
     data: Vec<T>,
+    #[cfg(feature = "sanitize")]
+    sid: u64,
 }
 
 impl<T: Copy + Default> SharedBuf<T> {
@@ -253,6 +372,8 @@ impl<T: Copy + Default> SharedBuf<T> {
     pub fn new(len: usize) -> Self {
         SharedBuf {
             data: vec![T::default(); len],
+            #[cfg(feature = "sanitize")]
+            sid: crate::sanitize::fresh_buf_id(),
         }
     }
 
@@ -270,6 +391,14 @@ impl<T: Copy + Default> SharedBuf<T> {
     pub fn read(&self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>) -> Lanes<T> {
         let replays = count_bank_replays(ctx, mask, idxs);
         ctx.record_shared(mask, replays);
+        #[cfg(feature = "sanitize")]
+        {
+            enforce_bank_limit(ctx, mask, idxs, replays);
+            for l in mask.lanes() {
+                use crate::sanitize::{AccessKind, MemSpace};
+                ctx.san_access(MemSpace::Shared, self.sid, idxs[l], l, AccessKind::Read);
+            }
+        }
         let mut out = splat(T::default());
         for l in mask.lanes() {
             out[l] = self.data[idxs[l]];
@@ -280,10 +409,18 @@ impl<T: Copy + Default> SharedBuf<T> {
     /// Warp-wide write with bank-conflict accounting. If several active
     /// lanes write the same word, the highest lane wins (matches CUDA's
     /// "one writer succeeds, which one is undefined" — we make it
-    /// deterministic).
+    /// deterministic) — and the `sanitize` race detector flags it.
     pub fn write(&mut self, ctx: &mut WarpCtx, mask: Mask, idxs: &Lanes<usize>, vals: &Lanes<T>) {
         let replays = count_bank_replays(ctx, mask, idxs);
         ctx.record_shared(mask, replays);
+        #[cfg(feature = "sanitize")]
+        {
+            enforce_bank_limit(ctx, mask, idxs, replays);
+            for l in mask.lanes() {
+                use crate::sanitize::{AccessKind, MemSpace};
+                ctx.san_access(MemSpace::Shared, self.sid, idxs[l], l, AccessKind::Write);
+            }
+        }
         for l in mask.lanes() {
             self.data[idxs[l]] = vals[l];
         }
@@ -292,13 +429,33 @@ impl<T: Copy + Default> SharedBuf<T> {
     /// Broadcast read: all active lanes read word `idx` (one cycle).
     pub fn read_broadcast(&self, ctx: &mut WarpCtx, mask: Mask, idx: usize) -> T {
         ctx.record_shared(mask, 1);
+        #[cfg(feature = "sanitize")]
+        for l in mask.lanes() {
+            use crate::sanitize::{AccessKind, MemSpace};
+            ctx.san_access(MemSpace::Shared, self.sid, idx, l, AccessKind::Read);
+        }
         self.data[idx]
     }
 
-    /// One lane (or several, racing deterministically) sets word `idx`.
+    /// One lane (or several, cooperating on the same value) sets word
+    /// `idx`. Logged to the race detector as a single write by the lowest
+    /// active lane: a multi-lane broadcast of one uniform value is the
+    /// intended warp-cooperative idiom, not a race.
     pub fn write_broadcast(&mut self, ctx: &mut WarpCtx, mask: Mask, idx: usize, val: T) {
         ctx.record_shared(mask, 1);
         if mask.any_lane() {
+            #[cfg(feature = "sanitize")]
+            {
+                use crate::sanitize::{AccessKind, MemSpace};
+                let rep = mask.lanes().next().unwrap_or(0);
+                ctx.san_access(
+                    MemSpace::Shared,
+                    self.sid,
+                    idx,
+                    rep,
+                    AccessKind::BroadcastWrite,
+                );
+            }
             self.data[idx] = val;
         }
     }
@@ -371,9 +528,22 @@ mod tests {
     fn global_write_last_lane_wins() {
         let mut buf = GlobalBuf::<u32>::from_vec(vec![0; 4]);
         let mut c = ctx();
+        // This is a deliberate intra-warp write-write race (the behaviour
+        // under test is the deterministic highest-lane-wins resolution);
+        // under `sanitize` we record rather than panic, and assert the
+        // detector saw it.
+        #[cfg(feature = "sanitize")]
+        c.set_race_policy(crate::sanitize::RacePolicy::Record);
         let vals = lanes_from_fn(|l| l as u32);
         buf.write(&mut c, Mask::full(), &splat(2), &vals);
         assert_eq!(buf.as_slice()[2], 31);
+        #[cfg(feature = "sanitize")]
+        {
+            let races = c.take_race_reports();
+            assert_eq!(races.len(), 1, "one deduped report for the racy word");
+            assert_eq!(races[0].kind, crate::sanitize::RaceKind::WriteWrite);
+            assert_eq!(races[0].word, 2);
+        }
     }
 
     #[test]
@@ -447,12 +617,81 @@ mod tests {
     #[test]
     fn shared_flag_pattern() {
         // The paper's intra-warp communication flag: one lane raises it,
-        // all lanes read it.
+        // all lanes read it. The `warp_fence` marks the implicit lockstep
+        // ordering between raise and read; it charges nothing, so the
+        // metrics are identical with or without `sanitize`.
         let mut flag = SharedBuf::<u32>::new(1);
         let mut c = ctx();
         flag.write_broadcast(&mut c, Mask::single(13), 0, 1);
+        c.warp_fence();
         let v = flag.read_broadcast(&mut c, Mask::full(), 0);
         assert_eq!(v, 1);
         assert_eq!(c.metrics().shared_accesses, 2);
+    }
+
+    #[test]
+    fn bank_conflict_detail_names_lanes_and_bank() {
+        // Words 0 and 32 both live in bank 0 → two distinct words there.
+        let idx = lanes_from_fn(|l| if l % 2 == 0 { 0 } else { 32 });
+        let msg = describe_bank_conflict(32, Mask::first(4), &idx)
+            .expect("conflicting access must be described");
+        assert!(msg.contains("bank 0"), "names the hot bank: {msg}");
+        assert!(msg.contains("lane 1 (word 32)"), "names a lane+word: {msg}");
+        assert!(msg.contains("[0, 32]"), "lists the serialised words: {msg}");
+        // Conflict-free access has nothing to describe.
+        assert!(describe_bank_conflict(32, Mask::full(), &lanes_from_fn(|l| l)).is_none());
+        assert!(describe_bank_conflict(32, Mask::full(), &splat(7)).is_none());
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn bank_conflict_limit_panics_with_detail() {
+        let buf = SharedBuf::<u32>::new(64);
+        let mut c = ctx();
+        c.set_bank_conflict_limit(Some(1));
+        let idx = lanes_from_fn(|l| if l % 2 == 0 { 0 } else { 32 });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            buf.read(&mut c, Mask::full(), &idx);
+        }))
+        .expect_err("2-replay access over a limit of 1 must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("2 bank replays"), "{msg}");
+        assert!(msg.contains("bank 0"), "{msg}");
+        assert!(msg.contains("lane 1"), "{msg}");
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn unfenced_shared_flag_is_reported() {
+        // The same flag protocol as `shared_flag_pattern` but *without*
+        // the fence: writer lane 13 and a different reader lane conflict.
+        let mut flag = SharedBuf::<u32>::new(1);
+        let mut c = ctx();
+        c.set_race_policy(crate::sanitize::RacePolicy::Record);
+        flag.write_broadcast(&mut c, Mask::single(13), 0, 1);
+        flag.read_broadcast(&mut c, Mask::full(), 0);
+        let races = c.take_race_reports();
+        assert_eq!(races.len(), 1);
+        assert_eq!(races[0].kind, crate::sanitize::RaceKind::ReadWrite);
+        assert_eq!(races[0].first_lane, 13);
+        let text = races[0].to_string();
+        assert!(
+            text.contains("warp_fence"),
+            "report suggests the fix: {text}"
+        );
+    }
+
+    #[cfg(feature = "sanitize")]
+    #[test]
+    fn lane_local_cross_lane_conflict_impossible() {
+        // The stride-32 interleave means lanes can never touch the same
+        // physical word: divergent traffic stays race-free by construction.
+        let mut buf = LaneLocal::<u32>::new(8, 0);
+        let mut c = ctx();
+        let idx = lanes_from_fn(|l| l % 8);
+        let vals = lanes_from_fn(|l| l as u32);
+        buf.write(&mut c, Mask::full(), &idx, &vals);
+        buf.read(&mut c, Mask::full(), &lanes_from_fn(|l| (l + 1) % 8));
+        assert!(c.race_reports().is_empty());
     }
 }

@@ -1,0 +1,358 @@
+//! Intra-warp race sanitizer (compiled only under the `sanitize` feature).
+//!
+//! The kernels in this workspace are written in the *warp-synchronous*
+//! style the paper's Fermi testbed allowed: lanes of a warp execute in
+//! lockstep, so a value one lane writes to shared memory is visible to
+//! every other lane at the next instruction — **provided the kernel
+//! really is lockstep at that point**. The Aligned Merge shared flag and
+//! the Buffered Search flush handshake both lean on this assumption, and
+//! both break silently if a sync point is dropped (exactly the class of
+//! bug Faiss's WarpSelect and RTop-K attribute their hairiest debugging
+//! to).
+//!
+//! This module makes the assumption checkable. Execution is divided into
+//! **epochs**: a new epoch starts at every warp barrier —
+//! [`crate::WarpCtx::sync`], [`crate::WarpCtx::loop_head`], or the free
+//! lockstep marker [`crate::WarpCtx::warp_fence`]. Every access the
+//! [`crate::mem`] buffers service is logged `(buffer, word, lane, kind)`,
+//! and two accesses to the same word by *different lanes within one
+//! epoch* where at least one is a write constitute a race:
+//!
+//! * **write–write** — two lanes store to the same word with no barrier
+//!   between them; on real hardware which value survives is undefined.
+//! * **read–write** — one lane reads a word another lane wrote (or
+//!   writes a word another lane read) inside the same epoch; the reader
+//!   may observe either the old or the new value.
+//!
+//! [`crate::mem::SharedBuf::write_broadcast`] is the sanctioned
+//! *cooperative* store (several lanes deliberately publishing one
+//! uniform value); its writers do not conflict with each other, but the
+//! published word still conflicts with reads or other writes in the same
+//! epoch — which is precisely how a missing sync before a shared-flag
+//! read is caught.
+//!
+//! Reports name the kernel span (set via [`crate::WarpCtx::mark`]), the
+//! lanes, the memory space, the buffer and the word, and suggest the
+//! fix. The default [`RacePolicy::Panic`] fails loudly like
+//! `cuda-memcheck --tool racecheck`; tests that *expect* a race switch
+//! to [`RacePolicy::Record`] and inspect
+//! [`crate::WarpCtx::race_reports`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Memory space an access touched (for reports).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device global memory ([`crate::mem::GlobalBuf`]).
+    Global,
+    /// Per-warp shared memory ([`crate::mem::SharedBuf`]).
+    Shared,
+    /// Interleaved per-thread local memory ([`crate::mem::LaneLocal`]).
+    LaneLocal,
+}
+
+impl core::fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemSpace::Global => write!(f, "global"),
+            MemSpace::Shared => write!(f, "shared"),
+            MemSpace::LaneLocal => write!(f, "lane-local"),
+        }
+    }
+}
+
+/// What kind of access is being logged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A lane-scoped load.
+    Read,
+    /// A lane-scoped store.
+    Write,
+    /// A cooperative store of one uniform value
+    /// ([`crate::mem::SharedBuf::write_broadcast`]): participating lanes
+    /// do not conflict with each other.
+    BroadcastWrite,
+}
+
+/// The flavour of conflict detected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RaceKind {
+    /// Two lanes wrote the same word within one epoch.
+    WriteWrite,
+    /// One lane read a word another lane wrote within one epoch (either
+    /// order — both mean the reader's value is timing-dependent).
+    ReadWrite,
+}
+
+impl core::fmt::Display for RaceKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RaceKind::WriteWrite => write!(f, "write-write"),
+            RaceKind::ReadWrite => write!(f, "read-write"),
+        }
+    }
+}
+
+/// One detected intra-warp race.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// Conflict flavour.
+    pub kind: RaceKind,
+    /// Memory space of the conflicting word.
+    pub space: MemSpace,
+    /// Identity of the buffer (allocation order within the process).
+    pub buf_id: u64,
+    /// Word index within the buffer.
+    pub word: usize,
+    /// The lane whose earlier access is part of the conflict.
+    pub first_lane: usize,
+    /// The lane whose later access completed the conflict.
+    pub second_lane: usize,
+    /// Whether the later access was a write (else it was a read).
+    pub second_is_write: bool,
+    /// Kernel span active when the conflict surfaced
+    /// (see [`crate::WarpCtx::mark`]).
+    pub span: &'static str,
+    /// Epoch in which both accesses fell.
+    pub epoch: u64,
+}
+
+impl core::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let (first_verb, second_verb) = match (self.kind, self.second_is_write) {
+            (RaceKind::WriteWrite, _) => ("wrote", "wrote"),
+            (RaceKind::ReadWrite, true) => ("read", "wrote"),
+            (RaceKind::ReadWrite, false) => ("wrote", "read"),
+        };
+        write!(
+            f,
+            "simt sanitizer: {} race in span '{}': lane {} {} {} buffer #{} word {} \
+             and lane {} {} it within the same warp-synchronous epoch ({}); \
+             separate the accesses with ctx.warp_fence() (free lockstep marker) \
+             or ctx.sync()",
+            self.kind,
+            self.span,
+            self.first_lane,
+            first_verb,
+            self.space,
+            self.buf_id,
+            self.word,
+            self.second_lane,
+            second_verb,
+            self.epoch,
+        )
+    }
+}
+
+/// What to do when a race is detected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RacePolicy {
+    /// Panic immediately with the full report (default — fail like
+    /// `cuda-memcheck`).
+    #[default]
+    Panic,
+    /// Collect reports for later inspection via
+    /// [`crate::WarpCtx::race_reports`] (for tests that seed violations).
+    Record,
+}
+
+/// Per-word access state within the current epoch.
+#[derive(Clone, Debug, Default)]
+struct WordState {
+    /// Epoch the state belongs to; stale states are lazily reset.
+    epoch: u64,
+    /// Lanes that wrote the word this epoch.
+    writers: u32,
+    /// Lanes that read the word this epoch.
+    readers: u32,
+    /// A conflict on this word was already reported this epoch
+    /// (dedup: one actionable report per word per epoch, not 31).
+    reported: bool,
+}
+
+/// The per-warp race detector owned by [`crate::WarpCtx`].
+#[derive(Clone, Debug)]
+pub(crate) struct Sanitizer {
+    epoch: u64,
+    span: &'static str,
+    policy: RacePolicy,
+    races: Vec<RaceReport>,
+    log: HashMap<(MemSpace, u64, usize), WordState>,
+}
+
+impl Default for Sanitizer {
+    fn default() -> Self {
+        Sanitizer {
+            epoch: 0,
+            span: "<unmarked kernel>",
+            policy: RacePolicy::default(),
+            races: Vec::new(),
+            log: HashMap::new(),
+        }
+    }
+}
+
+impl Sanitizer {
+    /// Close the current epoch: subsequent accesses no longer conflict
+    /// with anything logged before this point.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Label subsequent reports with a kernel span name.
+    pub(crate) fn mark(&mut self, span: &'static str) {
+        self.span = span;
+    }
+
+    pub(crate) fn set_policy(&mut self, policy: RacePolicy) {
+        self.policy = policy;
+    }
+
+    pub(crate) fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    pub(crate) fn take_races(&mut self) -> Vec<RaceReport> {
+        core::mem::take(&mut self.races)
+    }
+
+    /// Log one lane's access and flag conflicts. `broadcast` writers are
+    /// cooperative: they do not conflict with *other writers of the same
+    /// call* — the caller models that by passing only the representative
+    /// (lowest) participating lane.
+    pub(crate) fn access(
+        &mut self,
+        space: MemSpace,
+        buf_id: u64,
+        word: usize,
+        lane: usize,
+        kind: AccessKind,
+    ) {
+        let epoch = self.epoch;
+        let st = self.log.entry((space, buf_id, word)).or_default();
+        if st.epoch != epoch {
+            *st = WordState {
+                epoch,
+                ..WordState::default()
+            };
+        }
+        let me = 1u32 << lane;
+        let conflict = match kind {
+            AccessKind::Read => {
+                // Reading a word some *other* lane wrote this epoch.
+                (st.writers & !me != 0).then(|| {
+                    let first = (st.writers & !me).trailing_zeros() as usize;
+                    (RaceKind::ReadWrite, first, false)
+                })
+            }
+            AccessKind::Write | AccessKind::BroadcastWrite => {
+                if st.writers & !me != 0 {
+                    let first = (st.writers & !me).trailing_zeros() as usize;
+                    Some((RaceKind::WriteWrite, first, true))
+                } else if st.readers & !me != 0 {
+                    let first = (st.readers & !me).trailing_zeros() as usize;
+                    Some((RaceKind::ReadWrite, first, true))
+                } else {
+                    None
+                }
+            }
+        };
+        match kind {
+            AccessKind::Read => st.readers |= me,
+            AccessKind::Write | AccessKind::BroadcastWrite => st.writers |= me,
+        }
+        if let Some((race_kind, first_lane, second_is_write)) = conflict {
+            if st.reported {
+                return;
+            }
+            st.reported = true;
+            let report = RaceReport {
+                kind: race_kind,
+                space,
+                buf_id,
+                word,
+                first_lane,
+                second_lane: lane,
+                second_is_write,
+                span: self.span,
+                epoch,
+            };
+            match self.policy {
+                RacePolicy::Panic => panic!("{report}"),
+                RacePolicy::Record => self.races.push(report),
+            }
+        }
+    }
+}
+
+static NEXT_BUF_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Allocate a process-unique buffer identity for race reports.
+pub(crate) fn fresh_buf_id() -> u64 {
+    NEXT_BUF_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_lane_never_conflicts() {
+        let mut s = Sanitizer::default();
+        s.set_policy(RacePolicy::Record);
+        s.access(MemSpace::Shared, 0, 3, 5, AccessKind::Write);
+        s.access(MemSpace::Shared, 0, 3, 5, AccessKind::Read);
+        s.access(MemSpace::Shared, 0, 3, 5, AccessKind::Write);
+        assert!(s.races().is_empty());
+    }
+
+    #[test]
+    fn cross_lane_ww_detected_and_deduped() {
+        let mut s = Sanitizer::default();
+        s.set_policy(RacePolicy::Record);
+        s.access(MemSpace::Global, 1, 2, 0, AccessKind::Write);
+        s.access(MemSpace::Global, 1, 2, 7, AccessKind::Write);
+        s.access(MemSpace::Global, 1, 2, 9, AccessKind::Write);
+        assert_eq!(s.races().len(), 1, "one report per word per epoch");
+        let r = &s.races()[0];
+        assert_eq!(r.kind, RaceKind::WriteWrite);
+        assert_eq!((r.first_lane, r.second_lane), (0, 7));
+    }
+
+    #[test]
+    fn epoch_bump_clears_conflicts() {
+        let mut s = Sanitizer::default();
+        s.set_policy(RacePolicy::Record);
+        s.access(MemSpace::Shared, 0, 0, 3, AccessKind::Write);
+        s.bump_epoch();
+        s.access(MemSpace::Shared, 0, 0, 8, AccessKind::Read);
+        assert!(s.races().is_empty(), "barrier separates the accesses");
+    }
+
+    #[test]
+    fn read_then_write_conflicts() {
+        let mut s = Sanitizer::default();
+        s.set_policy(RacePolicy::Record);
+        s.access(MemSpace::Shared, 0, 0, 3, AccessKind::Read);
+        s.access(MemSpace::Shared, 0, 0, 4, AccessKind::Write);
+        assert_eq!(s.races().len(), 1);
+        assert_eq!(s.races()[0].kind, RaceKind::ReadWrite);
+        assert!(s.races()[0].second_is_write);
+    }
+
+    #[test]
+    fn report_message_names_lanes_word_and_span() {
+        let mut s = Sanitizer::default();
+        s.set_policy(RacePolicy::Record);
+        s.mark("test::span");
+        s.access(MemSpace::Shared, 4, 17, 2, AccessKind::Write);
+        s.access(MemSpace::Shared, 4, 17, 11, AccessKind::Read);
+        let msg = s.races()[0].to_string();
+        assert!(msg.contains("lane 2"), "{msg}");
+        assert!(msg.contains("lane 11"), "{msg}");
+        assert!(msg.contains("word 17"), "{msg}");
+        assert!(msg.contains("test::span"), "{msg}");
+        assert!(msg.contains("warp_fence"), "{msg}");
+    }
+}

@@ -30,6 +30,10 @@ pub struct WarpCtx {
     metrics: Metrics,
     transaction_bytes: u64,
     shared_banks: u32,
+    #[cfg(feature = "sanitize")]
+    san: crate::sanitize::Sanitizer,
+    #[cfg(feature = "sanitize")]
+    bank_conflict_limit: Option<u64>,
 }
 
 impl WarpCtx {
@@ -40,6 +44,10 @@ impl WarpCtx {
             metrics: Metrics::new(),
             transaction_bytes,
             shared_banks,
+            #[cfg(feature = "sanitize")]
+            san: crate::sanitize::Sanitizer::default(),
+            #[cfg(feature = "sanitize")]
+            bank_conflict_limit: None,
         }
     }
 
@@ -103,10 +111,14 @@ impl WarpCtx {
     /// Charge one trip of a divergent loop executing under `loop_mask`
     /// while the warp as a whole (entered under `entry_mask`) must keep
     /// iterating. Call once per iteration with the lanes still live.
+    /// A loop head is a warp-wide reconvergence point, so under the
+    /// `sanitize` feature it also closes the race-detection epoch.
     #[inline]
     pub fn loop_head(&mut self, live: Mask) {
         self.op(live, 1); // loop-condition evaluation
         self.metrics.loop_trips += 1;
+        #[cfg(feature = "sanitize")]
+        self.san.bump_epoch();
     }
 
     /// Warp vote `__any(pred)`: true if any active lane's predicate holds.
@@ -158,10 +170,39 @@ impl WarpCtx {
     }
 
     /// Charge a warp-level synchronization (barrier / memory fence).
+    /// Under the `sanitize` feature this also closes the race-detection
+    /// epoch: accesses before and after a `sync` never conflict.
     #[inline]
     pub fn sync(&mut self) {
         self.metrics.issued += 1;
         self.metrics.lane_work += crate::WARP_SIZE as u64;
+        #[cfg(feature = "sanitize")]
+        self.san.bump_epoch();
+    }
+
+    /// Mark a point where warp-lockstep execution already orders memory
+    /// accesses (the implicit warp-synchronous barrier of pre-Volta SIMT
+    /// hardware, where every instruction is a warp-wide reconvergence
+    /// point). **Free**: unlike [`WarpCtx::sync`] it charges nothing —
+    /// the modelled machine pays no instruction for it. Kernels place it
+    /// between the producer and consumer halves of intra-warp protocols
+    /// (shared-flag raise → read, buffer publish → drain) so the
+    /// `sanitize` race detector knows the ordering is intentional; a
+    /// protocol *without* a fence is exactly the "works by luck" pattern
+    /// the sanitizer exists to catch.
+    #[inline]
+    pub fn warp_fence(&mut self) {
+        #[cfg(feature = "sanitize")]
+        self.san.bump_epoch();
+    }
+
+    /// Label subsequent sanitizer reports with a kernel span name, e.g.
+    /// `ctx.mark("gpu::queues::merge_repair")`. No-op (and zero-cost)
+    /// without the `sanitize` feature.
+    #[inline]
+    pub fn mark(&mut self, _span: &'static str) {
+        #[cfg(feature = "sanitize")]
+        self.san.mark(_span);
     }
 
     /// Current metrics (read-only view).
@@ -181,6 +222,53 @@ impl WarpCtx {
     #[inline]
     pub fn into_metrics(self) -> Metrics {
         self.metrics
+    }
+}
+
+/// Race-sanitizer controls, available only with the `sanitize` feature.
+#[cfg(feature = "sanitize")]
+impl WarpCtx {
+    /// Choose whether detected races panic (default) or are recorded for
+    /// inspection via [`WarpCtx::race_reports`].
+    pub fn set_race_policy(&mut self, policy: crate::sanitize::RacePolicy) {
+        self.san.set_policy(policy);
+    }
+
+    /// Races recorded so far (only populated under
+    /// [`crate::sanitize::RacePolicy::Record`]).
+    pub fn race_reports(&self) -> &[crate::sanitize::RaceReport] {
+        self.san.races()
+    }
+
+    /// Drain the recorded races.
+    pub fn take_race_reports(&mut self) -> Vec<crate::sanitize::RaceReport> {
+        self.san.take_races()
+    }
+
+    /// Panic when a single shared-memory access costs more than `limit`
+    /// bank replays, with a report naming the hot bank and the
+    /// conflicting lanes. `None` (default) disables the check.
+    pub fn set_bank_conflict_limit(&mut self, limit: Option<u64>) {
+        self.bank_conflict_limit = limit;
+    }
+
+    /// The configured bank-replay panic threshold.
+    pub fn bank_conflict_limit(&self) -> Option<u64> {
+        self.bank_conflict_limit
+    }
+
+    /// Log one lane's access for race detection (called by the
+    /// [`crate::mem`] buffers).
+    #[inline]
+    pub(crate) fn san_access(
+        &mut self,
+        space: crate::sanitize::MemSpace,
+        buf_id: u64,
+        word: usize,
+        lane: usize,
+        kind: crate::sanitize::AccessKind,
+    ) {
+        self.san.access(space, buf_id, word, lane, kind);
     }
 }
 

@@ -1,0 +1,98 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the kernel-authoring lint ([`check::lint`]) over the
+//!   simulated-kernel sources (`crates/core/src/gpu/` and
+//!   `crates/simt/src/`), filtered through the `lint-allow.txt`
+//!   allowlist at the workspace root. Exits non-zero on any
+//!   non-allowlisted violation; CI runs this on every push.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use check::lint::{lint_tree, parse_allowlist, AllowEntry};
+
+/// Directories the lint scans, relative to the workspace root. Kernel
+/// code lives here; host-side crates (knn, baselines, trace) are free to
+/// use wall-clock time and unwrap.
+const SCAN_ROOTS: [&str; 2] = ["crates/core/src/gpu", "crates/simt/src"];
+
+const ALLOWLIST: &str = "lint-allow.txt";
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--verbose" || a == "-v")),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand '{other}'");
+            eprintln!("usage: cargo xtask lint [--verbose]");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--verbose]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(verbose: bool) -> ExitCode {
+    let root = workspace_root();
+    let allow: Vec<AllowEntry> = match std::fs::read_to_string(root.join(ALLOWLIST)) {
+        Ok(text) => match parse_allowlist(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(_) => Vec::new(), // no allowlist file: nothing is exempt
+    };
+    let roots: Vec<PathBuf> = SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
+    let root_refs: Vec<&Path> = roots.iter().map(PathBuf::as_path).collect();
+    let report = match lint_tree(&root_refs, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan kernel sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if verbose {
+        for v in &report.suppressed {
+            println!("allowed: {}:{} [{}]", v.file, v.line, v.rule);
+        }
+    }
+    for v in &report.violations {
+        // Print paths relative to the workspace root so they are stable
+        // across machines and clickable in CI logs.
+        let mut v = v.clone();
+        if let Ok(rel) = Path::new(&v.file).strip_prefix(&root) {
+            v.file = rel.display().to_string();
+        }
+        eprintln!("{v}\n");
+    }
+    println!(
+        "kernel lint: {} files scanned, {} violations, {} allowlisted",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "error: kernel-authoring violations found; fix them or add a \
+             justified entry to {ALLOWLIST} (see CONTRIBUTING.md)"
+        );
+        ExitCode::FAILURE
+    }
+}

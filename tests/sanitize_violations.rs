@@ -1,0 +1,176 @@
+//! Fault-injection tests for the queue-invariant auditor: each test
+//! corrupts one structure invariant host-side (`poke`, the simulated
+//! debugger) and asserts the next kernel step aborts with a report
+//! naming the offending lane and invariant. A final test runs the full
+//! optimized pipeline under `sanitize` to prove the audits are free of
+//! false positives.
+//!
+//! Requires `--features sanitize`; without it the audits compile out.
+#![cfg(feature = "sanitize")]
+
+use std::panic::catch_unwind;
+
+use gpu_kselect::kselect::bitonic::reverse_bitonic_merge;
+use gpu_kselect::kselect::buffered::BufferConfig;
+use gpu_kselect::kselect::gpu::{gpu_select_k, DistanceMatrix, WarpQueues};
+use gpu_kselect::kselect::hierarchical::HpConfig;
+use gpu_kselect::prelude::*;
+use gpu_kselect::simt::{lanes_from_fn, splat, Mask, WarpCtx, WARP_SIZE};
+use rand::{Rng, SeedableRng};
+
+fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let payload = catch_unwind(f).expect_err("seeded violation must abort");
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload must be a message")
+}
+
+/// Seeded violation 1 — a Merge Queue level loses its sorted order: the
+/// audit after the next insert must name the lane, the level and the
+/// out-of-order positions.
+#[test]
+fn merge_queue_unsorted_level_detected_with_lane() {
+    let msg = panic_message(|| {
+        let mut c = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let mut q = WarpQueues::new(QueueKind::Merge, 16, 8, false);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let streams: Vec<Vec<f32>> = (0..WARP_SIZE)
+            .map(|_| (0..60).map(|_| rng.gen()).collect())
+            .collect();
+        #[allow(clippy::needless_range_loop)] // `e` also feeds `splat(e as u32)` ids
+        for e in 0..60 {
+            let d = lanes_from_fn(|l| streams[l][e]);
+            let pred = lanes_from_fn(|l| d[l] < q.qmax[l]);
+            let (ins, _) = c.diverge(warp, pred);
+            q.insert(&mut c, warp, ins, &d, &splat(e as u32));
+        }
+        // Corrupt lane 7's level 1 ([8, 16)): slot 9 above slot 8.
+        let bad = q.dq.peek(7, 8) + 1.0;
+        q.dq.poke(7, 9, bad);
+        // Next accepted insert; values chosen above each lane's level-1
+        // head so the lazy repair stays dormant and cannot mask the
+        // corruption.
+        let v = lanes_from_fn(|l| {
+            let head = q.dq.peek(l, 0);
+            let second = q.dq.peek(l, 1).max(q.dq.peek(l, 8));
+            (head + second) / 2.0
+        });
+        let pred = lanes_from_fn(|l| v[l] < q.qmax[l]);
+        let (ins, _) = c.diverge(warp, pred);
+        q.insert(&mut c, warp, ins, &v, &splat(999));
+    });
+    assert!(msg.contains("lane 7"), "{msg}");
+    assert!(msg.contains("merge-queue-level-sorted"), "{msg}");
+}
+
+/// Seeded violation 2 — the insertion queue's sorted-decreasing order is
+/// broken mid-array.
+#[test]
+fn insertion_queue_out_of_order_detected_with_lane() {
+    let msg = panic_message(|| {
+        let mut c = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let mut q = WarpQueues::new(QueueKind::Insertion, 8, 8, false);
+        for (e, d) in [0.9f32, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2]
+            .into_iter()
+            .enumerate()
+        {
+            q.insert(&mut c, warp, warp, &splat(d), &splat(e as u32));
+        }
+        // Corrupt lane 7: slot 3 above slot 2.
+        q.dq.poke(7, 3, q.dq.peek(7, 2) + 0.5);
+        let v = splat(0.05f32);
+        let pred = lanes_from_fn(|l| v[l] < q.qmax[l]);
+        let (ins, _) = c.diverge(warp, pred);
+        q.insert(&mut c, warp, ins, &v, &splat(999));
+    });
+    assert!(msg.contains("lane 7"), "{msg}");
+    assert!(msg.contains("sorted-decreasing"), "{msg}");
+}
+
+/// Seeded violation 3 — a heap node larger than its parent, planted off
+/// the sift path so the next insert cannot accidentally repair it.
+#[test]
+fn heap_parent_violation_detected_with_lane() {
+    let msg = panic_message(|| {
+        let mut c = WarpCtx::new(128, 32);
+        let warp = Mask::full();
+        let mut q = WarpQueues::new(QueueKind::Heap, 7, 8, false);
+        for (e, d) in [0.9f32, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3]
+            .into_iter()
+            .enumerate()
+        {
+            q.insert(&mut c, warp, warp, &splat(d), &splat(e as u32));
+        }
+        // Lane 7: leaf 5 dominates its parent 2; node 1 is made the
+        // largest child so the next sift descends the other subtree.
+        q.dq.poke(7, 5, 2.0);
+        q.dq.poke(7, 1, 3.0);
+        let v = splat(0.1f32);
+        let pred = lanes_from_fn(|l| v[l] < q.qmax[l]);
+        let (ins, _) = c.diverge(warp, pred);
+        q.insert(&mut c, warp, ins, &v, &splat(999));
+    });
+    assert!(msg.contains("lane 7"), "{msg}");
+    assert!(msg.contains("heap-parent-dominates"), "{msg}");
+}
+
+/// Seeded violation 4 — the Reverse Bitonic Merge fed halves that are
+/// not descending (its precondition).
+#[test]
+fn bitonic_merge_precondition_violation_detected() {
+    let msg = panic_message(|| {
+        let mut d = vec![1.0f32, 3.0, 2.0, 0.0]; // first half ascending
+        let mut i = vec![0u32; 4];
+        reverse_bitonic_merge(&mut d, &mut i);
+    });
+    assert!(msg.contains("bitonic-merge-precondition"), "{msg}");
+}
+
+/// Seeded violation 5 — native MergeQueue audit surfaces the overdue
+/// repair when its contents are forged out of order.
+#[test]
+fn native_merge_queue_audit_names_level() {
+    // The public constructor keeps the invariant, so audit the error
+    // type directly through the check crate with a forged layout.
+    let forged = [0.9f32, 0.8, 0.7, 0.6, 0.95, 0.5, 0.4, 0.3]; // head 4 > head 0
+    let err = check::audit::audit_merge_queue(&forged, 4).unwrap_err();
+    assert_eq!(err.invariant, "merge-queue-heads-decreasing");
+    assert!(err.to_string().contains("repair merge is overdue"), "{err}");
+}
+
+/// The full optimized pipeline — Merge Queue + aligned repairs +
+/// sorted intra-warp buffering + Hierarchical Partition — must run
+/// clean under the sanitizer: no races, no invariant violations.
+#[test]
+fn optimized_pipeline_clean_under_sanitizer() {
+    let spec = GpuSpec::tesla_c2075();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(321);
+    let rows: Vec<Vec<f32>> = (0..70)
+        .map(|_| (0..600).map(|_| rng.gen()).collect())
+        .collect();
+    let dm = DistanceMatrix::from_rows(&rows);
+    let cfg = SelectConfig {
+        k: 16,
+        queue: QueueKind::Merge,
+        m: 8,
+        aligned: true,
+        buffer: Some(BufferConfig {
+            size: 8,
+            sorted: true,
+            intra_warp: true,
+        }),
+        hp: Some(HpConfig::default()),
+    };
+    let res = gpu_select_k(&spec, &dm, &cfg);
+    for (q, row) in rows.iter().enumerate() {
+        let got: Vec<f32> = res.neighbors[q].iter().map(|n| n.dist).collect();
+        let mut expect = row.clone();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        expect.truncate(16);
+        assert_eq!(got, expect, "query {q}");
+    }
+}
