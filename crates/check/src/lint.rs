@@ -23,6 +23,7 @@
 //! | `no-host-access` | kernel code must not reach around the costed buffer APIs via host-side accessors (`.peek(`, `.poke(`, `.lane_vec(`, `.as_slice(`, `.as_mut_slice(`) |
 //! | `no-wall-clock` | kernel sources must not read host time (`std::time`, `Instant`, `SystemTime`) — simulated time comes from the timing model |
 //! | `no-unwrap` | kernel hot paths must not `.unwrap()` / `.expect(` — fail with a diagnostic (`panic!`/`assert!` with context) or handle the case |
+//! | `no-unwrap-io` | host-side I/O and parse paths (see [`lint_host_source`], applied to user-facing crates like the CLI) must not `.unwrap()` / `.expect(` anywhere outside tests — user input failures must surface as typed errors and exit codes, not panics |
 //!
 //! Deliberate exceptions live in an allowlist file (`lint-allow.txt` at
 //! the workspace root): one entry per line, `rule | file-suffix |
@@ -34,12 +35,13 @@ use std::io;
 use std::path::Path;
 
 /// The stable rule identifiers, in reporting order.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "charge-divergence",
     "loop-head",
     "no-host-access",
     "no-wall-clock",
     "no-unwrap",
+    "no-unwrap-io",
 ];
 
 /// One lint finding.
@@ -143,10 +145,24 @@ pub struct LintReport {
     pub files_scanned: usize,
 }
 
-/// Lint every `.rs` file under `roots` (recursively), filtering through
-/// `allow`. File labels in the report are the paths as given + the
-/// relative walk below them.
+/// Lint every `.rs` file under `roots` (recursively) with the kernel
+/// rules, filtering through `allow`. File labels in the report are the
+/// paths as given + the relative walk below them.
 pub fn lint_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport> {
+    lint_tree_with(roots, allow, lint_source)
+}
+
+/// [`lint_tree`], but applying the host-path rules
+/// ([`lint_host_source`]) instead of the kernel rules.
+pub fn lint_host_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport> {
+    lint_tree_with(roots, allow, lint_host_source)
+}
+
+fn lint_tree_with(
+    roots: &[&Path],
+    allow: &[AllowEntry],
+    lint: fn(&str, &str) -> Vec<Violation>,
+) -> io::Result<LintReport> {
     let mut report = LintReport::default();
     for root in roots {
         let mut files = Vec::new();
@@ -155,7 +171,7 @@ pub fn lint_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport
         for f in files {
             let src = fs::read_to_string(&f)?;
             report.files_scanned += 1;
-            for v in lint_source(&f.display().to_string(), &src) {
+            for v in lint(&f.display().to_string(), &src) {
                 if is_allowed(&v, allow) {
                     report.suppressed.push(v);
                 } else {
@@ -324,6 +340,42 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lint one *host-side* source file: in user-facing crates every
+/// `.unwrap()` / `.expect(` outside `#[cfg(test)]` modules is a
+/// `no-unwrap-io` violation — file loads, argument parsing and
+/// serialization must turn failures into typed errors and exit codes,
+/// never panics. Pure, like [`lint_source`].
+pub fn lint_host_source(file: &str, src: &str) -> Vec<Violation> {
+    let masked = strip_test_modules(&mask_comments_and_strings(src));
+    let lines: Vec<&str> = src.lines().collect();
+    let line_of = |offset: usize| -> usize { masked[..offset].matches('\n').count() + 1 };
+    let text_of = |line: usize| -> String {
+        lines
+            .get(line - 1)
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    for token in [".unwrap()", ".expect("] {
+        for off in find_all(&masked, token) {
+            let line = line_of(off);
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                rule: "no-unwrap-io",
+                message: format!(
+                    "'{token}' on a host I/O/parse path panics on bad user input; \
+                     return a typed error (KnnError / io::Error) and a nonzero exit \
+                     code instead"
+                ),
+                line_text: text_of(line),
+            });
+        }
+    }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
 }
@@ -697,6 +749,21 @@ mod tests {
     fn unwrap_or_is_not_unwrap() {
         let src = "fn kern(ctx: &mut WarpCtx) { let m = it.max().unwrap_or(0); }\n";
         assert!(lint_source("f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn host_lint_flags_every_unwrap_outside_tests() {
+        let src = "fn load(p: &Path) -> Vec<u8> {\n    std::fs::read(p).unwrap()\n}\nfn parse(s: &str) -> usize {\n    s.parse().expect(\"number\")\n}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let v = lint_host_source("cli/src/io.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "no-unwrap-io"));
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 5);
+        // unlike the kernel rule, no WarpCtx signature is required
+        assert!(lint_source("cli/src/io.rs", src).is_empty());
+        // unwrap_or / unwrap_or_else / unwrap_or_default are handling, not panicking
+        let ok = "fn f() { let v = it.next().unwrap_or(0); let w = g().unwrap_or_else(h); }\n";
+        assert!(lint_host_source("f.rs", ok).is_empty());
     }
 
     #[test]

@@ -51,6 +51,25 @@ pub enum Command {
         trace_out: Option<PathBuf>,
         jsonl_out: Option<PathBuf>,
     },
+    /// `faults --n N --k K [--queries Q] [--queue Q] [--seeds S]
+    /// [--seed BASE] [--aborts R] [--hangs R] [--bitflips R]
+    /// [--pcie-stall R] [--pcie-corrupt R] [--attempts A]` — run seeded
+    /// fault campaigns through the resilient pipeline and check every
+    /// delivered result against the fault-free oracle.
+    Faults {
+        n: usize,
+        k: usize,
+        queries: usize,
+        queue: QueueKind,
+        seeds: u64,
+        seed: u64,
+        aborts: f64,
+        hangs: f64,
+        bitflips: f64,
+        pcie_stall: f64,
+        pcie_corrupt: f64,
+        attempts: u32,
+    },
     /// `--help`
     Help,
 }
@@ -150,6 +169,36 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             trace_out: flags.get("trace-out").map(PathBuf::from),
             jsonl_out: flags.get("jsonl-out").map(PathBuf::from),
         }),
+        "faults" => {
+            let get_or = |k: &str, default: f64| -> Result<f64, String> {
+                flags
+                    .get(k)
+                    .map(|s| s.parse().map_err(|_| format!("--{k} must be a number")))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let get_u64_or = |k: &str, default: u64| -> Result<u64, String> {
+                flags
+                    .get(k)
+                    .map(|s| s.parse().map_err(|_| format!("--{k} must be an integer")))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Faults {
+                n: get_usize("n")?,
+                k: get_usize("k")?,
+                queries: get_u64_or("queries", 64)? as usize,
+                queue: queue(&flags)?,
+                seeds: get_u64_or("seeds", 4)?,
+                seed: get_u64_or("seed", 1)?,
+                aborts: get_or("aborts", 0.2)?,
+                hangs: get_or("hangs", 0.1)?,
+                bitflips: get_or("bitflips", 1e-4)?,
+                pcie_stall: get_or("pcie-stall", 0.1)?,
+                pcie_corrupt: get_or("pcie-corrupt", 0.05)?,
+                attempts: get_u64_or("attempts", 6)? as u32,
+            })
+        }
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command: {other}")),
     }
@@ -168,11 +217,22 @@ USAGE:
   knn-cli simulate --n N --k K [--queue merge|heap|insertion]
   knn-cli profile  --n N --k K [--queries Q] [--queue merge|heap|insertion]
                    [--trace-out trace.json] [--jsonl-out trace.jsonl]
+  knn-cli faults   --n N --k K [--queries Q] [--queue merge|heap|insertion]
+                   [--seeds S] [--seed BASE] [--aborts R] [--hangs R]
+                   [--bitflips R] [--pcie-stall R] [--pcie-corrupt R]
+                   [--attempts A]
   knn-cli help
 
 `profile` runs the simulated pipeline with tracing on and prints a
 profile over *simulated* time; --trace-out writes a Chrome-trace JSON
 loadable in ui.perfetto.dev or chrome://tracing.
+
+`faults` injects a deterministic fault campaign (kernel aborts, hangs,
+DRAM bit flips, PCIe stalls/corruption) per seed and checks every
+delivered result against the fault-free oracle. Kernel faults need a
+binary built with `--features fault`; PCIe-only campaigns (--aborts 0
+--hangs 0 --bitflips 0) work in any build. Exit codes: 0 clean, 1 on
+error (e.g. faults-not-compiled), 2 on silent corruption.
 ";
 
 #[cfg(test)]
@@ -320,6 +380,75 @@ mod tests {
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn faults_parses_with_defaults_and_overrides() {
+        let c = parse(&v(&["faults", "--n", "1000", "--k", "16"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Faults {
+                n: 1000,
+                k: 16,
+                queries: 64,
+                queue: QueueKind::Merge,
+                seeds: 4,
+                seed: 1,
+                aborts: 0.2,
+                hangs: 0.1,
+                bitflips: 1e-4,
+                pcie_stall: 0.1,
+                pcie_corrupt: 0.05,
+                attempts: 6,
+            }
+        );
+        let c = parse(&v(&[
+            "faults",
+            "--n",
+            "500",
+            "--k",
+            "8",
+            "--seeds",
+            "2",
+            "--seed",
+            "9",
+            "--aborts",
+            "0",
+            "--hangs",
+            "0",
+            "--bitflips",
+            "0",
+            "--pcie-stall",
+            "0.5",
+            "--pcie-corrupt",
+            "0.25",
+            "--attempts",
+            "3",
+            "--queue",
+            "heap",
+        ]))
+        .unwrap();
+        match c {
+            Command::Faults {
+                seeds,
+                seed,
+                aborts,
+                pcie_stall,
+                attempts,
+                queue,
+                ..
+            } => {
+                assert_eq!(seeds, 2);
+                assert_eq!(seed, 9);
+                assert_eq!(aborts, 0.0);
+                assert_eq!(pcie_stall, 0.5);
+                assert_eq!(attempts, 3);
+                assert_eq!(queue, QueueKind::Heap);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&v(&["faults", "--k", "16"])).is_err());
+        assert!(parse(&v(&["faults", "--n", "10", "--k", "2", "--aborts", "lots"])).is_err());
     }
 
     #[test]

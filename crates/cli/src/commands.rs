@@ -2,9 +2,9 @@
 
 use std::time::Instant;
 
-use knn::{knn_search_with, PointSet};
-use kselect::gpu::{gpu_select_k, DistanceMatrix};
-use kselect::{select_k, QueueKind, SelectConfig};
+use knn::{knn_search_with, validate_points, PointSet};
+use kselect::gpu::{gpu_select_k, DistanceMatrix, GpuResilience};
+use kselect::{select_k, KnnError, QueueKind, SelectConfig};
 use rand::{Rng, SeedableRng};
 use simt::TimingModel;
 
@@ -81,9 +81,16 @@ pub fn run(cmd: Command) -> i32 {
                     return 1;
                 }
             };
-            if k > refs.len() {
-                eprintln!("error: k = {k} exceeds {} references", refs.len());
+            if k == 0 || k > refs.len() {
+                let e = KnnError::InvalidK { k, n: refs.len() };
+                eprintln!("error: {}: {e}", e.name());
                 return 1;
+            }
+            for (pts, label) in [(&queries, "query"), (&refs, "reference")] {
+                if let Err(e) = validate_points(pts, label) {
+                    eprintln!("error: {}: {e}", e.name());
+                    return 1;
+                }
             }
             let cfg = SelectConfig::optimized(queue, padded_k(queue, k));
             let t0 = Instant::now();
@@ -97,7 +104,13 @@ pub fn run(cmd: Command) -> i32 {
                     .iter()
                     .map(|r| r.iter().map(|n| (n.id, n.dist)).collect())
                     .collect();
-                println!("{}", serde_json::to_string(&rows).unwrap());
+                match serde_json::to_string(&rows) {
+                    Ok(s) => println!("{s}"),
+                    Err(e) => {
+                        eprintln!("error serializing results: {e}");
+                        return 1;
+                    }
+                }
             } else {
                 println!(
                     "{} queries × {} refs (dim {dim}, {metric:?}, {queue:?}) in {:.1} ms",
@@ -201,7 +214,146 @@ pub fn run(cmd: Command) -> i32 {
             }
             0
         }
+        Command::Faults {
+            n,
+            k,
+            queries,
+            queue,
+            seeds,
+            seed,
+            aborts,
+            hangs,
+            bitflips,
+            pcie_stall,
+            pcie_corrupt,
+            attempts,
+        } => run_faults(FaultArgs {
+            n,
+            k,
+            queries,
+            queue,
+            seeds,
+            seed,
+            aborts,
+            hangs,
+            bitflips,
+            pcie_stall,
+            pcie_corrupt,
+            attempts,
+        }),
     }
+}
+
+struct FaultArgs {
+    n: usize,
+    k: usize,
+    queries: usize,
+    queue: QueueKind,
+    seeds: u64,
+    seed: u64,
+    aborts: f64,
+    hangs: f64,
+    bitflips: f64,
+    pcie_stall: f64,
+    pcie_corrupt: f64,
+    attempts: u32,
+}
+
+/// Run one deterministic fault campaign per seed and check every
+/// delivered result against the fault-free oracle. Exit 0: every
+/// campaign recovered or failed loudly. Exit 1: a named error (e.g.
+/// `faults-not-compiled` for kernel faults in a default build). Exit 2:
+/// silent corruption — a delivered result disagreed with the oracle,
+/// which the resilience layer promises never happens.
+fn run_faults(a: FaultArgs) -> i32 {
+    const DIM: usize = 16;
+    let refs = PointSet::uniform(a.n, DIM, 11);
+    let qs = PointSet::uniform(a.queries, DIM, 12);
+    let tm = TimingModel::tesla_c2075();
+    let cfg = SelectConfig::optimized(a.queue, padded_k(a.queue, a.k));
+    let oracle = knn::gpu_knn(&tm, &qs, &refs, &cfg);
+    println!(
+        "fault campaigns: {} seeds × ({} queries × {} refs, {:?}, k={}) \
+         [aborts {} hangs {} bitflips {} pcie {}/{}] attempts={} (fault hooks: {})\n",
+        a.seeds,
+        a.queries,
+        a.n,
+        a.queue,
+        a.k,
+        a.aborts,
+        a.hangs,
+        a.bitflips,
+        a.pcie_stall,
+        a.pcie_corrupt,
+        a.attempts,
+        if simt::fault::compiled() { "on" } else { "off" },
+    );
+
+    let mut totals = kselect::gpu::ResilienceCounters::default();
+    let mut corrupted = 0usize;
+    for s in a.seed..a.seed + a.seeds {
+        let plan = simt::FaultPlan::seeded(s)
+            .with_aborts(a.aborts)
+            .with_hangs(a.hangs)
+            .with_bitflips(a.bitflips)
+            .with_pcie(a.pcie_stall, a.pcie_corrupt);
+        let res = GpuResilience {
+            max_attempts: a.attempts,
+            ..GpuResilience::default()
+        }
+        .with_faults(plan);
+        let out = match knn::gpu_knn_resilient(&tm, &qs, &refs, &cfg, &res) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("error: seed {s}: {}: {e}", e.name());
+                return 1;
+            }
+        };
+        for (qi, got) in out.neighbors.iter().enumerate() {
+            if let Some(got) = got {
+                if got != &oracle.neighbors[qi] {
+                    eprintln!("SILENT CORRUPTION: seed {s} query {qi} differs from oracle");
+                    corrupted += 1;
+                }
+            }
+        }
+        let r = &out.report;
+        println!(
+            "seed {s}: ok {} recovered {} fallback {} failed {} | retries {} aborts {} \
+             watchdog {} bitflips {} pcie-stalls {} pcie-corrupt {} | backoff {:.3} us",
+            r.ok_count(),
+            r.recovered_count(),
+            r.fallback_count(),
+            r.failed_count(),
+            r.counters.retries,
+            r.counters.aborts,
+            r.counters.watchdog_timeouts,
+            r.counters.bitflips_injected,
+            r.counters.pcie_stalls,
+            r.counters.pcie_corruptions,
+            r.backoff_s * 1e6,
+        );
+        totals.merge(&r.counters);
+    }
+    println!(
+        "\ntotals: retries {} fallbacks {} aborts {} watchdog {} panics {} validation {} \
+         bitflips {} pcie-stalls {} pcie-corrupt {}",
+        totals.retries,
+        totals.fallbacks,
+        totals.aborts,
+        totals.watchdog_timeouts,
+        totals.panics,
+        totals.validation_failures,
+        totals.bitflips_injected,
+        totals.pcie_stalls,
+        totals.pcie_corruptions,
+    );
+    if corrupted > 0 {
+        eprintln!("{corrupted} silently corrupted result(s)");
+        return 2;
+    }
+    println!("no silent corruption: every delivered top-k matches the fault-free oracle");
+    0
 }
 
 #[cfg(test)]
@@ -258,8 +410,8 @@ mod tests {
         // k too large is a clean error, not a panic
         assert_eq!(
             run(Command::Search {
-                refs,
-                queries,
+                refs: refs.clone(),
+                queries: queries.clone(),
                 dim: 8,
                 k: 500,
                 metric: Metric::SquaredEuclidean,
@@ -268,5 +420,73 @@ mod tests {
             }),
             1
         );
+        // k == 0 likewise
+        assert_eq!(
+            run(Command::Search {
+                refs: refs.clone(),
+                queries: queries.clone(),
+                dim: 8,
+                k: 0,
+                metric: Metric::SquaredEuclidean,
+                queue: QueueKind::Merge,
+                json: false,
+            }),
+            1
+        );
+        // a NaN coordinate in the input is a named error, not a wrong answer
+        let poisoned = dir.join("poisoned.f32");
+        let mut pts = crate::io::load_points(&queries, 8)
+            .unwrap()
+            .as_flat()
+            .to_vec();
+        pts[5] = f32::NAN;
+        crate::io::save_points(&poisoned, &knn::PointSet::from_flat(pts, 8)).unwrap();
+        assert_eq!(
+            run(Command::Search {
+                refs,
+                queries: poisoned,
+                dim: 8,
+                k: 5,
+                metric: Metric::SquaredEuclidean,
+                queue: QueueKind::Merge,
+                json: false,
+            }),
+            1
+        );
+    }
+
+    fn fault_args() -> FaultArgs {
+        FaultArgs {
+            n: 256,
+            k: 8,
+            queries: 40,
+            queue: QueueKind::Merge,
+            seeds: 2,
+            seed: 1,
+            aborts: 0.0,
+            hangs: 0.0,
+            bitflips: 0.0,
+            pcie_stall: 0.5,
+            pcie_corrupt: 0.0,
+            attempts: 4,
+        }
+    }
+
+    #[test]
+    fn pcie_only_campaign_runs_in_any_build() {
+        // No kernel hooks needed: stalls are injected by the host-side
+        // transfer model.
+        assert_eq!(run_faults(fault_args()), 0);
+    }
+
+    #[test]
+    fn kernel_campaign_needs_the_fault_feature() {
+        let a = FaultArgs {
+            aborts: 0.3,
+            bitflips: 1e-4,
+            ..fault_args()
+        };
+        let expect = if simt::fault::compiled() { 0 } else { 1 };
+        assert_eq!(run_faults(a), expect);
     }
 }

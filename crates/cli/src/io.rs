@@ -22,8 +22,16 @@ pub fn save_points(path: &Path, points: &PointSet) -> io::Result<()> {
 /// Load a raw little-endian f32 file as a point set of dimension `dim`.
 ///
 /// # Errors
-/// When the file length is not a multiple of `4 * dim` bytes.
+/// When `dim` is zero or the file length is not a multiple of
+/// `4 * dim` bytes.
 pub fn load_points(path: &Path, dim: usize) -> io::Result<PointSet> {
+    if dim == 0 {
+        let e = kselect::KnnError::ZeroDim;
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{}: {e}", e.name()),
+        ));
+    }
     let mut f = fs::File::open(path)?;
     let mut bytes = Vec::new();
     f.read_to_end(&mut bytes)?;
@@ -58,6 +66,13 @@ mod tests {
         assert_eq!(back.len(), 17);
         assert_eq!(back.as_flat(), pts.as_flat());
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_dim_rejected_by_name() {
+        let err = load_points(Path::new("/nonexistent"), 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("zero-dim"));
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! The typed error surface of the k-NN pipeline.
+//!
+//! Untrusted-input and fault-recovery paths return [`KnnError`] instead
+//! of panicking; each variant has a stable kebab-case [`KnnError::name`]
+//! that the CLI prints and tests match on. Kernel-internal bugs (an
+//! out-of-bounds simulated access, a broken queue invariant in a clean
+//! run) still panic — those are programming errors, not inputs.
+
+/// Why a k-NN request (or one of its queries) could not be served.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KnnError {
+    /// `k` is zero or exceeds the number of reference points.
+    InvalidK { k: usize, n: usize },
+    /// Points with zero dimensions carry no information to search.
+    ZeroDim,
+    /// An input coordinate was NaN or infinite. `kind` says which side
+    /// (`"query"` / `"reference"`), `index` which point.
+    NonFiniteInput { kind: &'static str, index: usize },
+    /// The Merge Queue needs `k = m·2^j`; this `(k, m)` pair is not.
+    MergeShape { k: usize, m: usize },
+    /// The configured candidate buffer exceeds the device's shared
+    /// memory.
+    BufferTooLarge { bytes: u64, limit: u64 },
+    /// No queries / no reference points were supplied.
+    EmptyInput { what: &'static str },
+    /// A fault campaign was requested but the binary was built without
+    /// the `fault` feature, so the injection hooks do not exist.
+    FaultsNotCompiled,
+    /// A PCIe transfer kept failing its integrity check after every
+    /// allowed retry.
+    TransferFailed { attempts: u32 },
+}
+
+impl KnnError {
+    /// Stable kebab-case error name for CLI output and counters.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KnnError::InvalidK { .. } => "invalid-k",
+            KnnError::ZeroDim => "zero-dim",
+            KnnError::NonFiniteInput { .. } => "non-finite-input",
+            KnnError::MergeShape { .. } => "merge-shape",
+            KnnError::BufferTooLarge { .. } => "buffer-too-large",
+            KnnError::EmptyInput { .. } => "empty-input",
+            KnnError::FaultsNotCompiled => "faults-not-compiled",
+            KnnError::TransferFailed { .. } => "transfer-failed",
+        }
+    }
+}
+
+impl core::fmt::Display for KnnError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            KnnError::InvalidK { k, n } => {
+                write!(
+                    f,
+                    "k = {k} is invalid for {n} reference points (need 1 <= k <= n)"
+                )
+            }
+            KnnError::ZeroDim => f.write_str("points must have at least one dimension"),
+            KnnError::NonFiniteInput { kind, index } => {
+                write!(f, "{kind} point {index} contains a non-finite coordinate")
+            }
+            KnnError::MergeShape { k, m } => {
+                write!(
+                    f,
+                    "merge queue requires k = m·2^j, got k = {k} with m = {m}"
+                )
+            }
+            KnnError::BufferTooLarge { bytes, limit } => {
+                write!(
+                    f,
+                    "candidate buffer needs {bytes} B of shared memory but the device has {limit} B"
+                )
+            }
+            KnnError::EmptyInput { what } => write!(f, "no {what} supplied"),
+            KnnError::FaultsNotCompiled => f.write_str(
+                "fault injection requested but this binary was built without the `fault` feature",
+            ),
+            KnnError::TransferFailed { attempts } => {
+                write!(
+                    f,
+                    "PCIe transfer failed integrity check after {attempts} attempts"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KnnError {}
+
+impl From<simt::ResilienceError> for KnnError {
+    fn from(e: simt::ResilienceError) -> Self {
+        match e {
+            simt::ResilienceError::FaultsNotCompiled => KnnError::FaultsNotCompiled,
+            // A zero-attempt policy is a configuration bug surfaced as an
+            // invalid input rather than a panic.
+            simt::ResilienceError::ZeroAttempts => KnnError::InvalidK { k: 0, n: 0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_messages_are_stable() {
+        let cases: Vec<(KnnError, &str, &str)> = vec![
+            (KnnError::InvalidK { k: 0, n: 10 }, "invalid-k", "k = 0"),
+            (KnnError::ZeroDim, "zero-dim", "dimension"),
+            (
+                KnnError::NonFiniteInput {
+                    kind: "query",
+                    index: 3,
+                },
+                "non-finite-input",
+                "query point 3",
+            ),
+            (KnnError::MergeShape { k: 24, m: 8 }, "merge-shape", "m·2^j"),
+            (
+                KnnError::BufferTooLarge {
+                    bytes: 1 << 20,
+                    limit: 49152,
+                },
+                "buffer-too-large",
+                "49152",
+            ),
+            (
+                KnnError::EmptyInput { what: "queries" },
+                "empty-input",
+                "queries",
+            ),
+            (KnnError::FaultsNotCompiled, "faults-not-compiled", "fault"),
+            (
+                KnnError::TransferFailed { attempts: 4 },
+                "transfer-failed",
+                "4 attempts",
+            ),
+        ];
+        for (err, name, fragment) in cases {
+            assert_eq!(err.name(), name);
+            let msg = err.to_string();
+            assert!(msg.contains(fragment), "{name}: {msg}");
+        }
+    }
+
+    #[test]
+    fn resilience_error_converts() {
+        assert_eq!(
+            KnnError::from(simt::ResilienceError::FaultsNotCompiled),
+            KnnError::FaultsNotCompiled
+        );
+    }
+}

@@ -14,11 +14,16 @@
 pub mod buffered;
 pub mod hierarchical;
 pub mod queues;
+pub mod resilient;
 pub mod select;
 
 pub use buffered::WarpBuffer;
 pub use hierarchical::{level_sizes, WarpHierarchy};
 pub use queues::{RepairKind, WarpQueues};
+pub use resilient::{
+    gpu_select_k_checked, gpu_select_k_resilient, GpuResilience, GpuResilientSelect, QueryStatus,
+    ResilienceCounters, SearchReport,
+};
 pub use select::{gpu_select_k, DistanceMatrix, GpuSelectResult};
 
 /// Technique-level event counters accumulated inside the simulated

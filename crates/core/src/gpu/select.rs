@@ -81,6 +81,7 @@ impl DistanceMatrix {
 }
 
 /// Outcome of a simulated k-selection launch.
+#[derive(Debug)]
 pub struct GpuSelectResult {
     /// Per-query neighbors, sorted ascending by distance.
     pub neighbors: Vec<Vec<Neighbor>>,
@@ -146,8 +147,9 @@ pub fn gpu_select_k(spec: &GpuSpec, dm: &DistanceMatrix, cfg: &SelectConfig) -> 
 
 /// One warp's worth of k-selection. Returns the 32 lanes' results, the
 /// metrics attributable to HP construction, and the warp's event
-/// counters.
-fn warp_kernel(
+/// counters. Shared with [`super::resilient`], whose launcher re-runs
+/// individual warps on failure.
+pub(super) fn warp_kernel(
     ctx: &mut WarpCtx,
     warp_id: usize,
     dm: &DistanceMatrix,

@@ -40,6 +40,7 @@
 pub mod bitonic;
 pub mod buffered;
 pub mod chunked;
+pub mod error;
 pub mod gpu;
 pub mod hierarchical;
 pub mod queues;
@@ -48,6 +49,7 @@ pub mod types;
 
 pub use buffered::{buffered_select_into, BufferConfig};
 pub use chunked::select_k_chunked;
+pub use error::KnnError;
 pub use hierarchical::{hierarchical_select, Hierarchy, HpConfig};
 pub use queues::{HeapQueue, InsertionQueue, KQueue, MergeQueue, UpdateCounter};
 pub use select::{select_k, SelectConfig};

@@ -1,0 +1,243 @@
+//! Seeded fault campaign against the resilient k-selection path.
+//!
+//! Every scenario runs a deterministic `FaultPlan` against
+//! `gpu_select_k_resilient` and checks the contract the resilience
+//! layer promises: each query either receives the *exact* fault-free
+//! top-k (clean, recovered or fallback) or an explicit named error —
+//! never a silently corrupted result.
+//!
+//! Compiled only with the `fault` feature; a default build has no
+//! injection hooks to exercise.
+#![cfg(feature = "fault")]
+
+use kselect::gpu::{
+    gpu_select_k, gpu_select_k_resilient, DistanceMatrix, GpuResilience, QueryStatus,
+};
+use kselect::{QueueKind, SelectConfig};
+use rand::{Rng, SeedableRng};
+use simt::{FaultPlan, GpuSpec};
+
+fn random_dm(q: usize, n: usize, seed: u64) -> DistanceMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f32>> = (0..q)
+        .map(|_| (0..n).map(|_| rng.gen()).collect())
+        .collect();
+    DistanceMatrix::from_rows(&rows)
+}
+
+struct Scenario {
+    name: &'static str,
+    plan: FaultPlan,
+    cfg: SelectConfig,
+    max_attempts: u32,
+    fallback: bool,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let plain = SelectConfig::plain(QueueKind::Merge, 16);
+    let optimized = SelectConfig::optimized(QueueKind::Merge, 16);
+    let heap = SelectConfig::plain(QueueKind::Heap, 16);
+    let insertion = SelectConfig::plain(QueueKind::Insertion, 16);
+    vec![
+        Scenario {
+            name: "abort-light-merge",
+            plan: FaultPlan::seeded(101).with_aborts(0.2),
+            cfg: plain,
+            max_attempts: 6,
+            fallback: true,
+        },
+        Scenario {
+            name: "abort-heavy-merge-fallback",
+            plan: FaultPlan::seeded(102).with_aborts(0.9),
+            cfg: plain,
+            max_attempts: 3,
+            fallback: true,
+        },
+        Scenario {
+            name: "abort-heavy-no-fallback",
+            plan: FaultPlan::seeded(103).with_aborts(1.0),
+            cfg: heap,
+            max_attempts: 2,
+            fallback: false,
+        },
+        Scenario {
+            name: "hang-light-optimized",
+            plan: FaultPlan::seeded(104).with_hangs(0.25),
+            cfg: optimized,
+            max_attempts: 6,
+            fallback: true,
+        },
+        Scenario {
+            name: "hang-always-fallback",
+            plan: FaultPlan::seeded(105).with_hangs(1.0),
+            cfg: insertion,
+            max_attempts: 2,
+            fallback: true,
+        },
+        Scenario {
+            name: "bitflip-light-merge",
+            plan: FaultPlan::seeded(106).with_bitflips(1e-4),
+            cfg: plain,
+            max_attempts: 6,
+            fallback: true,
+        },
+        Scenario {
+            name: "bitflip-heavy-heap",
+            plan: FaultPlan::seeded(107).with_bitflips(2e-3),
+            cfg: heap,
+            max_attempts: 8,
+            fallback: true,
+        },
+        Scenario {
+            name: "bitflip-optimized-hp",
+            plan: FaultPlan::seeded(108).with_bitflips(5e-4),
+            cfg: optimized,
+            max_attempts: 8,
+            fallback: true,
+        },
+        Scenario {
+            name: "abort-and-bitflip-mix",
+            plan: FaultPlan::seeded(109).with_aborts(0.3).with_bitflips(5e-4),
+            cfg: plain,
+            max_attempts: 8,
+            fallback: true,
+        },
+        Scenario {
+            name: "everything-at-once",
+            plan: FaultPlan::seeded(110)
+                .with_aborts(0.2)
+                .with_hangs(0.2)
+                .with_bitflips(5e-4),
+            cfg: optimized,
+            max_attempts: 10,
+            fallback: true,
+        },
+    ]
+}
+
+/// The central promise: delivered results equal the fault-free oracle
+/// exactly; undelivered queries carry a named error.
+#[test]
+fn no_silent_corruption_across_scenarios() {
+    let spec = GpuSpec::tesla_c2075();
+    let dm = random_dm(70, 400, 7);
+    for sc in scenarios() {
+        let oracle = gpu_select_k(&spec, &dm, &sc.cfg);
+        let res = GpuResilience {
+            max_attempts: sc.max_attempts,
+            fallback: sc.fallback,
+            ..GpuResilience::default()
+        }
+        .with_faults(sc.plan);
+        let out = gpu_select_k_resilient(&spec, &dm, &sc.cfg, &res)
+            .unwrap_or_else(|e| panic!("{}: launch failed: {e}", sc.name));
+
+        let injected = out.report.counters.bitflips_injected
+            + out.report.counters.aborts
+            + out.report.counters.watchdog_timeouts;
+        // Rates are calibrated so every scenario actually injects.
+        assert!(injected > 0, "{}: campaign injected nothing", sc.name);
+
+        for (qi, got) in out.neighbors.iter().enumerate() {
+            match got {
+                Some(neigh) => {
+                    let want: Vec<f32> = oracle.neighbors[qi].iter().map(|n| n.dist).collect();
+                    let got_d: Vec<f32> = neigh.iter().map(|n| n.dist).collect();
+                    assert_eq!(got_d, want, "{}: query {qi} corrupted", sc.name);
+                    for nb in neigh {
+                        assert_eq!(
+                            dm.value(qi, nb.id as usize),
+                            nb.dist,
+                            "{}: query {qi} id/dist mismatch",
+                            sc.name
+                        );
+                    }
+                }
+                None => {
+                    assert!(
+                        !sc.fallback,
+                        "{}: fallback must never leave a hole",
+                        sc.name
+                    );
+                    match &out.report.statuses[qi] {
+                        QueryStatus::Failed { reason, .. } => {
+                            assert!(!reason.is_empty(), "{}: unnamed failure", sc.name)
+                        }
+                        other => panic!("{}: hole with status {other:?}", sc.name),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Same plan, same inputs → byte-identical report (Debug formatting
+/// covers every field, including failure strings and counters).
+#[test]
+fn reports_are_deterministic() {
+    let spec = GpuSpec::tesla_c2075();
+    let dm = random_dm(64, 300, 8);
+    let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+    let res = GpuResilience {
+        max_attempts: 4,
+        ..GpuResilience::default()
+    }
+    .with_faults(
+        FaultPlan::seeded(77)
+            .with_aborts(0.3)
+            .with_hangs(0.1)
+            .with_bitflips(3e-4),
+    );
+    let a = gpu_select_k_resilient(&spec, &dm, &cfg, &res).unwrap();
+    let b = gpu_select_k_resilient(&spec, &dm, &cfg, &res).unwrap();
+    assert_eq!(format!("{:?}", a.report), format!("{:?}", b.report));
+    assert_eq!(a.neighbors, b.neighbors);
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.wasted, b.wasted);
+}
+
+/// A different seed changes the campaign (the plan is not a constant).
+#[test]
+fn different_seeds_draw_different_campaigns() {
+    let spec = GpuSpec::tesla_c2075();
+    let dm = random_dm(64, 200, 9);
+    let cfg = SelectConfig::plain(QueueKind::Merge, 16);
+    let run = |seed: u64| {
+        let res = GpuResilience {
+            max_attempts: 5,
+            ..GpuResilience::default()
+        }
+        .with_faults(FaultPlan::seeded(seed).with_aborts(0.5));
+        format!(
+            "{:?}",
+            gpu_select_k_resilient(&spec, &dm, &cfg, &res)
+                .unwrap()
+                .report
+        )
+    };
+    assert_ne!(run(1), run(2));
+}
+
+/// Retry and fallback cost real simulated resources: wasted metrics,
+/// backoff seconds and fallback transfer time all become non-zero under
+/// a hot campaign, and the accounting is visible in the report.
+#[test]
+fn recovery_cost_is_accounted() {
+    let spec = GpuSpec::tesla_c2075();
+    let dm = random_dm(96, 256, 10);
+    let cfg = SelectConfig::plain(QueueKind::Merge, 16);
+    let res = GpuResilience {
+        max_attempts: 3,
+        ..GpuResilience::default()
+    }
+    .with_faults(FaultPlan::seeded(55).with_aborts(0.8));
+    let out = gpu_select_k_resilient(&spec, &dm, &cfg, &res).unwrap();
+    assert!(out.report.counters.retries > 0);
+    assert!(out.wasted.issued > 0, "aborted attempts did real work");
+    assert!(out.report.backoff_s > 0.0);
+    if out.report.fallback_count() > 0 {
+        assert!(out.report.fallback_transfer_s > 0.0);
+    }
+    let set = out.report.counters.to_counter_set();
+    assert!(set.get(trace::names::RESILIENCE_RETRY) > 0);
+}

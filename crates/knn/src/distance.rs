@@ -33,6 +33,20 @@ pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
     acc
 }
 
+/// The pipeline's NaN/Inf policy: a non-finite distance (overflow, or a
+/// NaN leaking past input validation) is mapped to `+∞`, which every
+/// queue's `d < qmax` guard rejects — so a poisoned pair sorts last and
+/// can never displace a genuine neighbor from the top-k. Identity on
+/// finite values, so fault-free results are bit-for-bit unaffected.
+#[inline]
+pub fn clamp_non_finite(d: f32) -> f32 {
+    if d.is_finite() {
+        d
+    } else {
+        f32::INFINITY
+    }
+}
+
 /// Compute the full distance matrix: `rows[q][r]` is the squared distance
 /// between query `q` and reference `r`. Parallel over queries.
 pub fn distance_matrix(queries: &PointSet, refs: &PointSet) -> Vec<Vec<f32>> {
@@ -42,7 +56,7 @@ pub fn distance_matrix(queries: &PointSet, refs: &PointSet) -> Vec<Vec<f32>> {
         .map(|q| {
             let qp = queries.point(q);
             (0..refs.len())
-                .map(|r| squared_distance(qp, refs.point(r)))
+                .map(|r| clamp_non_finite(squared_distance(qp, refs.point(r))))
                 .collect()
         })
         .collect()
@@ -122,6 +136,29 @@ mod tests {
         let m2 = gpu_distance_metrics(1 << 13, 1 << 16, 128);
         let t2 = TimingModel::tesla_c2075().kernel_time(&m2);
         assert!((1.8..2.2).contains(&(t2 / t)), "ratio {}", t2 / t);
+    }
+
+    #[test]
+    fn non_finite_distances_sort_last() {
+        // A reference with an overflowing coordinate produces a
+        // non-finite squared distance; the policy clamps it to +∞ so it
+        // can never enter a top-k.
+        assert_eq!(clamp_non_finite(f32::NAN), f32::INFINITY);
+        assert_eq!(clamp_non_finite(f32::NEG_INFINITY), f32::INFINITY);
+        assert_eq!(clamp_non_finite(1.25), 1.25);
+        let q = PointSet::from_flat(vec![0.0, 0.0], 2);
+        let r = PointSet::from_flat(vec![1.0, 0.0, f32::MAX, f32::MAX, 2.0, 0.0], 2);
+        let m = distance_matrix(&q, &r);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[0][1], f32::INFINITY, "overflowed pair clamps to +inf");
+        assert_eq!(m[0][2], 4.0);
+        let cfg = kselect::SelectConfig::plain(kselect::QueueKind::Insertion, 2);
+        let top = kselect::select_k(&m[0], &cfg);
+        assert_eq!(
+            top.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![0, 2],
+            "the poisoned reference never makes the top-k"
+        );
     }
 
     #[test]

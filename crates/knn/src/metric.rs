@@ -68,7 +68,7 @@ pub fn distance_matrix_with(queries: &PointSet, refs: &PointSet, metric: Metric)
         .map(|q| {
             let qp = queries.point(q);
             (0..refs.len())
-                .map(|r| metric.distance(qp, refs.point(r)))
+                .map(|r| crate::distance::clamp_non_finite(metric.distance(qp, refs.point(r))))
                 .collect()
         })
         .collect()

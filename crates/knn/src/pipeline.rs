@@ -11,15 +11,23 @@
 //! * [`gpu_knn_traced`] — the same pipeline recording its phases as
 //!   spans on a [`trace::Tracer`]'s simulated clock, plus the kernel
 //!   event counters when the `trace` feature is on.
+//! * [`gpu_knn_resilient`] — the checked, fault-tolerant pipeline:
+//!   typed input validation ([`KnnError`]), PCIe transfers that survive
+//!   stalls and detected corruption, and per-warp retry with degraded
+//!   host fallback via [`kselect::gpu::gpu_select_k_resilient`].
 
-use kselect::gpu::{gpu_select_k, DistanceMatrix, KernelCounters};
+use kselect::gpu::{
+    gpu_select_k, gpu_select_k_resilient, DistanceMatrix, GpuResilience, KernelCounters,
+    SearchReport,
+};
 use kselect::types::Neighbor;
-use kselect::SelectConfig;
+use kselect::{KnnError, SelectConfig};
 use rayon::prelude::*;
 use simt::{Metrics, TimingModel};
 
 use crate::dataset::PointSet;
 use crate::distance::{distance_matrix, gpu_distance_metrics};
+use crate::pcie::{self, PcieReport};
 
 /// Native k-NN search: for each query, the k nearest references by
 /// squared Euclidean distance, sorted ascending.
@@ -40,7 +48,7 @@ pub fn knn_search_with(
         .map(|qi| {
             let qp = queries.point(qi);
             let dists: Vec<f32> = (0..refs.len())
-                .map(|ri| metric.distance(qp, refs.point(ri)))
+                .map(|ri| crate::distance::clamp_non_finite(metric.distance(qp, refs.point(ri))))
                 .collect();
             kselect::select_k(&dists, cfg)
         })
@@ -143,6 +151,106 @@ pub fn gpu_knn_traced(
     }
 }
 
+/// Typed validation of one point set: a zero-dimensional or empty set,
+/// or any non-finite coordinate, is a named error instead of a panic or
+/// a silently wrong answer downstream. `kind` labels the set in the
+/// error ("query" / "reference").
+pub fn validate_points(points: &PointSet, kind: &'static str) -> Result<(), KnnError> {
+    if points.is_empty() {
+        return Err(KnnError::EmptyInput { what: kind });
+    }
+    if points.dim() == 0 {
+        return Err(KnnError::ZeroDim);
+    }
+    if let Some(flat_idx) = points.as_flat().iter().position(|v| !v.is_finite()) {
+        return Err(KnnError::NonFiniteInput {
+            kind,
+            index: flat_idx / points.dim(),
+        });
+    }
+    Ok(())
+}
+
+/// Result of the resilient simulated pipeline.
+#[derive(Debug)]
+pub struct ResilientKnnResult {
+    /// Per-query neighbors; `None` only for queries whose status is
+    /// [`kselect::gpu::QueryStatus::Failed`].
+    pub neighbors: Vec<Option<Vec<Neighbor>>>,
+    /// Per-query outcomes and recovery totals. PCIe stall/corruption
+    /// counts from the input upload are folded in.
+    pub report: SearchReport,
+    /// Metrics of the accepted selection attempts.
+    pub select_metrics: Metrics,
+    /// Metrics of rejected selection attempts — simulated work that was
+    /// retried away.
+    pub wasted_metrics: Metrics,
+    /// Metrics of the distance kernel (analytic model).
+    pub distance_metrics: Metrics,
+    /// Simulated seconds for the accepted selection work.
+    pub select_time: f64,
+    /// Simulated seconds for the distance kernel.
+    pub distance_time: f64,
+    /// The (possibly faulted, possibly retried) input upload.
+    pub upload: PcieReport,
+    /// Technique-level event counters from accepted attempts.
+    pub counters: KernelCounters,
+}
+
+/// [`gpu_knn`] hardened end to end. Inputs are validated up front
+/// ([`validate_points`] plus the selection-request checks), the input
+/// upload runs through the faultable PCIe model
+/// ([`pcie::transfer_with_faults`]), and k-selection runs under
+/// `res`'s retry/validation/fallback policy. Everything — including an
+/// injected fault campaign — is deterministic, so the whole
+/// [`ResilientKnnResult`] replays byte for byte.
+pub fn gpu_knn_resilient(
+    tm: &TimingModel,
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    res: &GpuResilience,
+) -> Result<ResilientKnnResult, KnnError> {
+    validate_points(queries, "query")?;
+    validate_points(refs, "reference")?;
+    assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
+
+    let dist_m = gpu_distance_metrics(queries.len(), refs.len(), queries.dim());
+    let distance_time = tm.kernel_time(&dist_m);
+    let rows = distance_matrix(queries, refs);
+    let dm = DistanceMatrix::from_rows(&rows);
+
+    // Upload the input points across the (possibly faulted) link. A
+    // corrupt payload is detected and retried; only persistent
+    // corruption escalates to `TransferFailed`.
+    let input_bytes = ((queries.len() + refs.len()) * queries.dim() * 4) as u64;
+    let upload = match &res.faults {
+        Some(plan) => pcie::transfer_with_faults(&tm.spec, input_bytes, plan, 0, res.max_attempts)?,
+        None => PcieReport {
+            attempts: 1,
+            seconds: pcie::transfer_time(&tm.spec, input_bytes),
+            ..PcieReport::default()
+        },
+    };
+
+    let sel = gpu_select_k_resilient(&tm.spec, &dm, cfg, res)?;
+    let mut report = sel.report;
+    report.counters.pcie_stalls += upload.stalls;
+    report.counters.pcie_corruptions += upload.corruptions;
+
+    Ok(ResilientKnnResult {
+        neighbors: sel.neighbors,
+        report,
+        select_time: tm.kernel_time(&sel.metrics),
+        distance_time,
+        select_metrics: sel.metrics,
+        wasted_metrics: sel.wasted,
+        distance_metrics: dist_m,
+        upload,
+        counters: sel.counters,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +329,120 @@ mod tests {
             tracer.counters().get(trace::names::QUEUE_INSERT),
             res.counters.queue_inserts
         );
+    }
+
+    #[test]
+    fn resilient_pipeline_validates_inputs() {
+        let tm = TimingModel::tesla_c2075();
+        let refs = PointSet::uniform(64, 8, 110);
+        let good = PointSet::uniform(4, 8, 111);
+        let res = GpuResilience::default();
+        let cfg = SelectConfig::plain(QueueKind::Heap, 8);
+
+        let empty = PointSet::from_flat(vec![], 8);
+        let err = gpu_knn_resilient(&tm, &empty, &refs, &cfg, &res).unwrap_err();
+        assert_eq!(err.name(), "empty-input");
+
+        let mut bad = good.as_flat().to_vec();
+        bad[2 * 8 + 3] = f32::NAN;
+        let nan_query = PointSet::from_flat(bad, 8);
+        let err = gpu_knn_resilient(&tm, &nan_query, &refs, &cfg, &res).unwrap_err();
+        assert_eq!(
+            err,
+            KnnError::NonFiniteInput {
+                kind: "query",
+                index: 2
+            }
+        );
+
+        let mut bad = refs.as_flat().to_vec();
+        bad[7 * 8] = f32::INFINITY;
+        let inf_refs = PointSet::from_flat(bad, 8);
+        let err = gpu_knn_resilient(&tm, &good, &inf_refs, &cfg, &res).unwrap_err();
+        assert_eq!(
+            err,
+            KnnError::NonFiniteInput {
+                kind: "reference",
+                index: 7
+            }
+        );
+
+        let err = gpu_knn_resilient(
+            &tm,
+            &good,
+            &refs,
+            &SelectConfig::plain(QueueKind::Heap, 0),
+            &res,
+        )
+        .unwrap_err();
+        assert_eq!(err.name(), "invalid-k");
+        let err = gpu_knn_resilient(
+            &tm,
+            &good,
+            &refs,
+            &SelectConfig::plain(QueueKind::Heap, 65),
+            &res,
+        )
+        .unwrap_err();
+        assert_eq!(err, KnnError::InvalidK { k: 65, n: 64 });
+    }
+
+    #[test]
+    fn resilient_pipeline_matches_plain_when_fault_free() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(40, 16, 112);
+        let refs = PointSet::uniform(300, 16, 113);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 8);
+        let plain = gpu_knn(&tm, &queries, &refs, &cfg);
+        let out = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &GpuResilience::default()).unwrap();
+        assert_eq!(out.select_metrics, plain.select_metrics);
+        assert_eq!(out.select_time, plain.select_time);
+        assert_eq!(out.distance_time, plain.distance_time);
+        assert_eq!(out.wasted_metrics, Metrics::new());
+        for (qi, got) in out.neighbors.iter().enumerate() {
+            assert_eq!(got.as_deref(), Some(&plain.neighbors[qi][..]));
+        }
+        assert_eq!(out.report.ok_count(), 40);
+        assert_eq!(out.upload.attempts, 1);
+        assert!(out.upload.seconds > 0.0);
+    }
+
+    #[test]
+    fn pcie_stalls_surface_in_the_report_without_kernel_hooks() {
+        // A PCIe-only plan needs no kernel instrumentation, so this runs
+        // (and must behave identically) with or without the `fault`
+        // feature: the upload stalls, costs extra simulated time, and the
+        // stall is counted — but every query still gets the exact result.
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(8, 8, 114);
+        let refs = PointSet::uniform(128, 8, 115);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let res =
+            GpuResilience::default().with_faults(simt::FaultPlan::seeded(9).with_pcie(1.0, 0.0));
+        let out = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &res).unwrap();
+        assert_eq!(out.report.counters.pcie_stalls, 1);
+        assert_eq!(out.report.counters.pcie_corruptions, 0);
+        let clean = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &GpuResilience::default())
+            .unwrap()
+            .upload
+            .seconds;
+        assert!(out.upload.seconds > clean, "a stall costs link time");
+        assert_eq!(out.report.ok_count(), 8);
+    }
+
+    #[test]
+    fn persistent_pcie_corruption_is_a_typed_error() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(4, 8, 116);
+        let refs = PointSet::uniform(64, 8, 117);
+        let cfg = SelectConfig::plain(QueueKind::Heap, 8);
+        let res = GpuResilience {
+            max_attempts: 3,
+            ..GpuResilience::default()
+        }
+        .with_faults(simt::FaultPlan::seeded(10).with_pcie(0.0, 1.0));
+        let err = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &res).unwrap_err();
+        assert_eq!(err, KnnError::TransferFailed { attempts: 3 });
     }
 
     #[test]

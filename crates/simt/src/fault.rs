@@ -1,0 +1,432 @@
+//! Deterministic, seeded fault injection for the simulator.
+//!
+//! Production GPU similarity-search systems treat partial failure as
+//! normal: a warp can be killed by an ECC event, spin past its watchdog
+//! deadline, read a flipped bit out of DRAM, or lose a PCIe transfer to
+//! a replayed link. This module lets the simulator *manufacture* those
+//! faults on demand so the recovery machinery around the kernels
+//! ([`crate::resilient`], `kselect::gpu::resilient`) can be tested
+//! deterministically.
+//!
+//! Design rules:
+//!
+//! * **Seeded and deterministic.** A [`FaultPlan`] is pure data; the
+//!   faults a warp experiences are a function of `(seed, warp, attempt)`
+//!   only, independent of host scheduling. The same plan replays the
+//!   same failure byte-for-byte, and a *retry* (higher `attempt`) draws
+//!   a fresh, equally deterministic fault stream — which is what makes
+//!   bounded retry meaningful in simulation.
+//! * **Zero-cost when off.** The plan and signal types always compile
+//!   (they appear in `resilient` API signatures), but every hook in
+//!   [`crate::WarpCtx`] and [`crate::mem`] is behind the `fault` cargo
+//!   feature; a default build carries no checks in the hot paths and
+//!   its metrics are bit-for-bit identical.
+//! * **Composable.** Injection only perturbs execution through the same
+//!   surfaces real faults would (a killed kernel, a late warp, a wrong
+//!   loaded word), so it composes with the `sanitize` race detector and
+//!   the `trace` counters without special cases.
+//!
+//! The PCIe stall/corruption half of the fault model lives with the
+//! transfer model in `knn::pcie`, driven by the same plan through
+//! [`FaultPlan::pcie_events`].
+
+/// Which kind of fault fired. Carried by [`FaultSignal`] and used by the
+/// recovery layers to label retries and per-query errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The warp's kernel was killed mid-flight (models an ECC abort or
+    /// a device-side `trap`).
+    Abort,
+    /// The warp stopped making progress and was killed by the watchdog
+    /// at its simulated-cycle deadline.
+    Hang,
+    /// A loaded word came back with a flipped bit (transient DRAM /
+    /// interconnect corruption; the stored data is unharmed).
+    BitFlip,
+    /// A PCIe transfer stalled (link replay storm): delivered, but late.
+    PcieStall,
+    /// A PCIe transfer delivered corrupted payload (caught by checksum).
+    PcieCorrupt,
+}
+
+impl FaultKind {
+    /// Stable kebab-case name for reports and counters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Abort => "abort",
+            FaultKind::Hang => "hang",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::PcieStall => "pcie-stall",
+            FaultKind::PcieCorrupt => "pcie-corrupt",
+        }
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Panic payload thrown by an injected abort/hang so the resilient
+/// launcher can tell injected faults from genuine kernel bugs. Thrown
+/// via `std::panic::panic_any`, caught and downcast by
+/// [`crate::resilient::launch_resilient`].
+#[derive(Clone, Copy, Debug)]
+pub struct FaultSignal {
+    /// [`FaultKind::Abort`] or [`FaultKind::Hang`].
+    pub kind: FaultKind,
+    /// Warp the fault hit.
+    pub warp: usize,
+    /// Warp-issue count at which the fault fired.
+    pub at_issued: u64,
+}
+
+/// True when the crate was built with the `fault` feature, i.e. the
+/// injection hooks in [`crate::WarpCtx`]/[`crate::mem`] are live. A
+/// [`FaultPlan`] handed to the launcher in a build without the feature
+/// is an error, not a silent no-op — callers check this.
+pub const fn compiled() -> bool {
+    cfg!(feature = "fault")
+}
+
+/// SplitMix64: tiny, high-quality, allocation-free PRNG used for all
+/// fault draws. Not the vendored `rand` on purpose — fault streams must
+/// stay stable even if the workspace RNG evolves, and `simt` does not
+/// depend on `rand` outside dev-dependencies.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Mix several identifying values into one sub-seed, so each
+/// (warp, attempt, purpose) tuple gets an independent stream.
+fn substream(seed: u64, a: u64, b: u64, purpose: u64) -> SplitMix64 {
+    let mut s = SplitMix64(
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)
+            ^ purpose.wrapping_mul(0x1656_67b1_9e37_79f9),
+    );
+    // One warm-up step decorrelates nearby seeds.
+    s.next();
+    s
+}
+
+/// A deterministic fault campaign: which faults to inject, how often,
+/// all derived from one seed.
+///
+/// Rates are probabilities: `abort_rate`/`hang_rate` are per
+/// (warp, attempt); `bitflip_rate` is per loaded lane-word;
+/// `pcie_stall_rate`/`pcie_corrupt_rate` are per transfer attempt.
+/// Everything defaults to zero — an empty plan injects nothing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every stream below derives from it.
+    pub seed: u64,
+    /// Probability a given warp attempt is killed mid-kernel.
+    pub abort_rate: f64,
+    /// Probability a given warp attempt hangs (killed by the watchdog).
+    pub hang_rate: f64,
+    /// Probability any single loaded lane-word has one bit flipped.
+    pub bitflip_rate: f64,
+    /// Probability a PCIe transfer attempt stalls (delivered late).
+    pub pcie_stall_rate: f64,
+    /// Probability a PCIe transfer attempt delivers corrupt payload.
+    pub pcie_corrupt_rate: f64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            abort_rate: 0.0,
+            hang_rate: 0.0,
+            bitflip_rate: 0.0,
+            pcie_stall_rate: 0.0,
+            pcie_corrupt_rate: 0.0,
+        }
+    }
+
+    /// Builder: set the per-(warp, attempt) kernel-abort probability.
+    pub fn with_aborts(mut self, rate: f64) -> Self {
+        self.abort_rate = rate;
+        self
+    }
+
+    /// Builder: set the per-(warp, attempt) hang probability.
+    pub fn with_hangs(mut self, rate: f64) -> Self {
+        self.hang_rate = rate;
+        self
+    }
+
+    /// Builder: set the per-loaded-word bit-flip probability.
+    pub fn with_bitflips(mut self, rate: f64) -> Self {
+        self.bitflip_rate = rate;
+        self
+    }
+
+    /// Builder: set the PCIe stall / corruption probabilities.
+    pub fn with_pcie(mut self, stall_rate: f64, corrupt_rate: f64) -> Self {
+        self.pcie_stall_rate = stall_rate;
+        self.pcie_corrupt_rate = corrupt_rate;
+        self
+    }
+
+    /// True when the plan can inject at least one fault kind.
+    pub fn is_active(&self) -> bool {
+        self.abort_rate > 0.0
+            || self.hang_rate > 0.0
+            || self.bitflip_rate > 0.0
+            || self.pcie_stall_rate > 0.0
+            || self.pcie_corrupt_rate > 0.0
+    }
+
+    /// True when the plan injects kernel-level faults (which require the
+    /// `fault` feature's hooks to take effect).
+    pub fn wants_kernel_faults(&self) -> bool {
+        self.abort_rate > 0.0 || self.hang_rate > 0.0 || self.bitflip_rate > 0.0
+    }
+
+    /// The faults one `(warp, attempt)` experiences. Pure function of
+    /// the plan — host scheduling cannot change it.
+    pub fn warp_faults(&self, warp: usize, attempt: u32) -> WarpFaults {
+        let mut s = substream(self.seed, warp as u64, attempt as u64, 0xA);
+        // Abort / hang trigger points: drawn in [1, 4096] issue slots so
+        // the fault lands inside any realistic kernel body. If both
+        // fire, the earlier trigger wins at runtime.
+        let abort_at = (s.unit() < self.abort_rate).then(|| 1 + (s.next() % 4096));
+        let hang_at = (s.unit() < self.hang_rate).then(|| 1 + (s.next() % 4096));
+        WarpFaults {
+            warp,
+            abort_at,
+            hang_at,
+            bitflip_rate: self.bitflip_rate,
+            flips: substream(self.seed, warp as u64, attempt as u64, 0xB),
+            bitflips_injected: 0,
+        }
+    }
+
+    /// The fault outcome of one PCIe transfer attempt:
+    /// `(stalled, corrupted)`. `transfer` numbers the logical transfer
+    /// within a pipeline run; `attempt` its retry.
+    pub fn pcie_events(&self, transfer: u64, attempt: u32) -> (bool, bool) {
+        let mut s = substream(self.seed, transfer, attempt as u64, 0xC);
+        let stalled = s.unit() < self.pcie_stall_rate;
+        let corrupted = s.unit() < self.pcie_corrupt_rate;
+        (stalled, corrupted)
+    }
+}
+
+/// The armed fault state for one warp attempt, installed into a
+/// [`crate::WarpCtx`] by the resilient launcher (`fault` feature only).
+#[derive(Clone, Debug)]
+pub struct WarpFaults {
+    warp: usize,
+    abort_at: Option<u64>,
+    hang_at: Option<u64>,
+    bitflip_rate: f64,
+    flips: SplitMix64,
+    bitflips_injected: u64,
+}
+
+impl WarpFaults {
+    /// Called from the issue path: fires the armed abort/hang once the
+    /// warp's issue count crosses the trigger. Panics with a
+    /// [`FaultSignal`] payload — the injected fault "kills" the warp
+    /// exactly as a device-side trap would, and the resilient launcher
+    /// catches and classifies it.
+    #[inline]
+    pub fn on_issue(&mut self, issued: u64) {
+        let trig = |t: Option<u64>| t.is_some_and(|at| issued >= at);
+        // The earlier trigger wins when both are armed.
+        let (abort, hang) = (
+            self.abort_at.unwrap_or(u64::MAX),
+            self.hang_at.unwrap_or(u64::MAX),
+        );
+        if trig(self.abort_at) && abort <= hang {
+            let sig = FaultSignal {
+                kind: FaultKind::Abort,
+                warp: self.warp,
+                at_issued: issued,
+            };
+            std::panic::panic_any(sig);
+        }
+        if trig(self.hang_at) {
+            let sig = FaultSignal {
+                kind: FaultKind::Hang,
+                warp: self.warp,
+                at_issued: issued,
+            };
+            std::panic::panic_any(sig);
+        }
+    }
+
+    /// Draw the bit-flip decision for one loaded lane-word: `Some(bit)`
+    /// flips that bit (0..32) of the loaded value. Advances the stream
+    /// exactly once per call, so the flip sequence is a pure function of
+    /// load order — which the lockstep execution model fixes.
+    #[inline]
+    pub fn draw_bitflip(&mut self) -> Option<u32> {
+        if self.bitflip_rate <= 0.0 {
+            return None;
+        }
+        if self.flips.unit() < self.bitflip_rate {
+            self.bitflips_injected += 1;
+            Some((self.flips.next() % 32) as u32)
+        } else {
+            None
+        }
+    }
+
+    /// How many bit flips this attempt has injected so far.
+    pub fn bitflips_injected(&self) -> u64 {
+        self.bitflips_injected
+    }
+
+    /// True when no fault of any kind is armed (the hooks can skip all
+    /// per-issue work).
+    pub fn is_inert(&self) -> bool {
+        self.abort_at.is_none() && self.hang_at.is_none() && self.bitflip_rate <= 0.0
+    }
+}
+
+/// Flip bit `bit` of a loaded value's 32-bit pattern. Only the types the
+/// simulated buffers actually store are corruptible; anything else is
+/// returned unchanged (a flipped pointer-sized index would break the
+/// *simulator*, not the simulated kernel, so indices larger than 32 bits
+/// are corrupted in their low word only).
+pub fn corrupt<T: Copy + 'static>(v: T, bit: u32) -> T {
+    use core::any::Any;
+    let mut v = v;
+    let any: &mut dyn Any = &mut v;
+    if let Some(x) = any.downcast_mut::<f32>() {
+        *x = f32::from_bits(x.to_bits() ^ (1 << (bit % 32)));
+    } else if let Some(x) = any.downcast_mut::<u32>() {
+        *x ^= 1 << (bit % 32);
+    } else if let Some(x) = any.downcast_mut::<i32>() {
+        *x ^= 1 << (bit % 32);
+    } else if let Some(x) = any.downcast_mut::<u64>() {
+        *x ^= 1 << (bit % 32);
+    } else if let Some(x) = any.downcast_mut::<usize>() {
+        *x ^= 1 << (bit % 32);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let plan = FaultPlan::seeded(7)
+            .with_aborts(0.5)
+            .with_hangs(0.5)
+            .with_bitflips(0.1);
+        for warp in 0..16 {
+            for attempt in 0..3 {
+                let mut a = plan.warp_faults(warp, attempt);
+                let mut b = plan.warp_faults(warp, attempt);
+                assert_eq!(format!("{a:?}"), format!("{b:?}"));
+                // Bit-flip streams replay identically too.
+                let da: Vec<Option<u32>> = (0..64).map(|_| a.draw_bitflip()).collect();
+                let db: Vec<Option<u32>> = (0..64).map(|_| b.draw_bitflip()).collect();
+                assert_eq!(da, db);
+            }
+        }
+    }
+
+    #[test]
+    fn attempts_draw_independent_faults() {
+        // With a 50% abort rate, some attempts must differ from attempt 0
+        // across a handful of warps — retries are not doomed to repeat
+        // the same fault.
+        let plan = FaultPlan::seeded(3).with_aborts(0.5);
+        let differs = (0..32).any(|w| {
+            let a0 = format!("{:?}", plan.warp_faults(w, 0));
+            let a1 = format!("{:?}", plan.warp_faults(w, 1));
+            a0 != a1
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn rates_scale_fault_frequency() {
+        let count = |rate: f64| {
+            let plan = FaultPlan::seeded(11).with_aborts(rate);
+            (0..1000)
+                .filter(|&w| !plan.warp_faults(w, 0).is_inert())
+                .count()
+        };
+        assert_eq!(count(0.0), 0);
+        let lo = count(0.1);
+        let hi = count(0.9);
+        assert!((50..200).contains(&lo), "lo = {lo}");
+        assert!((800..980).contains(&hi), "hi = {hi}");
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let x = 1.5f32;
+        let y: f32 = corrupt(x, 3);
+        assert_eq!((x.to_bits() ^ y.to_bits()).count_ones(), 1);
+        assert_eq!(corrupt(corrupt(x, 7), 7), x, "flip is an involution");
+        let u: u32 = corrupt(0u32, 31);
+        assert_eq!(u, 1 << 31);
+        // Unknown types pass through unchanged.
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct Opaque(u8);
+        assert_eq!(corrupt(Opaque(9), 1), Opaque(9));
+    }
+
+    #[test]
+    fn pcie_events_deterministic_and_rate_bound() {
+        let plan = FaultPlan::seeded(5).with_pcie(0.5, 0.25);
+        assert_eq!(plan.pcie_events(0, 0), plan.pcie_events(0, 0));
+        let stalls = (0..1000).filter(|&t| plan.pcie_events(t, 0).0).count();
+        let corrupts = (0..1000).filter(|&t| plan.pcie_events(t, 0).1).count();
+        assert!((400..600).contains(&stalls), "stalls = {stalls}");
+        assert!((180..330).contains(&corrupts), "corrupts = {corrupts}");
+        assert_eq!(FaultPlan::seeded(1).pcie_events(0, 0), (false, false));
+    }
+
+    #[test]
+    fn signal_trigger_ordering() {
+        // A warp with both faults armed fires the earlier one.
+        let plan = FaultPlan::seeded(2).with_aborts(1.0).with_hangs(1.0);
+        let wf = plan.warp_faults(0, 0);
+        let first = wf.abort_at.unwrap().min(wf.hang_at.unwrap());
+        let sig = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut wf = plan.warp_faults(0, 0);
+            for issued in 0..10_000 {
+                wf.on_issue(issued);
+            }
+        }))
+        .expect_err("armed faults must fire");
+        let sig = sig.downcast_ref::<FaultSignal>().expect("typed signal");
+        assert_eq!(sig.at_issued, first);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FaultKind::Abort.name(), "abort");
+        assert_eq!(FaultKind::Hang.to_string(), "hang");
+        assert_eq!(FaultKind::BitFlip.name(), "bit-flip");
+        assert_eq!(FaultKind::PcieStall.name(), "pcie-stall");
+        assert_eq!(FaultKind::PcieCorrupt.name(), "pcie-corrupt");
+    }
+}

@@ -101,11 +101,13 @@
 //! assert_eq!(metrics.global_transactions, 4); // fully coalesced
 //! ```
 
+pub mod fault;
 pub mod launch;
 pub mod mask;
 pub mod mem;
 pub mod metrics;
 pub mod report;
+pub mod resilient;
 #[cfg(feature = "sanitize")]
 pub mod sanitize;
 pub mod spec;
@@ -114,10 +116,12 @@ pub mod timing;
 pub mod tracing;
 pub mod warp;
 
+pub use fault::{FaultKind, FaultPlan, FaultSignal};
 pub use launch::{launch, launch_seq};
 pub use mask::Mask;
 pub use metrics::Metrics;
 pub use report::{comparison_table, KernelReport};
+pub use resilient::{launch_resilient, ResilienceError, ResilientLaunch, RetryPolicy, WarpFailure};
 pub use spec::GpuSpec;
 pub use timing::TimingModel;
 pub use warp::WarpCtx;

@@ -143,7 +143,7 @@ pub struct GlobalBuf<T> {
     sid: u64,
 }
 
-impl<T: Copy + Default> GlobalBuf<T> {
+impl<T: Copy + Default + 'static> GlobalBuf<T> {
     /// Allocate `len` zero/default-initialised elements.
     pub fn new(len: usize) -> Self {
         GlobalBuf {
@@ -204,6 +204,14 @@ impl<T: Copy + Default> GlobalBuf<T> {
         for l in mask.lanes() {
             out[l] = self.data[idxs[l]];
         }
+        // Injected transient DRAM corruption perturbs the *loaded* value
+        // only; the stored data is unharmed, so a retry can succeed.
+        #[cfg(feature = "fault")]
+        for l in mask.lanes() {
+            if let Some(bit) = ctx.fault_flip() {
+                out[l] = crate::fault::corrupt(out[l], bit);
+            }
+        }
         out
     }
 
@@ -236,7 +244,13 @@ impl<T: Copy + Default> GlobalBuf<T> {
             use crate::sanitize::{AccessKind, MemSpace};
             ctx.san_access(MemSpace::Global, self.sid, idx, l, AccessKind::Read);
         }
-        self.data[idx]
+        #[allow(unused_mut)]
+        let mut v = self.data[idx];
+        #[cfg(feature = "fault")]
+        if let Some(bit) = ctx.fault_flip() {
+            v = crate::fault::corrupt(v, bit);
+        }
+        v
     }
 }
 
@@ -254,7 +268,7 @@ pub struct LaneLocal<T> {
     sid: u64,
 }
 
-impl<T: Copy + Default> LaneLocal<T> {
+impl<T: Copy + Default + 'static> LaneLocal<T> {
     /// Allocate `len_per_lane` elements per lane, filled with `init`.
     pub fn new(len_per_lane: usize, init: T) -> Self {
         LaneLocal {
@@ -301,6 +315,12 @@ impl<T: Copy + Default> LaneLocal<T> {
         let mut out = splat(T::default());
         for l in mask.lanes() {
             out[l] = self.data[self.phys(l, idxs[l])];
+        }
+        #[cfg(feature = "fault")]
+        for l in mask.lanes() {
+            if let Some(bit) = ctx.fault_flip() {
+                out[l] = crate::fault::corrupt(out[l], bit);
+            }
         }
         out
     }

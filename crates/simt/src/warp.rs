@@ -34,6 +34,8 @@ pub struct WarpCtx {
     san: crate::sanitize::Sanitizer,
     #[cfg(feature = "sanitize")]
     bank_conflict_limit: Option<u64>,
+    #[cfg(feature = "fault")]
+    faults: Option<crate::fault::WarpFaults>,
 }
 
 impl WarpCtx {
@@ -48,6 +50,8 @@ impl WarpCtx {
             san: crate::sanitize::Sanitizer::default(),
             #[cfg(feature = "sanitize")]
             bank_conflict_limit: None,
+            #[cfg(feature = "fault")]
+            faults: None,
         }
     }
 
@@ -76,6 +80,8 @@ impl WarpCtx {
         if mask.any_lane() {
             self.metrics.issued += n;
             self.metrics.lane_work += n * mask.count() as u64;
+            #[cfg(feature = "fault")]
+            self.fault_issue_check();
         }
     }
 
@@ -178,6 +184,8 @@ impl WarpCtx {
         self.metrics.lane_work += crate::WARP_SIZE as u64;
         #[cfg(feature = "sanitize")]
         self.san.bump_epoch();
+        #[cfg(feature = "fault")]
+        self.fault_issue_check();
     }
 
     /// Mark a point where warp-lockstep execution already orders memory
@@ -222,6 +230,38 @@ impl WarpCtx {
     #[inline]
     pub fn into_metrics(self) -> Metrics {
         self.metrics
+    }
+}
+
+/// Fault-injection controls, available only with the `fault` feature.
+/// Armed by [`crate::resilient::launch_resilient`] when a
+/// [`crate::fault::FaultPlan`] is active; kernels never touch these.
+#[cfg(feature = "fault")]
+impl WarpCtx {
+    /// Install the armed faults for this warp attempt.
+    pub fn arm_faults(&mut self, faults: crate::fault::WarpFaults) {
+        self.faults = (!faults.is_inert()).then_some(faults);
+    }
+
+    /// Bit flips injected into this context's loads so far.
+    pub fn bitflips_injected(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.bitflips_injected())
+    }
+
+    /// Fire any armed abort/hang whose issue-count trigger has been
+    /// crossed (panics with a [`crate::fault::FaultSignal`]).
+    #[inline]
+    fn fault_issue_check(&mut self) {
+        if let Some(f) = self.faults.as_mut() {
+            f.on_issue(self.metrics.issued);
+        }
+    }
+
+    /// Draw the bit-flip decision for one loaded lane-word (called by
+    /// the [`crate::mem`] buffers on DRAM-backed read paths).
+    #[inline]
+    pub(crate) fn fault_flip(&mut self) -> Option<u32> {
+        self.faults.as_mut().and_then(|f| f.draw_bitflip())
     }
 }
 

@@ -61,4 +61,23 @@ pub mod names {
     pub fn merge_repair_level(level: usize) -> String {
         format!("{MERGE_REPAIR_PREFIX}{level}")
     }
+
+    /// Warp attempts re-launched after a failure (resilient launcher).
+    pub const RESILIENCE_RETRY: &str = "resilience.retry";
+    /// Queries degraded to the exact host selection path.
+    pub const RESILIENCE_FALLBACK: &str = "resilience.fallback";
+    /// Injected or genuine kernel aborts observed.
+    pub const RESILIENCE_ABORT: &str = "resilience.abort";
+    /// Warp attempts killed at the simulated watchdog deadline.
+    pub const RESILIENCE_WATCHDOG: &str = "resilience.watchdog_timeout";
+    /// Non-injected kernel panics caught by the resilient launcher.
+    pub const RESILIENCE_PANIC: &str = "resilience.panic";
+    /// Kernel outputs rejected by structural/oracle validation.
+    pub const RESILIENCE_VALIDATION: &str = "resilience.validation_reject";
+    /// Bit flips injected into simulated DRAM loads.
+    pub const RESILIENCE_BITFLIP: &str = "resilience.bitflip_injected";
+    /// PCIe transfer attempts that stalled (delivered late).
+    pub const RESILIENCE_PCIE_STALL: &str = "resilience.pcie_stall";
+    /// PCIe transfer attempts rejected for corrupt payload and retried.
+    pub const RESILIENCE_PCIE_CORRUPT: &str = "resilience.pcie_corrupt";
 }

@@ -4,19 +4,24 @@
 //!
 //! * `lint` — run the kernel-authoring lint ([`check::lint`]) over the
 //!   simulated-kernel sources (`crates/core/src/gpu/` and
-//!   `crates/simt/src/`), filtered through the `lint-allow.txt`
-//!   allowlist at the workspace root. Exits non-zero on any
-//!   non-allowlisted violation; CI runs this on every push.
+//!   `crates/simt/src/`), plus the host-path `no-unwrap-io` rule over
+//!   the user-facing CLI sources, filtered through the
+//!   `lint-allow.txt` allowlist at the workspace root. Exits non-zero
+//!   on any non-allowlisted violation; CI runs this on every push.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use check::lint::{lint_tree, parse_allowlist, AllowEntry};
+use check::lint::{lint_host_tree, lint_tree, parse_allowlist, AllowEntry};
 
-/// Directories the lint scans, relative to the workspace root. Kernel
-/// code lives here; host-side crates (knn, baselines, trace) are free to
-/// use wall-clock time and unwrap.
+/// Directories the kernel lint scans, relative to the workspace root.
+/// Kernel code lives here; host-side library crates (knn, baselines,
+/// trace) are free to use wall-clock time and unwrap.
 const SCAN_ROOTS: [&str; 2] = ["crates/core/src/gpu", "crates/simt/src"];
+
+/// Directories the host-path lint (`no-unwrap-io`) scans: user-facing
+/// code where a panic on bad input is a bug, not a diagnostic.
+const HOST_SCAN_ROOTS: [&str; 1] = ["crates/cli/src"];
 
 const ALLOWLIST: &str = "lint-allow.txt";
 
@@ -59,13 +64,26 @@ fn lint(verbose: bool) -> ExitCode {
     };
     let roots: Vec<PathBuf> = SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
     let root_refs: Vec<&Path> = roots.iter().map(PathBuf::as_path).collect();
-    let report = match lint_tree(&root_refs, &allow) {
+    let mut report = match lint_tree(&root_refs, &allow) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to scan kernel sources: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let host_roots: Vec<PathBuf> = HOST_SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
+    let host_refs: Vec<&Path> = host_roots.iter().map(PathBuf::as_path).collect();
+    match lint_host_tree(&host_refs, &allow) {
+        Ok(host) => {
+            report.files_scanned += host.files_scanned;
+            report.violations.extend(host.violations);
+            report.suppressed.extend(host.suppressed);
+        }
+        Err(e) => {
+            eprintln!("error: failed to scan host sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     if verbose {
         for v in &report.suppressed {
             println!("allowed: {}:{} [{}]", v.file, v.line, v.rule);
