@@ -310,6 +310,10 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
 
+    fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+        DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+    }
+
     fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
         let mut v = dists.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -344,7 +348,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..40)
             .map(|_| (0..400).map(|_| rng.gen()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, metrics) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 16);
         assert_eq!(res.len(), 40);
         for (q, row) in rows.iter().enumerate() {
@@ -367,7 +371,7 @@ mod tests {
     fn simulated_handles_duplicates() {
         // All-equal rows force the three-way partition's equal path.
         let rows: Vec<Vec<f32>> = vec![vec![0.5; 200]; 32];
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, _) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 8);
         for r in &res {
             assert_eq!(r.len(), 8);
@@ -382,7 +386,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..32)
             .map(|_| (0..300).map(|_| (rng.gen::<f32>() * 8.0).floor()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, _) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 11);
         for (q, row) in rows.iter().enumerate() {
             let got: Vec<f32> = res[q].iter().map(|n| n.dist).collect();
@@ -393,7 +397,7 @@ mod tests {
     #[test]
     fn k_equals_n() {
         let rows: Vec<Vec<f32>> = vec![(0..32).map(|i| i as f32).rev().collect(); 32];
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, _) = gpu_qms_select(&GpuSpec::tesla_c2075(), &dm, 32);
         let got: Vec<f32> = res[0].iter().map(|n| n.dist).collect();
         assert_eq!(got, (0..32).map(|i| i as f32).collect::<Vec<_>>());

@@ -322,6 +322,10 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
 
+    fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+        DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+    }
+
     fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
         let mut v = dists.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -356,7 +360,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..64)
             .map(|_| (0..300).map(|_| rng.gen()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, metrics) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &dm, 16);
         assert_eq!(res.len(), 64);
         for (q, row) in rows.iter().enumerate() {
@@ -374,7 +378,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..20)
             .map(|_| (0..333).map(|_| rng.gen()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, metrics) = gpu_tbs_block_select(&GpuSpec::tesla_c2075(), &dm, 16);
         assert_eq!(res.len(), 20);
         for (q, row) in rows.iter().enumerate() {
@@ -395,16 +399,8 @@ mod tests {
     fn simulated_work_is_data_independent() {
         let rows1: Vec<Vec<f32>> = vec![(0..256).map(|i| i as f32).collect(); 32];
         let rows2: Vec<Vec<f32>> = vec![(0..256).rev().map(|i| i as f32).collect(); 32];
-        let (_, m1) = gpu_tbs_select(
-            &GpuSpec::tesla_c2075(),
-            &DistanceMatrix::from_rows(&rows1),
-            8,
-        );
-        let (_, m2) = gpu_tbs_select(
-            &GpuSpec::tesla_c2075(),
-            &DistanceMatrix::from_rows(&rows2),
-            8,
-        );
+        let (_, m1) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &dm_from(&rows1), 8);
+        let (_, m2) = gpu_tbs_select(&GpuSpec::tesla_c2075(), &dm_from(&rows2), 8);
         assert_eq!(m1.issued, m2.issued);
         assert_eq!(m1.global_transactions, m2.global_transactions);
     }

@@ -156,6 +156,10 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
 
+    fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+        DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+    }
+
     fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
         let mut v = dists.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -169,7 +173,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..25)
             .map(|_| (0..700).map(|_| rng.gen()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         for k in [1usize, 16, 100, 256] {
             let (res, _) = gpu_warp_select(&GpuSpec::tesla_c2075(), &dm, k);
             for (q, row) in rows.iter().enumerate() {
@@ -186,7 +190,7 @@ mod tests {
     fn duplicates_and_adversarial_order() {
         // Strictly descending input maximises accepted candidates.
         let rows: Vec<Vec<f32>> = vec![(0..512).rev().map(|i| i as f32).collect(); 3];
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let (res, _) = gpu_warp_select(&GpuSpec::tesla_c2075(), &dm, 32);
         let got: Vec<f32> = res[0].iter().map(|nb| nb.dist).collect();
         assert_eq!(got, (0..32).map(|i| i as f32).collect::<Vec<_>>());
@@ -199,7 +203,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(262);
         let n = 2048;
         let rows: Vec<Vec<f32>> = vec![(0..n).map(|_| rng.gen()).collect(); 4];
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let k = 64;
         let (_, m) = gpu_warp_select(&GpuSpec::tesla_c2075(), &dm, k);
         let scan_tx = 4 * (n as u64).div_ceil(32);
@@ -218,7 +222,7 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..32)
             .map(|_| (0..n).map(|_| rng.gen()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let tm = simt::TimingModel::tesla_c2075();
         let (_, ws) = gpu_warp_select(&tm.spec, &dm, 256);
         let paper = kselect::gpu::gpu_select_k(

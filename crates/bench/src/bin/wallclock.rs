@@ -1,0 +1,231 @@
+//! Native wall-clock benchmark of the real (non-simulated) k-NN path:
+//! the blocked GEMM-style distance kernel and the materialized vs
+//! tile-streamed end-to-end pipelines.
+//!
+//!     wallclock [--quick] [--out FILE]
+//!               [--queries Q] [--refs N] [--dim D] [--k K] [--tile T]
+//!
+//! Unlike the `repro` binary — whose figures report *simulated* Tesla
+//! C2075 seconds — everything here is measured on the host with
+//! `std::time::Instant`. The two sets of numbers are not comparable;
+//! see the "Performance" section of the README.
+//!
+//! The default workload is Q = 1024 queries against N = 2^14 references
+//! at dim = 128. Output goes to `BENCH_native.json`:
+//!
+//! * `distance.scalar_seconds` — a faithful copy of the seed
+//!   implementation's per-pair scalar loop (one loop-carried `f32`
+//!   accumulator, one row `Vec` per query), timed on the same data;
+//! * `distance.blocked_seconds` / `gflops` — the blocked kernel
+//!   (`knn::block::squared_distances`), counting 2·Q·N·dim flops;
+//! * `pipeline.*_qps` — end-to-end queries/second of the materialized
+//!   (full Q×N matrix, then per-row selection) and tile-streamed
+//!   (`knn_search_streamed`) paths, which are asserted to return
+//!   identical neighbors before any number is written;
+//! * `*_peak_distance_bytes` — the distance-buffer working set of each
+//!   path: Q·N·4 materialized vs Q·min(tile, N)·4 streamed.
+
+use std::time::Instant;
+
+use knn::{block, knn_search_streamed, PointSet};
+use kselect::{QueueKind, SelectConfig};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DistanceReport {
+    scalar_seconds: f64,
+    blocked_seconds: f64,
+    speedup: f64,
+    blocked_gflops: f64,
+}
+
+#[derive(Serialize)]
+struct PipelineReport {
+    materialized_seconds: f64,
+    materialized_qps: f64,
+    materialized_peak_distance_bytes: u64,
+    streamed_seconds: f64,
+    streamed_qps: f64,
+    streamed_peak_distance_bytes: u64,
+    results_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    queries: usize,
+    refs: usize,
+    dim: usize,
+    k: usize,
+    tile: usize,
+    distance: DistanceReport,
+    pipeline: PipelineReport,
+}
+
+struct Args {
+    q: usize,
+    n: usize,
+    dim: usize,
+    k: usize,
+    tile: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        q: 1024,
+        n: 1 << 14,
+        dim: 128,
+        k: 32,
+        tile: block::DEFAULT_STREAM_TILE,
+        out: "BENCH_native.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match flag.as_str() {
+            "--quick" => {
+                args.q = 128;
+                args.n = 2048;
+                args.dim = 32;
+            }
+            "--queries" => args.q = take("--queries").parse().expect("--queries"),
+            "--refs" => args.n = take("--refs").parse().expect("--refs"),
+            "--dim" => args.dim = take("--dim").parse().expect("--dim"),
+            "--k" => args.k = take("--k").parse().expect("--k"),
+            "--tile" => args.tile = take("--tile").parse().expect("--tile"),
+            "--out" => args.out = take("--out"),
+            other => {
+                eprintln!(
+                    "unknown flag {other}\nusage: wallclock [--quick] [--out FILE] \
+                     [--queries Q] [--refs N] [--dim D] [--k K] [--tile T]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// The seed implementation's distance kernel, kept verbatim as the
+/// baseline this benchmark reports speedups against: a scalar per-pair
+/// loop with a single loop-carried accumulator, collecting one `Vec`
+/// per query.
+fn seed_scalar_distance_matrix(queries: &PointSet, refs: &PointSet) -> Vec<Vec<f32>> {
+    (0..queries.len())
+        .map(|qi| {
+            let qp = queries.point(qi);
+            (0..refs.len())
+                .map(|ri| {
+                    let rp = refs.point(ri);
+                    let mut acc = 0.0f32;
+                    for d in 0..qp.len() {
+                        let diff = qp[d] - rp[d];
+                        acc += diff * diff;
+                    }
+                    acc
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall time of `f`, with a result sink so the work
+/// cannot be optimized away.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let args = parse_args();
+    let (q, n, dim, k) = (args.q, args.n, args.dim, args.k);
+    let tile = args.tile.min(n);
+    eprintln!("wallclock: Q={q} N={n} dim={dim} k={k} tile={tile}");
+
+    let queries = PointSet::uniform(q, dim, 71);
+    let refs = PointSet::uniform(n, dim, 72);
+    let cfg = SelectConfig::optimized(QueueKind::Merge, k);
+
+    // Distance kernels. One scalar reference pass (it is the slow one),
+    // best-of-3 for the blocked kernel.
+    let (t_scalar, scalar_rows) = time_best(1, || seed_scalar_distance_matrix(&queries, &refs));
+    let (t_blocked, blocked) = time_best(3, || block::squared_distances(&queries, &refs));
+    // Keep the baseline honest: same values, up to the documented
+    // decomposition rounding.
+    for (qi, row) in scalar_rows.iter().enumerate().take(q.min(4)) {
+        for (ri, &a) in row.iter().enumerate().take(n.min(64)) {
+            let b = blocked.at(qi, ri);
+            assert!(
+                (a - b).abs() <= 1e-3 * a.abs().max(1.0),
+                "kernel mismatch at ({qi}, {ri}): scalar {a} vs blocked {b}"
+            );
+        }
+    }
+    let flops = 2.0 * q as f64 * n as f64 * dim as f64;
+    let distance = DistanceReport {
+        scalar_seconds: t_scalar,
+        blocked_seconds: t_blocked,
+        speedup: t_scalar / t_blocked,
+        blocked_gflops: flops / t_blocked / 1e9,
+    };
+    eprintln!(
+        "distance: scalar {:.3}s, blocked {:.3}s ({:.1}x, {:.2} GFLOP/s)",
+        distance.scalar_seconds,
+        distance.blocked_seconds,
+        distance.speedup,
+        distance.blocked_gflops
+    );
+
+    // End-to-end pipelines: materialize-then-select vs tile-streamed.
+    let (t_mat, mat_neighbors) = time_best(1, || {
+        let m = block::squared_distances(&queries, &refs);
+        (0..m.q())
+            .into_par_iter()
+            .map(|qi| kselect::select_k(m.row(qi), &cfg))
+            .collect::<Vec<_>>()
+    });
+    let (t_streamed, streamed_neighbors) =
+        time_best(1, || knn_search_streamed(&queries, &refs, &cfg, tile));
+    let identical = mat_neighbors == streamed_neighbors;
+    assert!(
+        identical,
+        "streamed and materialized pipelines disagree — refusing to write numbers"
+    );
+    let pipeline = PipelineReport {
+        materialized_seconds: t_mat,
+        materialized_qps: q as f64 / t_mat,
+        materialized_peak_distance_bytes: (q * n * 4) as u64,
+        streamed_seconds: t_streamed,
+        streamed_qps: q as f64 / t_streamed,
+        streamed_peak_distance_bytes: (q * tile * 4) as u64,
+        results_identical: identical,
+    };
+    eprintln!(
+        "pipeline: materialized {:.1} q/s ({} MB peak), streamed {:.1} q/s ({} MB peak)",
+        pipeline.materialized_qps,
+        pipeline.materialized_peak_distance_bytes >> 20,
+        pipeline.streamed_qps,
+        pipeline.streamed_peak_distance_bytes >> 20,
+    );
+
+    let report = Report {
+        queries: q,
+        refs: n,
+        dim,
+        k,
+        tile,
+        distance,
+        pipeline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&args.out, json + "\n").expect("write report");
+    eprintln!("wrote {}", args.out);
+}

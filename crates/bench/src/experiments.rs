@@ -14,13 +14,12 @@
 use std::time::Instant;
 
 use kselect::buffered::BufferConfig;
-use kselect::gpu::DistanceMatrix;
 use kselect::hierarchical::HpConfig;
 use kselect::queues::UpdateCounter;
 use kselect::{HeapQueue, InsertionQueue, MergeQueue, QueueKind, SelectConfig};
 
 use crate::table::{Figure, Series, TimeTable};
-use crate::workload::{distance_row, distance_rows};
+use crate::workload::{device_matrix, distance_row, distance_rows};
 use crate::Harness;
 
 /// The paper's k sweep: 2^5 … 2^10 (quick mode: two points).
@@ -140,8 +139,7 @@ pub fn fig5(h: &Harness, quick: bool) -> Vec<Figure> {
 
 /// Simulated, workload-scaled seconds for one variant at (n, k).
 fn sim_time(h: &Harness, cfg: &SelectConfig, n: usize) -> f64 {
-    let rows = distance_rows(h.q_sim, n, h.seed ^ (n as u64) << 1);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = device_matrix(h.q_sim, n, h.seed ^ (n as u64) << 1);
     h.gpu_select_time(&dm, cfg)
 }
 
@@ -370,8 +368,7 @@ fn tbs_time(h: &Harness, n: usize, k: usize) -> Option<f64> {
     if k > 512 {
         return None;
     }
-    let rows = distance_rows(h.q_sim, n, h.seed ^ 0x7B5);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = device_matrix(h.q_sim, n, h.seed ^ 0x7B5);
     let (_, m) = baselines::gpu_tbs_block_select(&h.tm.spec, &dm, k);
     Some(h.tm.kernel_time_scaled(&m, h.replication()))
 }
@@ -381,16 +378,14 @@ fn tbs_lane_time(h: &Harness, n: usize, k: usize) -> Option<f64> {
     if k > 512 {
         return None;
     }
-    let rows = distance_rows(h.q_sim, n, h.seed ^ 0x7B5);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = device_matrix(h.q_sim, n, h.seed ^ 0x7B5);
     let (_, m) = baselines::gpu_tbs_select(&h.tm.spec, &dm, k);
     Some(h.tm.kernel_time_scaled(&m, h.replication()))
 }
 
 /// Simulated QMS time.
 fn qms_time(h: &Harness, n: usize, k: usize) -> f64 {
-    let rows = distance_rows(h.q_sim, n, h.seed ^ 0x915);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = device_matrix(h.q_sim, n, h.seed ^ 0x915);
     let (_, m) = baselines::gpu_qms_select(&h.tm.spec, &dm, k);
     h.tm.kernel_time_scaled(&m, h.replication())
 }
@@ -480,8 +475,7 @@ pub fn table1(h: &Harness, quick: bool) -> TimeTable {
     // State of the art
     push_row("Truncated Bitonic Sort", &mut |n, k| tbs_time(h, n, k));
     push_row("WarpSelect (FAISS-style, 2017)", &mut |n, k| {
-        let rows = distance_rows(h.q_sim, n, h.seed ^ 0xFA155);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = device_matrix(h.q_sim, n, h.seed ^ 0xFA155);
         let (_, m) = baselines::gpu_warp_select(&h.tm.spec, &dm, k);
         Some(h.tm.kernel_time_scaled(&m, h.replication()))
     });
@@ -577,8 +571,7 @@ fn scan_with_queues(
 ) -> f64 {
     use kselect::gpu::WarpQueues;
     use simt::{lanes_from_fn, launch, splat, Mask, WARP_SIZE};
-    let rows = distance_rows(h.q_sim, n, h.seed ^ 0xAB1A);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = device_matrix(h.q_sim, n, h.seed ^ 0xAB1A);
     let n_warps = h.q_sim.div_ceil(WARP_SIZE);
     let (_, metrics) = launch(&h.tm.spec, n_warps, |warp_id, ctx| {
         let warp = Mask::full();
@@ -724,8 +717,7 @@ pub fn ablations(h: &Harness, quick: bool) -> Vec<Figure> {
         points: Vec::new(),
     };
     for &nn in &n_points(quick) {
-        let rows = distance_rows(h.q_sim, nn, h.seed ^ 0x4B);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = device_matrix(h.q_sim, nn, h.seed ^ 0x4B);
         let cfg = SelectConfig::plain(QueueKind::Merge, SWEEP_K)
             .with_aligned(true)
             .with_hp(kselect::hierarchical::HpConfig { g: 4 });
@@ -824,8 +816,7 @@ pub fn occupancy(h: &Harness, quick: bool) -> Vec<Figure> {
         &[2, 4, 8, 16, 32, 64, 128]
     };
     let base_cfg = SelectConfig::plain(QueueKind::Merge, SWEEP_K).with_aligned(true);
-    let rows = distance_rows(h.q_sim, n, h.seed ^ 0x0CC);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = device_matrix(h.q_sim, n, h.seed ^ 0x0CC);
     let base_res = kselect::gpu::gpu_select_k(&h.tm.spec, &dm, &base_cfg);
     let base_raw = h.tm.kernel_time_scaled(&base_res.metrics, h.replication());
     let mut raw = Series {

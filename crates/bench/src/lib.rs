@@ -111,8 +111,7 @@ mod tests {
             q_full: 64,
             ..Harness::new()
         };
-        let rows = workload::distance_rows(32, 512, 1);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = workload::device_matrix(32, 512, 1);
         let cfg = SelectConfig::plain(QueueKind::Heap, 16);
         let t = h.gpu_select_time(&dm, &cfg);
         assert!(t > 0.0);
@@ -128,8 +127,7 @@ mod tests {
     #[test]
     fn profiled_cells_abut_on_one_timeline() {
         let h = Harness::quick();
-        let rows = workload::distance_rows(32, 512, 2);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = workload::device_matrix(32, 512, 2);
         let mut tracer = trace::Tracer::new();
         let t_plain = h.gpu_select_profiled(
             &dm,

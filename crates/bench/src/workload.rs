@@ -8,6 +8,7 @@
 //! and avoids materialising a 2 GB distance matrix on the host. The
 //! distance phase itself is costed by `knn::gpu_distance_metrics`.
 
+use kselect::gpu::DistanceMatrix;
 use rand::{Rng, SeedableRng};
 
 /// `q` independent uniform-[0,1) distance rows of length `n`.
@@ -21,6 +22,17 @@ pub fn distance_rows(q: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
 /// One uniform distance row (for single-query experiments like Fig. 5).
 pub fn distance_row(n: usize, seed: u64) -> Vec<f32> {
     distance_rows(1, n, seed).pop().unwrap()
+}
+
+/// The same uniform workload as [`distance_rows`], generated straight
+/// into a device [`DistanceMatrix`] with no per-row host vectors. The
+/// RNG stream is drawn in row-major order, so element (q, r) is
+/// bit-identical to `distance_rows(q, n, seed)[q][r]` — checked-in
+/// experiment artifacts are unaffected by which constructor ran.
+pub fn device_matrix(q: usize, n: usize, seed: u64) -> DistanceMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let flat: Vec<f32> = (0..q * n).map(|_| rng.gen::<f32>()).collect();
+    DistanceMatrix::from_row_major(&flat, q, n)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! | `no-wall-clock` | kernel sources must not read host time (`std::time`, `Instant`, `SystemTime`) — simulated time comes from the timing model |
 //! | `no-unwrap` | kernel hot paths must not `.unwrap()` / `.expect(` — fail with a diagnostic (`panic!`/`assert!` with context) or handle the case |
 //! | `no-unwrap-io` | host-side I/O and parse paths (see [`lint_host_source`], applied to user-facing crates like the CLI) must not `.unwrap()` / `.expect(` anywhere outside tests — user input failures must surface as typed errors and exit codes, not panics |
+//! | `no-row-alloc` | host hot paths (see [`lint_row_alloc_source`], applied to `crates/knn/src`) must not materialize distance buffers as `Vec<Vec<f32>>` — a heap allocation per query row; use a flat `knn::block::FlatMatrix` (or a reused scratch slice) instead |
 //!
 //! Deliberate exceptions live in an allowlist file (`lint-allow.txt` at
 //! the workspace root): one entry per line, `rule | file-suffix |
@@ -35,13 +36,14 @@ use std::io;
 use std::path::Path;
 
 /// The stable rule identifiers, in reporting order.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "charge-divergence",
     "loop-head",
     "no-host-access",
     "no-wall-clock",
     "no-unwrap",
     "no-unwrap-io",
+    "no-row-alloc",
 ];
 
 /// One lint finding.
@@ -156,6 +158,12 @@ pub fn lint_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport
 /// ([`lint_host_source`]) instead of the kernel rules.
 pub fn lint_host_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport> {
     lint_tree_with(roots, allow, lint_host_source)
+}
+
+/// [`lint_tree`], but applying the hot-path allocation rule
+/// ([`lint_row_alloc_source`]) instead of the kernel rules.
+pub fn lint_row_alloc_tree(roots: &[&Path], allow: &[AllowEntry]) -> io::Result<LintReport> {
+    lint_tree_with(roots, allow, lint_row_alloc_source)
 }
 
 fn lint_tree_with(
@@ -375,6 +383,42 @@ pub fn lint_host_source(file: &str, src: &str) -> Vec<Violation> {
                 line_text: text_of(line),
             });
         }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Lint one *hot-path* source file for per-row distance-buffer
+/// allocations: any `Vec<Vec<f32>>` outside `#[cfg(test)]` modules is a
+/// `no-row-alloc` violation. A heap allocation per query row defeats
+/// the blocked distance kernel's cache tiling and shows up directly in
+/// wall-clock QPS; hot paths must use a flat row-major buffer
+/// (`knn::block::FlatMatrix`) or a reused scratch slice instead.
+/// Legacy compatibility wrappers are allowlisted, not exempted in code.
+/// Pure, like [`lint_source`].
+pub fn lint_row_alloc_source(file: &str, src: &str) -> Vec<Violation> {
+    let masked = strip_test_modules(&mask_comments_and_strings(src));
+    let lines: Vec<&str> = src.lines().collect();
+    let line_of = |offset: usize| -> usize { masked[..offset].matches('\n').count() + 1 };
+    let text_of = |line: usize| -> String {
+        lines
+            .get(line - 1)
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    };
+    let mut out = Vec::new();
+    for off in find_all(&masked, "Vec<Vec<f32>>") {
+        let line = line_of(off);
+        out.push(Violation {
+            file: file.to_string(),
+            line,
+            rule: "no-row-alloc",
+            message: "'Vec<Vec<f32>>' materializes a distance buffer as one heap \
+                      allocation per query row; use a flat row-major buffer \
+                      (knn::block::FlatMatrix) or a reused scratch slice in hot paths"
+                .to_string(),
+            line_text: text_of(line),
+        });
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -764,6 +808,23 @@ mod tests {
         // unwrap_or / unwrap_or_else / unwrap_or_default are handling, not panicking
         let ok = "fn f() { let v = it.next().unwrap_or(0); let w = g().unwrap_or_else(h); }\n";
         assert!(lint_host_source("f.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn row_alloc_flagged_outside_tests() {
+        let src = "pub fn distances(q: &PointSet, r: &PointSet) -> Vec<Vec<f32>> {\n    todo()\n}\n#[cfg(test)]\nmod tests {\n    fn rows() -> Vec<Vec<f32>> { vec![] }\n}\n";
+        let v = lint_row_alloc_source("knn/src/d.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-row-alloc");
+        assert_eq!(v[0].line, 1);
+        assert!(v[0].message.contains("FlatMatrix"));
+        // flat buffers and borrowed rows are fine
+        let ok = "pub fn distances(q: &PointSet) -> FlatMatrix { todo() }\nfn select(rows: &[Vec<f32>], k: usize) {}\n";
+        assert!(lint_row_alloc_source("knn/src/d.rs", ok).is_empty());
+        // mentions inside comments and strings are masked out
+        let doc =
+            "/// Returns what used to be a Vec<Vec<f32>>.\nfn f() { let s = \"Vec<Vec<f32>>\"; }\n";
+        assert!(lint_row_alloc_source("knn/src/d.rs", doc).is_empty());
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! naming the rule and the kernel, and the checked-in workspace
 //! allowlist must stay well-formed.
 
-use check::lint::{is_allowed, lint_host_source, lint_source, parse_allowlist, RULES};
+use check::lint::{
+    is_allowed, lint_host_source, lint_row_alloc_source, lint_source, parse_allowlist, RULES,
+};
 
 const SEEDED: &str = r#"
 use std::time::Instant;
@@ -24,7 +26,12 @@ fn kernel(ctx: &mut WarpCtx, buf: &GlobalBuf<f32>) {
 fn all_kernel_rules_fire_on_seeded_kernel() {
     let violations = lint_source("fixture.rs", SEEDED);
     let fired: Vec<&str> = violations.iter().map(|v| v.rule).collect();
-    for rule in RULES.iter().filter(|r| **r != "no-unwrap-io") {
+    // The host-path rules (no-unwrap-io, no-row-alloc) have their own
+    // scanners and fixtures below.
+    for rule in RULES
+        .iter()
+        .filter(|r| **r != "no-unwrap-io" && **r != "no-row-alloc")
+    {
         assert!(fired.contains(rule), "rule {rule} missed; fired: {fired:?}");
     }
     for v in &violations {
@@ -51,6 +58,18 @@ fn host_rule_fires_on_seeded_host_code() {
 }
 
 #[test]
+fn row_alloc_rule_fires_on_seeded_hot_path() {
+    let seeded = "pub fn distances(q: &PointSet, r: &PointSet) -> Vec<Vec<f32>> {\n    todo()\n}\n";
+    let violations = lint_row_alloc_source("knn/src/hot.rs", seeded);
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations[0].rule, "no-row-alloc");
+    assert_eq!(violations[0].line, 1);
+    // ...and only on hot-path scans: the kernel and host rules ignore it.
+    assert!(lint_source("knn/src/hot.rs", seeded).is_empty());
+    assert!(lint_host_source("knn/src/hot.rs", seeded).is_empty());
+}
+
+#[test]
 fn allowlist_suppresses_only_the_named_line() {
     let allow =
         parse_allowlist("loop-head | fixture.rs | while live.any_lane() | cost charged inside\n")
@@ -69,6 +88,6 @@ fn repo_allowlist_stays_well_formed() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../lint-allow.txt");
     let text = std::fs::read_to_string(path).expect("lint-allow.txt at workspace root");
     let entries = parse_allowlist(&text).expect("allowlist must parse");
-    assert_eq!(entries.len(), 3, "update this test when adding entries");
+    assert_eq!(entries.len(), 6, "update this test when adding entries");
     assert!(entries.iter().all(|e| !e.reason.is_empty()));
 }

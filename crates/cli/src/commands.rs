@@ -150,10 +150,8 @@ pub fn run(cmd: Command) -> i32 {
         }
         Command::Simulate { n, k, queue } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-            let rows: Vec<Vec<f32>> = (0..32)
-                .map(|_| (0..n).map(|_| rng.gen()).collect())
-                .collect();
-            let dm = DistanceMatrix::from_rows(&rows);
+            let flat: Vec<f32> = (0..32 * n).map(|_| rng.gen()).collect();
+            let dm = DistanceMatrix::from_row_major(&flat, 32, n);
             let tm = TimingModel::tesla_c2075();
             let kk = padded_k(queue, k);
             println!("simulated Tesla C2075, one warp (32 queries), n={n} k={k}\n");

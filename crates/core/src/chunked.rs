@@ -13,6 +13,62 @@
 use crate::select::{select_k, SelectConfig};
 use crate::types::{sort_neighbors, Neighbor};
 
+/// Incremental top-k merge over per-chunk selections — the host-side
+/// "global merge" state of the divide-and-merge literature, factored out
+/// so streaming pipelines (which see one chunk at a time and never hold
+/// the full list) share the exact merge semantics of
+/// [`select_k_chunked`].
+///
+/// Feed it each chunk's top-k (with the chunk's global id offset); it
+/// keeps at most `k + chunk_topk` candidates alive, so memory stays
+/// O(k) regardless of how many chunks stream through. Ties resolve by
+/// `(dist, id)` — identical to a single [`select_k`] over the
+/// concatenated list.
+#[derive(Clone, Debug)]
+pub struct StreamMerger {
+    k: usize,
+    acc: Vec<Neighbor>,
+}
+
+impl StreamMerger {
+    /// A merger retaining the `k` smallest candidates seen.
+    ///
+    /// # Panics
+    /// When `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        StreamMerger {
+            k,
+            acc: Vec::with_capacity(2 * k),
+        }
+    }
+
+    /// Merge one chunk's survivors, rebasing their chunk-local ids by
+    /// `id_offset`.
+    pub fn push_chunk(&mut self, chunk: Vec<Neighbor>, id_offset: u32) {
+        for mut nb in chunk {
+            nb.id += id_offset;
+            self.acc.push(nb);
+        }
+        // The running set is ≤ k + |chunk| entries; sorting it is exact
+        // and cheap, and truncation is lossless: an element of the
+        // global top-k is necessarily in the running top-k of every
+        // prefix of chunks.
+        sort_neighbors(&mut self.acc);
+        self.acc.truncate(self.k);
+    }
+
+    /// The current top-k of everything pushed so far, sorted ascending.
+    pub fn current(&self) -> &[Neighbor] {
+        &self.acc
+    }
+
+    /// Finish: the global top-k, sorted ascending by `(dist, id)`.
+    pub fn finish(self) -> Vec<Neighbor> {
+        self.acc
+    }
+}
+
 /// k smallest of `dists` computed chunk-by-chunk. `chunk_size` bounds the
 /// working set of each inner selection (e.g. what fits device memory).
 ///
@@ -23,21 +79,11 @@ pub fn select_k_chunked(dists: &[f32], cfg: &SelectConfig, chunk_size: usize) ->
     if dists.len() <= chunk_size {
         return select_k(dists, cfg);
     }
-    let mut candidates: Vec<Neighbor> =
-        Vec::with_capacity(cfg.k * dists.len().div_ceil(chunk_size));
+    let mut merger = StreamMerger::new(cfg.k);
     for (ci, chunk) in dists.chunks(chunk_size).enumerate() {
-        let base = (ci * chunk_size) as u32;
-        for mut nb in select_k(chunk, cfg) {
-            nb.id += base;
-            candidates.push(nb);
-        }
+        merger.push_chunk(select_k(chunk, cfg), (ci * chunk_size) as u32);
     }
-    // Final merge: the candidate set is tiny (≤ k per chunk); a sort is
-    // exact and cheap. (On the GPU this is the "global merge" kernel of
-    // the divide-and-merge literature.)
-    sort_neighbors(&mut candidates);
-    candidates.truncate(cfg.k);
-    candidates
+    merger.finish()
 }
 
 #[cfg(test)]

@@ -457,10 +457,8 @@ mod tests {
 
     fn random_dm(q: usize, n: usize, seed: u64) -> DistanceMatrix {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f32>> = (0..q)
-            .map(|_| (0..n).map(|_| rng.gen()).collect())
-            .collect();
-        DistanceMatrix::from_rows(&rows)
+        let flat: Vec<f32> = (0..q * n).map(|_| rng.gen()).collect();
+        DistanceMatrix::from_row_major(&flat, q, n)
     }
 
     #[test]

@@ -23,8 +23,32 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Build from per-query rows (`rows[q][e]`), transposing into the
-    /// coalescing-friendly layout.
+    /// Build from one flat row-major buffer (`flat[qi * n + e]`, the
+    /// layout host distance kernels produce), transposing into the
+    /// coalescing-friendly query-major device layout. One pass, one
+    /// allocation — no intermediate heap-of-rows.
+    pub fn from_row_major(flat: &[f32], q: usize, n: usize) -> Self {
+        assert!(q > 0, "need at least one query");
+        assert_eq!(flat.len(), q * n, "flat buffer does not match q × n");
+        let mut data = vec![0.0f32; n * q];
+        for (qi, row) in flat.chunks_exact(n.max(1)).enumerate() {
+            for (e, &v) in row.iter().enumerate() {
+                data[e * q + qi] = v;
+            }
+        }
+        DistanceMatrix {
+            buf: GlobalBuf::from_vec(data),
+            n,
+            q,
+        }
+    }
+
+    /// Build from per-query rows (`rows[q][e]`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "copies each row twice; build a flat row-major buffer and use `from_row_major` \
+                (or `from_flat` for already query-major data)"
+    )]
     pub fn from_rows(rows: &[Vec<f32>]) -> Self {
         let q = rows.len();
         assert!(q > 0, "need at least one query");
@@ -226,6 +250,10 @@ mod tests {
             .collect()
     }
 
+    fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+        DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+    }
+
     fn oracle(row: &[f32], k: usize) -> Vec<f32> {
         let mut v = row.to_vec();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -236,7 +264,7 @@ mod tests {
     #[test]
     fn matrix_layout_roundtrip() {
         let rows = random_rows(5, 9, 90);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         assert_eq!(dm.n(), 9);
         assert_eq!(dm.q(), 5);
         for (q, row) in rows.iter().enumerate() {
@@ -245,6 +273,10 @@ mod tests {
             }
         }
         assert_eq!(dm.bytes(), 5 * 9 * 4);
+        // The deprecated rows-of-Vecs constructor stays equivalent.
+        #[allow(deprecated)]
+        let legacy = DistanceMatrix::from_rows(&rows);
+        assert_eq!(legacy.buf().as_slice(), dm.buf().as_slice());
     }
 
     #[test]
@@ -252,7 +284,7 @@ mod tests {
         let spec = GpuSpec::tesla_c2075();
         // 3 warps worth of queries, one of them partial.
         let rows = random_rows(70, 600, 91);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let k = 16;
         for queue in QueueKind::ALL {
             for aligned in [false, true] {
@@ -285,8 +317,7 @@ mod tests {
     #[test]
     fn build_metrics_attributed_only_with_hp() {
         let spec = GpuSpec::tesla_c2075();
-        let rows = random_rows(32, 1024, 92);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&random_rows(32, 1024, 92));
         let plain = gpu_select_k(&spec, &dm, &SelectConfig::plain(QueueKind::Merge, 16));
         assert_eq!(plain.build_metrics, Metrics::new());
         let hp = gpu_select_k(
@@ -303,8 +334,7 @@ mod tests {
         // The paper's bottom line, in miniature: aligned+buf+hp Merge
         // Queue beats the plain Merge Queue.
         let spec = GpuSpec::tesla_c2075();
-        let rows = random_rows(32, 4096, 93);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&random_rows(32, 4096, 93));
         let tm = simt::TimingModel::tesla_c2075();
         let orig = gpu_select_k(&spec, &dm, &SelectConfig::plain(QueueKind::Merge, 64));
         let opt = gpu_select_k(&spec, &dm, &SelectConfig::optimized(QueueKind::Merge, 64));
@@ -320,8 +350,7 @@ mod tests {
     #[should_panic]
     fn oversized_buffer_rejected() {
         let spec = GpuSpec::tesla_c2075();
-        let rows = random_rows(32, 64, 95);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&random_rows(32, 64, 95));
         let cfg = SelectConfig::plain(QueueKind::Heap, 8).with_buffer(BufferConfig {
             size: 1 << 20, // would need megabytes of shared memory
             sorted: false,
@@ -334,8 +363,7 @@ mod tests {
     #[should_panic]
     fn k_larger_than_n_rejected() {
         let spec = GpuSpec::tesla_c2075();
-        let rows = random_rows(4, 8, 94);
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&random_rows(4, 8, 94));
         gpu_select_k(&spec, &dm, &SelectConfig::plain(QueueKind::Heap, 16));
     }
 }

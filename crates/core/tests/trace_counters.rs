@@ -11,6 +11,10 @@ use kselect::SelectConfig;
 use rand::{Rng, SeedableRng};
 use simt::{lanes_from_fn, splat, GpuSpec, Mask, WarpCtx, WARP_SIZE};
 
+fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+    DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+}
+
 fn random_rows(q: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..q)
@@ -25,7 +29,7 @@ fn random_rows(q: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
 fn insert_plus_reject_accounts_for_every_element_scanned() {
     let spec = GpuSpec::tesla_c2075();
     let (q, n, k) = (70, 600, 16); // 3 warps, one partial
-    let dm = DistanceMatrix::from_rows(&random_rows(q, n, 201));
+    let dm = dm_from(&random_rows(q, n, 201));
     for queue in QueueKind::ALL {
         for aligned in [false, true] {
             let cfg = SelectConfig {
@@ -58,7 +62,7 @@ fn insert_plus_reject_accounts_for_every_element_scanned() {
 fn buffered_path_balances_and_counts_flushes() {
     let spec = GpuSpec::tesla_c2075();
     let (q, n, k) = (64, 2000, 32);
-    let dm = DistanceMatrix::from_rows(&random_rows(q, n, 202));
+    let dm = dm_from(&random_rows(q, n, 202));
     for (sorted, intra_warp) in [(false, false), (false, true), (true, true)] {
         let cfg = SelectConfig::plain(QueueKind::Merge, k).with_buffer(BufferConfig {
             size: 16,
@@ -133,7 +137,7 @@ fn merge_repair_counters_match_merge_passes_ground_truth() {
 #[test]
 fn hp_expansions_and_counter_set_export() {
     let spec = GpuSpec::tesla_c2075();
-    let dm = DistanceMatrix::from_rows(&random_rows(32, 4096, 204));
+    let dm = dm_from(&random_rows(32, 4096, 204));
     let plain = gpu_select_k(&spec, &dm, &SelectConfig::plain(QueueKind::Merge, 16));
     assert_eq!(plain.counters.hp_expansions, 0);
 

@@ -1,12 +1,15 @@
 //! Euclidean distance computation — the phase that precedes k-selection.
 //!
-//! Two forms:
+//! Three forms:
 //!
-//! * [`distance_matrix`] — a real, rayon-parallel computation used by the
-//!   native library and to feed the simulated selection kernels with
-//!   genuine distance data. Returns *squared* distances: the square root
-//!   is monotone, so k-NN ranks are unchanged and the paper's brute-force
+//! * [`block`] — the blocked, flat, GEMM-style host kernel
+//!   ([`block::squared_distances`]) every real pipeline uses: norms
+//!   computed once, tiled inner products over cache-sized blocks, flat
+//!   row-major output. Returns *squared* distances: the square root is
+//!   monotone, so k-NN ranks are unchanged and the paper's brute-force
 //!   baseline (Garcia et al. \[3\]) does the same.
+//! * [`distance_matrix`] — the legacy heap-of-rows interface, now a thin
+//!   wrapper over the blocked kernel kept for downstream compatibility.
 //! * [`gpu_distance_metrics`] — an *analytic* metrics model of the
 //!   distance kernel on the simulated device. Simulating Q·N·dim
 //!   multiply-adds element-by-element would be pointless (it's a dense
@@ -15,22 +18,88 @@
 //!   N = 2^15, Q = 2^13, dim = 128 the model yields ≈ 0.13 s on the C2075
 //!   versus the paper's measured 0.14 s ("Distance Calculation on GPU",
 //!   Table I).
+//!
+//! # Numerics
+//!
+//! [`squared_distance`] uses the FAISS decomposition
+//! ‖q−r‖² = ‖q‖² + ‖r‖² − 2·q·r (Johnson et al., *Billion-scale
+//! similarity search with GPUs*), with each reduction accumulated over
+//! [`LANES`] independent partial sums folded by a fixed-shape tree. That
+//! accumulation order is part of the function's contract: the blocked
+//! kernel hoists the norms out of the pair loop and reproduces the
+//! per-pair arithmetic *bit for bit* (a property test enforces this), so
+//! every path — scalar, blocked, tile-streamed — returns identical
+//! floats. Cancellation can drive the decomposition a few ulp below
+//! zero for near-identical points; the result is clamped to `max(0, ·)`
+//! (NaN from non-finite inputs is preserved for [`clamp_non_finite`]).
 
-use rayon::prelude::*;
+pub mod block;
+
 use simt::Metrics;
 
 use crate::dataset::PointSet;
 
+/// Number of independent accumulators in the reduction kernels below.
+/// Eight f32 lanes give the autovectorizer a full 256-bit vector (or two
+/// 128-bit chains) with no loop-carried dependence on the critical path.
+pub const LANES: usize = 8;
+
+/// Inner product of two equal-length vectors, accumulated over
+/// [`LANES`] partial sums folded pairwise. This exact operation order is
+/// shared by every distance path in the crate.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let chunks = a.chunks_exact(LANES);
+    let tail_a = chunks.remainder();
+    let tail_b = &b[a.len() - tail_a.len()..];
+    for (ca, cb) in chunks.zip(b.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (x, y) in tail_a.iter().zip(tail_b) {
+        tail += x * y;
+    }
+    // Fixed-shape pairwise tree so the result is deterministic.
+    let a01 = acc[0] + acc[1];
+    let a23 = acc[2] + acc[3];
+    let a45 = acc[4] + acc[5];
+    let a67 = acc[6] + acc[7];
+    ((a01 + a23) + (a45 + a67)) + tail
+}
+
+/// Squared L2 norm ‖a‖² with the same accumulation order as [`dot`].
+#[inline]
+pub fn squared_norm(a: &[f32]) -> f32 {
+    dot(a, a)
+}
+
+/// Assemble ‖q−r‖² from precomputed parts: ‖q‖² + ‖r‖² − 2·q·r, clamped
+/// at zero (cancellation on near-identical points can land a few ulp
+/// negative, which would break non-negativity assumptions downstream —
+/// e.g. the radix-select baselines' float bit tricks). NaN (from
+/// non-finite inputs) passes through for [`clamp_non_finite`] to map.
+#[inline]
+pub fn squared_distance_from_parts(norm_q: f32, norm_r: f32, dot_qr: f32) -> f32 {
+    let raw = norm_q + norm_r - 2.0 * dot_qr;
+    if raw < 0.0 {
+        0.0
+    } else {
+        raw
+    }
+}
+
 /// Squared Euclidean distance between two equal-length vectors.
+///
+/// Computed as ‖a‖² + ‖b‖² − 2·a·b (see the module docs for why, and for
+/// the bit-exactness contract with the blocked kernel).
 #[inline]
 pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f32;
-    for (x, y) in a.iter().zip(b) {
-        let d = x - y;
-        acc += d * d;
-    }
-    acc
+    squared_distance_from_parts(squared_norm(a), squared_norm(b), dot(a, b))
 }
 
 /// The pipeline's NaN/Inf policy: a non-finite distance (overflow, or a
@@ -47,19 +116,16 @@ pub fn clamp_non_finite(d: f32) -> f32 {
     }
 }
 
-/// Compute the full distance matrix: `rows[q][r]` is the squared distance
-/// between query `q` and reference `r`. Parallel over queries.
+/// Compute the full distance matrix as per-query rows: `rows[q][r]` is
+/// the squared distance between query `q` and reference `r`.
+///
+/// Legacy interface: the heap-of-rows return type costs one allocation
+/// per query on top of the flat kernel output. New code should call
+/// [`block::squared_distances`] and keep the flat [`block::FlatMatrix`]
+/// (`cargo xtask lint`'s `no-row-alloc` rule flags new `Vec<Vec<f32>>`
+/// distance buffers in this crate's hot paths).
 pub fn distance_matrix(queries: &PointSet, refs: &PointSet) -> Vec<Vec<f32>> {
-    assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
-    (0..queries.len())
-        .into_par_iter()
-        .map(|q| {
-            let qp = queries.point(q);
-            (0..refs.len())
-                .map(|r| clamp_non_finite(squared_distance(qp, refs.point(r))))
-                .collect()
-        })
-        .collect()
+    block::squared_distances(queries, refs).to_rows()
 }
 
 /// Analytic execution metrics of the brute-force distance kernel on the

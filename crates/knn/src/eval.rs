@@ -10,7 +10,7 @@ use kselect::types::Neighbor;
 use rayon::prelude::*;
 
 use crate::dataset::PointSet;
-use crate::metric::{distance_matrix_with, Metric};
+use crate::metric::{distance_matrix_flat_with, Metric};
 
 /// Exact k-NN ground truth by full sort, for every query.
 pub fn ground_truth(
@@ -19,10 +19,12 @@ pub fn ground_truth(
     k: usize,
     metric: Metric,
 ) -> Vec<Vec<Neighbor>> {
-    distance_matrix_with(queries, refs, metric)
+    let m = distance_matrix_flat_with(queries, refs, metric);
+    (0..m.q())
         .into_par_iter()
-        .map(|row| {
-            let mut v: Vec<Neighbor> = row
+        .map(|qi| {
+            let mut v: Vec<Neighbor> = m
+                .row(qi)
                 .iter()
                 .enumerate()
                 .map(|(i, &d)| Neighbor::new(d, i as u32))

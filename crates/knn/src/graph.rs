@@ -12,6 +12,7 @@ use kselect::{select_k, SelectConfig};
 use rayon::prelude::*;
 
 use crate::dataset::PointSet;
+use crate::distance::block;
 use crate::metric::Metric;
 
 /// A directed k-NN graph: `edges[i]` are point `i`'s k nearest others,
@@ -31,23 +32,32 @@ impl KnnGraph {
     /// there are other points).
     pub fn build(points: &PointSet, k: usize, metric: Metric, cfg: &SelectConfig) -> Self {
         assert!(k > 0 && k < points.len(), "need 0 < k < number of points");
-        let edges: Vec<Vec<Neighbor>> = (0..points.len())
+        let n = points.len();
+        // Hoisted ‖·‖² terms for the GEMM-decomposed Euclidean path;
+        // other metrics fall back to the pairwise form.
+        let norms = match metric {
+            Metric::SquaredEuclidean => block::norms(points),
+            _ => Vec::new(),
+        };
+        let edges: Vec<Vec<Neighbor>> = (0..n)
             .into_par_iter()
-            .map(|i| {
-                let pi = points.point(i);
-                let dists: Vec<f32> = (0..points.len())
-                    .map(|j| {
-                        if i == j {
-                            f32::INFINITY // self-exclusion
-                        } else {
-                            metric.distance(pi, points.point(j))
+            .map_init(
+                || vec![0.0f32; n],
+                |dists, i| {
+                    let pi = points.point(i);
+                    if metric == Metric::SquaredEuclidean {
+                        block::fill_row_range(pi, norms[i], points, &norms, 0, dists);
+                    } else {
+                        for (j, d) in dists.iter_mut().enumerate() {
+                            *d = metric.distance(pi, points.point(j));
                         }
-                    })
-                    .collect();
-                let mut nbs = select_k(&dists, cfg);
-                nbs.truncate(k);
-                nbs
-            })
+                    }
+                    dists[i] = f32::INFINITY; // self-exclusion
+                    let mut nbs = select_k(dists, cfg);
+                    nbs.truncate(k);
+                    nbs
+                },
+            )
             .collect();
         KnnGraph { edges, k }
     }

@@ -27,14 +27,20 @@ pub mod metric;
 pub mod pcie;
 pub mod pipeline;
 
-pub use cpu::{cpu_select_parallel, cpu_select_serial, heap_select};
+pub use cpu::{
+    cpu_select_parallel, cpu_select_parallel_flat, cpu_select_serial, cpu_select_serial_flat,
+    heap_select,
+};
 pub use dataset::PointSet;
-pub use distance::{clamp_non_finite, distance_matrix, gpu_distance_metrics, squared_distance};
+pub use distance::block::{self, FlatMatrix, DEFAULT_STREAM_TILE};
+pub use distance::{
+    clamp_non_finite, distance_matrix, dot, gpu_distance_metrics, squared_distance, squared_norm,
+};
 pub use eval::{ground_truth, mean_recall, recall_at_k};
 pub use graph::KnnGraph;
-pub use metric::{distance_matrix_with, Metric};
+pub use metric::{distance_matrix_flat_with, distance_matrix_with, Metric};
 pub use pcie::{data_copy_time, transfer_with_faults, PcieReport};
 pub use pipeline::{
-    gpu_knn, gpu_knn_resilient, gpu_knn_traced, knn_search, knn_search_with, validate_points,
-    GpuKnnResult, ResilientKnnResult,
+    gpu_knn, gpu_knn_resilient, gpu_knn_traced, knn_search, knn_search_streamed, knn_search_with,
+    validate_points, GpuKnnResult, ResilientKnnResult,
 };

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::PointSet;
+use crate::distance::block::{self, FlatMatrix, QUERY_BLOCK};
 use rayon::prelude::*;
 
 /// A dissimilarity measure; smaller values mean closer points.
@@ -58,20 +59,49 @@ impl Metric {
     }
 }
 
-/// Full distance matrix under an arbitrary metric (parallel over
-/// queries). `rows[q][r]` is the dissimilarity between query `q` and
-/// reference `r`.
-pub fn distance_matrix_with(queries: &PointSet, refs: &PointSet, metric: Metric) -> Vec<Vec<f32>> {
+/// Full distance matrix under an arbitrary metric, in one flat row-major
+/// allocation: `m.at(q, r)` is the dissimilarity between query `q` and
+/// reference `r`, with non-finite values clamped to `+∞`.
+///
+/// Squared Euclidean routes through the blocked GEMM-style kernel
+/// ([`block::squared_distances`]); the other metrics fill the flat
+/// buffer directly, parallel over query blocks, with no per-query
+/// allocation either way.
+pub fn distance_matrix_flat_with(
+    queries: &PointSet,
+    refs: &PointSet,
+    metric: Metric,
+) -> FlatMatrix {
     assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
-    (0..queries.len())
-        .into_par_iter()
-        .map(|q| {
-            let qp = queries.point(q);
-            (0..refs.len())
-                .map(|r| crate::distance::clamp_non_finite(metric.distance(qp, refs.point(r))))
-                .collect()
-        })
-        .collect()
+    if metric == Metric::SquaredEuclidean {
+        return block::squared_distances(queries, refs);
+    }
+    let q = queries.len();
+    let n = refs.len();
+    let mut data = vec![0.0f32; q * n];
+    let blocks: Vec<(usize, &mut [f32])> = data
+        .chunks_mut((QUERY_BLOCK * n).max(1))
+        .enumerate()
+        .collect();
+    blocks.into_par_iter().for_each(|(bi, slab)| {
+        let q0 = bi * QUERY_BLOCK;
+        for (i, row) in slab.chunks_exact_mut(n).enumerate() {
+            let qp = queries.point(q0 + i);
+            for (r, o) in row.iter_mut().enumerate() {
+                *o = crate::distance::clamp_non_finite(metric.distance(qp, refs.point(r)));
+            }
+        }
+    });
+    FlatMatrix::from_flat(data, q, n)
+}
+
+/// Full distance matrix under an arbitrary metric as per-query rows.
+///
+/// Legacy interface over [`distance_matrix_flat_with`]: the heap-of-rows
+/// return type costs one allocation per query on top of the flat kernel
+/// output.
+pub fn distance_matrix_with(queries: &PointSet, refs: &PointSet, metric: Metric) -> Vec<Vec<f32>> {
+    distance_matrix_flat_with(queries, refs, metric).to_rows()
 }
 
 #[cfg(test)]
@@ -124,6 +154,29 @@ mod tests {
             assert_eq!(m.len(), 3);
             assert_eq!(m[0].len(), 5);
             assert_eq!(m[1][2], metric.distance(q.point(1), r.point(2)));
+        }
+    }
+
+    #[test]
+    fn flat_and_rows_agree_bitwise() {
+        // Sizes straddling the query-block edge so the blocked fill path
+        // is exercised for every metric.
+        let q = PointSet::uniform(QUERY_BLOCK + 2, 8, 3);
+        let r = PointSet::uniform(37, 8, 4);
+        for metric in [
+            Metric::SquaredEuclidean,
+            Metric::Manhattan,
+            Metric::Cosine,
+            Metric::NegativeDot,
+        ] {
+            let flat = distance_matrix_flat_with(&q, &r, metric);
+            let rows = distance_matrix_with(&q, &r, metric);
+            assert_eq!(flat.q(), rows.len());
+            for (qi, row) in rows.iter().enumerate() {
+                for (ri, &v) in row.iter().enumerate() {
+                    assert_eq!(flat.at(qi, ri).to_bits(), v.to_bits(), "{metric:?}");
+                }
+            }
         }
     }
 }

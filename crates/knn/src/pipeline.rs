@@ -1,8 +1,15 @@
 //! End-to-end k-NN search: distance phase + k-selection phase.
 //!
 //! * [`knn_search`] — the native library entry point: real computation on
-//!   the host, parallel over queries. This is what a downstream user of
-//!   the crate calls.
+//!   the host, parallel over queries with one reused distance-row scratch
+//!   per worker. This is what a downstream user of the crate calls.
+//! * [`knn_search_streamed`] — the tile-streamed native pipeline: per
+//!   reference tile, distances are computed into a reused Q×tile scratch
+//!   and fed straight into per-tile k-selection merged by
+//!   [`kselect::chunked::StreamMerger`]. The full Q×N matrix is never
+//!   materialised, so peak distance memory is O(Q·tile) instead of
+//!   O(Q·N) — same distances bit-for-bit and same neighbors as
+//!   [`knn_search`] (see its docs for the tied-id caveat).
 //! * [`gpu_knn`] — the simulated pipeline the experiments use: distances
 //!   are computed natively (they are *data*), the distance kernel's cost
 //!   is charged analytically, and k-selection runs for real on the SIMT
@@ -16,6 +23,7 @@
 //!   stalls and detected corruption, and per-warp retry with degraded
 //!   host fallback via [`kselect::gpu::gpu_select_k_resilient`].
 
+use kselect::chunked::StreamMerger;
 use kselect::gpu::{
     gpu_select_k, gpu_select_k_resilient, DistanceMatrix, GpuResilience, KernelCounters,
     SearchReport,
@@ -26,33 +34,115 @@ use rayon::prelude::*;
 use simt::{Metrics, TimingModel};
 
 use crate::dataset::PointSet;
-use crate::distance::{distance_matrix, gpu_distance_metrics};
+use crate::distance::{block, gpu_distance_metrics};
+use crate::metric::Metric;
 use crate::pcie::{self, PcieReport};
 
 /// Native k-NN search: for each query, the k nearest references by
 /// squared Euclidean distance, sorted ascending.
 pub fn knn_search(queries: &PointSet, refs: &PointSet, cfg: &SelectConfig) -> Vec<Vec<Neighbor>> {
-    knn_search_with(queries, refs, cfg, crate::metric::Metric::SquaredEuclidean)
+    knn_search_with(queries, refs, cfg, Metric::SquaredEuclidean)
 }
 
 /// [`knn_search`] under an arbitrary [`crate::metric::Metric`].
+///
+/// Parallel over queries; each worker reuses one distance-row scratch
+/// buffer across all its queries (`map_init`), so the search allocates
+/// O(workers·N) — not O(Q·N) and not one fresh `Vec` per query. Squared
+/// Euclidean rows go through the GEMM-decomposed row primitive with the
+/// reference norms hoisted out of the query loop.
 pub fn knn_search_with(
     queries: &PointSet,
     refs: &PointSet,
     cfg: &SelectConfig,
-    metric: crate::metric::Metric,
+    metric: Metric,
 ) -> Vec<Vec<Neighbor>> {
     assert!(cfg.k <= refs.len(), "k exceeds the number of references");
+    assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
+    let n = refs.len();
+    let ref_norms = match metric {
+        Metric::SquaredEuclidean => block::norms(refs),
+        _ => Vec::new(),
+    };
     (0..queries.len())
         .into_par_iter()
-        .map(|qi| {
-            let qp = queries.point(qi);
-            let dists: Vec<f32> = (0..refs.len())
-                .map(|ri| crate::distance::clamp_non_finite(metric.distance(qp, refs.point(ri))))
-                .collect();
-            kselect::select_k(&dists, cfg)
-        })
+        .map_init(
+            || vec![0.0f32; n],
+            |dists, qi| {
+                let qp = queries.point(qi);
+                if metric == Metric::SquaredEuclidean {
+                    block::fill_row_range(
+                        qp,
+                        crate::distance::squared_norm(qp),
+                        refs,
+                        &ref_norms,
+                        0,
+                        dists,
+                    );
+                } else {
+                    for (ri, d) in dists.iter_mut().enumerate() {
+                        *d = crate::distance::clamp_non_finite(metric.distance(qp, refs.point(ri)));
+                    }
+                }
+                kselect::select_k(dists, cfg)
+            },
+        )
         .collect()
+}
+
+/// Tile-streamed native k-NN search: exact results of [`knn_search`]
+/// without ever materialising the Q×N distance matrix.
+///
+/// The reference list is processed in `tile`-length chunks (use
+/// [`block::DEFAULT_STREAM_TILE`] when in doubt). Per tile, a reused
+/// Q×tile scratch is filled by the blocked row primitive (parallel over
+/// queries), each query's tile is k-selected with the configured
+/// variant, and the survivors stream into a per-query
+/// [`StreamMerger`] — the same merge the divide-and-merge
+/// (`select_k_chunked`) path uses, so the final top-k distances are
+/// identical to selecting over the full row, and with the insertion
+/// queue the ids are too (first-seen == lowest id on both paths). The
+/// heap and merge queues evict id-arbitrarily among *equal* distances,
+/// so under exact ties at the k-th value the two paths may keep
+/// different (equally correct) tied ids — a property of those queues,
+/// not of the streaming. Peak distance memory is `Q × min(tile, N)`
+/// floats.
+///
+/// # Panics
+/// When `tile` is zero, `cfg.k` exceeds the number of references, or the
+/// point sets disagree on dimensionality.
+pub fn knn_search_streamed(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+) -> Vec<Vec<Neighbor>> {
+    assert!(tile > 0, "tile size must be positive");
+    assert!(cfg.k <= refs.len(), "k exceeds the number of references");
+    assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
+    let q = queries.len();
+    let n = refs.len();
+    let tile = tile.min(n.max(1));
+    let ref_norms = block::norms(refs);
+    let q_norms = block::norms(queries);
+    let mut mergers: Vec<StreamMerger> = (0..q).map(|_| StreamMerger::new(cfg.k)).collect();
+    let mut scratch = vec![0.0f32; q * tile];
+    for r0 in (0..n).step_by(tile) {
+        let t_len = tile.min(n - r0);
+        let rows: Vec<(usize, &mut [f32])> =
+            scratch[..q * t_len].chunks_mut(t_len).enumerate().collect();
+        let survivors: Vec<Vec<Neighbor>> = rows
+            .into_par_iter()
+            .map(|(qi, row)| {
+                block::fill_row_range(queries.point(qi), q_norms[qi], refs, &ref_norms, r0, row);
+                kselect::select_k(row, cfg)
+            })
+            .collect();
+        for (merger, tile_topk) in mergers.iter_mut().zip(survivors) {
+            merger.push_chunk(tile_topk, r0 as u32);
+        }
+    }
+    mergers.into_iter().map(StreamMerger::finish).collect()
 }
 
 /// Result of the simulated GPU k-NN pipeline.
@@ -115,8 +205,8 @@ pub fn gpu_knn_traced(
     let distance_time = tracer.scoped(Category::Phase, "distance", |t| {
         simt::tracing::kernel_span(t, "distance_kernel", tm, &dist_m)
     });
-    let rows = distance_matrix(queries, refs);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let fm = block::squared_distances(queries, refs);
+    let dm = DistanceMatrix::from_row_major(fm.as_slice(), fm.q(), fm.n());
 
     // The distance matrix never leaves the device in the real pipeline;
     // this span records what uploading the *inputs* would cost.
@@ -217,8 +307,8 @@ pub fn gpu_knn_resilient(
 
     let dist_m = gpu_distance_metrics(queries.len(), refs.len(), queries.dim());
     let distance_time = tm.kernel_time(&dist_m);
-    let rows = distance_matrix(queries, refs);
-    let dm = DistanceMatrix::from_rows(&rows);
+    let fm = block::squared_distances(queries, refs);
+    let dm = DistanceMatrix::from_row_major(fm.as_slice(), fm.q(), fm.n());
 
     // Upload the input points across the (possibly faulted) link. A
     // corrupt payload is detected and retried; only persistent
@@ -270,6 +360,28 @@ mod tests {
             let bd: Vec<f32> = b.iter().map(|n| n.dist).collect();
             assert_eq!(ad, bd);
         }
+    }
+
+    #[test]
+    fn streamed_matches_materialized_across_tiles() {
+        let queries = PointSet::uniform(30, 12, 118);
+        let refs = PointSet::uniform(500, 12, 119);
+        for kind in [QueueKind::Insertion, QueueKind::Merge, QueueKind::Heap] {
+            let cfg = SelectConfig::plain(kind, 16);
+            let full = knn_search(&queries, &refs, &cfg);
+            // Tiles straddling k, tile-edge remainders, and tile > N.
+            for tile in [7usize, 16, 100, 499, 500, 4096] {
+                let streamed = knn_search_streamed(&queries, &refs, &cfg, tile);
+                assert_eq!(streamed, full, "kind {kind:?} tile {tile}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn streamed_zero_tile_rejected() {
+        let p = PointSet::uniform(2, 4, 120);
+        knn_search_streamed(&p, &p, &SelectConfig::plain(QueueKind::Heap, 1), 0);
     }
 
     #[test]

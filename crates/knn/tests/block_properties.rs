@@ -1,0 +1,131 @@
+//! Property tests for the blocked distance kernel and the tile-streamed
+//! search path.
+//!
+//! Two exactness contracts are exercised here:
+//!
+//! 1. `block::squared_distances` must equal the scalar
+//!    `squared_distance` **bit-for-bit** for every pair — the blocked
+//!    kernel changes the iteration order over pairs, never the
+//!    accumulation order within a pair. Dimensions and sizes straddle
+//!    the LANES / QUERY_BLOCK / REF_TILE edges on purpose.
+//! 2. `knn_search_streamed` must return exactly the same neighbors as
+//!    the materialized `knn_search` for arbitrary Q/N/k/tile, including
+//!    tiles smaller than k, tiles larger than N, duplicated distances
+//!    (tie-breaking), and non-finite coordinates (overflow to +inf).
+
+use knn::{block, knn_search, knn_search_streamed, squared_distance, PointSet};
+use kselect::{QueueKind, SelectConfig};
+use proptest::prelude::*;
+
+/// A random point set with the given shape; coordinates in [-4, 4).
+fn points(count: usize, dim: usize) -> impl Strategy<Value = PointSet> {
+    proptest::collection::vec(0u32..4096, count * dim).prop_map(move |raw| {
+        let flat: Vec<f32> = raw.iter().map(|&x| x as f32 / 512.0 - 4.0).collect();
+        PointSet::from_flat(flat, dim)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Blocked kernel == scalar kernel, bit for bit, across odd dims
+    /// (straddling LANES = 8) and sizes straddling the query-block and
+    /// reference-tile boundaries.
+    #[test]
+    fn blocked_matches_scalar_bitwise(
+        q in 1usize..40,     // QUERY_BLOCK = 32 sits inside this range
+        n in 1usize..300,    // REF_TILE = 256 sits inside this range
+        dim in 1usize..20,   // straddles LANES = 8 and its multiples
+        seed in 0u64..1000,
+    ) {
+        let queries = PointSet::uniform(q, dim, seed);
+        let refs = PointSet::uniform(n, dim, seed ^ 0xD15);
+        let m = block::squared_distances(&queries, &refs);
+        prop_assert_eq!(m.q(), q);
+        prop_assert_eq!(m.n(), n);
+        for qi in 0..q {
+            for ri in 0..n {
+                let scalar = squared_distance(queries.point(qi), refs.point(ri));
+                prop_assert_eq!(
+                    m.at(qi, ri).to_bits(),
+                    scalar.to_bits(),
+                    "({}, {}): blocked {} vs scalar {}",
+                    qi, ri, m.at(qi, ri), scalar
+                );
+            }
+        }
+    }
+
+    /// Tile-streamed search == materialized search, exactly (distances
+    /// AND ids), for arbitrary tile sizes including tile < k and
+    /// tile > N, with heavily duplicated coordinates to force ties.
+    #[test]
+    fn streamed_matches_materialized(
+        qs in points(7, 5),
+        n in 1usize..200,
+        k_raw in 1usize..32,
+        tile in 1usize..256,
+        dup_mod in 1u32..8,
+    ) {
+        let refs = {
+            // Quantize coordinates so many reference points collide,
+            // exercising the (dist, id) tie-break in the merge path.
+            let base = PointSet::uniform(n, 5, 99);
+            let flat: Vec<f32> = base
+                .as_flat()
+                .iter()
+                .map(|&x| ((x * dup_mod as f32) as i32) as f32)
+                .collect();
+            PointSet::from_flat(flat, 5)
+        };
+        let k = k_raw.min(n);
+        // Tie semantics: the insertion queue keeps the first-seen
+        // (lowest-id) candidate among equals at the cut, and the
+        // streamed merge resolves ties by (dist, id) — so the two paths
+        // agree on ids exactly. The heap and merge queues evict
+        // id-arbitrarily among equal distances (whichever tied element
+        // reached the root / survived the bitonic repair), so for them
+        // the invariant both paths must share is the distance sequence:
+        // the multiset of the k smallest distances is unique.
+        for kind in [QueueKind::Insertion, QueueKind::Heap, QueueKind::Merge] {
+            // The merge queue wants a power-of-two k; skip it when that
+            // rounds past the reference count.
+            let kk = if kind == QueueKind::Merge { k.next_power_of_two().max(8) } else { k };
+            if kk > n {
+                continue;
+            }
+            let cfg = SelectConfig::plain(kind, kk);
+            let full = knn_search(&qs, &refs, &cfg);
+            let streamed = knn_search_streamed(&qs, &refs, &cfg, tile);
+            if kind == QueueKind::Insertion {
+                prop_assert_eq!(&streamed, &full, "tile {}", tile);
+            } else {
+                for (s, f) in streamed.iter().zip(&full) {
+                    let sd: Vec<u32> = s.iter().map(|n| n.dist.to_bits()).collect();
+                    let fd: Vec<u32> = f.iter().map(|n| n.dist.to_bits()).collect();
+                    prop_assert_eq!(&sd, &fd, "kind {:?} tile {}", kind, tile);
+                }
+            }
+        }
+    }
+
+    /// Non-finite inputs: coordinates at f32::MAX overflow the squared
+    /// norm to +inf; the clamp_non_finite policy must apply identically
+    /// on the streamed and materialized paths.
+    #[test]
+    fn streamed_matches_materialized_non_finite(
+        poison in proptest::collection::vec(0usize..64, 4),
+        tile in 1usize..80,
+    ) {
+        let qs = PointSet::uniform(5, 4, 7);
+        let mut flat = PointSet::uniform(64, 4, 8).as_flat().to_vec();
+        for &p in &poison {
+            flat[p * 4] = f32::MAX; // squared -> +inf -> clamped policy
+        }
+        let refs = PointSet::from_flat(flat, 4);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 8);
+        let full = knn_search(&qs, &refs, &cfg);
+        let streamed = knn_search_streamed(&qs, &refs, &cfg, tile);
+        prop_assert_eq!(streamed, full);
+    }
+}

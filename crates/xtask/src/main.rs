@@ -4,15 +4,16 @@
 //!
 //! * `lint` — run the kernel-authoring lint ([`check::lint`]) over the
 //!   simulated-kernel sources (`crates/core/src/gpu/` and
-//!   `crates/simt/src/`), plus the host-path `no-unwrap-io` rule over
-//!   the user-facing CLI sources, filtered through the
-//!   `lint-allow.txt` allowlist at the workspace root. Exits non-zero
-//!   on any non-allowlisted violation; CI runs this on every push.
+//!   `crates/simt/src/`), the host-path `no-unwrap-io` rule over the
+//!   user-facing CLI sources, and the `no-row-alloc` rule over the
+//!   `crates/knn` hot paths, filtered through the `lint-allow.txt`
+//!   allowlist at the workspace root. Exits non-zero on any
+//!   non-allowlisted violation; CI runs this on every push.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use check::lint::{lint_host_tree, lint_tree, parse_allowlist, AllowEntry};
+use check::lint::{lint_host_tree, lint_row_alloc_tree, lint_tree, parse_allowlist, AllowEntry};
 
 /// Directories the kernel lint scans, relative to the workspace root.
 /// Kernel code lives here; host-side library crates (knn, baselines,
@@ -22,6 +23,11 @@ const SCAN_ROOTS: [&str; 2] = ["crates/core/src/gpu", "crates/simt/src"];
 /// Directories the host-path lint (`no-unwrap-io`) scans: user-facing
 /// code where a panic on bad input is a bug, not a diagnostic.
 const HOST_SCAN_ROOTS: [&str; 1] = ["crates/cli/src"];
+
+/// Directories the hot-path allocation lint (`no-row-alloc`) scans:
+/// the native k-NN distance/selection code, where a `Vec<Vec<f32>>`
+/// distance buffer costs one heap allocation per query row.
+const ROW_ALLOC_SCAN_ROOTS: [&str; 1] = ["crates/knn/src"];
 
 const ALLOWLIST: &str = "lint-allow.txt";
 
@@ -81,6 +87,19 @@ fn lint(verbose: bool) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: failed to scan host sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let alloc_roots: Vec<PathBuf> = ROW_ALLOC_SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
+    let alloc_refs: Vec<&Path> = alloc_roots.iter().map(PathBuf::as_path).collect();
+    match lint_row_alloc_tree(&alloc_refs, &allow) {
+        Ok(alloc) => {
+            report.files_scanned += alloc.files_scanned;
+            report.violations.extend(alloc.violations);
+            report.suppressed.extend(alloc.suppressed);
+        }
+        Err(e) => {
+            eprintln!("error: failed to scan hot-path sources: {e}");
             return ExitCode::FAILURE;
         }
     }

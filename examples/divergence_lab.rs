@@ -15,6 +15,10 @@ use gpu_kselect::kselect::hierarchical::HpConfig;
 use gpu_kselect::prelude::*;
 use rand::{Rng, SeedableRng};
 
+fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+    DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+}
+
 fn main() {
     let spec = GpuSpec::tesla_c2075();
     let tm = TimingModel::tesla_c2075();
@@ -25,7 +29,7 @@ fn main() {
     let rows: Vec<Vec<f32>> = (0..q)
         .map(|_| (0..n).map(|_| rng.gen::<f32>()).collect())
         .collect();
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = dm_from(&rows);
 
     println!("workload: N = {n}, k = {k}, one warp of {q} queries (Tesla C2075 model)\n");
     println!(

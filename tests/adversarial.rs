@@ -9,6 +9,10 @@ use gpu_kselect::kselect::gpu::{gpu_select_k, DistanceMatrix};
 use gpu_kselect::kselect::hierarchical::HpConfig;
 use gpu_kselect::prelude::*;
 
+fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+    DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+}
+
 const N: usize = 512;
 const K: usize = 32;
 
@@ -59,7 +63,7 @@ fn all_variants_survive_adversarial_patterns() {
     for (name, row) in patterns() {
         // Same pattern on every lane of the warp — worst-case lockstep.
         let rows: Vec<Vec<f32>> = vec![row.clone(); 32];
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let expect = oracle(&row, K);
         for queue in QueueKind::ALL {
             for aligned in [false, true] {
@@ -114,7 +118,7 @@ fn staggered_lanes_maximise_divergence() {
             r
         })
         .collect();
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = dm_from(&rows);
     for queue in QueueKind::ALL {
         let cfg = SelectConfig::optimized(queue, K);
         let res = gpu_select_k(&spec, &dm, &cfg);

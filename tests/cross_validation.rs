@@ -9,6 +9,10 @@ use gpu_kselect::kselect::hierarchical::HpConfig;
 use gpu_kselect::prelude::*;
 use rand::{Rng, SeedableRng};
 
+fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+    DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+}
+
 fn rows(q: usize, n: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     (0..q)
@@ -26,7 +30,7 @@ fn all_backends_agree_on_one_workload() {
     let n = 700;
     let k = 16;
     let data = rows(q, n, 1001);
-    let dm = DistanceMatrix::from_rows(&data);
+    let dm = dm_from(&data);
     let spec = GpuSpec::tesla_c2075();
 
     // Reference: CPU std-heap baseline.
@@ -145,7 +149,7 @@ fn pathological_all_equal_workload() {
     let n = 300;
     let k = 16;
     let data: Vec<Vec<f32>> = vec![vec![0.25f32; n]; q];
-    let dm = DistanceMatrix::from_rows(&data);
+    let dm = dm_from(&data);
     let spec = GpuSpec::tesla_c2075();
     for cfg in [
         SelectConfig::plain(QueueKind::Insertion, k),

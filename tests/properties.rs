@@ -12,6 +12,10 @@ use gpu_kselect::kselect::queues::{select_into, KQueue};
 use gpu_kselect::prelude::*;
 use proptest::prelude::*;
 
+fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+    DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+}
+
 fn oracle(dists: &[f32], k: usize) -> Vec<f32> {
     let mut v = dists.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -136,7 +140,7 @@ proptest! {
         let rows: Vec<Vec<f32>> = (0..32)
             .map(|_| (0..n).map(|_| (rng.gen_range(0u32..256)) as f32).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let kind = QueueKind::ALL[kind_sel];
         let mut cfg = SelectConfig::plain(kind, k).with_aligned(aligned);
         if buffered {
@@ -159,7 +163,7 @@ proptest! {
         let rows: Vec<Vec<f32>> = (0..32)
             .map(|_| (0..200).map(|_| rng.gen::<f32>()).collect())
             .collect();
-        let dm = DistanceMatrix::from_rows(&rows);
+        let dm = dm_from(&rows);
         let res = gpu_select_k(
             &GpuSpec::tesla_c2075(),
             &dm,

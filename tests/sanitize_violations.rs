@@ -18,6 +18,10 @@ use gpu_kselect::prelude::*;
 use gpu_kselect::simt::{lanes_from_fn, splat, Mask, WarpCtx, WARP_SIZE};
 use rand::{Rng, SeedableRng};
 
+fn dm_from(rows: &[Vec<f32>]) -> DistanceMatrix {
+    DistanceMatrix::from_row_major(&rows.concat(), rows.len(), rows[0].len())
+}
+
 fn panic_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
     let payload = catch_unwind(f).expect_err("seeded violation must abort");
     payload
@@ -152,7 +156,7 @@ fn optimized_pipeline_clean_under_sanitizer() {
     let rows: Vec<Vec<f32>> = (0..70)
         .map(|_| (0..600).map(|_| rng.gen()).collect())
         .collect();
-    let dm = DistanceMatrix::from_rows(&rows);
+    let dm = dm_from(&rows);
     let cfg = SelectConfig {
         k: 16,
         queue: QueueKind::Merge,

@@ -10,7 +10,10 @@
 //! semantics-preserving.
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIteratorInit,
+    };
 }
 
 /// `into_par_iter()` — sequential stand-in: any `IntoIterator` qualifies.
@@ -68,6 +71,54 @@ where
     }
 }
 
+/// `map_init` — rayon's per-worker scratch adapter. Real rayon calls
+/// `init` once per work split and hands every item of that split the
+/// same mutable scratch value; the sequential stand-in is the degenerate
+/// single-split case (one `init`, every item reuses the value), which is
+/// exactly the allocation-amortising behaviour callers rely on. Item
+/// order and results are identical to real rayon because `map_init`
+/// guarantees nothing about how splits share scratch state beyond "it
+/// was produced by `init`".
+pub trait ParallelIteratorInit: Iterator + Sized {
+    fn map_init<I, T, F, R>(self, init: I, f: F) -> MapInit<Self, T, F>
+    where
+        I: Fn() -> T,
+        F: FnMut(&mut T, Self::Item) -> R,
+    {
+        MapInit {
+            iter: self,
+            scratch: init(),
+            f,
+        }
+    }
+}
+
+impl<It: Iterator + Sized> ParallelIteratorInit for It {}
+
+/// Iterator returned by [`ParallelIteratorInit::map_init`].
+pub struct MapInit<It, T, F> {
+    iter: It,
+    scratch: T,
+    f: F,
+}
+
+impl<It, T, F, R> Iterator for MapInit<It, T, F>
+where
+    It: Iterator,
+    F: FnMut(&mut T, It::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let item = self.iter.next()?;
+        Some((self.f)(&mut self.scratch, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
 /// Sequential `rayon::join`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -91,5 +142,26 @@ mod tests {
         let mut m = vec![1, 2, 3];
         m.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(m, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn map_init_reuses_one_scratch_value() {
+        let inits = std::cell::Cell::new(0u32);
+        let out: Vec<usize> = (0..4usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.set(inits.get() + 1);
+                    Vec::<usize>::with_capacity(8)
+                },
+                |scratch, x| {
+                    scratch.push(x);
+                    scratch.len()
+                },
+            )
+            .collect();
+        // One init, scratch carried across items (lengths accumulate).
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert_eq!(inits.get(), 1);
     }
 }
