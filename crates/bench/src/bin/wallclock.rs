@@ -2,8 +2,9 @@
 //! the blocked GEMM-style distance kernel and the materialized vs
 //! tile-streamed end-to-end pipelines.
 //!
-//!     wallclock [--quick] [--out FILE]
+//!     wallclock [--quick] [--out FILE] [--sweep-tiles]
 //!               [--queries Q] [--refs N] [--dim D] [--k K] [--tile T]
+//!               [--metrics-out FILE] [--metrics-json FILE]
 //!
 //! Unlike the `repro` binary — whose figures report *simulated* Tesla
 //! C2075 seconds — everything here is measured on the host with
@@ -23,7 +24,14 @@
 //!   (`knn_search_streamed`) paths, which are asserted to return
 //!   identical neighbors before any number is written;
 //! * `*_peak_distance_bytes` — the distance-buffer working set of each
-//!   path: Q·N·4 materialized vs Q·min(tile, N)·4 streamed.
+//!   path: Q·N·4 materialized vs Q·min(tile, N)·4 streamed;
+//! * with `--sweep-tiles`, `tile_sweep[]` — streamed QPS per tile size
+//!   in {1024, 2048, 4096, 8192} (clamped to N), plus `best_tile`, the
+//!   sweep's QPS argmax.
+//!
+//! Every timed repetition also lands in a `trace::MetricsRegistry`;
+//! `--metrics-out` writes it as OpenMetrics text, `--metrics-json` as
+//! the JSON snapshot (what CI uploads as a workflow artifact).
 
 use std::time::Instant;
 
@@ -31,6 +39,7 @@ use knn::{block, knn_search_streamed, PointSet};
 use kselect::{QueueKind, SelectConfig};
 use rayon::prelude::*;
 use serde::Serialize;
+use trace::MetricsRegistry;
 
 #[derive(Serialize)]
 struct DistanceReport {
@@ -52,6 +61,14 @@ struct PipelineReport {
 }
 
 #[derive(Serialize)]
+struct TileSweepEntry {
+    tile: usize,
+    streamed_seconds: f64,
+    streamed_qps: f64,
+    peak_distance_bytes: u64,
+}
+
+#[derive(Serialize)]
 struct Report {
     queries: usize,
     refs: usize,
@@ -60,6 +77,10 @@ struct Report {
     tile: usize,
     distance: DistanceReport,
     pipeline: PipelineReport,
+    /// Empty unless `--sweep-tiles` was given.
+    tile_sweep: Vec<TileSweepEntry>,
+    /// QPS argmax of the sweep; `tile` when no sweep ran.
+    best_tile: usize,
 }
 
 struct Args {
@@ -68,7 +89,10 @@ struct Args {
     dim: usize,
     k: usize,
     tile: usize,
+    sweep_tiles: bool,
     out: String,
+    metrics_out: Option<String>,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -78,7 +102,10 @@ fn parse_args() -> Args {
         dim: 128,
         k: 32,
         tile: block::DEFAULT_STREAM_TILE,
+        sweep_tiles: false,
         out: "BENCH_native.json".to_string(),
+        metrics_out: None,
+        metrics_json: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -89,16 +116,20 @@ fn parse_args() -> Args {
                 args.n = 2048;
                 args.dim = 32;
             }
+            "--sweep-tiles" => args.sweep_tiles = true,
             "--queries" => args.q = take("--queries").parse().expect("--queries"),
             "--refs" => args.n = take("--refs").parse().expect("--refs"),
             "--dim" => args.dim = take("--dim").parse().expect("--dim"),
             "--k" => args.k = take("--k").parse().expect("--k"),
             "--tile" => args.tile = take("--tile").parse().expect("--tile"),
             "--out" => args.out = take("--out"),
+            "--metrics-out" => args.metrics_out = Some(take("--metrics-out")),
+            "--metrics-json" => args.metrics_json = Some(take("--metrics-json")),
             other => {
                 eprintln!(
                     "unknown flag {other}\nusage: wallclock [--quick] [--out FILE] \
-                     [--queries Q] [--refs N] [--dim D] [--k K] [--tile T]"
+                     [--sweep-tiles] [--queries Q] [--refs N] [--dim D] [--k K] [--tile T] \
+                     [--metrics-out FILE] [--metrics-json FILE]"
                 );
                 std::process::exit(2);
             }
@@ -106,6 +137,10 @@ fn parse_args() -> Args {
     }
     args
 }
+
+/// The tile sizes `--sweep-tiles` walks (clamped to N), matching
+/// `knn-cli stats`.
+const SWEEP_TILES: [usize; 4] = [1024, 2048, 4096, 8192];
 
 /// The seed implementation's distance kernel, kept verbatim as the
 /// baseline this benchmark reports speedups against: a scalar per-pair
@@ -131,14 +166,23 @@ fn seed_scalar_distance_matrix(queries: &PointSet, refs: &PointSet) -> Vec<Vec<f
 }
 
 /// Best-of-`reps` wall time of `f`, with a result sink so the work
-/// cannot be optimized away.
-fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+/// cannot be optimized away. Every repetition is also recorded into
+/// `reg` under `metric` (the registry observation happens outside the
+/// timed region).
+fn time_best<T>(
+    reps: usize,
+    reg: &MetricsRegistry,
+    metric: &str,
+    mut f: impl FnMut() -> T,
+) -> (f64, T) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {
         let t0 = Instant::now();
         let r = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let dt = t0.elapsed();
+        best = best.min(dt.as_secs_f64());
+        reg.observe_ns(metric, dt.as_nanos() as u64);
         out = Some(r);
     }
     (best, out.unwrap())
@@ -153,11 +197,20 @@ fn main() {
     let queries = PointSet::uniform(q, dim, 71);
     let refs = PointSet::uniform(n, dim, 72);
     let cfg = SelectConfig::optimized(QueueKind::Merge, k);
+    let reg = MetricsRegistry::new();
+    reg.set_gauge("wallclock.queries", q as f64);
+    reg.set_gauge("wallclock.refs", n as f64);
+    reg.set_gauge("wallclock.dim", dim as f64);
+    reg.set_gauge("wallclock.k", k as f64);
 
     // Distance kernels. One scalar reference pass (it is the slow one),
     // best-of-3 for the blocked kernel.
-    let (t_scalar, scalar_rows) = time_best(1, || seed_scalar_distance_matrix(&queries, &refs));
-    let (t_blocked, blocked) = time_best(3, || block::squared_distances(&queries, &refs));
+    let (t_scalar, scalar_rows) = time_best(1, &reg, "wallclock.distance.scalar_ns", || {
+        seed_scalar_distance_matrix(&queries, &refs)
+    });
+    let (t_blocked, blocked) = time_best(3, &reg, "wallclock.distance.blocked_ns", || {
+        block::squared_distances(&queries, &refs)
+    });
     // Keep the baseline honest: same values, up to the documented
     // decomposition rounding.
     for (qi, row) in scalar_rows.iter().enumerate().take(q.min(4)) {
@@ -185,7 +238,7 @@ fn main() {
     );
 
     // End-to-end pipelines: materialize-then-select vs tile-streamed.
-    let (t_mat, mat_neighbors) = time_best(1, || {
+    let (t_mat, mat_neighbors) = time_best(1, &reg, "wallclock.pipeline.materialized_ns", || {
         let m = block::squared_distances(&queries, &refs);
         (0..m.q())
             .into_par_iter()
@@ -193,12 +246,16 @@ fn main() {
             .collect::<Vec<_>>()
     });
     let (t_streamed, streamed_neighbors) =
-        time_best(1, || knn_search_streamed(&queries, &refs, &cfg, tile));
+        time_best(1, &reg, "wallclock.pipeline.streamed_ns", || {
+            knn_search_streamed(&queries, &refs, &cfg, tile)
+        });
     let identical = mat_neighbors == streamed_neighbors;
     assert!(
         identical,
         "streamed and materialized pipelines disagree — refusing to write numbers"
     );
+    reg.record_peak("wallclock.peak.materialized_bytes", (q * n * 4) as u64);
+    reg.record_peak("wallclock.peak.streamed_bytes", (q * tile * 4) as u64);
     let pipeline = PipelineReport {
         materialized_seconds: t_mat,
         materialized_qps: q as f64 / t_mat,
@@ -216,6 +273,42 @@ fn main() {
         pipeline.streamed_peak_distance_bytes >> 20,
     );
 
+    // Optional tile sweep: streamed QPS across the standard tile span,
+    // each checked against the materialized neighbors before its number
+    // counts.
+    let mut tile_sweep = Vec::new();
+    let mut best_tile = tile;
+    if args.sweep_tiles {
+        let mut best_qps = 0.0f64;
+        let mut seen = Vec::new();
+        for t in SWEEP_TILES {
+            let t = t.min(n);
+            if seen.contains(&t) {
+                continue; // clamping can alias sweep points on small N
+            }
+            seen.push(t);
+            let metric = format!("wallclock.sweep.tile_{t}_ns");
+            let (secs, nb) = time_best(2, &reg, &metric, || {
+                knn_search_streamed(&queries, &refs, &cfg, t)
+            });
+            assert_eq!(nb, mat_neighbors, "tile {t} sweep result mismatch");
+            let qps = q as f64 / secs;
+            eprintln!("sweep: tile {t}: {qps:.1} q/s ({secs:.3}s)");
+            if qps > best_qps {
+                best_qps = qps;
+                best_tile = t;
+            }
+            tile_sweep.push(TileSweepEntry {
+                tile: t,
+                streamed_seconds: secs,
+                streamed_qps: qps,
+                peak_distance_bytes: (q * t * 4) as u64,
+            });
+        }
+        reg.set_gauge("wallclock.sweep.best_tile", best_tile as f64);
+        eprintln!("sweep: best tile {best_tile} ({best_qps:.1} q/s)");
+    }
+
     let report = Report {
         queries: q,
         refs: n,
@@ -224,8 +317,20 @@ fn main() {
         tile,
         distance,
         pipeline,
+        tile_sweep,
+        best_tile,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
     std::fs::write(&args.out, json + "\n").expect("write report");
     eprintln!("wrote {}", args.out);
+
+    let snap = reg.snapshot();
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, trace::openmetrics::render(&snap)).expect("write metrics");
+        eprintln!("wrote OpenMetrics to {path}");
+    }
+    if let Some(path) = &args.metrics_json {
+        std::fs::write(path, snap.to_json()).expect("write metrics json");
+        eprintln!("wrote metrics JSON to {path}");
+    }
 }

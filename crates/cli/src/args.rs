@@ -17,7 +17,7 @@ pub enum Command {
         out: PathBuf,
     },
     /// `search --refs FILE --queries FILE --dim D --k K [--metric M]
-    /// [--queue Q] [--json]`
+    /// [--queue Q] [--json] [--metrics-out FILE]`
     Search {
         refs: PathBuf,
         queries: PathBuf,
@@ -26,12 +26,25 @@ pub enum Command {
         metric: Metric,
         queue: QueueKind,
         json: bool,
+        metrics_out: Option<PathBuf>,
     },
-    /// `bench --n N --k K [--queue Q]` — native selection benchmark.
+    /// `bench --n N --k K [--queue Q] [--metrics-out FILE]` — native
+    /// selection benchmark.
     Bench {
         n: usize,
         k: usize,
         queue: QueueKind,
+        metrics_out: Option<PathBuf>,
+    },
+    /// `stats --n N [--dim D] [--k K] [--queries Q] [--metrics-out FILE]`
+    /// — native runtime-metrics sweep: the streamed pipeline across tile
+    /// sizes × queue kinds, reported as latency histograms.
+    Stats {
+        n: usize,
+        dim: usize,
+        k: usize,
+        queries: usize,
+        metrics_out: Option<PathBuf>,
     },
     /// `simulate --n N --k K [--queue Q]` — simulated-GPU run with a
     /// profiler report.
@@ -143,12 +156,30 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             },
             queue: queue(&flags)?,
             json: bools.contains(&"json".to_string()),
+            metrics_out: flags.get("metrics-out").map(PathBuf::from),
         }),
         "bench" => Ok(Command::Bench {
             n: get_usize("n")?,
             k: get_usize("k")?,
             queue: queue(&flags)?,
+            metrics_out: flags.get("metrics-out").map(PathBuf::from),
         }),
+        "stats" => {
+            let get_usize_or = |k: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(k)
+                    .map(|s| s.parse().map_err(|_| format!("--{k} must be an integer")))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            Ok(Command::Stats {
+                n: get_usize("n")?,
+                dim: get_usize_or("dim", 16)?,
+                k: get_usize_or("k", 16)?,
+                queries: get_usize_or("queries", 64)?,
+                metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            })
+        }
         "simulate" => Ok(Command::Simulate {
             n: get_usize("n")?,
             k: get_usize("k")?,
@@ -213,7 +244,11 @@ USAGE:
   knn-cli search   --refs FILE --queries FILE --dim D --k K
                    [--metric euclidean|manhattan|cosine|dot]
                    [--queue merge|heap|insertion] [--json]
+                   [--metrics-out metrics.txt]
   knn-cli bench    --n N --k K [--queue merge|heap|insertion]
+                   [--metrics-out metrics.txt]
+  knn-cli stats    --n N [--dim D] [--k K] [--queries Q]
+                   [--metrics-out metrics.txt]
   knn-cli simulate --n N --k K [--queue merge|heap|insertion]
   knn-cli profile  --n N --k K [--queries Q] [--queue merge|heap|insertion]
                    [--trace-out trace.json] [--jsonl-out trace.jsonl]
@@ -226,6 +261,12 @@ USAGE:
 `profile` runs the simulated pipeline with tracing on and prints a
 profile over *simulated* time; --trace-out writes a Chrome-trace JSON
 loadable in ui.perfetto.dev or chrome://tracing.
+
+`stats` sweeps the *native* streamed pipeline over tile sizes × queue
+kinds and prints wall-clock latency histograms (p50/p95/p99) plus the
+stream-merge counters. --metrics-out (also on search/bench) writes the
+collected metrics: OpenMetrics text exposition by default, or a JSON
+snapshot when FILE ends in .json.
 
 `faults` injects a deterministic fault campaign (kernel aborts, hangs,
 DRAM bit flips, PCIe stalls/corruption) per seed and checks every
@@ -449,6 +490,91 @@ mod tests {
         }
         assert!(parse(&v(&["faults", "--k", "16"])).is_err());
         assert!(parse(&v(&["faults", "--n", "10", "--k", "2", "--aborts", "lots"])).is_err());
+    }
+
+    #[test]
+    fn stats_parses_with_defaults_and_overrides() {
+        let c = parse(&v(&["stats", "--n", "8192"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                n: 8192,
+                dim: 16,
+                k: 16,
+                queries: 64,
+                metrics_out: None,
+            }
+        );
+        let c = parse(&v(&[
+            "stats",
+            "--n",
+            "4096",
+            "--dim",
+            "32",
+            "--k",
+            "8",
+            "--queries",
+            "10",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Stats {
+                n: 4096,
+                dim: 32,
+                k: 8,
+                queries: 10,
+                metrics_out: Some(PathBuf::from("m.json")),
+            }
+        );
+        assert!(parse(&v(&["stats"])).is_err()); // --n required
+        assert!(parse(&v(&["stats", "--n", "many"])).is_err());
+    }
+
+    #[test]
+    fn metrics_out_parses_on_search_and_bench() {
+        let c = parse(&v(&[
+            "bench",
+            "--n",
+            "1000",
+            "--k",
+            "16",
+            "--metrics-out",
+            "m.txt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Bench {
+                n: 1000,
+                k: 16,
+                queue: QueueKind::Merge,
+                metrics_out: Some(PathBuf::from("m.txt")),
+            }
+        );
+        let c = parse(&v(&[
+            "search",
+            "--refs",
+            "r",
+            "--queries",
+            "q",
+            "--dim",
+            "8",
+            "--k",
+            "5",
+            "--metrics-out",
+            "m.txt",
+        ]))
+        .unwrap();
+        match c {
+            Command::Search { metrics_out, .. } => {
+                assert_eq!(metrics_out, Some(PathBuf::from("m.txt")));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&v(&["bench", "--n", "10", "--k", "4", "--metrics-out"])).is_err());
     }
 
     #[test]

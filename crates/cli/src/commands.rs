@@ -1,5 +1,6 @@
 //! Command implementations for `knn-cli`.
 
+use std::path::Path;
 use std::time::Instant;
 
 use knn::{knn_search_with, validate_points, PointSet};
@@ -7,6 +8,7 @@ use kselect::gpu::{gpu_select_k, DistanceMatrix, GpuResilience};
 use kselect::{select_k, KnnError, QueueKind, SelectConfig};
 use rand::{Rng, SeedableRng};
 use simt::TimingModel;
+use trace::MetricsRegistry;
 
 use crate::args::Command;
 use crate::io;
@@ -25,6 +27,33 @@ fn padded_k(queue: QueueKind, k: usize) -> usize {
             kk
         }
         _ => k,
+    }
+}
+
+/// Write a metrics snapshot to `path`: OpenMetrics text exposition by
+/// default, a JSON snapshot when the filename ends in `.json`.
+fn write_metrics(path: &Path, snap: &trace::MetricsSnapshot) -> std::io::Result<()> {
+    let body = if path.extension().is_some_and(|e| e == "json") {
+        snap.to_json()
+    } else {
+        trace::openmetrics::render(snap)
+    };
+    std::fs::write(path, body)
+}
+
+/// The warning `profile` prints when a tracer finished with spans still
+/// open — exported Chrome/JSONL traces would be structurally malformed
+/// (unclosed spans render with zero duration or swallow their siblings),
+/// so we say so instead of silently emitting them.
+fn tracer_imbalance_warning(tracer: &trace::Tracer) -> Option<String> {
+    if tracer.is_balanced() {
+        None
+    } else {
+        Some(format!(
+            "warning: tracer finished with {} open span(s); the exported trace is \
+             malformed — treat span durations as unreliable",
+            tracer.open_depth()
+        ))
     }
 }
 
@@ -66,6 +95,7 @@ pub fn run(cmd: Command) -> i32 {
             metric,
             queue,
             json,
+            metrics_out,
         } => {
             let refs = match io::load_points(&refs, dim) {
                 Ok(p) => p,
@@ -93,12 +123,24 @@ pub fn run(cmd: Command) -> i32 {
                 }
             }
             let cfg = SelectConfig::optimized(queue, padded_k(queue, k));
+            let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
             let t0 = Instant::now();
-            let mut results = knn_search_with(&queries, &refs, &cfg, metric);
+            let mut results = match &registry {
+                Some(reg) => {
+                    knn::metered::knn_search_with_metered(&queries, &refs, &cfg, metric, reg)
+                }
+                None => knn_search_with(&queries, &refs, &cfg, metric),
+            };
             for r in &mut results {
                 r.truncate(k);
             }
             let dt = t0.elapsed().as_secs_f64();
+            if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+                if let Err(e) = write_metrics(path, &reg.snapshot()) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return 1;
+                }
+            }
             if json {
                 let rows: Vec<Vec<(u32, f32)>> = results
                     .iter()
@@ -125,18 +167,36 @@ pub fn run(cmd: Command) -> i32 {
             }
             0
         }
-        Command::Bench { n, k, queue } => {
+        Command::Bench {
+            n,
+            k,
+            queue,
+            metrics_out,
+        } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let dists: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
             let kk = padded_k(queue, k);
-            for (label, cfg) in [
-                ("plain", SelectConfig::plain(queue, kk)),
-                ("optimized (buf+hp)", SelectConfig::optimized(queue, kk)),
+            let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
+            for (label, metric_name, cfg) in [
+                (
+                    "plain",
+                    "bench.plain.select_ns",
+                    SelectConfig::plain(queue, kk),
+                ),
+                (
+                    "optimized (buf+hp)",
+                    "bench.optimized.select_ns",
+                    SelectConfig::optimized(queue, kk),
+                ),
             ] {
                 let t0 = Instant::now();
                 let iters = 10;
                 for _ in 0..iters {
+                    let ti = registry.as_ref().map(|_| Instant::now());
                     std::hint::black_box(select_k(std::hint::black_box(&dists), &cfg));
+                    if let (Some(reg), Some(ti)) = (&registry, ti) {
+                        reg.observe_ns(metric_name, ti.elapsed().as_nanos() as u64);
+                    }
                 }
                 let per = t0.elapsed().as_secs_f64() / iters as f64;
                 println!(
@@ -146,8 +206,24 @@ pub fn run(cmd: Command) -> i32 {
                     n as f64 / per / 1e6
                 );
             }
+            if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
+                reg.set_gauge("bench.n", n as f64);
+                reg.set_gauge("bench.k", k as f64);
+                if let Err(e) = write_metrics(path, &reg.snapshot()) {
+                    eprintln!("error writing {}: {e}", path.display());
+                    return 1;
+                }
+                println!("wrote metrics to {}", path.display());
+            }
             0
         }
+        Command::Stats {
+            n,
+            dim,
+            k,
+            queries,
+            metrics_out,
+        } => run_stats(n, dim, k, queries, metrics_out),
         Command::Simulate { n, k, queue } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let flat: Vec<f32> = (0..32 * n).map(|_| rng.gen()).collect();
@@ -193,6 +269,9 @@ pub fn run(cmd: Command) -> i32 {
                 res.select_time * 1e3
             );
             print!("{}", trace::summary::render_summary(&tracer));
+            if let Some(w) = tracer_imbalance_warning(&tracer) {
+                eprintln!("{w}");
+            }
             if let Some(path) = trace_out {
                 if let Err(e) = std::fs::write(&path, trace::chrome::to_chrome_json(&tracer)) {
                     eprintln!("error writing {}: {e}", path.display());
@@ -240,6 +319,68 @@ pub fn run(cmd: Command) -> i32 {
             attempts,
         }),
     }
+}
+
+/// Tile sizes the `stats` sweep covers — the same span the wallclock
+/// bench's `--sweep-tiles` mode walks.
+const STATS_TILES: [usize; 4] = [1024, 2048, 4096, 8192];
+
+/// `knn-cli stats`: run the native streamed pipeline across
+/// [`STATS_TILES`] × queue kinds with the metrics registry attached,
+/// print per-combination QPS plus the aggregated latency histograms,
+/// and optionally export the registry snapshot.
+fn run_stats(
+    n: usize,
+    dim: usize,
+    k: usize,
+    queries: usize,
+    metrics_out: Option<std::path::PathBuf>,
+) -> i32 {
+    let refs = PointSet::uniform(n, dim, 11);
+    let qs = PointSet::uniform(queries, dim, 12);
+    if k == 0 || k > n {
+        let e = KnnError::InvalidK { k, n };
+        eprintln!("error: {}: {e}", e.name());
+        return 1;
+    }
+    let reg = MetricsRegistry::new();
+    println!("native streamed pipeline: {queries} queries × {n} refs (dim {dim}, k={k})\n");
+    println!(
+        "{:<10} {:>6} {:>12} {:>14}",
+        "queue", "tile", "qps", "ms total"
+    );
+    for kind in [QueueKind::Insertion, QueueKind::Heap, QueueKind::Merge] {
+        let kk = padded_k(kind, k);
+        if kk > n {
+            eprintln!("skipping {kind:?}: padded k {kk} exceeds n {n}");
+            continue;
+        }
+        let cfg = SelectConfig::optimized(kind, kk);
+        for tile in STATS_TILES {
+            let t0 = Instant::now();
+            let out = knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg);
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(&out);
+            println!(
+                "{:<10} {:>6} {:>12.1} {:>14.2}",
+                format!("{kind:?}"),
+                tile,
+                queries as f64 / dt,
+                dt * 1e3
+            );
+        }
+    }
+    let snap = reg.snapshot();
+    println!();
+    print!("{}", trace::openmetrics::render_table(&snap));
+    if let Some(path) = &metrics_out {
+        if let Err(e) = write_metrics(path, &snap) {
+            eprintln!("error writing {}: {e}", path.display());
+            return 1;
+        }
+        println!("\nwrote metrics to {}", path.display());
+    }
+    0
 }
 
 struct FaultArgs {
@@ -402,6 +543,7 @@ mod tests {
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
                 json: true,
+                metrics_out: None,
             }),
             0
         );
@@ -415,6 +557,7 @@ mod tests {
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
                 json: false,
+                metrics_out: None,
             }),
             1
         );
@@ -428,6 +571,7 @@ mod tests {
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
                 json: false,
+                metrics_out: None,
             }),
             1
         );
@@ -448,6 +592,7 @@ mod tests {
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
                 json: false,
+                metrics_out: None,
             }),
             1
         );
@@ -486,5 +631,61 @@ mod tests {
         };
         let expect = if simt::fault::compiled() { 0 } else { 1 };
         assert_eq!(run_faults(a), expect);
+    }
+
+    #[test]
+    fn bench_metrics_out_writes_openmetrics_and_json() {
+        let dir = std::env::temp_dir().join("knn_cli_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let txt = dir.join("m.txt");
+        let json = dir.join("m.json");
+        for path in [&txt, &json] {
+            assert_eq!(
+                run(Command::Bench {
+                    n: 2000,
+                    k: 16,
+                    queue: QueueKind::Merge,
+                    metrics_out: Some(path.clone()),
+                }),
+                0
+            );
+        }
+        let text = std::fs::read_to_string(&txt).unwrap();
+        assert!(text.contains("# TYPE bench_plain_select_ns histogram"));
+        assert!(text.contains("bench_optimized_select_ns_count 10"));
+        assert!(text.ends_with("# EOF\n"));
+        let snap = trace::MetricsSnapshot::from_json(&std::fs::read_to_string(&json).unwrap())
+            .expect("JSON snapshot must parse back");
+        assert_eq!(snap.histograms.len(), 2);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "bench.n" && *v == 2000.0));
+    }
+
+    #[test]
+    fn stats_sweeps_and_exports() {
+        let dir = std::env::temp_dir().join("knn_cli_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("stats.txt");
+        assert_eq!(run_stats(3000, 8, 8, 6, Some(out.clone())), 0);
+        let text = std::fs::read_to_string(&out).unwrap();
+        // 3 queue kinds × 4 tiles × 6 queries each hit the streamed path
+        assert!(text.contains("knn_tile_select_ns_count"));
+        assert!(text.contains("knn_queries_total 72"));
+        assert!(text.ends_with("# EOF\n"));
+        // invalid k is a clean named error
+        assert_eq!(run_stats(100, 8, 0, 4, None), 1);
+        assert_eq!(run_stats(100, 8, 200, 4, None), 1);
+    }
+
+    #[test]
+    fn profile_warns_on_unbalanced_tracer() {
+        let mut t = trace::Tracer::new();
+        assert_eq!(tracer_imbalance_warning(&t), None);
+        let _a = t.open_span(trace::Category::Phase, "left-open");
+        let _b = t.open_span(trace::Category::Kernel, "also-open");
+        let w = tracer_imbalance_warning(&t).expect("unbalanced tracer must warn");
+        assert!(w.contains("2 open span(s)"), "warning names the count: {w}");
     }
 }

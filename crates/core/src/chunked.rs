@@ -28,6 +28,21 @@ use crate::types::{sort_neighbors, Neighbor};
 pub struct StreamMerger {
     k: usize,
     acc: Vec<Neighbor>,
+    stats: MergeStats,
+}
+
+/// Lifetime totals of one [`StreamMerger`]: how many candidates were
+/// pushed into it and how many the running top-k evicted. Cheap enough
+/// to track unconditionally (two integer adds per *chunk*), and the
+/// push/reject ratio is the signal tile-size tuning needs — a tile
+/// whose selections mostly get rejected is paying merge cost for
+/// nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Candidates fed in via [`StreamMerger::push_chunk`].
+    pub pushed: u64,
+    /// Candidates evicted by the running top-k truncation.
+    pub rejected: u64,
 }
 
 impl StreamMerger {
@@ -40,12 +55,14 @@ impl StreamMerger {
         StreamMerger {
             k,
             acc: Vec::with_capacity(2 * k),
+            stats: MergeStats::default(),
         }
     }
 
     /// Merge one chunk's survivors, rebasing their chunk-local ids by
     /// `id_offset`.
     pub fn push_chunk(&mut self, chunk: Vec<Neighbor>, id_offset: u32) {
+        self.stats.pushed += chunk.len() as u64;
         for mut nb in chunk {
             nb.id += id_offset;
             self.acc.push(nb);
@@ -55,7 +72,14 @@ impl StreamMerger {
         // global top-k is necessarily in the running top-k of every
         // prefix of chunks.
         sort_neighbors(&mut self.acc);
+        let before = self.acc.len();
         self.acc.truncate(self.k);
+        self.stats.rejected += (before - self.acc.len()) as u64;
+    }
+
+    /// Lifetime push/reject totals.
+    pub fn stats(&self) -> MergeStats {
+        self.stats
     }
 
     /// The current top-k of everything pushed so far, sorted ascending.
@@ -112,6 +136,33 @@ mod tests {
                 .collect();
             assert_eq!(got, expect, "chunk = {chunk}");
         }
+    }
+
+    #[test]
+    fn merge_stats_account_for_every_candidate() {
+        let mut m = StreamMerger::new(2);
+        assert_eq!(m.stats(), MergeStats::default());
+        m.push_chunk(vec![Neighbor::new(3.0, 0), Neighbor::new(1.0, 1)], 0);
+        // 2 pushed, all kept (k = 2)
+        assert_eq!(
+            m.stats(),
+            MergeStats {
+                pushed: 2,
+                rejected: 0
+            }
+        );
+        m.push_chunk(vec![Neighbor::new(0.5, 0), Neighbor::new(9.0, 1)], 10);
+        // 4 pushed lifetime; the running set held 4 and truncated to 2
+        assert_eq!(
+            m.stats(),
+            MergeStats {
+                pushed: 4,
+                rejected: 2
+            }
+        );
+        let out = m.finish();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dist, 0.5);
     }
 
     #[test]

@@ -38,6 +38,57 @@ use crate::distance::{block, gpu_distance_metrics};
 use crate::metric::Metric;
 use crate::pcie::{self, PcieReport};
 
+/// A phase of the native (wall-clock) pipeline, named for observers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// One query end to end (distance row + selection) in
+    /// [`knn_search_with`].
+    Query,
+    /// Distance-row fill of one query in [`knn_search_with`].
+    RowFill,
+    /// k-selection over one query's full row in [`knn_search_with`].
+    RowSelect,
+    /// Distance fill of one query × one reference tile in
+    /// [`knn_search_streamed`].
+    TileFill,
+    /// Per-tile k-selection of one query in [`knn_search_streamed`].
+    TileSelect,
+    /// Host-side [`StreamMerger`] merge of one tile's survivors across
+    /// all queries in [`knn_search_streamed`].
+    TileMerge,
+}
+
+/// Observation hooks for the native pipeline.
+///
+/// The default methods are no-ops, and the pipelines are generic over
+/// the observer, so [`NullObserver`] monomorphizes to *exactly* the
+/// uninstrumented code — no wall-clock reads, no bookkeeping. The
+/// `metrics` cargo feature ships a registry-backed implementation
+/// ([`crate::metered`]); library users can plug their own.
+///
+/// Hooks must not change observable behaviour: `timed` runs `f` exactly
+/// once and returns its result unchanged.
+pub trait PhaseObserver: Sync {
+    /// Run `f`, optionally measuring its duration under `phase`.
+    #[inline]
+    fn timed<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let _ = phase;
+        f()
+    }
+    /// Peak bytes of the distance scratch a pipeline holds.
+    #[inline]
+    fn scratch_bytes(&self, _bytes: u64) {}
+    /// Final stream-merge totals: candidates pushed into the per-query
+    /// mergers and candidates their running top-k evicted.
+    #[inline]
+    fn merger_stats(&self, _pushed: u64, _rejected: u64) {}
+}
+
+/// The zero-cost default observer.
+pub struct NullObserver;
+
+impl PhaseObserver for NullObserver {}
+
 /// Native k-NN search: for each query, the k nearest references by
 /// squared Euclidean distance, sorted ascending.
 pub fn knn_search(queries: &PointSet, refs: &PointSet, cfg: &SelectConfig) -> Vec<Vec<Neighbor>> {
@@ -57,9 +108,25 @@ pub fn knn_search_with(
     cfg: &SelectConfig,
     metric: Metric,
 ) -> Vec<Vec<Neighbor>> {
+    knn_search_with_observed(queries, refs, cfg, metric, &NullObserver)
+}
+
+/// [`knn_search_with`] with [`PhaseObserver`] hooks: per-query
+/// end-to-end latency ([`Phase::Query`]) wrapping the row fill
+/// ([`Phase::RowFill`]) and selection ([`Phase::RowSelect`]), plus the
+/// per-worker row-scratch bytes. Results are identical to the
+/// unobserved path.
+pub fn knn_search_with_observed<O: PhaseObserver>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    metric: Metric,
+    obs: &O,
+) -> Vec<Vec<Neighbor>> {
     assert!(cfg.k <= refs.len(), "k exceeds the number of references");
     assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
     let n = refs.len();
+    obs.scratch_bytes((n * core::mem::size_of::<f32>()) as u64);
     let ref_norms = match metric {
         Metric::SquaredEuclidean => block::norms(refs),
         _ => Vec::new(),
@@ -69,22 +136,28 @@ pub fn knn_search_with(
         .map_init(
             || vec![0.0f32; n],
             |dists, qi| {
-                let qp = queries.point(qi);
-                if metric == Metric::SquaredEuclidean {
-                    block::fill_row_range(
-                        qp,
-                        crate::distance::squared_norm(qp),
-                        refs,
-                        &ref_norms,
-                        0,
-                        dists,
-                    );
-                } else {
-                    for (ri, d) in dists.iter_mut().enumerate() {
-                        *d = crate::distance::clamp_non_finite(metric.distance(qp, refs.point(ri)));
-                    }
-                }
-                kselect::select_k(dists, cfg)
+                obs.timed(Phase::Query, || {
+                    let qp = queries.point(qi);
+                    obs.timed(Phase::RowFill, || {
+                        if metric == Metric::SquaredEuclidean {
+                            block::fill_row_range(
+                                qp,
+                                crate::distance::squared_norm(qp),
+                                refs,
+                                &ref_norms,
+                                0,
+                                dists,
+                            );
+                        } else {
+                            for (ri, d) in dists.iter_mut().enumerate() {
+                                *d = crate::distance::clamp_non_finite(
+                                    metric.distance(qp, refs.point(ri)),
+                                );
+                            }
+                        }
+                    });
+                    obs.timed(Phase::RowSelect, || kselect::select_k(dists, cfg))
+                })
             },
         )
         .collect()
@@ -117,6 +190,22 @@ pub fn knn_search_streamed(
     cfg: &SelectConfig,
     tile: usize,
 ) -> Vec<Vec<Neighbor>> {
+    knn_search_streamed_observed(queries, refs, cfg, tile, &NullObserver)
+}
+
+/// [`knn_search_streamed`] with [`PhaseObserver`] hooks at tile
+/// granularity: per-query tile fill ([`Phase::TileFill`]) and selection
+/// ([`Phase::TileSelect`]) inside the parallel loop, the host-side
+/// merge per tile ([`Phase::TileMerge`]), the scratch working-set bytes
+/// and the final [`StreamMerger`] push/reject totals. Results are
+/// identical to the unobserved path.
+pub fn knn_search_streamed_observed<O: PhaseObserver>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    obs: &O,
+) -> Vec<Vec<Neighbor>> {
     assert!(tile > 0, "tile size must be positive");
     assert!(cfg.k <= refs.len(), "k exceeds the number of references");
     assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
@@ -127,6 +216,7 @@ pub fn knn_search_streamed(
     let q_norms = block::norms(queries);
     let mut mergers: Vec<StreamMerger> = (0..q).map(|_| StreamMerger::new(cfg.k)).collect();
     let mut scratch = vec![0.0f32; q * tile];
+    obs.scratch_bytes((q * tile * core::mem::size_of::<f32>()) as u64);
     for r0 in (0..n).step_by(tile) {
         let t_len = tile.min(n - r0);
         let rows: Vec<(usize, &mut [f32])> =
@@ -134,14 +224,30 @@ pub fn knn_search_streamed(
         let survivors: Vec<Vec<Neighbor>> = rows
             .into_par_iter()
             .map(|(qi, row)| {
-                block::fill_row_range(queries.point(qi), q_norms[qi], refs, &ref_norms, r0, row);
-                kselect::select_k(row, cfg)
+                obs.timed(Phase::TileFill, || {
+                    block::fill_row_range(
+                        queries.point(qi),
+                        q_norms[qi],
+                        refs,
+                        &ref_norms,
+                        r0,
+                        &mut *row,
+                    )
+                });
+                obs.timed(Phase::TileSelect, || kselect::select_k(row, cfg))
             })
             .collect();
-        for (merger, tile_topk) in mergers.iter_mut().zip(survivors) {
-            merger.push_chunk(tile_topk, r0 as u32);
-        }
+        obs.timed(Phase::TileMerge, || {
+            for (merger, tile_topk) in mergers.iter_mut().zip(survivors) {
+                merger.push_chunk(tile_topk, r0 as u32);
+            }
+        });
     }
+    let (pushed, rejected) = mergers.iter().fold((0u64, 0u64), |(p, r), m| {
+        let s = m.stats();
+        (p + s.pushed, r + s.rejected)
+    });
+    obs.merger_stats(pushed, rejected);
     mergers.into_iter().map(StreamMerger::finish).collect()
 }
 

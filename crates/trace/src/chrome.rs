@@ -112,4 +112,32 @@ mod tests {
             .collect();
         assert_eq!(phases, ["M", "B", "B", "E", "i", "E", "C"]);
     }
+
+    #[test]
+    fn span_names_with_json_metacharacters_round_trip() {
+        // Span names are arbitrary caller strings; the exporter must
+        // escape them, not emit malformed JSON a viewer rejects.
+        let names = [
+            r#"quoted "kernel" name"#,
+            r"back\slash\path",
+            "tab\there and newline\nthere",
+            "control-\u{1}-char",
+            "unicode µs → ns",
+        ];
+        let mut t = Tracer::new();
+        for n in names {
+            t.scoped(Category::Kernel, n, |t| t.advance(1e-6));
+        }
+        let text = to_chrome_json(&t);
+        let doc = serde_json::parse_value(&text).expect("escaped export must stay valid JSON");
+        let begins: Vec<&str> = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("B"))
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert_eq!(begins, names, "every name must parse back verbatim");
+    }
 }

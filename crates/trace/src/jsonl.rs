@@ -100,4 +100,36 @@ mod tests {
             Some(4.0)
         );
     }
+
+    #[test]
+    fn parsed_lines_reconstruct_the_recording() {
+        // Round trip: every event in the log parses back with the same
+        // type/name/timestamp the tracer recorded, including names that
+        // need JSON escaping.
+        let mut t = Tracer::new();
+        t.scoped(Category::Phase, r#"phase "zero"\raw"#, |t| {
+            t.advance(2e-6);
+            t.instant(Category::Flush, "tick\n1");
+        });
+        let text = to_jsonl(&t);
+        let parsed: Vec<serde::Value> = text
+            .lines()
+            .map(|l| serde_json::parse_value(l).expect("line must parse"))
+            .collect();
+        let expect = [
+            ("begin", r#"phase "zero"\raw"#, 0.0),
+            ("instant", "tick\n1", 2.0),
+            ("end", r#"phase "zero"\raw"#, 2.0),
+        ];
+        assert_eq!(parsed.len(), expect.len() + 1); // + totals line
+        for (v, (ty, name, ts_us)) in parsed.iter().zip(expect) {
+            assert_eq!(v.get("type").and_then(|x| x.as_str()), Some(ty));
+            assert_eq!(v.get("name").and_then(|x| x.as_str()), Some(name));
+            assert_eq!(v.get("ts_us").and_then(|x| x.as_f64()), Some(ts_us));
+        }
+        assert_eq!(
+            parsed.last().unwrap().get("type").and_then(|x| x.as_str()),
+            Some("totals")
+        );
+    }
 }

@@ -7,12 +7,17 @@
 //! transfers). Spans therefore nest and abut exactly like the modelled
 //! execution, not like host wall clock.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`Tracer`] — scoped spans (open/close, balanced), instant events,
 //!   and a named [`CounterSet`] registry with time-stamped samples;
 //! * [`PositionHistogram`] — per-slot update counts for priority-queue
 //!   analyses (the figure-5 experiments), shared by every queue variant;
+//! * [`metrics`] — the **native** runtime-metrics registry
+//!   ([`MetricsRegistry`]): monotonic wall-clock latency histograms
+//!   with p50/p95/p99 estimation, counters, gauges and memory
+//!   high-water marks for the real (non-simulated) hot paths, exported
+//!   as OpenMetrics text or a JSON snapshot ([`openmetrics`]);
 //! * exporters — [`chrome`] (Chrome-trace JSON loadable in Perfetto or
 //!   `chrome://tracing`), [`jsonl`] (one event per line for ad-hoc
 //!   grepping), and [`summary`] (human-readable profile table).
@@ -25,11 +30,14 @@ pub mod chrome;
 pub mod counters;
 pub mod hist;
 pub mod jsonl;
+pub mod metrics;
+pub mod openmetrics;
 pub mod summary;
 mod tracer;
 
 pub use counters::CounterSet;
 pub use hist::PositionHistogram;
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{Category, EventKind, SpanGuard, SpanId, TraceEvent, Tracer};
 
 /// Well-known counter names emitted by the pipeline, collected here so

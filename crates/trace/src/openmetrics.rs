@@ -1,0 +1,264 @@
+//! OpenMetrics text exposition and a human-readable summary table for
+//! [`crate::metrics::MetricsSnapshot`].
+//!
+//! [`render`] emits the OpenMetrics text format (the Prometheus
+//! exposition format's standardized successor): one `# TYPE` line per
+//! metric family, cumulative `_bucket{le="..."}` samples ending in
+//! `le="+Inf"`, exact `_count`/`_sum`, counters with the `_total`
+//! suffix, and the mandatory `# EOF` terminator. Scrapers and `promtool
+//! check metrics` accept the output as-is.
+//!
+//! [`render_table`] is the `stats`-subcommand face: a fixed-width
+//! latency table (count, p50/p95/p99, mean, max — humanized units) plus
+//! the counter/gauge/peak registries.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+
+/// Sanitize a registry name into an OpenMetrics metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with the dots this workspace's metric
+/// names use becoming underscores (`knn.query.latency_ns` →
+/// `knn_query_latency_ns`).
+pub fn metric_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() || out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Format an f64 sample value the way Prometheus clients do: integral
+/// values without an exponent, everything else via the shortest `{}`.
+fn sample(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let name = metric_name(&h.name);
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cum = 0u64;
+    for (le, count) in &h.buckets {
+        cum += count;
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum_ns));
+}
+
+/// Render a snapshot as OpenMetrics text (ends with `# EOF`).
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for h in &snap.histograms {
+        render_histogram(&mut out, h);
+    }
+    for (name, value) in &snap.counters {
+        let base = metric_name(name);
+        let base = base.strip_suffix("_total").unwrap_or(&base).to_string();
+        out.push_str(&format!("# TYPE {base} counter\n"));
+        out.push_str(&format!("{base}_total {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n"));
+        out.push_str(&format!("{n} {}\n", sample(*value)));
+    }
+    for (name, value) in &snap.peaks {
+        let n = metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n"));
+        out.push_str(&format!("{n} {value}\n"));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Humanize a nanosecond quantity (`532ns`, `1.24us`, `88.1ms`, `2.5s`).
+pub fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+/// Render a snapshot as a fixed-width summary table.
+pub fn render_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== native wall-clock metrics ==\n");
+    out.push_str(&format!(
+        "{:<34} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+        "histogram", "count", "p50", "p95", "p99", "mean", "max"
+    ));
+    for h in &snap.histograms {
+        out.push_str(&format!(
+            "{:<34} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            h.name,
+            h.count,
+            human_ns(h.p50_ns),
+            human_ns(h.p95_ns),
+            human_ns(h.p99_ns),
+            human_ns(if h.count == 0 {
+                0.0
+            } else {
+                h.sum_ns as f64 / h.count as f64
+            }),
+            human_ns(h.max_ns as f64),
+        ));
+    }
+    if snap.histograms.is_empty() {
+        out.push_str("(no histograms recorded)\n");
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("\n== counters ==\n");
+        for (name, value) in &snap.counters {
+            out.push_str(&format!("{name:<44} {value:>14}\n"));
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("\n== gauges ==\n");
+        for (name, value) in &snap.gauges {
+            out.push_str(&format!("{name:<44} {value:>14.3}\n"));
+        }
+    }
+    if !snap.peaks.is_empty() {
+        out.push_str("\n== peaks (high-water marks) ==\n");
+        for (name, value) in &snap.peaks {
+            out.push_str(&format!("{name:<44} {value:>14}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    /// Line-by-line structural validation of the OpenMetrics output —
+    /// the acceptance test for the exposition format: every line is a
+    /// `# TYPE` declaration, a sample, or the final `# EOF`; histogram
+    /// buckets carry `le` labels, are cumulative, end with `+Inf`, and
+    /// are followed by `_count`/`_sum`.
+    #[test]
+    fn openmetrics_text_is_structurally_valid() {
+        let reg = MetricsRegistry::new();
+        for ns in [100u64, 300, 1000, 50_000] {
+            reg.observe_ns("knn.query.latency_ns", ns);
+        }
+        reg.inc("knn.stream.merge_push", 7);
+        reg.set_gauge("knn.qps", 1234.5);
+        reg.record_peak("knn.peak_distance_bytes", 1 << 20);
+        let text = render(&reg.snapshot());
+
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(*lines.last().unwrap(), "# EOF", "must end with # EOF");
+        assert!(
+            text.ends_with("# EOF\n"),
+            "EOF must be the final, newline-terminated line"
+        );
+
+        let mut bucket_cum = 0u64;
+        let mut saw_inf = false;
+        let mut saw_count = false;
+        let mut saw_sum = false;
+        for line in &lines[..lines.len() - 1] {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().expect("TYPE line names a metric");
+                assert!(metric_name(name) == name, "TYPE name must be sanitized");
+                let kind = parts.next().expect("TYPE line names a kind");
+                assert!(matches!(kind, "histogram" | "counter" | "gauge"));
+                continue;
+            }
+            // sample line: `name[{labels}] value`
+            let (name_part, value_part) = line
+                .rsplit_once(' ')
+                .expect("sample line has name and value");
+            value_part
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("sample value must be numeric: {line}"));
+            if let Some((name, labels)) = name_part.split_once('{') {
+                assert!(
+                    name.ends_with("_bucket"),
+                    "only buckets are labelled: {line}"
+                );
+                let le = labels
+                    .strip_suffix('}')
+                    .and_then(|l| l.strip_prefix("le=\""))
+                    .and_then(|l| l.strip_suffix('"'))
+                    .unwrap_or_else(|| panic!("bucket line must carry le label: {line}"));
+                let cum: u64 = value_part.parse().expect("bucket counts are integers");
+                assert!(cum >= bucket_cum, "bucket counts must be cumulative");
+                bucket_cum = cum;
+                if le == "+Inf" {
+                    saw_inf = true;
+                } else {
+                    le.parse::<u64>().expect("finite le bounds are integers");
+                }
+            } else if name_part.ends_with("_count") {
+                saw_count = true;
+                assert_eq!(value_part, "4", "count must be exact");
+            } else if name_part.ends_with("_sum") {
+                saw_sum = true;
+                assert_eq!(value_part, "51400", "sum must be exact");
+            }
+        }
+        assert!(saw_inf && saw_count && saw_sum);
+        assert!(text.contains("knn_stream_merge_push_total 7"));
+        assert!(text.contains("# TYPE knn_stream_merge_push counter"));
+        assert!(text.contains("knn_qps 1234.5"));
+        assert!(text.contains("knn_peak_distance_bytes 1048576"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("knn.query.latency_ns"), "knn_query_latency_ns");
+        assert_eq!(metric_name("weird name!"), "weird_name_");
+        assert_eq!(metric_name("9lives"), "_9lives");
+        assert_eq!(metric_name(""), "_");
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_eof() {
+        assert_eq!(render(&MetricsSnapshot::default()), "# EOF\n");
+    }
+
+    #[test]
+    fn table_lists_every_metric_kind() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ns("lat", 5_000);
+        reg.inc("pushes", 3);
+        reg.set_gauge("qps", 10.0);
+        reg.record_peak("bytes", 64);
+        let table = render_table(&reg.snapshot());
+        for needle in ["lat", "pushes", "qps", "bytes", "p95", "high-water"] {
+            assert!(table.contains(needle), "missing {needle}:\n{table}");
+        }
+        let empty = render_table(&MetricsSnapshot::default());
+        assert!(empty.contains("(no histograms recorded)"));
+    }
+
+    #[test]
+    fn human_ns_picks_units() {
+        assert_eq!(human_ns(532.0), "532ns");
+        assert_eq!(human_ns(1_240.0), "1.24us");
+        assert_eq!(human_ns(88_100_000.0), "88.10ms");
+        assert_eq!(human_ns(2.5e9), "2.500s");
+    }
+}

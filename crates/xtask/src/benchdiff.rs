@@ -1,0 +1,405 @@
+//! `cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]` — the CI
+//! perf-regression gate over `BENCH_native.json`-shaped reports.
+//!
+//! The two files are compared structurally:
+//!
+//! * **Same workload** (`queries`/`refs`/`dim`/`k` all equal): every
+//!   numeric leaf whose key names a direction is checked within the
+//!   tolerance. Keys ending in `_qps`, `speedup` or `_gflops` are
+//!   higher-is-better; keys ending in `_seconds`, `_ns` or `_bytes` are
+//!   lower-is-better. Other numerics (workload params, `tile`,
+//!   `best_tile`) are configuration, not performance, and are ignored.
+//! * **Different workloads** (e.g. the committed full-size baseline vs
+//!   a CI `--quick` run): magnitudes are incomparable, so only the
+//!   invariants are checked — currently `pipeline.results_identical`,
+//!   which must be `true` wherever present.
+//!
+//! Exit codes: 0 clean (improvements are reported, never fatal), 1 on
+//! any regression beyond tolerance or a failed invariant, 2 on unusable
+//! input (missing file, malformed JSON, bad flags).
+
+use serde::Value;
+
+/// One compared metric.
+#[derive(Debug, PartialEq)]
+pub struct MetricDiff {
+    /// Dotted path of the leaf, e.g. `pipeline.streamed_qps`.
+    pub path: String,
+    pub old: f64,
+    pub new: f64,
+    /// Signed change in the *bad* direction, percent: positive means
+    /// worse, negative means better, regardless of which direction is
+    /// better for this key.
+    pub worse_pct: f64,
+}
+
+/// Outcome of one benchdiff run.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Workloads matched, so magnitudes were compared.
+    pub comparable: bool,
+    /// Metrics worse than tolerance.
+    pub regressions: Vec<MetricDiff>,
+    /// Metrics better than tolerance (informational).
+    pub improvements: Vec<MetricDiff>,
+    /// Metrics within tolerance.
+    pub unchanged: usize,
+    /// Failed invariants (checked in both modes).
+    pub broken_invariants: Vec<String>,
+}
+
+/// Direction a numeric key is compared in.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Direction {
+    HigherBetter,
+    LowerBetter,
+}
+
+/// Classify a leaf key by suffix; `None` means "configuration, skip".
+fn direction_of(key: &str) -> Option<Direction> {
+    if key.ends_with("_qps") || key.ends_with("speedup") || key.ends_with("_gflops") {
+        Some(Direction::HigherBetter)
+    } else if key.ends_with("_seconds") || key.ends_with("_ns") || key.ends_with("_bytes") {
+        Some(Direction::LowerBetter)
+    } else {
+        None
+    }
+}
+
+/// The workload-identity keys: reports are magnitude-comparable only
+/// when all of these match.
+const WORKLOAD_KEYS: [&str; 4] = ["queries", "refs", "dim", "k"];
+
+fn same_workload(old: &Value, new: &Value) -> bool {
+    WORKLOAD_KEYS.iter().all(|k| {
+        match (
+            old.get(k).and_then(Value::as_f64),
+            new.get(k).and_then(Value::as_f64),
+        ) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    })
+}
+
+/// Walk `old`/`new` in parallel, comparing directional numeric leaves.
+fn diff_value(path: &str, old: &Value, new: &Value, tol_pct: f64, out: &mut DiffReport) {
+    match (old, new) {
+        (Value::Object(of), _) => {
+            for (k, ov) in of {
+                if let Some(nv) = new.get(k) {
+                    let p = if path.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{path}.{k}")
+                    };
+                    diff_value(&p, ov, nv, tol_pct, out);
+                }
+            }
+        }
+        (Value::Array(oa), Value::Array(na)) => {
+            // e.g. tile_sweep: positional compare of the common prefix.
+            for (i, (ov, nv)) in oa.iter().zip(na).enumerate() {
+                diff_value(&format!("{path}[{i}]"), ov, nv, tol_pct, out);
+            }
+        }
+        _ => {
+            let key = path.rsplit('.').next().unwrap_or(path);
+            let (Some(dir), Some(a), Some(b)) = (direction_of(key), old.as_f64(), new.as_f64())
+            else {
+                return;
+            };
+            if a == 0.0 {
+                return; // no meaningful ratio against a zero baseline
+            }
+            let worse_pct = match dir {
+                Direction::HigherBetter => (a - b) / a * 100.0,
+                Direction::LowerBetter => (b - a) / a * 100.0,
+            };
+            let d = MetricDiff {
+                path: path.to_string(),
+                old: a,
+                new: b,
+                worse_pct,
+            };
+            if worse_pct > tol_pct {
+                out.regressions.push(d);
+            } else if worse_pct < -tol_pct {
+                out.improvements.push(d);
+            } else {
+                out.unchanged += 1;
+            }
+        }
+    }
+}
+
+/// Check the invariants that hold regardless of workload: every
+/// `results_identical` leaf in `new` must be `true`.
+fn check_invariants(path: &str, new: &Value, out: &mut DiffReport) {
+    match new {
+        Value::Object(fields) => {
+            for (k, v) in fields {
+                let p = if path.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{path}.{k}")
+                };
+                if k == "results_identical" {
+                    if *v != Value::Bool(true) {
+                        out.broken_invariants.push(p);
+                    }
+                } else {
+                    check_invariants(&p, v, out);
+                }
+            }
+        }
+        Value::Array(items) => {
+            for (i, v) in items.iter().enumerate() {
+                check_invariants(&format!("{path}[{i}]"), v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare two parsed bench reports under a tolerance (percent).
+pub fn diff_reports(old: &Value, new: &Value, tol_pct: f64) -> DiffReport {
+    let mut report = DiffReport {
+        comparable: same_workload(old, new),
+        ..DiffReport::default()
+    };
+    if report.comparable {
+        diff_value("", old, new, tol_pct, &mut report);
+    }
+    check_invariants("", new, &mut report);
+    report
+}
+
+/// Render the outcome as the table CI logs show.
+pub fn render_report(report: &DiffReport, tol_pct: f64) -> String {
+    let mut s = String::new();
+    if !report.comparable {
+        s.push_str(
+            "workloads differ (queries/refs/dim/k); skipping magnitude \
+             comparison, checking invariants only\n",
+        );
+    } else {
+        s.push_str(&format!(
+            "compared at ±{tol_pct}% tolerance: {} regressed, {} improved, {} within\n",
+            report.regressions.len(),
+            report.improvements.len(),
+            report.unchanged
+        ));
+        for d in &report.regressions {
+            s.push_str(&format!(
+                "  REGRESSED {:<42} {:>12.4} -> {:>12.4}  ({:+.1}% worse)\n",
+                d.path, d.old, d.new, d.worse_pct
+            ));
+        }
+        for d in &report.improvements {
+            s.push_str(&format!(
+                "  improved  {:<42} {:>12.4} -> {:>12.4}  ({:+.1}% better)\n",
+                d.path, d.old, d.new, -d.worse_pct
+            ));
+        }
+    }
+    for inv in &report.broken_invariants {
+        s.push_str(&format!("  INVARIANT FAILED: {inv} is not true\n"));
+    }
+    if report.regressions.is_empty() && report.broken_invariants.is_empty() {
+        s.push_str("benchdiff: OK\n");
+    } else {
+        s.push_str("benchdiff: FAILED\n");
+    }
+    s
+}
+
+/// Entry point for `cargo xtask benchdiff`. Returns the process exit
+/// code.
+pub fn run(args: &[String]) -> u8 {
+    let mut paths = Vec::new();
+    let mut tol_pct = 10.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            let Some(v) = it.next() else {
+                eprintln!("--tolerance needs a value (percent)");
+                return 2;
+            };
+            match v.parse::<f64>() {
+                Ok(t) if t >= 0.0 => tol_pct = t,
+                _ => {
+                    eprintln!("--tolerance must be a non-negative number, got '{v}'");
+                    return 2;
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        eprintln!("usage: cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]");
+        return 2;
+    };
+    let mut parsed = Vec::new();
+    for p in [old_path, new_path] {
+        let text = match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {p}: {e}");
+                return 2;
+            }
+        };
+        match serde_json::parse_value(&text) {
+            Ok(v) => parsed.push(v),
+            Err(e) => {
+                eprintln!("error parsing {p}: {e}");
+                return 2;
+            }
+        }
+    }
+    let report = diff_reports(&parsed[0], &parsed[1], tol_pct);
+    print!("{}", render_report(&report, tol_pct));
+    if report.regressions.is_empty() && report.broken_invariants.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(qps: f64, seconds: f64, identical: bool, refs: u64) -> Value {
+        Value::Object(vec![
+            ("queries".into(), Value::U64(1024)),
+            ("refs".into(), Value::U64(refs)),
+            ("dim".into(), Value::U64(128)),
+            ("k".into(), Value::U64(32)),
+            (
+                "pipeline".into(),
+                Value::Object(vec![
+                    ("streamed_qps".into(), Value::F64(qps)),
+                    ("streamed_seconds".into(), Value::F64(seconds)),
+                    ("results_identical".into(), Value::Bool(identical)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn suffixes_pick_the_direction() {
+        assert_eq!(direction_of("streamed_qps"), Some(Direction::HigherBetter));
+        assert_eq!(direction_of("speedup"), Some(Direction::HigherBetter));
+        assert_eq!(
+            direction_of("blocked_gflops"),
+            Some(Direction::HigherBetter)
+        );
+        assert_eq!(direction_of("scalar_seconds"), Some(Direction::LowerBetter));
+        assert_eq!(direction_of("fill_ns"), Some(Direction::LowerBetter));
+        assert_eq!(
+            direction_of("peak_distance_bytes"),
+            Some(Direction::LowerBetter)
+        );
+        assert_eq!(direction_of("tile"), None);
+        assert_eq!(direction_of("best_tile"), None);
+        assert_eq!(direction_of("queries"), None);
+    }
+
+    #[test]
+    fn qps_drop_beyond_tolerance_is_a_regression() {
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let new = report(800.0, 1.28, true, 1 << 14);
+        let d = diff_reports(&old, &new, 10.0);
+        assert!(d.comparable);
+        let paths: Vec<&str> = d.regressions.iter().map(|m| m.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            ["pipeline.streamed_qps", "pipeline.streamed_seconds"],
+            "both the QPS drop and the seconds rise regress"
+        );
+        assert!(d.broken_invariants.is_empty());
+        assert!(render_report(&d, 10.0).contains("FAILED"));
+    }
+
+    #[test]
+    fn changes_within_tolerance_pass() {
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let new = report(950.0, 1.05, true, 1 << 14);
+        let d = diff_reports(&old, &new, 10.0);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.unchanged, 2);
+        assert!(render_report(&d, 10.0).contains("OK"));
+    }
+
+    #[test]
+    fn improvements_are_reported_not_fatal() {
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let new = report(1500.0, 0.66, true, 1 << 14);
+        let d = diff_reports(&old, &new, 10.0);
+        assert!(d.regressions.is_empty());
+        assert_eq!(d.improvements.len(), 2);
+    }
+
+    #[test]
+    fn different_workloads_skip_magnitudes_but_keep_invariants() {
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let quick_ok = report(50.0, 20.0, true, 2048);
+        let d = diff_reports(&old, &quick_ok, 10.0);
+        assert!(!d.comparable);
+        assert!(d.regressions.is_empty(), "magnitudes must not be compared");
+        assert!(d.broken_invariants.is_empty());
+
+        let quick_bad = report(50.0, 20.0, false, 2048);
+        let d = diff_reports(&old, &quick_bad, 10.0);
+        assert_eq!(d.broken_invariants, ["pipeline.results_identical"]);
+    }
+
+    #[test]
+    fn results_identical_false_fails_even_on_same_workload() {
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let new = report(1000.0, 1.0, false, 1 << 14);
+        let d = diff_reports(&old, &new, 10.0);
+        assert_eq!(d.broken_invariants, ["pipeline.results_identical"]);
+    }
+
+    #[test]
+    fn tile_sweep_arrays_compare_positionally() {
+        let entry = |qps: f64| {
+            Value::Object(vec![
+                ("tile".into(), Value::U64(1024)),
+                ("streamed_qps".into(), Value::F64(qps)),
+            ])
+        };
+        let mut old = report(1000.0, 1.0, true, 1 << 14);
+        let mut new = report(1000.0, 1.0, true, 1 << 14);
+        if let (Value::Object(of), Value::Object(nf)) = (&mut old, &mut new) {
+            of.push(("tile_sweep".into(), Value::Array(vec![entry(900.0)])));
+            nf.push(("tile_sweep".into(), Value::Array(vec![entry(500.0)])));
+        }
+        let d = diff_reports(&old, &new, 10.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].path, "tile_sweep[0].streamed_qps");
+    }
+
+    #[test]
+    fn end_to_end_against_real_json_text() {
+        let old = serde_json::parse_value(
+            r#"{"queries":128,"refs":2048,"dim":32,"k":32,
+                "distance":{"scalar_seconds":0.5,"blocked_seconds":0.05,"speedup":10.0,"blocked_gflops":4.0},
+                "pipeline":{"streamed_qps":2000.0,"results_identical":true}}"#,
+        )
+        .unwrap();
+        let new = serde_json::parse_value(
+            r#"{"queries":128,"refs":2048,"dim":32,"k":32,
+                "distance":{"scalar_seconds":0.5,"blocked_seconds":0.04,"speedup":12.5,"blocked_gflops":5.0},
+                "pipeline":{"streamed_qps":400.0,"results_identical":true}}"#,
+        )
+        .unwrap();
+        let d = diff_reports(&old, &new, 25.0);
+        assert_eq!(d.regressions.len(), 1);
+        assert_eq!(d.regressions[0].path, "pipeline.streamed_qps");
+        assert!((d.regressions[0].worse_pct - 80.0).abs() < 1e-9);
+    }
+}

@@ -9,16 +9,29 @@
 //!   `crates/knn` hot paths, filtered through the `lint-allow.txt`
 //!   allowlist at the workspace root. Exits non-zero on any
 //!   non-allowlisted violation; CI runs this on every push.
+//! * `benchdiff OLD.json NEW.json [--tolerance PCT]` — the
+//!   perf-regression gate over `BENCH_native.json`-shaped reports
+//!   ([`benchdiff`]). Exits 1 on a regression beyond tolerance or a
+//!   failed invariant.
+
+mod benchdiff;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use check::lint::{lint_host_tree, lint_row_alloc_tree, lint_tree, parse_allowlist, AllowEntry};
 
-/// Directories the kernel lint scans, relative to the workspace root.
-/// Kernel code lives here; host-side library crates (knn, baselines,
-/// trace) are free to use wall-clock time and unwrap.
-const SCAN_ROOTS: [&str; 2] = ["crates/core/src/gpu", "crates/simt/src"];
+/// Directories (or single files) the kernel lint scans, relative to the
+/// workspace root. Kernel code lives here; host-side library crates
+/// (knn, baselines, trace) are free to use wall-clock time and unwrap —
+/// except `trace/src/metrics.rs`, which is scanned deliberately so its
+/// wall-clock use stays a reviewed allowlist entry: it is the one
+/// module the native pipelines route *all* their clock reads through.
+const SCAN_ROOTS: [&str; 3] = [
+    "crates/core/src/gpu",
+    "crates/simt/src",
+    "crates/trace/src/metrics.rs",
+];
 
 /// Directories the host-path lint (`no-unwrap-io`) scans: user-facing
 /// code where a panic on bad input is a bug, not a diagnostic.
@@ -44,13 +57,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--verbose" || a == "-v")),
+        Some("benchdiff") => ExitCode::from(benchdiff::run(&args[1..])),
         Some(other) => {
             eprintln!("unknown xtask subcommand '{other}'");
-            eprintln!("usage: cargo xtask lint [--verbose]");
+            eprintln!(
+                "usage: cargo xtask lint [--verbose]\n       \
+                 cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]"
+            );
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--verbose]");
+            eprintln!(
+                "usage: cargo xtask lint [--verbose]\n       \
+                 cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]"
+            );
             ExitCode::FAILURE
         }
     }
