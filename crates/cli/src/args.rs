@@ -6,6 +6,30 @@ use std::path::PathBuf;
 use knn::Metric;
 use kselect::QueueKind;
 
+/// Per-query journal options shared by the instrumented subcommands
+/// (`--journal-out FILE [--journal-sample P] [--journal-exemplars E]`).
+/// `out: None` means journaling is off and the run takes the
+/// `NullJournal` (zero-cost) path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalArgs {
+    /// JSONL destination; `None` disables the journal entirely.
+    pub out: Option<PathBuf>,
+    /// Head-sampling probability in `[0, 1]` (default 1.0: keep all).
+    pub sample: f64,
+    /// Slowest-query exemplars always kept (default 16).
+    pub exemplars: usize,
+}
+
+impl Default for JournalArgs {
+    fn default() -> Self {
+        JournalArgs {
+            out: None,
+            sample: 1.0,
+            exemplars: 16,
+        }
+    }
+}
+
 /// Parsed `knn-cli` invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -27,6 +51,7 @@ pub enum Command {
         queue: QueueKind,
         json: bool,
         metrics_out: Option<PathBuf>,
+        journal: JournalArgs,
     },
     /// `bench --n N --k K [--queue Q] [--metrics-out FILE]` — native
     /// selection benchmark.
@@ -35,6 +60,7 @@ pub enum Command {
         k: usize,
         queue: QueueKind,
         metrics_out: Option<PathBuf>,
+        journal: JournalArgs,
     },
     /// `stats --n N [--dim D] [--k K] [--queries Q] [--metrics-out FILE]`
     /// — native runtime-metrics sweep: the streamed pipeline across tile
@@ -45,6 +71,7 @@ pub enum Command {
         k: usize,
         queries: usize,
         metrics_out: Option<PathBuf>,
+        journal: JournalArgs,
     },
     /// `simulate --n N --k K [--queue Q]` — simulated-GPU run with a
     /// profiler report.
@@ -82,7 +109,13 @@ pub enum Command {
         pcie_stall: f64,
         pcie_corrupt: f64,
         attempts: u32,
+        journal: JournalArgs,
     },
+    /// `report JOURNAL.jsonl [--top N]` — per-phase tail attribution
+    /// (p99 vs p50 cohorts), retry/fallback breakdown and a
+    /// slowest-query drill-down over a journal written by
+    /// `--journal-out`.
+    Report { journal: PathBuf, top: usize },
     /// `--help`
     Help,
 }
@@ -94,6 +127,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     };
     let mut flags: HashMap<String, String> = HashMap::new();
     let mut bools: Vec<String> = Vec::new();
+    let mut positionals: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
@@ -104,6 +138,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     flags.insert(name.to_string(), v.clone());
                 }
             }
+        } else if cmd == "report" {
+            positionals.push(a.clone());
         } else {
             return Err(format!("unexpected argument: {a}"));
         }
@@ -123,6 +159,36 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "insertion" => Ok(QueueKind::Insertion),
             other => Err(format!("unknown queue kind: {other}")),
         }
+    };
+    let journal = |flags: &HashMap<String, String>| -> Result<JournalArgs, String> {
+        let sample = flags
+            .get("journal-sample")
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|_| "--journal-sample must be a number".to_string())
+                    .and_then(|p| {
+                        if (0.0..=1.0).contains(&p) {
+                            Ok(p)
+                        } else {
+                            Err(format!("--journal-sample must be in [0, 1], got {p}"))
+                        }
+                    })
+            })
+            .transpose()?
+            .unwrap_or(1.0);
+        let exemplars = flags
+            .get("journal-exemplars")
+            .map(|s| {
+                s.parse::<usize>()
+                    .map_err(|_| "--journal-exemplars must be an integer".to_string())
+            })
+            .transpose()?
+            .unwrap_or(16);
+        Ok(JournalArgs {
+            out: flags.get("journal-out").map(PathBuf::from),
+            sample,
+            exemplars,
+        })
     };
     match cmd.as_str() {
         "generate" => Ok(Command::Generate {
@@ -157,12 +223,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             queue: queue(&flags)?,
             json: bools.contains(&"json".to_string()),
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            journal: journal(&flags)?,
         }),
         "bench" => Ok(Command::Bench {
             n: get_usize("n")?,
             k: get_usize("k")?,
             queue: queue(&flags)?,
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            journal: journal(&flags)?,
         }),
         "stats" => {
             let get_usize_or = |k: &str, default: usize| -> Result<usize, String> {
@@ -178,6 +246,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 k: get_usize_or("k", 16)?,
                 queries: get_usize_or("queries", 64)?,
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
+                journal: journal(&flags)?,
             })
         }
         "simulate" => Ok(Command::Simulate {
@@ -228,6 +297,23 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 pcie_stall: get_or("pcie-stall", 0.1)?,
                 pcie_corrupt: get_or("pcie-corrupt", 0.05)?,
                 attempts: get_u64_or("attempts", 6)? as u32,
+                journal: journal(&flags)?,
+            })
+        }
+        "report" => {
+            if positionals.len() != 1 {
+                return Err("report needs exactly one JOURNAL.jsonl path".to_string());
+            }
+            Ok(Command::Report {
+                journal: PathBuf::from(&positionals[0]),
+                top: flags
+                    .get("top")
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--top must be an integer".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(5),
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -244,18 +330,23 @@ USAGE:
   knn-cli search   --refs FILE --queries FILE --dim D --k K
                    [--metric euclidean|manhattan|cosine|dot]
                    [--queue merge|heap|insertion] [--json]
-                   [--metrics-out metrics.txt]
+                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
+                   [--journal-sample P] [--journal-exemplars E]
   knn-cli bench    --n N --k K [--queue merge|heap|insertion]
-                   [--metrics-out metrics.txt]
+                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
+                   [--journal-sample P] [--journal-exemplars E]
   knn-cli stats    --n N [--dim D] [--k K] [--queries Q]
-                   [--metrics-out metrics.txt]
+                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
+                   [--journal-sample P] [--journal-exemplars E]
   knn-cli simulate --n N --k K [--queue merge|heap|insertion]
   knn-cli profile  --n N --k K [--queries Q] [--queue merge|heap|insertion]
                    [--trace-out trace.json] [--jsonl-out trace.jsonl]
   knn-cli faults   --n N --k K [--queries Q] [--queue merge|heap|insertion]
                    [--seeds S] [--seed BASE] [--aborts R] [--hangs R]
                    [--bitflips R] [--pcie-stall R] [--pcie-corrupt R]
-                   [--attempts A]
+                   [--attempts A] [--journal-out j.jsonl]
+                   [--journal-sample P] [--journal-exemplars E]
+  knn-cli report   JOURNAL.jsonl [--top N]
   knn-cli help
 
 `profile` runs the simulated pipeline with tracing on and prints a
@@ -274,6 +365,14 @@ delivered result against the fault-free oracle. Kernel faults need a
 binary built with `--features fault`; PCIe-only campaigns (--aborts 0
 --hangs 0 --bitflips 0) work in any build. Exit codes: 0 clean, 1 on
 error (e.g. faults-not-compiled), 2 on silent corruption.
+
+--journal-out (on search/bench/stats/faults) records one structured
+event per query — per-phase latency, merge counters, retry/fallback
+outcome — into a versioned JSONL journal. --journal-sample keeps a
+deterministic fraction of queries; the top --journal-exemplars slowest
+are always kept. `report` reads the journal back and prints per-phase
+tail attribution (p99-cohort vs p50-cohort), a status breakdown and the
+slowest queries; `cargo xtask slogate` evaluates SLOs against it.
 ";
 
 #[cfg(test)]
@@ -441,6 +540,7 @@ mod tests {
                 pcie_stall: 0.1,
                 pcie_corrupt: 0.05,
                 attempts: 6,
+                journal: JournalArgs::default(),
             }
         );
         let c = parse(&v(&[
@@ -503,6 +603,7 @@ mod tests {
                 k: 16,
                 queries: 64,
                 metrics_out: None,
+                journal: JournalArgs::default(),
             }
         );
         let c = parse(&v(&[
@@ -527,6 +628,7 @@ mod tests {
                 k: 8,
                 queries: 10,
                 metrics_out: Some(PathBuf::from("m.json")),
+                journal: JournalArgs::default(),
             }
         );
         assert!(parse(&v(&["stats"])).is_err()); // --n required
@@ -552,6 +654,7 @@ mod tests {
                 k: 16,
                 queue: QueueKind::Merge,
                 metrics_out: Some(PathBuf::from("m.txt")),
+                journal: JournalArgs::default(),
             }
         );
         let c = parse(&v(&[
@@ -581,5 +684,83 @@ mod tests {
     fn empty_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
         assert_eq!(parse(&v(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn journal_flags_parse_with_defaults_and_overrides() {
+        let c = parse(&v(&["stats", "--n", "1000", "--journal-out", "j.jsonl"])).unwrap();
+        match c {
+            Command::Stats { journal, .. } => {
+                assert_eq!(journal.out, Some(PathBuf::from("j.jsonl")));
+                assert_eq!(journal.sample, 1.0);
+                assert_eq!(journal.exemplars, 16);
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse(&v(&[
+            "bench",
+            "--n",
+            "1000",
+            "--k",
+            "8",
+            "--journal-out",
+            "j.jsonl",
+            "--journal-sample",
+            "0.01",
+            "--journal-exemplars",
+            "8",
+        ]))
+        .unwrap();
+        match c {
+            Command::Bench { journal, .. } => {
+                assert_eq!(journal.sample, 0.01);
+                assert_eq!(journal.exemplars, 8);
+            }
+            _ => panic!("wrong command"),
+        }
+        // faults and search accept the flags too
+        let c = parse(&v(&[
+            "faults",
+            "--n",
+            "100",
+            "--k",
+            "4",
+            "--journal-out",
+            "f.jsonl",
+        ]))
+        .unwrap();
+        match c {
+            Command::Faults { journal, .. } => {
+                assert_eq!(journal.out, Some(PathBuf::from("f.jsonl")))
+            }
+            _ => panic!("wrong command"),
+        }
+        // out-of-range / malformed values are named errors
+        assert!(parse(&v(&["stats", "--n", "10", "--journal-sample", "1.5"])).is_err());
+        assert!(parse(&v(&["stats", "--n", "10", "--journal-sample", "lots"])).is_err());
+        assert!(parse(&v(&["stats", "--n", "10", "--journal-exemplars", "-2"])).is_err());
+    }
+
+    #[test]
+    fn report_takes_one_positional_journal_path() {
+        assert_eq!(
+            parse(&v(&["report", "journal.jsonl"])).unwrap(),
+            Command::Report {
+                journal: PathBuf::from("journal.jsonl"),
+                top: 5
+            }
+        );
+        assert_eq!(
+            parse(&v(&["report", "j.jsonl", "--top", "12"])).unwrap(),
+            Command::Report {
+                journal: PathBuf::from("j.jsonl"),
+                top: 12
+            }
+        );
+        assert!(parse(&v(&["report"])).is_err());
+        assert!(parse(&v(&["report", "a.jsonl", "b.jsonl"])).is_err());
+        assert!(parse(&v(&["report", "j.jsonl", "--top", "many"])).is_err());
+        // positionals stay rejected everywhere else
+        assert!(parse(&v(&["bench", "j.jsonl", "--n", "10", "--k", "2"])).is_err());
     }
 }

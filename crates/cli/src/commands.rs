@@ -8,9 +8,9 @@ use kselect::gpu::{gpu_select_k, DistanceMatrix, GpuResilience};
 use kselect::{select_k, KnnError, QueueKind, SelectConfig};
 use rand::{Rng, SeedableRng};
 use simt::TimingModel;
-use trace::MetricsRegistry;
+use trace::{EventJournal, Journal as _, JournalConfig, MetricsRegistry, QueryRecord};
 
-use crate::args::Command;
+use crate::args::{Command, JournalArgs};
 use crate::io;
 
 /// Round k up to a valid Merge Queue capacity (m·2^j with m = 8) so the
@@ -39,6 +39,45 @@ fn write_metrics(path: &Path, snap: &trace::MetricsSnapshot) -> std::io::Result<
         trace::openmetrics::render(snap)
     };
     std::fs::write(path, body)
+}
+
+/// Build an [`EventJournal`] from the CLI flags; `None` when
+/// `--journal-out` was not given, so callers take the `NullJournal`
+/// (zero-cost) path instead.
+fn make_journal(a: &JournalArgs) -> Option<EventJournal> {
+    a.out.as_ref().map(|_| {
+        EventJournal::new(JournalConfig {
+            sample: a.sample,
+            exemplars: a.exemplars,
+            ..JournalConfig::default()
+        })
+    })
+}
+
+/// Write a finished journal to its `--journal-out` path and say how much
+/// of the run it kept (on stderr, so `--json` stdout stays parseable).
+/// Returns `false` on I/O failure.
+fn write_journal(a: &JournalArgs, j: &EventJournal) -> bool {
+    let Some(path) = &a.out else { return true };
+    let records = j.snapshot();
+    match std::fs::write(path, trace::journal::to_jsonl(&records)) {
+        Ok(()) => {
+            let s = j.stats();
+            eprintln!(
+                "wrote {} journal record(s) to {} (saw {}, sampled {}, evicted {})",
+                records.len(),
+                path.display(),
+                s.seen,
+                s.sampled_in,
+                s.evicted,
+            );
+            true
+        }
+        Err(e) => {
+            eprintln!("error writing {}: {e}", path.display());
+            false
+        }
+    }
 }
 
 /// The warning `profile` prints when a tracer finished with spans still
@@ -96,6 +135,7 @@ pub fn run(cmd: Command) -> i32 {
             queue,
             json,
             metrics_out,
+            journal,
         } => {
             let refs = match io::load_points(&refs, dim) {
                 Ok(p) => p,
@@ -124,12 +164,22 @@ pub fn run(cmd: Command) -> i32 {
             }
             let cfg = SelectConfig::optimized(queue, padded_k(queue, k));
             let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
+            let jn = make_journal(&journal);
             let t0 = Instant::now();
-            let mut results = match &registry {
-                Some(reg) => {
+            let mut results = match (&jn, &registry) {
+                (Some(j), reg) => knn::metered::knn_search_with_journaled(
+                    &queries,
+                    &refs,
+                    &cfg,
+                    metric,
+                    j,
+                    reg.as_ref(),
+                    "search",
+                ),
+                (None, Some(reg)) => {
                     knn::metered::knn_search_with_metered(&queries, &refs, &cfg, metric, reg)
                 }
-                None => knn_search_with(&queries, &refs, &cfg, metric),
+                (None, None) => knn_search_with(&queries, &refs, &cfg, metric),
             };
             for r in &mut results {
                 r.truncate(k);
@@ -165,6 +215,11 @@ pub fn run(cmd: Command) -> i32 {
                     println!("query {qi}: {ids:?}");
                 }
             }
+            if let Some(j) = &jn {
+                if !write_journal(&journal, j) {
+                    return 1;
+                }
+            }
             0
         }
         Command::Bench {
@@ -172,11 +227,14 @@ pub fn run(cmd: Command) -> i32 {
             k,
             queue,
             metrics_out,
+            journal,
         } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let dists: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
             let kk = padded_k(queue, k);
             let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
+            let jn = make_journal(&journal);
+            let mut iter_id = 0u64;
             for (label, metric_name, cfg) in [
                 (
                     "plain",
@@ -192,10 +250,30 @@ pub fn run(cmd: Command) -> i32 {
                 let t0 = Instant::now();
                 let iters = 10;
                 for _ in 0..iters {
-                    let ti = registry.as_ref().map(|_| Instant::now());
+                    let ti = (registry.is_some() || jn.is_some()).then(Instant::now);
                     std::hint::black_box(select_k(std::hint::black_box(&dists), &cfg));
-                    if let (Some(reg), Some(ti)) = (&registry, ti) {
-                        reg.observe_ns(metric_name, ti.elapsed().as_nanos() as u64);
+                    if let Some(ti) = ti {
+                        let ns = ti.elapsed().as_nanos() as u64;
+                        if let Some(reg) = &registry {
+                            reg.observe_ns(metric_name, ns);
+                        }
+                        // One journal record per select call: bench has no
+                        // per-query pipeline, so the whole iteration is its
+                        // "select" phase.
+                        if let Some(j) = &jn {
+                            j.record(QueryRecord {
+                                query: iter_id,
+                                queue: format!("{queue:?}").to_lowercase(),
+                                tag: label.to_string(),
+                                total_ns: ns,
+                                phase_ns: vec![(trace::journal::phases::SELECT.to_string(), ns)],
+                                blocks: 1,
+                                status: "ok".to_string(),
+                                attempts: 1,
+                                ..QueryRecord::default()
+                            });
+                            iter_id += 1;
+                        }
                     }
                 }
                 let per = t0.elapsed().as_secs_f64() / iters as f64;
@@ -215,6 +293,11 @@ pub fn run(cmd: Command) -> i32 {
                 }
                 println!("wrote metrics to {}", path.display());
             }
+            if let Some(j) = &jn {
+                if !write_journal(&journal, j) {
+                    return 1;
+                }
+            }
             0
         }
         Command::Stats {
@@ -223,7 +306,8 @@ pub fn run(cmd: Command) -> i32 {
             k,
             queries,
             metrics_out,
-        } => run_stats(n, dim, k, queries, metrics_out),
+            journal,
+        } => run_stats(n, dim, k, queries, metrics_out, journal),
         Command::Simulate { n, k, queue } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let flat: Vec<f32> = (0..32 * n).map(|_| rng.gen()).collect();
@@ -304,6 +388,7 @@ pub fn run(cmd: Command) -> i32 {
             pcie_stall,
             pcie_corrupt,
             attempts,
+            journal,
         } => run_faults(FaultArgs {
             n,
             k,
@@ -317,7 +402,9 @@ pub fn run(cmd: Command) -> i32 {
             pcie_stall,
             pcie_corrupt,
             attempts,
+            journal,
         }),
+        Command::Report { journal, top } => run_report(&journal, top),
     }
 }
 
@@ -335,6 +422,7 @@ fn run_stats(
     k: usize,
     queries: usize,
     metrics_out: Option<std::path::PathBuf>,
+    journal: JournalArgs,
 ) -> i32 {
     let refs = PointSet::uniform(n, dim, 11);
     let qs = PointSet::uniform(queries, dim, 12);
@@ -344,6 +432,7 @@ fn run_stats(
         return 1;
     }
     let reg = MetricsRegistry::new();
+    let jn = make_journal(&journal);
     println!("native streamed pipeline: {queries} queries × {n} refs (dim {dim}, k={k})\n");
     println!(
         "{:<10} {:>6} {:>12} {:>14}",
@@ -358,7 +447,18 @@ fn run_stats(
         let cfg = SelectConfig::optimized(kind, kk);
         for tile in STATS_TILES {
             let t0 = Instant::now();
-            let out = knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg);
+            let out = match &jn {
+                Some(j) => knn::metered::knn_search_streamed_journaled(
+                    &qs,
+                    &refs,
+                    &cfg,
+                    tile,
+                    j,
+                    Some(&reg),
+                    "stats",
+                ),
+                None => knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg),
+            };
             let dt = t0.elapsed().as_secs_f64();
             std::hint::black_box(&out);
             println!(
@@ -380,6 +480,11 @@ fn run_stats(
         }
         println!("\nwrote metrics to {}", path.display());
     }
+    if let Some(j) = &jn {
+        if !write_journal(&journal, j) {
+            return 1;
+        }
+    }
     0
 }
 
@@ -396,6 +501,7 @@ struct FaultArgs {
     pcie_stall: f64,
     pcie_corrupt: f64,
     attempts: u32,
+    journal: JournalArgs,
 }
 
 /// Run one deterministic fault campaign per seed and check every
@@ -428,6 +534,7 @@ fn run_faults(a: FaultArgs) -> i32 {
         if simt::fault::compiled() { "on" } else { "off" },
     );
 
+    let jn = make_journal(&a.journal);
     let mut totals = kselect::gpu::ResilienceCounters::default();
     let mut corrupted = 0usize;
     for s in a.seed..a.seed + a.seeds {
@@ -441,7 +548,19 @@ fn run_faults(a: FaultArgs) -> i32 {
             ..GpuResilience::default()
         }
         .with_faults(plan);
-        let out = match knn::gpu_knn_resilient(&tm, &qs, &refs, &cfg, &res) {
+        let run = match &jn {
+            Some(j) => knn::gpu_knn_resilient_journaled(
+                &tm,
+                &qs,
+                &refs,
+                &cfg,
+                &res,
+                j,
+                &format!("seed{s}"),
+            ),
+            None => knn::gpu_knn_resilient(&tm, &qs, &refs, &cfg, &res),
+        };
+        let out = match run {
             Ok(out) => out,
             Err(e) => {
                 eprintln!("error: seed {s}: {}: {e}", e.name());
@@ -487,11 +606,203 @@ fn run_faults(a: FaultArgs) -> i32 {
         totals.pcie_stalls,
         totals.pcie_corruptions,
     );
+    if let Some(j) = &jn {
+        if !write_journal(&a.journal, j) {
+            return 1;
+        }
+    }
     if corrupted > 0 {
         eprintln!("{corrupted} silently corrupted result(s)");
         return 2;
     }
     println!("no silent corruption: every delivered top-k matches the fault-free oracle");
+    0
+}
+
+/// Nearest-rank quantile over records already sorted by `total_ns`.
+fn total_quantile(sorted: &[QueryRecord], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].total_ns
+}
+
+/// Mean nanoseconds per phase across a cohort, the `query` envelope
+/// excluded (it duplicates `total_ns`). Queries that never entered a
+/// phase contribute zero to its mean, so the means of one cohort sum to
+/// (at most) its mean total latency and are comparable across cohorts.
+fn cohort_phase_means(cohort: &[&QueryRecord]) -> std::collections::BTreeMap<String, f64> {
+    let mut sums: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    for r in cohort {
+        for (name, ns) in &r.phase_ns {
+            if name != trace::journal::phases::QUERY {
+                *sums.entry(name.clone()).or_default() += *ns as f64;
+            }
+        }
+    }
+    for v in sums.values_mut() {
+        *v /= cohort.len() as f64;
+    }
+    sums
+}
+
+/// Render the `report` command's output over parsed journal records:
+/// overall latency quantiles, per-phase tail attribution (the p99 cohort
+/// against the p50 cohort), a status/retry breakdown and a drill-down
+/// into the slowest queries.
+fn render_report(records: &mut [QueryRecord], top: usize) -> String {
+    use std::fmt::Write as _;
+    use trace::openmetrics::human_ns;
+
+    records.sort_by_key(|r| r.total_ns);
+    let n = records.len();
+    let (p50, p95, p99) = (
+        total_quantile(records, 0.50),
+        total_quantile(records, 0.95),
+        total_quantile(records, 0.99),
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "{n} record(s)");
+    let _ = writeln!(
+        out,
+        "total latency: p50 {}  p95 {}  p99 {}  max {}\n",
+        human_ns(p50 as f64),
+        human_ns(p95 as f64),
+        human_ns(p99 as f64),
+        human_ns(records[n - 1].total_ns as f64),
+    );
+
+    // Tail attribution: where does the p99 cohort spend its extra time
+    // relative to the median cohort?
+    let fast: Vec<&QueryRecord> = records.iter().filter(|r| r.total_ns <= p50).collect();
+    let slow: Vec<&QueryRecord> = records.iter().filter(|r| r.total_ns >= p99).collect();
+    let fast_means = cohort_phase_means(&fast);
+    let slow_means = cohort_phase_means(&slow);
+    let slow_total: f64 = slow_means.values().sum();
+    let _ = writeln!(
+        out,
+        "per-phase tail attribution ({} p50-cohort vs {} p99-cohort queries):",
+        fast.len(),
+        slow.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<12} {:>14} {:>14} {:>14} {:>7}",
+        "phase", "p50 mean", "p99 mean", "excess", "share"
+    );
+    let mut dominant: Option<(&str, f64)> = None;
+    for (phase, slow_mean) in &slow_means {
+        let fast_mean = fast_means.get(phase).copied().unwrap_or(0.0);
+        let share = if slow_total > 0.0 {
+            slow_mean / slow_total
+        } else {
+            0.0
+        };
+        if dominant.is_none_or(|(_, best)| *slow_mean > best) {
+            dominant = Some((phase, *slow_mean));
+        }
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>14} {:>14} {:>14} {:>6.1}%",
+            phase,
+            human_ns(fast_mean),
+            human_ns(*slow_mean),
+            human_ns(slow_mean - fast_mean),
+            share * 100.0,
+        );
+    }
+    if let Some((phase, mean)) = dominant {
+        let share = if slow_total > 0.0 {
+            mean / slow_total * 100.0
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  tail dominated by: {phase} ({share:.1}% of p99-cohort time)\n"
+        );
+    }
+
+    // Status / retry breakdown.
+    let mut statuses: std::collections::BTreeMap<&str, (usize, u64)> =
+        std::collections::BTreeMap::new();
+    for r in records.iter() {
+        let status = if r.status.is_empty() { "ok" } else { &r.status };
+        let e = statuses.entry(status).or_default();
+        e.0 += 1;
+        e.1 += u64::from(r.attempts);
+    }
+    let _ = writeln!(out, "status breakdown:");
+    for (status, (count, attempts)) in &statuses {
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>6} ({:>5.1}%)  mean attempts {:.2}",
+            status,
+            count,
+            *count as f64 / n as f64 * 100.0,
+            *attempts as f64 / *count as f64,
+        );
+    }
+    let retried = records.iter().filter(|r| r.attempts > 1).count();
+    let _ = writeln!(
+        out,
+        "  retried queries: {retried} ({:.1}%)\n",
+        retried as f64 / n as f64 * 100.0
+    );
+
+    // Slowest-query drill-down.
+    let shown = top.min(n);
+    let _ = writeln!(out, "slowest {shown} of {n}:");
+    let _ = writeln!(
+        out,
+        "  {:<6} {:<10} {:>12} {:<12} {:<10} {:>8} {:>8} {:>8}",
+        "query", "tag", "total", "dominant", "status", "attempts", "push", "reject"
+    );
+    for r in records.iter().rev().take(shown) {
+        let _ = writeln!(
+            out,
+            "  {:<6} {:<10} {:>12} {:<12} {:<10} {:>8} {:>8} {:>8}{}",
+            r.query,
+            r.tag,
+            human_ns(r.total_ns as f64),
+            r.dominant_phase().map_or("-", |(name, _)| name),
+            if r.status.is_empty() { "ok" } else { &r.status },
+            r.attempts,
+            r.merge_push,
+            r.merge_reject,
+            if r.exemplar { "  [exemplar]" } else { "" },
+        );
+    }
+    out
+}
+
+/// `knn-cli report JOURNAL.jsonl`: read a journal written by
+/// `--journal-out` and print tail attribution, status breakdown and the
+/// slowest queries. Exit 2 when the input is missing, malformed or
+/// empty — the journal itself is unusable, which is a different failure
+/// from a violated expectation inside a valid one.
+fn run_report(path: &Path, top: usize) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {}: {e}", path.display());
+            return 2;
+        }
+    };
+    let mut records = match trace::journal::parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error parsing {}: {e}", path.display());
+            return 2;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("error: {} holds no records", path.display());
+        return 2;
+    }
+    print!(
+        "journal report: {} — {}",
+        path.display(),
+        render_report(&mut records, top)
+    );
     0
 }
 
@@ -544,6 +855,7 @@ mod tests {
                 queue: QueueKind::Merge,
                 json: true,
                 metrics_out: None,
+                journal: JournalArgs::default(),
             }),
             0
         );
@@ -558,6 +870,7 @@ mod tests {
                 queue: QueueKind::Merge,
                 json: false,
                 metrics_out: None,
+                journal: JournalArgs::default(),
             }),
             1
         );
@@ -572,6 +885,7 @@ mod tests {
                 queue: QueueKind::Merge,
                 json: false,
                 metrics_out: None,
+                journal: JournalArgs::default(),
             }),
             1
         );
@@ -593,6 +907,7 @@ mod tests {
                 queue: QueueKind::Merge,
                 json: false,
                 metrics_out: None,
+                journal: JournalArgs::default(),
             }),
             1
         );
@@ -612,6 +927,7 @@ mod tests {
             pcie_stall: 0.5,
             pcie_corrupt: 0.0,
             attempts: 4,
+            journal: JournalArgs::default(),
         }
     }
 
@@ -646,6 +962,7 @@ mod tests {
                     k: 16,
                     queue: QueueKind::Merge,
                     metrics_out: Some(path.clone()),
+                    journal: JournalArgs::default(),
                 }),
                 0
             );
@@ -668,15 +985,18 @@ mod tests {
         let dir = std::env::temp_dir().join("knn_cli_stats");
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("stats.txt");
-        assert_eq!(run_stats(3000, 8, 8, 6, Some(out.clone())), 0);
+        assert_eq!(
+            run_stats(3000, 8, 8, 6, Some(out.clone()), JournalArgs::default()),
+            0
+        );
         let text = std::fs::read_to_string(&out).unwrap();
         // 3 queue kinds × 4 tiles × 6 queries each hit the streamed path
         assert!(text.contains("knn_tile_select_ns_count"));
         assert!(text.contains("knn_queries_total 72"));
         assert!(text.ends_with("# EOF\n"));
         // invalid k is a clean named error
-        assert_eq!(run_stats(100, 8, 0, 4, None), 1);
-        assert_eq!(run_stats(100, 8, 200, 4, None), 1);
+        assert_eq!(run_stats(100, 8, 0, 4, None, JournalArgs::default()), 1);
+        assert_eq!(run_stats(100, 8, 200, 4, None, JournalArgs::default()), 1);
     }
 
     #[test]
@@ -687,5 +1007,187 @@ mod tests {
         let _b = t.open_span(trace::Category::Kernel, "also-open");
         let w = tracer_imbalance_warning(&t).expect("unbalanced tracer must warn");
         assert!(w.contains("2 open span(s)"), "warning names the count: {w}");
+    }
+
+    #[test]
+    fn search_journal_writes_jsonl_and_report_reads_it() {
+        let dir = std::env::temp_dir().join("knn_cli_journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let refs = dir.join("refs.f32");
+        let queries = dir.join("queries.f32");
+        let jpath = dir.join("search.jsonl");
+        for (count, seed, path) in [(300, 1, &refs), (12, 2, &queries)] {
+            assert_eq!(
+                run(Command::Generate {
+                    count,
+                    dim: 8,
+                    seed,
+                    out: path.clone()
+                }),
+                0
+            );
+        }
+        assert_eq!(
+            run(Command::Search {
+                refs,
+                queries,
+                dim: 8,
+                k: 5,
+                metric: Metric::SquaredEuclidean,
+                queue: QueueKind::Merge,
+                json: false,
+                metrics_out: None,
+                journal: JournalArgs {
+                    out: Some(jpath.clone()),
+                    ..JournalArgs::default()
+                },
+            }),
+            0
+        );
+        let recs = trace::journal::parse_jsonl(&std::fs::read_to_string(&jpath).unwrap()).unwrap();
+        assert_eq!(recs.len(), 12, "one record per query");
+        assert!(recs.iter().all(|r| r.tag == "search" && r.total_ns > 0));
+        // the report renders over it and exits cleanly
+        assert_eq!(
+            run(Command::Report {
+                journal: jpath,
+                top: 3
+            }),
+            0
+        );
+        // unreadable / empty / garbage journals are exit 2, not a panic
+        assert_eq!(
+            run(Command::Report {
+                journal: dir.join("missing.jsonl"),
+                top: 3
+            }),
+            2
+        );
+        let garbage = dir.join("garbage.jsonl");
+        std::fs::write(&garbage, "not json\n").unwrap();
+        assert_eq!(
+            run(Command::Report {
+                journal: garbage,
+                top: 3
+            }),
+            2
+        );
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert_eq!(
+            run(Command::Report {
+                journal: empty,
+                top: 3
+            }),
+            2
+        );
+    }
+
+    #[test]
+    fn stats_and_bench_journal_record_every_combination() {
+        let dir = std::env::temp_dir().join("knn_cli_journal_sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("stats.jsonl");
+        let args = JournalArgs {
+            out: Some(jpath.clone()),
+            ..JournalArgs::default()
+        };
+        assert_eq!(run_stats(3000, 8, 8, 6, None, args), 0);
+        let recs = trace::journal::parse_jsonl(&std::fs::read_to_string(&jpath).unwrap()).unwrap();
+        // 3 queue kinds × 4 tiles × 6 queries
+        assert_eq!(recs.len(), 72);
+        assert!(recs.iter().any(|r| r.queue == "heap"));
+        assert!(recs.iter().all(|r| r.tile > 0 && r.blocks > 0));
+
+        let bpath = dir.join("bench.jsonl");
+        assert_eq!(
+            run(Command::Bench {
+                n: 2000,
+                k: 16,
+                queue: QueueKind::Merge,
+                metrics_out: None,
+                journal: JournalArgs {
+                    out: Some(bpath.clone()),
+                    ..JournalArgs::default()
+                },
+            }),
+            0
+        );
+        let recs = trace::journal::parse_jsonl(&std::fs::read_to_string(&bpath).unwrap()).unwrap();
+        // 2 configs × 10 iterations, all pure-select records
+        assert_eq!(recs.len(), 20);
+        assert!(recs
+            .iter()
+            .all(|r| r.dominant_phase().map(|(p, _)| p) == Some("select")));
+    }
+
+    #[test]
+    fn faults_journal_tags_each_seed() {
+        let dir = std::env::temp_dir().join("knn_cli_journal_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("faults.jsonl");
+        let a = FaultArgs {
+            journal: JournalArgs {
+                out: Some(jpath.clone()),
+                ..JournalArgs::default()
+            },
+            ..fault_args()
+        };
+        assert_eq!(run_faults(a), 0);
+        let recs = trace::journal::parse_jsonl(&std::fs::read_to_string(&jpath).unwrap()).unwrap();
+        // 2 seeds × 40 queries, tagged by campaign
+        assert_eq!(recs.len(), 80);
+        assert!(recs.iter().any(|r| r.tag == "seed1"));
+        assert!(recs.iter().any(|r| r.tag == "seed2"));
+        assert!(recs.iter().all(|r| !r.status.is_empty() && r.attempts >= 1));
+    }
+
+    #[test]
+    fn report_attributes_the_tail_to_the_dominant_phase() {
+        // Synthetic journal: 99 fast distance-bound queries and one huge
+        // outlier that spent its time retrying in backoff.
+        let mut recs: Vec<QueryRecord> = (0..99)
+            .map(|i| QueryRecord {
+                query: i,
+                total_ns: 1_000 + i,
+                phase_ns: vec![("distance".into(), 700), ("select".into(), 300)],
+                status: "ok".into(),
+                attempts: 1,
+                ..QueryRecord::default()
+            })
+            .collect();
+        recs.push(QueryRecord {
+            query: 99,
+            total_ns: 1_000_000,
+            phase_ns: vec![
+                ("distance".into(), 100_000),
+                ("select".into(), 100_000),
+                ("backoff".into(), 800_000),
+            ],
+            status: "recovered".into(),
+            attempts: 3,
+            exemplar: true,
+            ..QueryRecord::default()
+        });
+        let out = render_report(&mut recs, 2);
+        assert!(
+            out.contains("tail dominated by: backoff"),
+            "p99 cohort is the outlier, which is backoff-bound:\n{out}"
+        );
+        assert!(
+            out.contains("recovered"),
+            "status breakdown present:\n{out}"
+        );
+        assert!(
+            out.contains("retried queries: 1 (1.0%)"),
+            "retry rate over all records:\n{out}"
+        );
+        assert!(
+            out.contains("[exemplar]"),
+            "drill-down flags exemplars:\n{out}"
+        );
+        // quantiles are nearest-rank over totals
+        assert_eq!(total_quantile(&recs, 1.0), 1_000_000);
+        assert_eq!(total_quantile(&recs, 0.5), 1_049);
     }
 }

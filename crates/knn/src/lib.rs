@@ -41,11 +41,15 @@ pub use distance::{
 pub use eval::{ground_truth, mean_recall, recall_at_k};
 pub use graph::KnnGraph;
 #[cfg(feature = "metrics")]
-pub use metered::{knn_search_metered, knn_search_streamed_metered, RegistryObserver};
+pub use metered::{
+    knn_search_metered, knn_search_streamed_journaled, knn_search_streamed_metered,
+    knn_search_with_journaled, JournalObserver, RegistryObserver,
+};
 pub use metric::{distance_matrix_flat_with, distance_matrix_with, Metric};
 pub use pcie::{data_copy_time, transfer_with_faults, PcieReport};
 pub use pipeline::{
-    gpu_knn, gpu_knn_resilient, gpu_knn_traced, knn_search, knn_search_streamed,
-    knn_search_streamed_observed, knn_search_with, knn_search_with_observed, validate_points,
-    GpuKnnResult, NullObserver, Phase, PhaseObserver, ResilientKnnResult,
+    gpu_knn, gpu_knn_resilient, gpu_knn_resilient_journaled, gpu_knn_traced, knn_search,
+    knn_search_streamed, knn_search_streamed_observed, knn_search_with, knn_search_with_observed,
+    queue_tag, validate_points, GpuKnnResult, NullObserver, Phase, PhaseObserver,
+    ResilientKnnResult,
 };

@@ -22,18 +22,27 @@
 //! | `knn.scratch.peak_bytes` | peak | distance-scratch high-water mark |
 //! | `knn.stream.merge_push` / `knn.stream.merge_reject` | counter | stream-merge candidate totals |
 //! | `knn.queries` | counter | queries answered by metered searches |
+//!
+//! The journaled entry points ([`knn_search_with_journaled`],
+//! [`knn_search_streamed_journaled`]) additionally emit one
+//! [`trace::QueryRecord`] per query via a [`JournalObserver`] — the
+//! same clock reads feed both the aggregate histograms and the
+//! per-query records, and a disabled journal falls straight back to the
+//! metered (or plain) path.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use kselect::types::Neighbor;
 use kselect::SelectConfig;
+use trace::journal::{phases, Journal, QueryRecord};
 use trace::metrics::MetricsRegistry;
 
 use crate::dataset::PointSet;
 use crate::distance::block::{self, FlatMatrix};
 use crate::metric::Metric;
 use crate::pipeline::{
-    knn_search_streamed_observed, knn_search_with_observed, Phase, PhaseObserver,
+    knn_search_streamed_observed, knn_search_with_observed, queue_tag, Phase, PhaseObserver,
 };
 
 /// Histogram name a [`Phase`] records under.
@@ -128,6 +137,235 @@ pub fn knn_search_streamed_metered(
     knn_search_streamed_observed(queries, refs, cfg, tile, &RegistryObserver::new(registry))
 }
 
+/// Journal phase-name key of a pipeline [`Phase`] (`None` for the
+/// aggregate tile merge, which has no single owning query).
+fn phase_key(phase: Phase) -> Option<&'static str> {
+    match phase {
+        Phase::Query => Some(phases::QUERY),
+        Phase::RowFill => Some(phases::ROW_FILL),
+        Phase::RowSelect => Some(phases::ROW_SELECT),
+        Phase::TileFill => Some(phases::TILE_FILL),
+        Phase::TileSelect => Some(phases::TILE_SELECT),
+        Phase::TileMerge => None,
+    }
+}
+
+/// One query's accumulating measurements (tile phases sum across
+/// tiles).
+#[derive(Clone, Copy, Default)]
+struct Draft {
+    query_ns: u64,
+    row_fill_ns: u64,
+    row_select_ns: u64,
+    tile_fill_ns: u64,
+    tile_select_ns: u64,
+    merge_push: u64,
+    merge_reject: u64,
+}
+
+impl Draft {
+    fn add(&mut self, phase: Phase, ns: u64) {
+        match phase {
+            Phase::Query => self.query_ns += ns,
+            Phase::RowFill => self.row_fill_ns += ns,
+            Phase::RowSelect => self.row_select_ns += ns,
+            Phase::TileFill => self.tile_fill_ns += ns,
+            Phase::TileSelect => self.tile_select_ns += ns,
+            Phase::TileMerge => {}
+        }
+    }
+}
+
+/// A [`PhaseObserver`] that accumulates per-query drafts for the
+/// journal, optionally forwarding every hook to a [`MetricsRegistry`]
+/// as well (so one instrumented run feeds both the aggregate histograms
+/// and the per-query records from a single set of clock reads).
+pub struct JournalObserver<'a> {
+    registry: Option<&'a MetricsRegistry>,
+    drafts: Vec<Mutex<Draft>>,
+    scratch: Mutex<u64>,
+}
+
+impl<'a> JournalObserver<'a> {
+    pub fn new(n_queries: usize, registry: Option<&'a MetricsRegistry>) -> Self {
+        JournalObserver {
+            registry,
+            drafts: (0..n_queries)
+                .map(|_| Mutex::new(Draft::default()))
+                .collect(),
+            scratch: Mutex::new(0),
+        }
+    }
+
+    fn draft(&self, qi: usize) -> std::sync::MutexGuard<'_, Draft> {
+        self.drafts[qi].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Emit one [`QueryRecord`] per query into `journal`. `tile` is 0 on
+    /// the materialized row path; `blocks` counts reference tiles
+    /// crossed per query.
+    fn flush<J: Journal>(
+        &self,
+        journal: &J,
+        cfg: &SelectConfig,
+        tag: &str,
+        tile: u64,
+        blocks: u32,
+    ) {
+        let scratch_bytes = *self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        for (qi, slot) in self.drafts.iter().enumerate() {
+            let d = *slot.lock().unwrap_or_else(|e| e.into_inner());
+            let mut phase_ns = Vec::new();
+            for (key, ns) in [
+                (phases::QUERY, d.query_ns),
+                (phases::ROW_FILL, d.row_fill_ns),
+                (phases::ROW_SELECT, d.row_select_ns),
+                (phases::TILE_FILL, d.tile_fill_ns),
+                (phases::TILE_SELECT, d.tile_select_ns),
+            ] {
+                if ns > 0 {
+                    phase_ns.push((key.to_string(), ns));
+                }
+            }
+            // Row path: the Query envelope is the end-to-end latency.
+            // Streamed path: no envelope exists, so the per-query total
+            // is the sum of its tile phases.
+            let total_ns = if d.query_ns > 0 {
+                d.query_ns
+            } else {
+                d.tile_fill_ns + d.tile_select_ns
+            };
+            journal.record(QueryRecord {
+                query: qi as u64,
+                queue: queue_tag(cfg),
+                tag: tag.to_string(),
+                tile,
+                total_ns,
+                phase_ns,
+                scratch_bytes,
+                merge_push: d.merge_push,
+                merge_reject: d.merge_reject,
+                blocks,
+                status: "ok".to_string(),
+                attempts: 1,
+                ..QueryRecord::default()
+            });
+        }
+    }
+}
+
+impl PhaseObserver for JournalObserver<'_> {
+    fn timed<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        if let Some(reg) = self.registry {
+            reg.observe_ns(phase_metric(phase), t0.elapsed().as_nanos() as u64);
+        }
+        out
+    }
+
+    fn timed_q<R>(&self, phase: Phase, qi: usize, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        if let Some(reg) = self.registry {
+            reg.observe_ns(phase_metric(phase), ns);
+        }
+        if phase_key(phase).is_some() {
+            self.draft(qi).add(phase, ns);
+        }
+        out
+    }
+
+    fn scratch_bytes(&self, bytes: u64) {
+        let mut peak = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+        *peak = (*peak).max(bytes);
+        if let Some(reg) = self.registry {
+            reg.record_peak(SCRATCH_PEAK_BYTES, bytes);
+        }
+    }
+
+    fn merger_stats(&self, pushed: u64, rejected: u64) {
+        if let Some(reg) = self.registry {
+            reg.inc(MERGE_PUSH, pushed);
+            reg.inc(MERGE_REJECT, rejected);
+        }
+    }
+
+    fn query_merger_stats(&self, qi: usize, pushed: u64, rejected: u64) {
+        let mut d = self.draft(qi);
+        d.merge_push = pushed;
+        d.merge_reject = rejected;
+    }
+}
+
+/// [`crate::knn_search_with`] that journals one [`QueryRecord`] per
+/// query and (when `registry` is given) feeds the aggregate histograms
+/// too. With a disabled journal ([`trace::NullJournal`]) this is
+/// exactly the metered (or, without a registry, the plain) search — no
+/// drafts are allocated and no extra clock reads happen.
+pub fn knn_search_with_journaled<J: Journal>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    metric: Metric,
+    journal: &J,
+    registry: Option<&MetricsRegistry>,
+    tag: &str,
+) -> Vec<Vec<Neighbor>> {
+    if !journal.enabled() {
+        return match registry {
+            Some(reg) => knn_search_with_metered(queries, refs, cfg, metric, reg),
+            None => {
+                knn_search_with_observed(queries, refs, cfg, metric, &crate::pipeline::NullObserver)
+            }
+        };
+    }
+    if let Some(reg) = registry {
+        reg.inc(QUERIES, queries.len() as u64);
+    }
+    let obs = JournalObserver::new(queries.len(), registry);
+    let out = knn_search_with_observed(queries, refs, cfg, metric, &obs);
+    obs.flush(journal, cfg, tag, 0, 1);
+    out
+}
+
+/// [`crate::knn_search_streamed`] journaling one [`QueryRecord`] per
+/// query (tile phases summed across tiles, per-query stream-merge
+/// push/reject counts, tiles crossed as `blocks`). See
+/// [`knn_search_with_journaled`] for the disabled-journal contract.
+pub fn knn_search_streamed_journaled<J: Journal>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    journal: &J,
+    registry: Option<&MetricsRegistry>,
+    tag: &str,
+) -> Vec<Vec<Neighbor>> {
+    if !journal.enabled() {
+        return match registry {
+            Some(reg) => knn_search_streamed_metered(queries, refs, cfg, tile, reg),
+            None => knn_search_streamed_observed(
+                queries,
+                refs,
+                cfg,
+                tile,
+                &crate::pipeline::NullObserver,
+            ),
+        };
+    }
+    if let Some(reg) = registry {
+        reg.inc(QUERIES, queries.len() as u64);
+    }
+    let obs = JournalObserver::new(queries.len(), registry);
+    let out = knn_search_streamed_observed(queries, refs, cfg, tile, &obs);
+    let eff_tile = tile.min(refs.len().max(1));
+    let blocks = refs.len().div_ceil(eff_tile.max(1)) as u32;
+    obs.flush(journal, cfg, tag, eff_tile as u64, blocks);
+    out
+}
+
 /// [`block::squared_distances`] with the kernel invocation timed into
 /// [`DISTANCE_BLOCKED_NS`] and the materialized matrix counted against
 /// the scratch peak.
@@ -189,6 +427,81 @@ mod tests {
         // streamed scratch: Q × tile × 4 = 24 × 100 × 4; the
         // materialized row path recorded N × 4 per worker, smaller here
         assert_eq!(reg.peak(SCRATCH_PEAK_BYTES), 24 * 100 * 4);
+    }
+
+    #[test]
+    fn journaled_searches_match_plain_and_emit_one_record_per_query() {
+        use trace::{EventJournal, JournalConfig, NullJournal};
+
+        let queries = PointSet::uniform(16, 10, 135);
+        let refs = PointSet::uniform(300, 10, 136);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let plain = knn_search_with(&queries, &refs, &cfg, Metric::SquaredEuclidean);
+
+        // disabled journal, no registry: plain path, nothing recorded
+        let out = knn_search_with_journaled(
+            &queries,
+            &refs,
+            &cfg,
+            Metric::SquaredEuclidean,
+            &NullJournal,
+            None,
+            "",
+        );
+        assert_eq!(out, plain);
+
+        // live journal + registry: same results, 16 row-path records
+        let journal = EventJournal::new(JournalConfig::default());
+        let reg = MetricsRegistry::new();
+        let out = knn_search_with_journaled(
+            &queries,
+            &refs,
+            &cfg,
+            Metric::SquaredEuclidean,
+            &journal,
+            Some(&reg),
+            "row-run",
+        );
+        assert_eq!(out, plain);
+        let snap = journal.snapshot();
+        assert_eq!(snap.len(), 16);
+        for r in &snap {
+            assert_eq!(r.tile, 0, "row path has no tile");
+            assert_eq!(r.blocks, 1);
+            assert_eq!(r.status, "ok");
+            assert_eq!(r.tag, "row-run");
+            assert!(r.total_ns > 0, "query envelope must be timed");
+            let phase_sum: u64 = r
+                .phase_ns
+                .iter()
+                .filter(|(k, _)| k != "query")
+                .map(|(_, ns)| ns)
+                .sum();
+            assert!(
+                phase_sum <= r.total_ns,
+                "row fill + select nest inside the query envelope: {r:?}"
+            );
+        }
+        assert_eq!(reg.counter(QUERIES), 16, "registry forwarding stays on");
+
+        // streamed: tile phases sum, per-query merge stats, blocks count
+        let streamed_plain = knn_search_streamed(&queries, &refs, &cfg, 100);
+        let journal = EventJournal::new(JournalConfig::default());
+        let out =
+            knn_search_streamed_journaled(&queries, &refs, &cfg, 100, &journal, None, "stream-run");
+        assert_eq!(out, streamed_plain);
+        let snap = journal.snapshot();
+        assert_eq!(snap.len(), 16);
+        for r in &snap {
+            assert_eq!(r.tile, 100);
+            assert_eq!(r.blocks, 3, "300 refs / tile 100");
+            // every tile contributes min(k, tile) = 8 pushes
+            assert_eq!(r.merge_push, 3 * 8);
+            assert_eq!(r.merge_push - r.merge_reject, 8, "kept = k");
+            assert_eq!(r.scratch_bytes, 16 * 100 * 4);
+            assert!(r.phase_ns.iter().any(|(k, _)| k == "tile_select"));
+            assert!(r.total_ns > 0);
+        }
     }
 
     #[test]

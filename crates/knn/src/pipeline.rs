@@ -75,6 +75,16 @@ pub trait PhaseObserver: Sync {
         let _ = phase;
         f()
     }
+    /// [`PhaseObserver::timed`] that also identifies which query the
+    /// phase belongs to. Defaults to the query-blind `timed`, so
+    /// aggregate-only observers keep working unchanged; the per-query
+    /// journal overrides this to attribute latency to individual
+    /// queries.
+    #[inline]
+    fn timed_q<R>(&self, phase: Phase, qi: usize, f: impl FnOnce() -> R) -> R {
+        let _ = qi;
+        self.timed(phase, f)
+    }
     /// Peak bytes of the distance scratch a pipeline holds.
     #[inline]
     fn scratch_bytes(&self, _bytes: u64) {}
@@ -82,6 +92,10 @@ pub trait PhaseObserver: Sync {
     /// mergers and candidates their running top-k evicted.
     #[inline]
     fn merger_stats(&self, _pushed: u64, _rejected: u64) {}
+    /// One query's stream-merge totals (the per-query refinement of
+    /// [`PhaseObserver::merger_stats`]).
+    #[inline]
+    fn query_merger_stats(&self, _qi: usize, _pushed: u64, _rejected: u64) {}
 }
 
 /// The zero-cost default observer.
@@ -136,9 +150,9 @@ pub fn knn_search_with_observed<O: PhaseObserver>(
         .map_init(
             || vec![0.0f32; n],
             |dists, qi| {
-                obs.timed(Phase::Query, || {
+                obs.timed_q(Phase::Query, qi, || {
                     let qp = queries.point(qi);
-                    obs.timed(Phase::RowFill, || {
+                    obs.timed_q(Phase::RowFill, qi, || {
                         if metric == Metric::SquaredEuclidean {
                             block::fill_row_range(
                                 qp,
@@ -156,7 +170,7 @@ pub fn knn_search_with_observed<O: PhaseObserver>(
                             }
                         }
                     });
-                    obs.timed(Phase::RowSelect, || kselect::select_k(dists, cfg))
+                    obs.timed_q(Phase::RowSelect, qi, || kselect::select_k(dists, cfg))
                 })
             },
         )
@@ -224,7 +238,7 @@ pub fn knn_search_streamed_observed<O: PhaseObserver>(
         let survivors: Vec<Vec<Neighbor>> = rows
             .into_par_iter()
             .map(|(qi, row)| {
-                obs.timed(Phase::TileFill, || {
+                obs.timed_q(Phase::TileFill, qi, || {
                     block::fill_row_range(
                         queries.point(qi),
                         q_norms[qi],
@@ -234,7 +248,7 @@ pub fn knn_search_streamed_observed<O: PhaseObserver>(
                         &mut *row,
                     )
                 });
-                obs.timed(Phase::TileSelect, || kselect::select_k(row, cfg))
+                obs.timed_q(Phase::TileSelect, qi, || kselect::select_k(row, cfg))
             })
             .collect();
         obs.timed(Phase::TileMerge, || {
@@ -243,10 +257,14 @@ pub fn knn_search_streamed_observed<O: PhaseObserver>(
             }
         });
     }
-    let (pushed, rejected) = mergers.iter().fold((0u64, 0u64), |(p, r), m| {
-        let s = m.stats();
-        (p + s.pushed, r + s.rejected)
-    });
+    let (pushed, rejected) = mergers
+        .iter()
+        .enumerate()
+        .fold((0u64, 0u64), |(p, r), (qi, m)| {
+            let s = m.stats();
+            obs.query_merger_stats(qi, s.pushed, s.rejected);
+            (p + s.pushed, r + s.rejected)
+        });
     obs.merger_stats(pushed, rejected);
     mergers.into_iter().map(StreamMerger::finish).collect()
 }
@@ -445,6 +463,106 @@ pub fn gpu_knn_resilient(
         upload,
         counters: sel.counters,
     })
+}
+
+/// Lowercase queue-kind tag journal records carry (`merge`, `heap`,
+/// `insertion`).
+pub fn queue_tag(cfg: &SelectConfig) -> String {
+    format!("{:?}", cfg.queue).to_lowercase()
+}
+
+/// [`gpu_knn_resilient`] that additionally emits one
+/// [`trace::QueryRecord`] per query into `journal`, correlating each
+/// query's retry/fallback outcome with its latency share.
+///
+/// The simulated pipeline has no per-query wall clock, so the record's
+/// nanoseconds are **simulated-time attribution**: the distance
+/// kernel's time is shared evenly across queries, the accepted
+/// selection time is split proportionally to each query's kernel
+/// attempts (a query that needed 3 attempts carries 3 shares), retry
+/// backoff is split across the *extra* attempts, and the host-fallback
+/// transfer across the fallback queries. The attribution sums back to
+/// the report's totals, and — by construction — the slowest-query
+/// exemplars are exactly the queries the resilience layer struggled
+/// with, which is what a tail investigation needs surfaced.
+///
+/// `tag` labels the run in every record (e.g. the fault-campaign seed).
+/// With a [`trace::NullJournal`] this is `gpu_knn_resilient` plus one
+/// dead branch.
+pub fn gpu_knn_resilient_journaled<J: trace::Journal>(
+    tm: &TimingModel,
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    res: &GpuResilience,
+    journal: &J,
+    tag: &str,
+) -> Result<ResilientKnnResult, KnnError> {
+    use kselect::gpu::QueryStatus;
+
+    let out = gpu_knn_resilient(tm, queries, refs, cfg, res)?;
+    if !journal.enabled() {
+        return Ok(out);
+    }
+    let q = out.report.statuses.len().max(1) as f64;
+    let attempts: Vec<u32> = out
+        .report
+        .statuses
+        .iter()
+        .map(|s| match s {
+            QueryStatus::Ok => 1,
+            QueryStatus::Recovered { attempts } | QueryStatus::Fallback { attempts } => *attempts,
+            QueryStatus::Failed { after_attempts, .. } => *after_attempts,
+        })
+        .collect();
+    let total_attempts: u64 = attempts.iter().map(|&a| a.max(1) as u64).sum();
+    let extra_attempts: u64 = attempts.iter().map(|&a| (a.max(1) - 1) as u64).sum();
+    let fallbacks = out.report.fallback_count().max(1) as f64;
+    let distance_ns = out.distance_time * 1e9 / q;
+    let select_ns_per_attempt = out.select_time * 1e9 / total_attempts.max(1) as f64;
+    let backoff_ns_per_extra = out.report.backoff_s * 1e9 / extra_attempts.max(1) as f64;
+    let fallback_ns_each = out.report.fallback_transfer_s * 1e9 / fallbacks;
+    for (qi, status) in out.report.statuses.iter().enumerate() {
+        let a = attempts[qi].max(1);
+        let select_ns = select_ns_per_attempt * a as f64;
+        let backoff_ns = backoff_ns_per_extra * (a - 1) as f64;
+        let fallback_ns = if matches!(status, QueryStatus::Fallback { .. }) {
+            fallback_ns_each
+        } else {
+            0.0
+        };
+        let mut phase_ns = vec![
+            (
+                trace::journal::phases::DISTANCE.to_string(),
+                distance_ns as u64,
+            ),
+            (trace::journal::phases::SELECT.to_string(), select_ns as u64),
+        ];
+        if backoff_ns > 0.0 {
+            phase_ns.push((
+                trace::journal::phases::BACKOFF.to_string(),
+                backoff_ns as u64,
+            ));
+        }
+        if fallback_ns > 0.0 {
+            phase_ns.push((
+                trace::journal::phases::FALLBACK.to_string(),
+                fallback_ns as u64,
+            ));
+        }
+        journal.record(trace::QueryRecord {
+            query: qi as u64,
+            queue: queue_tag(cfg),
+            tag: tag.to_string(),
+            total_ns: phase_ns.iter().map(|(_, ns)| ns).sum(),
+            phase_ns,
+            blocks: 1,
+            status: status.name().to_string(),
+            attempts: a,
+            ..trace::QueryRecord::default()
+        });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -661,6 +779,93 @@ mod tests {
         .with_faults(simt::FaultPlan::seeded(10).with_pcie(0.0, 1.0));
         let err = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &res).unwrap_err();
         assert_eq!(err, KnnError::TransferFailed { attempts: 3 });
+    }
+
+    #[test]
+    fn journaled_resilient_pipeline_is_transparent_and_attributes_time() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(24, 8, 121);
+        let refs = PointSet::uniform(200, 8, 122);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let res = GpuResilience::default();
+        // NullJournal: identical result, nothing recorded
+        let plain = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &res).unwrap();
+        let nulled =
+            gpu_knn_resilient_journaled(&tm, &queries, &refs, &cfg, &res, &trace::NullJournal, "x")
+                .unwrap();
+        assert_eq!(nulled.select_time, plain.select_time);
+        assert_eq!(nulled.neighbors.len(), plain.neighbors.len());
+        // EventJournal: one record per query, simulated time attributed
+        let journal = trace::EventJournal::new(trace::JournalConfig::default());
+        let out =
+            gpu_knn_resilient_journaled(&tm, &queries, &refs, &cfg, &res, &journal, "campaign")
+                .unwrap();
+        let snap = journal.snapshot();
+        assert_eq!(snap.len(), 24);
+        let attributed: u64 = snap.iter().map(|r| r.total_ns).sum();
+        let modelled = ((out.distance_time + out.select_time) * 1e9) as u64;
+        let drift = attributed.abs_diff(modelled);
+        assert!(
+            drift <= 24 * 2, // one truncated ns per phase per query
+            "attribution must sum back to the modelled total: {attributed} vs {modelled}"
+        );
+        let expected_dominant = if out.select_time >= out.distance_time {
+            "select"
+        } else {
+            "distance"
+        };
+        for r in &snap {
+            assert_eq!(r.status, "ok");
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.queue, "merge");
+            assert_eq!(r.tag, "campaign");
+            assert_eq!(r.dominant_phase().map(|(p, _)| p), Some(expected_dominant));
+        }
+    }
+
+    #[cfg(feature = "fault")]
+    #[test]
+    fn journaled_fault_campaign_surfaces_retries_as_exemplars() {
+        let tm = TimingModel::tesla_c2075();
+        let queries = PointSet::uniform(96, 8, 123);
+        let refs = PointSet::uniform(256, 8, 124);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let res =
+            GpuResilience::default().with_faults(simt::FaultPlan::seeded(102).with_aborts(0.9));
+        let journal = trace::EventJournal::new(trace::JournalConfig {
+            exemplars: 4,
+            ..trace::JournalConfig::default()
+        });
+        gpu_knn_resilient_journaled(&tm, &queries, &refs, &cfg, &res, &journal, "seed41").unwrap();
+        let snap = journal.snapshot();
+        let retried: Vec<&trace::QueryRecord> = snap.iter().filter(|r| r.attempts > 1).collect();
+        assert!(!retried.is_empty(), "a 30% abort rate must retry something");
+        for r in &retried {
+            assert_ne!(r.status, "ok");
+            assert!(
+                r.phase_ns
+                    .iter()
+                    .any(|(p, _)| p == "backoff" || p == "fallback"),
+                "retried query must carry recovery phases: {r:?}"
+            );
+        }
+        // exemplars (slowest queries) are exactly where the retries are
+        let exemplar_min = snap
+            .iter()
+            .filter(|r| r.exemplar)
+            .map(|r| r.total_ns)
+            .min()
+            .unwrap();
+        let clean_max = snap
+            .iter()
+            .filter(|r| r.attempts == 1)
+            .map(|r| r.total_ns)
+            .max()
+            .unwrap();
+        assert!(
+            exemplar_min >= clean_max,
+            "retried queries must dominate the exemplar set"
+        );
     }
 
     #[test]

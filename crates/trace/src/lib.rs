@@ -18,6 +18,10 @@
 //!   with p50/p95/p99 estimation, counters, gauges and memory
 //!   high-water marks for the real (non-simulated) hot paths, exported
 //!   as OpenMetrics text or a JSON snapshot ([`openmetrics`]);
+//! * [`journal`] — the **per-query** event journal ([`EventJournal`]):
+//!   lock-striped bounded buffers of [`QueryRecord`]s with head-based
+//!   sampling and always-keep slowest-query exemplars, exported as
+//!   versioned JSONL for `knn-cli report` and the `slogate` CI gate;
 //! * exporters — [`chrome`] (Chrome-trace JSON loadable in Perfetto or
 //!   `chrome://tracing`), [`jsonl`] (one event per line for ad-hoc
 //!   grepping), and [`summary`] (human-readable profile table).
@@ -29,14 +33,17 @@
 pub mod chrome;
 pub mod counters;
 pub mod hist;
+pub mod journal;
 pub mod jsonl;
 pub mod metrics;
 pub mod openmetrics;
+pub mod schema;
 pub mod summary;
 mod tracer;
 
 pub use counters::CounterSet;
 pub use hist::PositionHistogram;
+pub use journal::{EventJournal, Journal, JournalConfig, NullJournal, QueryRecord};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{Category, EventKind, SpanGuard, SpanId, TraceEvent, Tracer};
 

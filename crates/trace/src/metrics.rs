@@ -36,6 +36,12 @@ use std::time::Instant;
 
 use serde::{Serialize, Value};
 
+use crate::schema;
+
+/// Version stamped on snapshot JSON (`schema_version`); see
+/// [`crate::schema`] for the compatibility rule applied when parsing.
+pub const SCHEMA_VERSION: &str = "1.0";
+
 /// Number of log2 buckets: bucket `i` counts observations `v` (in ns)
 /// with `v <= 2^i`, assigned to the smallest such `i`. 2^63 ns ≈ 292
 /// years, so the top bucket is unreachable in practice and doubles as
@@ -381,6 +387,10 @@ impl Serialize for MetricsSnapshot {
     fn to_value(&self) -> Value {
         Value::Object(vec![
             (
+                "schema_version".into(),
+                Value::Str(SCHEMA_VERSION.to_string()),
+            ),
+            (
                 "histograms".into(),
                 Value::Array(self.histograms.iter().map(Serialize::to_value).collect()),
             ),
@@ -427,7 +437,16 @@ impl MetricsSnapshot {
     }
 
     /// Reconstruct from a parsed [`Value`] tree.
+    ///
+    /// A missing `schema_version` is accepted as the pre-versioning
+    /// legacy format; an unknown major version is rejected.
     pub fn from_value(doc: &Value) -> Result<MetricsSnapshot, String> {
+        if let Some(v) = doc.get("schema_version") {
+            let found = v
+                .as_str()
+                .ok_or("'schema_version' must be a string".to_string())?;
+            schema::ensure_compatible(found, SCHEMA_VERSION, "metrics snapshot")?;
+        }
         let hists = match doc.get("histograms") {
             Some(Value::Array(items)) => items,
             _ => return Err("missing or non-array 'histograms' field".into()),
@@ -618,6 +637,23 @@ mod tests {
         // malformed documents are named errors, not panics
         assert!(MetricsSnapshot::from_json("{}").is_err());
         assert!(MetricsSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn snapshot_json_is_versioned_and_rejects_unknown_majors() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ns("lat", 100);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"schema_version\": \"1.0\""), "{json}");
+        // a future major version must fail loudly...
+        let future = json.replace("\"schema_version\": \"1.0\"", "\"schema_version\": \"2.0\"");
+        let err = MetricsSnapshot::from_json(&future).unwrap_err();
+        assert!(err.contains("major version"), "{err}");
+        // ...a newer minor and the pre-versioning legacy shape both load
+        let minor = json.replace("\"schema_version\": \"1.0\"", "\"schema_version\": \"1.5\"");
+        assert!(MetricsSnapshot::from_json(&minor).is_ok());
+        let legacy = json.replace("\"schema_version\": \"1.0\",", "");
+        assert!(MetricsSnapshot::from_json(&legacy).is_ok());
     }
 
     #[test]

@@ -84,12 +84,13 @@ pub fn render(snap: &MetricsSnapshot) -> String {
     out
 }
 
-/// Humanize a nanosecond quantity (`532ns`, `1.24us`, `88.1ms`, `2.5s`).
+/// Humanize a nanosecond quantity (`532ns`, `1.24µs`, `88.10ms`,
+/// `2.500s`).
 pub fn human_ns(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.0}ns")
     } else if ns < 1e6 {
-        format!("{:.2}us", ns / 1e3)
+        format!("{:.2}µs", ns / 1e3)
     } else if ns < 1e9 {
         format!("{:.2}ms", ns / 1e6)
     } else {
@@ -97,50 +98,112 @@ pub fn human_ns(ns: f64) -> String {
     }
 }
 
-/// Render a snapshot as a fixed-width summary table.
+/// Width of the widest cell in column `i` of `rows` (including the
+/// header), counted in *characters* — `µ` is two bytes but one column.
+fn col_width<const N: usize>(header: &[&str; N], rows: &[[String; N]], i: usize) -> usize {
+    rows.iter()
+        .map(|r| r[i].chars().count())
+        .chain([header[i].len()])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Append one table: header then rows, first column left-aligned, the
+/// rest right-aligned, every column sized to its widest cell so wide
+/// counts and long names never shear the layout.
+fn push_aligned<const N: usize>(out: &mut String, header: &[&str; N], rows: &[[String; N]]) {
+    let widths: Vec<usize> = (0..N).map(|i| col_width(header, rows, i)).collect();
+    let mut push_row = |cells: &[&str]| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i == 0 {
+                out.push_str(cell);
+                if cells.len() > 1 {
+                    out.push_str(&" ".repeat(pad));
+                }
+            } else {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    };
+    push_row(&header.map(|h| h));
+    for row in rows {
+        let cells: Vec<&str> = row.iter().map(String::as_str).collect();
+        push_row(&cells);
+    }
+}
+
+/// Scalar-metric cell: names ending in `_ns` get an auto-scaled unit
+/// suffix so latency totals read as durations, not raw counts.
+fn scalar_cell(name: &str, raw: String, as_ns: f64) -> String {
+    if name.ends_with("_ns") {
+        format!("{raw} ({})", human_ns(as_ns))
+    } else {
+        raw
+    }
+}
+
+/// Render a snapshot as an aligned summary table (columns auto-sized,
+/// latency values humanized with ns/µs/ms/s units).
 pub fn render_table(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     out.push_str("== native wall-clock metrics ==\n");
-    out.push_str(&format!(
-        "{:<34} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-        "histogram", "count", "p50", "p95", "p99", "mean", "max"
-    ));
-    for h in &snap.histograms {
-        out.push_str(&format!(
-            "{:<34} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
-            h.name,
-            h.count,
-            human_ns(h.p50_ns),
-            human_ns(h.p95_ns),
-            human_ns(h.p99_ns),
-            human_ns(if h.count == 0 {
-                0.0
-            } else {
-                h.sum_ns as f64 / h.count as f64
-            }),
-            human_ns(h.max_ns as f64),
-        ));
-    }
+    let hist_header = ["histogram", "count", "p50", "p95", "p99", "mean", "max"];
+    let hist_rows: Vec<[String; 7]> = snap
+        .histograms
+        .iter()
+        .map(|h| {
+            [
+                h.name.clone(),
+                h.count.to_string(),
+                human_ns(h.p50_ns),
+                human_ns(h.p95_ns),
+                human_ns(h.p99_ns),
+                human_ns(if h.count == 0 {
+                    0.0
+                } else {
+                    h.sum_ns as f64 / h.count as f64
+                }),
+                human_ns(h.max_ns as f64),
+            ]
+        })
+        .collect();
+    push_aligned(&mut out, &hist_header, &hist_rows);
     if snap.histograms.is_empty() {
         out.push_str("(no histograms recorded)\n");
     }
+    let scalar_header = ["name", "value"];
     if !snap.counters.is_empty() {
         out.push_str("\n== counters ==\n");
-        for (name, value) in &snap.counters {
-            out.push_str(&format!("{name:<44} {value:>14}\n"));
-        }
+        let rows: Vec<[String; 2]> = snap
+            .counters
+            .iter()
+            .map(|(name, v)| [name.clone(), scalar_cell(name, v.to_string(), *v as f64)])
+            .collect();
+        push_aligned(&mut out, &scalar_header, &rows);
     }
     if !snap.gauges.is_empty() {
         out.push_str("\n== gauges ==\n");
-        for (name, value) in &snap.gauges {
-            out.push_str(&format!("{name:<44} {value:>14.3}\n"));
-        }
+        let rows: Vec<[String; 2]> = snap
+            .gauges
+            .iter()
+            .map(|(name, v)| [name.clone(), scalar_cell(name, format!("{v:.3}"), *v)])
+            .collect();
+        push_aligned(&mut out, &scalar_header, &rows);
     }
     if !snap.peaks.is_empty() {
         out.push_str("\n== peaks (high-water marks) ==\n");
-        for (name, value) in &snap.peaks {
-            out.push_str(&format!("{name:<44} {value:>14}\n"));
-        }
+        let rows: Vec<[String; 2]> = snap
+            .peaks
+            .iter()
+            .map(|(name, v)| [name.clone(), scalar_cell(name, v.to_string(), *v as f64)])
+            .collect();
+        push_aligned(&mut out, &scalar_header, &rows);
     }
     out
 }
@@ -257,8 +320,64 @@ mod tests {
     #[test]
     fn human_ns_picks_units() {
         assert_eq!(human_ns(532.0), "532ns");
-        assert_eq!(human_ns(1_240.0), "1.24us");
+        assert_eq!(human_ns(1_240.0), "1.24µs");
         assert_eq!(human_ns(88_100_000.0), "88.10ms");
         assert_eq!(human_ns(2.5e9), "2.500s");
+    }
+
+    /// Column-shear regression test: a count wider than the old fixed
+    /// column and a name longer than the old 34/44-char name fields must
+    /// still produce perfectly aligned columns.
+    #[test]
+    fn table_columns_stay_aligned_for_wide_values() {
+        let reg = MetricsRegistry::new();
+        let long = "knn.stream.tile_select.latency_ns.extremely.long.metric.name";
+        for _ in 0..3 {
+            reg.observe_ns(long, 1_500);
+        }
+        reg.observe_ns("lat", 10);
+        reg.inc("huge.counter", u64::MAX / 2);
+        reg.inc("tiny", 1);
+        let table = render_table(&reg.snapshot());
+        // every histogram-section line has its count column ending at the
+        // same character offset
+        let lines: Vec<&str> = table.lines().collect();
+        let header = lines[1];
+        let count_end = header.find("count").map(|i| i + "count".len()).unwrap();
+        for row in &lines[2..4] {
+            let prefix: String = row.chars().take(count_end).collect();
+            assert!(
+                prefix.ends_with(|c: char| c.is_ascii_digit()),
+                "count column must end at offset {count_end}: {row:?}"
+            );
+            assert!(row.chars().nth(count_end) == Some(' '));
+        }
+        // counter values are right-aligned to a shared edge even when one
+        // is 19 digits wide
+        let counter_rows: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.starts_with("huge.counter") || l.starts_with("tiny"))
+            .collect();
+        assert_eq!(counter_rows.len(), 2);
+        let ends: Vec<usize> = counter_rows.iter().map(|l| l.chars().count()).collect();
+        assert_eq!(ends[0], ends[1], "value column must share its right edge");
+    }
+
+    /// Latency-named scalars get auto-scaled unit suffixes.
+    #[test]
+    fn ns_scalars_get_unit_suffixes() {
+        let reg = MetricsRegistry::new();
+        reg.inc("knn.select.total_ns", 1_240);
+        reg.record_peak("knn.stall.max_ns", 2_500_000_000);
+        reg.inc("knn.queries", 7);
+        let table = render_table(&reg.snapshot());
+        assert!(table.contains("1240 (1.24µs)"), "{table}");
+        assert!(table.contains("2500000000 (2.500s)"), "{table}");
+        // non-latency counters stay raw
+        let queries_row = table
+            .lines()
+            .find(|l| l.starts_with("knn.queries"))
+            .unwrap();
+        assert!(!queries_row.contains('('), "{queries_row}");
     }
 }

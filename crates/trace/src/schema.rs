@@ -1,0 +1,59 @@
+//! Versioning for the crate's serialized artifacts.
+//!
+//! Both the metrics snapshot JSON ([`crate::metrics`]) and the query
+//! journal JSONL ([`crate::journal`]) stamp a `schema_version` string
+//! of the form `MAJOR.MINOR`. Compatibility is semver-lite:
+//!
+//! * same major version — compatible, regardless of minor (newer
+//!   minors only *add* fields, and parsers ignore unknown fields);
+//! * different major version — incompatible, parsing fails loudly;
+//! * missing version — treated as the pre-versioning legacy format and
+//!   accepted, so artifacts written before this field existed still load.
+
+/// Split `"MAJOR.MINOR"` into its numeric major component.
+fn major_of(version: &str) -> Option<u64> {
+    version.split('.').next()?.parse().ok()
+}
+
+/// Check a parsed artifact's version against what this build writes.
+///
+/// `what` names the artifact for the error message (e.g. "journal
+/// record", "metrics snapshot").
+pub fn ensure_compatible(found: &str, expected: &str, what: &str) -> Result<(), String> {
+    let found_major =
+        major_of(found).ok_or_else(|| format!("{what}: malformed schema_version '{found}'"))?;
+    let expected_major = major_of(expected)
+        .ok_or_else(|| format!("{what}: malformed expected version '{expected}'"))?;
+    if found_major != expected_major {
+        return Err(format!(
+            "{what}: unsupported schema major version {found} (this build reads {expected})"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_major_is_compatible_any_minor() {
+        assert!(ensure_compatible("1.0", "1.0", "t").is_ok());
+        assert!(ensure_compatible("1.9", "1.0", "t").is_ok());
+        assert!(ensure_compatible("1.0", "1.3", "t").is_ok());
+    }
+
+    #[test]
+    fn different_major_is_rejected() {
+        let err = ensure_compatible("2.0", "1.0", "metrics snapshot").unwrap_err();
+        assert!(err.contains("major version 2.0"));
+        assert!(err.contains("metrics snapshot"));
+        assert!(ensure_compatible("0.9", "1.0", "t").is_err());
+    }
+
+    #[test]
+    fn malformed_versions_are_named_errors() {
+        assert!(ensure_compatible("", "1.0", "t").is_err());
+        assert!(ensure_compatible("one.two", "1.0", "t").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for [`trace::Histogram`] quantile estimation.
+//!
+//! The log2-bucketed histogram only *estimates* quantiles, but two
+//! invariants must hold for any observation sequence, or downstream
+//! consumers (`render_table`, `benchdiff`, the slogate SLO gate) would
+//! report nonsense:
+//!
+//! * monotonicity — p50 ≤ p95 ≤ p99 (more generally, `quantile_ns` is
+//!   non-decreasing in `q`);
+//! * clamping — every estimate lies inside the exact observed
+//!   `[min, max]` range.
+
+use proptest::prelude::*;
+use trace::Histogram;
+
+/// Observation sequences spanning sub-bucket clusters (many equal
+/// values), wide dynamic ranges (1ns .. ~18s) and the empty-adjacent
+/// single-element case.
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    collection::vec(
+        (0u32..34).prop_flat_map(|shift| {
+            let base = 1u64 << shift;
+            base..base.saturating_mul(2).max(base + 1)
+        }),
+        1..200usize,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn quantiles_are_monotone_in_q(obs in observations()) {
+        let mut h = Histogram::new();
+        for ns in &obs {
+            h.observe(*ns);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0];
+        let estimates: Vec<f64> = qs.iter().map(|&q| h.quantile_ns(q)).collect();
+        for w in estimates.windows(2) {
+            prop_assert!(
+                w[0] <= w[1],
+                "quantiles must be non-decreasing: {estimates:?} over {} obs",
+                obs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_clamped_to_observed_range(obs in observations()) {
+        let mut h = Histogram::new();
+        let (mut lo, mut hi) = (u64::MAX, 0u64);
+        for ns in &obs {
+            h.observe(*ns);
+            lo = lo.min(*ns);
+            hi = hi.max(*ns);
+        }
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            let est = h.quantile_ns(q);
+            prop_assert!(
+                est >= lo as f64 && est <= hi as f64,
+                "q={q}: estimate {est} escapes observed [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_histograms_keep_both_invariants(
+        a in observations(),
+        b in observations(),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for ns in &a {
+            ha.observe(*ns);
+        }
+        for ns in &b {
+            hb.observe(*ns);
+        }
+        ha.merge(&hb);
+        let lo = a.iter().chain(&b).copied().min().unwrap_or(0);
+        let hi = a.iter().chain(&b).copied().max().unwrap_or(0);
+        let (p50, p95, p99) = (
+            ha.quantile_ns(0.50),
+            ha.quantile_ns(0.95),
+            ha.quantile_ns(0.99),
+        );
+        prop_assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        prop_assert!(p50 >= lo as f64 && p99 <= hi as f64);
+    }
+}

@@ -1,5 +1,6 @@
-//! `cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]` — the CI
-//! perf-regression gate over `BENCH_native.json`-shaped reports.
+//! `cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]
+//! [--markdown]` — the CI perf-regression gate over
+//! `BENCH_native.json`-shaped reports.
 //!
 //! The two files are compared structurally:
 //!
@@ -214,14 +215,52 @@ pub fn render_report(report: &DiffReport, tol_pct: f64) -> String {
     s
 }
 
+/// Render the outcome as a GitHub-flavored markdown table for
+/// `$GITHUB_STEP_SUMMARY`.
+pub fn render_markdown(report: &DiffReport, tol_pct: f64) -> String {
+    let ok = report.regressions.is_empty() && report.broken_invariants.is_empty();
+    let mut s = format!(
+        "### benchdiff: {} (±{tol_pct}% tolerance)\n\n",
+        if ok { "OK" } else { "FAILED" }
+    );
+    if !report.comparable {
+        s.push_str("Workloads differ; magnitudes skipped, invariants only.\n");
+    } else {
+        s.push_str("| metric | old | new | change |\n|---|---|---|---|\n");
+        for d in &report.regressions {
+            s.push_str(&format!(
+                "| `{}` | {:.4} | {:.4} | ❌ {:+.1}% worse |\n",
+                d.path, d.old, d.new, d.worse_pct
+            ));
+        }
+        for d in &report.improvements {
+            s.push_str(&format!(
+                "| `{}` | {:.4} | {:.4} | {:+.1}% better |\n",
+                d.path, d.old, d.new, -d.worse_pct
+            ));
+        }
+        s.push_str(&format!(
+            "\n{} metric(s) within tolerance.\n",
+            report.unchanged
+        ));
+    }
+    for inv in &report.broken_invariants {
+        s.push_str(&format!("\n❌ **invariant failed:** `{inv}` is not true\n"));
+    }
+    s
+}
+
 /// Entry point for `cargo xtask benchdiff`. Returns the process exit
 /// code.
 pub fn run(args: &[String]) -> u8 {
     let mut paths = Vec::new();
     let mut tol_pct = 10.0f64;
+    let mut markdown = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--tolerance" {
+        if a == "--markdown" {
+            markdown = true;
+        } else if a == "--tolerance" {
             let Some(v) = it.next() else {
                 eprintln!("--tolerance needs a value (percent)");
                 return 2;
@@ -238,7 +277,7 @@ pub fn run(args: &[String]) -> u8 {
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        eprintln!("usage: cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]");
+        eprintln!("usage: cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT] [--markdown]");
         return 2;
     };
     let mut parsed = Vec::new();
@@ -259,7 +298,11 @@ pub fn run(args: &[String]) -> u8 {
         }
     }
     let report = diff_reports(&parsed[0], &parsed[1], tol_pct);
-    print!("{}", render_report(&report, tol_pct));
+    if markdown {
+        print!("{}", render_markdown(&report, tol_pct));
+    } else {
+        print!("{}", render_report(&report, tol_pct));
+    }
     if report.regressions.is_empty() && report.broken_invariants.is_empty() {
         0
     } else {
@@ -381,6 +424,22 @@ mod tests {
         let d = diff_reports(&old, &new, 10.0);
         assert_eq!(d.regressions.len(), 1);
         assert_eq!(d.regressions[0].path, "tile_sweep[0].streamed_qps");
+    }
+
+    #[test]
+    fn markdown_rendering_flags_regressions_and_invariants() {
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let new = report(800.0, 1.0, false, 1 << 14);
+        let d = diff_reports(&old, &new, 10.0);
+        let md = render_markdown(&d, 10.0);
+        assert!(md.starts_with("### benchdiff: FAILED"), "{md}");
+        assert!(md.contains("| `pipeline.streamed_qps` |"), "{md}");
+        assert!(
+            md.contains("`pipeline.results_identical` is not true"),
+            "{md}"
+        );
+        let clean = diff_reports(&old, &report(990.0, 1.0, true, 1 << 14), 10.0);
+        assert!(render_markdown(&clean, 10.0).starts_with("### benchdiff: OK"));
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //!   `crates/knn` hot paths, filtered through the `lint-allow.txt`
 //!   allowlist at the workspace root. Exits non-zero on any
 //!   non-allowlisted violation; CI runs this on every push.
-//! * `benchdiff OLD.json NEW.json [--tolerance PCT]` — the
+//! * `benchdiff OLD.json NEW.json [--tolerance PCT] [--markdown]` — the
 //!   perf-regression gate over `BENCH_native.json`-shaped reports
 //!   ([`benchdiff`]). Exits 1 on a regression beyond tolerance or a
 //!   failed invariant.
+//! * `slogate JOURNAL.jsonl --slo SPEC [--markdown]` — the CI latency
+//!   gate over per-query journals written by `knn-cli --journal-out`
+//!   ([`slogate`]). Exits 1 on a violated SLO clause.
 
 mod benchdiff;
+mod slogate;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -27,10 +31,16 @@ use check::lint::{lint_host_tree, lint_row_alloc_tree, lint_tree, parse_allowlis
 /// except `trace/src/metrics.rs`, which is scanned deliberately so its
 /// wall-clock use stays a reviewed allowlist entry: it is the one
 /// module the native pipelines route *all* their clock reads through.
-const SCAN_ROOTS: [&str; 3] = [
+/// `trace/src/journal.rs` and `knn/src/metered.rs` are scanned for the
+/// same reason: the journal must stay clock-free (every nanosecond it
+/// stores arrives pre-measured), and the metered call sites are the only
+/// other place the native pipelines may read `Instant`.
+const SCAN_ROOTS: [&str; 5] = [
     "crates/core/src/gpu",
     "crates/simt/src",
     "crates/trace/src/metrics.rs",
+    "crates/trace/src/journal.rs",
+    "crates/knn/src/metered.rs",
 ];
 
 /// Directories the host-path lint (`no-unwrap-io`) scans: user-facing
@@ -58,23 +68,22 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(args.iter().any(|a| a == "--verbose" || a == "-v")),
         Some("benchdiff") => ExitCode::from(benchdiff::run(&args[1..])),
+        Some("slogate") => ExitCode::from(slogate::run(&args[1..])),
         Some(other) => {
             eprintln!("unknown xtask subcommand '{other}'");
-            eprintln!(
-                "usage: cargo xtask lint [--verbose]\n       \
-                 cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]"
-            );
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!(
-                "usage: cargo xtask lint [--verbose]\n       \
-                 cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT]"
-            );
+            eprintln!("{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
+
+const USAGE: &str = "usage: cargo xtask lint [--verbose]\n       \
+     cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT] [--markdown]\n       \
+     cargo xtask slogate JOURNAL.jsonl --slo SPEC [--markdown]";
 
 fn lint(verbose: bool) -> ExitCode {
     let root = workspace_root();

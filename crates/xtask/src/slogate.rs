@@ -1,0 +1,415 @@
+//! `cargo xtask slogate JOURNAL.jsonl --slo "p99<5ms,error_rate<0.1%"` —
+//! the CI latency gate over per-query journals written by
+//! `knn-cli --journal-out`.
+//!
+//! The `--slo` spec is a comma-separated list of clauses
+//! `METRIC<THRESHOLD`:
+//!
+//! * **Latency metrics** — `p50`, `p90`, `p95`, `p99`, `mean`, `max` —
+//!   are evaluated over each record's `total_ns` (quantiles are exact
+//!   nearest-rank, not interpolated, so a violated clause always names a
+//!   real query). Thresholds take a unit suffix: `ns`, `us`/`µs`, `ms`
+//!   or `s`; a bare number means nanoseconds.
+//! * **Rate metrics** — `error_rate` (status `failed`), `fallback_rate`
+//!   (status `fallback`) and `retry_rate` (more than one attempt) — are
+//!   fractions of all journal records. Thresholds take a `%` suffix or
+//!   a bare fraction (`0.1%` ≡ `0.001`).
+//!
+//! Exit codes mirror `benchdiff`: 0 every clause holds, 1 on any
+//! violated clause, 2 on unusable input (missing/malformed journal,
+//! empty journal, bad spec). `--markdown` renders the verdict as a
+//! GitHub-flavored table for `$GITHUB_STEP_SUMMARY`.
+
+use trace::journal::{parse_jsonl, QueryRecord};
+use trace::openmetrics::human_ns;
+
+/// What one SLO clause measures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Metric {
+    /// Nearest-rank quantile of `total_ns` at `q` in (0, 1].
+    Quantile(f64),
+    Mean,
+    Max,
+    /// Fraction of records with status `failed`.
+    ErrorRate,
+    /// Fraction of records with status `fallback`.
+    FallbackRate,
+    /// Fraction of records that consumed more than one attempt.
+    RetryRate,
+}
+
+impl Metric {
+    fn is_rate(self) -> bool {
+        matches!(
+            self,
+            Metric::ErrorRate | Metric::FallbackRate | Metric::RetryRate
+        )
+    }
+}
+
+/// One parsed `METRIC<THRESHOLD` clause. Latency thresholds are in
+/// nanoseconds, rate thresholds are fractions.
+#[derive(Clone, Debug, PartialEq)]
+struct Clause {
+    /// The spec text naming the metric, e.g. `p99`.
+    name: String,
+    metric: Metric,
+    threshold: f64,
+}
+
+/// Parse a latency threshold with an optional unit suffix into ns.
+fn parse_duration(s: &str) -> Result<f64, String> {
+    let (num, scale) = if let Some(v) = s.strip_suffix("ns") {
+        (v, 1.0)
+    } else if let Some(v) = s.strip_suffix("us").or_else(|| s.strip_suffix("µs")) {
+        (v, 1e3)
+    } else if let Some(v) = s.strip_suffix("ms") {
+        (v, 1e6)
+    } else if let Some(v) = s.strip_suffix('s') {
+        (v, 1e9)
+    } else {
+        (s, 1.0)
+    };
+    num.trim()
+        .parse::<f64>()
+        .map(|v| v * scale)
+        .map_err(|_| format!("bad duration threshold '{s}' (want e.g. 5ms, 800us, 2s)"))
+}
+
+/// Parse a rate threshold — `0.1%` or a bare fraction — into [0, 1].
+fn parse_rate(s: &str) -> Result<f64, String> {
+    let (num, scale) = match s.strip_suffix('%') {
+        Some(v) => (v, 1e-2),
+        None => (s, 1.0),
+    };
+    let v = num
+        .trim()
+        .parse::<f64>()
+        .map(|v| v * scale)
+        .map_err(|_| format!("bad rate threshold '{s}' (want e.g. 0.1% or 0.001)"))?;
+    if (0.0..=1.0).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("rate threshold '{s}' is outside [0, 100%]"))
+    }
+}
+
+/// Parse a full `--slo` spec into clauses.
+fn parse_slo(spec: &str) -> Result<Vec<Clause>, String> {
+    let mut clauses = Vec::new();
+    for raw in spec.split(',') {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            continue;
+        }
+        let (name, value) = raw
+            .split_once("<=")
+            .or_else(|| raw.split_once('<'))
+            .ok_or_else(|| format!("SLO clause '{raw}' needs the form METRIC<THRESHOLD"))?;
+        let name = name.trim();
+        let metric = match name {
+            "p50" => Metric::Quantile(0.50),
+            "p90" => Metric::Quantile(0.90),
+            "p95" => Metric::Quantile(0.95),
+            "p99" => Metric::Quantile(0.99),
+            "mean" => Metric::Mean,
+            "max" => Metric::Max,
+            "error_rate" => Metric::ErrorRate,
+            "fallback_rate" => Metric::FallbackRate,
+            "retry_rate" => Metric::RetryRate,
+            other => {
+                return Err(format!(
+                    "unknown SLO metric '{other}' (know p50/p90/p95/p99/mean/max, \
+                     error_rate/fallback_rate/retry_rate)"
+                ))
+            }
+        };
+        let threshold = if metric.is_rate() {
+            parse_rate(value.trim())?
+        } else {
+            parse_duration(value.trim())?
+        };
+        clauses.push(Clause {
+            name: name.to_string(),
+            metric,
+            threshold,
+        });
+    }
+    if clauses.is_empty() {
+        return Err("empty --slo spec".to_string());
+    }
+    Ok(clauses)
+}
+
+/// The verdict on one clause.
+#[derive(Debug)]
+struct Eval {
+    name: String,
+    /// Measured value: ns for latency metrics, a fraction for rates.
+    actual: f64,
+    threshold: f64,
+    is_rate: bool,
+    pass: bool,
+}
+
+/// Evaluate every clause over the journal records.
+fn evaluate(clauses: &[Clause], records: &[QueryRecord]) -> Vec<Eval> {
+    let mut totals: Vec<u64> = records.iter().map(|r| r.total_ns).collect();
+    totals.sort_unstable();
+    let n = totals.len();
+    let quantile = |q: f64| -> f64 {
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        totals[rank - 1] as f64
+    };
+    let rate = |pred: &dyn Fn(&QueryRecord) -> bool| -> f64 {
+        records.iter().filter(|r| pred(r)).count() as f64 / n as f64
+    };
+    clauses
+        .iter()
+        .map(|c| {
+            let actual = match c.metric {
+                Metric::Quantile(q) => quantile(q),
+                Metric::Mean => totals.iter().sum::<u64>() as f64 / n as f64,
+                Metric::Max => totals[n - 1] as f64,
+                Metric::ErrorRate => rate(&|r| r.status == "failed"),
+                Metric::FallbackRate => rate(&|r| r.status == "fallback"),
+                Metric::RetryRate => rate(&|r| r.attempts > 1),
+            };
+            Eval {
+                name: c.name.clone(),
+                actual,
+                threshold: c.threshold,
+                is_rate: c.metric.is_rate(),
+                pass: actual < c.threshold || actual == 0.0,
+            }
+        })
+        .collect()
+}
+
+fn fmt_value(v: f64, is_rate: bool) -> String {
+    if is_rate {
+        format!("{:.3}%", v * 100.0)
+    } else {
+        human_ns(v)
+    }
+}
+
+/// Render verdicts: a plain-text report by default, a GitHub-flavored
+/// markdown table with `markdown`.
+fn render(evals: &[Eval], n_records: usize, markdown: bool) -> String {
+    let mut s = String::new();
+    let failed = evals.iter().filter(|e| !e.pass).count();
+    if markdown {
+        s.push_str(&format!(
+            "### SLO gate: {} over {n_records} journal record(s)\n\n",
+            if failed == 0 { "PASS" } else { "FAIL" }
+        ));
+        s.push_str("| SLO | actual | threshold | result |\n|---|---|---|---|\n");
+        for e in evals {
+            s.push_str(&format!(
+                "| `{}` | {} | < {} | {} |\n",
+                e.name,
+                fmt_value(e.actual, e.is_rate),
+                fmt_value(e.threshold, e.is_rate),
+                if e.pass {
+                    "✅ pass"
+                } else {
+                    "❌ **violated**"
+                }
+            ));
+        }
+    } else {
+        s.push_str(&format!("SLO gate over {n_records} journal record(s):\n"));
+        for e in evals {
+            s.push_str(&format!(
+                "  {} {:<14} {:>12} < {:>12}\n",
+                if e.pass { "PASS" } else { "FAIL" },
+                e.name,
+                fmt_value(e.actual, e.is_rate),
+                fmt_value(e.threshold, e.is_rate),
+            ));
+        }
+        s.push_str(&format!(
+            "slogate: {}\n",
+            if failed == 0 {
+                "OK".to_string()
+            } else {
+                format!("{failed} SLO(s) violated")
+            }
+        ));
+    }
+    s
+}
+
+/// Entry point for `cargo xtask slogate`. Returns the process exit code.
+pub fn run(args: &[String]) -> u8 {
+    let mut journal_path = None;
+    let mut spec = None;
+    let mut markdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--slo" => match it.next() {
+                Some(v) => spec = Some(v.clone()),
+                None => {
+                    eprintln!("--slo needs a spec, e.g. \"p99<5ms,error_rate<0.1%\"");
+                    return 2;
+                }
+            },
+            "--markdown" => markdown = true,
+            _ if journal_path.is_none() => journal_path = Some(a.clone()),
+            other => {
+                eprintln!("unexpected argument '{other}'");
+                return 2;
+            }
+        }
+    }
+    let (Some(path), Some(spec)) = (journal_path, spec) else {
+        eprintln!("usage: cargo xtask slogate JOURNAL.jsonl --slo SPEC [--markdown]");
+        return 2;
+    };
+    let clauses = match parse_slo(&spec) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error in --slo spec: {e}");
+            return 2;
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error reading {path}: {e}");
+            return 2;
+        }
+    };
+    let records = match parse_jsonl(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error parsing {path}: {e}");
+            return 2;
+        }
+    };
+    if records.is_empty() {
+        eprintln!("error: {path} holds no records; nothing to gate on");
+        return 2;
+    }
+    let evals = evaluate(&clauses, &records);
+    print!("{}", render(&evals, records.len(), markdown));
+    if evals.iter().all(|e| e.pass) {
+        0
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(total_ns: u64, status: &str, attempts: u32) -> QueryRecord {
+        QueryRecord {
+            total_ns,
+            status: status.to_string(),
+            attempts,
+            ..QueryRecord::default()
+        }
+    }
+
+    #[test]
+    fn spec_parses_units_and_rejects_junk() {
+        let c = parse_slo("p99<5ms, error_rate < 0.1%, mean<2us, max<1s").unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].metric, Metric::Quantile(0.99));
+        assert_eq!(c[0].threshold, 5e6);
+        assert_eq!(c[1].metric, Metric::ErrorRate);
+        assert!((c[1].threshold - 1e-3).abs() < 1e-12);
+        assert_eq!(c[2].threshold, 2e3);
+        assert_eq!(c[3].threshold, 1e9);
+        // bare numbers: ns for latency, fraction for rates
+        let c = parse_slo("p50<1500,retry_rate<0.25").unwrap();
+        assert_eq!(c[0].threshold, 1500.0);
+        assert_eq!(c[1].threshold, 0.25);
+        assert!(parse_slo("p42<5ms").is_err());
+        assert!(parse_slo("p99=5ms").is_err());
+        assert!(parse_slo("error_rate<150%").is_err());
+        assert!(parse_slo("p99<fast").is_err());
+        assert!(parse_slo("").is_err());
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank_over_totals() {
+        // 50 records: 1..=49 ns clean plus one 1ms outlier; nearest-rank
+        // p99 over 50 samples is the 50th, i.e. the outlier.
+        let mut rs: Vec<QueryRecord> = (1..=49).map(|i| rec(i, "ok", 1)).collect();
+        rs.push(rec(1_000_000, "failed", 3));
+        let c = parse_slo("p50<26ns,p99<2000ns,max<2ms,mean<21us").unwrap();
+        let e = evaluate(&c, &rs);
+        assert!(e[0].pass, "p50 is 25ns");
+        assert_eq!(e[0].actual, 25.0);
+        assert!(!e[1].pass, "p99 lands on the 1ms outlier");
+        assert_eq!(e[1].actual, 1_000_000.0);
+        assert!(e[2].pass);
+        assert!(e[3].pass, "mean ≈ 20.02us");
+    }
+
+    #[test]
+    fn rates_count_statuses_and_retries() {
+        let rs = vec![
+            rec(10, "ok", 1),
+            rec(20, "recovered", 2),
+            rec(30, "fallback", 4),
+            rec(40, "failed", 4),
+        ];
+        let c = parse_slo("error_rate<30%,fallback_rate<20%,retry_rate<80%").unwrap();
+        let e = evaluate(&c, &rs);
+        assert!(e[0].pass, "1/4 failed < 30%");
+        assert_eq!(e[0].actual, 0.25);
+        assert!(!e[1].pass, "1/4 fallback >= 20%");
+        assert!(e[2].pass, "3/4 retried < 80%");
+    }
+
+    #[test]
+    fn zero_actual_passes_even_a_zero_threshold() {
+        let rs = vec![rec(10, "ok", 1)];
+        let c = parse_slo("error_rate<0%").unwrap();
+        assert!(evaluate(&c, &rs)[0].pass, "no errors satisfies 'no errors'");
+    }
+
+    #[test]
+    fn render_names_the_violated_clause_in_both_modes() {
+        let rs = vec![rec(5_000_000, "ok", 1)];
+        let c = parse_slo("p99<1ms").unwrap();
+        let e = evaluate(&c, &rs);
+        let text = render(&e, rs.len(), false);
+        assert!(text.contains("FAIL p99"), "{text}");
+        assert!(text.contains("1 SLO(s) violated"), "{text}");
+        let md = render(&e, rs.len(), true);
+        assert!(md.starts_with("### SLO gate: FAIL"), "{md}");
+        assert!(md.contains("| `p99` | 5.00ms | < 1.00ms |"), "{md}");
+    }
+
+    #[test]
+    fn run_gates_a_real_journal_file() {
+        let dir = std::env::temp_dir().join("xtask_slogate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let rs: Vec<QueryRecord> = (1..=50).map(|i| rec(i * 1_000, "ok", 1)).collect();
+        std::fs::write(&path, trace::journal::to_jsonl(&rs)).unwrap();
+        let arg = |s: &str| s.to_string();
+        let p = path.display().to_string();
+        assert_eq!(
+            run(&[arg(&p), arg("--slo"), arg("p99<1ms,error_rate<1%")]),
+            0
+        );
+        assert_eq!(run(&[arg(&p), arg("--slo"), arg("p99<10us")]), 1);
+        assert_eq!(run(&[arg(&p), arg("--slo"), arg("p99<oops")]), 2);
+        assert_eq!(run(&[arg("nope.jsonl"), arg("--slo"), arg("p99<1ms")]), 2);
+        assert_eq!(run(&[arg(&p)]), 2, "--slo is required");
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert_eq!(
+            run(&[empty.display().to_string(), arg("--slo"), arg("p99<1ms")]),
+            2
+        );
+    }
+}
