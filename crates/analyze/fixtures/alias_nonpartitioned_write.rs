@@ -1,0 +1,13 @@
+// SEEDED DEFECT: a per-lane shared write whose index is `l / 2` — lanes
+// 2k and 2k+1 address the same word, so two lanes write one word in a
+// single fence epoch. The residue abstract domain proves the index is
+// not lane-partitioned (word ≢ lane_id mod WARP_SIZE).
+// EXPECT: shared-alias at line 11.
+
+pub struct Stage { pub db: SharedBuf<f32> }
+
+impl Stage {
+    pub fn scatter(&mut self, ctx: &mut WarpCtx, m: Mask, vals: Lanes<f32>) {
+        self.db.write(ctx, m, &lanes_from_fn(|l| l / 2), vals);
+    }
+}

@@ -1,0 +1,15 @@
+// SEEDED DEFECT: the shared-flag protocol with the fences dropped — a
+// broadcast write followed by a warp-wide read of the same buffer in
+// one fence region. The dynamic sanitizer only catches this on an
+// executed schedule; the static pass flags it on every path.
+// EXPECT: shared-alias at line 12.
+
+pub struct Stage { pub flag: SharedBuf<u32> }
+
+impl Stage {
+    pub fn signal(&mut self, ctx: &mut WarpCtx, warp: Mask) {
+        self.flag.write_broadcast(ctx, warp, 0, 1);
+        let seen = self.flag.read_broadcast(ctx, warp, 0);
+        ctx.op(warp, seen as usize);
+    }
+}

@@ -1,0 +1,13 @@
+// SEEDED DEFECT: a per-lane shared write at a splat (uniform) index —
+// every active lane writes the SAME word with its own value. The
+// uniform residue is fine for reads, never for multi-lane writes.
+// EXPECT: shared-alias at line 11.
+
+pub struct Stage { pub acc: SharedBuf<u32> }
+
+impl Stage {
+    pub fn collide(&mut self, ctx: &mut WarpCtx, m: Mask, vals: Lanes<u32>) {
+        let idx = splat(7);
+        self.acc.write(ctx, m, &idx, vals);
+    }
+}

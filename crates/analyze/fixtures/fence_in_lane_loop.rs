@@ -1,0 +1,11 @@
+// SEEDED DEFECT: a warp fence inside a per-lane loop. The lane loop is
+// the simulator's emulation of one warp instruction — a fence per lane
+// is never the single warp-wide barrier the sanitizer epochs expect.
+// EXPECT: barrier-divergence at line 9.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask) {
+    ctx.op(warp, 1);
+    for l in warp.lanes() {
+        ctx.warp_fence();
+    }
+}

@@ -1,0 +1,12 @@
+// SEEDED DEFECT: a warp fence under a lane-dependent branch. Lane 0's
+// value decides whether the fence runs, so lanes can disagree — the
+// barrier is not warp-synchronous.
+// EXPECT: barrier-divergence at line 9.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask) {
+    let full = lanes_from_fn(|l| l % 2 == 0);
+    if full[0] {
+        ctx.warp_fence();
+    }
+    ctx.op(warp, 1);
+}

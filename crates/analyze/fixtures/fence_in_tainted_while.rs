@@ -1,0 +1,12 @@
+// SEEDED DEFECT: a warp sync inside a loop whose trip count depends on
+// a per-lane value (no warp vote): lanes exit on different iterations,
+// so the sync inside is reached by a divergent subset.
+// EXPECT: barrier-divergence at line 9.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask) {
+    let mut head = lanes_from_fn(|l| l);
+    while head[0] > 0 {
+        ctx.sync(warp);
+        head = lanes_from_fn(|l| head[l] - 1);
+    }
+}

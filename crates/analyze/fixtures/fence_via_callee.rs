@@ -1,0 +1,18 @@
+// SEEDED DEFECT: the fence hides one call deep. `repair` executes a
+// warp fence; calling it under a lane-tainted branch makes the fence
+// divergent even though no fence token appears at the call site. The
+// cross-file fence summaries must carry the fact through the call edge.
+// EXPECT: barrier-divergence at line 10.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask) {
+    let busy = lanes_from_fn(|l| l * 3);
+    if busy[1] == 3 {
+        repair(ctx, warp);
+    }
+    ctx.op(warp, 1);
+}
+
+fn repair(ctx: &mut WarpCtx, warp: Mask) {
+    ctx.warp_fence();
+    ctx.op(warp, 1);
+}

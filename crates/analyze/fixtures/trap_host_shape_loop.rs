@@ -1,0 +1,15 @@
+// FALSE-POSITIVE TRAP: a host-side shape loop inside a kernel — it
+// iterates over uniform host data to build a result Vec and performs
+// no per-lane work in its body, so it owes no simulated time. The
+// charged per-lane work happens outside the loop. The time-charge
+// pass must not demand a `loop_head` here.
+// EXPECT: clean.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask, shape: &[usize]) -> Vec<usize> {
+    ctx.op(warp, shape.len());
+    let mut out = Vec::new();
+    for dim in shape {
+        out.push(dim + 1);
+    }
+    out
+}

@@ -1,0 +1,17 @@
+// FALSE-POSITIVE TRAP: a host-side launcher. `WarpCtx` appears only
+// inside the generic closure bound, not as a parameter type, so this
+// fn is NOT a kernel — none of the passes should look inside it, even
+// though it contains an uncharged loop and an Option::filter call that
+// would trip the divergence heuristics if misclassified.
+// EXPECT: clean.
+
+pub fn launch_all<K: Fn(usize, &mut WarpCtx) -> usize>(n: usize, kernel: K) -> Vec<usize> {
+    let mut out = Vec::new();
+    for warp in 0..n {
+        let picked = Some(warp).filter(|w| w % 2 == 0);
+        if let Some(w) = picked {
+            out.push(w);
+        }
+    }
+    out
+}

@@ -1,0 +1,20 @@
+// FALSE-POSITIVE TRAP: the lane-partitioned layout every real queue
+// kernel uses — `slot * WARP_SIZE + lane` indices computed through a
+// helper. The residue of the index is Lane (each lane owns a distinct
+// word mod 32), so per-lane writes never collide and the alias pass
+// must stay quiet even across two writes in one fence region.
+// EXPECT: clean.
+
+fn slot_idx(slot: usize) -> Lanes<usize> {
+    lanes_from_fn(|l| slot * WARP_SIZE + l)
+}
+
+pub struct Stage { pub heap: SharedBuf<u32> }
+
+impl Stage {
+    pub fn fill(&mut self, ctx: &mut WarpCtx, m: Mask, vals: Lanes<u32>) {
+        self.heap.write(ctx, m, &slot_idx(0), vals);
+        self.heap.write(ctx, m, &slot_idx(1), vals);
+        ctx.op(m, 2);
+    }
+}

@@ -1,0 +1,12 @@
+// FALSE-POSITIVE TRAP: a uniform counted loop whose body does real
+// per-lane work and charges for it once per iteration. The charge sits
+// inside the loop, so every cycling path pays — the time-charge pass
+// must accept this without a dedicated `loop_head` call.
+// EXPECT: clean.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask, rounds: usize) {
+    for _r in 0..rounds {
+        let step = lanes_from_fn(|l| l + 1);
+        ctx.op(warp, step[0]);
+    }
+}

@@ -1,0 +1,21 @@
+// FALSE-POSITIVE TRAP: the vote-then-fence idiom used by the real
+// buffered flush protocol. The branch condition derives from a warp
+// vote (`any_lane`), which is uniform across the warp — so the fence
+// under it is safe. The broadcast flag is bracketed by fences, so the
+// alias pass must keep the two accesses in separate regions.
+// EXPECT: clean.
+
+pub struct Stage { pub flag: SharedBuf<u32> }
+
+impl Stage {
+    pub fn vote_flush(&mut self, ctx: &mut WarpCtx, warp: Mask, dist: Lanes<f32>) {
+        let over = lanes_from_fn(|l| l * 2);
+        if warp.filter(|l| over[l] > 4).any_lane() {
+            self.flag.write_broadcast(ctx, warp, 0, 1);
+            ctx.warp_fence();
+            let seen = self.flag.read_broadcast(ctx, warp, 0);
+            ctx.op(warp, seen as usize);
+        }
+        ctx.op(warp, 1);
+    }
+}

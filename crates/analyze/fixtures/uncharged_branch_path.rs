@@ -1,0 +1,17 @@
+// SEEDED DEFECT: the path-sensitive case the old token lint could not
+// see. The loop DOES contain a `ctx.loop_head` — but only on one side
+// of a uniform branch, so the `flip == false` iterations cycle back to
+// the loop head charge-free. Token-level "loop_head somewhere in the
+// body" heuristics pass this; the CFG cycle check does not.
+// EXPECT: time-charge at line 10.
+
+pub fn kernel(ctx: &mut WarpCtx, live: Mask) {
+    let mut flip = false;
+    while live.any_lane() {
+        if flip {
+            ctx.loop_head(live);
+        }
+        flip = !flip;
+    }
+    ctx.op(live, 1);
+}

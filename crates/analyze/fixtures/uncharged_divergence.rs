@@ -1,0 +1,11 @@
+// SEEDED DEFECT: the kernel refines the warp mask per-lane (divergence)
+// and branches on lane-tainted data, but never charges the context —
+// uncharged divergence silently skews every simulated-time figure.
+// EXPECT: charge-divergence at line 8.
+
+pub fn kernel(ctx: &mut WarpCtx, warp: Mask, dist: Lanes<f32>) {
+    let below = lanes_from_fn(|l| l + 1);
+    let picked = warp.filter(|l| below[l] > 2);
+    let count = picked.count();
+    let _ = count;
+}

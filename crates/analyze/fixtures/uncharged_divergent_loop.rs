@@ -1,0 +1,13 @@
+// SEEDED DEFECT: a divergent loop (warp-vote condition) that never
+// charges simulated time — the classic `loop_head` omission. Every
+// cycling path is charge-free, so simulated time stands still while
+// the warp spins and every figure undercounts the loop overhead.
+// EXPECT: time-charge at line 9.
+
+pub fn kernel(ctx: &mut WarpCtx, live: Mask) {
+    let mut live = live;
+    while live.any_lane() {
+        live = live.filter(|l| l > 0);
+    }
+    ctx.op(live, 1);
+}

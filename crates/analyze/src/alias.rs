@@ -1,0 +1,672 @@
+//! The shared-memory may-alias pass.
+//!
+//! `SharedBuf` words are visible to every lane, so two lanes writing
+//! the same word inside one fence epoch is a race. The pass abstract-
+//! interprets index expressions over a three-point residue domain
+//! (modulo `WARP_SIZE` = 32):
+//!
+//! * `Uniform` — every lane addresses the same word (constants, host
+//!   scalars, `X * WARP_SIZE` terms, `splat(..)`);
+//! * `Lane` — word ≡ `lane_id` (mod 32): the lane-partitioned layout
+//!   every per-lane access in the kernels uses (`slot * WARP_SIZE + l`);
+//! * `PerLane` — unknown per-lane value: may collide across lanes.
+//!
+//! Index bindings resolve through `let`s, `lanes_from_fn(|l| ..)`
+//! closures and single-expression helper summaries (`slot_idx`). A
+//! per-lane `.write` whose residue is not `Lane` is an immediate
+//! finding. Within one fence region the pass additionally tracks the
+//! broadcast protocol: a `read_broadcast`/`write_broadcast` overlapping
+//! an earlier unfenced write to the same buffer is cross-lane
+//! communication the dynamic sanitizer would only catch on an executed
+//! schedule — here it is flagged on every path. `ctx.warp_fence()` /
+//! `ctx.sync(..)` clear regions; so does any call that threads `ctx`
+//! into another analyzed function (callees are verified at their own
+//! definition and leave memory fenced on the protocol boundaries).
+
+use std::collections::HashMap;
+
+use crate::lex::{TokKind, Token};
+use crate::parse::{FnDef, LetInit, Space, Stmt};
+use crate::report::Finding;
+use crate::taint::{expr_text, Summaries, VarEnv, FENCE_METHODS};
+
+/// Residue of an index expression modulo `WARP_SIZE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Res {
+    Uniform,
+    Lane,
+    PerLane,
+}
+
+const BUF_METHODS: [&str; 4] = ["write", "read", "write_broadcast", "read_broadcast"];
+/// Buffer/ctx methods that never fence; any *other* callee taking `ctx`
+/// is treated as a region boundary.
+const NON_CLEARING_CALLEES: [&str; 6] = [
+    "write",
+    "read",
+    "write_broadcast",
+    "read_broadcast",
+    "write_uniform",
+    "read_uniform",
+];
+
+#[derive(Debug, Clone, PartialEq)]
+enum Acc {
+    PerLaneWrite(Res),
+    PerLaneRead(Res),
+    BcastWrite,
+    BcastRead,
+}
+
+impl Acc {
+    fn is_write(&self) -> bool {
+        matches!(self, Acc::PerLaneWrite(_) | Acc::BcastWrite)
+    }
+}
+
+type Region = HashMap<String, Vec<(Acc, usize)>>;
+
+struct Walker<'a> {
+    env: &'a VarEnv,
+    sums: &'a Summaries,
+    shared_fields: &'a HashMap<String, Space>,
+    file: &'a str,
+    func: &'a str,
+    out: Vec<Finding>,
+    seen: std::collections::HashSet<(usize, String)>,
+}
+
+pub fn alias_findings(
+    f: &FnDef,
+    env: &VarEnv,
+    sums: &Summaries,
+    shared_fields: &HashMap<String, Space>,
+    file: &str,
+) -> Vec<Finding> {
+    let mut w = Walker {
+        env,
+        sums,
+        shared_fields,
+        file,
+        func: &f.name,
+        out: Vec::new(),
+        seen: std::collections::HashSet::new(),
+    };
+    let mut region = Region::new();
+    w.walk(&f.body, &mut region);
+    w.out
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, stmts: &[Stmt], region: &mut Region) {
+        for s in stmts {
+            match s {
+                Stmt::Expr { toks, line }
+                | Stmt::Let {
+                    init: LetInit::Expr(toks),
+                    line,
+                    ..
+                } => {
+                    self.scan_tokens(toks, *line, region);
+                }
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                    line,
+                }
+                | Stmt::Let {
+                    init:
+                        LetInit::If {
+                            cond,
+                            then_b,
+                            else_b,
+                        },
+                    line,
+                    ..
+                } => {
+                    self.scan_tokens(cond, *line, region);
+                    let mut r_then = region.clone();
+                    let mut r_else = region.clone();
+                    self.walk(then_b, &mut r_then);
+                    self.walk(else_b, &mut r_else);
+                    *region = merge(r_then, r_else);
+                }
+                Stmt::Match {
+                    scrutinee,
+                    arms,
+                    line,
+                } => {
+                    self.scan_tokens(scrutinee, *line, region);
+                    let mut merged = Region::new();
+                    for a in arms {
+                        let mut r = region.clone();
+                        self.walk(a, &mut r);
+                        merged = merge(merged, r);
+                    }
+                    if !arms.is_empty() {
+                        *region = merged;
+                    }
+                }
+                Stmt::While { cond, body, line } => {
+                    self.scan_tokens(cond, *line, region);
+                    // Two body passes: the second sees the first's
+                    // trailing accesses, catching back-edge conflicts.
+                    self.walk(body, region);
+                    self.scan_tokens(cond, *line, region);
+                    self.walk(body, region);
+                }
+                Stmt::For { iter, body, line } => {
+                    self.scan_tokens(iter, *line, region);
+                    self.walk(body, region);
+                    self.walk(body, region);
+                }
+                Stmt::Loop { body, .. } => {
+                    self.walk(body, region);
+                    self.walk(body, region);
+                }
+                Stmt::ForLane { body, line, .. } => {
+                    // Raw per-lane element accesses inside lane loops go
+                    // through `Lanes` registers, not SharedBuf methods;
+                    // still scan for inline buffer calls.
+                    let toks = collect_tokens(body);
+                    self.scan_tokens(&toks, *line, region);
+                }
+                Stmt::Block { body, .. } => self.walk(body, region),
+                _ => {}
+            }
+        }
+    }
+
+    /// Scan one statement's tokens in order for fences, region-clearing
+    /// calls and shared-buffer accesses.
+    fn scan_tokens(&mut self, toks: &[Token], line: usize, region: &mut Region) {
+        let mut i = 0;
+        while i < toks.len() {
+            // Fence?
+            if toks[i].is_ident(&self.env.ctx)
+                && toks.get(i + 1).is_some_and(|t| t.is("."))
+                && toks
+                    .get(i + 2)
+                    .is_some_and(|t| FENCE_METHODS.contains(&t.text.as_str()))
+            {
+                region.clear();
+                i += 3;
+                continue;
+            }
+            // Buffer access: `<path>.<method>(args)`.
+            if toks[i].kind == TokKind::Ident
+                && BUF_METHODS.contains(&toks[i].text.as_str())
+                && i > 0
+                && toks[i - 1].is(".")
+                && toks.get(i + 1).is_some_and(|t| t.is("("))
+            {
+                if let Some(buf) = self.shared_receiver(toks, i - 1) {
+                    let close = crate::parse::match_delim(toks, i + 1);
+                    let args = split_args(&toks[i + 2..close.saturating_sub(1)]);
+                    let acc = match toks[i].text.as_str() {
+                        "write" => Acc::PerLaneWrite(self.index_residue(args.get(2))),
+                        "read" => Acc::PerLaneRead(self.index_residue(args.get(2))),
+                        "write_broadcast" => Acc::BcastWrite,
+                        _ => Acc::BcastRead,
+                    };
+                    self.record(buf, acc, line, region, args.get(2));
+                    i = close;
+                    continue;
+                }
+            }
+            // Region-clearing call: `ctx` passed to a non-buffer callee.
+            if toks[i].is_ident(&self.env.ctx)
+                && i > 0
+                && matches!(toks[i - 1].text.as_str(), "(" | "," | "&" | "mut")
+                && toks.get(i + 1).is_some_and(|t| t.is(",") || t.is(")"))
+            {
+                let callee = enclosing_callee(toks, i);
+                if callee
+                    .as_deref()
+                    .is_none_or(|c| !NON_CLEARING_CALLEES.contains(&c))
+                {
+                    region.clear();
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Resolve `<ident>(.<ident>)*` ending at the `.` before a buffer
+    /// method; Some(key) if it names a SharedBuf field or local.
+    fn shared_receiver(&self, toks: &[Token], dot: usize) -> Option<String> {
+        let mut j = dot;
+        let mut parts: Vec<String> = Vec::new();
+        while j >= 1 && toks[j].is(".") && toks[j - 1].kind == TokKind::Ident {
+            parts.push(toks[j - 1].text.clone());
+            if j < 2 {
+                break;
+            }
+            j -= 2;
+        }
+        parts.reverse();
+        let last = parts.last()?;
+        let shared = self.shared_fields.get(last) == Some(&Space::Shared)
+            || self.env.shared_locals.contains(last);
+        shared.then(|| parts.join("."))
+    }
+
+    fn record(
+        &mut self,
+        buf: String,
+        acc: Acc,
+        line: usize,
+        region: &mut Region,
+        idx_arg: Option<&Vec<Token>>,
+    ) {
+        let prior = region.entry(buf.clone()).or_default();
+        let prior_write = prior.iter().find(|(a, _)| a.is_write()).cloned();
+        let idx_text = idx_arg.map(|t| expr_text(t)).unwrap_or_default();
+        match &acc {
+            Acc::PerLaneWrite(res) if *res != Res::Lane => {
+                self.report(
+                    line,
+                    format!(
+                        "per-lane write to shared `{buf}` at index `{idx_text}` is not \
+                         lane-partitioned (residue {res:?} mod WARP_SIZE): two lanes may \
+                         write the same word in one fence epoch"
+                    ),
+                    vec![format!("line {line}: index `{idx_text}` has residue {res:?}, expected lane_id + k*WARP_SIZE")],
+                );
+            }
+            Acc::PerLaneWrite(_) => {
+                if let Some((_, wl)) = prior.iter().find(|(a, _)| matches!(a, Acc::BcastWrite)) {
+                    self.report(
+                        line,
+                        format!(
+                            "per-lane write to shared `{buf}` overlaps an unfenced broadcast \
+                             write in the same fence region"
+                        ),
+                        vec![
+                            format!("line {wl}: broadcast write to `{buf}`"),
+                            format!("line {line}: per-lane write without an intervening ctx.warp_fence()"),
+                        ],
+                    );
+                }
+            }
+            Acc::PerLaneRead(res) => {
+                if *res != Res::Lane {
+                    if let Some((_, wl)) = &prior_write {
+                        self.report(
+                            line,
+                            format!(
+                                "cross-lane read of shared `{buf}` (index residue {res:?}) after \
+                                 an unfenced write in the same fence region"
+                            ),
+                            vec![
+                                format!("line {wl}: write to `{buf}`"),
+                                format!("line {line}: cross-lane read without an intervening ctx.warp_fence()"),
+                            ],
+                        );
+                    }
+                }
+            }
+            Acc::BcastWrite => {
+                if let Some((_, wl)) = &prior_write {
+                    self.report(
+                        line,
+                        format!(
+                            "broadcast write to shared `{buf}` overlaps an unfenced write \
+                             in the same fence region"
+                        ),
+                        vec![
+                            format!("line {wl}: earlier write to `{buf}`"),
+                            format!("line {line}: broadcast write without an intervening ctx.warp_fence()"),
+                        ],
+                    );
+                }
+            }
+            Acc::BcastRead => {
+                if let Some((_, wl)) = &prior_write {
+                    self.report(
+                        line,
+                        format!(
+                            "warp-wide read of shared `{buf}` after an unfenced write in the \
+                             same fence region (the flag protocol brackets the write in \
+                             ctx.warp_fence() calls)"
+                        ),
+                        vec![
+                            format!("line {wl}: write to `{buf}`"),
+                            format!("line {line}: read_broadcast without an intervening ctx.warp_fence()"),
+                        ],
+                    );
+                }
+            }
+        }
+        region.entry(buf).or_default().push((acc, line));
+    }
+
+    /// Residue of a buffer index argument (mode: Lanes-valued expr).
+    fn index_residue(&self, arg: Option<&Vec<Token>>) -> Res {
+        let Some(arg) = arg else { return Res::PerLane };
+        let mut toks: &[Token] = arg;
+        // Strip leading `&` / `&mut`.
+        while toks.first().is_some_and(|t| t.is("&") || t.is_ident("mut")) {
+            toks = &toks[1..];
+        }
+        self.lanes_expr_residue(toks, 4)
+    }
+
+    /// Residue of a Lanes-valued expression.
+    fn lanes_expr_residue(&self, toks: &[Token], depth: usize) -> Res {
+        if depth == 0 || toks.is_empty() {
+            return Res::PerLane;
+        }
+        // `splat(x)` — every lane addresses the same word.
+        if toks[0].is_ident("splat") {
+            return Res::Uniform;
+        }
+        // Single identifier: resolve through its `let` binding.
+        if toks.len() == 1 && toks[0].kind == TokKind::Ident {
+            if let Some(binding) = self.env.bindings.get(&toks[0].text) {
+                return self.lanes_expr_residue(binding, depth - 1);
+            }
+            return Res::PerLane;
+        }
+        // `lanes_from_fn(|v| expr)` — evaluate the per-lane body.
+        if let Some(p) = toks.iter().position(|t| t.is_ident("lanes_from_fn")) {
+            if toks.get(p + 1).is_some_and(|t| t.is("(")) {
+                let close = crate::parse::match_delim(toks, p + 1);
+                let inner = &toks[p + 2..close.saturating_sub(1)];
+                if inner.len() >= 3 && inner[0].is("|") && inner[2].is("|") {
+                    return self.scalar_residue(&inner[3..], &inner[1].text, depth - 1);
+                }
+            }
+        }
+        // `path.helper(args)` / `helper(args)` with a lanes summary.
+        if let Some((name, _args)) = trailing_call(toks) {
+            if let Some(sum) = self.sums.lanes_exprs.get(&name) {
+                let var = sum.closure_var.clone();
+                return self.scalar_residue(&sum.expr, &var, depth - 1);
+            }
+        }
+        Res::PerLane
+    }
+
+    /// Residue of a scalar (per-lane closure body) expression: additive
+    /// combination of multiplicative terms.
+    fn scalar_residue(&self, toks: &[Token], lane_var: &str, depth: usize) -> Res {
+        if depth == 0 {
+            return Res::PerLane;
+        }
+        let terms = split_top(toks, &["+", "-"]);
+        let mut acc = Res::Uniform;
+        for term in terms {
+            let r = self.term_residue(&term, lane_var, depth);
+            acc = match (acc, r) {
+                (Res::Uniform, x) | (x, Res::Uniform) => x,
+                _ => Res::PerLane, // Lane + Lane (2·l) collides; PerLane dominates
+            };
+        }
+        acc
+    }
+
+    fn term_residue(&self, toks: &[Token], lane_var: &str, depth: usize) -> Res {
+        let factors = split_top(toks, &["*", "/", "%", "<<", ">>"]);
+        let has_div = toks
+            .iter()
+            .any(|t| t.is("/") || t.is("%") || t.is("<") || t.is(">"));
+        // A factor that is a multiple of WARP_SIZE zeroes the product.
+        if !has_div
+            && factors.iter().any(|f| {
+                f.len() == 1
+                    && (f[0].is_ident("WARP_SIZE")
+                        || (f[0].kind == TokKind::Num
+                            && num_value(&f[0].text).is_some_and(|v| v % 32 == 0)))
+            })
+        {
+            return Res::Uniform;
+        }
+        let residues: Vec<Res> = factors
+            .iter()
+            .map(|f| self.factor_residue(f, lane_var, depth))
+            .collect();
+        if residues.iter().all(|r| *r == Res::Uniform) {
+            Res::Uniform
+        } else if residues.len() == 1 {
+            residues[0]
+        } else {
+            // l*c (c≠multiple-of-32 or unknown), divisions, shifts:
+            // not provably lane-bijective.
+            Res::PerLane
+        }
+    }
+
+    fn factor_residue(&self, toks: &[Token], lane_var: &str, depth: usize) -> Res {
+        if toks.is_empty() {
+            return Res::PerLane;
+        }
+        // Parenthesized subexpression.
+        if toks[0].is("(") && crate::parse::match_delim(toks, 0) == toks.len() {
+            return self.scalar_residue(&toks[1..toks.len() - 1], lane_var, depth);
+        }
+        // Indexing (`a[l]`, `self.cur[l]`) — an arbitrary per-lane value.
+        if toks.iter().any(|t| t.is("[")) {
+            return Res::PerLane;
+        }
+        // Calls in scalar position: `splat`-free math helpers — unknown.
+        if toks.iter().any(|t| t.is("(")) {
+            return Res::PerLane;
+        }
+        if toks.len() == 1 {
+            let t = &toks[0];
+            if t.is_ident(lane_var) {
+                return Res::Lane;
+            }
+            if t.kind == TokKind::Num {
+                return Res::Uniform;
+            }
+            if t.is_ident("WARP_SIZE") {
+                return Res::Uniform;
+            }
+            if t.kind == TokKind::Ident {
+                if self.env.tainted.contains(&t.text) {
+                    return Res::PerLane;
+                }
+                if let Some(binding) = self.env.bindings.get(&t.text) {
+                    // Uniform scalar bindings resolve; per-lane ones
+                    // were caught by the taint check above.
+                    return self.scalar_residue(binding, lane_var, depth.saturating_sub(1));
+                }
+                return Res::Uniform; // host scalar (k, n, cursor, ..)
+            }
+        }
+        // Field path `self.k` etc.: uniform host scalar unless tainted.
+        if toks
+            .iter()
+            .all(|t| t.kind == TokKind::Ident || t.is(".") || t.is("::"))
+        {
+            if let Some(last) = toks.iter().rev().find(|t| t.kind == TokKind::Ident) {
+                if self.env.tainted.contains(&last.text) {
+                    return Res::PerLane;
+                }
+            }
+            return Res::Uniform;
+        }
+        Res::PerLane
+    }
+
+    fn report(&mut self, line: usize, message: String, witness: Vec<String>) {
+        if !self.seen.insert((line, message.clone())) {
+            return; // loop bodies walk twice; report once
+        }
+        self.out.push(Finding {
+            rule: crate::RULE_ALIAS,
+            file: self.file.to_string(),
+            line,
+            end_line: line,
+            function: self.func.to_string(),
+            message,
+            line_text: String::new(),
+            witness,
+        });
+    }
+}
+
+/// Union-merge two region states (both control-flow paths survive).
+fn merge(mut a: Region, b: Region) -> Region {
+    for (k, mut v) in b {
+        let e = a.entry(k).or_default();
+        for acc in v.drain(..) {
+            if !e.contains(&acc) {
+                e.push(acc);
+            }
+        }
+    }
+    a
+}
+
+/// Split a token slice at top-level occurrences of the given operators.
+fn split_top(toks: &[Token], ops: &[&str]) -> Vec<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            s if depth == 0 && ops.contains(&s) && i > start => {
+                out.push(toks[start..i].to_vec());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(toks[start..].to_vec());
+    out
+}
+
+/// Split call arguments at top-level commas.
+fn split_args(toks: &[Token]) -> Vec<Vec<Token>> {
+    if toks.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                out.push(toks[start..i].to_vec());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(toks[start..].to_vec());
+    out
+}
+
+/// If the expression is one call `path.name(args)` / `name(args)`
+/// consuming the whole slice, return (name, args).
+fn trailing_call(toks: &[Token]) -> Option<(String, Vec<Token>)> {
+    let open = toks.iter().position(|t| t.is("("))?;
+    if open == 0 || toks[open - 1].kind != TokKind::Ident {
+        return None;
+    }
+    if crate::parse::match_delim(toks, open) != toks.len() {
+        return None;
+    }
+    // Everything before must be a path.
+    if !toks[..open]
+        .iter()
+        .all(|t| t.kind == TokKind::Ident || t.is(".") || t.is("::"))
+    {
+        return None;
+    }
+    Some((
+        toks[open - 1].text.clone(),
+        toks[open + 1..toks.len() - 1].to_vec(),
+    ))
+}
+
+/// Parse an integer literal (underscores and suffixes tolerated).
+fn num_value(s: &str) -> Option<u64> {
+    let cleaned: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+    cleaned.parse().ok()
+}
+
+/// Flatten a statement subtree back to tokens (lane-loop scanning).
+fn collect_tokens(stmts: &[Stmt]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::Expr { toks, .. }
+            | Stmt::Let {
+                init: LetInit::Expr(toks),
+                ..
+            } => out.extend(toks.iter().cloned()),
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+                ..
+            }
+            | Stmt::Let {
+                init:
+                    LetInit::If {
+                        cond,
+                        then_b,
+                        else_b,
+                    },
+                ..
+            } => {
+                out.extend(cond.iter().cloned());
+                out.extend(collect_tokens(then_b));
+                out.extend(collect_tokens(else_b));
+            }
+            Stmt::While { cond, body, .. } => {
+                out.extend(cond.iter().cloned());
+                out.extend(collect_tokens(body));
+            }
+            Stmt::For { iter, body, .. } => {
+                out.extend(iter.iter().cloned());
+                out.extend(collect_tokens(body));
+            }
+            Stmt::ForLane { body, .. } | Stmt::Loop { body, .. } | Stmt::Block { body, .. } => {
+                out.extend(collect_tokens(body))
+            }
+            Stmt::Match {
+                scrutinee, arms, ..
+            } => {
+                out.extend(scrutinee.iter().cloned());
+                for a in arms {
+                    out.extend(collect_tokens(a));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Name of the callee whose argument list encloses token `i`.
+fn enclosing_callee(toks: &[Token], i: usize) -> Option<String> {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ")" => depth += 1,
+            "(" => {
+                if depth == 0 {
+                    if j > 0 && toks[j - 1].kind == TokKind::Ident {
+                        return Some(toks[j - 1].text.clone());
+                    }
+                    return None;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,188 @@
+//! The barrier-divergence pass.
+//!
+//! A `warp_fence`/`sync` is only sound when every lane of the warp
+//! reaches it together. The pass walks a kernel's statement tree with a
+//! stack of *tainted* enclosing conditions — branches whose outcome can
+//! differ between lanes (see [`crate::taint`] for what taints and what
+//! launders). Any fence executed while that stack is non-empty is
+//! reported with the full condition chain as the witness. Calls that
+//! thread `ctx` into a callee that may (transitively) fence are treated
+//! as fence sites too, via the cross-file summaries.
+//!
+//! Warp-vote conditions (`live.any_lane()`) are *uniform*: every lane
+//! computes the same bool, so fencing under them is legal — this is
+//! exactly the shared-flag protocol the kernels use. Lane loops
+//! (`for l in mask.lanes()`) always push: a fence per lane is never
+//! the warp-wide barrier the sanitizer expects.
+
+use crate::lex::Token;
+use crate::parse::{FnDef, LetInit, Stmt};
+use crate::report::Finding;
+use crate::taint::{
+    collect_ctx_calls, ctx_method_at, expr_taint, expr_text, Summaries, VarEnv, FENCE_METHODS,
+};
+
+struct Walker<'a> {
+    env: &'a VarEnv,
+    sums: &'a Summaries,
+    file: &'a str,
+    func: &'a str,
+    /// Enclosing lane-divergent conditions: (line, description).
+    stack: Vec<(usize, String)>,
+    out: Vec<Finding>,
+}
+
+pub fn barrier_findings(f: &FnDef, env: &VarEnv, sums: &Summaries, file: &str) -> Vec<Finding> {
+    let mut w = Walker {
+        env,
+        sums,
+        file,
+        func: &f.name,
+        stack: Vec::new(),
+        out: Vec::new(),
+    };
+    w.walk(&f.body);
+    w.out
+}
+
+impl Walker<'_> {
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Expr { toks, line }
+                | Stmt::Let {
+                    init: LetInit::Expr(toks),
+                    line,
+                    ..
+                } => {
+                    self.check_tokens(toks, *line);
+                }
+                Stmt::If {
+                    cond,
+                    then_b,
+                    else_b,
+                    line,
+                }
+                | Stmt::Let {
+                    init:
+                        LetInit::If {
+                            cond,
+                            then_b,
+                            else_b,
+                        },
+                    line,
+                    ..
+                } => {
+                    self.check_tokens(cond, *line);
+                    let pushed = self.push_if_tainted(cond, *line, "if");
+                    self.walk(then_b);
+                    self.walk(else_b);
+                    self.pop(pushed);
+                }
+                Stmt::While { cond, body, line } => {
+                    self.check_tokens(cond, *line);
+                    let pushed = self.push_if_tainted(cond, *line, "while");
+                    self.walk(body);
+                    self.pop(pushed);
+                }
+                Stmt::For { iter, body, line } => {
+                    self.check_tokens(iter, *line);
+                    let pushed = self.push_if_tainted(iter, *line, "for");
+                    self.walk(body);
+                    self.pop(pushed);
+                }
+                Stmt::ForLane { var, body, line } => {
+                    self.stack
+                        .push((*line, format!("per-lane loop `for {var} in <lanes>`")));
+                    self.walk(body);
+                    self.stack.pop();
+                }
+                Stmt::Loop { body, .. } => self.walk(body),
+                Stmt::Match {
+                    scrutinee,
+                    arms,
+                    line,
+                } => {
+                    self.check_tokens(scrutinee, *line);
+                    let pushed = self.push_if_tainted(scrutinee, *line, "match");
+                    for a in arms {
+                        self.walk(a);
+                    }
+                    self.pop(pushed);
+                }
+                Stmt::Block { body, .. } => self.walk(body),
+                _ => {}
+            }
+        }
+    }
+
+    fn push_if_tainted(&mut self, cond: &[Token], line: usize, kw: &str) -> bool {
+        if let Some(wit) = expr_taint(cond, self.env) {
+            self.stack.push((
+                line,
+                format!(
+                    "{kw} on `{}` — lane-tainted via `{}`",
+                    expr_text(cond),
+                    wit.source
+                ),
+            ));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pop(&mut self, pushed: bool) {
+        if pushed {
+            self.stack.pop();
+        }
+    }
+
+    /// Report direct fences and calls into may-fence callees executed
+    /// under a tainted condition stack.
+    fn check_tokens(&mut self, toks: &[Token], line: usize) {
+        if self.stack.is_empty() {
+            return;
+        }
+        if let Some(i) = ctx_method_at(toks, &self.env.ctx, &FENCE_METHODS) {
+            let method = toks[i + 2].text.clone();
+            self.report(
+                line,
+                format!("`ctx.{method}(..)` under lane-divergent control flow"),
+            );
+            return;
+        }
+        for call in collect_ctx_calls(toks, &self.env.ctx) {
+            if self.sums.call_fences(call.callee.as_deref()) {
+                let callee = call.callee.unwrap_or_default();
+                self.report(
+                    line,
+                    format!(
+                        "call to `{callee}(.., ctx, ..)` which may execute a warp fence, \
+                         under lane-divergent control flow"
+                    ),
+                );
+                return;
+            }
+        }
+    }
+
+    fn report(&mut self, line: usize, message: String) {
+        let mut witness: Vec<String> = self
+            .stack
+            .iter()
+            .map(|(l, d)| format!("line {l}: {d}"))
+            .collect();
+        witness.push(format!("line {line}: barrier reached here"));
+        self.out.push(Finding {
+            rule: crate::RULE_BARRIER,
+            file: self.file.to_string(),
+            line,
+            end_line: line,
+            function: self.func.to_string(),
+            message,
+            line_text: String::new(),
+            witness,
+        });
+    }
+}

@@ -1,0 +1,589 @@
+//! Control-flow graph lowering and the path-sensitive charge passes.
+//!
+//! The statement tree is lowered into an explicit node/edge graph:
+//! one node per simple statement, one per branch head, one per loop
+//! head, plus synthetic entry/exit. `break`/`continue`/`return` become
+//! real edges. Each node carries two facts the passes need:
+//!
+//! * `charges` — the statement spends simulated time (a direct
+//!   `ctx.<charging-method>(..)` call, or a call threading `ctx` into a
+//!   transitively charging callee);
+//! * `work` — the statement does per-lane work (touches lanes, masks or
+//!   per-warp buffers), as opposed to host-side shape bookkeeping.
+//!
+//! **time-charge** then asks, per loop: can control flow cycle back to
+//! the loop head without passing a charging node? For *divergent* loops
+//! (condition involves a warp vote or lane-tainted data) every cycling
+//! path must charge — the uncharged path is reported with its node-line
+//! witness. For *uniform* loops a single charge anywhere in the body
+//! suffices, and only if the body does per-lane work at all (host-side
+//! shape loops are free by design). Lane loops (`for l in mask.lanes()`)
+//! are the per-lane emulation of one warp instruction and are exempt.
+//!
+//! **charge-divergence** asks, per kernel: does the function derive a
+//! divergent mask or branch on lane-tainted data while never charging
+//! the context at all?
+
+use crate::lex::Token;
+use crate::parse::{FnDef, LetInit, Stmt};
+use crate::report::Finding;
+use crate::taint::{expr_taint, expr_text, stmt_charges, Summaries, VarEnv};
+
+#[derive(Debug)]
+pub struct Node {
+    pub line: usize,
+    pub label: String,
+    pub charges: bool,
+    pub work: bool,
+}
+
+#[derive(Debug)]
+pub struct LoopInfo {
+    pub head: usize,
+    pub line: usize,
+    pub label: String,
+    pub divergent: bool,
+    pub lane_loop: bool,
+    /// Node ids in the loop body (head included).
+    pub nodes: Vec<usize>,
+}
+
+#[derive(Debug)]
+pub struct Cfg {
+    pub nodes: Vec<Node>,
+    pub succ: Vec<Vec<usize>>,
+    pub loops: Vec<LoopInfo>,
+    pub entry: usize,
+    pub exit: usize,
+}
+
+struct Builder<'a> {
+    nodes: Vec<Node>,
+    succ: Vec<Vec<usize>>,
+    loops: Vec<LoopInfo>,
+    /// Stack of loop contexts: (head id, break-source accumulator).
+    loop_stack: Vec<(usize, Vec<usize>)>,
+    exit: usize,
+    env: &'a VarEnv,
+    sums: &'a Summaries,
+}
+
+impl<'a> Builder<'a> {
+    fn add(&mut self, line: usize, label: String, charges: bool, work: bool) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            line,
+            label,
+            charges,
+            work,
+        });
+        self.succ.push(Vec::new());
+        // Register the node with every loop currently being built.
+        for l in &mut self.loops {
+            if self.loop_stack.iter().any(|(h, _)| *h == l.head) {
+                l.nodes.push(id);
+            }
+        }
+        id
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.succ[from].contains(&to) {
+            self.succ[from].push(to);
+        }
+    }
+
+    fn connect(&mut self, frontier: &[usize], to: usize) {
+        for &f in frontier {
+            self.edge(f, to);
+        }
+    }
+
+    fn expr_node(&mut self, toks: &[Token], line: usize) -> usize {
+        let charges = stmt_charges(toks, self.env, self.sums);
+        let work = tokens_do_work(toks, self.env);
+        self.add(line, expr_text(toks), charges, work)
+    }
+
+    /// Build a statement list; returns the fall-through frontier.
+    fn block(&mut self, stmts: &[Stmt], mut frontier: Vec<usize>) -> Vec<usize> {
+        for s in stmts {
+            if frontier.is_empty() {
+                break; // unreachable after break/continue/return
+            }
+            frontier = self.stmt(s, frontier);
+        }
+        frontier
+    }
+
+    fn branch(
+        &mut self,
+        cond: &[Token],
+        then_b: &[Stmt],
+        else_b: &[Stmt],
+        line: usize,
+        frontier: Vec<usize>,
+    ) -> Vec<usize> {
+        let head = self.expr_node(cond, line);
+        self.connect(&frontier, head);
+        let mut out = self.block(then_b, vec![head]);
+        if else_b.is_empty() {
+            out.push(head); // fall-through when the condition is false
+        } else {
+            out.extend(self.block(else_b, vec![head]));
+        }
+        out
+    }
+
+    fn loop_body(
+        &mut self,
+        body: &[Stmt],
+        head: usize,
+        line: usize,
+        label: String,
+        divergent: bool,
+        lane_loop: bool,
+    ) -> Vec<usize> {
+        self.loops.push(LoopInfo {
+            head,
+            line,
+            label,
+            divergent,
+            lane_loop,
+            nodes: vec![head],
+        });
+        let loop_idx = self.loops.len() - 1;
+        self.loop_stack.push((head, Vec::new()));
+        let tail = self.block(body, vec![head]);
+        let (_, breaks) = self.loop_stack.pop().expect("loop stack balanced");
+        // Back edge: end of body cycles to the head.
+        self.connect(&tail, head);
+        debug_assert_eq!(self.loops[loop_idx].head, head);
+        // Exit frontier: the head (condition false) plus all breaks.
+        let mut out = vec![head];
+        out.extend(breaks);
+        out
+    }
+
+    fn stmt(&mut self, s: &Stmt, frontier: Vec<usize>) -> Vec<usize> {
+        match s {
+            Stmt::Expr { toks, line } => {
+                let n = self.expr_node(toks, *line);
+                self.connect(&frontier, n);
+                vec![n]
+            }
+            Stmt::Let { init, line, .. } => match init {
+                LetInit::Expr(toks) => {
+                    let n = self.expr_node(toks, *line);
+                    self.connect(&frontier, n);
+                    vec![n]
+                }
+                LetInit::If {
+                    cond,
+                    then_b,
+                    else_b,
+                } => self.branch(cond, then_b, else_b, *line, frontier),
+            },
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+                line,
+            } => self.branch(cond, then_b, else_b, *line, frontier),
+            Stmt::Match {
+                scrutinee,
+                arms,
+                line,
+            } => {
+                let head = self.expr_node(scrutinee, *line);
+                self.connect(&frontier, head);
+                if arms.is_empty() {
+                    return vec![head];
+                }
+                let mut out = Vec::new();
+                for arm in arms {
+                    out.extend(self.block(arm, vec![head]));
+                }
+                out
+            }
+            Stmt::While { cond, body, line } => {
+                let divergent = cond_is_divergent(cond, self.env);
+                let head = self.expr_node(cond, *line);
+                self.connect(&frontier, head);
+                self.loop_body(
+                    body,
+                    head,
+                    *line,
+                    format!("while {}", expr_text(cond)),
+                    divergent,
+                    false,
+                )
+            }
+            Stmt::For { iter, body, line } => {
+                let divergent = expr_taint(iter, self.env).is_some();
+                let head = self.expr_node(iter, *line);
+                self.connect(&frontier, head);
+                self.loop_body(
+                    body,
+                    head,
+                    *line,
+                    format!("for .. in {}", expr_text(iter)),
+                    divergent,
+                    false,
+                )
+            }
+            Stmt::Loop { body, line } => {
+                // A bare `loop` has no uniform trip count: treat it as
+                // divergent so every cycling path must charge.
+                let head = self.add(*line, "loop".into(), false, false);
+                self.connect(&frontier, head);
+                self.loop_body(body, head, *line, "loop".into(), true, false)
+            }
+            Stmt::ForLane { var, body, line } => {
+                // One composite node: the lane-parallel emulation of a
+                // single warp instruction.
+                let charges = subtree_charges(body, self.env, self.sums);
+                let n = self.add(*line, format!("for {var} in <lanes>"), charges, true);
+                self.connect(&frontier, n);
+                vec![n]
+            }
+            Stmt::Block { body, .. } => self.block(body, frontier),
+            Stmt::Break { line } => {
+                let n = self.add(*line, "break".into(), false, false);
+                self.connect(&frontier, n);
+                if let Some((_, breaks)) = self.loop_stack.last_mut() {
+                    breaks.push(n);
+                }
+                Vec::new()
+            }
+            Stmt::Continue { line } => {
+                let n = self.add(*line, "continue".into(), false, false);
+                self.connect(&frontier, n);
+                let head = self.loop_stack.last().map(|(h, _)| *h);
+                if let Some(h) = head {
+                    self.edge(n, h);
+                }
+                Vec::new()
+            }
+            Stmt::Return { line } => {
+                let n = self.add(*line, "return".into(), false, false);
+                self.connect(&frontier, n);
+                let exit = self.exit;
+                self.edge(n, exit);
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Is a loop condition divergent — warp vote or lane-tainted data?
+fn cond_is_divergent(cond: &[Token], env: &VarEnv) -> bool {
+    cond.iter()
+        .any(|t| t.is_ident("any_lane") || t.is_ident("all_lanes"))
+        || expr_taint(cond, env).is_some()
+}
+
+/// Does any statement in the subtree charge?
+fn subtree_charges(stmts: &[Stmt], env: &VarEnv, sums: &Summaries) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Expr { toks, .. } => stmt_charges(toks, env, sums),
+        Stmt::Let {
+            init: LetInit::Expr(toks),
+            ..
+        } => stmt_charges(toks, env, sums),
+        Stmt::Let {
+            init:
+                LetInit::If {
+                    cond,
+                    then_b,
+                    else_b,
+                },
+            ..
+        } => {
+            stmt_charges(cond, env, sums)
+                || subtree_charges(then_b, env, sums)
+                || subtree_charges(else_b, env, sums)
+        }
+        Stmt::If {
+            cond,
+            then_b,
+            else_b,
+            ..
+        } => {
+            stmt_charges(cond, env, sums)
+                || subtree_charges(then_b, env, sums)
+                || subtree_charges(else_b, env, sums)
+        }
+        Stmt::While { cond, body, .. } => {
+            stmt_charges(cond, env, sums) || subtree_charges(body, env, sums)
+        }
+        Stmt::For { iter, body, .. } => {
+            stmt_charges(iter, env, sums) || subtree_charges(body, env, sums)
+        }
+        Stmt::ForLane { body, .. } | Stmt::Loop { body, .. } | Stmt::Block { body, .. } => {
+            subtree_charges(body, env, sums)
+        }
+        Stmt::Match {
+            scrutinee, arms, ..
+        } => {
+            stmt_charges(scrutinee, env, sums) || arms.iter().any(|a| subtree_charges(a, env, sums))
+        }
+        _ => false,
+    })
+}
+
+/// Per-lane work signals: the statement manipulates lanes, masks or
+/// per-warp buffers (vs. host-side shape bookkeeping, which is free).
+fn tokens_do_work(toks: &[Token], env: &VarEnv) -> bool {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != crate::lex::TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "lanes_from_fn" | "from_fn" | "splat" | "WARP_SIZE" => return true,
+            "lanes" | "filter" | "and_lanes" | "read" | "write" | "read_uniform"
+            | "write_uniform" | "read_broadcast" | "write_broadcast"
+                if i > 0 && toks[i - 1].is(".") =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+        if env.tainted.contains(&t.text) || env.masks.contains(&t.text) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Lower one kernel function to a CFG.
+pub fn build_cfg(f: &FnDef, env: &VarEnv, sums: &Summaries) -> Cfg {
+    let mut b = Builder {
+        nodes: Vec::new(),
+        succ: Vec::new(),
+        loops: Vec::new(),
+        loop_stack: Vec::new(),
+        exit: 0,
+        env,
+        sums,
+    };
+    let entry = b.add(f.sig_line, format!("fn {}", f.name), false, false);
+    let exit = b.add(f.sig_line, "exit".into(), false, false);
+    b.exit = exit;
+    let tail = b.block(&f.body, vec![entry]);
+    b.connect(&tail, exit);
+    Cfg {
+        nodes: b.nodes,
+        succ: b.succ,
+        loops: b.loops,
+        entry,
+        exit,
+    }
+}
+
+/// The time-charge pass over one kernel's CFG.
+pub fn time_charge_findings(f: &FnDef, cfg: &Cfg, file: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for l in &cfg.loops {
+        if l.lane_loop {
+            continue;
+        }
+        if l.divergent {
+            if let Some(path) = uncharged_cycle(cfg, l) {
+                let witness: Vec<String> = path
+                    .iter()
+                    .map(|&n| format!("line {}: {}", cfg.nodes[n].line, cfg.nodes[n].label))
+                    .collect();
+                out.push(Finding {
+                    rule: crate::RULE_TIME,
+                    file: file.to_string(),
+                    line: l.line,
+                    end_line: path
+                        .iter()
+                        .map(|&n| cfg.nodes[n].line)
+                        .max()
+                        .unwrap_or(l.line),
+                    function: f.name.clone(),
+                    message: format!(
+                        "divergent loop `{}` has a cycling path that charges no simulated \
+                         time (route it through ctx.loop_head / ctx.diverge / ctx.op)",
+                        l.label
+                    ),
+                    line_text: String::new(),
+                    witness,
+                });
+            }
+        } else {
+            let charges_somewhere = l.nodes.iter().any(|&n| cfg.nodes[n].charges);
+            let does_work = l.nodes.iter().any(|&n| cfg.nodes[n].work);
+            if !charges_somewhere && does_work {
+                out.push(Finding {
+                    rule: crate::RULE_TIME,
+                    file: file.to_string(),
+                    line: l.line,
+                    end_line: l
+                        .nodes
+                        .iter()
+                        .map(|&n| cfg.nodes[n].line)
+                        .max()
+                        .unwrap_or(l.line),
+                    function: f.name.clone(),
+                    message: format!(
+                        "uniform loop `{}` does per-lane work but never charges simulated \
+                         time (charge the work with ctx.op or a charging buffer access)",
+                        l.label
+                    ),
+                    line_text: String::new(),
+                    witness: vec![format!("line {}: loop body is charge-free", l.line)],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// BFS from the loop head through non-charging body nodes; returns a
+/// witness path (head .. last node before cycling) if the head is
+/// reachable from itself charge-free.
+fn uncharged_cycle(cfg: &Cfg, l: &LoopInfo) -> Option<Vec<usize>> {
+    if cfg.nodes[l.head].charges {
+        return None;
+    }
+    let in_loop = |n: usize| l.nodes.contains(&n);
+    let mut parent: Vec<Option<usize>> = vec![None; cfg.nodes.len()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut seen = vec![false; cfg.nodes.len()];
+    queue.push_back(l.head);
+    seen[l.head] = true;
+    while let Some(n) = queue.pop_front() {
+        for &m in &cfg.succ[n] {
+            if m == l.head {
+                // Cycled back charge-free: reconstruct the path.
+                let mut path = vec![n];
+                let mut cur = n;
+                while let Some(p) = parent[cur] {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if !seen[m] && in_loop(m) && !cfg.nodes[m].charges {
+                seen[m] = true;
+                parent[m] = Some(n);
+                queue.push_back(m);
+            }
+        }
+    }
+    None
+}
+
+/// The charge-divergence pass: a kernel that derives divergence (mask
+/// refinement or a lane-tainted branch) but never charges the context.
+pub fn charge_divergence_findings(f: &FnDef, env: &VarEnv, cfg: &Cfg, file: &str) -> Vec<Finding> {
+    let any_charge = cfg.nodes.iter().any(|n| n.charges);
+    if any_charge {
+        return Vec::new();
+    }
+    let mut sites: Vec<(usize, String)> = Vec::new();
+    collect_divergence_sites(&f.body, env, &mut sites);
+    if sites.is_empty() {
+        return Vec::new();
+    }
+    let line = sites[0].0;
+    vec![Finding {
+        rule: crate::RULE_CHARGE,
+        file: file.to_string(),
+        line,
+        end_line: sites.iter().map(|(l, _)| *l).max().unwrap_or(line),
+        function: f.name.clone(),
+        message: format!(
+            "kernel `{}` derives lane divergence but never charges the context \
+             (route the divergence through ctx.diverge / ctx.diverge_mask / \
+             ctx.ballot, or charge with ctx.op)",
+            f.name
+        ),
+        line_text: String::new(),
+        witness: sites
+            .into_iter()
+            .map(|(l, d)| format!("line {l}: {d}"))
+            .collect(),
+    }]
+}
+
+fn collect_divergence_sites(stmts: &[Stmt], env: &VarEnv, out: &mut Vec<(usize, String)>) {
+    for s in stmts {
+        match s {
+            Stmt::Expr { toks, line }
+            | Stmt::Let {
+                init: LetInit::Expr(toks),
+                line,
+                ..
+            } => {
+                scan_mask_refinement(toks, env, *line, out);
+            }
+            Stmt::If {
+                cond,
+                then_b,
+                else_b,
+                line,
+            }
+            | Stmt::Let {
+                init:
+                    LetInit::If {
+                        cond,
+                        then_b,
+                        else_b,
+                    },
+                line,
+                ..
+            } => {
+                if let Some(w) = expr_taint(cond, env) {
+                    out.push((*line, format!("branch on lane-tainted `{}`", w.source)));
+                }
+                scan_mask_refinement(cond, env, *line, out);
+                collect_divergence_sites(then_b, env, out);
+                collect_divergence_sites(else_b, env, out);
+            }
+            Stmt::While { cond, body, line } => {
+                if let Some(w) = expr_taint(cond, env) {
+                    out.push((*line, format!("loop on lane-tainted `{}`", w.source)));
+                }
+                scan_mask_refinement(cond, env, *line, out);
+                collect_divergence_sites(body, env, out);
+            }
+            Stmt::For { body, .. } | Stmt::Loop { body, .. } | Stmt::Block { body, .. } => {
+                collect_divergence_sites(body, env, out)
+            }
+            Stmt::ForLane { body, .. } => collect_divergence_sites(body, env, out),
+            Stmt::Match { arms, .. } => {
+                for a in arms {
+                    collect_divergence_sites(a, env, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Mask-refinement sites: `m.filter(..)` on a mask, or `m.and_lanes(..)`.
+fn scan_mask_refinement(toks: &[Token], env: &VarEnv, line: usize, out: &mut Vec<(usize, String)>) {
+    for i in 1..toks.len() {
+        if toks[i].kind != crate::lex::TokKind::Ident || !toks[i - 1].is(".") {
+            continue;
+        }
+        let receiver_is_mask = i >= 2
+            && toks[i - 2].kind == crate::lex::TokKind::Ident
+            && (env.masks.contains(&toks[i - 2].text) || toks[i - 2].text == "warp");
+        match toks[i].text.as_str() {
+            "filter" if receiver_is_mask => {
+                out.push((
+                    line,
+                    format!("mask refinement `{}.filter(..)`", toks[i - 2].text),
+                ));
+            }
+            "and_lanes" => out.push((line, "mask refinement `.and_lanes(..)`".into())),
+            _ => {}
+        }
+    }
+}

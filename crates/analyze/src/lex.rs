@@ -1,0 +1,307 @@
+//! A minimal Rust lexer: enough to tokenize the kernel sources without
+//! pulling in a real parser crate.
+//!
+//! Comments (line, nested block) and string/char literals are consumed
+//! and dropped — their contents can otherwise fake keywords, braces or
+//! method names and derail the statement parser. Every token carries the
+//! 1-based source line it starts on so findings can point at real spans.
+
+/// Token kind. The parser mostly dispatches on [`TokKind::Ident`] text
+/// and single punctuation characters; a handful of two-character
+/// operators that matter for statement structure (`::`, `->`, `=>`,
+/// `..`, `&&`, `||`, `==`, `!=`, `<=`, `>=`) are fused into one token
+/// so `=>` in a match arm is never misread as `=` + `>`. Shift
+/// operators are deliberately *not* fused: `>>` must stay two `>`
+/// tokens so nested generics (`Lanes<Option<u32>>`) close correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Num,
+    Punct,
+    Lifetime,
+}
+
+/// One lexed token: kind, exact source text, and 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// Two-character punctuation fused into single tokens (see [`TokKind`]).
+const FUSED: [&str; 10] = ["::", "->", "=>", "..", "&&", "||", "==", "!=", "<=", ">="];
+
+/// Tokenize `src`, dropping comments and literal contents.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Nested block comments, tracking newlines for line info.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start = line;
+                i += 1;
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' {
+                        i += 1; // skip escaped char (handles \" and \\)
+                    }
+                    if i < b.len() && b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i += 1; // closing quote
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: "\"\"".into(),
+                    line: start,
+                });
+            }
+            'r' if i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') => {
+                // Raw string r"..." / r#"..."#.
+                let start = line;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < b.len() && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == '"' {
+                    j += 1;
+                    'raw: while j < b.len() {
+                        if b[j] == '\n' {
+                            line += 1;
+                        } else if b[j] == '"' {
+                            let mut h = 0;
+                            while j + 1 + h < b.len() && b[j + 1 + h] == '#' && h < hashes {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: "\"\"".into(),
+                        line: start,
+                    });
+                } else {
+                    // Just an identifier starting with 'r'.
+                    let (tok, ni) = lex_ident(&b, i, line);
+                    toks.push(tok);
+                    i = ni;
+                }
+            }
+            '\'' => {
+                // Lifetime ('a, 'static, loop labels) vs char literal
+                // ('x', '\n', '\''). A lifetime is a quote followed by an
+                // identifier NOT terminated by another quote.
+                let is_lifetime = i + 1 < b.len()
+                    && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                    && !(i + 2 < b.len() && b[i + 2] == '\'');
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Char literal: skip to closing quote.
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == '\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: "''".into(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let (tok, ni) = lex_ident(&b, i, line);
+                toks.push(tok);
+                i = ni;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_alphanumeric()
+                        || b[j] == '_'
+                        || (b[j] == '.' && j + 1 < b.len() && b[j + 1].is_ascii_digit()))
+                {
+                    j += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+                if FUSED.contains(&two.as_str()) {
+                    // `..=` extends `..`.
+                    if two == ".." && i + 2 < b.len() && b[i + 2] == '=' {
+                        toks.push(Token {
+                            kind: TokKind::Punct,
+                            text: "..=".into(),
+                            line,
+                        });
+                        i += 3;
+                    } else {
+                        toks.push(Token {
+                            kind: TokKind::Punct,
+                            text: two,
+                            line,
+                        });
+                        i += 2;
+                    }
+                } else {
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: c.to_string(),
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+        }
+    }
+    toks
+}
+
+fn lex_ident(b: &[char], i: usize, line: usize) -> (Token, usize) {
+    let mut j = i;
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    (
+        Token {
+            kind: TokKind::Ident,
+            text: b[i..j].iter().collect(),
+            line,
+        },
+        j,
+    )
+}
+
+/// Render a token slice back to readable text (for messages/witnesses).
+pub fn render(toks: &[Token]) -> String {
+    let mut out = String::new();
+    for (i, t) in toks.iter().enumerate() {
+        if i > 0 {
+            let prev = &toks[i - 1].text;
+            let tight_before = matches!(
+                t.text.as_str(),
+                "(" | ")" | "[" | "]" | "," | ";" | "." | "::" | "!" | "?"
+            );
+            let tight_after = matches!(prev.as_str(), "(" | "[" | "." | "::" | "&" | "!" | "|");
+            if !tight_before && !tight_after {
+                out.push(' ');
+            }
+        }
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_vanish() {
+        let toks =
+            lex("let x = 1; // while { fence }\n/* ctx.warp_fence() */ let y = \"} ctx {\";");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_block_comments() {
+        let toks = lex("a\n/* x\ny */\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn fused_punct_and_lifetimes() {
+        let toks = lex("'outer: while a => b..c '\\n' >> d");
+        assert_eq!(toks[0].kind, TokKind::Lifetime);
+        assert!(toks.iter().any(|t| t.is("=>")));
+        assert!(toks.iter().any(|t| t.is("..")));
+        // Shift stays two tokens so generics close correctly.
+        assert_eq!(toks.iter().filter(|t| t.is(">")).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_and_floats() {
+        let toks = lex(r##"let s = r#"{ not code }"#; let f = 1.5e3;"##);
+        assert!(toks.iter().all(|t| t.text != "not"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text.starts_with("1.5")));
+    }
+}

@@ -1,0 +1,885 @@
+//! Statement parser: turns a token stream into per-function statement
+//! trees, and extracts the file-level facts the dataflow passes need.
+//!
+//! Rust's structured control flow means the statement tree *is* the
+//! control-flow graph modulo `break`/`continue`/`return` edges — the
+//! [`crate::cfg`] module lowers the tree into an explicit node/edge
+//! graph for the path-sensitive time-charge pass, while the taint and
+//! alias passes walk the tree directly with a branch-condition stack.
+//!
+//! A function counts as a *kernel* iff its parameter list contains a
+//! parameter of type `&mut WarpCtx` (after stripping lifetimes). This
+//! is deliberately stricter than the old token lint's "signature text
+//! mentions `&mut WarpCtx`" heuristic: launchers whose only mention is
+//! a closure bound (`K: Fn(usize, &mut WarpCtx) -> R`) are host code
+//! and are skipped.
+
+use crate::lex::{lex, render, TokKind, Token};
+
+/// One parsed statement. Expressions stay as token slices — the passes
+/// pattern-match on tokens rather than building a full AST.
+#[derive(Debug, Clone)]
+pub enum Stmt {
+    /// `let <names> = <init>;` — `names` are the bound identifiers
+    /// (tuple patterns flattened, `mut`/`ref`/`&` stripped).
+    Let {
+        names: Vec<String>,
+        init: LetInit,
+        line: usize,
+    },
+    /// Any other expression statement (calls, assignments, macros).
+    Expr {
+        toks: Vec<Token>,
+        line: usize,
+    },
+    If {
+        cond: Vec<Token>,
+        then_b: Vec<Stmt>,
+        else_b: Vec<Stmt>,
+        line: usize,
+    },
+    While {
+        cond: Vec<Token>,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    /// `for <var> in <per-warp lanes>` — the lane-parallel emulation of
+    /// a single warp instruction (e.g. `for l in mask.lanes()`). Exempt
+    /// from time-charge, but a warp fence inside one is always a bug.
+    ForLane {
+        var: String,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    /// An ordinary (host-style, uniform trip count) `for` loop.
+    For {
+        iter: Vec<Token>,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    Loop {
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    Match {
+        scrutinee: Vec<Token>,
+        arms: Vec<Vec<Stmt>>,
+        line: usize,
+    },
+    Break {
+        line: usize,
+    },
+    Continue {
+        line: usize,
+    },
+    Return {
+        line: usize,
+    },
+    /// A bare `{ ... }` block (often `#[cfg(feature = ...)] { ... }`).
+    Block {
+        body: Vec<Stmt>,
+        line: usize,
+    },
+}
+
+impl Stmt {
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Let { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::ForLane { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::Loop { line, .. }
+            | Stmt::Match { line, .. }
+            | Stmt::Break { line }
+            | Stmt::Continue { line }
+            | Stmt::Return { line }
+            | Stmt::Block { line, .. } => *line,
+        }
+    }
+}
+
+/// The initializer of a `let`: either a flat expression, or an
+/// `if`/`else` chain in expression position (branch bodies are real
+/// statement blocks — they may charge time or touch shared memory).
+#[derive(Debug, Clone)]
+pub enum LetInit {
+    Expr(Vec<Token>),
+    If {
+        cond: Vec<Token>,
+        then_b: Vec<Stmt>,
+        else_b: Vec<Stmt>,
+    },
+}
+
+/// A parsed function (kernel or helper).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    pub name: String,
+    pub sig_line: usize,
+    /// `(name, type-text)` for each parameter, `self` receivers skipped.
+    pub params: Vec<(String, String)>,
+    /// Name of the `&mut WarpCtx` parameter, if any.
+    pub ctx_param: Option<String>,
+    pub body: Vec<Stmt>,
+    /// Raw body tokens, kept for helper-summary extraction.
+    pub body_toks: Vec<Token>,
+}
+
+impl FnDef {
+    pub fn is_kernel(&self) -> bool {
+        self.ctx_param.is_some()
+    }
+}
+
+/// Memory space of a struct field, used by the alias pass to decide
+/// which buffers carry cross-lane visibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Space {
+    Shared,
+    LaneLocal,
+    Global,
+}
+
+/// Everything the passes need from one source file.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    pub fns: Vec<FnDef>,
+    /// Struct fields of buffer type: `(field_name, space)`.
+    pub buffer_fields: Vec<(String, Space)>,
+}
+
+/// Parse a whole source file. Test modules (`#[cfg(test)] mod`) and
+/// inline `mod` bodies are skipped — kernels in this workspace live at
+/// the top level of their files or inside `impl` blocks.
+pub fn parse_file(src: &str) -> FileFacts {
+    let toks = lex(src);
+    let mut facts = FileFacts::default();
+    walk_items(&toks, 0, toks.len(), &mut facts);
+    facts
+}
+
+/// Walk item-level tokens in `toks[i..end]`, descending into `impl`
+/// bodies, collecting functions and buffer-typed struct fields.
+fn walk_items(toks: &[Token], mut i: usize, end: usize, facts: &mut FileFacts) {
+    while i < end {
+        let t = &toks[i];
+        if t.is("#") {
+            i = skip_attr(toks, i);
+        } else if t.is_ident("mod") {
+            // `mod name;` or `mod name { ... }` — skip either way; inline
+            // module bodies here are `#[cfg(test)] mod tests`.
+            i += 1;
+            while i < end && !toks[i].is("{") && !toks[i].is(";") {
+                i += 1;
+            }
+            if i < end && toks[i].is("{") {
+                i = match_delim(toks, i);
+            } else {
+                i += 1;
+            }
+        } else if t.is_ident("impl") || t.is_ident("trait") {
+            // Descend into the body; the header (generics, type path,
+            // where clause) is skipped up to the opening brace.
+            let mut j = i + 1;
+            while j < end && !toks[j].is("{") {
+                j += 1;
+            }
+            let close = match_delim(toks, j);
+            walk_items(toks, j + 1, close.saturating_sub(1), facts);
+            i = close;
+        } else if t.is_ident("struct") || t.is_ident("enum") || t.is_ident("union") {
+            let mut j = i + 1;
+            while j < end && !toks[j].is("{") && !toks[j].is(";") && !toks[j].is("(") {
+                j += 1;
+            }
+            if j < end && toks[j].is("{") {
+                let close = match_delim(toks, j);
+                if t.is_ident("struct") {
+                    collect_buffer_fields(&toks[j + 1..close.saturating_sub(1)], facts);
+                }
+                i = close;
+            } else if j < end && toks[j].is("(") {
+                i = match_delim(toks, j); // tuple struct: skip to `)`, then `;`
+                if i < end && toks[i].is(";") {
+                    i += 1;
+                }
+            } else {
+                i = j + 1;
+            }
+        } else if t.is_ident("fn") {
+            let (f, ni) = parse_fn(toks, i);
+            if let Some(f) = f {
+                facts.fns.push(f);
+            }
+            i = ni;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Skip one `#[...]` / `#![...]` attribute. Returns index after `]`.
+fn skip_attr(toks: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].is("!") {
+        j += 1;
+    }
+    if j < toks.len() && toks[j].is("[") {
+        match_delim(toks, j)
+    } else {
+        j
+    }
+}
+
+/// Record struct fields with buffer types from a struct body slice.
+fn collect_buffer_fields(toks: &[Token], facts: &mut FileFacts) {
+    let mut i = 0;
+    while i < toks.len() {
+        // field pattern: [pub] name : Type , — find `name :` at depth 0.
+        if toks[i].kind == TokKind::Ident && i + 1 < toks.len() && toks[i + 1].is(":") {
+            let name = toks[i].text.clone();
+            // Type runs to the next top-level comma.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let start = j;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "<" | "(" | "[" => depth += 1,
+                    ">" | ")" | "]" => depth -= 1,
+                    "," if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let ty: Vec<&str> = toks[start..j].iter().map(|t| t.text.as_str()).collect();
+            let space = if ty.contains(&"SharedBuf") {
+                Some(Space::Shared)
+            } else if ty.contains(&"LaneLocal") {
+                Some(Space::LaneLocal)
+            } else if ty.contains(&"GlobalBuf") {
+                Some(Space::Global)
+            } else {
+                None
+            };
+            if let Some(s) = space {
+                facts.buffer_fields.push((name, s));
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Parse `fn name<...>(params) -> Ret { body }` starting at the `fn`
+/// token. Returns the function (None for bodyless trait fns) and the
+/// index just past the body.
+fn parse_fn(toks: &[Token], i: usize) -> (Option<FnDef>, usize) {
+    let sig_line = toks[i].line;
+    let mut j = i + 1;
+    if j >= toks.len() || toks[j].kind != TokKind::Ident {
+        return (None, j);
+    }
+    let name = toks[j].text.clone();
+    j += 1;
+    // Skip generic parameter list `<...>` (no fused shift tokens, so a
+    // plain angle-depth count is exact).
+    if j < toks.len() && toks[j].is("<") {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            if toks[j].is("<") {
+                depth += 1;
+            } else if toks[j].is(">") {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if j >= toks.len() || !toks[j].is("(") {
+        return (None, j);
+    }
+    let params_close = match_delim(toks, j);
+    let params = parse_params(&toks[j + 1..params_close.saturating_sub(1)]);
+    let ctx_param = params
+        .iter()
+        .find(|(_, ty)| is_warpctx_ref(ty))
+        .map(|(n, _)| n.clone());
+    // Skip return type / where clause up to the body `{` or a `;`.
+    let mut k = params_close;
+    while k < toks.len() && !toks[k].is("{") && !toks[k].is(";") {
+        k += 1;
+    }
+    if k >= toks.len() || toks[k].is(";") {
+        return (None, k + 1);
+    }
+    let body_close = match_delim(toks, k);
+    let body_toks = toks[k + 1..body_close.saturating_sub(1)].to_vec();
+    let body = parse_block_stmts(&body_toks);
+    (
+        Some(FnDef {
+            name,
+            sig_line,
+            params,
+            ctx_param,
+            body,
+            body_toks,
+        }),
+        body_close,
+    )
+}
+
+/// `true` iff a parameter type is exactly a `&mut WarpCtx` reference
+/// (possibly with a lifetime).
+fn is_warpctx_ref(ty: &str) -> bool {
+    let t = ty.replace(' ', "");
+    t == "&mutWarpCtx" || (t.starts_with("&'") && t.ends_with("mutWarpCtx"))
+}
+
+/// Split a parameter-list token slice at top-level commas into
+/// `(name, type-text)` pairs; `self` receivers are dropped.
+fn parse_params(toks: &[Token]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    let mut i = 0;
+    loop {
+        let at_end = i >= toks.len();
+        if at_end || (depth == 0 && toks[i].is(",")) {
+            let piece = &toks[start..i];
+            if let Some(colon) = piece.iter().position(|t| t.is(":")) {
+                // Name = last ident before the colon (skips `mut`).
+                let name = piece[..colon]
+                    .iter()
+                    .rev()
+                    .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+                    .map(|t| t.text.clone());
+                if let Some(name) = name {
+                    out.push((name, render(&piece[colon + 1..])));
+                }
+            }
+            if at_end {
+                break;
+            }
+            start = i + 1;
+        } else if !at_end {
+            match toks[i].text.as_str() {
+                "<" | "(" | "[" | "{" => depth += 1,
+                ">" | ")" | "]" | "}" => depth -= 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index just past the delimiter-matched partner of the opener at `i`
+/// (`(`/`[`/`{`). Counts all three bracket kinds so closures, slices and
+/// struct literals nest freely.
+pub fn match_delim(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Parse the statements of a `{ ... }` body given its *inner* tokens.
+pub fn parse_block_stmts(toks: &[Token]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (stmt, ni) = parse_stmt(toks, i);
+        if let Some(s) = stmt {
+            out.push(s);
+        }
+        debug_assert!(ni > i, "parser must make progress");
+        i = ni.max(i + 1);
+    }
+    out
+}
+
+/// Parse one statement starting at `i`; returns (stmt, next index).
+fn parse_stmt(toks: &[Token], i: usize) -> (Option<Stmt>, usize) {
+    let t = &toks[i];
+    let line = t.line;
+    if t.is(";") {
+        return (None, i + 1);
+    }
+    if t.is("#") {
+        return (None, skip_attr(toks, i));
+    }
+    // Loop labels: `'outer: loop { ... }` — skip the label.
+    if t.kind == TokKind::Lifetime && i + 1 < toks.len() && toks[i + 1].is(":") {
+        return parse_stmt(toks, i + 2);
+    }
+    if t.is_ident("let") {
+        return parse_let(toks, i);
+    }
+    if t.is_ident("if") {
+        let (cond, then_b, else_b, ni) = parse_if(toks, i);
+        return (
+            Some(Stmt::If {
+                cond,
+                then_b,
+                else_b,
+                line,
+            }),
+            ni,
+        );
+    }
+    if t.is_ident("while") {
+        let (cond, open) = scan_until_block(toks, i + 1);
+        let close = match_delim(toks, open);
+        let body = parse_block_stmts(&toks[open + 1..close.saturating_sub(1)]);
+        return (Some(Stmt::While { cond, body, line }), close);
+    }
+    if t.is_ident("for") {
+        let (head, open) = scan_until_block(toks, i + 1);
+        let close = match_delim(toks, open);
+        let body = parse_block_stmts(&toks[open + 1..close.saturating_sub(1)]);
+        // Split `<pat> in <iter>` at the top-level `in`.
+        let in_pos = head.iter().position(|t| t.is_ident("in")).unwrap_or(0);
+        let iter: Vec<Token> = head[in_pos.saturating_add(1).min(head.len())..].to_vec();
+        if let Some(var) = lane_loop_var(&head[..in_pos], &iter) {
+            return (Some(Stmt::ForLane { var, body, line }), close);
+        }
+        return (Some(Stmt::For { iter, body, line }), close);
+    }
+    if t.is_ident("loop") {
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is("{") {
+            j += 1;
+        }
+        let close = match_delim(toks, j);
+        let body = parse_block_stmts(&toks[j + 1..close.saturating_sub(1)]);
+        return (Some(Stmt::Loop { body, line }), close);
+    }
+    if t.is_ident("match") {
+        let (scrutinee, open) = scan_until_block(toks, i + 1);
+        let close = match_delim(toks, open);
+        let arms = parse_match_arms(&toks[open + 1..close.saturating_sub(1)]);
+        let ni = stmt_tail(toks, close);
+        return (
+            Some(Stmt::Match {
+                scrutinee,
+                arms,
+                line,
+            }),
+            ni,
+        );
+    }
+    if t.is_ident("break") {
+        let ni = scan_past_semi(toks, i);
+        return (Some(Stmt::Break { line }), ni);
+    }
+    if t.is_ident("continue") {
+        let ni = scan_past_semi(toks, i);
+        return (Some(Stmt::Continue { line }), ni);
+    }
+    if t.is_ident("return") {
+        let ni = scan_past_semi(toks, i);
+        return (Some(Stmt::Return { line }), ni);
+    }
+    if t.is("{") {
+        let close = match_delim(toks, i);
+        let body = parse_block_stmts(&toks[i + 1..close.saturating_sub(1)]);
+        return (Some(Stmt::Block { body, line }), close);
+    }
+    // Nested items inside fn bodies (closures are expressions and land
+    // in Expr; inner `fn`s are rare — skip them wholesale).
+    if t.is_ident("fn") {
+        let (_, ni) = parse_fn(toks, i);
+        return (None, ni);
+    }
+    // Plain expression statement: everything up to the `;` at depth 0.
+    let ni = scan_past_semi(toks, i);
+    let mut end = ni.min(toks.len());
+    if end > i && toks[end - 1].is(";") {
+        end -= 1;
+    }
+    (
+        Some(Stmt::Expr {
+            toks: toks[i..end].to_vec(),
+            line,
+        }),
+        ni,
+    )
+}
+
+/// Skip an optional statement-terminating `;` after a block form.
+fn stmt_tail(toks: &[Token], i: usize) -> usize {
+    if i < toks.len() && toks[i].is(";") {
+        i + 1
+    } else {
+        i
+    }
+}
+
+/// Is this `for` a lane loop? True when the iterator is a per-warp lane
+/// enumeration: `<mask>.lanes()` or `0..WARP_SIZE`.
+fn lane_loop_var(pat: &[Token], iter: &[Token]) -> Option<String> {
+    let n = iter.len();
+    let is_lanes_call = n >= 4
+        && iter[n - 1].is(")")
+        && iter[n - 2].is("(")
+        && iter[n - 3].is_ident("lanes")
+        && iter[n - 4].is(".");
+    let is_warp_range =
+        n >= 3 && iter[0].kind == TokKind::Num && iter[1].is("..") && iter[2].is_ident("WARP_SIZE");
+    if is_lanes_call || is_warp_range {
+        pat.iter()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut")
+            .map(|t| t.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Parse `let` — handles plain initializers and `if`/`else` chains in
+/// expression position (common in the kernels for uniform selects).
+fn parse_let(toks: &[Token], i: usize) -> (Option<Stmt>, usize) {
+    let line = toks[i].line;
+    // Pattern: tokens up to the top-level `=` (skipping `==` via fused
+    // tokens and type ascription generics via depth count).
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            "=" if depth <= 0 => break,
+            ";" if depth <= 0 => {
+                // `let x;` — declaration without initializer.
+                let names = pattern_names(&toks[i + 1..j]);
+                return (
+                    Some(Stmt::Let {
+                        names,
+                        init: LetInit::Expr(Vec::new()),
+                        line,
+                    }),
+                    j + 1,
+                );
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let names = pattern_names(&toks[i + 1..j.min(toks.len())]);
+    let expr_start = (j + 1).min(toks.len());
+    if expr_start < toks.len() && toks[expr_start].is_ident("if") {
+        let (cond, then_b, else_b, after) = parse_if(toks, expr_start);
+        let ni = scan_past_semi(toks, after);
+        return (
+            Some(Stmt::Let {
+                names,
+                init: LetInit::If {
+                    cond,
+                    then_b,
+                    else_b,
+                },
+                line,
+            }),
+            ni,
+        );
+    }
+    let ni = scan_past_semi(toks, expr_start);
+    let mut end = ni.min(toks.len());
+    if end > expr_start && toks[end - 1].is(";") {
+        end -= 1;
+    }
+    (
+        Some(Stmt::Let {
+            names,
+            init: LetInit::Expr(toks[expr_start..end.max(expr_start)].to_vec()),
+            line,
+        }),
+        ni,
+    )
+}
+
+/// Identifiers bound by a `let` pattern (tuples flattened; `mut`, `ref`
+/// and path segments like `Some` dropped — good enough for the passes,
+/// which only need "does this name now refer to a tainted value").
+fn pattern_names(toks: &[Token]) -> Vec<String> {
+    // Strip a trailing type ascription `: T`.
+    let mut end = toks.len();
+    let mut depth = 0i32;
+    for (idx, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            ":" if depth == 0 => {
+                end = idx;
+                break;
+            }
+            _ => {}
+        }
+    }
+    toks[..end]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .filter(|t| !matches!(t.text.as_str(), "mut" | "ref" | "_"))
+        .filter(|t| !t.text.chars().next().is_some_and(|c| c.is_uppercase()))
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Parse an `if` (or `if let`) chain starting at the `if` token.
+/// Returns (cond, then-block, else-block, index past the chain). An
+/// `else if` is represented as a nested `Stmt::If` inside `else_b`.
+fn parse_if(toks: &[Token], i: usize) -> (Vec<Token>, Vec<Stmt>, Vec<Stmt>, usize) {
+    let (cond, open) = scan_until_block(toks, i + 1);
+    let close = match_delim(toks, open);
+    let then_b = parse_block_stmts(&toks[open + 1..close.saturating_sub(1)]);
+    let mut else_b = Vec::new();
+    let mut ni = close;
+    if ni < toks.len() && toks[ni].is_ident("else") {
+        if ni + 1 < toks.len() && toks[ni + 1].is_ident("if") {
+            let line = toks[ni + 1].line;
+            let (c2, t2, e2, after) = parse_if(toks, ni + 1);
+            else_b.push(Stmt::If {
+                cond: c2,
+                then_b: t2,
+                else_b: e2,
+                line,
+            });
+            ni = after;
+        } else {
+            let mut j = ni + 1;
+            while j < toks.len() && !toks[j].is("{") {
+                j += 1;
+            }
+            let eclose = match_delim(toks, j);
+            else_b = parse_block_stmts(&toks[j + 1..eclose.saturating_sub(1)]);
+            ni = eclose;
+        }
+    }
+    (cond, then_b, else_b, ni)
+}
+
+/// Parse the arms of a match body (inner tokens). Each arm's value is
+/// parsed as a statement block (single-expression arms become one-item
+/// blocks) — pattern guards stay in the (ignored) pattern text.
+fn parse_match_arms(toks: &[Token]) -> Vec<Vec<Stmt>> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is(",") {
+            i += 1;
+            continue;
+        }
+        // Pattern: up to `=>` at depth 0.
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "=>" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let val_start = j + 1;
+        if val_start < toks.len() && toks[val_start].is("{") {
+            let close = match_delim(toks, val_start);
+            arms.push(parse_block_stmts(
+                &toks[val_start + 1..close.saturating_sub(1)],
+            ));
+            i = close;
+        } else {
+            // Expression arm: up to `,` at depth 0 or end of body.
+            let mut depth = 0i32;
+            let mut k = val_start;
+            while k < toks.len() {
+                match toks[k].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            arms.push(parse_block_stmts(&toks[val_start..k]));
+            i = k + 1;
+        }
+    }
+    arms
+}
+
+/// Tokens from `i` up to the opening `{` of the following block at
+/// depth 0 (used for `if`/`while`/`for`/`match` heads). Returns the
+/// head tokens and the index of the `{`.
+fn scan_until_block(toks: &[Token], i: usize) -> (Vec<Token>, usize) {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            // A closure body brace inside a head (`.any(|l| {...})`)
+            // only occurs at paren depth > 0; treat it as nesting.
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    (toks[i..j].to_vec(), j)
+}
+
+/// Index just past the `;` ending the statement at `i` (brace/paren
+/// aware, so closures and `else { ... }` blocks inside expressions
+/// don't end it early). A statement-final `}` at depth 0 without a
+/// following `;` also ends it (e.g. last expression of a block).
+fn scan_past_semi(toks: &[Token], i: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return j; // tail expression of an outer block
+                }
+            }
+            ";" if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernels(src: &str) -> Vec<FnDef> {
+        parse_file(src)
+            .fns
+            .into_iter()
+            .filter(FnDef::is_kernel)
+            .collect()
+    }
+
+    #[test]
+    fn kernel_detection_requires_a_warpctx_param() {
+        let src = r#"
+            pub fn insert(&mut self, ctx: &mut WarpCtx, warp: Mask) {}
+            pub fn launch<R, K>(n: usize, kernel: K) -> Vec<R>
+            where K: Fn(usize, &mut WarpCtx) -> R + Sync {}
+            fn helper(x: &WarpCtx) -> usize { 0 }
+        "#;
+        let ks = kernels(src);
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks[0].name, "insert");
+        assert_eq!(ks[0].ctx_param.as_deref(), Some("ctx"));
+    }
+
+    #[test]
+    fn statements_parse_structurally() {
+        let src = r#"
+            fn k(ctx: &mut WarpCtx, live: Mask) {
+                let mut i = 0;
+                while i < 4 && live.any_lane() {
+                    ctx.loop_head(live);
+                    if i == 2 { break; } else { i += 1; }
+                }
+                for l in live.lanes() { out[l] = i; }
+                match x { Some(v) => consume(v), None => {} }
+            }
+        "#;
+        let ks = kernels(src);
+        let body = &ks[0].body;
+        assert!(matches!(body[0], Stmt::Let { .. }));
+        assert!(matches!(body[1], Stmt::While { .. }));
+        assert!(matches!(body[2], Stmt::ForLane { ref var, .. } if var == "l"));
+        assert!(matches!(body[3], Stmt::Match { ref arms, .. } if arms.len() == 2));
+        if let Stmt::While { body: wb, .. } = &body[1] {
+            assert!(matches!(wb[1], Stmt::If { ref else_b, .. } if !else_b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn let_if_expression_keeps_branch_blocks() {
+        let src = r#"
+            fn k(ctx: &mut WarpCtx) {
+                let d = if cold { ctx.op(warp, 1); load(ctx) } else { cached };
+            }
+        "#;
+        let ks = kernels(src);
+        match &ks[0].body[0] {
+            Stmt::Let {
+                names,
+                init: LetInit::If { then_b, else_b, .. },
+                ..
+            } => {
+                assert_eq!(names, &["d"]);
+                assert_eq!(then_b.len(), 2);
+                assert_eq!(else_b.len(), 1);
+            }
+            other => panic!("expected let-if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn buffer_fields_and_test_mods() {
+        let src = r#"
+            pub struct Q { pub db: SharedBuf<f32>, iq: LaneLocal<u32>, n: usize }
+            #[cfg(test)]
+            mod tests {
+                fn fake(ctx: &mut WarpCtx) {}
+            }
+        "#;
+        let facts = parse_file(src);
+        assert_eq!(
+            facts.buffer_fields,
+            vec![
+                ("db".into(), Space::Shared),
+                ("iq".into(), Space::LaneLocal)
+            ]
+        );
+        assert!(facts.fns.is_empty(), "test-module fns must be skipped");
+    }
+
+    #[test]
+    fn cfg_blocks_and_labels_parse() {
+        let src = r#"
+            fn k(ctx: &mut WarpCtx) {
+                #[cfg(feature = "trace")]
+                {
+                    counters.ops += 1;
+                }
+                'outer: loop { break; }
+            }
+        "#;
+        let ks = kernels(src);
+        assert!(matches!(ks[0].body[0], Stmt::Block { .. }));
+        assert!(matches!(ks[0].body[1], Stmt::Loop { .. }));
+    }
+}

@@ -1,0 +1,156 @@
+//! Findings and the machine-readable JSON report.
+//!
+//! JSON is rendered by hand (the crate is dependency-free); the shape
+//! is stable and consumed by the CI `analyze` job artifact:
+//!
+//! ```json
+//! {
+//!   "schema_version": "1",
+//!   "tool": "kernel-analyze",
+//!   "files_scanned": 12,
+//!   "kernels": 30,
+//!   "findings": [ { "rule", "file", "line", "end_line", "function",
+//!                   "message", "line_text", "witness": [..] } ],
+//!   "suppressed": [ .. same shape .. ]
+//! }
+//! ```
+
+use std::fmt;
+
+/// One analyzer finding: rule, span, and a lane-taint/path witness.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: usize,
+    pub end_line: usize,
+    pub function: String,
+    pub message: String,
+    /// Source text of `line` (filled by the driver).
+    pub line_text: String,
+    /// Human-readable steps showing why the finding holds.
+    pub witness: Vec<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{} [{}] in `{}`: {}",
+            self.file, self.line, self.rule, self.function, self.message
+        )?;
+        if !self.line_text.is_empty() {
+            writeln!(f, "    | {}", self.line_text.trim())?;
+        }
+        for w in &self.witness {
+            writeln!(f, "    witness: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub files_scanned: usize,
+    pub kernels: usize,
+    pub findings: Vec<Finding>,
+}
+
+/// Render the JSON findings report. `suppressed` carries allowlisted
+/// findings so the artifact shows the full picture.
+pub fn to_json(a: &Analysis, suppressed: &[Finding]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema_version\": \"1\",\n");
+    s.push_str("  \"tool\": \"kernel-analyze\",\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", a.files_scanned));
+    s.push_str(&format!("  \"kernels\": {},\n", a.kernels));
+    s.push_str("  \"findings\": ");
+    push_findings(&mut s, &a.findings);
+    s.push_str(",\n  \"suppressed\": ");
+    push_findings(&mut s, suppressed);
+    s.push_str("\n}\n");
+    s
+}
+
+fn push_findings(s: &mut String, findings: &[Finding]) {
+    if findings.is_empty() {
+        s.push_str("[]");
+        return;
+    }
+    s.push_str("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        s.push_str("    {");
+        s.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+        s.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+        s.push_str(&format!("\"line\": {}, ", f.line));
+        s.push_str(&format!("\"end_line\": {}, ", f.end_line));
+        s.push_str(&format!("\"function\": {}, ", json_str(&f.function)));
+        s.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+        s.push_str(&format!(
+            "\"line_text\": {}, ",
+            json_str(f.line_text.trim())
+        ));
+        s.push_str("\"witness\": [");
+        for (j, w) in f.witness.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(w));
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < findings.len() {
+            ",\n"
+        } else {
+            "\n  ]"
+        });
+    }
+}
+
+/// Escape a string for JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_shape() {
+        let a = Analysis {
+            files_scanned: 2,
+            kernels: 3,
+            findings: vec![Finding {
+                rule: "barrier-divergence",
+                file: "x.rs".into(),
+                line: 7,
+                end_line: 9,
+                function: "k".into(),
+                message: "fence \"under\" taint".into(),
+                line_text: "  ctx.warp_fence();".into(),
+                witness: vec!["line 5: if on `m`".into()],
+            }],
+        };
+        let j = to_json(&a, &[]);
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\\\"under\\\""));
+        assert!(j.contains("\"suppressed\": []"));
+        // Must be parseable by any JSON reader: balanced braces/quotes.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,535 @@
+//! Lane-taint classification and call/charge token analysis.
+//!
+//! *Taint* here means "varies across lanes of the warp": values built by
+//! `lanes_from_fn`, loaded from per-lane buffer reads, or combined from
+//! other tainted values. Warp-wide reductions launder taint — a
+//! `mask.any_lane()` vote is one uniform bool every lane agrees on, so
+//! branching on it is warp-synchronous even though `mask` itself is
+//! per-lane. The analysis is deliberately biased toward silence: a
+//! reduction anywhere after a source in the same expression neutralizes
+//! it, matching how the kernels are written (reductions terminate the
+//! method chain).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lex::{render, TokKind, Token};
+use crate::parse::{FnDef, LetInit, Stmt};
+
+/// Methods on `WarpCtx` that charge simulated time.
+pub const CHARGE_METHODS: [&str; 11] = [
+    "op",
+    "diverge",
+    "diverge_mask",
+    "loop_head",
+    "any",
+    "all",
+    "ballot",
+    "shfl",
+    "record_global",
+    "record_shared",
+    "sync",
+];
+
+/// Methods on `WarpCtx` that are warp barriers (`sync` both charges and
+/// synchronizes; `warp_fence` is the free sanitizer-epoch fence).
+pub const FENCE_METHODS: [&str; 2] = ["warp_fence", "sync"];
+
+/// Method idents that produce per-lane (tainted) values.
+const TAINT_METHODS: [&str; 7] = [
+    "read",
+    "read_uniform",
+    "filter",
+    "and_lanes",
+    "ballot",
+    "diverge",
+    "diverge_mask",
+];
+
+/// Free functions that produce per-lane values.
+const TAINT_FNS: [&str; 3] = ["lanes_from_fn", "from_fn", "lane_id"];
+
+/// Warp-wide reductions: a call to one of these *after* a taint source
+/// in the same expression collapses it to a uniform value.
+const LAUNDER_METHODS: [&str; 9] = [
+    "any_lane",
+    "all_lanes",
+    "count",
+    "max",
+    "min",
+    "sum",
+    "fold",
+    "read_broadcast",
+    "shfl",
+];
+
+/// Per-function variable environment, built flow-insensitively (a name
+/// tainted by any assignment stays tainted — sound for the warp kernels,
+/// which never re-purpose a per-lane name as uniform).
+#[derive(Debug, Default)]
+pub struct VarEnv {
+    pub ctx: String,
+    pub tainted: HashSet<String>,
+    pub masks: HashSet<String>,
+    /// `let name = <expr>` bindings (single-name lets only), used by the
+    /// alias pass to resolve index expressions.
+    pub bindings: HashMap<String, Vec<Token>>,
+    /// Local variables holding a `SharedBuf`.
+    pub shared_locals: HashSet<String>,
+}
+
+/// Summary of a helper whose body is a single `lanes_from_fn(|v| expr)`:
+/// the alias pass inlines these to resolve index residues (`slot_idx`).
+#[derive(Debug, Clone)]
+pub struct LanesSummary {
+    pub closure_var: String,
+    pub expr: Vec<Token>,
+}
+
+/// Cross-file function summaries, computed to a fixpoint over the call
+/// edges that pass a `WarpCtx` along. Functions are keyed by bare name:
+/// collisions (e.g. `read` on every buffer type) are harmless because
+/// every implementation charges, and unknown callees default in the
+/// quiet direction for each consumer.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    /// `true` iff the function charges simulated time on some path
+    /// (directly or via a ctx-passing call).
+    pub charges: HashMap<String, bool>,
+    /// `true` iff the function may execute a warp fence/sync.
+    pub fences: HashMap<String, bool>,
+    pub lanes_exprs: HashMap<String, LanesSummary>,
+}
+
+impl Summaries {
+    /// Does a call to `name` charge? Unknown callees are assumed to
+    /// charge (quiet for the time-charge pass).
+    pub fn call_charges(&self, name: Option<&str>) -> bool {
+        match name {
+            Some(n) => self.charges.get(n).copied().unwrap_or(true),
+            None => true,
+        }
+    }
+
+    /// May a call to `name` fence? Unknown callees are assumed not to
+    /// (quiet for the barrier pass).
+    pub fn call_fences(&self, name: Option<&str>) -> bool {
+        match name {
+            Some(n) => self.fences.get(n).copied().unwrap_or(false),
+            None => false,
+        }
+    }
+}
+
+/// Build cross-file summaries from every parsed function.
+pub fn build_summaries(fns: &[&FnDef]) -> Summaries {
+    let mut s = Summaries::default();
+    // Seed: direct charges/fences per function. Only kernel functions
+    // (those with a `&mut WarpCtx` parameter) can be the target of a
+    // ctx-passing call, so only they enter the charge/fence maps — a
+    // host-side namesake (e.g. a journal `flush`) must not shadow a
+    // kernel. Same-name kernels merge with OR (conservative).
+    let mut calls: HashMap<String, Vec<String>> = HashMap::new();
+    for f in fns {
+        if let Some(sum) = lanes_summary(&f.body_toks) {
+            s.lanes_exprs.insert(f.name.clone(), sum);
+        }
+        if !f.is_kernel() {
+            continue;
+        }
+        let ctx = f.ctx_param.as_deref().unwrap_or("ctx");
+        let charge = s.charges.entry(f.name.clone()).or_insert(false);
+        *charge = *charge || has_direct_charge(&f.body_toks, ctx);
+        let fence = s.fences.entry(f.name.clone()).or_insert(false);
+        *fence = *fence || has_direct_fence(&f.body_toks, ctx);
+        let callees: Vec<String> = collect_ctx_calls(&f.body_toks, ctx)
+            .into_iter()
+            .filter_map(|c| c.callee)
+            .collect();
+        calls.entry(f.name.clone()).or_default().extend(callees);
+    }
+    // Fixpoint: propagate over ctx-passing call edges.
+    loop {
+        let mut changed = false;
+        for (name, callees) in &calls {
+            for callee in callees {
+                let callee_charges = s.charges.get(callee).copied().unwrap_or(true);
+                let callee_fences = s.fences.get(callee).copied().unwrap_or(false);
+                if callee_charges && !s.charges[name] {
+                    s.charges.insert(name.clone(), true);
+                    changed = true;
+                }
+                if callee_fences && !s.fences[name] {
+                    s.fences.insert(name.clone(), true);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    s
+}
+
+/// Extract a [`LanesSummary`] if the body is one `lanes_from_fn` call.
+fn lanes_summary(body: &[Token]) -> Option<LanesSummary> {
+    let pos = body.iter().position(|t| t.is_ident("lanes_from_fn"))?;
+    // Everything before must be path/`return` noise.
+    if !body[..pos]
+        .iter()
+        .all(|t| t.kind == TokKind::Ident && t.text != "fn" || t.is("::"))
+    {
+        return None;
+    }
+    let open = pos + 1;
+    if body.get(open).is_none_or(|t| !t.is("(")) {
+        return None;
+    }
+    let close = crate::parse::match_delim(body, open);
+    // The call must consume the rest of the body (modulo a `;`).
+    if body[close..].iter().any(|t| !t.is(";")) {
+        return None;
+    }
+    // Inside: `| v | expr`.
+    let inner = &body[open + 1..close.saturating_sub(1)];
+    if inner.len() < 3 || !inner[0].is("|") || inner[1].kind != TokKind::Ident || !inner[2].is("|")
+    {
+        return None;
+    }
+    Some(LanesSummary {
+        closure_var: inner[1].text.clone(),
+        expr: inner[3..].to_vec(),
+    })
+}
+
+/// One `f(.., ctx, ..)` call site: the callee name (None for tuples,
+/// macros or other anonymous paren groups) and the token index of the
+/// `ctx` argument.
+#[derive(Debug)]
+pub struct CtxCall {
+    pub callee: Option<String>,
+    pub tok_idx: usize,
+}
+
+/// Find every place `ctx` is passed as an argument (by value or `&mut`).
+/// `ctx.method(...)` receiver positions are not arguments and are
+/// excluded naturally (the next token is `.`).
+pub fn collect_ctx_calls(toks: &[Token], ctx: &str) -> Vec<CtxCall> {
+    let mut out = Vec::new();
+    let mut stack: Vec<Option<String>> = Vec::new();
+    for i in 0..toks.len() {
+        match toks[i].text.as_str() {
+            "(" => {
+                let callee = if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                    Some(toks[i - 1].text.clone())
+                } else {
+                    None
+                };
+                stack.push(callee);
+            }
+            ")" => {
+                stack.pop();
+            }
+            _ => {
+                if toks[i].is_ident(ctx)
+                    && i > 0
+                    && matches!(toks[i - 1].text.as_str(), "(" | "," | "&" | "mut")
+                    && toks.get(i + 1).is_some_and(|t| t.is(",") || t.is(")"))
+                {
+                    if let Some(top) = stack.last() {
+                        out.push(CtxCall {
+                            callee: top.clone(),
+                            tok_idx: i,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Does this token slice contain a direct `ctx.<charging-method>(` call?
+pub fn has_direct_charge(toks: &[Token], ctx: &str) -> bool {
+    ctx_method_at(toks, ctx, &CHARGE_METHODS).is_some()
+}
+
+/// Does this token slice contain a direct `ctx.warp_fence()`/`ctx.sync(`?
+pub fn has_direct_fence(toks: &[Token], ctx: &str) -> bool {
+    ctx_method_at(toks, ctx, &FENCE_METHODS).is_some()
+}
+
+/// First token index of a `ctx.<m>(` call with `m` in `methods`.
+pub fn ctx_method_at(toks: &[Token], ctx: &str, methods: &[&str]) -> Option<usize> {
+    (0..toks.len()).find(|&i| {
+        toks[i].is_ident(ctx)
+            && toks.get(i + 1).is_some_and(|t| t.is("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && methods.contains(&t.text.as_str()))
+            && toks.get(i + 3).is_some_and(|t| t.is("("))
+    })
+}
+
+/// Does this statement charge simulated time — directly, or via a call
+/// that threads `ctx` into a (transitively) charging callee?
+pub fn stmt_charges(toks: &[Token], env: &VarEnv, sums: &Summaries) -> bool {
+    if has_direct_charge(toks, &env.ctx) {
+        return true;
+    }
+    collect_ctx_calls(toks, &env.ctx)
+        .iter()
+        .any(|c| sums.call_charges(c.callee.as_deref()))
+}
+
+/// Why an expression is lane-tainted: the source token and a label.
+#[derive(Debug, Clone)]
+pub struct TaintWitness {
+    pub source: String,
+    pub line: usize,
+}
+
+/// Is this expression lane-tainted (per-lane-varying) — and if so, why?
+/// Returns the first source not neutralized by a later reduction.
+pub fn expr_taint(toks: &[Token], env: &VarEnv) -> Option<TaintWitness> {
+    // Each reduction call neutralizes every source token before the
+    // close of its argument list: both the receiver chain before it
+    // (`mask.any_lane()`) and the per-lane arguments inside it
+    // (`buf.read_broadcast(ctx, warp, 0)` — `warp` is laundered too).
+    let launder_end: Vec<usize> = (0..toks.len())
+        .filter(|&i| {
+            toks[i].kind == TokKind::Ident
+                && LAUNDER_METHODS.contains(&toks[i].text.as_str())
+                && i > 0
+                && toks[i - 1].is(".")
+                && toks.get(i + 1).is_some_and(|t| t.is("("))
+        })
+        .map(|i| crate::parse::match_delim(toks, i + 1))
+        .collect();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let is_source = env.tainted.contains(&t.text)
+            || TAINT_FNS.contains(&t.text.as_str())
+            || (TAINT_METHODS.contains(&t.text.as_str())
+                && i > 0
+                && toks[i - 1].is(".")
+                && toks.get(i + 1).is_some_and(|t| t.is("(")));
+        if is_source && !launder_end.iter().any(|&end| i < end) {
+            return Some(TaintWitness {
+                source: t.text.clone(),
+                line: t.line,
+            });
+        }
+    }
+    None
+}
+
+/// Does this expression produce a `Mask`?
+pub fn expr_is_mask(toks: &[Token], env: &VarEnv) -> bool {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_ident("Mask") {
+            return true;
+        }
+        if t.kind == TokKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "filter" | "and_lanes" | "ballot" | "diverge" | "diverge_mask"
+            )
+            && i > 0
+            && toks[i - 1].is(".")
+        {
+            return true;
+        }
+        if env.masks.contains(&t.text) && toks.get(i + 1).is_none_or(|n| !n.is("(")) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Build the variable environment for one kernel function. Runs the
+/// statement walk twice so names tainted late (e.g. loop-carried
+/// updates) propagate into earlier classifications.
+pub fn build_env(f: &FnDef) -> VarEnv {
+    let mut env = VarEnv {
+        ctx: f.ctx_param.clone().unwrap_or_else(|| "ctx".into()),
+        ..VarEnv::default()
+    };
+    for (name, ty) in &f.params {
+        if ty.contains("Mask") {
+            env.masks.insert(name.clone());
+            env.tainted.insert(name.clone());
+        } else if ty.contains("Lanes") {
+            env.tainted.insert(name.clone());
+        }
+    }
+    for _ in 0..2 {
+        walk_bindings(&f.body, &mut env);
+    }
+    env
+}
+
+fn walk_bindings(stmts: &[Stmt], env: &mut VarEnv) {
+    for s in stmts {
+        match s {
+            Stmt::Let { names, init, .. } => {
+                match init {
+                    LetInit::Expr(toks) => {
+                        let tainted = expr_taint(toks, env).is_some();
+                        let mask = expr_is_mask(toks, env);
+                        let shared = toks
+                            .windows(2)
+                            .any(|w| w[0].is_ident("SharedBuf") && w[1].is("::"));
+                        for n in names {
+                            if tainted {
+                                env.tainted.insert(n.clone());
+                            }
+                            if mask {
+                                env.masks.insert(n.clone());
+                            }
+                            if shared {
+                                env.shared_locals.insert(n.clone());
+                            }
+                        }
+                        if names.len() == 1 && !toks.is_empty() {
+                            env.bindings.insert(names[0].clone(), toks.to_vec());
+                        }
+                    }
+                    LetInit::If {
+                        cond,
+                        then_b,
+                        else_b,
+                    } => {
+                        // The binding is the branch tails; approximate:
+                        // tainted if the condition or either branch
+                        // mentions taint.
+                        let any_taint = expr_taint(cond, env).is_some()
+                            || block_mentions_taint(then_b, env)
+                            || block_mentions_taint(else_b, env);
+                        for n in names {
+                            if any_taint {
+                                env.tainted.insert(n.clone());
+                            }
+                        }
+                        walk_bindings(then_b, env);
+                        walk_bindings(else_b, env);
+                    }
+                }
+            }
+            // Plain reassignment `x = expr;` updates taint.
+            Stmt::Expr { toks, .. }
+                if toks.len() > 2 && toks[0].kind == TokKind::Ident && toks[1].is("=") =>
+            {
+                if expr_taint(&toks[2..], env).is_some() {
+                    env.tainted.insert(toks[0].text.clone());
+                }
+                if expr_is_mask(&toks[2..], env) {
+                    env.masks.insert(toks[0].text.clone());
+                }
+            }
+            Stmt::If { then_b, else_b, .. } => {
+                walk_bindings(then_b, env);
+                walk_bindings(else_b, env);
+            }
+            Stmt::While { body, .. }
+            | Stmt::For { body, .. }
+            | Stmt::Loop { body, .. }
+            | Stmt::Block { body, .. } => walk_bindings(body, env),
+            Stmt::ForLane { var, body, .. } => {
+                env.tainted.insert(var.clone());
+                walk_bindings(body, env);
+            }
+            Stmt::Match { arms, .. } => {
+                for a in arms {
+                    walk_bindings(a, env);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn block_mentions_taint(stmts: &[Stmt], env: &VarEnv) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Let {
+            init: LetInit::Expr(toks),
+            ..
+        }
+        | Stmt::Expr { toks, .. } => expr_taint(toks, env).is_some(),
+        _ => true, // nested control flow: assume tainted (quiet enough)
+    })
+}
+
+/// Text of an expression for findings.
+pub fn expr_text(toks: &[Token]) -> String {
+    let mut s = render(toks);
+    if s.len() > 80 {
+        s.truncate(77);
+        s.push_str("...");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse_file;
+
+    fn env_of(src: &str) -> VarEnv {
+        let facts = parse_file(src);
+        build_env(&facts.fns[0])
+    }
+
+    #[test]
+    fn reductions_launder_taint() {
+        let env = env_of(
+            "fn k(ctx: &mut WarpCtx, live: Mask) {
+                let per_lane = lanes_from_fn(|l| l * 2);
+                let uniform = live.lanes().map(|l| x[l]).max().unwrap_or(0);
+            }",
+        );
+        assert!(env.tainted.contains("per_lane"));
+        assert!(!env.tainted.contains("uniform"));
+        assert!(expr_taint(&lex("live.any_lane()"), &env).is_none());
+        assert!(expr_taint(&lex("per_lane"), &env).is_some());
+    }
+
+    #[test]
+    fn diverge_tuple_binds_masks() {
+        let env = env_of(
+            "fn k(ctx: &mut WarpCtx, live: Mask) {
+                let (cont, done) = ctx.diverge(live, cond);
+            }",
+        );
+        assert!(env.masks.contains("cont") && env.masks.contains("done"));
+        assert!(env.tainted.contains("cont"));
+    }
+
+    #[test]
+    fn ctx_calls_and_charges() {
+        let toks = lex("self.flush(ctx, warp); other(1, 2); ctx.warp_fence();");
+        let calls = collect_ctx_calls(&toks, "ctx");
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].callee.as_deref(), Some("flush"));
+        assert!(!has_direct_charge(&toks, "ctx"));
+        assert!(has_direct_fence(&toks, "ctx"));
+        assert!(has_direct_charge(&lex("ctx.loop_head(live)"), "ctx"));
+    }
+
+    #[test]
+    fn lanes_summaries_resolve() {
+        let src = "impl Q { fn slot_idx(&self, slot: Lanes<usize>) -> Lanes<usize> {
+            lanes_from_fn(|l| slot[l] * WARP_SIZE + l)
+        } }";
+        let facts = parse_file(src);
+        let refs: Vec<&FnDef> = facts.fns.iter().collect();
+        let sums = build_summaries(&refs);
+        let s = sums.lanes_exprs.get("slot_idx").expect("summary");
+        assert_eq!(s.closure_var, "l");
+    }
+}

@@ -1,0 +1,159 @@
+//! Seeded-defect fixture corpus.
+//!
+//! Every file under `fixtures/` carries a header comment stating either a
+//! seeded defect with its `EXPECT: <rule> at line N.` marker, or
+//! `EXPECT: clean.` for the false-positive traps that mirror idioms the
+//! real kernels rely on. The analyzer must detect 100% of the seeded
+//! defects — with the right rule at the right line, and nothing else —
+//! and stay silent on every trap.
+
+use analyze::{analyze_sources, RULE_ALIAS, RULE_BARRIER, RULE_CHARGE, RULE_TIME};
+
+fn run_fixture(name: &str) -> Vec<(String, usize)> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let analysis = analyze_sources(&[(name.to_string(), text)]);
+    analysis
+        .findings
+        .iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect()
+}
+
+/// Assert the fixture yields exactly one finding with the given rule/line.
+fn expect_defect(name: &str, rule: &str, line: usize) {
+    let got = run_fixture(name);
+    assert_eq!(
+        got,
+        vec![(rule.to_string(), line)],
+        "{name}: expected exactly [{rule} at line {line}], got {got:?}"
+    );
+}
+
+/// Assert the fixture analyzes clean (false-positive trap).
+fn expect_clean(name: &str) {
+    let got = run_fixture(name);
+    assert!(got.is_empty(), "{name}: expected clean, got {got:?}");
+}
+
+// ---- seeded defects: barrier-divergence ---------------------------------
+
+#[test]
+fn fence_in_tainted_if() {
+    expect_defect("fence_in_tainted_if.rs", RULE_BARRIER, 9);
+}
+
+#[test]
+fn fence_in_tainted_while() {
+    expect_defect("fence_in_tainted_while.rs", RULE_BARRIER, 9);
+}
+
+#[test]
+fn fence_in_lane_loop() {
+    expect_defect("fence_in_lane_loop.rs", RULE_BARRIER, 9);
+}
+
+#[test]
+fn fence_via_callee() {
+    expect_defect("fence_via_callee.rs", RULE_BARRIER, 10);
+}
+
+// ---- seeded defects: shared-alias ---------------------------------------
+
+#[test]
+fn alias_nonpartitioned_write() {
+    expect_defect("alias_nonpartitioned_write.rs", RULE_ALIAS, 11);
+}
+
+#[test]
+fn alias_uniform_scatter() {
+    expect_defect("alias_uniform_scatter.rs", RULE_ALIAS, 11);
+}
+
+#[test]
+fn alias_unfenced_broadcast() {
+    expect_defect("alias_unfenced_broadcast.rs", RULE_ALIAS, 12);
+}
+
+// ---- seeded defects: time-charge / charge-divergence --------------------
+
+#[test]
+fn uncharged_divergent_loop() {
+    expect_defect("uncharged_divergent_loop.rs", RULE_TIME, 9);
+}
+
+#[test]
+fn uncharged_branch_path() {
+    expect_defect("uncharged_branch_path.rs", RULE_TIME, 10);
+}
+
+#[test]
+fn uncharged_divergence() {
+    expect_defect("uncharged_divergence.rs", RULE_CHARGE, 8);
+}
+
+// ---- false-positive traps: real-kernel idioms must pass -----------------
+
+#[test]
+fn trap_vote_protocol() {
+    expect_clean("trap_vote_protocol.rs");
+}
+
+#[test]
+fn trap_partitioned_writes() {
+    expect_clean("trap_partitioned_writes.rs");
+}
+
+#[test]
+fn trap_host_shape_loop() {
+    expect_clean("trap_host_shape_loop.rs");
+}
+
+#[test]
+fn trap_launcher_closure() {
+    expect_clean("trap_launcher_closure.rs");
+}
+
+#[test]
+fn trap_uniform_loop_charged() {
+    expect_clean("trap_uniform_loop_charged.rs");
+}
+
+// ---- corpus hygiene: every fixture on disk is covered above -------------
+
+#[test]
+fn corpus_is_fully_covered() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    on_disk.sort();
+    let mut covered = vec![
+        "alias_nonpartitioned_write.rs",
+        "alias_unfenced_broadcast.rs",
+        "alias_uniform_scatter.rs",
+        "fence_in_lane_loop.rs",
+        "fence_in_tainted_if.rs",
+        "fence_in_tainted_while.rs",
+        "fence_via_callee.rs",
+        "trap_host_shape_loop.rs",
+        "trap_launcher_closure.rs",
+        "trap_partitioned_writes.rs",
+        "trap_uniform_loop_charged.rs",
+        "trap_vote_protocol.rs",
+        "uncharged_branch_path.rs",
+        "uncharged_divergence.rs",
+        "uncharged_divergent_loop.rs",
+    ];
+    covered.sort();
+    assert_eq!(
+        on_disk, covered,
+        "fixture on disk without a test (or vice versa)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Clean-pass proof over every real kernel file: the analyzer must
+//! report zero findings on the shipped kernels with *no* allowlist.
+//! (The `lint-allow.txt` entries that remain are for the token lint's
+//! rules, not the analyzer's — the path-sensitive passes prove the
+//! kernels clean outright.)
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze has the workspace root two levels up")
+        .to_path_buf()
+}
+
+/// The same roots `cargo xtask analyze` scans.
+const ROOTS: [&str; 3] = ["crates/core/src/gpu", "crates/simt/src", "crates/knn/src"];
+
+#[test]
+fn real_kernels_analyze_clean() {
+    let root = workspace_root();
+    let roots: Vec<PathBuf> = ROOTS.iter().map(|r| root.join(r)).collect();
+    let refs: Vec<&Path> = roots.iter().map(PathBuf::as_path).collect();
+    let analysis = analyze::analyze_tree(&refs).expect("kernel sources readable");
+    assert!(
+        analysis.files_scanned >= 10,
+        "expected the kernel tree, scanned only {} files",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.kernels >= 20,
+        "expected dozens of kernel fns, found {}",
+        analysis.kernels
+    );
+    let rendered: Vec<String> = analysis.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        analysis.findings.is_empty(),
+        "real kernels must analyze clean, got {} finding(s):\n{}",
+        analysis.findings.len(),
+        rendered.join("\n")
+    );
+}

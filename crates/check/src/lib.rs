@@ -14,10 +14,12 @@
 //!   and, under the workspace `sanitize` feature, at flush/merge
 //!   boundaries.
 //! * [`lint`] — a token-level static scanner enforcing the
-//!   kernel-authoring rules (divergence must be charged, divergent loops
-//!   need `loop_head`, no host-side buffer access inside kernels, no
-//!   wall-clock time, no `unwrap` in kernel hot paths), with an
+//!   kernel-authoring rules (no host-side buffer access inside kernels,
+//!   no wall-clock time, no `unwrap` in kernel hot paths), with an
 //!   allowlist for deliberate exceptions. Run it via `cargo xtask lint`.
+//!   The divergence/time-accounting rules formerly approximated here at
+//!   the token level are proved path-sensitively by the `analyze` crate
+//!   (`cargo xtask analyze`); the lint delegates to it.
 //!
 //! The third layer of the tooling — the intra-warp race sanitizer —
 //! lives in `simt::sanitize` (it must instrument the memory buffers

@@ -18,13 +18,18 @@
 //!
 //! | rule | meaning |
 //! |------|---------|
-//! | `charge-divergence` | a kernel that branches on per-lane data (an `if` over `x[l]`, or mask derivation via `.filter(..)`/`.and_lanes(..)`) must charge the context — `ctx.diverge`, `ctx.diverge_mask`, `ctx.ballot` or `ctx.op` |
-//! | `loop-head` | a divergent loop (`while … any_lane() …`) must call `ctx.loop_head(..)` every trip |
 //! | `no-host-access` | kernel code must not reach around the costed buffer APIs via host-side accessors (`.peek(`, `.poke(`, `.lane_vec(`, `.as_slice(`, `.as_mut_slice(`) |
 //! | `no-wall-clock` | kernel sources must not read host time (`std::time`, `Instant`, `SystemTime`) — simulated time comes from the timing model |
 //! | `no-unwrap` | kernel hot paths must not `.unwrap()` / `.expect(` — fail with a diagnostic (`panic!`/`assert!` with context) or handle the case |
 //! | `no-unwrap-io` | host-side I/O and parse paths (see [`lint_host_source`], applied to user-facing crates like the CLI) must not `.unwrap()` / `.expect(` anywhere outside tests — user input failures must surface as typed errors and exit codes, not panics |
 //! | `no-row-alloc` | host hot paths (see [`lint_row_alloc_source`], applied to `crates/knn/src`) must not materialize distance buffers as `Vec<Vec<f32>>` — a heap allocation per query row; use a flat `knn::block::FlatMatrix` (or a reused scratch slice) instead |
+//!
+//! The former token-level `charge-divergence` and `loop-head` rules have
+//! been superseded by the path-sensitive CFG analyzer in
+//! `crates/analyze` (`cargo xtask analyze`), whose `charge-divergence`
+//! and `time-charge` rules prove the same properties per execution path
+//! instead of per token window. Their identifiers remain valid in the
+//! allowlist (see [`ANALYZER_RULES`]) because both tools share it.
 //!
 //! Deliberate exceptions live in an allowlist file (`lint-allow.txt` at
 //! the workspace root): one entry per line, `rule | file-suffix |
@@ -35,15 +40,25 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-/// The stable rule identifiers, in reporting order.
-pub const RULES: [&str; 7] = [
-    "charge-divergence",
-    "loop-head",
+/// The stable token-rule identifiers, in reporting order.
+pub const RULES: [&str; 5] = [
     "no-host-access",
     "no-wall-clock",
     "no-unwrap",
     "no-unwrap-io",
     "no-row-alloc",
+];
+
+/// Rule identifiers owned by the CFG analyzer (`crates/analyze`). The
+/// allowlist file is shared between `cargo xtask lint` and `cargo xtask
+/// analyze`, so entries naming these rules are valid too. Kept as a
+/// hardcoded mirror of `analyze::RULES` (checked against it by the
+/// xtask) so this crate stays dependency-free.
+pub const ANALYZER_RULES: [&str; 4] = [
+    "barrier-divergence",
+    "shared-alias",
+    "time-charge",
+    "charge-divergence",
 ];
 
 /// One lint finding.
@@ -109,12 +124,13 @@ pub fn parse_allowlist(text: &str) -> Result<Vec<AllowEntry>, String> {
                 i + 1
             ));
         }
-        if !RULES.contains(&parts[0]) {
+        if !RULES.contains(&parts[0]) && !ANALYZER_RULES.contains(&parts[0]) {
             return Err(format!(
-                "allowlist line {}: unknown rule '{}' (known: {})",
+                "allowlist line {}: unknown rule '{}' (known: {}, {})",
                 i + 1,
                 parts[0],
-                RULES.join(", ")
+                RULES.join(", "),
+                ANALYZER_RULES.join(", ")
             ));
         }
         entries.push(AllowEntry {
@@ -289,63 +305,9 @@ pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
             }
         }
 
-        // loop-head: divergent `while … any_lane() …` loops must charge
-        // a loop_head every trip.
-        for (cond_off, body_range) in while_loops(body) {
-            let cond_end = body[cond_off..]
-                .find('{')
-                .map(|p| cond_off + p)
-                .unwrap_or(body.len());
-            let cond = &body[cond_off..cond_end];
-            if cond.contains("any_lane") {
-                let loop_body = &body[body_range.0..body_range.1];
-                if !loop_body.contains("loop_head(") {
-                    let line = line_of(body_off + cond_off);
-                    out.push(Violation {
-                        file: file.to_string(),
-                        line,
-                        rule: "loop-head",
-                        message: format!(
-                            "kernel fn '{}' has a divergent loop (condition involves \
-                             any_lane) that never calls ctx.loop_head(live); each trip \
-                             must charge the warp-wide loop overhead",
-                            kf.name
-                        ),
-                        line_text: text_of(line),
-                    });
-                }
-            }
-        }
-
-        // charge-divergence: per-lane branching with no cost charged at
-        // all. Mask derivation (`.filter(`, `.and_lanes(`) and `if`
-        // conditions indexing per-lane state (`[l]`, `.get(l)`) count as
-        // branching; `diverge(`, `diverge_mask(`, `ballot(` or `.op(`
-        // anywhere in the fn counts as charging.
-        let branches = body.contains(".filter(")
-            || body.contains(".and_lanes(")
-            || if_conditions(body)
-                .iter()
-                .any(|c| c.contains("[l]") || c.contains(".get(l)"));
-        let charges = body.contains("diverge(")
-            || body.contains("diverge_mask(")
-            || body.contains("ballot(")
-            || body.contains(".op(");
-        if branches && !charges {
-            let line = line_of(kf.sig_start);
-            out.push(Violation {
-                file: file.to_string(),
-                line,
-                rule: "charge-divergence",
-                message: format!(
-                    "kernel fn '{}' branches on per-lane data but never charges the \
-                     context (no ctx.diverge/diverge_mask/ballot/op); data-dependent \
-                     control flow must be accounted",
-                    kf.name
-                ),
-                line_text: text_of(line),
-            });
-        }
+        // Divergence/time accounting (the former token-level
+        // `charge-divergence` and `loop-head` rules) is now proved
+        // path-sensitively by the CFG analyzer — see `crates/analyze`.
     }
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -426,7 +388,6 @@ pub fn lint_row_alloc_source(file: &str, src: &str) -> Vec<Violation> {
 
 struct KernelFn {
     name: String,
-    sig_start: usize,
     body_start: usize,
     body_end: usize,
 }
@@ -463,50 +424,9 @@ fn kernel_fns(masked: &str) -> Vec<KernelFn> {
         };
         out.push(KernelFn {
             name,
-            sig_start: off,
             body_start,
             body_end,
         });
-    }
-    out
-}
-
-/// `while` loops in `text`: returns `(condition_offset, (body_start,
-/// body_end))` pairs.
-fn while_loops(text: &str) -> Vec<(usize, (usize, usize))> {
-    let mut out = Vec::new();
-    for off in find_all(text, "while ") {
-        if off > 0 {
-            let prev = text.as_bytes()[off - 1];
-            if prev.is_ascii_alphanumeric() || prev == b'_' {
-                continue;
-            }
-        }
-        let Some(brace_rel) = text[off..].find('{') else {
-            continue;
-        };
-        let brace = off + brace_rel;
-        if let Some(end) = match_brace(text, brace) {
-            out.push((off + 6, (brace, end)));
-        }
-    }
-    out
-}
-
-/// The condition texts of `if ` expressions in `text` (from `if` to the
-/// opening brace).
-fn if_conditions(text: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    for off in find_all(text, "if ") {
-        if off > 0 {
-            let prev = text.as_bytes()[off - 1];
-            if prev.is_ascii_alphanumeric() || prev == b'_' {
-                continue;
-            }
-        }
-        if let Some(brace_rel) = text[off..].find('{') {
-            out.push(text[off + 3..off + brace_rel].to_string());
-        }
     }
     out
 }
@@ -740,42 +660,17 @@ mod tests {
     }
 
     #[test]
-    fn divergent_loop_without_loop_head_flagged() {
-        let bad = "fn kern(ctx: &mut WarpCtx) {\n    ctx.op(m, 1);\n    while live.any_lane() {\n        step();\n    }\n}\n";
-        let v = lint_source("f.rs", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].rule, "loop-head");
-        assert_eq!(v[0].line, 3);
-        let good = bad.replace("step();", "ctx.loop_head(live); step();");
-        assert!(lint_source("f.rs", &good).is_empty());
-    }
-
-    #[test]
-    fn uniform_while_loop_is_fine() {
-        let src = "fn kern(ctx: &mut WarpCtx) {\n    ctx.op(m, 1);\n    while i < n {\n        i += 1;\n    }\n}\n";
-        assert!(lint_source("f.rs", src).is_empty());
-    }
-
-    #[test]
-    fn uncharged_per_lane_branch_flagged() {
-        let bad = "fn kern(ctx: &mut WarpCtx) {\n    for l in m.lanes() {\n        if d[l] < q[l] { out[l] = d[l]; }\n    }\n}\n";
-        let v = lint_source("f.rs", bad);
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].rule, "charge-divergence");
-        // charging via ctx.op is enough (branch-free select idiom)
-        let good = bad.replace("for l", "ctx.op(m, 1);\n    for l");
-        assert!(lint_source("f.rs", &good).is_empty());
-    }
-
-    #[test]
-    fn mask_derivation_counts_as_branching() {
-        let bad =
-            "fn kern(ctx: &mut WarpCtx) {\n    let m2 = warp.and_lanes(&pred);\n    go(m2);\n}\n";
-        let v = lint_source("f.rs", bad);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "charge-divergence");
-        let good = bad.replace("go(m2);", "let (t, e) = ctx.diverge_mask(warp, m2); go(t);");
-        assert!(lint_source("f.rs", &good).is_empty());
+    fn divergence_rules_are_delegated_to_the_analyzer() {
+        // The old token-level loop-head / charge-divergence heuristics
+        // are gone: uncharged divergent control flow no longer trips the
+        // token lint (the CFG analyzer owns those proofs now), but the
+        // rule ids survive in the allowlist vocabulary.
+        let bad = "fn kern(ctx: &mut WarpCtx) {\n    while live.any_lane() {\n        step();\n    }\n}\n";
+        assert!(lint_source("f.rs", bad).is_empty());
+        assert!(ANALYZER_RULES.contains(&"time-charge"));
+        assert!(ANALYZER_RULES.contains(&"charge-divergence"));
+        assert!(!RULES.contains(&"loop-head"));
+        assert!(!RULES.contains(&"charge-divergence"));
     }
 
     #[test]
@@ -829,13 +724,15 @@ mod tests {
 
     #[test]
     fn allowlist_roundtrip() {
-        let text = "# comment\n\nloop-head | gpu/queues.rs | while next < k | uniform cascade\n";
+        // Analyzer-owned rules are valid allowlist vocabulary too: the
+        // file is shared between `xtask lint` and `xtask analyze`.
+        let text = "# comment\n\ntime-charge | gpu/queues.rs | while next < k | uniform cascade\n";
         let allow = parse_allowlist(text).unwrap();
         assert_eq!(allow.len(), 1);
         let v = Violation {
             file: "crates/core/src/gpu/queues.rs".into(),
             line: 1,
-            rule: "loop-head",
+            rule: "time-charge",
             message: String::new(),
             line_text: "        while next < k && live.any_lane() {".into(),
         };
@@ -846,6 +743,7 @@ mod tests {
         };
         assert!(!is_allowed(&other, &allow));
         assert!(parse_allowlist("bogus-rule | a | b | c").is_err());
-        assert!(parse_allowlist("loop-head | missing-fields").is_err());
+        assert!(parse_allowlist("loop-head | a | b | c").is_err());
+        assert!(parse_allowlist("time-charge | missing-fields").is_err());
     }
 }

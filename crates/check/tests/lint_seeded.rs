@@ -15,10 +15,6 @@ fn kernel(ctx: &mut WarpCtx, buf: &GlobalBuf<f32>) {
     let t = Instant::now();
     let v = buf.peek(0, 0);
     let x = opt.unwrap();
-    let m2 = warp.and_lanes(&pred);
-    while live.any_lane() {
-        step(m2);
-    }
 }
 "#;
 
@@ -72,14 +68,13 @@ fn row_alloc_rule_fires_on_seeded_hot_path() {
 #[test]
 fn allowlist_suppresses_only_the_named_line() {
     let allow =
-        parse_allowlist("loop-head | fixture.rs | while live.any_lane() | cost charged inside\n")
-            .unwrap();
+        parse_allowlist("no-unwrap | fixture.rs | opt.unwrap() | fixture exception\n").unwrap();
     let violations = lint_source("fixture.rs", SEEDED);
     let (suppressed, kept): (Vec<_>, Vec<_>) =
         violations.into_iter().partition(|v| is_allowed(v, &allow));
     assert_eq!(suppressed.len(), 1);
-    assert_eq!(suppressed[0].rule, "loop-head");
-    assert!(kept.iter().all(|v| v.rule != "loop-head"));
+    assert_eq!(suppressed[0].rule, "no-unwrap");
+    assert!(kept.iter().all(|v| v.rule != "no-unwrap"));
     assert!(!kept.is_empty());
 }
 
@@ -88,6 +83,6 @@ fn repo_allowlist_stays_well_formed() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../lint-allow.txt");
     let text = std::fs::read_to_string(path).expect("lint-allow.txt at workspace root");
     let entries = parse_allowlist(&text).expect("allowlist must parse");
-    assert_eq!(entries.len(), 8, "update this test when adding entries");
+    assert_eq!(entries.len(), 5, "update this test when adding entries");
     assert!(entries.iter().all(|e| !e.reason.is_empty()));
 }

@@ -1,0 +1,240 @@
+//! `cargo xtask analyze [--json PATH] [--markdown] [--verbose]` — the
+//! CFG-analyzer gate over the simulated-kernel sources.
+//!
+//! Runs the three path-sensitive passes from `crates/analyze`
+//! (barrier-divergence, shared-alias, time-charge/charge-divergence)
+//! over every kernel under [`ANALYZE_ROOTS`], filters the findings
+//! through the shared `lint-allow.txt` allowlist, and reports.
+//!
+//! * `--json PATH` writes the machine-readable findings report (schema
+//!   in [`analyze::report`]) — the CI job uploads it as an artifact.
+//! * `--markdown` prints a GitHub-flavored summary table to stdout for
+//!   `$GITHUB_STEP_SUMMARY`, like `benchdiff` and `slogate`.
+//! * `--verbose` also lists allowlisted (suppressed) findings.
+//!
+//! Exit codes: 0 clean, 1 on any non-allowlisted finding, 2 on unusable
+//! input (bad flags, malformed allowlist, unreadable sources).
+
+use std::path::{Path, PathBuf};
+
+use ::analyze::{to_json, Analysis, Finding};
+use check::lint::AllowEntry;
+
+/// Directories the analyzer scans, relative to the workspace root: all
+/// sources that define simulated kernels (fns taking `&mut WarpCtx`).
+/// Host-only files under these roots cost nothing — files without
+/// kernel fns contribute no findings by construction.
+pub const ANALYZE_ROOTS: [&str; 3] = ["crates/core/src/gpu", "crates/simt/src", "crates/knn/src"];
+
+const USAGE: &str = "usage: cargo xtask analyze [--json PATH] [--markdown] [--verbose]";
+
+/// Whether `f` is covered by an allowlist entry (same matching rule as
+/// the token lint: rule + file suffix + line substring).
+pub fn finding_allowed(f: &Finding, allow: &[AllowEntry]) -> bool {
+    allow.iter().any(|a| {
+        a.rule == f.rule
+            && f.file.ends_with(&a.file_suffix)
+            && f.line_text.contains(&a.line_substring)
+    })
+}
+
+/// Run the analyzer over the workspace tree, splitting findings into
+/// (kept, suppressed) per the allowlist. Paths in the report are
+/// workspace-relative.
+pub fn run_analysis(
+    root: &Path,
+    allow: &[AllowEntry],
+) -> std::io::Result<(Analysis, Vec<Finding>)> {
+    let roots: Vec<PathBuf> = ANALYZE_ROOTS.iter().map(|r| root.join(r)).collect();
+    let root_refs: Vec<&Path> = roots.iter().map(PathBuf::as_path).collect();
+    let mut analysis = ::analyze::analyze_tree(&root_refs)?;
+    for f in &mut analysis.findings {
+        if let Ok(rel) = Path::new(&f.file).strip_prefix(root) {
+            f.file = rel.display().to_string();
+        }
+    }
+    let (suppressed, kept): (Vec<Finding>, Vec<Finding>) = analysis
+        .findings
+        .drain(..)
+        .partition(|f| finding_allowed(f, allow));
+    analysis.findings = kept;
+    Ok((analysis, suppressed))
+}
+
+/// Render the markdown step summary.
+pub fn render_markdown(a: &Analysis, suppressed: &[Finding]) -> String {
+    let ok = a.findings.is_empty();
+    let mut s = format!(
+        "### kernel-analyze: {}\n\n{} files scanned, {} kernels, {} finding{}, {} allowlisted\n",
+        if ok { "OK" } else { "FAILED" },
+        a.files_scanned,
+        a.kernels,
+        a.findings.len(),
+        if a.findings.len() == 1 { "" } else { "s" },
+        suppressed.len()
+    );
+    if !ok {
+        s.push_str("\n| rule | location | function | message |\n|---|---|---|---|\n");
+        for f in &a.findings {
+            s.push_str(&format!(
+                "| `{}` | `{}:{}` | `{}` | {} |\n",
+                f.rule,
+                f.file,
+                f.line,
+                f.function,
+                f.message.replace('|', "\\|")
+            ));
+        }
+    }
+    s
+}
+
+/// Entry point for `cargo xtask analyze`. Returns the process exit code.
+pub fn run(args: &[String]) -> u8 {
+    let mut json_path: Option<String> = None;
+    let mut markdown = false;
+    let mut verbose = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    return 2;
+                };
+                json_path = Some(p.clone());
+            }
+            "--markdown" => markdown = true,
+            "--verbose" | "-v" => verbose = true,
+            other => {
+                eprintln!("unknown analyze flag '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+
+    let root = crate::workspace_root();
+    let allow = match crate::load_allowlist(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    // The token lint hardcodes a mirror of the analyzer's rule set so
+    // `check` stays dependency-free; fail loudly if they ever drift.
+    if check::lint::ANALYZER_RULES != ::analyze::RULES {
+        eprintln!(
+            "error: check::lint::ANALYZER_RULES {:?} is out of sync with analyze::RULES {:?}",
+            check::lint::ANALYZER_RULES,
+            ::analyze::RULES
+        );
+        return 2;
+    }
+    let (analysis, suppressed) = match run_analysis(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: failed to scan kernel sources: {e}");
+            return 2;
+        }
+    };
+
+    if let Some(path) = &json_path {
+        let json = to_json(&analysis, &suppressed);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: failed to write {path}: {e}");
+            return 2;
+        }
+    }
+    if verbose {
+        for f in &suppressed {
+            println!(
+                "allowed: {}:{} [{}] in `{}`",
+                f.file, f.line, f.rule, f.function
+            );
+        }
+    }
+    for f in &analysis.findings {
+        eprintln!("{f}");
+    }
+    if markdown {
+        print!("{}", render_markdown(&analysis, &suppressed));
+    } else {
+        println!(
+            "kernel analyze: {} files scanned, {} kernels, {} findings, {} allowlisted",
+            analysis.files_scanned,
+            analysis.kernels,
+            analysis.findings.len(),
+            suppressed.len()
+        );
+    }
+    if analysis.findings.is_empty() {
+        0
+    } else {
+        eprintln!(
+            "error: kernel analysis findings; fix them or add a justified \
+             entry to lint-allow.txt (see CONTRIBUTING.md)"
+        );
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzer_rule_mirror_stays_in_sync() {
+        assert_eq!(check::lint::ANALYZER_RULES, ::analyze::RULES);
+    }
+
+    #[test]
+    fn allowlist_matching_uses_rule_suffix_and_substring() {
+        let allow = check::lint::parse_allowlist(
+            "shared-alias | gpu/queues.rs | self.db.write(ctx, m, &idx, d) | reviewed\n",
+        )
+        .unwrap();
+        let f = Finding {
+            rule: "shared-alias",
+            file: "crates/core/src/gpu/queues.rs".into(),
+            line: 3,
+            end_line: 3,
+            function: "put".into(),
+            message: "m".into(),
+            line_text: "        self.db.write(ctx, m, &idx, d);".into(),
+            witness: vec![],
+        };
+        assert!(finding_allowed(&f, &allow));
+        let other = Finding {
+            rule: "barrier-divergence",
+            ..f.clone()
+        };
+        assert!(!finding_allowed(&other, &allow));
+    }
+
+    #[test]
+    fn markdown_summary_renders_ok_and_failed() {
+        let clean = Analysis {
+            files_scanned: 4,
+            kernels: 9,
+            findings: vec![],
+        };
+        assert!(render_markdown(&clean, &[]).starts_with("### kernel-analyze: OK"));
+        let failed = Analysis {
+            findings: vec![Finding {
+                rule: "time-charge",
+                file: "k.rs".into(),
+                line: 5,
+                end_line: 7,
+                function: "k".into(),
+                message: "uncharged loop".into(),
+                line_text: String::new(),
+                witness: vec![],
+            }],
+            ..Analysis::default()
+        };
+        let md = render_markdown(&failed, &[]);
+        assert!(md.starts_with("### kernel-analyze: FAILED"), "{md}");
+        assert!(md.contains("| `time-charge` | `k.rs:5` |"), "{md}");
+    }
+}

@@ -2,28 +2,42 @@
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the kernel-authoring lint ([`check::lint`]) over the
-//!   simulated-kernel sources (`crates/core/src/gpu/` and
-//!   `crates/simt/src/`), the host-path `no-unwrap-io` rule over the
-//!   user-facing CLI sources, and the `no-row-alloc` rule over the
-//!   `crates/knn` hot paths, filtered through the `lint-allow.txt`
-//!   allowlist at the workspace root. Exits non-zero on any
-//!   non-allowlisted violation; CI runs this on every push.
+//! * `lint [--markdown] [--verbose]` — run the kernel-authoring token
+//!   lint ([`check::lint`]) over the simulated-kernel sources
+//!   (`crates/core/src/gpu/` and `crates/simt/src/`), the host-path
+//!   `no-unwrap-io` rule over the user-facing CLI sources, and the
+//!   `no-row-alloc` rule over the `crates/knn` hot paths, filtered
+//!   through the `lint-allow.txt` allowlist at the workspace root. The
+//!   migrated divergence/time rules (`charge-divergence`, `time-charge`)
+//!   are delegated to the CFG analyzer and merged into the report, so
+//!   `lint` remains a superset of its pre-analyzer self. CI runs this on
+//!   every push.
+//! * `analyze [--json PATH] [--markdown] [--verbose]` — the full CFG
+//!   analyzer gate ([`analyze`] module): barrier-divergence,
+//!   shared-alias and time-charge proofs over every kernel, with a
+//!   machine-readable findings artifact.
 //! * `benchdiff OLD.json NEW.json [--tolerance PCT] [--markdown]` — the
 //!   perf-regression gate over `BENCH_native.json`-shaped reports
-//!   ([`benchdiff`]). Exits 1 on a regression beyond tolerance or a
-//!   failed invariant.
+//!   ([`benchdiff`]).
 //! * `slogate JOURNAL.jsonl --slo SPEC [--markdown]` — the CI latency
 //!   gate over per-query journals written by `knn-cli --journal-out`
-//!   ([`slogate`]). Exits 1 on a violated SLO clause.
+//!   ([`slogate`]).
+//!
+//! All subcommands share the exit-code convention: 0 clean, 1 findings
+//! (lint violations, analyzer findings, perf regressions, SLO
+//! violations), 2 unusable input (bad flags, malformed files).
 
+mod analyze;
 mod benchdiff;
 mod slogate;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use check::lint::{lint_host_tree, lint_row_alloc_tree, lint_tree, parse_allowlist, AllowEntry};
+use check::lint::{
+    lint_host_tree, lint_row_alloc_tree, lint_tree, parse_allowlist, AllowEntry, LintReport,
+    Violation,
+};
 
 /// Directories (or single files) the kernel lint scans, relative to the
 /// workspace root. Kernel code lives here; host-side library crates
@@ -63,39 +77,90 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Load and parse the shared allowlist. A missing file means nothing is
+/// exempt; a malformed file is an error (CI must fail loudly).
+fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    match std::fs::read_to_string(root.join(ALLOWLIST)) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Ok(Vec::new()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.iter().any(|a| a == "--verbose" || a == "-v")),
+        Some("lint") => ExitCode::from(lint(&args[1..])),
+        Some("analyze") => ExitCode::from(analyze::run(&args[1..])),
         Some("benchdiff") => ExitCode::from(benchdiff::run(&args[1..])),
         Some("slogate") => ExitCode::from(slogate::run(&args[1..])),
         Some(other) => {
             eprintln!("unknown xtask subcommand '{other}'");
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
         None => {
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
-const USAGE: &str = "usage: cargo xtask lint [--verbose]\n       \
+const USAGE: &str = "usage: cargo xtask lint [--markdown] [--verbose]\n       \
+     cargo xtask analyze [--json PATH] [--markdown] [--verbose]\n       \
      cargo xtask benchdiff OLD.json NEW.json [--tolerance PCT] [--markdown]\n       \
      cargo xtask slogate JOURNAL.jsonl --slo SPEC [--markdown]";
 
-fn lint(verbose: bool) -> ExitCode {
-    let root = workspace_root();
-    let allow: Vec<AllowEntry> = match std::fs::read_to_string(root.join(ALLOWLIST)) {
-        Ok(text) => match parse_allowlist(&text) {
-            Ok(entries) => entries,
-            Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::FAILURE;
-            }
+/// Render the lint outcome as a GitHub-flavored markdown summary for
+/// `$GITHUB_STEP_SUMMARY`, matching the benchdiff/slogate convention.
+fn render_lint_markdown(report: &LintReport) -> String {
+    let ok = report.violations.is_empty();
+    let mut s = format!(
+        "### kernel lint: {}\n\n{} files scanned, {} violation{}, {} allowlisted\n",
+        if ok { "OK" } else { "FAILED" },
+        report.files_scanned,
+        report.violations.len(),
+        if report.violations.len() == 1 {
+            ""
+        } else {
+            "s"
         },
-        Err(_) => Vec::new(), // no allowlist file: nothing is exempt
+        report.suppressed.len()
+    );
+    if !ok {
+        s.push_str("\n| rule | location | message |\n|---|---|---|\n");
+        for v in &report.violations {
+            s.push_str(&format!(
+                "| `{}` | `{}:{}` | {} |\n",
+                v.rule,
+                v.file,
+                v.line,
+                v.message.replace('|', "\\|")
+            ));
+        }
+    }
+    s
+}
+
+fn lint(args: &[String]) -> u8 {
+    let mut verbose = false;
+    let mut markdown = false;
+    for a in args {
+        match a.as_str() {
+            "--verbose" | "-v" => verbose = true,
+            "--markdown" => markdown = true,
+            other => {
+                eprintln!("unknown lint flag '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let root = workspace_root();
+    let allow = match load_allowlist(&root) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
     };
     let roots: Vec<PathBuf> = SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
     let root_refs: Vec<&Path> = roots.iter().map(PathBuf::as_path).collect();
@@ -103,7 +168,7 @@ fn lint(verbose: bool) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to scan kernel sources: {e}");
-            return ExitCode::FAILURE;
+            return 2;
         }
     };
     let host_roots: Vec<PathBuf> = HOST_SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
@@ -116,7 +181,7 @@ fn lint(verbose: bool) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: failed to scan host sources: {e}");
-            return ExitCode::FAILURE;
+            return 2;
         }
     }
     let alloc_roots: Vec<PathBuf> = ROW_ALLOC_SCAN_ROOTS.iter().map(|r| root.join(r)).collect();
@@ -129,7 +194,40 @@ fn lint(verbose: bool) -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: failed to scan hot-path sources: {e}");
-            return ExitCode::FAILURE;
+            return 2;
+        }
+    }
+    // Delegate the migrated divergence/time rules to the CFG analyzer
+    // and fold its charge-divergence/time-charge findings in, so `lint`
+    // still gates everything the old token rules gated (the remaining
+    // analyzer rules are owned by `cargo xtask analyze`).
+    match analyze::run_analysis(&root, &allow) {
+        Ok((analysis, suppressed)) => {
+            let migrated = [::analyze::RULE_CHARGE, ::analyze::RULE_TIME];
+            let to_violation = |f: &::analyze::Finding| Violation {
+                file: f.file.clone(),
+                line: f.line,
+                rule: f.rule,
+                message: format!("{} (in fn `{}`)", f.message, f.function),
+                line_text: f.line_text.clone(),
+            };
+            report.violations.extend(
+                analysis
+                    .findings
+                    .iter()
+                    .filter(|f| migrated.contains(&f.rule))
+                    .map(to_violation),
+            );
+            report.suppressed.extend(
+                suppressed
+                    .iter()
+                    .filter(|f| migrated.contains(&f.rule))
+                    .map(to_violation),
+            );
+        }
+        Err(e) => {
+            eprintln!("error: failed to run the CFG analyzer: {e}");
+            return 2;
         }
     }
     if verbose {
@@ -146,19 +244,23 @@ fn lint(verbose: bool) -> ExitCode {
         }
         eprintln!("{v}\n");
     }
-    println!(
-        "kernel lint: {} files scanned, {} violations, {} allowlisted",
-        report.files_scanned,
-        report.violations.len(),
-        report.suppressed.len()
-    );
+    if markdown {
+        print!("{}", render_lint_markdown(&report));
+    } else {
+        println!(
+            "kernel lint: {} files scanned, {} violations, {} allowlisted",
+            report.files_scanned,
+            report.violations.len(),
+            report.suppressed.len()
+        );
+    }
     if report.violations.is_empty() {
-        ExitCode::SUCCESS
+        0
     } else {
         eprintln!(
             "error: kernel-authoring violations found; fix them or add a \
              justified entry to {ALLOWLIST} (see CONTRIBUTING.md)"
         );
-        ExitCode::FAILURE
+        1
     }
 }
