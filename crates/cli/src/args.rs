@@ -5,6 +5,7 @@ use std::path::PathBuf;
 
 use knn::Metric;
 use kselect::QueueKind;
+use serve::{ArrivalProcess, QueuePolicy};
 
 /// Per-query journal options shared by the instrumented subcommands
 /// (`--journal-out FILE [--journal-sample P] [--journal-exemplars E]`).
@@ -28,6 +29,45 @@ impl Default for JournalArgs {
             exemplars: 16,
         }
     }
+}
+
+/// Fault rates parsed from `serve --fault-plan`
+/// (`aborts=R,hangs=R,bitflips=R,pcie-stall=R,pcie-corrupt=R`; any
+/// subset of keys, the rest default to zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultPlanArgs {
+    pub aborts: f64,
+    pub hangs: f64,
+    pub bitflips: f64,
+    pub pcie_stall: f64,
+    pub pcie_corrupt: f64,
+}
+
+/// Parse a `--fault-plan` spec: comma-separated `key=rate` pairs.
+pub fn parse_fault_plan(spec: &str) -> Result<FaultPlanArgs, String> {
+    let mut plan = FaultPlanArgs::default();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let Some((key, val)) = pair.split_once('=') else {
+            return Err(format!("--fault-plan entry `{pair}` is not key=rate"));
+        };
+        let rate: f64 = val
+            .parse()
+            .map_err(|_| format!("--fault-plan {key} rate `{val}` is not a number"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!(
+                "--fault-plan {key} rate must be in [0, 1], got {rate}"
+            ));
+        }
+        match key {
+            "aborts" => plan.aborts = rate,
+            "hangs" => plan.hangs = rate,
+            "bitflips" => plan.bitflips = rate,
+            "pcie-stall" => plan.pcie_stall = rate,
+            "pcie-corrupt" => plan.pcie_corrupt = rate,
+            other => return Err(format!("--fault-plan has no key `{other}`")),
+        }
+    }
+    Ok(plan)
 }
 
 /// Parsed `knn-cli` invocation.
@@ -109,6 +149,34 @@ pub enum Command {
         pcie_stall: f64,
         pcie_corrupt: f64,
         attempts: u32,
+        journal: JournalArgs,
+    },
+    /// `serve [--arrivals poisson|uniform] [--seed S] [--duration-sim T]
+    /// [--rate R | --load L] [--deadline D | --deadline-factor F]
+    /// [--capacity C] [--policy reject|drop-newest|drop-oldest]
+    /// [--n N] [--dim D] [--k K] [--queries Q] [--tile T] [--stride S]
+    /// [--fault-plan SPEC] [--json] [--metrics-out FILE]
+    /// [--journal-out FILE ...]` — deterministic overload campaign
+    /// through the serving layer on the simulated clock.
+    Serve {
+        n: usize,
+        dim: usize,
+        k: usize,
+        queries: usize,
+        seed: u64,
+        duration: f64,
+        arrivals: ArrivalProcess,
+        rate: Option<f64>,
+        load: f64,
+        deadline: Option<f64>,
+        deadline_factor: f64,
+        capacity: usize,
+        policy: QueuePolicy,
+        tile: usize,
+        stride: usize,
+        fault_plan: Option<FaultPlanArgs>,
+        json: bool,
+        metrics_out: Option<PathBuf>,
         journal: JournalArgs,
     },
     /// `report JOURNAL.jsonl [--top N]` — per-phase tail attribution
@@ -300,6 +368,61 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 journal: journal(&flags)?,
             })
         }
+        "serve" => {
+            let get_usize_or = |k: &str, default: usize| -> Result<usize, String> {
+                flags
+                    .get(k)
+                    .map(|s| s.parse().map_err(|_| format!("--{k} must be an integer")))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let get_f64 = |k: &str| -> Result<Option<f64>, String> {
+                flags
+                    .get(k)
+                    .map(|s| s.parse().map_err(|_| format!("--{k} must be a number")))
+                    .transpose()
+            };
+            Ok(Command::Serve {
+                n: get_usize_or("n", 2048)?,
+                dim: get_usize_or("dim", 16)?,
+                k: get_usize_or("k", 16)?,
+                queries: get_usize_or("queries", 32)?,
+                seed: flags
+                    .get("seed")
+                    .map(|s| {
+                        s.parse()
+                            .map_err(|_| "--seed must be an integer".to_string())
+                    })
+                    .transpose()?
+                    .unwrap_or(1),
+                duration: get_f64("duration-sim")?.unwrap_or(0.0),
+                arrivals: match flags.get("arrivals").map(String::as_str) {
+                    None => ArrivalProcess::Poisson,
+                    Some(s) => ArrivalProcess::parse(s)
+                        .ok_or_else(|| format!("unknown arrival process: {s}"))?,
+                },
+                rate: get_f64("rate")?,
+                load: get_f64("load")?.unwrap_or(2.0),
+                deadline: get_f64("deadline")?,
+                deadline_factor: get_f64("deadline-factor")?.unwrap_or(8.0),
+                capacity: get_usize_or("capacity", 8)?,
+                policy: match flags.get("policy").map(String::as_str) {
+                    None => QueuePolicy::Reject,
+                    Some(s) => {
+                        QueuePolicy::parse(s).ok_or_else(|| format!("unknown queue policy: {s}"))?
+                    }
+                },
+                tile: get_usize_or("tile", 1024)?,
+                stride: get_usize_or("stride", 4)?,
+                fault_plan: flags
+                    .get("fault-plan")
+                    .map(|s| parse_fault_plan(s))
+                    .transpose()?,
+                json: bools.contains(&"json".to_string()),
+                metrics_out: flags.get("metrics-out").map(PathBuf::from),
+                journal: journal(&flags)?,
+            })
+        }
         "report" => {
             if positionals.len() != 1 {
                 return Err("report needs exactly one JOURNAL.jsonl path".to_string());
@@ -346,6 +469,13 @@ USAGE:
                    [--bitflips R] [--pcie-stall R] [--pcie-corrupt R]
                    [--attempts A] [--journal-out j.jsonl]
                    [--journal-sample P] [--journal-exemplars E]
+  knn-cli serve    [--arrivals poisson|uniform] [--seed S] [--duration-sim T]
+                   [--rate R | --load L] [--deadline D | --deadline-factor F]
+                   [--capacity C] [--policy reject|drop-newest|drop-oldest]
+                   [--n N] [--dim D] [--k K] [--queries Q] [--tile T]
+                   [--stride S] [--fault-plan k=R,...] [--json]
+                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
+                   [--journal-sample P] [--journal-exemplars E]
   knn-cli report   JOURNAL.jsonl [--top N]
   knn-cli help
 
@@ -366,7 +496,18 @@ binary built with `--features fault`; PCIe-only campaigns (--aborts 0
 --hangs 0 --bitflips 0) work in any build. Exit codes: 0 clean, 1 on
 error (e.g. faults-not-compiled), 2 on silent corruption.
 
---journal-out (on search/bench/stats/faults) records one structured
+`serve` drives a deterministic overload campaign through the serving
+layer: open-loop seeded arrivals on the *simulated* clock, a bounded
+admission queue, per-request deadlines with cooperative cancellation,
+and a circuit breaker that degrades full-exact → large-tile → sampled
+→ shed and recovers hysteretically. --load L offers L× the calibrated
+single-server capacity (default 2.0: overloaded); --fault-plan adds a
+chaos campaign (`aborts=0.01,pcie-corrupt=0.05`; kernel faults need a
+`--features fault` build). Every request terminates in exactly one
+journaled outcome; the run exits 2 if any request goes unaccounted.
+--json prints a one-line machine-readable summary to stdout.
+
+--journal-out (on search/bench/stats/faults/serve) records one structured
 event per query — per-phase latency, merge counters, retry/fallback
 outcome — into a versioned JSONL journal. --journal-sample keeps a
 deterministic fraction of queries; the top --journal-exemplars slowest
@@ -739,6 +880,89 @@ mod tests {
         assert!(parse(&v(&["stats", "--n", "10", "--journal-sample", "1.5"])).is_err());
         assert!(parse(&v(&["stats", "--n", "10", "--journal-sample", "lots"])).is_err());
         assert!(parse(&v(&["stats", "--n", "10", "--journal-exemplars", "-2"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_with_defaults_and_overrides() {
+        let c = parse(&v(&["serve"])).unwrap();
+        assert_eq!(
+            c,
+            Command::Serve {
+                n: 2048,
+                dim: 16,
+                k: 16,
+                queries: 32,
+                seed: 1,
+                duration: 0.0,
+                arrivals: ArrivalProcess::Poisson,
+                rate: None,
+                load: 2.0,
+                deadline: None,
+                deadline_factor: 8.0,
+                capacity: 8,
+                policy: QueuePolicy::Reject,
+                tile: 1024,
+                stride: 4,
+                fault_plan: None,
+                json: false,
+                metrics_out: None,
+                journal: JournalArgs::default(),
+            }
+        );
+        let c = parse(&v(&[
+            "serve",
+            "--arrivals",
+            "uniform",
+            "--seed",
+            "7",
+            "--duration-sim",
+            "0.25",
+            "--load",
+            "3",
+            "--capacity",
+            "4",
+            "--policy",
+            "drop-oldest",
+            "--fault-plan",
+            "pcie-corrupt=0.1,aborts=0.05",
+            "--json",
+        ]))
+        .unwrap();
+        match c {
+            Command::Serve {
+                arrivals,
+                seed,
+                duration,
+                load,
+                capacity,
+                policy,
+                fault_plan,
+                json,
+                ..
+            } => {
+                assert_eq!(arrivals, ArrivalProcess::Uniform);
+                assert_eq!(seed, 7);
+                assert_eq!(duration, 0.25);
+                assert_eq!(load, 3.0);
+                assert_eq!(capacity, 4);
+                assert_eq!(policy, QueuePolicy::DropOldest);
+                assert_eq!(
+                    fault_plan,
+                    Some(FaultPlanArgs {
+                        aborts: 0.05,
+                        pcie_corrupt: 0.1,
+                        ..FaultPlanArgs::default()
+                    })
+                );
+                assert!(json);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&v(&["serve", "--arrivals", "bursty"])).is_err());
+        assert!(parse(&v(&["serve", "--policy", "lifo"])).is_err());
+        assert!(parse(&v(&["serve", "--fault-plan", "gamma=0.1"])).is_err());
+        assert!(parse(&v(&["serve", "--fault-plan", "aborts=2.0"])).is_err());
+        assert!(parse(&v(&["serve", "--fault-plan", "aborts"])).is_err());
     }
 
     #[test]

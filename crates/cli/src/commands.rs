@@ -1,6 +1,6 @@
 //! Command implementations for `knn-cli`.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use knn::{knn_search_with, validate_points, PointSet};
@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use simt::TimingModel;
 use trace::{EventJournal, Journal as _, JournalConfig, MetricsRegistry, QueryRecord};
 
-use crate::args::{Command, JournalArgs};
+use crate::args::{Command, FaultPlanArgs, JournalArgs};
 use crate::io;
 
 /// Round k up to a valid Merge Queue capacity (m·2^j with m = 8) so the
@@ -404,6 +404,47 @@ pub fn run(cmd: Command) -> i32 {
             attempts,
             journal,
         }),
+        Command::Serve {
+            n,
+            dim,
+            k,
+            queries,
+            seed,
+            duration,
+            arrivals,
+            rate,
+            load,
+            deadline,
+            deadline_factor,
+            capacity,
+            policy,
+            tile,
+            stride,
+            fault_plan,
+            json,
+            metrics_out,
+            journal,
+        } => run_serve(ServeCliArgs {
+            n,
+            dim,
+            k,
+            queries,
+            seed,
+            duration,
+            arrivals,
+            rate,
+            load,
+            deadline,
+            deadline_factor,
+            capacity,
+            policy,
+            tile,
+            stride,
+            fault_plan,
+            json,
+            metrics_out,
+            journal,
+        }),
         Command::Report { journal, top } => run_report(&journal, top),
     }
 }
@@ -564,6 +605,10 @@ fn run_faults(a: FaultArgs) -> i32 {
             Ok(out) => out,
             Err(e) => {
                 eprintln!("error: seed {s}: {}: {e}", e.name());
+                eprintln!(
+                    "{{\"verdict\":\"error\",\"error\":\"{}\",\"seed\":{s}}}",
+                    e.name()
+                );
                 return 1;
             }
         };
@@ -611,11 +656,179 @@ fn run_faults(a: FaultArgs) -> i32 {
             return 1;
         }
     }
+    // One-line machine-readable verdict on stderr, so CI can gate on
+    // the campaign without scraping the human-readable stdout report.
+    eprintln!(
+        "{{\"verdict\":\"{}\",\"seeds\":{},\"corrupted\":{corrupted},\"retries\":{},\
+         \"fallbacks\":{},\"aborts\":{},\"watchdog\":{},\"panics\":{},\
+         \"validation_failures\":{},\"bitflips\":{},\"pcie_stalls\":{},\
+         \"pcie_corruptions\":{}}}",
+        if corrupted > 0 {
+            "silent-corruption"
+        } else {
+            "clean"
+        },
+        a.seeds,
+        totals.retries,
+        totals.fallbacks,
+        totals.aborts,
+        totals.watchdog_timeouts,
+        totals.panics,
+        totals.validation_failures,
+        totals.bitflips_injected,
+        totals.pcie_stalls,
+        totals.pcie_corruptions,
+    );
     if corrupted > 0 {
         eprintln!("{corrupted} silently corrupted result(s)");
         return 2;
     }
     println!("no silent corruption: every delivered top-k matches the fault-free oracle");
+    0
+}
+
+/// Arguments of the `serve` subcommand (mirrors [`Command::Serve`]).
+struct ServeCliArgs {
+    n: usize,
+    dim: usize,
+    k: usize,
+    queries: usize,
+    seed: u64,
+    duration: f64,
+    arrivals: serve::ArrivalProcess,
+    rate: Option<f64>,
+    load: f64,
+    deadline: Option<f64>,
+    deadline_factor: f64,
+    capacity: usize,
+    policy: serve::QueuePolicy,
+    tile: usize,
+    stride: usize,
+    fault_plan: Option<FaultPlanArgs>,
+    json: bool,
+    metrics_out: Option<PathBuf>,
+    journal: JournalArgs,
+}
+
+/// Drive a deterministic overload campaign through the serving layer.
+/// Exit 0: campaign completed with clean accounting. Exit 1: a named
+/// error (bad config, kernel faults without the `fault` feature).
+/// Exit 2: the zero-unaccounted-requests invariant was violated —
+/// some offered request never reached a terminal outcome, which the
+/// serving layer promises never happens.
+fn run_serve(a: ServeCliArgs) -> i32 {
+    let faults = a.fault_plan.map(|f| {
+        simt::FaultPlan::seeded(a.seed)
+            .with_aborts(f.aborts)
+            .with_hangs(f.hangs)
+            .with_bitflips(f.bitflips)
+            .with_pcie(f.pcie_stall, f.pcie_corrupt)
+    });
+    let cfg = serve::ServeConfig {
+        n: a.n,
+        dim: a.dim,
+        k: padded_k(QueueKind::Merge, a.k),
+        queries_per_request: a.queries,
+        seed: a.seed,
+        duration_s: a.duration,
+        process: a.arrivals,
+        rate_hz: a.rate,
+        load: a.load,
+        deadline_s: a.deadline,
+        deadline_factor: a.deadline_factor,
+        capacity: a.capacity,
+        policy: a.policy,
+        large_tile: a.tile,
+        sample_stride: a.stride,
+        faults,
+        ..serve::ServeConfig::default()
+    };
+    let reg = MetricsRegistry::new();
+    let jn = make_journal(&a.journal);
+    let summary = match &jn {
+        Some(j) => serve::run(&cfg, &reg, j),
+        None => serve::run(&cfg, &reg, &trace::NullJournal),
+    };
+    let s = match summary {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", e.name());
+            return 1;
+        }
+    };
+    println!(
+        "serve: {} requests over {:.6} sim-s ({} arrivals @ {:.1} req/s, load {:.2}x, \
+         deadline {:.1} us, queue {} [{}], faults: {})",
+        s.offered,
+        s.sim_end_s,
+        a.arrivals.name(),
+        s.rate_hz,
+        a.rate.map_or(a.load, |r| r * s.exact_service_s),
+        s.deadline_s * 1e6,
+        a.capacity,
+        a.policy.name(),
+        if cfg.faults.is_some() { "on" } else { "off" },
+    );
+    println!(
+        "  calibration: full-exact service {:.1} us/request",
+        s.exact_service_s * 1e6
+    );
+    println!(
+        "  outcomes: served-exact {} | served-degraded large-tile {} sampled {} \
+         (recall bound {:.2}) | shed {} | deadline-exceeded {} | failed {}",
+        s.served_exact,
+        s.served_degraded_large_tile,
+        s.served_degraded_sampled,
+        s.sampled_recall_bound,
+        s.shed,
+        s.deadline_exceeded,
+        s.failed,
+    );
+    println!(
+        "  breaker: {} trips, {} recoveries, worst step {} | queue peak depth {}",
+        s.breaker_trips,
+        s.breaker_recoveries,
+        s.worst_step.name(),
+        s.queue_peak_depth,
+    );
+    if let Some(path) = &a.metrics_out {
+        if let Err(e) = write_metrics(path, &reg.snapshot()) {
+            eprintln!("error writing {}: {e}", path.display());
+            return 1;
+        }
+    }
+    if let Some(j) = &jn {
+        if !write_journal(&a.journal, j) {
+            return 1;
+        }
+    }
+    if a.json {
+        println!(
+            "{{\"offered\":{},\"served_exact\":{},\"served_degraded_large_tile\":{},\
+             \"served_degraded_sampled\":{},\"shed\":{},\"deadline_exceeded\":{},\
+             \"failed\":{},\"breaker_trips\":{},\"breaker_recoveries\":{},\
+             \"worst_step\":\"{}\",\"queue_peak_depth\":{},\"shed_rate\":{:.6},\
+             \"accounted\":{}}}",
+            s.offered,
+            s.served_exact,
+            s.served_degraded_large_tile,
+            s.served_degraded_sampled,
+            s.shed,
+            s.deadline_exceeded,
+            s.failed,
+            s.breaker_trips,
+            s.breaker_recoveries,
+            s.worst_step.name(),
+            s.queue_peak_depth,
+            s.shed_rate(),
+            s.accounted(),
+        );
+    }
+    if let Err(msg) = s.verify() {
+        eprintln!("UNACCOUNTED REQUESTS: {msg}");
+        return 2;
+    }
+    println!("accounting clean: every offered request reached exactly one outcome");
     0
 }
 

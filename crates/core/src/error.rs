@@ -7,7 +7,14 @@
 //! run) still panic — those are programming errors, not inputs.
 
 /// Why a k-NN request (or one of its queries) could not be served.
+///
+/// Marked `#[non_exhaustive]`: the serving layer keeps growing this
+/// surface (admission control added [`KnnError::Overloaded`] and
+/// [`KnnError::DeadlineExceeded`]), and downstream crates must be able
+/// to `?`-propagate without a new variant being a breaking change.
+/// Match with a `_` arm.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum KnnError {
     /// `k` is zero or exceeds the number of reference points.
     InvalidK { k: usize, n: usize },
@@ -29,6 +36,15 @@ pub enum KnnError {
     /// A PCIe transfer kept failing its integrity check after every
     /// allowed retry.
     TransferFailed { attempts: u32 },
+    /// The serving layer refused admission: the bounded queue already
+    /// holds `depth` requests against a capacity of `capacity` (or the
+    /// circuit breaker is open, in which case `depth == capacity`).
+    Overloaded { depth: usize, capacity: usize },
+    /// The request's deadline expired before service completed; the
+    /// remaining work was cancelled cooperatively. `budget_ns` is the
+    /// deadline budget the request arrived with, in simulated
+    /// nanoseconds.
+    DeadlineExceeded { budget_ns: u64 },
 }
 
 impl KnnError {
@@ -43,6 +59,8 @@ impl KnnError {
             KnnError::EmptyInput { .. } => "empty-input",
             KnnError::FaultsNotCompiled => "faults-not-compiled",
             KnnError::TransferFailed { .. } => "transfer-failed",
+            KnnError::Overloaded { .. } => "overloaded",
+            KnnError::DeadlineExceeded { .. } => "deadline-exceeded",
         }
     }
 }
@@ -80,6 +98,18 @@ impl core::fmt::Display for KnnError {
                 write!(
                     f,
                     "PCIe transfer failed integrity check after {attempts} attempts"
+                )
+            }
+            KnnError::Overloaded { depth, capacity } => {
+                write!(
+                    f,
+                    "admission refused: queue holds {depth} of {capacity} requests"
+                )
+            }
+            KnnError::DeadlineExceeded { budget_ns } => {
+                write!(
+                    f,
+                    "deadline of {budget_ns} ns expired before service completed"
                 )
             }
         }
@@ -136,12 +166,38 @@ mod tests {
                 "transfer-failed",
                 "4 attempts",
             ),
+            (
+                KnnError::Overloaded {
+                    depth: 8,
+                    capacity: 8,
+                },
+                "overloaded",
+                "8 of 8",
+            ),
+            (
+                KnnError::DeadlineExceeded { budget_ns: 5_000 },
+                "deadline-exceeded",
+                "5000 ns",
+            ),
         ];
         for (err, name, fragment) in cases {
             assert_eq!(err.name(), name);
             let msg = err.to_string();
             assert!(msg.contains(fragment), "{name}: {msg}");
         }
+    }
+
+    #[test]
+    fn propagates_as_std_error() {
+        // Downstream crates `?`-propagate into `Box<dyn Error>`.
+        fn fallible() -> Result<(), Box<dyn std::error::Error>> {
+            Err(KnnError::Overloaded {
+                depth: 1,
+                capacity: 1,
+            })?
+        }
+        let e = fallible().unwrap_err();
+        assert!(e.to_string().contains("admission refused"));
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub use buffered::WarpBuffer;
 pub use hierarchical::{level_sizes, WarpHierarchy};
 pub use queues::{RepairKind, WarpQueues};
 pub use resilient::{
-    gpu_select_k_checked, gpu_select_k_resilient, GpuResilience, GpuResilientSelect, QueryStatus,
-    ResilienceCounters, SearchReport,
+    gpu_select_k_checked, gpu_select_k_resilient, gpu_select_k_resilient_gated, GpuResilience,
+    GpuResilientSelect, QueryStatus, ResilienceCounters, SearchReport,
 };
 pub use select::{gpu_select_k, DistanceMatrix, GpuSelectResult};
 

@@ -89,6 +89,11 @@ pub enum QueryStatus {
     /// No result: the GPU path failed `after_attempts` times and
     /// fallback was disabled. `reason` is the last failure.
     Failed { after_attempts: u32, reason: String },
+    /// No result and no work consumed: the caller's launch gate (a
+    /// deadline check — see [`gpu_select_k_resilient_gated`]) closed
+    /// before this query's warp started, so the query stopped consuming
+    /// work instead of finishing late.
+    DeadlineExceeded,
 }
 
 impl QueryStatus {
@@ -99,6 +104,7 @@ impl QueryStatus {
             QueryStatus::Recovered { .. } => "recovered",
             QueryStatus::Fallback { .. } => "fallback",
             QueryStatus::Failed { .. } => "failed",
+            QueryStatus::DeadlineExceeded => "deadline-exceeded",
         }
     }
 }
@@ -127,6 +133,8 @@ pub struct ResilienceCounters {
     pub pcie_stalls: u64,
     /// PCIe transfer attempts with corrupt payload (filled by `knn`).
     pub pcie_corruptions: u64,
+    /// Warps never launched because the deadline gate closed first.
+    pub deadline_skips: u64,
 }
 
 impl ResilienceCounters {
@@ -141,6 +149,7 @@ impl ResilienceCounters {
         self.bitflips_injected += other.bitflips_injected;
         self.pcie_stalls += other.pcie_stalls;
         self.pcie_corruptions += other.pcie_corruptions;
+        self.deadline_skips += other.deadline_skips;
     }
 
     /// Export as a named [`trace::CounterSet`]; zero counters omitted.
@@ -163,6 +172,7 @@ impl ResilienceCounters {
         put(trace::names::RESILIENCE_BITFLIP, self.bitflips_injected);
         put(trace::names::RESILIENCE_PCIE_STALL, self.pcie_stalls);
         put(trace::names::RESILIENCE_PCIE_CORRUPT, self.pcie_corruptions);
+        put(trace::names::RESILIENCE_DEADLINE_SKIP, self.deadline_skips);
         set
     }
 
@@ -209,6 +219,12 @@ impl SearchReport {
         self.count("failed")
     }
 
+    /// Queries whose warp was never launched because the deadline gate
+    /// closed first.
+    pub fn deadline_exceeded_count(&self) -> usize {
+        self.count("deadline-exceeded")
+    }
+
     fn count(&self, name: &str) -> usize {
         self.statuses.iter().filter(|s| s.name() == name).count()
     }
@@ -218,7 +234,8 @@ impl SearchReport {
 #[derive(Clone, Debug)]
 pub struct GpuResilientSelect {
     /// Per-query neighbors sorted ascending by distance; `None` only for
-    /// queries whose status is [`QueryStatus::Failed`].
+    /// queries whose status is [`QueryStatus::Failed`] or
+    /// [`QueryStatus::DeadlineExceeded`].
     pub neighbors: Vec<Option<Vec<Neighbor>>>,
     /// Metrics of the accepted kernel attempts (the delivered work).
     pub metrics: Metrics,
@@ -303,6 +320,49 @@ pub fn gpu_select_k_resilient(
     cfg: &SelectConfig,
     res: &GpuResilience,
 ) -> Result<GpuResilientSelect, KnnError> {
+    resilient_select(spec, dm, cfg, res, None::<fn(usize, &Metrics, f64) -> bool>)
+}
+
+/// [`gpu_select_k_resilient`] with a cooperative deadline gate at
+/// warp-launch boundaries.
+///
+/// Before each warp launches, `gate(warp_id, consumed, backoff_s)` is
+/// consulted with the metrics of all selection work already executed
+/// (accepted and wasted attempts) and the simulated backoff spent so
+/// far; the caller converts those to seconds with its
+/// [`simt::TimingModel`] and compares against the request's remaining
+/// budget. Once the gate closes, no further warp launches: each
+/// skipped warp's queries report [`QueryStatus::DeadlineExceeded`]
+/// with `None` neighbors — past-deadline queries stop consuming work
+/// rather than finishing late (no host fallback either; that would
+/// consume *more* work after the deadline). Gated launches run warps
+/// sequentially in warp-id order (see
+/// [`simt::launch_resilient_gated`]); per-warp results and fault draws
+/// are unchanged, so an always-open gate reproduces
+/// [`gpu_select_k_resilient`] byte for byte.
+pub fn gpu_select_k_resilient_gated<G>(
+    spec: &GpuSpec,
+    dm: &DistanceMatrix,
+    cfg: &SelectConfig,
+    res: &GpuResilience,
+    gate: G,
+) -> Result<GpuResilientSelect, KnnError>
+where
+    G: FnMut(usize, &Metrics, f64) -> bool,
+{
+    resilient_select(spec, dm, cfg, res, Some(gate))
+}
+
+fn resilient_select<G>(
+    spec: &GpuSpec,
+    dm: &DistanceMatrix,
+    cfg: &SelectConfig,
+    res: &GpuResilience,
+    gate: Option<G>,
+) -> Result<GpuResilientSelect, KnnError>
+where
+    G: FnMut(usize, &Metrics, f64) -> bool,
+{
     validate_request(spec, dm, cfg)?;
     if res.faults.is_some_and(|p| p.wants_kernel_faults()) && !simt::fault::compiled() {
         return Err(KnnError::FaultsNotCompiled);
@@ -362,13 +422,13 @@ pub fn gpu_select_k_resilient(
     };
 
     let n_warps = dm.q().div_ceil(WARP_SIZE);
-    let launched = simt::launch_resilient(
-        spec,
-        n_warps,
-        &res.retry_policy(),
-        |warp_id, ctx: &mut WarpCtx| warp_kernel(ctx, warp_id, dm, cfg),
-        validate,
-    )?;
+    let kernel = |warp_id: usize, ctx: &mut WarpCtx| warp_kernel(ctx, warp_id, dm, cfg);
+    let launched = match gate {
+        Some(g) => {
+            simt::launch_resilient_gated(spec, n_warps, &res.retry_policy(), kernel, validate, g)?
+        }
+        None => simt::launch_resilient(spec, n_warps, &res.retry_policy(), kernel, validate)?,
+    };
 
     let mut neighbors: Vec<Option<Vec<Neighbor>>> = Vec::with_capacity(dm.q());
     let mut statuses: Vec<QueryStatus> = Vec::with_capacity(dm.q());
@@ -377,7 +437,7 @@ pub fn gpu_select_k_resilient(
     let mut fallback_bytes = 0u64;
 
     for (w, run) in launched.runs.iter().enumerate() {
-        rc.retries += u64::from(run.attempts - 1);
+        rc.retries += u64::from(run.attempts.saturating_sub(1));
         rc.bitflips_injected += run.bitflips_injected;
         for f in &run.failures {
             match f {
@@ -389,6 +449,16 @@ pub fn gpu_select_k_resilient(
         }
         let q_base = w * WARP_SIZE;
         let live = dm.q().saturating_sub(q_base).min(WARP_SIZE);
+        if run.attempts == 0 {
+            // Never launched: the deadline gate closed first. The
+            // query consumed no work and gets none retroactively.
+            rc.deadline_skips += 1;
+            for _ in 0..live {
+                neighbors.push(None);
+                statuses.push(QueryStatus::DeadlineExceeded);
+            }
+            continue;
+        }
         match &run.result {
             Some((lanes, _, warp_counters)) => {
                 counters.merge(warp_counters);
@@ -513,6 +583,63 @@ mod tests {
         assert!(res.report.statuses.iter().all(|s| *s == QueryStatus::Ok));
         assert_eq!(res.report.counters, ResilienceCounters::default());
         assert_eq!(res.report.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn gated_with_open_gate_matches_ungated() {
+        let spec = GpuSpec::tesla_c2075();
+        let dm = random_dm(70, 300, 3);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+        let res = GpuResilience::default();
+        let a = gpu_select_k_resilient(&spec, &dm, &cfg, &res).unwrap();
+        let b = gpu_select_k_resilient_gated(&spec, &dm, &cfg, &res, |_, _, _| true).unwrap();
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn closed_gate_reports_deadline_exceeded_without_consuming_work() {
+        let spec = GpuSpec::tesla_c2075();
+        let dm = random_dm(90, 200, 6); // 3 warps: 32 + 32 + 26 queries
+        let cfg = SelectConfig::plain(QueueKind::Heap, 8);
+        let res = GpuResilience::default();
+        // Admit only the first warp's launch.
+        let out = gpu_select_k_resilient_gated(&spec, &dm, &cfg, &res, |w, _, _| w == 0).unwrap();
+        assert_eq!(out.report.deadline_exceeded_count(), 90 - 32);
+        assert_eq!(out.report.counters.deadline_skips, 2);
+        assert_eq!(out.report.counters.retries, 0);
+        for (qi, (nb, status)) in out.neighbors.iter().zip(&out.report.statuses).enumerate() {
+            if qi < 32 {
+                assert_eq!(*status, QueryStatus::Ok);
+                assert!(nb.is_some());
+            } else {
+                assert_eq!(*status, QueryStatus::DeadlineExceeded);
+                assert!(nb.is_none(), "a past-deadline query gets no result");
+            }
+        }
+        // Only the launched warp's work is accounted.
+        let dm1 = random_dm(90, 200, 6);
+        let full = gpu_select_k_resilient(&spec, &dm1, &cfg, &res).unwrap();
+        assert!(out.metrics.issued < full.metrics.issued);
+        assert_eq!(out.wasted, Metrics::new());
+    }
+
+    #[test]
+    fn gate_sees_monotone_consumption() {
+        let spec = GpuSpec::tesla_c2075();
+        let dm = random_dm(128, 100, 7);
+        let cfg = SelectConfig::plain(QueueKind::Insertion, 4);
+        let mut issued_at_gate = Vec::new();
+        gpu_select_k_resilient_gated(&spec, &dm, &cfg, &GpuResilience::default(), |w, m, _| {
+            issued_at_gate.push(m.issued);
+            let _ = w;
+            true
+        })
+        .unwrap();
+        assert_eq!(issued_at_gate.len(), 4);
+        assert_eq!(issued_at_gate[0], 0, "nothing consumed before warp 0");
+        assert!(issued_at_gate.windows(2).all(|p| p[0] < p[1]));
     }
 
     #[test]

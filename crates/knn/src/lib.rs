@@ -48,8 +48,9 @@ pub use metered::{
 pub use metric::{distance_matrix_flat_with, distance_matrix_with, Metric};
 pub use pcie::{data_copy_time, transfer_with_faults, PcieReport};
 pub use pipeline::{
-    gpu_knn, gpu_knn_resilient, gpu_knn_resilient_journaled, gpu_knn_traced, knn_search,
-    knn_search_streamed, knn_search_streamed_observed, knn_search_with, knn_search_with_observed,
-    queue_tag, validate_points, GpuKnnResult, NullObserver, Phase, PhaseObserver,
-    ResilientKnnResult,
+    gpu_knn, gpu_knn_resilient, gpu_knn_resilient_deadline, gpu_knn_resilient_journaled,
+    gpu_knn_traced, knn_search, knn_search_streamed, knn_search_streamed_cancellable,
+    knn_search_streamed_observed, knn_search_with, knn_search_with_observed, queue_tag,
+    validate_points, CancelToken, Cancelled, GpuKnnResult, NeverCancel, NullObserver, Phase,
+    PhaseObserver, ResilientKnnResult, TileBudget,
 };

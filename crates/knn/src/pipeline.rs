@@ -25,8 +25,8 @@
 
 use kselect::chunked::StreamMerger;
 use kselect::gpu::{
-    gpu_select_k, gpu_select_k_resilient, DistanceMatrix, GpuResilience, KernelCounters,
-    SearchReport,
+    gpu_select_k, gpu_select_k_resilient, gpu_select_k_resilient_gated, DistanceMatrix,
+    GpuResilience, KernelCounters, SearchReport,
 };
 use kselect::types::Neighbor;
 use kselect::{KnnError, SelectConfig};
@@ -102,6 +102,61 @@ pub trait PhaseObserver: Sync {
 pub struct NullObserver;
 
 impl PhaseObserver for NullObserver {}
+
+/// Cooperative cancellation for the streamed pipeline, polled at tile
+/// boundaries.
+///
+/// The serving layer propagates per-request deadlines through this
+/// hook: once a request's budget is spent, the next poll returns
+/// `true` and the search stops consuming work instead of finishing
+/// late. Implementations must be deterministic functions of
+/// `tiles_done` (and their own construction) — the streamed pipeline
+/// replays byte-identically, and a token that consulted a wall clock
+/// would break that.
+pub trait CancelToken: Sync {
+    /// Polled before each tile with the number of tiles already
+    /// completed; return `true` to stop before the next tile starts.
+    fn is_cancelled(&self, tiles_done: usize) -> bool;
+}
+
+/// The zero-cost default token: never cancels. Monomorphizes
+/// [`knn_search_streamed_cancellable`] to exactly the uncancellable
+/// code.
+pub struct NeverCancel;
+
+impl CancelToken for NeverCancel {
+    #[inline]
+    fn is_cancelled(&self, _tiles_done: usize) -> bool {
+        false
+    }
+}
+
+/// Token that admits exactly `max_tiles` tiles — how a caller with a
+/// precomputed per-tile cost model (the serving layer) expresses "this
+/// request's deadline affords N tiles".
+pub struct TileBudget(pub usize);
+
+impl CancelToken for TileBudget {
+    #[inline]
+    fn is_cancelled(&self, tiles_done: usize) -> bool {
+        tiles_done >= self.0
+    }
+}
+
+/// A streamed search stopped at a tile boundary by its [`CancelToken`].
+///
+/// Partial results are deliberately not returned: a top-k over a
+/// prefix of the references is not the exact answer, and delivering it
+/// silently would violate the pipeline's never-wrong contract. The
+/// caller knows how many tiles were completed and can report the
+/// consumed work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Tiles fully processed before the token tripped.
+    pub tiles_done: usize,
+    /// Tiles the full search would have processed.
+    pub tiles_total: usize,
+}
 
 /// Native k-NN search: for each query, the k nearest references by
 /// squared Euclidean distance, sorted ascending.
@@ -220,6 +275,31 @@ pub fn knn_search_streamed_observed<O: PhaseObserver>(
     tile: usize,
     obs: &O,
 ) -> Vec<Vec<Neighbor>> {
+    match knn_search_streamed_cancellable(queries, refs, cfg, tile, obs, &NeverCancel) {
+        Ok(neighbors) => neighbors,
+        // `NeverCancel` never trips.
+        Err(c) => unreachable!("NeverCancel cancelled at tile {}", c.tiles_done),
+    }
+}
+
+/// [`knn_search_streamed_observed`] with cooperative cancellation
+/// checked at every tile boundary.
+///
+/// `token` is polled with the completed-tile count before each tile;
+/// when it returns `true` the search stops there and returns
+/// [`Cancelled`] — no further distance rows are filled, no further
+/// selection runs, and the partial merge state is dropped (see
+/// [`Cancelled`] for why). With [`NeverCancel`] this is exactly
+/// [`knn_search_streamed_observed`]: same results, same observer
+/// events, byte for byte.
+pub fn knn_search_streamed_cancellable<O: PhaseObserver, C: CancelToken>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    obs: &O,
+    token: &C,
+) -> Result<Vec<Vec<Neighbor>>, Cancelled> {
     assert!(tile > 0, "tile size must be positive");
     assert!(cfg.k <= refs.len(), "k exceeds the number of references");
     assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
@@ -231,7 +311,14 @@ pub fn knn_search_streamed_observed<O: PhaseObserver>(
     let mut mergers: Vec<StreamMerger> = (0..q).map(|_| StreamMerger::new(cfg.k)).collect();
     let mut scratch = vec![0.0f32; q * tile];
     obs.scratch_bytes((q * tile * core::mem::size_of::<f32>()) as u64);
-    for r0 in (0..n).step_by(tile) {
+    let tiles_total = n.div_ceil(tile);
+    for (tiles_done, r0) in (0..n).step_by(tile).enumerate() {
+        if token.is_cancelled(tiles_done) {
+            return Err(Cancelled {
+                tiles_done,
+                tiles_total,
+            });
+        }
         let t_len = tile.min(n - r0);
         let rows: Vec<(usize, &mut [f32])> =
             scratch[..q * t_len].chunks_mut(t_len).enumerate().collect();
@@ -266,7 +353,7 @@ pub fn knn_search_streamed_observed<O: PhaseObserver>(
             (p + s.pushed, r + s.rejected)
         });
     obs.merger_stats(pushed, rejected);
-    mergers.into_iter().map(StreamMerger::finish).collect()
+    Ok(mergers.into_iter().map(StreamMerger::finish).collect())
 }
 
 /// Result of the simulated GPU k-NN pipeline.
@@ -411,6 +498,30 @@ pub struct ResilientKnnResult {
     pub counters: KernelCounters,
 }
 
+impl ResilientKnnResult {
+    /// Total modelled simulated seconds this request consumed end to
+    /// end: the input upload (including stall and retry time), the
+    /// analytic distance kernel, accepted *and* wasted selection work,
+    /// retry backoff, and the host-fallback row transfers. A selection
+    /// phase that never launched (every warp gated out by a deadline)
+    /// costs zero rather than a phantom launch overhead.
+    pub fn modeled_seconds(&self, tm: &TimingModel) -> f64 {
+        let kernel_s = |m: &Metrics| {
+            if m.issued == 0 {
+                0.0
+            } else {
+                tm.kernel_time(m)
+            }
+        };
+        self.upload.seconds
+            + self.distance_time
+            + kernel_s(&self.select_metrics)
+            + kernel_s(&self.wasted_metrics)
+            + self.report.backoff_s
+            + self.report.fallback_transfer_s
+    }
+}
+
 /// [`gpu_knn`] hardened end to end. Inputs are validated up front
 /// ([`validate_points`] plus the selection-request checks), the input
 /// upload runs through the faultable PCIe model
@@ -448,6 +559,75 @@ pub fn gpu_knn_resilient(
     };
 
     let sel = gpu_select_k_resilient(&tm.spec, &dm, cfg, res)?;
+    let mut report = sel.report;
+    report.counters.pcie_stalls += upload.stalls;
+    report.counters.pcie_corruptions += upload.corruptions;
+
+    Ok(ResilientKnnResult {
+        neighbors: sel.neighbors,
+        report,
+        select_time: tm.kernel_time(&sel.metrics),
+        distance_time,
+        select_metrics: sel.metrics,
+        wasted_metrics: sel.wasted,
+        distance_metrics: dist_m,
+        upload,
+        counters: sel.counters,
+    })
+}
+
+/// [`gpu_knn_resilient`] under a simulated-time deadline, with
+/// cooperative cancellation at warp-launch boundaries.
+///
+/// `budget_s` is the request's remaining deadline budget in simulated
+/// seconds, measured from the start of the input upload. The upload
+/// and the analytic distance kernel are single device-side operations
+/// and always complete (a launch in flight is not preempted); the
+/// selection kernel then consults a gate before *every* warp launch —
+/// once `upload + distance + selection work so far (accepted and
+/// wasted) + backoff` reaches the budget, no further warp launches,
+/// and the remaining queries report
+/// [`kselect::gpu::QueryStatus::DeadlineExceeded`] with no result:
+/// past-deadline queries stop consuming work instead of finishing
+/// late. Gated selection runs warps sequentially in warp-id order (see
+/// [`simt::launch_resilient_gated`]), so with a generous budget the
+/// output is byte-identical to [`gpu_knn_resilient`].
+pub fn gpu_knn_resilient_deadline(
+    tm: &TimingModel,
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    res: &GpuResilience,
+    budget_s: f64,
+) -> Result<ResilientKnnResult, KnnError> {
+    validate_points(queries, "query")?;
+    validate_points(refs, "reference")?;
+    assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
+
+    let dist_m = gpu_distance_metrics(queries.len(), refs.len(), queries.dim());
+    let distance_time = tm.kernel_time(&dist_m);
+    let fm = block::squared_distances(queries, refs);
+    let dm = DistanceMatrix::from_row_major(fm.as_slice(), fm.q(), fm.n());
+
+    let input_bytes = ((queries.len() + refs.len()) * queries.dim() * 4) as u64;
+    let upload = match &res.faults {
+        Some(plan) => pcie::transfer_with_faults(&tm.spec, input_bytes, plan, 0, res.max_attempts)?,
+        None => PcieReport {
+            attempts: 1,
+            seconds: pcie::transfer_time(&tm.spec, input_bytes),
+            ..PcieReport::default()
+        },
+    };
+
+    let spent_before_select = upload.seconds + distance_time;
+    let sel = gpu_select_k_resilient_gated(&tm.spec, &dm, cfg, res, |_, consumed, backoff_s| {
+        let select_s = if consumed.issued == 0 {
+            0.0
+        } else {
+            tm.kernel_time(consumed)
+        };
+        spent_before_select + select_s + backoff_s < budget_s
+    })?;
     let mut report = sel.report;
     report.counters.pcie_stalls += upload.stalls;
     report.counters.pcie_corruptions += upload.corruptions;
@@ -513,19 +693,22 @@ pub fn gpu_knn_resilient_journaled<J: trace::Journal>(
             QueryStatus::Ok => 1,
             QueryStatus::Recovered { attempts } | QueryStatus::Fallback { attempts } => *attempts,
             QueryStatus::Failed { after_attempts, .. } => *after_attempts,
+            // A gated-out warp never launched, so its queries carry no
+            // attempt share of the selection time.
+            QueryStatus::DeadlineExceeded => 0,
         })
         .collect();
-    let total_attempts: u64 = attempts.iter().map(|&a| a.max(1) as u64).sum();
-    let extra_attempts: u64 = attempts.iter().map(|&a| (a.max(1) - 1) as u64).sum();
+    let total_attempts: u64 = attempts.iter().map(|&a| a as u64).sum();
+    let extra_attempts: u64 = attempts.iter().map(|&a| a.saturating_sub(1) as u64).sum();
     let fallbacks = out.report.fallback_count().max(1) as f64;
     let distance_ns = out.distance_time * 1e9 / q;
     let select_ns_per_attempt = out.select_time * 1e9 / total_attempts.max(1) as f64;
     let backoff_ns_per_extra = out.report.backoff_s * 1e9 / extra_attempts.max(1) as f64;
     let fallback_ns_each = out.report.fallback_transfer_s * 1e9 / fallbacks;
     for (qi, status) in out.report.statuses.iter().enumerate() {
-        let a = attempts[qi].max(1);
+        let a = attempts[qi];
         let select_ns = select_ns_per_attempt * a as f64;
-        let backoff_ns = backoff_ns_per_extra * (a - 1) as f64;
+        let backoff_ns = backoff_ns_per_extra * a.saturating_sub(1) as f64;
         let fallback_ns = if matches!(status, QueryStatus::Fallback { .. }) {
             fallback_ns_each
         } else {
@@ -599,6 +782,107 @@ mod tests {
                 assert_eq!(streamed, full, "kind {kind:?} tile {tile}");
             }
         }
+    }
+
+    #[test]
+    fn cancellable_with_never_cancel_matches_streamed() {
+        let queries = PointSet::uniform(20, 8, 210);
+        let refs = PointSet::uniform(400, 8, 211);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let plain = knn_search_streamed(&queries, &refs, &cfg, 64);
+        let cancellable =
+            knn_search_streamed_cancellable(&queries, &refs, &cfg, 64, &NullObserver, &NeverCancel)
+                .expect("NeverCancel never trips");
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn tile_budget_stops_at_the_boundary_without_partial_results() {
+        let queries = PointSet::uniform(10, 8, 212);
+        let refs = PointSet::uniform(400, 8, 213);
+        let cfg = SelectConfig::plain(QueueKind::Heap, 4);
+        // 400 refs / 64-tile = 7 tiles; admit 3.
+        let out = knn_search_streamed_cancellable(
+            &queries,
+            &refs,
+            &cfg,
+            64,
+            &NullObserver,
+            &TileBudget(3),
+        );
+        assert_eq!(
+            out,
+            Err(Cancelled {
+                tiles_done: 3,
+                tiles_total: 7
+            })
+        );
+        // A zero budget stops before any tile.
+        let none = knn_search_streamed_cancellable(
+            &queries,
+            &refs,
+            &cfg,
+            64,
+            &NullObserver,
+            &TileBudget(0),
+        );
+        assert_eq!(
+            none,
+            Err(Cancelled {
+                tiles_done: 0,
+                tiles_total: 7
+            })
+        );
+    }
+
+    #[test]
+    fn deadline_pipeline_with_generous_budget_matches_resilient() {
+        let queries = PointSet::uniform(64, 12, 214);
+        let refs = PointSet::uniform(300, 12, 215);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+        let tm = TimingModel::tesla_c2075();
+        let res = GpuResilience::default();
+        let plain = gpu_knn_resilient(&tm, &queries, &refs, &cfg, &res).unwrap();
+        let bounded = gpu_knn_resilient_deadline(&tm, &queries, &refs, &cfg, &res, 1e9).unwrap();
+        assert_eq!(plain.neighbors, bounded.neighbors);
+        assert_eq!(plain.report, bounded.report);
+        assert_eq!(plain.select_metrics, bounded.select_metrics);
+        assert!(bounded.modeled_seconds(&tm) > 0.0);
+    }
+
+    #[test]
+    fn deadline_pipeline_sheds_work_past_the_budget() {
+        let queries = PointSet::uniform(96, 12, 216); // 3 warps
+        let refs = PointSet::uniform(300, 12, 217);
+        let cfg = SelectConfig::optimized(QueueKind::Merge, 16);
+        let tm = TimingModel::tesla_c2075();
+        let res = GpuResilience::default();
+        let full = gpu_knn_resilient_deadline(&tm, &queries, &refs, &cfg, &res, 1e9).unwrap();
+        let full_s = full.modeled_seconds(&tm);
+
+        // A budget below even the upload+distance cost launches nothing.
+        let starved = gpu_knn_resilient_deadline(&tm, &queries, &refs, &cfg, &res, 0.0).unwrap();
+        assert_eq!(starved.report.deadline_exceeded_count(), 96);
+        assert!(starved.neighbors.iter().all(Option::is_none));
+        assert_eq!(starved.select_metrics.issued, 0);
+        assert!(starved.modeled_seconds(&tm) < full_s);
+
+        // A budget that barely clears upload+distance admits warp 0's
+        // launch (a launch in flight completes), then the gate closes:
+        // warps 1 and 2 never start, and their 64 queries report
+        // deadline-exceeded.
+        let partial_budget = starved.upload.seconds + starved.distance_time + 1e-9;
+        let partial =
+            gpu_knn_resilient_deadline(&tm, &queries, &refs, &cfg, &res, partial_budget).unwrap();
+        assert_eq!(partial.report.deadline_exceeded_count(), 64);
+        assert_eq!(partial.report.counters.deadline_skips, 2);
+        // The served prefix is bit-identical to the unbounded run.
+        for (a, b) in partial.neighbors.iter().zip(&full.neighbors) {
+            if let Some(a) = a {
+                assert_eq!(Some(a), b.as_ref());
+            }
+        }
+        assert!(partial.modeled_seconds(&tm) < full_s);
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! Circuit breaker and brownout ladder.
+//!
+//! Under sustained saturation the server does not fail abruptly; it
+//! walks down a ladder of named degradation steps, each trading a
+//! little result quality or efficiency for a large reduction in
+//! per-request cost, and climbs back up hysteretically once pressure
+//! subsides:
+//!
+//! ```text
+//!   full-exact  ──trip──▶  large-tile  ──trip──▶  sampled  ──trip──▶  shed
+//!      ▲                      │  ▲                  │  ▲                │
+//!      └──────recover─────────┘  └─────recover──────┘  └────recover────┘
+//! ```
+//!
+//! * `full-exact` — streamed-exact resilient pipeline, full quality.
+//! * `large-tile` — exact results, larger reference tile + unbuffered
+//!   select (smaller shared-memory scratch, fewer kernel launches per
+//!   request).
+//! * `sampled` — selection over a strided subset of the reference set;
+//!   approximate, with a reported recall bound.
+//! * `shed` — breaker open: new arrivals are refused outright.
+//!
+//! Pressure is measured over tumbling windows of request outcomes. A
+//! window where at least `trip_frac` of requests ended badly (shed for
+//! queue-full, deadline-exceeded, or failed) steps the ladder down;
+//! `recover_windows` consecutive windows at or below `recover_frac`
+//! step it back up. The gap between the two thresholds is the
+//! hysteresis that prevents flapping. Sheds caused by the breaker
+//! *being open* are deliberately not counted as pressure — otherwise
+//! the open state would feed itself and never recover.
+
+/// One rung of the brownout ladder, ordered best to worst.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradeStep {
+    /// Full streamed-exact service.
+    #[default]
+    FullExact,
+    /// Exact service with larger tiles and unbuffered (plain) select:
+    /// same answers, bounded scratch, cheaper launch schedule.
+    LargeTile,
+    /// Selection over a strided sample of the reference set: cheaper
+    /// by ~the stride factor, with a reported recall bound.
+    Sampled,
+    /// Breaker open: shed new arrivals at admission.
+    Shed,
+}
+
+impl DegradeStep {
+    /// Stable kebab-case name used in journals and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradeStep::FullExact => "full-exact",
+            DegradeStep::LargeTile => "large-tile",
+            DegradeStep::Sampled => "sampled",
+            DegradeStep::Shed => "shed",
+        }
+    }
+
+    fn down(self) -> DegradeStep {
+        match self {
+            DegradeStep::FullExact => DegradeStep::LargeTile,
+            DegradeStep::LargeTile => DegradeStep::Sampled,
+            DegradeStep::Sampled | DegradeStep::Shed => DegradeStep::Shed,
+        }
+    }
+
+    fn up(self) -> DegradeStep {
+        match self {
+            DegradeStep::FullExact | DegradeStep::LargeTile => DegradeStep::FullExact,
+            DegradeStep::Sampled => DegradeStep::LargeTile,
+            DegradeStep::Shed => DegradeStep::Sampled,
+        }
+    }
+}
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Outcomes per tumbling window.
+    pub window: usize,
+    /// Pressure fraction at or above which the ladder steps down.
+    pub trip_frac: f64,
+    /// Pressure fraction at or below which a window counts toward
+    /// recovery. Must be below `trip_frac` for hysteresis.
+    pub recover_frac: f64,
+    /// Consecutive calm windows required before stepping back up.
+    pub recover_windows: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            window: 16,
+            trip_frac: 0.5,
+            recover_frac: 0.125,
+            recover_windows: 2,
+        }
+    }
+}
+
+/// Hysteretic state machine walking the [`DegradeStep`] ladder.
+#[derive(Debug)]
+pub struct Breaker {
+    cfg: BreakerConfig,
+    step: DegradeStep,
+    /// Pressure events in the current window.
+    hot: usize,
+    /// Outcomes observed in the current window.
+    seen: usize,
+    /// Consecutive calm windows so far.
+    calm_streak: usize,
+    /// Total downward transitions (for reports).
+    trips: u64,
+    /// Total upward transitions (for reports).
+    recoveries: u64,
+    /// Worst step ever reached.
+    worst: DegradeStep,
+}
+
+impl Breaker {
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            step: DegradeStep::FullExact,
+            hot: 0,
+            seen: 0,
+            calm_streak: 0,
+            trips: 0,
+            recoveries: 0,
+            worst: DegradeStep::FullExact,
+        }
+    }
+
+    /// Current rung of the ladder.
+    pub fn step(&self) -> DegradeStep {
+        self.step
+    }
+
+    /// Total downward transitions taken.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Total upward transitions taken.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Worst rung reached over the whole run.
+    pub fn worst(&self) -> DegradeStep {
+        self.worst
+    }
+
+    /// Record one request outcome. `pressure` is true when the outcome
+    /// indicates saturation the ladder should react to (queue-full
+    /// shed, deadline miss, or a failed request) — *not* for sheds the
+    /// open breaker itself caused. Returns the possibly-updated step.
+    pub fn observe(&mut self, pressure: bool) -> DegradeStep {
+        self.seen += 1;
+        if pressure {
+            self.hot += 1;
+        }
+        if self.seen >= self.cfg.window {
+            let frac = self.hot as f64 / self.seen as f64;
+            if frac >= self.cfg.trip_frac {
+                self.calm_streak = 0;
+                let next = self.step.down();
+                if next != self.step {
+                    self.step = next;
+                    self.trips += 1;
+                    self.worst = self.worst.max(next);
+                }
+            } else if frac <= self.cfg.recover_frac {
+                self.calm_streak += 1;
+                if self.calm_streak >= self.cfg.recover_windows {
+                    self.calm_streak = 0;
+                    let next = self.step.up();
+                    if next != self.step {
+                        self.step = next;
+                        self.recoveries += 1;
+                    }
+                }
+            } else {
+                // Between the thresholds: hold the current step and
+                // reset the recovery streak (hysteresis band).
+                self.calm_streak = 0;
+            }
+            self.hot = 0;
+            self.seen = 0;
+        }
+        self.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BreakerConfig {
+        BreakerConfig {
+            window: 4,
+            trip_frac: 0.5,
+            recover_frac: 0.25,
+            recover_windows: 2,
+        }
+    }
+
+    #[test]
+    fn ladder_order_and_names() {
+        assert!(DegradeStep::FullExact < DegradeStep::LargeTile);
+        assert!(DegradeStep::LargeTile < DegradeStep::Sampled);
+        assert!(DegradeStep::Sampled < DegradeStep::Shed);
+        assert_eq!(DegradeStep::FullExact.name(), "full-exact");
+        assert_eq!(DegradeStep::Shed.down(), DegradeStep::Shed);
+        assert_eq!(DegradeStep::FullExact.up(), DegradeStep::FullExact);
+    }
+
+    #[test]
+    fn sustained_pressure_walks_the_full_ladder() {
+        let mut b = Breaker::new(tiny());
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::Sampled);
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::Shed);
+        // Saturates at the bottom.
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::Shed);
+        assert_eq!(b.trips(), 3);
+        assert_eq!(b.worst(), DegradeStep::Shed);
+    }
+
+    #[test]
+    fn recovery_requires_consecutive_calm_windows() {
+        let mut b = Breaker::new(tiny());
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        // One calm window is not enough.
+        for _ in 0..4 {
+            b.observe(false);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        // The second consecutive calm window recovers one rung.
+        for _ in 0..4 {
+            b.observe(false);
+        }
+        assert_eq!(b.step(), DegradeStep::FullExact);
+        assert_eq!(b.recoveries(), 1);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_and_resets_the_streak() {
+        let mut b = Breaker::new(tiny());
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        // Calm window, then a mid-band window (1/4 hot = between
+        // recover_frac=0.25 exclusive? no: 0.25 <= 0.25 counts calm;
+        // use 2/4 = 0.5 trip — instead use 1 hot of 4 = 0.25 which is
+        // calm, so craft a mid-band with window 4 and 2 hot? 0.5 trips.
+        // With these thresholds the mid band is empty for window=4, so
+        // check the streak reset via a tripping window instead.
+        for _ in 0..4 {
+            b.observe(false);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        for _ in 0..4 {
+            b.observe(true); // pressure window resets the calm streak
+        }
+        assert_eq!(b.step(), DegradeStep::Sampled);
+        for _ in 0..4 {
+            b.observe(false);
+        }
+        // Streak restarted: still only one calm window since the trip.
+        assert_eq!(b.step(), DegradeStep::Sampled);
+    }
+
+    #[test]
+    fn mid_band_window_holds_step_without_recovery_credit() {
+        // window 8, trip 0.5, recover 0.125: 2/8 = 0.25 sits strictly
+        // between the thresholds.
+        let cfg = BreakerConfig {
+            window: 8,
+            trip_frac: 0.5,
+            recover_frac: 0.125,
+            recover_windows: 1,
+        };
+        let mut b = Breaker::new(cfg);
+        for _ in 0..8 {
+            b.observe(true);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        // 2 hot of 8: neither trips nor recovers.
+        for i in 0..8 {
+            b.observe(i < 2);
+        }
+        assert_eq!(b.step(), DegradeStep::LargeTile);
+        assert_eq!(b.recoveries(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded admission queue with configurable overflow policy.
+//!
+//! The queue holds requests that arrived while the server was busy.
+//! It is strictly bounded: when full, the configured [`QueuePolicy`]
+//! decides who pays — the incoming request ([`QueuePolicy::Reject`] /
+//! [`QueuePolicy::DropNewest`]) or the oldest queued one
+//! ([`QueuePolicy::DropOldest`]). Every drop is a typed, accounted
+//! outcome ([`kselect::KnnError::Overloaded`] at the API surface,
+//! `shed` in the journal) — the queue never grows unbounded and never
+//! loses a request silently.
+
+use std::collections::VecDeque;
+
+use crate::engine::Request;
+
+/// What to do with an arrival when the queue is at capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Refuse the incoming request with a typed
+    /// [`kselect::KnnError::Overloaded`] rejection. The client knows
+    /// immediately and can back off.
+    Reject,
+    /// Drop the incoming request silently from the queue's point of
+    /// view (it is still journaled as shed). Differs from `Reject`
+    /// only in intent: the caller treats the drop as best-effort load
+    /// shedding rather than an error to surface.
+    DropNewest,
+    /// Evict the oldest queued request to make room. Freshest-first
+    /// service: under overload the head of the queue is the request
+    /// most likely to miss its deadline anyway.
+    DropOldest,
+}
+
+impl QueuePolicy {
+    /// Stable kebab-case name for CLI flags and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueuePolicy::Reject => "reject",
+            QueuePolicy::DropNewest => "drop-newest",
+            QueuePolicy::DropOldest => "drop-oldest",
+        }
+    }
+
+    /// Parse a kebab-case policy name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reject" => Some(QueuePolicy::Reject),
+            "drop-newest" => Some(QueuePolicy::DropNewest),
+            "drop-oldest" => Some(QueuePolicy::DropOldest),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of offering one request to the queue.
+#[derive(Debug, PartialEq)]
+pub enum Admit {
+    /// The request was enqueued.
+    Queued,
+    /// The queue was full and the incoming request was refused
+    /// (`Reject` policy — surfaced as a typed error).
+    Rejected(Request),
+    /// The queue was full and the incoming request was dropped
+    /// (`DropNewest` policy — best-effort shed).
+    DroppedNewest(Request),
+    /// The queue was full; the oldest queued request was evicted and
+    /// the incoming one took its place (`DropOldest` policy).
+    EvictedOldest(Request),
+}
+
+/// Bounded FIFO admission queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    items: VecDeque<Request>,
+    capacity: usize,
+    policy: QueuePolicy,
+    /// Deepest occupancy ever observed (for reports).
+    max_depth: usize,
+}
+
+impl AdmissionQueue {
+    /// Queue with room for `capacity` waiting requests (≥ 1).
+    pub fn new(capacity: usize, policy: QueuePolicy) -> Self {
+        AdmissionQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+            policy,
+            max_depth: 0,
+        }
+    }
+
+    /// Requests currently waiting.
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deepest occupancy observed so far.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Whether the queue holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Offer one arrival; see [`Admit`] for the possible outcomes.
+    pub fn offer(&mut self, req: Request) -> Admit {
+        if self.items.len() < self.capacity {
+            self.items.push_back(req);
+            self.max_depth = self.max_depth.max(self.items.len());
+            return Admit::Queued;
+        }
+        match self.policy {
+            QueuePolicy::Reject => Admit::Rejected(req),
+            QueuePolicy::DropNewest => Admit::DroppedNewest(req),
+            QueuePolicy::DropOldest => {
+                // Capacity ≥ 1, so a full queue has a front to evict.
+                let victim = match self.items.pop_front() {
+                    Some(v) => v,
+                    None => return Admit::Rejected(req),
+                };
+                self.items.push_back(req);
+                Admit::EvictedOldest(victim)
+            }
+        }
+    }
+
+    /// Pop the request that has waited longest.
+    pub fn pop(&mut self) -> Option<Request> {
+        self.items.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            arrival_s: id as f64,
+            deadline_s: id as f64 + 1.0,
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let mut q = AdmissionQueue::new(3, QueuePolicy::Reject);
+        for i in 0..3 {
+            assert_eq!(q.offer(req(i)), Admit::Queued);
+        }
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop().map(|r| r.id), Some(0));
+        assert_eq!(q.pop().map(|r| r.id), Some(1));
+        assert_eq!(q.pop().map(|r| r.id), Some(2));
+        assert!(q.pop().is_none());
+        assert_eq!(q.max_depth(), 3);
+    }
+
+    #[test]
+    fn reject_refuses_the_incoming_request() {
+        let mut q = AdmissionQueue::new(1, QueuePolicy::Reject);
+        assert_eq!(q.offer(req(0)), Admit::Queued);
+        assert_eq!(q.offer(req(1)), Admit::Rejected(req(1)));
+        assert_eq!(q.pop().map(|r| r.id), Some(0));
+    }
+
+    #[test]
+    fn drop_newest_sheds_the_incoming_request() {
+        let mut q = AdmissionQueue::new(1, QueuePolicy::DropNewest);
+        assert_eq!(q.offer(req(0)), Admit::Queued);
+        assert_eq!(q.offer(req(1)), Admit::DroppedNewest(req(1)));
+        assert_eq!(q.pop().map(|r| r.id), Some(0));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_head() {
+        let mut q = AdmissionQueue::new(2, QueuePolicy::DropOldest);
+        assert_eq!(q.offer(req(0)), Admit::Queued);
+        assert_eq!(q.offer(req(1)), Admit::Queued);
+        assert_eq!(q.offer(req(2)), Admit::EvictedOldest(req(0)));
+        assert_eq!(q.pop().map(|r| r.id), Some(1));
+        assert_eq!(q.pop().map(|r| r.id), Some(2));
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            QueuePolicy::Reject,
+            QueuePolicy::DropNewest,
+            QueuePolicy::DropOldest,
+        ] {
+            assert_eq!(QueuePolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(QueuePolicy::parse("lifo"), None);
+    }
+}

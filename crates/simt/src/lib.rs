@@ -121,7 +121,10 @@ pub use launch::{launch, launch_seq};
 pub use mask::Mask;
 pub use metrics::Metrics;
 pub use report::{comparison_table, KernelReport};
-pub use resilient::{launch_resilient, ResilienceError, ResilientLaunch, RetryPolicy, WarpFailure};
+pub use resilient::{
+    launch_resilient, launch_resilient_gated, ResilienceError, ResilientLaunch, RetryPolicy,
+    WarpFailure,
+};
 pub use spec::GpuSpec;
 pub use timing::TimingModel;
 pub use warp::WarpCtx;

@@ -257,6 +257,79 @@ where
     })
 }
 
+/// [`launch_resilient`] with a launch gate: before each warp is
+/// launched, `gate(warp_id, consumed, backoff_s)` is consulted with the
+/// metrics of all work already executed (accepted *and* wasted
+/// attempts) plus the simulated backoff spent so far. A `false` gate
+/// skips the warp entirely — it consumes no issue slots and is recorded
+/// as `WarpRun { result: None, attempts: 0, failures: [] }`; an
+/// `attempts` count of zero is the stable marker for "never launched"
+/// (real runs always consume at least one attempt).
+///
+/// Gating imposes an order on launches, so warps run **sequentially in
+/// warp-id order** — the deterministic wave-sequential model a
+/// deadline check needs ("work already consumed" must be well defined
+/// at every boundary). Per-warp results, metrics and fault draws depend
+/// only on `(warp, attempt)` exactly as in [`launch_resilient`], so
+/// with an always-true gate the outcome is identical to the parallel
+/// launcher, byte for byte.
+pub fn launch_resilient_gated<R, K, V, G>(
+    spec: &GpuSpec,
+    n_warps: usize,
+    policy: &RetryPolicy,
+    kernel: K,
+    validate: V,
+    mut gate: G,
+) -> Result<ResilientLaunch<R>, ResilienceError>
+where
+    K: Fn(usize, &mut WarpCtx) -> R + Sync,
+    V: Fn(usize, &R) -> Result<(), String> + Sync,
+    R: Send,
+    G: FnMut(usize, &Metrics, f64) -> bool,
+{
+    if policy.max_attempts == 0 {
+        return Err(ResilienceError::ZeroAttempts);
+    }
+    let plan = policy.fault_plan.filter(|p| p.is_active());
+    if plan.is_some_and(|p| p.wants_kernel_faults()) && !crate::fault::compiled() {
+        return Err(ResilienceError::FaultsNotCompiled);
+    }
+    if plan.is_some() {
+        silence_fault_signals();
+    }
+
+    let mut runs = Vec::with_capacity(n_warps);
+    let mut metrics = Metrics::new();
+    let mut wasted = Metrics::new();
+    let mut consumed = Metrics::new();
+    let mut backoff_s = 0.0;
+    for w in 0..n_warps {
+        if !gate(w, &consumed, backoff_s) {
+            runs.push(WarpRun {
+                result: None,
+                attempts: 0,
+                failures: Vec::new(),
+                bitflips_injected: 0,
+                backoff_s: 0.0,
+            });
+            continue;
+        }
+        let (run, good, bad) = run_warp(spec, w, policy, plan.as_ref(), &kernel, &validate);
+        consumed.add(&good);
+        consumed.add(&bad);
+        backoff_s += run.backoff_s;
+        metrics.add(&good);
+        wasted.add(&bad);
+        runs.push(run);
+    }
+    Ok(ResilientLaunch {
+        runs,
+        metrics,
+        wasted,
+        backoff_s,
+    })
+}
+
 /// All attempts of a single warp. Returns the run plus (accepted,
 /// wasted) metrics.
 fn run_warp<R, K, V>(
@@ -401,6 +474,72 @@ mod tests {
         assert_eq!(res.wasted, Metrics::new());
         assert_eq!(res.total_retries(), 0);
         assert_eq!(res.backoff_s, 0.0);
+    }
+
+    #[test]
+    fn gated_with_open_gate_matches_parallel_launcher() {
+        let kernel = |w: usize, ctx: &mut WarpCtx| {
+            ctx.op(Mask::full(), (w as u64 % 5) + 1);
+            w as u64
+        };
+        let par = launch_resilient(&spec(), 24, &RetryPolicy::default(), kernel, ok_validate)
+            .expect("policy is valid");
+        let gated = launch_resilient_gated(
+            &spec(),
+            24,
+            &RetryPolicy::default(),
+            kernel,
+            ok_validate,
+            |_, _, _| true,
+        )
+        .expect("policy is valid");
+        let pr: Vec<Option<u64>> = par.runs.iter().map(|r| r.result).collect();
+        let gr: Vec<Option<u64>> = gated.runs.iter().map(|r| r.result).collect();
+        assert_eq!(pr, gr);
+        assert_eq!(par.metrics, gated.metrics);
+        assert_eq!(par.wasted, gated.wasted);
+        assert_eq!(par.backoff_s, gated.backoff_s);
+    }
+
+    #[test]
+    fn closed_gate_skips_remaining_warps_without_consuming_work() {
+        let kernel = |w: usize, ctx: &mut WarpCtx| {
+            ctx.op(Mask::full(), 3);
+            w as u64
+        };
+        // Stop launching once two warps' worth of work has been issued.
+        let mut seen = Vec::new();
+        let res = launch_resilient_gated(
+            &spec(),
+            8,
+            &RetryPolicy::default(),
+            kernel,
+            ok_validate,
+            |w, consumed, _| {
+                seen.push((w, consumed.issued));
+                w < 2
+            },
+        )
+        .expect("policy is valid");
+        for (w, run) in res.runs.iter().enumerate() {
+            if w < 2 {
+                assert_eq!(run.result, Some(w as u64));
+                assert_eq!(run.attempts, 1);
+            } else {
+                assert!(run.result.is_none());
+                assert_eq!(run.attempts, 0, "gated-out warp marked by attempts == 0");
+                assert!(run.failures.is_empty());
+            }
+        }
+        // The gate saw monotonically accumulated consumption, frozen
+        // once launches stopped.
+        assert_eq!(seen.len(), 8);
+        assert!(seen.windows(2).all(|p| p[0].1 <= p[1].1));
+        assert_eq!(seen[2].1, seen[7].1);
+        // Only the two launched warps' work is accounted.
+        let (two, m) = crate::launch(&spec(), 2, kernel);
+        assert_eq!(two.len(), 2);
+        assert_eq!(res.metrics, m);
     }
 
     #[test]

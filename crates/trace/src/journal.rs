@@ -65,6 +65,12 @@ pub mod phases {
     pub const BACKOFF: &str = "backoff";
     /// Host-fallback transfer share (simulated resilient pipeline).
     pub const FALLBACK: &str = "fallback";
+    /// Simulated time a request waited in the admission queue before
+    /// service started (serving layer).
+    pub const QUEUE_WAIT: &str = "queue_wait";
+    /// Input upload over the (possibly faulted) PCIe link (serving
+    /// layer).
+    pub const UPLOAD: &str = "upload";
 }
 
 /// One sampled (or exemplar) query, frozen as plain data.

@@ -95,4 +95,7 @@ pub mod names {
     pub const RESILIENCE_PCIE_STALL: &str = "resilience.pcie_stall";
     /// PCIe transfer attempts rejected for corrupt payload and retried.
     pub const RESILIENCE_PCIE_CORRUPT: &str = "resilience.pcie_corrupt";
+    /// Warps never launched because the deadline gate closed first
+    /// (their queries report `deadline-exceeded`).
+    pub const RESILIENCE_DEADLINE_SKIP: &str = "resilience.deadline_skip";
 }

@@ -49,17 +49,24 @@ use check::lint::{
 /// same reason: the journal must stay clock-free (every nanosecond it
 /// stores arrives pre-measured), and the metered call sites are the only
 /// other place the native pipelines may read `Instant`.
-const SCAN_ROOTS: [&str; 5] = [
+/// `crates/serve/src` is scanned for the same reason the journal is:
+/// the serving engine is deterministic-replay-only — every duration it
+/// handles is simulated seconds — so any wall-clock read in it is a
+/// reproducibility bug, not a style nit.
+const SCAN_ROOTS: [&str; 6] = [
     "crates/core/src/gpu",
     "crates/simt/src",
     "crates/trace/src/metrics.rs",
     "crates/trace/src/journal.rs",
     "crates/knn/src/metered.rs",
+    "crates/serve/src",
 ];
 
 /// Directories the host-path lint (`no-unwrap-io`) scans: user-facing
-/// code where a panic on bad input is a bug, not a diagnostic.
-const HOST_SCAN_ROOTS: [&str; 1] = ["crates/cli/src"];
+/// code where a panic on bad input is a bug, not a diagnostic. The
+/// serving engine qualifies: it fronts the pipelines under overload,
+/// where "panic on a full queue" defeats the whole point.
+const HOST_SCAN_ROOTS: [&str; 2] = ["crates/cli/src", "crates/serve/src"];
 
 /// Directories the hot-path allocation lint (`no-row-alloc`) scans:
 /// the native k-NN distance/selection code, where a `Vec<Vec<f32>>`

@@ -11,9 +11,11 @@
 //!   real query). Thresholds take a unit suffix: `ns`, `us`/`µs`, `ms`
 //!   or `s`; a bare number means nanoseconds.
 //! * **Rate metrics** — `error_rate` (status `failed`), `fallback_rate`
-//!   (status `fallback`) and `retry_rate` (more than one attempt) — are
-//!   fractions of all journal records. Thresholds take a `%` suffix or
-//!   a bare fraction (`0.1%` ≡ `0.001`).
+//!   (status `fallback`), `retry_rate` (more than one attempt), and the
+//!   serving-outcome rates `shed_rate` (status `shed`), `deadline_rate`
+//!   (status `deadline-exceeded`) and `degraded_rate` (status starting
+//!   `served-degraded`) — are fractions of all journal records.
+//!   Thresholds take a `%` suffix or a bare fraction (`0.1%` ≡ `0.001`).
 //!
 //! Exit codes mirror `benchdiff`: 0 every clause holds, 1 on any
 //! violated clause, 2 on unusable input (missing/malformed journal,
@@ -36,13 +38,24 @@ enum Metric {
     FallbackRate,
     /// Fraction of records that consumed more than one attempt.
     RetryRate,
+    /// Fraction of records with status `shed`.
+    ShedRate,
+    /// Fraction of records with status `deadline-exceeded`.
+    DeadlineRate,
+    /// Fraction of records whose status starts with `served-degraded`.
+    DegradedRate,
 }
 
 impl Metric {
     fn is_rate(self) -> bool {
         matches!(
             self,
-            Metric::ErrorRate | Metric::FallbackRate | Metric::RetryRate
+            Metric::ErrorRate
+                | Metric::FallbackRate
+                | Metric::RetryRate
+                | Metric::ShedRate
+                | Metric::DeadlineRate
+                | Metric::DegradedRate
         )
     }
 }
@@ -117,10 +130,14 @@ fn parse_slo(spec: &str) -> Result<Vec<Clause>, String> {
             "error_rate" => Metric::ErrorRate,
             "fallback_rate" => Metric::FallbackRate,
             "retry_rate" => Metric::RetryRate,
+            "shed_rate" => Metric::ShedRate,
+            "deadline_rate" => Metric::DeadlineRate,
+            "degraded_rate" => Metric::DegradedRate,
             other => {
                 return Err(format!(
                     "unknown SLO metric '{other}' (know p50/p90/p95/p99/mean/max, \
-                     error_rate/fallback_rate/retry_rate)"
+                     error_rate/fallback_rate/retry_rate/shed_rate/\
+                     deadline_rate/degraded_rate)"
                 ))
             }
         };
@@ -174,6 +191,9 @@ fn evaluate(clauses: &[Clause], records: &[QueryRecord]) -> Vec<Eval> {
                 Metric::ErrorRate => rate(&|r| r.status == "failed"),
                 Metric::FallbackRate => rate(&|r| r.status == "fallback"),
                 Metric::RetryRate => rate(&|r| r.attempts > 1),
+                Metric::ShedRate => rate(&|r| r.status == "shed"),
+                Metric::DeadlineRate => rate(&|r| r.status == "deadline-exceeded"),
+                Metric::DegradedRate => rate(&|r| r.status.starts_with("served-degraded")),
             };
             Eval {
                 name: c.name.clone(),
@@ -366,6 +386,25 @@ mod tests {
         assert_eq!(e[0].actual, 0.25);
         assert!(!e[1].pass, "1/4 fallback >= 20%");
         assert!(e[2].pass, "3/4 retried < 80%");
+    }
+
+    #[test]
+    fn serving_rates_count_outcome_statuses() {
+        let rs = vec![
+            rec(10, "served-exact", 1),
+            rec(20, "served-degraded-large-tile", 1),
+            rec(30, "served-degraded-sampled", 1),
+            rec(40, "shed", 1),
+            rec(50, "deadline-exceeded", 1),
+        ];
+        let c = parse_slo("shed_rate<30%,deadline_rate<10%,degraded_rate<50%").unwrap();
+        let e = evaluate(&c, &rs);
+        assert!(e[0].pass, "1/5 shed < 30%");
+        assert_eq!(e[0].actual, 0.2);
+        assert!(!e[1].pass, "1/5 deadline-exceeded >= 10%");
+        assert_eq!(e[1].actual, 0.2);
+        assert!(e[2].pass, "2/5 degraded < 50%");
+        assert_eq!(e[2].actual, 0.4);
     }
 
     #[test]
