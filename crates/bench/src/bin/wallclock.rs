@@ -4,7 +4,7 @@
 //!
 //!     wallclock [--quick] [--out FILE] [--sweep-tiles]
 //!               [--queries Q] [--refs N] [--dim D] [--k K] [--tile T]
-//!               [--metrics-out FILE] [--metrics-json FILE]
+//!               [--threads T] [--metrics-out FILE] [--metrics-json FILE]
 //!
 //! Unlike the `repro` binary — whose figures report *simulated* Tesla
 //! C2075 seconds — everything here is measured on the host with
@@ -21,13 +21,20 @@
 //!   (`knn::block::squared_distances`), counting 2·Q·N·dim flops;
 //! * `pipeline.*_qps` — end-to-end queries/second of the materialized
 //!   (full Q×N matrix, then per-row selection) and tile-streamed
-//!   (`knn_search_streamed`) paths, which are asserted to return
-//!   identical neighbors before any number is written;
+//!   (`knn_search_streamed`, or the work-stealing parallel variant when
+//!   `--threads` ≠ 1) paths, which are asserted to return identical
+//!   neighbors before any number is written;
 //! * `*_peak_distance_bytes` — the distance-buffer working set of each
-//!   path: Q·N·4 materialized vs Q·min(tile, N)·4 streamed;
+//!   path: Q·N·4 materialized vs workers·Q_BLOCK·min(tile, N)·4 streamed;
 //! * with `--sweep-tiles`, `tile_sweep[]` — streamed QPS per tile size
 //!   in {1024, 2048, 4096, 8192} (clamped to N), plus `best_tile`, the
-//!   sweep's QPS argmax.
+//!   sweep's QPS argmax. Each tile length is timed exactly once per
+//!   run: `pipeline.streamed_*` and the sweep entry for the default
+//!   tile reference the *same* measurement, so the two places can never
+//!   disagree (they used to be timed separately and drifted apart);
+//! * `threads` / `simd_dispatch` — the resolved worker count and the
+//!   SIMD kernel the runtime dispatch picked (`avx2+fma` or `scalar8`),
+//!   so snapshots from differently-pinned CI runs are distinguishable.
 //!
 //! Every timed repetition also lands in a `trace::MetricsRegistry`;
 //! `--metrics-out` writes it as OpenMetrics text, `--metrics-json` as
@@ -35,7 +42,7 @@
 
 use std::time::Instant;
 
-use knn::{block, knn_search_streamed, PointSet};
+use knn::{block, knn_search_streamed_parallel, PointSet};
 use kselect::{QueueKind, SelectConfig};
 use rayon::prelude::*;
 use serde::Serialize;
@@ -75,6 +82,10 @@ struct Report {
     dim: usize,
     k: usize,
     tile: usize,
+    /// Resolved worker-thread count the streamed pipeline ran with.
+    threads: usize,
+    /// SIMD kernel the runtime dispatch picked (`avx2+fma` / `scalar8`).
+    simd_dispatch: String,
     distance: DistanceReport,
     pipeline: PipelineReport,
     /// Empty unless `--sweep-tiles` was given.
@@ -89,6 +100,7 @@ struct Args {
     dim: usize,
     k: usize,
     tile: usize,
+    threads: usize,
     sweep_tiles: bool,
     out: String,
     metrics_out: Option<String>,
@@ -102,6 +114,7 @@ fn parse_args() -> Args {
         dim: 128,
         k: 32,
         tile: block::DEFAULT_STREAM_TILE,
+        threads: 1,
         sweep_tiles: false,
         out: "BENCH_native.json".to_string(),
         metrics_out: None,
@@ -122,6 +135,7 @@ fn parse_args() -> Args {
             "--dim" => args.dim = take("--dim").parse().expect("--dim"),
             "--k" => args.k = take("--k").parse().expect("--k"),
             "--tile" => args.tile = take("--tile").parse().expect("--tile"),
+            "--threads" => args.threads = take("--threads").parse().expect("--threads"),
             "--out" => args.out = take("--out"),
             "--metrics-out" => args.metrics_out = Some(take("--metrics-out")),
             "--metrics-json" => args.metrics_json = Some(take("--metrics-json")),
@@ -129,7 +143,7 @@ fn parse_args() -> Args {
                 eprintln!(
                     "unknown flag {other}\nusage: wallclock [--quick] [--out FILE] \
                      [--sweep-tiles] [--queries Q] [--refs N] [--dim D] [--k K] [--tile T] \
-                     [--metrics-out FILE] [--metrics-json FILE]"
+                     [--threads T] [--metrics-out FILE] [--metrics-json FILE]"
                 );
                 std::process::exit(2);
             }
@@ -192,7 +206,11 @@ fn main() {
     let args = parse_args();
     let (q, n, dim, k) = (args.q, args.n, args.dim, args.k);
     let tile = args.tile.min(n);
-    eprintln!("wallclock: Q={q} N={n} dim={dim} k={k} tile={tile}");
+    let workers = knn::resolve_threads(args.threads);
+    let dispatch = knn::dispatch_name();
+    eprintln!(
+        "wallclock: Q={q} N={n} dim={dim} k={k} tile={tile} threads={workers} kernel={dispatch}"
+    );
 
     let queries = PointSet::uniform(q, dim, 71);
     let refs = PointSet::uniform(n, dim, 72);
@@ -202,6 +220,7 @@ fn main() {
     reg.set_gauge("wallclock.refs", n as f64);
     reg.set_gauge("wallclock.dim", dim as f64);
     reg.set_gauge("wallclock.k", k as f64);
+    reg.set_gauge("wallclock.threads", workers as f64);
 
     // Distance kernels. One scalar reference pass (it is the slow one),
     // best-of-3 for the blocked kernel.
@@ -245,25 +264,76 @@ fn main() {
             .map(|qi| kselect::select_k(m.row(qi), &cfg))
             .collect::<Vec<_>>()
     });
-    let (t_streamed, streamed_neighbors) =
-        time_best(1, &reg, "wallclock.pipeline.streamed_ns", || {
-            knn_search_streamed(&queries, &refs, &cfg, tile)
+    // Streamed pipeline: every tile length (the configured tile plus,
+    // with --sweep-tiles, the standard sweep span) is measured exactly
+    // once; `pipeline.streamed_*` and the sweep entry for `tile` then
+    // reference the same numbers, so the two report sections cannot
+    // disagree. Each measurement is checked against the materialized
+    // neighbors before its number counts.
+    let mut sweep_span: Vec<usize> = Vec::new();
+    if args.sweep_tiles {
+        for t in SWEEP_TILES {
+            let t = t.min(n);
+            if !sweep_span.contains(&t) {
+                sweep_span.push(t); // clamping can alias sweep points on small N
+            }
+        }
+    }
+    let mut measure_tiles = sweep_span.clone();
+    if !measure_tiles.contains(&tile) {
+        measure_tiles.insert(0, tile);
+    }
+    // Distance-scratch working set of the streamed path: the sequential
+    // pipeline fills a Q×tile buffer, the parallel one holds a
+    // QUERY_BLOCK×tile buffer per worker.
+    let streamed_peak = |t: usize| -> u64 {
+        if workers > 1 {
+            (workers * block::QUERY_BLOCK.min(q.max(1)) * t * 4) as u64
+        } else {
+            (q * t * 4) as u64
+        }
+    };
+    let mut measured: Vec<TileSweepEntry> = Vec::new();
+    for &t in &measure_tiles {
+        let metric = if t == tile {
+            "wallclock.pipeline.streamed_ns".to_string()
+        } else {
+            format!("wallclock.sweep.tile_{t}_ns")
+        };
+        let (secs, nb) = time_best(2, &reg, &metric, || {
+            knn_search_streamed_parallel(&queries, &refs, &cfg, t, workers)
         });
-    let identical = mat_neighbors == streamed_neighbors;
-    assert!(
-        identical,
-        "streamed and materialized pipelines disagree — refusing to write numbers"
-    );
+        assert_eq!(
+            nb, mat_neighbors,
+            "streamed (tile {t}, {workers} thread(s)) and materialized pipelines \
+             disagree — refusing to write numbers"
+        );
+        let qps = q as f64 / secs;
+        eprintln!("streamed: tile {t}: {qps:.1} q/s ({secs:.3}s)");
+        measured.push(TileSweepEntry {
+            tile: t,
+            streamed_seconds: secs,
+            streamed_qps: qps,
+            peak_distance_bytes: streamed_peak(t),
+        });
+    }
+    let default_entry = measured
+        .iter()
+        .find(|e| e.tile == tile)
+        .expect("the configured tile is always measured");
     reg.record_peak("wallclock.peak.materialized_bytes", (q * n * 4) as u64);
-    reg.record_peak("wallclock.peak.streamed_bytes", (q * tile * 4) as u64);
+    reg.record_peak(
+        "wallclock.peak.streamed_bytes",
+        default_entry.peak_distance_bytes,
+    );
     let pipeline = PipelineReport {
         materialized_seconds: t_mat,
         materialized_qps: q as f64 / t_mat,
         materialized_peak_distance_bytes: (q * n * 4) as u64,
-        streamed_seconds: t_streamed,
-        streamed_qps: q as f64 / t_streamed,
-        streamed_peak_distance_bytes: (q * tile * 4) as u64,
-        results_identical: identical,
+        streamed_seconds: default_entry.streamed_seconds,
+        streamed_qps: default_entry.streamed_qps,
+        streamed_peak_distance_bytes: default_entry.peak_distance_bytes,
+        results_identical: true, // asserted per tile above
     };
     eprintln!(
         "pipeline: materialized {:.1} q/s ({} MB peak), streamed {:.1} q/s ({} MB peak)",
@@ -273,37 +343,18 @@ fn main() {
         pipeline.streamed_peak_distance_bytes >> 20,
     );
 
-    // Optional tile sweep: streamed QPS across the standard tile span,
-    // each checked against the materialized neighbors before its number
-    // counts.
-    let mut tile_sweep = Vec::new();
     let mut best_tile = tile;
+    let tile_sweep: Vec<TileSweepEntry> = measured
+        .into_iter()
+        .filter(|e| sweep_span.contains(&e.tile))
+        .collect();
     if args.sweep_tiles {
         let mut best_qps = 0.0f64;
-        let mut seen = Vec::new();
-        for t in SWEEP_TILES {
-            let t = t.min(n);
-            if seen.contains(&t) {
-                continue; // clamping can alias sweep points on small N
+        for e in &tile_sweep {
+            if e.streamed_qps > best_qps {
+                best_qps = e.streamed_qps;
+                best_tile = e.tile;
             }
-            seen.push(t);
-            let metric = format!("wallclock.sweep.tile_{t}_ns");
-            let (secs, nb) = time_best(2, &reg, &metric, || {
-                knn_search_streamed(&queries, &refs, &cfg, t)
-            });
-            assert_eq!(nb, mat_neighbors, "tile {t} sweep result mismatch");
-            let qps = q as f64 / secs;
-            eprintln!("sweep: tile {t}: {qps:.1} q/s ({secs:.3}s)");
-            if qps > best_qps {
-                best_qps = qps;
-                best_tile = t;
-            }
-            tile_sweep.push(TileSweepEntry {
-                tile: t,
-                streamed_seconds: secs,
-                streamed_qps: qps,
-                peak_distance_bytes: (q * t * 4) as u64,
-            });
         }
         reg.set_gauge("wallclock.sweep.best_tile", best_tile as f64);
         eprintln!("sweep: best tile {best_tile} ({best_qps:.1} q/s)");
@@ -315,6 +366,8 @@ fn main() {
         dim,
         k,
         tile,
+        threads: workers,
+        simd_dispatch: dispatch.to_string(),
         distance,
         pipeline,
         tile_sweep,

@@ -81,7 +81,7 @@ pub enum Command {
         out: PathBuf,
     },
     /// `search --refs FILE --queries FILE --dim D --k K [--metric M]
-    /// [--queue Q] [--json] [--metrics-out FILE]`
+    /// [--queue Q] [--threads T] [--json] [--metrics-out FILE]`
     Search {
         refs: PathBuf,
         queries: PathBuf,
@@ -89,27 +89,31 @@ pub enum Command {
         k: usize,
         metric: Metric,
         queue: QueueKind,
+        threads: usize,
         json: bool,
         metrics_out: Option<PathBuf>,
         journal: JournalArgs,
     },
-    /// `bench --n N --k K [--queue Q] [--metrics-out FILE]` — native
-    /// selection benchmark.
+    /// `bench --n N --k K [--queue Q] [--threads T] [--metrics-out FILE]`
+    /// — native selection benchmark.
     Bench {
         n: usize,
         k: usize,
         queue: QueueKind,
+        threads: usize,
         metrics_out: Option<PathBuf>,
         journal: JournalArgs,
     },
-    /// `stats --n N [--dim D] [--k K] [--queries Q] [--metrics-out FILE]`
-    /// — native runtime-metrics sweep: the streamed pipeline across tile
-    /// sizes × queue kinds, reported as latency histograms.
+    /// `stats --n N [--dim D] [--k K] [--queries Q] [--threads T]
+    /// [--metrics-out FILE]` — native runtime-metrics sweep: the streamed
+    /// pipeline across tile sizes × queue kinds, reported as latency
+    /// histograms.
     Stats {
         n: usize,
         dim: usize,
         k: usize,
         queries: usize,
+        threads: usize,
         metrics_out: Option<PathBuf>,
         journal: JournalArgs,
     },
@@ -174,6 +178,7 @@ pub enum Command {
         policy: QueuePolicy,
         tile: usize,
         stride: usize,
+        threads: usize,
         fault_plan: Option<FaultPlanArgs>,
         json: bool,
         metrics_out: Option<PathBuf>,
@@ -227,6 +232,19 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             "insertion" => Ok(QueueKind::Insertion),
             other => Err(format!("unknown queue kind: {other}")),
         }
+    };
+    // Worker threads of the native distance/select pipeline: 1 (default)
+    // is the sequential path, 0 resolves to the machine's parallelism at
+    // runtime (`RAYON_NUM_THREADS`, else available cores).
+    let threads = |flags: &HashMap<String, String>| -> Result<usize, String> {
+        flags
+            .get("threads")
+            .map(|s| {
+                s.parse::<usize>()
+                    .map_err(|_| "--threads must be an integer".to_string())
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(1))
     };
     let journal = |flags: &HashMap<String, String>| -> Result<JournalArgs, String> {
         let sample = flags
@@ -289,6 +307,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 other => return Err(format!("unknown metric: {other}")),
             },
             queue: queue(&flags)?,
+            threads: threads(&flags)?,
             json: bools.contains(&"json".to_string()),
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
             journal: journal(&flags)?,
@@ -297,6 +316,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             n: get_usize("n")?,
             k: get_usize("k")?,
             queue: queue(&flags)?,
+            threads: threads(&flags)?,
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
             journal: journal(&flags)?,
         }),
@@ -313,6 +333,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 dim: get_usize_or("dim", 16)?,
                 k: get_usize_or("k", 16)?,
                 queries: get_usize_or("queries", 64)?,
+                threads: threads(&flags)?,
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
                 journal: journal(&flags)?,
             })
@@ -414,6 +435,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 },
                 tile: get_usize_or("tile", 1024)?,
                 stride: get_usize_or("stride", 4)?,
+                threads: threads(&flags)?,
                 fault_plan: flags
                     .get("fault-plan")
                     .map(|s| parse_fault_plan(s))
@@ -452,13 +474,14 @@ USAGE:
   knn-cli generate --count N --dim D [--seed S] --out FILE
   knn-cli search   --refs FILE --queries FILE --dim D --k K
                    [--metric euclidean|manhattan|cosine|dot]
-                   [--queue merge|heap|insertion] [--json]
+                   [--queue merge|heap|insertion] [--threads T] [--json]
                    [--metrics-out metrics.txt] [--journal-out j.jsonl]
                    [--journal-sample P] [--journal-exemplars E]
   knn-cli bench    --n N --k K [--queue merge|heap|insertion]
-                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
-                   [--journal-sample P] [--journal-exemplars E]
-  knn-cli stats    --n N [--dim D] [--k K] [--queries Q]
+                   [--threads T] [--metrics-out metrics.txt]
+                   [--journal-out j.jsonl] [--journal-sample P]
+                   [--journal-exemplars E]
+  knn-cli stats    --n N [--dim D] [--k K] [--queries Q] [--threads T]
                    [--metrics-out metrics.txt] [--journal-out j.jsonl]
                    [--journal-sample P] [--journal-exemplars E]
   knn-cli simulate --n N --k K [--queue merge|heap|insertion]
@@ -473,9 +496,10 @@ USAGE:
                    [--rate R | --load L] [--deadline D | --deadline-factor F]
                    [--capacity C] [--policy reject|drop-newest|drop-oldest]
                    [--n N] [--dim D] [--k K] [--queries Q] [--tile T]
-                   [--stride S] [--fault-plan k=R,...] [--json]
-                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
-                   [--journal-sample P] [--journal-exemplars E]
+                   [--stride S] [--threads T] [--fault-plan k=R,...]
+                   [--json] [--metrics-out metrics.txt]
+                   [--journal-out j.jsonl] [--journal-sample P]
+                   [--journal-exemplars E]
   knn-cli report   JOURNAL.jsonl [--top N]
   knn-cli help
 
@@ -506,6 +530,14 @@ chaos campaign (`aborts=0.01,pcie-corrupt=0.05`; kernel faults need a
 `--features fault` build). Every request terminates in exactly one
 journaled outcome; the run exits 2 if any request goes unaccounted.
 --json prints a one-line machine-readable summary to stdout.
+
+--threads T (on search/bench/stats/serve) sets the worker-thread count
+of the native distance/select pipeline: 1 (default) runs the sequential
+path, 0 auto-detects (RAYON_NUM_THREADS, else available cores). Results
+are identical at every thread count — the parallel pipeline merges
+tiles per query in the sequential order. Instrumented commands report
+the active SIMD kernel (`simd_dispatch`: avx2+fma or scalar8; override
+with KNN_SIMD=scalar) alongside the thread count.
 
 --journal-out (on search/bench/stats/faults/serve) records one structured
 event per query — per-phase latency, merge counters, retry/fallback
@@ -743,6 +775,7 @@ mod tests {
                 dim: 16,
                 k: 16,
                 queries: 64,
+                threads: 1,
                 metrics_out: None,
                 journal: JournalArgs::default(),
             }
@@ -768,6 +801,7 @@ mod tests {
                 dim: 32,
                 k: 8,
                 queries: 10,
+                threads: 1,
                 metrics_out: Some(PathBuf::from("m.json")),
                 journal: JournalArgs::default(),
             }
@@ -794,6 +828,7 @@ mod tests {
                 n: 1000,
                 k: 16,
                 queue: QueueKind::Merge,
+                threads: 1,
                 metrics_out: Some(PathBuf::from("m.txt")),
                 journal: JournalArgs::default(),
             }
@@ -819,6 +854,48 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse(&v(&["bench", "--n", "10", "--k", "4", "--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn threads_parses_on_all_native_commands() {
+        // default is 1 (sequential)
+        match parse(&v(&["bench", "--n", "100", "--k", "4"])).unwrap() {
+            Command::Bench { threads, .. } => assert_eq!(threads, 1),
+            _ => panic!("wrong command"),
+        }
+        match parse(&v(&["bench", "--n", "100", "--k", "4", "--threads", "8"])).unwrap() {
+            Command::Bench { threads, .. } => assert_eq!(threads, 8),
+            _ => panic!("wrong command"),
+        }
+        match parse(&v(&[
+            "search",
+            "--refs",
+            "r",
+            "--queries",
+            "q",
+            "--dim",
+            "8",
+            "--k",
+            "5",
+            "--threads",
+            "4",
+        ]))
+        .unwrap()
+        {
+            Command::Search { threads, .. } => assert_eq!(threads, 4),
+            _ => panic!("wrong command"),
+        }
+        // 0 = auto-detect at runtime
+        match parse(&v(&["stats", "--n", "100", "--threads", "0"])).unwrap() {
+            Command::Stats { threads, .. } => assert_eq!(threads, 0),
+            _ => panic!("wrong command"),
+        }
+        match parse(&v(&["serve", "--threads", "2"])).unwrap() {
+            Command::Serve { threads, .. } => assert_eq!(threads, 2),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&v(&["bench", "--n", "10", "--k", "2", "--threads", "two"])).is_err());
+        assert!(parse(&v(&["bench", "--n", "10", "--k", "2", "--threads", "-1"])).is_err());
     }
 
     #[test]
@@ -903,6 +980,7 @@ mod tests {
                 policy: QueuePolicy::Reject,
                 tile: 1024,
                 stride: 4,
+                threads: 1,
                 fault_plan: None,
                 json: false,
                 metrics_out: None,

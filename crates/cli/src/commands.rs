@@ -3,7 +3,7 @@
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use knn::{knn_search_with, validate_points, PointSet};
+use knn::{knn_search_with, validate_points, Metric, PointSet};
 use kselect::gpu::{gpu_select_k, DistanceMatrix, GpuResilience};
 use kselect::{select_k, KnnError, QueueKind, SelectConfig};
 use rand::{Rng, SeedableRng};
@@ -133,6 +133,7 @@ pub fn run(cmd: Command) -> i32 {
             k,
             metric,
             queue,
+            threads,
             json,
             metrics_out,
             journal,
@@ -165,21 +166,51 @@ pub fn run(cmd: Command) -> i32 {
             let cfg = SelectConfig::optimized(queue, padded_k(queue, k));
             let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
             let jn = make_journal(&journal);
+            let workers = knn::resolve_threads(threads);
+            let parallel = workers > 1 && metric == Metric::SquaredEuclidean;
+            if workers > 1 && !parallel {
+                eprintln!(
+                    "note: --threads applies to the squared-euclidean streamed pipeline \
+                     only; {metric:?} runs sequentially"
+                );
+            }
             let t0 = Instant::now();
-            let mut results = match (&jn, &registry) {
-                (Some(j), reg) => knn::metered::knn_search_with_journaled(
-                    &queries,
-                    &refs,
-                    &cfg,
-                    metric,
-                    j,
-                    reg.as_ref(),
-                    "search",
-                ),
-                (None, Some(reg)) => {
-                    knn::metered::knn_search_with_metered(&queries, &refs, &cfg, metric, reg)
+            let mut results = if parallel {
+                let tile = knn::DEFAULT_STREAM_TILE;
+                match (&jn, &registry) {
+                    (Some(j), reg) => knn::metered::knn_search_streamed_parallel_journaled(
+                        &queries,
+                        &refs,
+                        &cfg,
+                        tile,
+                        workers,
+                        j,
+                        reg.as_ref(),
+                        "search",
+                    ),
+                    (None, Some(reg)) => knn::metered::knn_search_streamed_parallel_metered(
+                        &queries, &refs, &cfg, tile, workers, reg,
+                    ),
+                    (None, None) => {
+                        knn::knn_search_streamed_parallel(&queries, &refs, &cfg, tile, workers)
+                    }
                 }
-                (None, None) => knn_search_with(&queries, &refs, &cfg, metric),
+            } else {
+                match (&jn, &registry) {
+                    (Some(j), reg) => knn::metered::knn_search_with_journaled(
+                        &queries,
+                        &refs,
+                        &cfg,
+                        metric,
+                        j,
+                        reg.as_ref(),
+                        "search",
+                    ),
+                    (None, Some(reg)) => {
+                        knn::metered::knn_search_with_metered(&queries, &refs, &cfg, metric, reg)
+                    }
+                    (None, None) => knn_search_with(&queries, &refs, &cfg, metric),
+                }
             };
             for r in &mut results {
                 r.truncate(k);
@@ -205,10 +236,12 @@ pub fn run(cmd: Command) -> i32 {
                 }
             } else {
                 println!(
-                    "{} queries × {} refs (dim {dim}, {metric:?}, {queue:?}) in {:.1} ms",
+                    "{} queries × {} refs (dim {dim}, {metric:?}, {queue:?}) in {:.1} ms \
+                     [kernel {}, threads {workers}]",
                     queries.len(),
                     refs.len(),
-                    dt * 1e3
+                    dt * 1e3,
+                    knn::dispatch_name(),
                 );
                 for (qi, r) in results.iter().enumerate() {
                     let ids: Vec<u32> = r.iter().map(|n| n.id).collect();
@@ -226,9 +259,19 @@ pub fn run(cmd: Command) -> i32 {
             n,
             k,
             queue,
+            threads,
             metrics_out,
             journal,
         } => {
+            // The selection microbenchmark itself is single-query serial;
+            // --threads is recorded for report parity with the pipeline
+            // commands (and resolved, so `--threads 0` shows the detected
+            // count).
+            let workers = knn::resolve_threads(threads);
+            println!(
+                "native kernel: {} | threads: {workers}",
+                knn::dispatch_name()
+            );
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let dists: Vec<f32> = (0..n).map(|_| rng.gen()).collect();
             let kk = padded_k(queue, k);
@@ -287,6 +330,7 @@ pub fn run(cmd: Command) -> i32 {
             if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
                 reg.set_gauge("bench.n", n as f64);
                 reg.set_gauge("bench.k", k as f64);
+                reg.set_gauge("bench.threads", workers as f64);
                 if let Err(e) = write_metrics(path, &reg.snapshot()) {
                     eprintln!("error writing {}: {e}", path.display());
                     return 1;
@@ -305,9 +349,10 @@ pub fn run(cmd: Command) -> i32 {
             dim,
             k,
             queries,
+            threads,
             metrics_out,
             journal,
-        } => run_stats(n, dim, k, queries, metrics_out, journal),
+        } => run_stats(n, dim, k, queries, threads, metrics_out, journal),
         Command::Simulate { n, k, queue } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let flat: Vec<f32> = (0..32 * n).map(|_| rng.gen()).collect();
@@ -420,6 +465,7 @@ pub fn run(cmd: Command) -> i32 {
             policy,
             tile,
             stride,
+            threads,
             fault_plan,
             json,
             metrics_out,
@@ -440,6 +486,7 @@ pub fn run(cmd: Command) -> i32 {
             policy,
             tile,
             stride,
+            threads,
             fault_plan,
             json,
             metrics_out,
@@ -462,6 +509,7 @@ fn run_stats(
     dim: usize,
     k: usize,
     queries: usize,
+    threads: usize,
     metrics_out: Option<std::path::PathBuf>,
     journal: JournalArgs,
 ) -> i32 {
@@ -472,9 +520,14 @@ fn run_stats(
         eprintln!("error: {}: {e}", e.name());
         return 1;
     }
+    let workers = knn::resolve_threads(threads);
     let reg = MetricsRegistry::new();
     let jn = make_journal(&journal);
-    println!("native streamed pipeline: {queries} queries × {n} refs (dim {dim}, k={k})\n");
+    println!(
+        "native streamed pipeline: {queries} queries × {n} refs (dim {dim}, k={k}) \
+         [kernel {}, threads {workers}]\n",
+        knn::dispatch_name()
+    );
     println!(
         "{:<10} {:>6} {:>12} {:>14}",
         "queue", "tile", "qps", "ms total"
@@ -488,8 +541,18 @@ fn run_stats(
         let cfg = SelectConfig::optimized(kind, kk);
         for tile in STATS_TILES {
             let t0 = Instant::now();
-            let out = match &jn {
-                Some(j) => knn::metered::knn_search_streamed_journaled(
+            let out = match (&jn, workers > 1) {
+                (Some(j), true) => knn::metered::knn_search_streamed_parallel_journaled(
+                    &qs,
+                    &refs,
+                    &cfg,
+                    tile,
+                    workers,
+                    j,
+                    Some(&reg),
+                    "stats",
+                ),
+                (Some(j), false) => knn::metered::knn_search_streamed_journaled(
                     &qs,
                     &refs,
                     &cfg,
@@ -498,7 +561,12 @@ fn run_stats(
                     Some(&reg),
                     "stats",
                 ),
-                None => knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg),
+                (None, true) => knn::metered::knn_search_streamed_parallel_metered(
+                    &qs, &refs, &cfg, tile, workers, &reg,
+                ),
+                (None, false) => {
+                    knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg)
+                }
             };
             let dt = t0.elapsed().as_secs_f64();
             std::hint::black_box(&out);
@@ -704,6 +772,7 @@ struct ServeCliArgs {
     policy: serve::QueuePolicy,
     tile: usize,
     stride: usize,
+    threads: usize,
     fault_plan: Option<FaultPlanArgs>,
     json: bool,
     metrics_out: Option<PathBuf>,
@@ -740,6 +809,7 @@ fn run_serve(a: ServeCliArgs) -> i32 {
         policy: a.policy,
         large_tile: a.tile,
         sample_stride: a.stride,
+        threads: a.threads,
         faults,
         ..serve::ServeConfig::default()
     };
@@ -1066,6 +1136,7 @@ mod tests {
                 k: 5,
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
+                threads: 1,
                 json: true,
                 metrics_out: None,
                 journal: JournalArgs::default(),
@@ -1081,6 +1152,7 @@ mod tests {
                 k: 500,
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
+                threads: 1,
                 json: false,
                 metrics_out: None,
                 journal: JournalArgs::default(),
@@ -1096,6 +1168,7 @@ mod tests {
                 k: 0,
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
+                threads: 1,
                 json: false,
                 metrics_out: None,
                 journal: JournalArgs::default(),
@@ -1118,6 +1191,7 @@ mod tests {
                 k: 5,
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
+                threads: 1,
                 json: false,
                 metrics_out: None,
                 journal: JournalArgs::default(),
@@ -1174,6 +1248,7 @@ mod tests {
                     n: 2000,
                     k: 16,
                     queue: QueueKind::Merge,
+                    threads: 1,
                     metrics_out: Some(path.clone()),
                     journal: JournalArgs::default(),
                 }),
@@ -1199,7 +1274,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("stats.txt");
         assert_eq!(
-            run_stats(3000, 8, 8, 6, Some(out.clone()), JournalArgs::default()),
+            run_stats(3000, 8, 8, 6, 1, Some(out.clone()), JournalArgs::default()),
             0
         );
         let text = std::fs::read_to_string(&out).unwrap();
@@ -1208,8 +1283,11 @@ mod tests {
         assert!(text.contains("knn_queries_total 72"));
         assert!(text.ends_with("# EOF\n"));
         // invalid k is a clean named error
-        assert_eq!(run_stats(100, 8, 0, 4, None, JournalArgs::default()), 1);
-        assert_eq!(run_stats(100, 8, 200, 4, None, JournalArgs::default()), 1);
+        assert_eq!(run_stats(100, 8, 0, 4, 1, None, JournalArgs::default()), 1);
+        assert_eq!(
+            run_stats(100, 8, 200, 4, 1, None, JournalArgs::default()),
+            1
+        );
     }
 
     #[test]
@@ -1248,6 +1326,7 @@ mod tests {
                 k: 5,
                 metric: Metric::SquaredEuclidean,
                 queue: QueueKind::Merge,
+                threads: 1,
                 json: false,
                 metrics_out: None,
                 journal: JournalArgs {
@@ -1305,7 +1384,7 @@ mod tests {
             out: Some(jpath.clone()),
             ..JournalArgs::default()
         };
-        assert_eq!(run_stats(3000, 8, 8, 6, None, args), 0);
+        assert_eq!(run_stats(3000, 8, 8, 6, 1, None, args), 0);
         let recs = trace::journal::parse_jsonl(&std::fs::read_to_string(&jpath).unwrap()).unwrap();
         // 3 queue kinds × 4 tiles × 6 queries
         assert_eq!(recs.len(), 72);
@@ -1318,6 +1397,7 @@ mod tests {
                 n: 2000,
                 k: 16,
                 queue: QueueKind::Merge,
+                threads: 1,
                 metrics_out: None,
                 journal: JournalArgs {
                     out: Some(bpath.clone()),

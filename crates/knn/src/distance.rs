@@ -8,6 +8,13 @@
 //!   row-major output. Returns *squared* distances: the square root is
 //!   monotone, so k-NN ranks are unchanged and the paper's brute-force
 //!   baseline (Garcia et al. \[3\]) does the same.
+//! * [`simd`] — runtime-dispatched SIMD microkernels for the row
+//!   primitive the blocked kernel is built from: an AVX2 vector kernel
+//!   register-blocked over four reference rows (picked when the host
+//!   supports `avx2`+`fma`), with the portable 8-accumulator scalar
+//!   kernel as fallback. Both reproduce [`dot`]'s accumulation order
+//!   bit for bit — see that module for why an actual fused
+//!   multiply-add is deliberately *not* issued.
 //! * [`distance_matrix`] — the legacy heap-of-rows interface, now a thin
 //!   wrapper over the blocked kernel kept for downstream compatibility.
 //! * [`gpu_distance_metrics`] — an *analytic* metrics model of the
@@ -34,6 +41,7 @@
 //! (NaN from non-finite inputs is preserved for [`clamp_non_finite`]).
 
 pub mod block;
+pub mod simd;
 
 use simt::Metrics;
 

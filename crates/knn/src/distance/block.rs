@@ -11,10 +11,13 @@
 //! dimension, norms are hoisted and computed once per point, and the
 //! whole matrix is written into a single flat row-major buffer.
 //!
-//! Blocking: queries are processed in [`QUERY_BLOCK`]-sized groups
-//! (rayon-parallel) and references in [`REF_TILE`]-sized tiles, so one
-//! tile of reference rows stays cache-resident while a block of queries
-//! streams over it. The inner reduction is [`crate::distance::dot`] —
+//! Blocking: query rows are split into per-worker slabs
+//! (rayon-parallel) and references into [`REF_TILE`]-sized tiles walked
+//! in the outer loop, so one tile of reference rows stays
+//! cache-resident while every query row in the slab streams over it —
+//! the reference set is read once per slab instead of once per
+//! [`QUERY_BLOCK`]. (The streamed pipelines still schedule work in
+//! `QUERY_BLOCK` units; only this materialising kernel is tile-outer.) The inner reduction is [`crate::distance::dot`] —
 //! [`crate::distance::LANES`] independent accumulators over
 //! `chunks_exact`, which autovectorizes — and is *the same function* the
 //! scalar [`crate::squared_distance`] uses, so blocked output equals the
@@ -28,7 +31,7 @@
 use rayon::prelude::*;
 
 use crate::dataset::PointSet;
-use crate::distance::{clamp_non_finite, dot, squared_distance_from_parts, squared_norm};
+use crate::distance::{simd, squared_norm};
 
 /// Queries per parallel work unit. 32 rows of dim ≤ 512 stay within L1/L2
 /// alongside one reference tile.
@@ -132,6 +135,10 @@ pub fn norms(points: &PointSet) -> Vec<f32> {
 /// absolute reference id). This is the inner row primitive shared by the
 /// materialising kernel, the per-query search path and the tile-streamed
 /// path — one call site for the arithmetic keeps all of them bit-equal.
+/// The arithmetic itself lives in [`crate::distance::simd`], which
+/// dispatches at runtime between the AVX2 vector kernel and the
+/// portable scalar kernel; both reproduce the scalar reference bit for
+/// bit, so every caller of this function is unaffected by the dispatch.
 #[inline]
 pub fn fill_row_range(
     qp: &[f32],
@@ -142,16 +149,14 @@ pub fn fill_row_range(
     out: &mut [f32],
 ) {
     debug_assert!(r0 + out.len() <= refs.len());
-    for (j, o) in out.iter_mut().enumerate() {
-        let r = r0 + j;
-        let d = squared_distance_from_parts(norm_q, ref_norms[r], dot(qp, refs.point(r)));
-        *o = clamp_non_finite(d);
-    }
+    simd::fill_rows(qp, norm_q, refs, ref_norms, r0, out);
 }
 
 /// The blocked kernel: the full Q×N squared-distance matrix as a flat
-/// row-major [`FlatMatrix`], parallel over [`QUERY_BLOCK`]-sized query
-/// blocks with [`REF_TILE`]-sized reference tiles.
+/// row-major [`FlatMatrix`], parallel over per-worker slabs of query
+/// rows, tile-outer over [`REF_TILE`]-sized reference tiles within
+/// each slab (each tile is read once per slab, not once per
+/// [`QUERY_BLOCK`]).
 ///
 /// Output is bit-identical to calling
 /// `clamp_non_finite(squared_distance(q, r))` per pair.
@@ -163,25 +168,28 @@ pub fn squared_distances(queries: &PointSet, refs: &PointSet) -> FlatMatrix {
     let q = queries.len();
     let n = refs.len();
     let ref_norms = norms(refs);
+    let q_norms = norms(queries);
     let mut data = vec![0.0f32; q * n];
-    // One entry per query block, so the parallel split is balanced and
-    // each worker owns a contiguous slab of the output.
-    let blocks: Vec<(usize, &mut [f32])> = data
-        .chunks_mut((QUERY_BLOCK * n).max(1))
-        .enumerate()
-        .collect();
-    blocks.into_par_iter().for_each(|(bi, slab)| {
-        let q0 = bi * QUERY_BLOCK;
-        let q_len = slab.len() / n.max(1);
-        let q_norms: Vec<f32> = (0..q_len)
-            .map(|i| squared_norm(queries.point(q0 + i)))
-            .collect();
+    // One contiguous slab of whole query rows per worker, so the
+    // parallel split stays balanced and each worker owns a disjoint
+    // region of the output.
+    let workers = crate::pipeline::resolve_threads(0).clamp(1, q.max(1));
+    let rows_per = q.div_ceil(workers).max(1);
+    let slabs: Vec<(usize, &mut [f32])> =
+        data.chunks_mut((rows_per * n).max(1)).enumerate().collect();
+    slabs.into_par_iter().for_each(|(si, slab)| {
+        let q0 = si * rows_per;
+        // Tile-outer: each REF_TILE-sized slice of the reference set is
+        // pulled into cache once per slab and reused across every query
+        // row in the slab, instead of once per QUERY_BLOCK — for large
+        // N that divides the reference re-read traffic by the slab's
+        // row count. Fill order changes; per-pair bits do not.
         for r0 in (0..n).step_by(REF_TILE) {
             let t_len = REF_TILE.min(n - r0);
-            for (i, row) in slab.chunks_exact_mut(n).enumerate() {
+            for (i, row) in slab.chunks_exact_mut(n.max(1)).enumerate() {
                 fill_row_range(
                     queries.point(q0 + i),
-                    q_norms[i],
+                    q_norms[q0 + i],
                     refs,
                     &ref_norms,
                     r0,
@@ -196,7 +204,7 @@ pub fn squared_distances(queries: &PointSet, refs: &PointSet) -> FlatMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distance::squared_distance;
+    use crate::distance::{clamp_non_finite, squared_distance};
 
     #[test]
     fn blocked_equals_scalar_bitwise() {

@@ -35,6 +35,7 @@ pub use cpu::{
 };
 pub use dataset::PointSet;
 pub use distance::block::{self, FlatMatrix, DEFAULT_STREAM_TILE};
+pub use distance::simd::{self, dispatch_name};
 pub use distance::{
     clamp_non_finite, distance_matrix, dot, gpu_distance_metrics, squared_distance, squared_norm,
 };
@@ -43,6 +44,7 @@ pub use graph::KnnGraph;
 #[cfg(feature = "metrics")]
 pub use metered::{
     knn_search_metered, knn_search_streamed_journaled, knn_search_streamed_metered,
+    knn_search_streamed_parallel_journaled, knn_search_streamed_parallel_metered,
     knn_search_with_journaled, JournalObserver, RegistryObserver,
 };
 pub use metric::{distance_matrix_flat_with, distance_matrix_with, Metric};
@@ -50,7 +52,9 @@ pub use pcie::{data_copy_time, transfer_with_faults, PcieReport};
 pub use pipeline::{
     gpu_knn, gpu_knn_resilient, gpu_knn_resilient_deadline, gpu_knn_resilient_journaled,
     gpu_knn_traced, knn_search, knn_search_streamed, knn_search_streamed_cancellable,
-    knn_search_streamed_observed, knn_search_with, knn_search_with_observed, queue_tag,
-    validate_points, CancelToken, Cancelled, GpuKnnResult, NeverCancel, NullObserver, Phase,
-    PhaseObserver, ResilientKnnResult, TileBudget,
+    knn_search_streamed_observed, knn_search_streamed_parallel,
+    knn_search_streamed_parallel_cancellable, knn_search_streamed_parallel_observed,
+    knn_search_with, knn_search_with_observed, queue_tag, resolve_threads, validate_points,
+    CancelToken, Cancelled, GpuKnnResult, NeverCancel, NullObserver, Phase, PhaseObserver,
+    ResilientKnnResult, TileBudget,
 };

@@ -42,7 +42,8 @@ use crate::dataset::PointSet;
 use crate::distance::block::{self, FlatMatrix};
 use crate::metric::Metric;
 use crate::pipeline::{
-    knn_search_streamed_observed, knn_search_with_observed, queue_tag, Phase, PhaseObserver,
+    knn_search_streamed_observed, knn_search_streamed_parallel_observed, knn_search_with_observed,
+    queue_tag, Phase, PhaseObserver,
 };
 
 /// Histogram name a [`Phase`] records under.
@@ -366,6 +367,76 @@ pub fn knn_search_streamed_journaled<J: Journal>(
     out
 }
 
+/// [`crate::knn_search_streamed_parallel`] metered. Both observers here
+/// are already thread-safe (lock-striped drafts, atomic registry), so
+/// the per-worker measurements land in the same histograms and
+/// counters; totals are exact, only the hook interleaving differs from
+/// the sequential path. Note the merge histogram granularity: the
+/// parallel pipeline merges per query × tile (inside the owning
+/// worker), where the sequential path merges all queries per tile in
+/// one observation.
+pub fn knn_search_streamed_parallel_metered(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+    registry: &MetricsRegistry,
+) -> Vec<Vec<Neighbor>> {
+    registry.inc(QUERIES, queries.len() as u64);
+    knn_search_streamed_parallel_observed(
+        queries,
+        refs,
+        cfg,
+        tile,
+        threads,
+        &RegistryObserver::new(registry),
+    )
+}
+
+/// [`crate::knn_search_streamed_parallel`] journaling one
+/// [`QueryRecord`] per query. The [`JournalObserver`]'s per-query draft
+/// shards accumulate from whichever worker owns each query's block and
+/// are merged into records once, after the pool joins — so per-query
+/// phase sums and merge counters are exact at any thread count. See
+/// [`knn_search_with_journaled`] for the disabled-journal contract.
+#[allow(clippy::too_many_arguments)]
+pub fn knn_search_streamed_parallel_journaled<J: Journal>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+    journal: &J,
+    registry: Option<&MetricsRegistry>,
+    tag: &str,
+) -> Vec<Vec<Neighbor>> {
+    if !journal.enabled() {
+        return match registry {
+            Some(reg) => {
+                knn_search_streamed_parallel_metered(queries, refs, cfg, tile, threads, reg)
+            }
+            None => knn_search_streamed_parallel_observed(
+                queries,
+                refs,
+                cfg,
+                tile,
+                threads,
+                &crate::pipeline::NullObserver,
+            ),
+        };
+    }
+    if let Some(reg) = registry {
+        reg.inc(QUERIES, queries.len() as u64);
+    }
+    let obs = JournalObserver::new(queries.len(), registry);
+    let out = knn_search_streamed_parallel_observed(queries, refs, cfg, tile, threads, &obs);
+    let eff_tile = tile.min(refs.len().max(1));
+    let blocks = refs.len().div_ceil(eff_tile.max(1)) as u32;
+    obs.flush(journal, cfg, tag, eff_tile as u64, blocks);
+    out
+}
+
 /// [`block::squared_distances`] with the kernel invocation timed into
 /// [`DISTANCE_BLOCKED_NS`] and the materialized matrix counted against
 /// the scratch peak.
@@ -501,6 +572,74 @@ mod tests {
             assert_eq!(r.scratch_bytes, 16 * 100 * 4);
             assert!(r.phase_ns.iter().any(|(k, _)| k == "tile_select"));
             assert!(r.total_ns > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_metered_matches_sequential_and_totals_are_exact() {
+        let queries = PointSet::uniform(70, 12, 137);
+        let refs = PointSet::uniform(400, 12, 138);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 16);
+        let sequential = knn_search_streamed(&queries, &refs, &cfg, 100);
+        for threads in [2usize, 8] {
+            let reg = MetricsRegistry::new();
+            let parallel =
+                knn_search_streamed_parallel_metered(&queries, &refs, &cfg, 100, threads, &reg);
+            assert_eq!(parallel, sequential, "threads {threads}");
+            let snap = reg.snapshot();
+            let hist = |name: &str| {
+                snap.histograms
+                    .iter()
+                    .find(|h| h.name == name)
+                    .unwrap_or_else(|| panic!("missing histogram {name}"))
+            };
+            // 400 refs / tile 100 = 4 tiles × 70 queries, regardless of
+            // how blocks were distributed across workers.
+            assert_eq!(hist("knn.tile.fill_ns").count, 280, "threads {threads}");
+            assert_eq!(hist("knn.tile.select_ns").count, 280);
+            // The parallel pipeline merges per query × tile.
+            assert_eq!(hist("knn.tile.merge_ns").count, 280);
+            assert_eq!(reg.counter(QUERIES), 70);
+            assert_eq!(reg.counter(MERGE_PUSH), 4 * 16 * 70);
+            assert_eq!(
+                reg.counter(MERGE_PUSH) - reg.counter(MERGE_REJECT),
+                70 * 16,
+                "kept candidates must equal Q × k"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_journaled_matches_sequential_records_at_any_thread_count() {
+        use trace::{EventJournal, JournalConfig};
+
+        let queries = PointSet::uniform(40, 10, 139);
+        let refs = PointSet::uniform(300, 10, 140);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let sequential = knn_search_streamed(&queries, &refs, &cfg, 100);
+        for threads in [1usize, 2, 8] {
+            let journal = EventJournal::new(JournalConfig::default());
+            let out = knn_search_streamed_parallel_journaled(
+                &queries, &refs, &cfg, 100, threads, &journal, None, "par-run",
+            );
+            assert_eq!(out, sequential, "threads {threads}");
+            let snap = journal.snapshot();
+            assert_eq!(snap.len(), 40, "one record per query");
+            for r in &snap {
+                assert_eq!(r.tile, 100);
+                assert_eq!(r.blocks, 3, "300 refs / tile 100");
+                // Deterministic per-query merge invariants: every tile
+                // contributes min(k, tile) = 8 pushes and kept = k.
+                assert_eq!(r.merge_push, 3 * 8, "threads {threads}");
+                assert_eq!(r.merge_push - r.merge_reject, 8);
+                assert_eq!(r.status, "ok");
+                assert!(r.total_ns > 0, "tile phases must be timed");
+                let phase_sum: u64 = r.phase_ns.iter().map(|(_, ns)| ns).sum();
+                assert_eq!(
+                    phase_sum, r.total_ns,
+                    "streamed total is the sum of its tile phases"
+                );
+            }
         }
     }
 

@@ -10,6 +10,12 @@
 //!   materialised, so peak distance memory is O(Q·tile) instead of
 //!   O(Q·N) — same distances bit-for-bit and same neighbors as
 //!   [`knn_search`] (see its docs for the tied-id caveat).
+//! * [`knn_search_streamed_parallel`] — the streamed pipeline scheduled
+//!   across a pool of OS threads: workers claim query *blocks* from a
+//!   shared cursor and walk every reference tile of their block in
+//!   ascending order, so each query's merge sequence — and therefore
+//!   its neighbors — is identical at any thread count. One scratch
+//!   buffer per worker, no per-query allocation.
 //! * [`gpu_knn`] — the simulated pipeline the experiments use: distances
 //!   are computed natively (they are *data*), the distance kernel's cost
 //!   is charged analytically, and k-selection runs for real on the SIMT
@@ -354,6 +360,199 @@ pub fn knn_search_streamed_cancellable<O: PhaseObserver, C: CancelToken>(
         });
     obs.merger_stats(pushed, rejected);
     Ok(mergers.into_iter().map(StreamMerger::finish).collect())
+}
+
+/// Resolve a caller-facing thread-count request: `0` means "auto"
+/// (`RAYON_NUM_THREADS`, else the host's available parallelism), any
+/// positive value is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    }
+}
+
+/// [`knn_search_streamed`] scheduled across `threads` OS threads
+/// (`0` = auto, see [`resolve_threads`]). Same neighbors as the
+/// sequential streamed path at any thread count — see
+/// [`knn_search_streamed_parallel_cancellable`] for how.
+pub fn knn_search_streamed_parallel(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+) -> Vec<Vec<Neighbor>> {
+    knn_search_streamed_parallel_observed(queries, refs, cfg, tile, threads, &NullObserver)
+}
+
+/// [`knn_search_streamed_parallel`] with [`PhaseObserver`] hooks. The
+/// observer must be thread-safe (the trait already requires `Sync`);
+/// per-query hooks fire from whichever worker owns the query's block,
+/// and the aggregate merge totals are folded once after the pool joins,
+/// so counters and per-query attributions are exact — only the
+/// interleaving of hook invocations differs from the sequential path.
+pub fn knn_search_streamed_parallel_observed<O: PhaseObserver>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+    obs: &O,
+) -> Vec<Vec<Neighbor>> {
+    match knn_search_streamed_parallel_cancellable(
+        queries,
+        refs,
+        cfg,
+        tile,
+        threads,
+        obs,
+        &NeverCancel,
+    ) {
+        Ok(neighbors) => neighbors,
+        // `NeverCancel` never trips.
+        Err(c) => unreachable!("NeverCancel cancelled at tile {}", c.tiles_done),
+    }
+}
+
+/// The parallel tile pipeline: workers claim [`block::QUERY_BLOCK`]-sized
+/// query blocks from a shared atomic cursor (dynamic scheduling — a
+/// fast worker steals the next block as soon as it finishes one) and
+/// walk *every* reference tile of their block in ascending order into a
+/// per-worker block×tile scratch. Because each query's tile survivors
+/// reach its [`StreamMerger`] in exactly the sequential order, the
+/// merged neighbors are identical to [`knn_search_streamed`] at any
+/// thread count; only wall-clock interleaving varies.
+///
+/// `token` is polled per block with that block's completed-tile count.
+/// [`CancelToken`]s are deterministic functions of `tiles_done` (the
+/// trait contract), so every block trips at the same tile index and the
+/// returned [`Cancelled`] reports the same boundary the sequential path
+/// would; when workers race past a trip, the earliest boundary wins.
+/// Partial results are dropped, as on the sequential path.
+///
+/// `threads <= 1` (after [`resolve_threads`]) delegates to
+/// [`knn_search_streamed_cancellable`] — byte-identical behaviour,
+/// observer event order included.
+///
+/// # Panics
+/// When `tile` is zero, `cfg.k` exceeds the number of references, or
+/// the point sets disagree on dimensionality.
+#[allow(clippy::too_many_arguments)]
+pub fn knn_search_streamed_parallel_cancellable<O: PhaseObserver, C: CancelToken>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+    obs: &O,
+    token: &C,
+) -> Result<Vec<Vec<Neighbor>>, Cancelled> {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workers = resolve_threads(threads);
+    if workers <= 1 {
+        return knn_search_streamed_cancellable(queries, refs, cfg, tile, obs, token);
+    }
+    assert!(tile > 0, "tile size must be positive");
+    assert!(cfg.k <= refs.len(), "k exceeds the number of references");
+    assert_eq!(queries.dim(), refs.dim(), "dimension mismatch");
+    let q = queries.len();
+    let n = refs.len();
+    let tile = tile.min(n.max(1));
+    let ref_norms = block::norms(refs);
+    let q_norms = block::norms(queries);
+    let tiles_total = n.div_ceil(tile);
+    let block_len = block::QUERY_BLOCK.min(q.max(1));
+    let blocks_total = q.div_ceil(block_len);
+    let workers = workers.min(blocks_total.max(1));
+    // Peak distance scratch across the pool: one block×tile row buffer
+    // per worker, reused for every block that worker claims.
+    obs.scratch_bytes((workers * block_len * tile * core::mem::size_of::<f32>()) as u64);
+
+    let next_block = AtomicUsize::new(0);
+    // Earliest tile boundary any block's token tripped at; usize::MAX =
+    // not cancelled.
+    let cancel_at = AtomicUsize::new(usize::MAX);
+    let pushed_total = AtomicU64::new(0);
+    let rejected_total = AtomicU64::new(0);
+    let done: Mutex<Vec<(usize, Vec<Vec<Neighbor>>)>> =
+        Mutex::new(Vec::with_capacity(blocks_total));
+
+    rayon::scope_broadcast(workers, |_worker| {
+        let mut scratch = vec![0.0f32; block_len * tile];
+        loop {
+            if cancel_at.load(Ordering::Relaxed) != usize::MAX {
+                return;
+            }
+            let b = next_block.fetch_add(1, Ordering::Relaxed);
+            if b >= blocks_total {
+                return;
+            }
+            let q0 = b * block_len;
+            let q1 = (q0 + block_len).min(q);
+            let mut mergers: Vec<StreamMerger> =
+                (q0..q1).map(|_| StreamMerger::new(cfg.k)).collect();
+            for (tiles_done, r0) in (0..n).step_by(tile).enumerate() {
+                if token.is_cancelled(tiles_done) {
+                    cancel_at.fetch_min(tiles_done, Ordering::Relaxed);
+                    return;
+                }
+                // Another block already tripped: this block's remaining
+                // work would be discarded anyway.
+                if cancel_at.load(Ordering::Relaxed) != usize::MAX {
+                    return;
+                }
+                let t_len = tile.min(n - r0);
+                for (i, row) in scratch[..(q1 - q0) * t_len].chunks_mut(t_len).enumerate() {
+                    let qi = q0 + i;
+                    obs.timed_q(Phase::TileFill, qi, || {
+                        block::fill_row_range(
+                            queries.point(qi),
+                            q_norms[qi],
+                            refs,
+                            &ref_norms,
+                            r0,
+                            &mut *row,
+                        )
+                    });
+                    let topk = obs.timed_q(Phase::TileSelect, qi, || kselect::select_k(row, cfg));
+                    let merger = &mut mergers[i];
+                    obs.timed(Phase::TileMerge, || merger.push_chunk(topk, r0 as u32));
+                }
+            }
+            let (mut pushed, mut rejected) = (0u64, 0u64);
+            for (i, m) in mergers.iter().enumerate() {
+                let s = m.stats();
+                obs.query_merger_stats(q0 + i, s.pushed, s.rejected);
+                pushed += s.pushed;
+                rejected += s.rejected;
+            }
+            pushed_total.fetch_add(pushed, Ordering::Relaxed);
+            rejected_total.fetch_add(rejected, Ordering::Relaxed);
+            let out: Vec<Vec<Neighbor>> = mergers.into_iter().map(StreamMerger::finish).collect();
+            done.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((b, out));
+        }
+    });
+
+    let tripped = cancel_at.load(Ordering::Relaxed);
+    if tripped != usize::MAX {
+        return Err(Cancelled {
+            tiles_done: tripped,
+            tiles_total,
+        });
+    }
+    obs.merger_stats(
+        pushed_total.load(Ordering::Relaxed),
+        rejected_total.load(Ordering::Relaxed),
+    );
+    let mut blocks = done.into_inner().unwrap_or_else(|e| e.into_inner());
+    blocks.sort_unstable_by_key(|&(b, _)| b);
+    Ok(blocks.into_iter().flat_map(|(_, v)| v).collect())
 }
 
 /// Result of the simulated GPU k-NN pipeline.
@@ -782,6 +981,105 @@ mod tests {
                 assert_eq!(streamed, full, "kind {kind:?} tile {tile}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_streamed_matches_sequential_at_any_thread_count() {
+        // 70 queries = 3 query blocks (QUERY_BLOCK = 32): more blocks
+        // than workers at 2 threads, fewer at 8.
+        let queries = PointSet::uniform(70, 12, 218);
+        let refs = PointSet::uniform(500, 12, 219);
+        for kind in [QueueKind::Insertion, QueueKind::Merge, QueueKind::Heap] {
+            let cfg = SelectConfig::plain(kind, 16);
+            for tile in [7usize, 100, 500, 4096] {
+                let sequential = knn_search_streamed(&queries, &refs, &cfg, tile);
+                for threads in [1usize, 2, 8] {
+                    let parallel =
+                        knn_search_streamed_parallel(&queries, &refs, &cfg, tile, threads);
+                    assert_eq!(
+                        parallel, sequential,
+                        "kind {kind:?} tile {tile} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_streamed_handles_small_query_counts() {
+        // Fewer queries than one block, and exactly one block.
+        let refs = PointSet::uniform(300, 8, 220);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        for q in [1usize, 5, 32] {
+            let queries = PointSet::uniform(q, 8, 221);
+            let sequential = knn_search_streamed(&queries, &refs, &cfg, 64);
+            let parallel = knn_search_streamed_parallel(&queries, &refs, &cfg, 64, 8);
+            assert_eq!(parallel, sequential, "q {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_tile_budget_stops_at_the_sequential_boundary() {
+        let queries = PointSet::uniform(70, 8, 222);
+        let refs = PointSet::uniform(400, 8, 223);
+        let cfg = SelectConfig::plain(QueueKind::Heap, 4);
+        // 400 refs / 64-tile = 7 tiles; admit 3 — every block trips at
+        // the same boundary, so the report matches the sequential path.
+        for threads in [2usize, 8] {
+            let out = knn_search_streamed_parallel_cancellable(
+                &queries,
+                &refs,
+                &cfg,
+                64,
+                threads,
+                &NullObserver,
+                &TileBudget(3),
+            );
+            assert_eq!(
+                out,
+                Err(Cancelled {
+                    tiles_done: 3,
+                    tiles_total: 7
+                }),
+                "threads {threads}"
+            );
+            let none = knn_search_streamed_parallel_cancellable(
+                &queries,
+                &refs,
+                &cfg,
+                64,
+                threads,
+                &NullObserver,
+                &TileBudget(0),
+            );
+            assert_eq!(
+                none,
+                Err(Cancelled {
+                    tiles_done: 0,
+                    tiles_total: 7
+                }),
+                "threads {threads}"
+            );
+        }
+        // A budget covering every tile completes with exact results.
+        let full = knn_search_streamed(&queries, &refs, &cfg, 64);
+        let budgeted = knn_search_streamed_parallel_cancellable(
+            &queries,
+            &refs,
+            &cfg,
+            64,
+            4,
+            &NullObserver,
+            &TileBudget(7),
+        );
+        assert_eq!(budgeted, Ok(full));
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(6), 6);
     }
 
     #[test]

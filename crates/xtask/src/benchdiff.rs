@@ -4,7 +4,10 @@
 //!
 //! The two files are compared structurally:
 //!
-//! * **Same workload** (`queries`/`refs`/`dim`/`k` all equal): every
+//! * **Same workload** (`queries`/`refs`/`dim`/`k` all equal, plus
+//!   `threads`/`simd_dispatch` wherever both reports carry them —
+//!   reports that merely *gained* those fields stay comparable to older
+//!   baselines without them): every
 //!   numeric leaf whose key names a direction is checked within the
 //!   tolerance. Keys ending in `_qps`, `speedup` or `_gflops` are
 //!   higher-is-better; keys ending in `_seconds`, `_ns` or `_bytes` are
@@ -71,8 +74,28 @@ fn direction_of(key: &str) -> Option<Direction> {
 /// when all of these match.
 const WORKLOAD_KEYS: [&str; 4] = ["queries", "refs", "dim", "k"];
 
+/// Workload keys added after the first baselines were committed
+/// (`threads`: worker count, `simd_dispatch`: the kernel the runtime
+/// picked). They split the workload only when *both* reports carry them
+/// and disagree — a report that simply gained the fields stays
+/// comparable to an old baseline without them, so schema additions are
+/// not workload mismatches.
+const OPTIONAL_WORKLOAD_KEYS: [&str; 2] = ["threads", "simd_dispatch"];
+
+/// Equality for workload values: numeric when both sides are numeric,
+/// string otherwise (e.g. `simd_dispatch`).
+fn workload_value_eq(a: &Value, b: &Value) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => x == y,
+        _ => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        },
+    }
+}
+
 fn same_workload(old: &Value, new: &Value) -> bool {
-    WORKLOAD_KEYS.iter().all(|k| {
+    let required = WORKLOAD_KEYS.iter().all(|k| {
         match (
             old.get(k).and_then(Value::as_f64),
             new.get(k).and_then(Value::as_f64),
@@ -80,7 +103,16 @@ fn same_workload(old: &Value, new: &Value) -> bool {
             (Some(a), Some(b)) => a == b,
             _ => false,
         }
-    })
+    });
+    let optional = OPTIONAL_WORKLOAD_KEYS.iter().all(|k| {
+        match (old.get(k), new.get(k)) {
+            (Some(a), Some(b)) => workload_value_eq(a, b),
+            // Absent on either side: the field did not exist when that
+            // report was generated — a compatible addition.
+            _ => true,
+        }
+    });
+    required && optional
 }
 
 /// Walk `old`/`new` in parallel, comparing directional numeric leaves.
@@ -424,6 +456,36 @@ mod tests {
         let d = diff_reports(&old, &new, 10.0);
         assert_eq!(d.regressions.len(), 1);
         assert_eq!(d.regressions[0].path, "tile_sweep[0].streamed_qps");
+    }
+
+    #[test]
+    fn new_schema_fields_are_compatible_additions() {
+        let with_env = |mut v: Value, threads: u64, kernel: &str| {
+            if let Value::Object(f) = &mut v {
+                f.push(("threads".into(), Value::U64(threads)));
+                f.push(("simd_dispatch".into(), Value::Str(kernel.into())));
+            }
+            v
+        };
+        // An old baseline that predates `threads`/`simd_dispatch` stays
+        // comparable to a new report that has them.
+        let old = report(1000.0, 1.0, true, 1 << 14);
+        let new = with_env(report(1000.0, 1.0, true, 1 << 14), 1, "avx2+fma");
+        let d = diff_reports(&old, &new, 10.0);
+        assert!(d.comparable, "schema additions are not workload mismatches");
+
+        // When both reports carry the fields they become part of the
+        // workload identity: a 4-thread run against a 1-thread baseline
+        // is not magnitude-comparable…
+        let base1 = with_env(report(1000.0, 1.0, true, 1 << 14), 1, "avx2+fma");
+        let par4 = with_env(report(4000.0, 0.25, true, 1 << 14), 4, "avx2+fma");
+        assert!(!diff_reports(&base1, &par4, 10.0).comparable);
+        // …and neither is a scalar-kernel run against a vector baseline.
+        let scalar = with_env(report(300.0, 3.3, true, 1 << 14), 1, "scalar8");
+        assert!(!diff_reports(&base1, &scalar, 10.0).comparable);
+        // Matching values compare as before.
+        let same = with_env(report(990.0, 1.01, true, 1 << 14), 1, "avx2+fma");
+        assert!(diff_reports(&base1, &same, 10.0).comparable);
     }
 
     #[test]

@@ -53,12 +53,16 @@ use check::lint::{
 /// the serving engine is deterministic-replay-only — every duration it
 /// handles is simulated seconds — so any wall-clock read in it is a
 /// reproducibility bug, not a style nit.
-const SCAN_ROOTS: [&str; 6] = [
+/// `knn/src/distance/simd.rs` holds the runtime-dispatched SIMD
+/// microkernels: the innermost hot loop of the native pipelines, where
+/// a wall-clock read or a panic would sit inside every distance tile.
+const SCAN_ROOTS: [&str; 7] = [
     "crates/core/src/gpu",
     "crates/simt/src",
     "crates/trace/src/metrics.rs",
     "crates/trace/src/journal.rs",
     "crates/knn/src/metered.rs",
+    "crates/knn/src/distance/simd.rs",
     "crates/serve/src",
 ];
 

@@ -8,6 +8,15 @@
 //! one host thread. The simulator's determinism does not depend on host
 //! parallelism (metrics are reduced orderly), so swapping this in is
 //! semantics-preserving.
+//!
+//! Real parallelism is provided by one deliberately small primitive:
+//! [`scope_broadcast`] runs N copies of a worker closure on scoped OS
+//! threads. Callers own the work distribution (typically an atomic
+//! cursor over a task list), which keeps this stub dependency-free while
+//! letting hot paths (the parallel tile pipeline in `knn`) actually use
+//! the machine's cores. [`current_num_threads`] resolves the worker
+//! count the way real rayon does: `RAYON_NUM_THREADS`, else the host's
+//! available parallelism.
 
 pub mod prelude {
     pub use crate::{
@@ -128,6 +137,48 @@ where
     (a(), b())
 }
 
+/// Worker count for "auto" thread requests, resolved like real rayon:
+/// a positive `RAYON_NUM_THREADS` wins, otherwise the host's available
+/// parallelism (1 when the host cannot say).
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
+/// Run `workers` copies of `f` concurrently on scoped OS threads,
+/// passing each its worker index `0..workers`. Returns after every
+/// worker has finished (the scope joins them).
+///
+/// This is the stub's thread-pool primitive: callers distribute work
+/// themselves (an `AtomicUsize` cursor over a task list is the usual
+/// shape), so any scheduling — including work stealing — is expressed
+/// in the caller and stays deterministic where the caller makes it so.
+/// With `workers <= 1` the closure runs inline on the current thread:
+/// no threads are spawned and the call is exactly `f(0)`.
+pub fn scope_broadcast<F>(workers: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if workers <= 1 {
+        f(0);
+        return;
+    }
+    std::thread::scope(|s| {
+        for w in 1..workers {
+            let f = &f;
+            s.spawn(move || f(w));
+        }
+        f(0);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -142,6 +193,46 @@ mod tests {
         let mut m = vec![1, 2, 3];
         m.par_iter_mut().for_each(|x| *x += 10);
         assert_eq!(m, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn scope_broadcast_runs_every_worker_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for workers in [1usize, 2, 4, 8] {
+            let seen = AtomicUsize::new(0);
+            let mask = AtomicUsize::new(0);
+            super::scope_broadcast(workers, |w| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                mask.fetch_or(1 << w, Ordering::Relaxed);
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), workers);
+            assert_eq!(mask.load(Ordering::Relaxed), (1 << workers) - 1);
+        }
+    }
+
+    #[test]
+    fn scope_broadcast_drains_a_shared_cursor() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let next = AtomicUsize::new(0);
+        let done = Mutex::new(vec![false; 100]);
+        super::scope_broadcast(4, |_| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= 100 {
+                return;
+            }
+            done.lock().unwrap_or_else(|e| e.into_inner())[i] = true;
+        });
+        assert!(done
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .all(|&d| d));
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 
     #[test]
