@@ -34,7 +34,13 @@
 //!   disagree (they used to be timed separately and drifted apart);
 //! * `threads` / `simd_dispatch` — the resolved worker count and the
 //!   SIMD kernel the runtime dispatch picked (`avx2+fma` or `scalar8`),
-//!   so snapshots from differently-pinned CI runs are distinguishable.
+//!   so snapshots from differently-pinned CI runs are distinguishable;
+//! * `pipeline.utilization` / `pipeline.imbalance` — worker-pool busy
+//!   fraction and `max_busy/mean_busy` of one *instrumented* streamed
+//!   run at the configured tile (`null` when `--threads` resolves to
+//!   1: a one-lane timeline has no contention to measure). The
+//!   instrumented run is timed separately and never contributes to the
+//!   `streamed_*` numbers, so timeline overhead cannot skew them.
 //!
 //! Every timed repetition also lands in a `trace::MetricsRegistry`;
 //! `--metrics-out` writes it as OpenMetrics text, `--metrics-json` as
@@ -65,6 +71,12 @@ struct PipelineReport {
     streamed_qps: f64,
     streamed_peak_distance_bytes: u64,
     results_identical: bool,
+    /// Worker-pool busy fraction from one instrumented streamed run;
+    /// `null` on single-threaded runs.
+    utilization: Option<f64>,
+    /// `max_busy/mean_busy` across workers (1.0 = perfectly balanced);
+    /// `null` on single-threaded runs.
+    imbalance: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -326,6 +338,41 @@ fn main() {
         "wallclock.peak.streamed_bytes",
         default_entry.peak_distance_bytes,
     );
+    // Worker-pool balance: one extra instrumented run at the configured
+    // tile, separate from the timed measurements above so the timeline
+    // hooks cannot skew the QPS numbers.
+    let (utilization, imbalance) = if workers > 1 {
+        let rec = trace::TimelineRecorder::new(workers);
+        let tl = knn::metered::TimelineObserver::new(&rec);
+        let nb = knn::metered::knn_search_streamed_parallel_instrumented(
+            &queries,
+            &refs,
+            &cfg,
+            tile,
+            workers,
+            &trace::NullJournal,
+            None,
+            "wallclock",
+            &tl,
+        );
+        assert_eq!(
+            nb, mat_neighbors,
+            "instrumented streamed pipeline disagrees with the materialized oracle"
+        );
+        let t = tl.report();
+        reg.set_gauge("wallclock.pipeline.utilization", t.utilization);
+        reg.set_gauge("wallclock.pipeline.imbalance", t.imbalance);
+        eprintln!(
+            "workers: utilization {:.1}%, imbalance {:.2} ({} block(s) over {} lane(s))",
+            t.utilization * 100.0,
+            t.imbalance,
+            t.blocks_total,
+            t.lanes.len(),
+        );
+        (Some(t.utilization), Some(t.imbalance))
+    } else {
+        (None, None)
+    };
     let pipeline = PipelineReport {
         materialized_seconds: t_mat,
         materialized_qps: q as f64 / t_mat,
@@ -334,6 +381,8 @@ fn main() {
         streamed_qps: default_entry.streamed_qps,
         streamed_peak_distance_bytes: default_entry.peak_distance_bytes,
         results_identical: true, // asserted per tile above
+        utilization,
+        imbalance,
     };
     eprintln!(
         "pipeline: materialized {:.1} q/s ({} MB peak), streamed {:.1} q/s ({} MB peak)",

@@ -92,6 +92,7 @@ pub enum Command {
         threads: usize,
         json: bool,
         metrics_out: Option<PathBuf>,
+        timeline_out: Option<PathBuf>,
         journal: JournalArgs,
     },
     /// `bench --n N --k K [--queue Q] [--threads T] [--metrics-out FILE]`
@@ -102,6 +103,7 @@ pub enum Command {
         queue: QueueKind,
         threads: usize,
         metrics_out: Option<PathBuf>,
+        timeline_out: Option<PathBuf>,
         journal: JournalArgs,
     },
     /// `stats --n N [--dim D] [--k K] [--queries Q] [--threads T]
@@ -115,6 +117,7 @@ pub enum Command {
         queries: usize,
         threads: usize,
         metrics_out: Option<PathBuf>,
+        timeline_out: Option<PathBuf>,
         journal: JournalArgs,
     },
     /// `simulate --n N --k K [--queue Q]` — simulated-GPU run with a
@@ -182,13 +185,20 @@ pub enum Command {
         fault_plan: Option<FaultPlanArgs>,
         json: bool,
         metrics_out: Option<PathBuf>,
+        timeline_out: Option<PathBuf>,
         journal: JournalArgs,
     },
-    /// `report JOURNAL.jsonl [--top N]` — per-phase tail attribution
-    /// (p99 vs p50 cohorts), retry/fallback breakdown and a
-    /// slowest-query drill-down over a journal written by
-    /// `--journal-out`.
-    Report { journal: PathBuf, top: usize },
+    /// `report [JOURNAL.jsonl] [--top N] [--timeline TIMELINE.json]` —
+    /// per-phase tail attribution (p99 vs p50 cohorts), retry/fallback
+    /// breakdown and a slowest-query drill-down over a journal written
+    /// by `--journal-out`; `--timeline` additionally (or instead)
+    /// prints a per-worker utilization table from a timeline JSON
+    /// written by `--timeline-out`.
+    Report {
+        journal: Option<PathBuf>,
+        top: usize,
+        timeline: Option<PathBuf>,
+    },
     /// `--help`
     Help,
 }
@@ -310,6 +320,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             threads: threads(&flags)?,
             json: bools.contains(&"json".to_string()),
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            timeline_out: flags.get("timeline-out").map(PathBuf::from),
             journal: journal(&flags)?,
         }),
         "bench" => Ok(Command::Bench {
@@ -318,6 +329,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             queue: queue(&flags)?,
             threads: threads(&flags)?,
             metrics_out: flags.get("metrics-out").map(PathBuf::from),
+            timeline_out: flags.get("timeline-out").map(PathBuf::from),
             journal: journal(&flags)?,
         }),
         "stats" => {
@@ -335,6 +347,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 queries: get_usize_or("queries", 64)?,
                 threads: threads(&flags)?,
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
+                timeline_out: flags.get("timeline-out").map(PathBuf::from),
                 journal: journal(&flags)?,
             })
         }
@@ -442,15 +455,20 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     .transpose()?,
                 json: bools.contains(&"json".to_string()),
                 metrics_out: flags.get("metrics-out").map(PathBuf::from),
+                timeline_out: flags.get("timeline-out").map(PathBuf::from),
                 journal: journal(&flags)?,
             })
         }
         "report" => {
-            if positionals.len() != 1 {
-                return Err("report needs exactly one JOURNAL.jsonl path".to_string());
+            let timeline = flags.get("timeline").map(PathBuf::from);
+            if positionals.len() > 1 {
+                return Err("report takes at most one JOURNAL.jsonl path".to_string());
+            }
+            if positionals.is_empty() && timeline.is_none() {
+                return Err("report needs a JOURNAL.jsonl path or --timeline FILE".to_string());
             }
             Ok(Command::Report {
-                journal: PathBuf::from(&positionals[0]),
+                journal: positionals.first().map(PathBuf::from),
                 top: flags
                     .get("top")
                     .map(|s| {
@@ -459,6 +477,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     })
                     .transpose()?
                     .unwrap_or(5),
+                timeline,
             })
         }
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -475,15 +494,17 @@ USAGE:
   knn-cli search   --refs FILE --queries FILE --dim D --k K
                    [--metric euclidean|manhattan|cosine|dot]
                    [--queue merge|heap|insertion] [--threads T] [--json]
-                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
-                   [--journal-sample P] [--journal-exemplars E]
-  knn-cli bench    --n N --k K [--queue merge|heap|insertion]
-                   [--threads T] [--metrics-out metrics.txt]
+                   [--metrics-out metrics.txt] [--timeline-out t.json]
                    [--journal-out j.jsonl] [--journal-sample P]
                    [--journal-exemplars E]
-  knn-cli stats    --n N [--dim D] [--k K] [--queries Q] [--threads T]
-                   [--metrics-out metrics.txt] [--journal-out j.jsonl]
+  knn-cli bench    --n N --k K [--queue merge|heap|insertion]
+                   [--threads T] [--metrics-out metrics.txt]
+                   [--timeline-out t.json] [--journal-out j.jsonl]
                    [--journal-sample P] [--journal-exemplars E]
+  knn-cli stats    --n N [--dim D] [--k K] [--queries Q] [--threads T]
+                   [--metrics-out metrics.txt] [--timeline-out t.json]
+                   [--journal-out j.jsonl] [--journal-sample P]
+                   [--journal-exemplars E]
   knn-cli simulate --n N --k K [--queue merge|heap|insertion]
   knn-cli profile  --n N --k K [--queries Q] [--queue merge|heap|insertion]
                    [--trace-out trace.json] [--jsonl-out trace.jsonl]
@@ -498,9 +519,9 @@ USAGE:
                    [--n N] [--dim D] [--k K] [--queries Q] [--tile T]
                    [--stride S] [--threads T] [--fault-plan k=R,...]
                    [--json] [--metrics-out metrics.txt]
-                   [--journal-out j.jsonl] [--journal-sample P]
-                   [--journal-exemplars E]
-  knn-cli report   JOURNAL.jsonl [--top N]
+                   [--timeline-out t.json] [--journal-out j.jsonl]
+                   [--journal-sample P] [--journal-exemplars E]
+  knn-cli report   [JOURNAL.jsonl] [--top N] [--timeline t.json]
   knn-cli help
 
 `profile` runs the simulated pipeline with tracing on and prints a
@@ -541,11 +562,19 @@ with KNN_SIMD=scalar) alongside the thread count.
 
 --journal-out (on search/bench/stats/faults/serve) records one structured
 event per query — per-phase latency, merge counters, retry/fallback
-outcome — into a versioned JSONL journal. --journal-sample keeps a
-deterministic fraction of queries; the top --journal-exemplars slowest
-are always kept. `report` reads the journal back and prints per-phase
-tail attribution (p99-cohort vs p50-cohort), a status breakdown and the
-slowest queries; `cargo xtask slogate` evaluates SLOs against it.
+outcome, owning worker — into a versioned JSONL journal. --journal-sample
+keeps a deterministic fraction of queries; the top --journal-exemplars
+slowest are always kept. `report` reads the journal back and prints
+per-phase tail attribution (p99-cohort vs p50-cohort), a status breakdown
+and the slowest queries; `cargo xtask slogate` evaluates SLOs against it.
+
+--timeline-out (on search/bench/stats/serve) records per-worker execution
+timelines: block claims, tile walks, idle gaps, queue waits and brownout
+marks, folded into busy/idle accounting with a utilization and imbalance
+score per worker. FILE ending in .trace.json writes Chrome-trace JSON
+(load in ui.perfetto.dev, one track per worker); any other name writes
+the versioned timeline report JSON. `report --timeline FILE` prints the
+per-worker utilization table from a report JSON.
 ";
 
 #[cfg(test)]
@@ -777,6 +806,7 @@ mod tests {
                 queries: 64,
                 threads: 1,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }
         );
@@ -803,6 +833,7 @@ mod tests {
                 queries: 10,
                 threads: 1,
                 metrics_out: Some(PathBuf::from("m.json")),
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }
         );
@@ -830,6 +861,7 @@ mod tests {
                 queue: QueueKind::Merge,
                 threads: 1,
                 metrics_out: Some(PathBuf::from("m.txt")),
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }
         );
@@ -984,6 +1016,7 @@ mod tests {
                 fault_plan: None,
                 json: false,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }
         );
@@ -1048,15 +1081,17 @@ mod tests {
         assert_eq!(
             parse(&v(&["report", "journal.jsonl"])).unwrap(),
             Command::Report {
-                journal: PathBuf::from("journal.jsonl"),
-                top: 5
+                journal: Some(PathBuf::from("journal.jsonl")),
+                top: 5,
+                timeline: None,
             }
         );
         assert_eq!(
             parse(&v(&["report", "j.jsonl", "--top", "12"])).unwrap(),
             Command::Report {
-                journal: PathBuf::from("j.jsonl"),
-                top: 12
+                journal: Some(PathBuf::from("j.jsonl")),
+                top: 12,
+                timeline: None,
             }
         );
         assert!(parse(&v(&["report"])).is_err());
@@ -1064,5 +1099,88 @@ mod tests {
         assert!(parse(&v(&["report", "j.jsonl", "--top", "many"])).is_err());
         // positionals stay rejected everywhere else
         assert!(parse(&v(&["bench", "j.jsonl", "--n", "10", "--k", "2"])).is_err());
+    }
+
+    #[test]
+    fn report_timeline_makes_the_journal_optional() {
+        assert_eq!(
+            parse(&v(&["report", "--timeline", "t.json"])).unwrap(),
+            Command::Report {
+                journal: None,
+                top: 5,
+                timeline: Some(PathBuf::from("t.json")),
+            }
+        );
+        assert_eq!(
+            parse(&v(&["report", "j.jsonl", "--timeline", "t.json"])).unwrap(),
+            Command::Report {
+                journal: Some(PathBuf::from("j.jsonl")),
+                top: 5,
+                timeline: Some(PathBuf::from("t.json")),
+            }
+        );
+    }
+
+    #[test]
+    fn timeline_out_parses_on_instrumented_commands() {
+        match parse(&v(&[
+            "stats",
+            "--n",
+            "1000",
+            "--threads",
+            "4",
+            "--timeline-out",
+            "t.trace.json",
+        ]))
+        .unwrap()
+        {
+            Command::Stats { timeline_out, .. } => {
+                assert_eq!(timeline_out, Some(PathBuf::from("t.trace.json")))
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&v(&[
+            "bench",
+            "--n",
+            "100",
+            "--k",
+            "4",
+            "--timeline-out",
+            "t.json",
+        ]))
+        .unwrap()
+        {
+            Command::Bench { timeline_out, .. } => {
+                assert_eq!(timeline_out, Some(PathBuf::from("t.json")))
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&v(&[
+            "search",
+            "--refs",
+            "r",
+            "--queries",
+            "q",
+            "--dim",
+            "8",
+            "--k",
+            "5",
+            "--timeline-out",
+            "t.json",
+        ]))
+        .unwrap()
+        {
+            Command::Search { timeline_out, .. } => {
+                assert_eq!(timeline_out, Some(PathBuf::from("t.json")))
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse(&v(&["serve", "--timeline-out", "t.json"])).unwrap() {
+            Command::Serve { timeline_out, .. } => {
+                assert_eq!(timeline_out, Some(PathBuf::from("t.json")))
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse(&v(&["stats", "--n", "10", "--timeline-out"])).is_err());
     }
 }

@@ -41,6 +41,82 @@ fn write_metrics(path: &Path, snap: &trace::MetricsSnapshot) -> std::io::Result<
     std::fs::write(path, body)
 }
 
+/// Write a timeline report to `path`: a Chrome trace (one `tid` per
+/// worker, open in ui.perfetto.dev) when the filename ends in
+/// `.trace.json`, the versioned [`trace::TimelineReport`] JSON
+/// otherwise.
+fn write_timeline(path: &Path, report: &trace::TimelineReport) -> std::io::Result<()> {
+    let body = if path
+        .file_name()
+        .and_then(|f| f.to_str())
+        .is_some_and(|f| f.ends_with(".trace.json"))
+    {
+        trace::chrome::timeline_to_chrome_json(report)
+    } else {
+        report.to_json()
+    };
+    std::fs::write(path, body)
+}
+
+/// Per-worker utilization table over a folded timeline report — the
+/// `report --timeline` view, also printed after `--timeline-out`
+/// writes so a run's balance is visible without a second command.
+fn render_timeline_table(r: &trace::TimelineReport) -> String {
+    use std::fmt::Write as _;
+    use trace::openmetrics::human_ns;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline: wall {} | {} block(s) | pool utilization {:.1}% | imbalance {:.2}",
+        human_ns(r.wall_ns as f64),
+        r.blocks_total,
+        r.utilization * 100.0,
+        r.imbalance,
+    );
+    let _ = writeln!(
+        out,
+        "  {:<3} {:<10} {:>12} {:>12} {:>7} {:>7} {:>7} {:>12}",
+        "w", "name", "busy", "idle", "util", "blocks", "tiles", "scratch"
+    );
+    for lane in &r.lanes {
+        let _ = writeln!(
+            out,
+            "  {:<3} {:<10} {:>12} {:>12} {:>6.1}% {:>7} {:>7} {:>10} B",
+            lane.worker,
+            lane.name,
+            human_ns(lane.busy_ns as f64),
+            human_ns(lane.idle_ns as f64),
+            lane.utilization * 100.0,
+            lane.blocks,
+            lane.tiles,
+            lane.scratch_peak_bytes,
+        );
+    }
+    out
+}
+
+/// Write the timeline artifact and print the utilization table.
+/// Returns `false` on I/O failure.
+fn emit_timeline(path: &Path, report: &trace::TimelineReport) -> bool {
+    if let Err(e) = write_timeline(path, report) {
+        eprintln!("error writing {}: {e}", path.display());
+        return false;
+    }
+    eprintln!("wrote timeline to {}", path.display());
+    eprint!("{}", render_timeline_table(report));
+    true
+}
+
+/// Record the resolved runtime configuration as snapshot gauges/labels,
+/// so an exported metrics file says how the run was actually executed
+/// (`--threads 0` resolves to the detected count, and the SIMD kernel
+/// is picked at startup).
+fn record_runtime_config(reg: &MetricsRegistry, workers: usize) {
+    reg.set_gauge("knn.threads", workers as f64);
+    reg.set_label("knn.simd_dispatch", knn::dispatch_name());
+}
+
 /// Build an [`EventJournal`] from the CLI flags; `None` when
 /// `--journal-out` was not given, so callers take the `NullJournal`
 /// (zero-cost) path instead.
@@ -136,6 +212,7 @@ pub fn run(cmd: Command) -> i32 {
             threads,
             json,
             metrics_out,
+            timeline_out,
             journal,
         } => {
             let refs = match io::load_points(&refs, dim) {
@@ -174,29 +251,63 @@ pub fn run(cmd: Command) -> i32 {
                      only; {metric:?} runs sequentially"
                 );
             }
+            if let Some(reg) = &registry {
+                record_runtime_config(reg, workers);
+            }
+            let tl_rec = timeline_out
+                .as_ref()
+                .map(|_| trace::TimelineRecorder::new(workers));
+            let tlo = tl_rec.as_ref().map(knn::metered::TimelineObserver::new);
             let t0 = Instant::now();
             let mut results = if parallel {
                 let tile = knn::DEFAULT_STREAM_TILE;
-                match (&jn, &registry) {
-                    (Some(j), reg) => knn::metered::knn_search_streamed_parallel_journaled(
-                        &queries,
-                        &refs,
-                        &cfg,
-                        tile,
-                        workers,
-                        j,
-                        reg.as_ref(),
-                        "search",
-                    ),
-                    (None, Some(reg)) => knn::metered::knn_search_streamed_parallel_metered(
-                        &queries, &refs, &cfg, tile, workers, reg,
-                    ),
-                    (None, None) => {
-                        knn::knn_search_streamed_parallel(&queries, &refs, &cfg, tile, workers)
+                if let Some(tl) = &tlo {
+                    match &jn {
+                        Some(j) => knn::metered::knn_search_streamed_parallel_instrumented(
+                            &queries,
+                            &refs,
+                            &cfg,
+                            tile,
+                            workers,
+                            j,
+                            registry.as_ref(),
+                            "search",
+                            tl,
+                        ),
+                        None => knn::metered::knn_search_streamed_parallel_instrumented(
+                            &queries,
+                            &refs,
+                            &cfg,
+                            tile,
+                            workers,
+                            &trace::NullJournal,
+                            registry.as_ref(),
+                            "search",
+                            tl,
+                        ),
+                    }
+                } else {
+                    match (&jn, &registry) {
+                        (Some(j), reg) => knn::metered::knn_search_streamed_parallel_journaled(
+                            &queries,
+                            &refs,
+                            &cfg,
+                            tile,
+                            workers,
+                            j,
+                            reg.as_ref(),
+                            "search",
+                        ),
+                        (None, Some(reg)) => knn::metered::knn_search_streamed_parallel_metered(
+                            &queries, &refs, &cfg, tile, workers, reg,
+                        ),
+                        (None, None) => {
+                            knn::knn_search_streamed_parallel(&queries, &refs, &cfg, tile, workers)
+                        }
                     }
                 }
             } else {
-                match (&jn, &registry) {
+                let run = || match (&jn, &registry) {
                     (Some(j), reg) => knn::metered::knn_search_with_journaled(
                         &queries,
                         &refs,
@@ -210,14 +321,26 @@ pub fn run(cmd: Command) -> i32 {
                         knn::metered::knn_search_with_metered(&queries, &refs, &cfg, metric, reg)
                     }
                     (None, None) => knn_search_with(&queries, &refs, &cfg, metric),
+                };
+                match &tlo {
+                    Some(tl) => tl.service(0, 0, run),
+                    None => run(),
                 }
             };
             for r in &mut results {
                 r.truncate(k);
             }
             let dt = t0.elapsed().as_secs_f64();
+            let tl_report = tlo.as_ref().map(|tl| tl.report());
+            if let (Some(path), Some(report)) = (&timeline_out, &tl_report) {
+                if !emit_timeline(path, report) {
+                    return 1;
+                }
+            }
             if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
-                if let Err(e) = write_metrics(path, &reg.snapshot()) {
+                let mut snap = reg.snapshot();
+                snap.timeline = tl_report.clone();
+                if let Err(e) = write_metrics(path, &snap) {
                     eprintln!("error writing {}: {e}", path.display());
                     return 1;
                 }
@@ -261,6 +384,7 @@ pub fn run(cmd: Command) -> i32 {
             queue,
             threads,
             metrics_out,
+            timeline_out,
             journal,
         } => {
             // The selection microbenchmark itself is single-query serial;
@@ -277,8 +401,15 @@ pub fn run(cmd: Command) -> i32 {
             let kk = padded_k(queue, k);
             let registry = metrics_out.as_ref().map(|_| MetricsRegistry::new());
             let jn = make_journal(&journal);
+            // The bench is single-threaded, so its timeline is one
+            // track with one service span per configuration — useful
+            // mostly as a schema-stable artifact for tooling tests.
+            let tl_rec = timeline_out
+                .as_ref()
+                .map(|_| trace::TimelineRecorder::new(1));
+            let tlo = tl_rec.as_ref().map(knn::metered::TimelineObserver::new);
             let mut iter_id = 0u64;
-            for (label, metric_name, cfg) in [
+            for (run_idx, (label, metric_name, cfg)) in [
                 (
                     "plain",
                     "bench.plain.select_ns",
@@ -289,35 +420,47 @@ pub fn run(cmd: Command) -> i32 {
                     "bench.optimized.select_ns",
                     SelectConfig::optimized(queue, kk),
                 ),
-            ] {
+            ]
+            .into_iter()
+            .enumerate()
+            {
                 let t0 = Instant::now();
                 let iters = 10;
-                for _ in 0..iters {
-                    let ti = (registry.is_some() || jn.is_some()).then(Instant::now);
-                    std::hint::black_box(select_k(std::hint::black_box(&dists), &cfg));
-                    if let Some(ti) = ti {
-                        let ns = ti.elapsed().as_nanos() as u64;
-                        if let Some(reg) = &registry {
-                            reg.observe_ns(metric_name, ns);
-                        }
-                        // One journal record per select call: bench has no
-                        // per-query pipeline, so the whole iteration is its
-                        // "select" phase.
-                        if let Some(j) = &jn {
-                            j.record(QueryRecord {
-                                query: iter_id,
-                                queue: format!("{queue:?}").to_lowercase(),
-                                tag: label.to_string(),
-                                total_ns: ns,
-                                phase_ns: vec![(trace::journal::phases::SELECT.to_string(), ns)],
-                                blocks: 1,
-                                status: "ok".to_string(),
-                                attempts: 1,
-                                ..QueryRecord::default()
-                            });
-                            iter_id += 1;
+                let mut run_iters = || {
+                    for _ in 0..iters {
+                        let ti = (registry.is_some() || jn.is_some()).then(Instant::now);
+                        std::hint::black_box(select_k(std::hint::black_box(&dists), &cfg));
+                        if let Some(ti) = ti {
+                            let ns = ti.elapsed().as_nanos() as u64;
+                            if let Some(reg) = &registry {
+                                reg.observe_ns(metric_name, ns);
+                            }
+                            // One journal record per select call: bench has no
+                            // per-query pipeline, so the whole iteration is its
+                            // "select" phase.
+                            if let Some(j) = &jn {
+                                j.record(QueryRecord {
+                                    query: iter_id,
+                                    queue: format!("{queue:?}").to_lowercase(),
+                                    tag: label.to_string(),
+                                    total_ns: ns,
+                                    phase_ns: vec![(
+                                        trace::journal::phases::SELECT.to_string(),
+                                        ns,
+                                    )],
+                                    blocks: 1,
+                                    status: "ok".to_string(),
+                                    attempts: 1,
+                                    ..QueryRecord::default()
+                                });
+                                iter_id += 1;
+                            }
                         }
                     }
+                };
+                match &tlo {
+                    Some(tl) => tl.service(0, run_idx as u64, run_iters),
+                    None => run_iters(),
                 }
                 let per = t0.elapsed().as_secs_f64() / iters as f64;
                 println!(
@@ -327,11 +470,20 @@ pub fn run(cmd: Command) -> i32 {
                     n as f64 / per / 1e6
                 );
             }
+            let tl_report = tlo.as_ref().map(|tl| tl.report());
+            if let (Some(path), Some(report)) = (&timeline_out, &tl_report) {
+                if !emit_timeline(path, report) {
+                    return 1;
+                }
+            }
             if let (Some(path), Some(reg)) = (&metrics_out, &registry) {
                 reg.set_gauge("bench.n", n as f64);
                 reg.set_gauge("bench.k", k as f64);
                 reg.set_gauge("bench.threads", workers as f64);
-                if let Err(e) = write_metrics(path, &reg.snapshot()) {
+                record_runtime_config(reg, workers);
+                let mut snap = reg.snapshot();
+                snap.timeline = tl_report.clone();
+                if let Err(e) = write_metrics(path, &snap) {
                     eprintln!("error writing {}: {e}", path.display());
                     return 1;
                 }
@@ -351,8 +503,18 @@ pub fn run(cmd: Command) -> i32 {
             queries,
             threads,
             metrics_out,
+            timeline_out,
             journal,
-        } => run_stats(n, dim, k, queries, threads, metrics_out, journal),
+        } => run_stats(
+            n,
+            dim,
+            k,
+            queries,
+            threads,
+            metrics_out,
+            timeline_out,
+            journal,
+        ),
         Command::Simulate { n, k, queue } => {
             let mut rng = rand::rngs::StdRng::seed_from_u64(1);
             let flat: Vec<f32> = (0..32 * n).map(|_| rng.gen()).collect();
@@ -469,6 +631,7 @@ pub fn run(cmd: Command) -> i32 {
             fault_plan,
             json,
             metrics_out,
+            timeline_out,
             journal,
         } => run_serve(ServeCliArgs {
             n,
@@ -490,9 +653,14 @@ pub fn run(cmd: Command) -> i32 {
             fault_plan,
             json,
             metrics_out,
+            timeline_out,
             journal,
         }),
-        Command::Report { journal, top } => run_report(&journal, top),
+        Command::Report {
+            journal,
+            top,
+            timeline,
+        } => run_report(journal.as_deref(), top, timeline.as_deref()),
     }
 }
 
@@ -504,6 +672,7 @@ const STATS_TILES: [usize; 4] = [1024, 2048, 4096, 8192];
 /// [`STATS_TILES`] × queue kinds with the metrics registry attached,
 /// print per-combination QPS plus the aggregated latency histograms,
 /// and optionally export the registry snapshot.
+#[allow(clippy::too_many_arguments)]
 fn run_stats(
     n: usize,
     dim: usize,
@@ -511,6 +680,7 @@ fn run_stats(
     queries: usize,
     threads: usize,
     metrics_out: Option<std::path::PathBuf>,
+    timeline_out: Option<std::path::PathBuf>,
     journal: JournalArgs,
 ) -> i32 {
     let refs = PointSet::uniform(n, dim, 11);
@@ -522,7 +692,16 @@ fn run_stats(
     }
     let workers = knn::resolve_threads(threads);
     let reg = MetricsRegistry::new();
+    record_runtime_config(&reg, workers);
     let jn = make_journal(&journal);
+    // One recorder + observer across the whole sweep: every
+    // tile × queue combination lands on the same per-worker tracks,
+    // with inter-combination gaps showing up as idle time.
+    let tl_rec = timeline_out
+        .as_ref()
+        .map(|_| trace::TimelineRecorder::new(workers));
+    let tlo = tl_rec.as_ref().map(knn::metered::TimelineObserver::new);
+    let mut sweep_idx = 0u64;
     println!(
         "native streamed pipeline: {queries} queries × {n} refs (dim {dim}, k={k}) \
          [kernel {}, threads {workers}]\n",
@@ -541,33 +720,81 @@ fn run_stats(
         let cfg = SelectConfig::optimized(kind, kk);
         for tile in STATS_TILES {
             let t0 = Instant::now();
-            let out = match (&jn, workers > 1) {
-                (Some(j), true) => knn::metered::knn_search_streamed_parallel_journaled(
-                    &qs,
-                    &refs,
-                    &cfg,
-                    tile,
-                    workers,
-                    j,
-                    Some(&reg),
-                    "stats",
-                ),
-                (Some(j), false) => knn::metered::knn_search_streamed_journaled(
-                    &qs,
-                    &refs,
-                    &cfg,
-                    tile,
-                    j,
-                    Some(&reg),
-                    "stats",
-                ),
-                (None, true) => knn::metered::knn_search_streamed_parallel_metered(
-                    &qs, &refs, &cfg, tile, workers, &reg,
-                ),
-                (None, false) => {
-                    knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg)
+            let out = if let Some(tl) = &tlo {
+                if workers > 1 {
+                    match &jn {
+                        Some(j) => knn::metered::knn_search_streamed_parallel_instrumented(
+                            &qs,
+                            &refs,
+                            &cfg,
+                            tile,
+                            workers,
+                            j,
+                            Some(&reg),
+                            "stats",
+                            tl,
+                        ),
+                        None => knn::metered::knn_search_streamed_parallel_instrumented(
+                            &qs,
+                            &refs,
+                            &cfg,
+                            tile,
+                            workers,
+                            &trace::NullJournal,
+                            Some(&reg),
+                            "stats",
+                            tl,
+                        ),
+                    }
+                } else {
+                    // Sequential sweeps get one service span per
+                    // combination on track 0 (see the single-worker
+                    // note on the instrumented entry point).
+                    tl.service(0, sweep_idx, || match &jn {
+                        Some(j) => knn::metered::knn_search_streamed_journaled(
+                            &qs,
+                            &refs,
+                            &cfg,
+                            tile,
+                            j,
+                            Some(&reg),
+                            "stats",
+                        ),
+                        None => {
+                            knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg)
+                        }
+                    })
+                }
+            } else {
+                match (&jn, workers > 1) {
+                    (Some(j), true) => knn::metered::knn_search_streamed_parallel_journaled(
+                        &qs,
+                        &refs,
+                        &cfg,
+                        tile,
+                        workers,
+                        j,
+                        Some(&reg),
+                        "stats",
+                    ),
+                    (Some(j), false) => knn::metered::knn_search_streamed_journaled(
+                        &qs,
+                        &refs,
+                        &cfg,
+                        tile,
+                        j,
+                        Some(&reg),
+                        "stats",
+                    ),
+                    (None, true) => knn::metered::knn_search_streamed_parallel_metered(
+                        &qs, &refs, &cfg, tile, workers, &reg,
+                    ),
+                    (None, false) => {
+                        knn::metered::knn_search_streamed_metered(&qs, &refs, &cfg, tile, &reg)
+                    }
                 }
             };
+            sweep_idx += 1;
             let dt = t0.elapsed().as_secs_f64();
             std::hint::black_box(&out);
             println!(
@@ -579,9 +806,16 @@ fn run_stats(
             );
         }
     }
-    let snap = reg.snapshot();
+    let tl_report = tlo.as_ref().map(|tl| tl.report());
+    let mut snap = reg.snapshot();
+    snap.timeline = tl_report.clone();
     println!();
     print!("{}", trace::openmetrics::render_table(&snap));
+    if let (Some(path), Some(report)) = (&timeline_out, &tl_report) {
+        if !emit_timeline(path, report) {
+            return 1;
+        }
+    }
     if let Some(path) = &metrics_out {
         if let Err(e) = write_metrics(path, &snap) {
             eprintln!("error writing {}: {e}", path.display());
@@ -776,6 +1010,7 @@ struct ServeCliArgs {
     fault_plan: Option<FaultPlanArgs>,
     json: bool,
     metrics_out: Option<PathBuf>,
+    timeline_out: Option<PathBuf>,
     journal: JournalArgs,
 }
 
@@ -814,10 +1049,17 @@ fn run_serve(a: ServeCliArgs) -> i32 {
         ..serve::ServeConfig::default()
     };
     let reg = MetricsRegistry::new();
+    record_runtime_config(&reg, knn::resolve_threads(a.threads));
     let jn = make_journal(&a.journal);
+    // Serving timelines run on the simulated clock: track 0 is the
+    // server, track 1 the admission queue (see `serve::run_timelined`).
+    let tl_rec = a
+        .timeline_out
+        .as_ref()
+        .map(|_| trace::TimelineRecorder::with_names(&["server", "queue"]));
     let summary = match &jn {
-        Some(j) => serve::run(&cfg, &reg, j),
-        None => serve::run(&cfg, &reg, &trace::NullJournal),
+        Some(j) => serve::run_timelined(&cfg, &reg, j, tl_rec.as_ref()),
+        None => serve::run_timelined(&cfg, &reg, &trace::NullJournal, tl_rec.as_ref()),
     };
     let s = match summary {
         Ok(s) => s,
@@ -826,6 +1068,16 @@ fn run_serve(a: ServeCliArgs) -> i32 {
             return 1;
         }
     };
+    // Fold on the campaign's simulated wall span; the same seconds →
+    // nanoseconds scale the engine stamps spans with.
+    let tl_report = tl_rec
+        .as_ref()
+        .map(|rec| rec.report((s.sim_end_s * 1e9) as u64));
+    if let (Some(path), Some(report)) = (&a.timeline_out, &tl_report) {
+        if !emit_timeline(path, report) {
+            return 1;
+        }
+    }
     println!(
         "serve: {} requests over {:.6} sim-s ({} arrivals @ {:.1} req/s, load {:.2}x, \
          deadline {:.1} us, queue {} [{}], faults: {})",
@@ -862,7 +1114,9 @@ fn run_serve(a: ServeCliArgs) -> i32 {
         s.queue_peak_depth,
     );
     if let Some(path) = &a.metrics_out {
-        if let Err(e) = write_metrics(path, &reg.snapshot()) {
+        let mut snap = reg.snapshot();
+        snap.timeline = tl_report.clone();
+        if let Err(e) = write_metrics(path, &snap) {
             eprintln!("error writing {}: {e}", path.display());
             return 1;
         }
@@ -1057,12 +1311,37 @@ fn render_report(records: &mut [QueryRecord], top: usize) -> String {
     out
 }
 
-/// `knn-cli report JOURNAL.jsonl`: read a journal written by
-/// `--journal-out` and print tail attribution, status breakdown and the
-/// slowest queries. Exit 2 when the input is missing, malformed or
-/// empty — the journal itself is unusable, which is a different failure
-/// from a violated expectation inside a valid one.
-fn run_report(path: &Path, top: usize) -> i32 {
+/// `knn-cli report [JOURNAL.jsonl] [--timeline FILE]`: read a journal
+/// written by `--journal-out` and print tail attribution, status
+/// breakdown and the slowest queries; read a timeline written by
+/// `--timeline-out` and print its per-worker utilization table. Exit 2
+/// when an input is missing, malformed or empty — the artifact itself
+/// is unusable, which is a different failure from a violated
+/// expectation inside a valid one. (The parser guarantees at least one
+/// of the two paths is present.)
+fn run_report(path: Option<&Path>, top: usize, timeline: Option<&Path>) -> i32 {
+    if let Some(tpath) = timeline {
+        let text = match std::fs::read_to_string(tpath) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error reading {}: {e}", tpath.display());
+                return 2;
+            }
+        };
+        let report = match trace::TimelineReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error parsing {}: {e}", tpath.display());
+                return 2;
+            }
+        };
+        println!("timeline report: {}", tpath.display());
+        print!("{}", render_timeline_table(&report));
+        if path.is_some() {
+            println!();
+        }
+    }
+    let Some(path) = path else { return 0 };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -1139,6 +1418,7 @@ mod tests {
                 threads: 1,
                 json: true,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }),
             0
@@ -1155,6 +1435,7 @@ mod tests {
                 threads: 1,
                 json: false,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }),
             1
@@ -1171,6 +1452,7 @@ mod tests {
                 threads: 1,
                 json: false,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }),
             1
@@ -1194,6 +1476,7 @@ mod tests {
                 threads: 1,
                 json: false,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs::default(),
             }),
             1
@@ -1250,6 +1533,7 @@ mod tests {
                     queue: QueueKind::Merge,
                     threads: 1,
                     metrics_out: Some(path.clone()),
+                    timeline_out: None,
                     journal: JournalArgs::default(),
                 }),
                 0
@@ -1274,7 +1558,16 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let out = dir.join("stats.txt");
         assert_eq!(
-            run_stats(3000, 8, 8, 6, 1, Some(out.clone()), JournalArgs::default()),
+            run_stats(
+                3000,
+                8,
+                8,
+                6,
+                1,
+                Some(out.clone()),
+                None,
+                JournalArgs::default()
+            ),
             0
         );
         let text = std::fs::read_to_string(&out).unwrap();
@@ -1283,9 +1576,12 @@ mod tests {
         assert!(text.contains("knn_queries_total 72"));
         assert!(text.ends_with("# EOF\n"));
         // invalid k is a clean named error
-        assert_eq!(run_stats(100, 8, 0, 4, 1, None, JournalArgs::default()), 1);
         assert_eq!(
-            run_stats(100, 8, 200, 4, 1, None, JournalArgs::default()),
+            run_stats(100, 8, 0, 4, 1, None, None, JournalArgs::default()),
+            1
+        );
+        assert_eq!(
+            run_stats(100, 8, 200, 4, 1, None, None, JournalArgs::default()),
             1
         );
     }
@@ -1329,6 +1625,7 @@ mod tests {
                 threads: 1,
                 json: false,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs {
                     out: Some(jpath.clone()),
                     ..JournalArgs::default()
@@ -1342,16 +1639,18 @@ mod tests {
         // the report renders over it and exits cleanly
         assert_eq!(
             run(Command::Report {
-                journal: jpath,
-                top: 3
+                journal: Some(jpath),
+                top: 3,
+                timeline: None,
             }),
             0
         );
         // unreadable / empty / garbage journals are exit 2, not a panic
         assert_eq!(
             run(Command::Report {
-                journal: dir.join("missing.jsonl"),
-                top: 3
+                journal: Some(dir.join("missing.jsonl")),
+                top: 3,
+                timeline: None,
             }),
             2
         );
@@ -1359,8 +1658,9 @@ mod tests {
         std::fs::write(&garbage, "not json\n").unwrap();
         assert_eq!(
             run(Command::Report {
-                journal: garbage,
-                top: 3
+                journal: Some(garbage),
+                top: 3,
+                timeline: None,
             }),
             2
         );
@@ -1368,8 +1668,9 @@ mod tests {
         std::fs::write(&empty, "").unwrap();
         assert_eq!(
             run(Command::Report {
-                journal: empty,
-                top: 3
+                journal: Some(empty),
+                top: 3,
+                timeline: None,
             }),
             2
         );
@@ -1384,7 +1685,7 @@ mod tests {
             out: Some(jpath.clone()),
             ..JournalArgs::default()
         };
-        assert_eq!(run_stats(3000, 8, 8, 6, 1, None, args), 0);
+        assert_eq!(run_stats(3000, 8, 8, 6, 1, None, None, args), 0);
         let recs = trace::journal::parse_jsonl(&std::fs::read_to_string(&jpath).unwrap()).unwrap();
         // 3 queue kinds × 4 tiles × 6 queries
         assert_eq!(recs.len(), 72);
@@ -1399,6 +1700,7 @@ mod tests {
                 queue: QueueKind::Merge,
                 threads: 1,
                 metrics_out: None,
+                timeline_out: None,
                 journal: JournalArgs {
                     out: Some(bpath.clone()),
                     ..JournalArgs::default()
@@ -1482,5 +1784,152 @@ mod tests {
         // quantiles are nearest-rank over totals
         assert_eq!(total_quantile(&recs, 1.0), 1_000_000);
         assert_eq!(total_quantile(&recs, 0.5), 1_049);
+    }
+
+    #[test]
+    fn stats_timeline_out_writes_report_and_chrome_trace() {
+        let dir = std::env::temp_dir().join("knn_cli_timeline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tl = dir.join("stats-timeline.json");
+        let metrics = dir.join("stats-metrics.json");
+        assert_eq!(
+            run_stats(
+                3000,
+                8,
+                8,
+                64,
+                2,
+                Some(metrics.clone()),
+                Some(tl.clone()),
+                JournalArgs::default()
+            ),
+            0
+        );
+        let report =
+            trace::TimelineReport::from_json(&std::fs::read_to_string(&tl).unwrap()).unwrap();
+        assert_eq!(report.lanes.len(), 2, "one lane per worker");
+        // 3 queue kinds × 4 tiles, 64 queries each → 2 query blocks per
+        // combination, and every claimed block lands on exactly one lane
+        assert_eq!(report.blocks_total, 24);
+        assert_eq!(
+            report.lanes.iter().map(|l| l.blocks).sum::<u64>(),
+            report.blocks_total
+        );
+        for lane in &report.lanes {
+            assert_eq!(
+                lane.busy_ns + lane.idle_ns,
+                report.wall_ns,
+                "busy+idle conservation on lane {}",
+                lane.worker
+            );
+        }
+        assert!(report.imbalance >= 1.0);
+        assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+        // the metrics snapshot embeds the same timeline plus runtime config
+        let snap =
+            trace::MetricsSnapshot::from_json(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+        assert_eq!(
+            snap.timeline.expect("snapshot carries a timeline section"),
+            report
+        );
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "knn.threads" && *v == 2.0));
+        assert!(snap
+            .labels
+            .iter()
+            .any(|(n, v)| n == "knn.simd_dispatch" && v == knn::dispatch_name()));
+
+        // a `.trace.json` path switches the artifact to a Chrome trace
+        let chrome = dir.join("stats.trace.json");
+        assert_eq!(
+            run_stats(
+                3000,
+                8,
+                8,
+                64,
+                2,
+                None,
+                Some(chrome.clone()),
+                JournalArgs::default()
+            ),
+            0
+        );
+        let doc = serde_json::parse_value(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+        let serde_json::Value::Array(events) = doc.get("traceEvents").unwrap() else {
+            panic!("traceEvents is an array");
+        };
+        let named: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(serde_json::Value::as_str) == Some("thread_name"))
+            .map(|e| e.get("tid").and_then(serde_json::Value::as_f64).unwrap() as u64)
+            .collect();
+        assert!(
+            named.contains(&0) && named.contains(&1),
+            "both worker tracks are named: {named:?}"
+        );
+    }
+
+    #[test]
+    fn serve_timeline_lands_on_named_tracks() {
+        let dir = std::env::temp_dir().join("knn_cli_serve_timeline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tl = dir.join("serve-timeline.json");
+        let argv: Vec<String> = [
+            "serve",
+            "--n",
+            "512",
+            "--dim",
+            "8",
+            "--queries",
+            "8",
+            "--duration-sim",
+            "0.002",
+            "--load",
+            "2.0",
+            "--timeline-out",
+            tl.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run(crate::args::parse(&argv).unwrap()), 0);
+        let report =
+            trace::TimelineReport::from_json(&std::fs::read_to_string(&tl).unwrap()).unwrap();
+        assert_eq!(report.lanes.len(), 2);
+        assert_eq!(report.lanes[0].name, "server");
+        assert_eq!(report.lanes[1].name, "queue");
+        assert!(
+            report.lanes[0].busy_ns > 0,
+            "a 2x-overloaded campaign keeps the server busy"
+        );
+        for lane in &report.lanes {
+            assert_eq!(lane.busy_ns + lane.idle_ns, report.wall_ns);
+        }
+    }
+
+    #[test]
+    fn report_timeline_prints_the_table_and_rejects_garbage() {
+        use trace::timeline::SpanKind;
+
+        let dir = std::env::temp_dir().join("knn_cli_report_timeline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rec = trace::TimelineRecorder::with_names(&["server", "queue"]);
+        rec.span(0, SpanKind::Service, 0, 100, 900);
+        rec.span(1, SpanKind::QueueWait, 0, 50, 100);
+        let tpath = dir.join("t.json");
+        std::fs::write(&tpath, rec.report(1_000).to_json()).unwrap();
+        assert_eq!(run_report(None, 3, Some(&tpath)), 0);
+        // unreadable / malformed timelines are exit 2, like journals
+        assert_eq!(run_report(None, 3, Some(&dir.join("missing.json"))), 2);
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json").unwrap();
+        assert_eq!(run_report(None, 3, Some(&garbage)), 2);
+        // a valid timeline does not mask a broken journal
+        assert_eq!(
+            run_report(Some(&dir.join("missing.jsonl")), 3, Some(&tpath)),
+            2
+        );
     }
 }

@@ -44,8 +44,9 @@ pub use graph::KnnGraph;
 #[cfg(feature = "metrics")]
 pub use metered::{
     knn_search_metered, knn_search_streamed_journaled, knn_search_streamed_metered,
-    knn_search_streamed_parallel_journaled, knn_search_streamed_parallel_metered,
-    knn_search_with_journaled, JournalObserver, RegistryObserver,
+    knn_search_streamed_parallel_instrumented, knn_search_streamed_parallel_journaled,
+    knn_search_streamed_parallel_metered, knn_search_with_journaled, JournalObserver,
+    RegistryObserver, TimelineObserver,
 };
 pub use metric::{distance_matrix_flat_with, distance_matrix_with, Metric};
 pub use pcie::{data_copy_time, transfer_with_faults, PcieReport};
@@ -54,7 +55,7 @@ pub use pipeline::{
     gpu_knn_traced, knn_search, knn_search_streamed, knn_search_streamed_cancellable,
     knn_search_streamed_observed, knn_search_streamed_parallel,
     knn_search_streamed_parallel_cancellable, knn_search_streamed_parallel_observed,
-    knn_search_with, knn_search_with_observed, queue_tag, resolve_threads, validate_points,
-    CancelToken, Cancelled, GpuKnnResult, NeverCancel, NullObserver, Phase, PhaseObserver,
-    ResilientKnnResult, TileBudget,
+    knn_search_streamed_parallel_timelined, knn_search_with, knn_search_with_observed, queue_tag,
+    resolve_threads, validate_points, CancelToken, Cancelled, GpuKnnResult, NeverCancel,
+    NullObserver, Phase, PhaseObserver, ResilientKnnResult, TileBudget,
 };

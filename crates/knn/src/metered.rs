@@ -37,13 +37,15 @@ use kselect::types::Neighbor;
 use kselect::SelectConfig;
 use trace::journal::{phases, Journal, QueryRecord};
 use trace::metrics::MetricsRegistry;
+use trace::timeline::{SpanKind, TimelineHooks, TimelineRecorder, TimelineReport};
 
 use crate::dataset::PointSet;
 use crate::distance::block::{self, FlatMatrix};
 use crate::metric::Metric;
 use crate::pipeline::{
-    knn_search_streamed_observed, knn_search_streamed_parallel_observed, knn_search_with_observed,
-    queue_tag, Phase, PhaseObserver,
+    knn_search_streamed_observed, knn_search_streamed_parallel_observed,
+    knn_search_streamed_parallel_timelined, knn_search_with_observed, queue_tag, resolve_threads,
+    NeverCancel, Phase, PhaseObserver,
 };
 
 /// Histogram name a [`Phase`] records under.
@@ -162,6 +164,7 @@ struct Draft {
     tile_select_ns: u64,
     merge_push: u64,
     merge_reject: u64,
+    worker: u32,
 }
 
 impl Draft {
@@ -249,6 +252,7 @@ impl<'a> JournalObserver<'a> {
                 blocks,
                 status: "ok".to_string(),
                 attempts: 1,
+                worker: d.worker,
                 ..QueryRecord::default()
             });
         }
@@ -297,6 +301,10 @@ impl PhaseObserver for JournalObserver<'_> {
         let mut d = self.draft(qi);
         d.merge_push = pushed;
         d.merge_reject = rejected;
+    }
+
+    fn query_worker(&self, qi: usize, worker: usize) {
+        self.draft(qi).worker = worker as u32;
     }
 }
 
@@ -435,6 +443,156 @@ pub fn knn_search_streamed_parallel_journaled<J: Journal>(
     let blocks = refs.len().div_ceil(eff_tile.max(1)) as u32;
     obs.flush(journal, cfg, tag, eff_tile as u64, blocks);
     out
+}
+
+/// Bridges the pipeline's clock-free [`TimelineHooks`] to a
+/// [`trace::TimelineRecorder`]: this module owns the host clock on
+/// knn's behalf, so hook arrivals are stamped here as nanoseconds
+/// since the observer's construction epoch. One observer covers one
+/// instrumented run (or several back-to-back runs sharing an epoch,
+/// as `knn-cli stats` does across its sweep).
+pub struct TimelineObserver<'a> {
+    rec: &'a TimelineRecorder,
+    epoch: Instant,
+}
+
+impl<'a> TimelineObserver<'a> {
+    pub fn new(rec: &'a TimelineRecorder) -> Self {
+        TimelineObserver {
+            rec,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since this observer's construction — the
+    /// zero point of every track it stamps.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The recorder this observer stamps into.
+    pub fn recorder(&self) -> &'a TimelineRecorder {
+        self.rec
+    }
+
+    /// Fold the recorder's shards into a report whose wall-clock span
+    /// ends "now" on this observer's epoch.
+    pub fn report(&self) -> TimelineReport {
+        self.rec.report(self.now_ns())
+    }
+
+    /// Run `f` as one `Service` span on `worker`'s track. Sequential
+    /// paths have no block claims to record, so this is how they get an
+    /// honest busy lane; `detail` disambiguates repeated services (the
+    /// CLI uses the sweep/run index).
+    pub fn service<R>(&self, worker: usize, detail: u64, f: impl FnOnce() -> R) -> R {
+        let t0 = self.now_ns();
+        let out = f();
+        self.rec
+            .span(worker, SpanKind::Service, detail, t0, self.now_ns());
+        out
+    }
+}
+
+impl TimelineHooks for TimelineObserver<'_> {
+    fn worker_started(&self, worker: usize) {
+        self.rec.worker_started(worker, self.now_ns());
+    }
+    fn scratch_reserved(&self, worker: usize, bytes: u64) {
+        self.rec.scratch_peak(worker, bytes);
+    }
+    fn block_claimed(&self, worker: usize, block: usize) {
+        self.rec.block_claimed(worker, block as u64, self.now_ns());
+    }
+    fn tile_walked(&self, worker: usize, _block: usize, tile: usize) {
+        self.rec.tile_walked(worker, tile as u64, self.now_ns());
+    }
+    fn block_finished(&self, worker: usize, block: usize, _tiles: usize) {
+        self.rec.block_finished(worker, block as u64, self.now_ns());
+    }
+    fn worker_finished(&self, worker: usize) {
+        self.rec.worker_finished(worker, self.now_ns());
+    }
+}
+
+/// The fully instrumented parallel search: per-worker timeline tracks
+/// via `tl`, plus — exactly as [`knn_search_streamed_parallel_journaled`]
+/// — an optional journal and registry. Dispatches internally on the
+/// journal/registry combination so one entry point serves every CLI
+/// flag combination; results are identical to
+/// [`crate::knn_search_streamed_parallel`] in all cases.
+///
+/// Single-worker runs (after [`resolve_threads`]) take the sequential
+/// path wrapped in one `Service` span on track 0, because sequential
+/// tile order is not block order (see
+/// [`knn_search_streamed_parallel_timelined`]).
+#[allow(clippy::too_many_arguments)]
+pub fn knn_search_streamed_parallel_instrumented<J: Journal>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+    journal: &J,
+    registry: Option<&MetricsRegistry>,
+    tag: &str,
+    tl: &TimelineObserver<'_>,
+) -> Vec<Vec<Neighbor>> {
+    if resolve_threads(threads) <= 1 {
+        return tl.service(0, 0, || {
+            knn_search_streamed_parallel_journaled(
+                queries, refs, cfg, tile, threads, journal, registry, tag,
+            )
+        });
+    }
+    if let Some(reg) = registry {
+        reg.inc(QUERIES, queries.len() as u64);
+    }
+    fn finish(r: Result<Vec<Vec<Neighbor>>, crate::pipeline::Cancelled>) -> Vec<Vec<Neighbor>> {
+        match r {
+            Ok(v) => v,
+            Err(c) => unreachable!("NeverCancel cancelled at tile {}", c.tiles_done),
+        }
+    }
+    if journal.enabled() {
+        let obs = JournalObserver::new(queries.len(), registry);
+        let out = finish(knn_search_streamed_parallel_timelined(
+            queries,
+            refs,
+            cfg,
+            tile,
+            threads,
+            &obs,
+            &NeverCancel,
+            tl,
+        ));
+        let eff_tile = tile.min(refs.len().max(1));
+        let blocks = refs.len().div_ceil(eff_tile.max(1)) as u32;
+        obs.flush(journal, cfg, tag, eff_tile as u64, blocks);
+        out
+    } else if let Some(reg) = registry {
+        finish(knn_search_streamed_parallel_timelined(
+            queries,
+            refs,
+            cfg,
+            tile,
+            threads,
+            &RegistryObserver::new(reg),
+            &NeverCancel,
+            tl,
+        ))
+    } else {
+        finish(knn_search_streamed_parallel_timelined(
+            queries,
+            refs,
+            cfg,
+            tile,
+            threads,
+            &crate::pipeline::NullObserver,
+            &NeverCancel,
+            tl,
+        ))
+    }
 }
 
 /// [`block::squared_distances`] with the kernel invocation timed into
@@ -640,6 +798,122 @@ mod tests {
                     "streamed total is the sum of its tile phases"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn instrumented_matches_plain_and_accounts_every_block_exactly_once() {
+        use crate::pipeline::knn_search_streamed_parallel;
+        use trace::NullJournal;
+
+        // 130 queries / QUERY_BLOCK(32) = 5 blocks -> all 4 workers run.
+        let queries = PointSet::uniform(130, 12, 141);
+        let refs = PointSet::uniform(400, 12, 142);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 16);
+        let plain = knn_search_streamed_parallel(&queries, &refs, &cfg, 100, 4);
+
+        let rec = TimelineRecorder::new(4);
+        let tl = TimelineObserver::new(&rec);
+        let out = knn_search_streamed_parallel_instrumented(
+            &queries,
+            &refs,
+            &cfg,
+            100,
+            4,
+            &NullJournal,
+            None,
+            "",
+            &tl,
+        );
+        assert_eq!(out, plain, "timeline recording must not change results");
+
+        let report = tl.report();
+        assert_eq!(report.lanes.len(), 4);
+        assert_eq!(report.blocks_total, 5, "130 queries / 32-query blocks");
+        // Every claimed block lands on exactly one worker's track.
+        let mut blocks: Vec<u64> = report
+            .lanes
+            .iter()
+            .flat_map(|l| l.spans.iter())
+            .filter(|s| s.kind == SpanKind::Block)
+            .map(|s| s.detail)
+            .collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 4]);
+        // Busy + idle conservation per worker against the common wall.
+        for lane in &report.lanes {
+            assert_eq!(
+                lane.busy_ns + lane.idle_ns,
+                report.wall_ns,
+                "worker {} must account its whole wall span",
+                lane.worker
+            );
+            assert!(lane.utilization <= 1.0 + f64::EPSILON);
+        }
+        assert!(report.imbalance >= 1.0);
+        // Scratch reservations were reported per worker.
+        assert!(report
+            .lanes
+            .iter()
+            .any(|l| l.scratch_peak_bytes == 32 * 100 * 4));
+    }
+
+    #[test]
+    fn instrumented_single_thread_takes_the_sequential_path_as_a_service_span() {
+        use trace::NullJournal;
+
+        let queries = PointSet::uniform(20, 10, 143);
+        let refs = PointSet::uniform(200, 10, 144);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let plain = knn_search_streamed(&queries, &refs, &cfg, 64);
+        let rec = TimelineRecorder::new(1);
+        let tl = TimelineObserver::new(&rec);
+        let out = knn_search_streamed_parallel_instrumented(
+            &queries,
+            &refs,
+            &cfg,
+            64,
+            1,
+            &NullJournal,
+            None,
+            "",
+            &tl,
+        );
+        assert_eq!(out, plain);
+        let report = tl.report();
+        assert_eq!(report.lanes.len(), 1);
+        let spans = &report.lanes[0].spans;
+        assert_eq!(spans.len(), 1, "one service span, no block claims");
+        assert_eq!(spans[0].kind, SpanKind::Service);
+        assert!(report.lanes[0].busy_ns > 0, "the service span is busy time");
+    }
+
+    #[test]
+    fn journal_records_carry_the_owning_worker() {
+        use trace::{EventJournal, JournalConfig};
+
+        let queries = PointSet::uniform(130, 10, 145);
+        let refs = PointSet::uniform(300, 10, 146);
+        let cfg = SelectConfig::plain(QueueKind::Merge, 8);
+        let journal = EventJournal::new(JournalConfig::default());
+        let rec = TimelineRecorder::new(4);
+        let tl = TimelineObserver::new(&rec);
+        knn_search_streamed_parallel_instrumented(
+            &queries, &refs, &cfg, 100, 4, &journal, None, "tl-run", &tl,
+        );
+        let snap = journal.snapshot();
+        assert_eq!(snap.len(), 130);
+        assert!(snap.iter().all(|r| (r.worker as usize) < 4));
+        // Queries of one 32-query block share one worker.
+        for block in snap.chunks(32) {
+            let w = block[0].worker;
+            assert!(block.iter().all(|r| r.worker == w));
+        }
+        // The journal's worker attribution agrees with the timeline: a
+        // worker that owns journal records also owns block spans.
+        let report = tl.report();
+        for w in snap.iter().map(|r| r.worker as usize) {
+            assert!(report.lanes[w].blocks > 0);
         }
     }
 

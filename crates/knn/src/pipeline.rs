@@ -38,6 +38,7 @@ use kselect::types::Neighbor;
 use kselect::{KnnError, SelectConfig};
 use rayon::prelude::*;
 use simt::{Metrics, TimingModel};
+use trace::{NullTimeline, TimelineHooks};
 
 use crate::dataset::PointSet;
 use crate::distance::{block, gpu_distance_metrics};
@@ -102,6 +103,11 @@ pub trait PhaseObserver: Sync {
     /// [`PhaseObserver::merger_stats`]).
     #[inline]
     fn query_merger_stats(&self, _qi: usize, _pushed: u64, _rejected: u64) {}
+    /// Which pool worker serviced query `qi`. Fired once per query by
+    /// the parallel pipeline (never by sequential paths, whose implied
+    /// worker is 0); the journal records it on the query's record.
+    #[inline]
+    fn query_worker(&self, _qi: usize, _worker: usize) {}
 }
 
 /// The zero-cost default observer.
@@ -449,6 +455,47 @@ pub fn knn_search_streamed_parallel_cancellable<O: PhaseObserver, C: CancelToken
     obs: &O,
     token: &C,
 ) -> Result<Vec<Vec<Neighbor>>, Cancelled> {
+    knn_search_streamed_parallel_timelined(
+        queries,
+        refs,
+        cfg,
+        tile,
+        threads,
+        obs,
+        token,
+        &NullTimeline,
+    )
+}
+
+/// [`knn_search_streamed_parallel_cancellable`] with per-worker
+/// [`TimelineHooks`]: each worker announces itself, every block claim /
+/// tile walk / block completion fires on that worker's track, and the
+/// per-worker scratch reservation is reported once per worker. The
+/// hooks carry **no timestamps** — a clock-owning implementation (such
+/// as `knn::metered`'s recorder adapter) stamps them on arrival, so
+/// this module stays clock-free and [`NullTimeline`] monomorphizes to
+/// exactly the untimelined code.
+///
+/// Single-worker runs (after [`resolve_threads`]) delegate to the
+/// sequential path and fire **no** timeline hooks; callers that want a
+/// lane for a sequential run should wrap the call in a service span
+/// (as `knn::metered` does), because sequential tile order is not block
+/// order and per-block tracks would misattribute it.
+#[allow(clippy::too_many_arguments)]
+pub fn knn_search_streamed_parallel_timelined<
+    O: PhaseObserver,
+    C: CancelToken,
+    T: TimelineHooks,
+>(
+    queries: &PointSet,
+    refs: &PointSet,
+    cfg: &SelectConfig,
+    tile: usize,
+    threads: usize,
+    obs: &O,
+    token: &C,
+    tl: &T,
+) -> Result<Vec<Vec<Neighbor>>, Cancelled> {
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -481,16 +528,22 @@ pub fn knn_search_streamed_parallel_cancellable<O: PhaseObserver, C: CancelToken
     let done: Mutex<Vec<(usize, Vec<Vec<Neighbor>>)>> =
         Mutex::new(Vec::with_capacity(blocks_total));
 
-    rayon::scope_broadcast(workers, |_worker| {
+    rayon::scope_broadcast(workers, |worker| {
+        tl.worker_started(worker);
+        tl.scratch_reserved(
+            worker,
+            (block_len * tile * core::mem::size_of::<f32>()) as u64,
+        );
         let mut scratch = vec![0.0f32; block_len * tile];
-        loop {
+        'work: loop {
             if cancel_at.load(Ordering::Relaxed) != usize::MAX {
-                return;
+                break 'work;
             }
             let b = next_block.fetch_add(1, Ordering::Relaxed);
             if b >= blocks_total {
-                return;
+                break 'work;
             }
+            tl.block_claimed(worker, b);
             let q0 = b * block_len;
             let q1 = (q0 + block_len).min(q);
             let mut mergers: Vec<StreamMerger> =
@@ -498,12 +551,14 @@ pub fn knn_search_streamed_parallel_cancellable<O: PhaseObserver, C: CancelToken
             for (tiles_done, r0) in (0..n).step_by(tile).enumerate() {
                 if token.is_cancelled(tiles_done) {
                     cancel_at.fetch_min(tiles_done, Ordering::Relaxed);
-                    return;
+                    tl.block_finished(worker, b, tiles_done);
+                    break 'work;
                 }
                 // Another block already tripped: this block's remaining
                 // work would be discarded anyway.
                 if cancel_at.load(Ordering::Relaxed) != usize::MAX {
-                    return;
+                    tl.block_finished(worker, b, tiles_done);
+                    break 'work;
                 }
                 let t_len = tile.min(n - r0);
                 for (i, row) in scratch[..(q1 - q0) * t_len].chunks_mut(t_len).enumerate() {
@@ -522,11 +577,13 @@ pub fn knn_search_streamed_parallel_cancellable<O: PhaseObserver, C: CancelToken
                     let merger = &mut mergers[i];
                     obs.timed(Phase::TileMerge, || merger.push_chunk(topk, r0 as u32));
                 }
+                tl.tile_walked(worker, b, tiles_done);
             }
             let (mut pushed, mut rejected) = (0u64, 0u64);
             for (i, m) in mergers.iter().enumerate() {
                 let s = m.stats();
                 obs.query_merger_stats(q0 + i, s.pushed, s.rejected);
+                obs.query_worker(q0 + i, worker);
                 pushed += s.pushed;
                 rejected += s.rejected;
             }
@@ -536,7 +593,11 @@ pub fn knn_search_streamed_parallel_cancellable<O: PhaseObserver, C: CancelToken
             done.lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .push((b, out));
+            // Finish *after* the results push so the block span absorbs
+            // any contention on the results mutex.
+            tl.block_finished(worker, b, tiles_total);
         }
+        tl.worker_finished(worker);
     });
 
     let tripped = cancel_at.load(Ordering::Relaxed);

@@ -267,6 +267,34 @@ proptest! {
         }
     }
 
+    /// With the timeline disabled ([`NullTimeline`]), the timelined
+    /// entry point is byte-identical to the plain parallel pipeline —
+    /// same neighbors, same distances, same order — at every thread
+    /// count. This is the zero-cost-observer contract for the timeline
+    /// layer: hooks that monomorphize to no-ops cannot perturb results.
+    #[test]
+    fn timeline_disabled_is_byte_identical_to_plain_parallel(
+        q in 1usize..70,
+        n in 1usize..300,
+        k_raw in 1usize..16,
+        tile in 1usize..300,
+        threads in 1usize..9,
+        seed in 0u64..1000,
+    ) {
+        use knn::{knn_search_streamed_parallel_timelined, NeverCancel, NullObserver};
+        use trace::NullTimeline;
+        let k = k_raw.min(n);
+        let queries = PointSet::uniform(q, 6, seed);
+        let refs = PointSet::uniform(n, 6, seed ^ 0x51D);
+        let cfg = SelectConfig::plain(QueueKind::Heap, k);
+        let plain = knn_search_streamed_parallel(&queries, &refs, &cfg, tile, threads);
+        let timelined = knn_search_streamed_parallel_timelined(
+            &queries, &refs, &cfg, tile, threads,
+            &NullObserver, &NeverCancel, &NullTimeline,
+        ).expect("NeverCancel cannot trip");
+        prop_assert_eq!(timelined, plain);
+    }
+
     /// Non-finite inputs flow through the parallel path exactly as
     /// through the sequential one: poisoned references clamp to the
     /// same bits and land in the same merge positions at every thread

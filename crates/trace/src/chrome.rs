@@ -7,6 +7,7 @@
 //! sample becomes a `C` event so queue/buffer activity plots as a graph
 //! under the timeline.
 
+use crate::timeline::{SpanKind, TimelineReport};
 use crate::tracer::{EventKind, Tracer};
 use serde::Value;
 
@@ -84,6 +85,71 @@ pub fn to_chrome_json(tracer: &Tracer) -> String {
     serde_json::to_string_pretty(&doc).expect("trace serialization cannot fail")
 }
 
+/// Render a [`TimelineReport`] as Chrome-trace JSON: one `tid` per
+/// worker lane (named via `thread_name` metadata, emitted in lane
+/// order), every [`crate::timeline::TrackSpan`] as an `X`
+/// complete-event with a microsecond `ts`/`dur`, and every mark as a
+/// thread-scoped instant. Nanosecond span boundaries are preserved as
+/// fractional microseconds.
+pub fn timeline_to_chrome_json(report: &TimelineReport) -> String {
+    let mut events = Vec::new();
+    events.push(obj(vec![
+        ("name", Value::Str("process_name".to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::U64(PID)),
+        (
+            "args",
+            obj(vec![(
+                "name",
+                Value::Str("knn worker timeline".to_string()),
+            )]),
+        ),
+    ]));
+    for lane in &report.lanes {
+        events.push(obj(vec![
+            ("name", Value::Str("thread_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(lane.worker as u64)),
+            ("args", obj(vec![("name", Value::Str(lane.name.clone()))])),
+        ]));
+    }
+    for lane in &report.lanes {
+        let tid = lane.worker as u64;
+        for span in &lane.spans {
+            let name = match span.kind {
+                SpanKind::Block => format!("block {}", span.detail),
+                SpanKind::Tile => format!("tile {}", span.detail),
+                SpanKind::Service => format!("service {}", span.detail),
+                SpanKind::QueueWait => format!("queue-wait {}", span.detail),
+            };
+            events.push(obj(vec![
+                ("name", Value::Str(name)),
+                ("cat", Value::Str(span.kind.as_str().to_string())),
+                ("ph", Value::Str("X".to_string())),
+                ("ts", Value::F64(span.start_ns as f64 / 1e3)),
+                ("dur", Value::F64(span.duration_ns() as f64 / 1e3)),
+                ("pid", Value::U64(PID)),
+                ("tid", Value::U64(tid)),
+            ]));
+        }
+        for (ns, label) in &lane.marks {
+            events.push(event_value(
+                label,
+                "mark",
+                "i",
+                *ns as f64 / 1e3,
+                lane.worker as u32,
+            ));
+        }
+    }
+    let doc = obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ns".to_string())),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("timeline trace serialization cannot fail")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +205,118 @@ mod tests {
             .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
             .collect();
         assert_eq!(begins, names, "every name must parse back verbatim");
+    }
+
+    mod timeline_export {
+        use super::*;
+        use crate::timeline::TimelineRecorder;
+
+        fn three_worker_report() -> crate::timeline::TimelineReport {
+            let rec = TimelineRecorder::new(3);
+            for w in 0..3usize {
+                rec.worker_started(w, w as u64 * 5);
+                rec.block_claimed(w, w as u64, 100 + w as u64 * 10);
+                rec.tile_walked(w, 0, 150 + w as u64 * 10);
+                rec.block_finished(w, w as u64, 200 + w as u64 * 10);
+                rec.worker_finished(w, 250);
+            }
+            rec.mark(1, 175, "steal");
+            rec.report(300)
+        }
+
+        /// One `thread_name` metadata event per worker, in lane order,
+        /// before any span event — so viewers label tracks correctly.
+        #[test]
+        fn one_named_track_per_worker_in_lane_order() {
+            let text = timeline_to_chrome_json(&three_worker_report());
+            let doc = serde_json::parse_value(&text).expect("valid JSON");
+            let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+            let thread_names: Vec<(u64, &str)> = events
+                .iter()
+                .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+                .map(|e| {
+                    (
+                        e.get("tid").and_then(|t| t.as_f64()).unwrap() as u64,
+                        e.get("args")
+                            .and_then(|a| a.get("name"))
+                            .and_then(|n| n.as_str())
+                            .unwrap(),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                thread_names,
+                vec![(0, "worker 0"), (1, "worker 1"), (2, "worker 2")]
+            );
+            // metadata strictly precedes the first span event
+            let first_x = events
+                .iter()
+                .position(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+                .unwrap();
+            let last_m = events
+                .iter()
+                .rposition(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+                .unwrap();
+            assert!(last_m < first_x, "all M events must precede span events");
+        }
+
+        /// Every span lands on its own worker's tid; blocks, tiles and
+        /// the mark are all present and the mark is thread-scoped.
+        #[test]
+        fn spans_keep_their_worker_tid_and_marks_are_instants() {
+            let report = three_worker_report();
+            let text = timeline_to_chrome_json(&report);
+            let doc = serde_json::parse_value(&text).expect("valid JSON");
+            let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+            for w in 0..3u64 {
+                let block: Vec<_> = events
+                    .iter()
+                    .filter(|e| {
+                        e.get("name").and_then(|n| n.as_str())
+                            == Some(format!("block {w}").as_str())
+                    })
+                    .collect();
+                assert_eq!(block.len(), 1);
+                assert_eq!(block[0].get("tid").and_then(|t| t.as_f64()), Some(w as f64));
+                assert_eq!(block[0].get("ph").and_then(|p| p.as_str()), Some("X"));
+                // ns boundaries preserved as fractional µs
+                let ts = block[0].get("ts").and_then(|t| t.as_f64()).unwrap();
+                assert!((ts - (100 + w * 10) as f64 / 1e3).abs() < 1e-9);
+            }
+            let mark = events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("steal"))
+                .expect("mark exported");
+            assert_eq!(mark.get("ph").and_then(|p| p.as_str()), Some("i"));
+            assert_eq!(mark.get("s").and_then(|s| s.as_str()), Some("t"));
+            assert_eq!(mark.get("tid").and_then(|t| t.as_f64()), Some(1.0));
+        }
+
+        /// Worker names and mark labels are arbitrary caller strings;
+        /// the export must escape them and they must parse back
+        /// verbatim.
+        #[test]
+        fn track_names_with_metacharacters_round_trip() {
+            let names = [r#"srv "a""#, "queue\\deep", "lane\nbreak"];
+            let rec = TimelineRecorder::with_names(&names);
+            rec.span(0, SpanKind::Service, 1, 0, 100);
+            rec.mark(2, 50, "label \"quoted\"\n");
+            let text = timeline_to_chrome_json(&rec.report(100));
+            let doc = serde_json::parse_value(&text).expect("escaped export stays valid JSON");
+            let events = doc.get("traceEvents").and_then(|v| v.as_array()).unwrap();
+            let back: Vec<&str> = events
+                .iter()
+                .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+                .filter_map(|e| {
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(|n| n.as_str())
+                })
+                .collect();
+            assert_eq!(back, names, "every track name must parse back verbatim");
+            assert!(events
+                .iter()
+                .any(|e| { e.get("name").and_then(|n| n.as_str()) == Some("label \"quoted\"\n") }));
+        }
     }
 }

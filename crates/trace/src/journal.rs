@@ -41,8 +41,10 @@ use serde::{Serialize, Value};
 use crate::schema;
 
 /// Version stamped on every journal line (`schema_version`); see
-/// [`crate::schema`] for the compatibility rule.
-pub const SCHEMA_VERSION: &str = "1.0";
+/// [`crate::schema`] for the compatibility rule. 1.1 added the
+/// `worker` field (the pipeline worker that serviced the query);
+/// 1.0 lines still parse, defaulting `worker` to 0.
+pub const SCHEMA_VERSION: &str = "1.1";
 
 /// Phase-name keys the knn pipelines record under. The journal accepts
 /// any name; these are the ones `knn-cli report` knows how to group.
@@ -106,6 +108,9 @@ pub struct QueryRecord {
     pub status: String,
     /// Kernel attempts consumed (1 for a clean first attempt).
     pub attempts: u32,
+    /// Pipeline worker that serviced the query (0 on sequential
+    /// paths and in pre-1.1 journals).
+    pub worker: u32,
     /// Retained by the exemplar heap (set at snapshot time).
     pub exemplar: bool,
 }
@@ -150,6 +155,7 @@ impl Serialize for QueryRecord {
             ("blocks".into(), Value::U64(self.blocks as u64)),
             ("status".into(), Value::Str(self.status.clone())),
             ("attempts".into(), Value::U64(self.attempts as u64)),
+            ("worker".into(), Value::U64(self.worker as u64)),
             ("exemplar".into(), Value::Bool(self.exemplar)),
         ])
     }
@@ -201,6 +207,12 @@ impl QueryRecord {
             blocks: field_u64(v, "blocks")? as u32,
             status: field_str(v, "status")?,
             attempts: field_u64(v, "attempts")? as u32,
+            // 1.0 lines predate worker attribution; default lane 0.
+            worker: v
+                .get("worker")
+                .and_then(Value::as_f64)
+                .map(|f| f as u32)
+                .unwrap_or(0),
             exemplar: matches!(v.get("exemplar"), Some(Value::Bool(true))),
         })
     }
@@ -592,6 +604,7 @@ mod tests {
             r.merge_reject = 48;
             r.blocks = 8;
             r.scratch_bytes = 1 << 20;
+            r.worker = (q % 4) as u32;
             if q == 3 {
                 r.status = "recovered".into();
                 r.attempts = 2;
@@ -602,11 +615,29 @@ mod tests {
         assert_eq!(text.lines().count(), 10);
         assert!(text
             .lines()
-            .all(|l| l.contains("\"schema_version\":\"1.0\"")));
+            .all(|l| l.contains("\"schema_version\":\"1.1\"")));
         let back = parse_jsonl(&text).expect("journal must parse back");
         assert_eq!(back, j.snapshot());
         assert_eq!(back[3].status, "recovered");
         assert_eq!(back[3].attempts, 2);
+        assert_eq!(back[7].worker, 3, "worker attribution round-trips");
+    }
+
+    #[test]
+    fn legacy_1_0_lines_without_worker_still_parse() {
+        // A verbatim pre-1.1 line: no `worker` field anywhere.
+        let legacy = concat!(
+            r#"{"schema_version":"1.0","seq":4,"query":9,"queue":"merge","#,
+            r#""tag":"","tile":0,"total_ns":1009,"phase_ns":{"row_fill":504,"#,
+            r#""row_select":505},"scratch_bytes":0,"merge_push":0,"#,
+            r#""merge_reject":0,"blocks":0,"status":"ok","attempts":1,"#,
+            r#""exemplar":false}"#,
+            "\n"
+        );
+        let back = parse_jsonl(legacy).expect("1.0 journals must keep parsing");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].worker, 0, "missing worker defaults to lane 0");
+        assert_eq!(back[0].query, 9);
     }
 
     #[test]
@@ -614,11 +645,11 @@ mod tests {
         let j = EventJournal::new(JournalConfig::default());
         j.record(rec(0, 100));
         let good = j.to_jsonl();
-        let future = good.replace("\"schema_version\":\"1.0\"", "\"schema_version\":\"2.0\"");
+        let future = good.replace("\"schema_version\":\"1.1\"", "\"schema_version\":\"2.0\"");
         let err = parse_jsonl(&future).unwrap_err();
         assert!(err.contains("major version"), "{err}");
         // newer *minor* versions parse fine
-        let minor = good.replace("\"schema_version\":\"1.0\"", "\"schema_version\":\"1.7\"");
+        let minor = good.replace("\"schema_version\":\"1.1\"", "\"schema_version\":\"1.7\"");
         assert!(parse_jsonl(&minor).is_ok());
         // garbage is a named line error
         assert!(parse_jsonl("not json\n").unwrap_err().contains("line 1"));

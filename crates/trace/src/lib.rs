@@ -22,6 +22,13 @@
 //!   lock-striped bounded buffers of [`QueryRecord`]s with head-based
 //!   sampling and always-keep slowest-query exemplars, exported as
 //!   versioned JSONL for `knn-cli report` and the `slogate` CI gate;
+//! * [`timeline`] — **per-worker** execution timelines
+//!   ([`TimelineRecorder`]): block claims, tile walks, idle gaps and
+//!   scratch peaks per worker, folded into a [`TimelineReport`] with
+//!   busy/idle accounting, utilization and an imbalance score. The
+//!   module itself never reads a clock — nanoseconds arrive
+//!   pre-measured from `knn::metered` (wall clock) or the serving
+//!   engine (simulated clock);
 //! * exporters — [`chrome`] (Chrome-trace JSON loadable in Perfetto or
 //!   `chrome://tracing`), [`jsonl`] (one event per line for ad-hoc
 //!   grepping), and [`summary`] (human-readable profile table).
@@ -39,12 +46,16 @@ pub mod metrics;
 pub mod openmetrics;
 pub mod schema;
 pub mod summary;
+pub mod timeline;
 mod tracer;
 
 pub use counters::CounterSet;
 pub use hist::PositionHistogram;
 pub use journal::{EventJournal, Journal, JournalConfig, NullJournal, QueryRecord};
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use timeline::{
+    NullTimeline, TimelineHooks, TimelineRecorder, TimelineReport, WorkerLane, WorkerTimeline,
+};
 pub use tracer::{Category, EventKind, SpanGuard, SpanId, TraceEvent, Tracer};
 
 /// Well-known counter names emitted by the pipeline, collected here so

@@ -40,7 +40,11 @@ use crate::schema;
 
 /// Version stamped on snapshot JSON (`schema_version`); see
 /// [`crate::schema`] for the compatibility rule applied when parsing.
-pub const SCHEMA_VERSION: &str = "1.0";
+/// 1.1 added the optional `labels` (string-valued runtime config such
+/// as `knn.simd_dispatch`) and `timeline` (per-worker
+/// [`crate::timeline::TimelineReport`]) sections; 1.0 documents still
+/// parse.
+pub const SCHEMA_VERSION: &str = "1.1";
 
 /// Number of log2 buckets: bucket `i` counts observations `v` (in ns)
 /// with `v <= 2^i`, assigned to the smallest such `i`. 2^63 ns ≈ 292
@@ -193,6 +197,7 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     peaks: BTreeMap<String, u64>,
+    labels: BTreeMap<String, String>,
 }
 
 /// Thread-safe metrics registry.
@@ -257,6 +262,19 @@ impl MetricsRegistry {
         self.lock().gauges.insert(name.to_string(), v);
     }
 
+    /// Set a string-valued label (last write wins): runtime config a
+    /// number can't carry, like the dispatched SIMD kernel name.
+    pub fn set_label(&self, name: &str, value: &str) {
+        self.lock()
+            .labels
+            .insert(name.to_string(), value.to_string());
+    }
+
+    /// Current value of a label (`None` when never set).
+    pub fn label(&self, name: &str) -> Option<String> {
+        self.lock().labels.get(name).cloned()
+    }
+
     /// Record a high-water mark: the stored value only ever grows.
     pub fn record_peak(&self, name: &str, v: u64) {
         let mut inner = self.lock();
@@ -301,6 +319,12 @@ impl MetricsRegistry {
                 .collect(),
             gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             peaks: inner.peaks.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            labels: inner
+                .labels
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            timeline: None,
         }
     }
 }
@@ -343,6 +367,12 @@ pub struct MetricsSnapshot {
     pub counters: Vec<(String, u64)>,
     pub gauges: Vec<(String, f64)>,
     pub peaks: Vec<(String, u64)>,
+    /// String-valued runtime config (`knn.simd_dispatch`); empty on
+    /// legacy (schema 1.0) documents.
+    pub labels: Vec<(String, String)>,
+    /// Per-worker execution timeline, attached by `--timeline-out`
+    /// runs; `None` (and omitted from JSON) otherwise.
+    pub timeline: Option<crate::timeline::TimelineReport>,
 }
 
 impl Serialize for HistogramSnapshot {
@@ -385,7 +415,7 @@ fn named_u64s(items: &[(String, u64)]) -> Value {
 
 impl Serialize for MetricsSnapshot {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut fields = vec![
             (
                 "schema_version".into(),
                 Value::Str(SCHEMA_VERSION.to_string()),
@@ -405,7 +435,20 @@ impl Serialize for MetricsSnapshot {
                 ),
             ),
             ("peaks".into(), named_u64s(&self.peaks)),
-        ])
+            (
+                "labels".into(),
+                Value::Object(
+                    self.labels
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(tl) = &self.timeline {
+            fields.push(("timeline".into(), tl.to_value()));
+        }
+        Value::Object(fields)
     }
 }
 
@@ -502,11 +545,30 @@ impl MetricsSnapshot {
         for (k, v) in value_entries(doc.get("peaks"), "peaks")? {
             peaks.push((k.clone(), value_u64(v, k)?));
         }
+        // `labels` and `timeline` arrived with schema 1.1; absent on
+        // legacy documents.
+        let mut labels = Vec::new();
+        if let Some(Value::Object(fields)) = doc.get("labels") {
+            for (k, v) in fields {
+                labels.push((
+                    k.clone(),
+                    v.as_str()
+                        .ok_or_else(|| format!("label {k} is not a string"))?
+                        .to_string(),
+                ));
+            }
+        }
+        let timeline = match doc.get("timeline") {
+            Some(t) => Some(crate::timeline::TimelineReport::from_value(t)?),
+            None => None,
+        };
         Ok(MetricsSnapshot {
             histograms,
             counters,
             gauges,
             peaks,
+            labels,
+            timeline,
         })
     }
 }
@@ -644,16 +706,62 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.observe_ns("lat", 100);
         let json = reg.snapshot().to_json();
-        assert!(json.contains("\"schema_version\": \"1.0\""), "{json}");
+        assert!(json.contains("\"schema_version\": \"1.1\""), "{json}");
         // a future major version must fail loudly...
-        let future = json.replace("\"schema_version\": \"1.0\"", "\"schema_version\": \"2.0\"");
+        let future = json.replace("\"schema_version\": \"1.1\"", "\"schema_version\": \"2.0\"");
         let err = MetricsSnapshot::from_json(&future).unwrap_err();
         assert!(err.contains("major version"), "{err}");
         // ...a newer minor and the pre-versioning legacy shape both load
-        let minor = json.replace("\"schema_version\": \"1.0\"", "\"schema_version\": \"1.5\"");
+        let minor = json.replace("\"schema_version\": \"1.1\"", "\"schema_version\": \"1.5\"");
         assert!(MetricsSnapshot::from_json(&minor).is_ok());
-        let legacy = json.replace("\"schema_version\": \"1.0\",", "");
+        let legacy = json.replace("\"schema_version\": \"1.1\",", "");
         assert!(MetricsSnapshot::from_json(&legacy).is_ok());
+    }
+
+    #[test]
+    fn labels_round_trip_and_legacy_documents_parse_without_them() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ns("lat", 100);
+        reg.set_label("knn.simd_dispatch", "avx2+fma");
+        reg.set_label("knn.simd_dispatch", "scalar8"); // last write wins
+        assert_eq!(reg.label("knn.simd_dispatch").as_deref(), Some("scalar8"));
+        assert_eq!(reg.label("missing"), None);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.labels,
+            vec![("knn.simd_dispatch".to_string(), "scalar8".to_string())]
+        );
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // a schema-1.0 document (no labels/timeline keys) still parses
+        let legacy =
+            r#"{"schema_version":"1.0","histograms":[],"counters":{},"gauges":{},"peaks":{}}"#;
+        let parsed = MetricsSnapshot::from_json(legacy).unwrap();
+        assert!(parsed.labels.is_empty());
+        assert!(parsed.timeline.is_none());
+    }
+
+    #[test]
+    fn timeline_section_round_trips_and_is_omitted_when_absent() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ns("lat", 100);
+        let bare = reg.snapshot();
+        assert!(!bare.to_json().contains("\"timeline\""));
+
+        let rec = crate::timeline::TimelineRecorder::new(2);
+        rec.block_claimed(0, 0, 10);
+        rec.block_finished(0, 0, 90);
+        rec.block_claimed(1, 1, 20);
+        rec.block_finished(1, 1, 60);
+        let mut snap = reg.snapshot();
+        snap.timeline = Some(rec.report(100));
+        let json = snap.to_json();
+        assert!(json.contains("\"timeline\""), "{json}");
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snap);
+        let tl = back.timeline.unwrap();
+        assert_eq!(tl.blocks_total, 2);
+        assert_eq!(tl.lanes.len(), 2);
     }
 
     #[test]

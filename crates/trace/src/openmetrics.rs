@@ -80,6 +80,12 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         out.push_str(&format!("# TYPE {n} gauge\n"));
         out.push_str(&format!("{n} {value}\n"));
     }
+    for (name, value) in &snap.labels {
+        let n = metric_name(name);
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!("# TYPE {n} info\n"));
+        out.push_str(&format!("{n}_info{{value=\"{escaped}\"}} 1\n"));
+    }
     out.push_str("# EOF\n");
     out
 }
@@ -205,6 +211,15 @@ pub fn render_table(snap: &MetricsSnapshot) -> String {
             .collect();
         push_aligned(&mut out, &scalar_header, &rows);
     }
+    if !snap.labels.is_empty() {
+        out.push_str("\n== labels ==\n");
+        let rows: Vec<[String; 2]> = snap
+            .labels
+            .iter()
+            .map(|(name, v)| [name.clone(), v.clone()])
+            .collect();
+        push_aligned(&mut out, &scalar_header, &rows);
+    }
     out
 }
 
@@ -227,6 +242,7 @@ mod tests {
         reg.inc("knn.stream.merge_push", 7);
         reg.set_gauge("knn.qps", 1234.5);
         reg.record_peak("knn.peak_distance_bytes", 1 << 20);
+        reg.set_label("knn.simd_dispatch", "avx2+fma");
         let text = render(&reg.snapshot());
 
         let lines: Vec<&str> = text.lines().collect();
@@ -246,7 +262,7 @@ mod tests {
                 let name = parts.next().expect("TYPE line names a metric");
                 assert!(metric_name(name) == name, "TYPE name must be sanitized");
                 let kind = parts.next().expect("TYPE line names a kind");
-                assert!(matches!(kind, "histogram" | "counter" | "gauge"));
+                assert!(matches!(kind, "histogram" | "counter" | "gauge" | "info"));
                 continue;
             }
             // sample line: `name[{labels}] value`
@@ -258,9 +274,13 @@ mod tests {
                 .unwrap_or_else(|_| panic!("sample value must be numeric: {line}"));
             if let Some((name, labels)) = name_part.split_once('{') {
                 assert!(
-                    name.ends_with("_bucket"),
-                    "only buckets are labelled: {line}"
+                    name.ends_with("_bucket") || name.ends_with("_info"),
+                    "only buckets and info samples are labelled: {line}"
                 );
+                if name.ends_with("_info") {
+                    assert_eq!(value_part, "1", "info samples are always 1: {line}");
+                    continue;
+                }
                 let le = labels
                     .strip_suffix('}')
                     .and_then(|l| l.strip_prefix("le=\""))
@@ -287,6 +307,8 @@ mod tests {
         assert!(text.contains("# TYPE knn_stream_merge_push counter"));
         assert!(text.contains("knn_qps 1234.5"));
         assert!(text.contains("knn_peak_distance_bytes 1048576"));
+        assert!(text.contains("# TYPE knn_simd_dispatch info"));
+        assert!(text.contains("knn_simd_dispatch_info{value=\"avx2+fma\"} 1"));
     }
 
     #[test]
@@ -309,8 +331,17 @@ mod tests {
         reg.inc("pushes", 3);
         reg.set_gauge("qps", 10.0);
         reg.record_peak("bytes", 64);
+        reg.set_label("kernel", "avx2+fma");
         let table = render_table(&reg.snapshot());
-        for needle in ["lat", "pushes", "qps", "bytes", "p95", "high-water"] {
+        for needle in [
+            "lat",
+            "pushes",
+            "qps",
+            "bytes",
+            "p95",
+            "high-water",
+            "avx2+fma",
+        ] {
             assert!(table.contains(needle), "missing {needle}:\n{table}");
         }
         let empty = render_table(&MetricsSnapshot::default());

@@ -60,10 +60,22 @@ enum Direction {
 }
 
 /// Classify a leaf key by suffix; `None` means "configuration, skip".
+/// `utilization` (worker busy fraction) counts as a throughput-style
+/// metric: a build that leaves the pool idler regressed. `imbalance`
+/// (`max_busy/mean_busy`, 1.0 = perfectly balanced) regresses upward,
+/// like a latency.
 fn direction_of(key: &str) -> Option<Direction> {
-    if key.ends_with("_qps") || key.ends_with("speedup") || key.ends_with("_gflops") {
+    if key.ends_with("_qps")
+        || key.ends_with("speedup")
+        || key.ends_with("_gflops")
+        || key.ends_with("utilization")
+    {
         Some(Direction::HigherBetter)
-    } else if key.ends_with("_seconds") || key.ends_with("_ns") || key.ends_with("_bytes") {
+    } else if key.ends_with("_seconds")
+        || key.ends_with("_ns")
+        || key.ends_with("_bytes")
+        || key.ends_with("imbalance")
+    {
         Some(Direction::LowerBetter)
     } else {
         None
@@ -377,6 +389,12 @@ mod tests {
             direction_of("peak_distance_bytes"),
             Some(Direction::LowerBetter)
         );
+        assert_eq!(direction_of("utilization"), Some(Direction::HigherBetter));
+        assert_eq!(
+            direction_of("worker_utilization"),
+            Some(Direction::HigherBetter)
+        );
+        assert_eq!(direction_of("imbalance"), Some(Direction::LowerBetter));
         assert_eq!(direction_of("tile"), None);
         assert_eq!(direction_of("best_tile"), None);
         assert_eq!(direction_of("queries"), None);
